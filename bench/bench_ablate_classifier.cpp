@@ -1,0 +1,107 @@
+// Ablation: LOF vs a naive distance-threshold classifier. The naive model
+// flags a sample whose Euclidean distance to the training centroid exceeds
+// mean + 2 stddev of the training distances. LOF adapts to the local
+// density instead of assuming a spherical cluster (Sec. VII-A's rationale).
+#include <cmath>
+#include <cstdio>
+
+#include "common.hpp"
+
+namespace {
+
+using lumichat::core::FeatureVector;
+
+double dist(const FeatureVector& a, const FeatureVector& b) {
+  const auto pa = a.as_array();
+  const auto pb = b.as_array();
+  double acc = 0.0;
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    acc += (pa[i] - pb[i]) * (pa[i] - pb[i]);
+  }
+  return std::sqrt(acc);
+}
+
+class CentroidClassifier {
+ public:
+  void fit(const std::vector<FeatureVector>& train) {
+    centroid_ = FeatureVector{};
+    for (const auto& f : train) {
+      centroid_.z1 += f.z1;
+      centroid_.z2 += f.z2;
+      centroid_.z3 += f.z3;
+      centroid_.z4 += f.z4;
+    }
+    const double n = static_cast<double>(train.size());
+    centroid_.z1 /= n;
+    centroid_.z2 /= n;
+    centroid_.z3 /= n;
+    centroid_.z4 /= n;
+    std::vector<double> ds;
+    for (const auto& f : train) ds.push_back(dist(f, centroid_));
+    threshold_ = lumichat::eval::sample_mean(ds) +
+                 2.0 * lumichat::eval::sample_stddev(ds);
+  }
+
+  [[nodiscard]] bool is_attacker(const FeatureVector& z) const {
+    return dist(z, centroid_) > threshold_;
+  }
+
+ private:
+  FeatureVector centroid_;
+  double threshold_ = 0.0;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lumichat;
+  const bench::BenchScale scale =
+      bench::parse_scale(argc, argv, {.n_users = 4, .n_clips = 20});
+
+  bench::header("Ablation: LOF vs centroid-distance classifier");
+
+  const eval::SimulationProfile profile = bench::default_profile();
+  const eval::DatasetBuilder data(profile);
+  const auto legit = bench::features_per_user(data, scale.n_users,
+                                              scale.n_clips,
+                                              eval::Role::kLegitimate);
+  const auto attack = bench::features_per_user(data, scale.n_users,
+                                               scale.n_clips,
+                                               eval::Role::kAttacker);
+
+  common::Rng rng(profile.master_seed + 9000);
+  eval::AttemptCounts lof_counts;
+  eval::AttemptCounts naive_counts;
+  for (std::size_t u = 0; u < scale.n_users; ++u) {
+    for (std::size_t round = 0; round < scale.n_rounds / 4 + 1; ++round) {
+      const eval::Split split =
+          eval::random_split(scale.n_clips, scale.n_clips / 2, rng);
+      const auto train = eval::select(legit[u], split.train);
+
+      core::Detector lof = data.make_detector();
+      lof.train_on_features(train);
+      CentroidClassifier naive;
+      naive.fit(train);
+
+      for (const std::size_t i : split.test) {
+        lof_counts.add_legit(!lof.classify(legit[u][i]).is_attacker);
+        naive_counts.add_legit(!naive.is_attacker(legit[u][i]));
+      }
+      for (const auto& z : attack[u]) {
+        lof_counts.add_attacker(lof.classify(z).is_attacker);
+        naive_counts.add_attacker(naive.is_attacker(z));
+      }
+    }
+  }
+
+  bench::row("%-26s %-10s %-10s", "classifier", "TAR", "TRR");
+  bench::row("%-26s %-10.3f %-10.3f", "LOF (k=5, tau=3)", lof_counts.tar(),
+             lof_counts.trr());
+  bench::row("%-26s %-10.3f %-10.3f", "centroid + 2-sigma",
+             naive_counts.tar(), naive_counts.trr());
+
+  std::printf("\nexpected: the naive model needs per-dataset threshold\n"
+              "tuning and mishandles non-spherical legitimate clusters;\n"
+              "LOF's density-relative score transfers across users.\n");
+  return 0;
+}

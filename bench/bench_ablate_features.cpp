@@ -1,0 +1,107 @@
+// Ablation: which of the four features carry the defense?
+//   * all four (the paper's design),
+//   * behaviour only (z1, z2 — matched-change proportions),
+//   * trend only (z3, z4 — Pearson + DTW).
+// Unused dimensions are pinned to their training means so they contribute
+// nothing to LOF distances.
+#include <cstdio>
+
+#include "common.hpp"
+
+namespace {
+
+using lumichat::core::FeatureVector;
+
+FeatureVector mask(const FeatureVector& f, const FeatureVector& fill,
+                   bool keep_behavior, bool keep_trend) {
+  FeatureVector out = f;
+  if (!keep_behavior) {
+    out.z1 = fill.z1;
+    out.z2 = fill.z2;
+  }
+  if (!keep_trend) {
+    out.z3 = fill.z3;
+    out.z4 = fill.z4;
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lumichat;
+  const bench::BenchScale scale =
+      bench::parse_scale(argc, argv, {.n_users = 4, .n_clips = 20});
+
+  bench::header("Ablation: feature subsets");
+
+  const eval::SimulationProfile profile = bench::default_profile();
+  const eval::DatasetBuilder data(profile);
+  const auto legit = bench::features_per_user(data, scale.n_users,
+                                              scale.n_clips,
+                                              eval::Role::kLegitimate);
+  const auto attack = bench::features_per_user(data, scale.n_users,
+                                               scale.n_clips,
+                                               eval::Role::kAttacker);
+
+  struct Variant {
+    const char* label;
+    bool behavior;
+    bool trend;
+  };
+  const Variant variants[] = {
+      {"all four (paper)", true, true},
+      {"behavior only (z1,z2)", true, false},
+      {"trend only (z3,z4)", false, true},
+  };
+
+  bench::row("%-24s %-10s %-10s", "features", "TAR", "TRR");
+  for (const Variant& v : variants) {
+    common::Rng rng(profile.master_seed + 8000);
+    std::vector<double> tars;
+    std::vector<double> trrs;
+    for (std::size_t u = 0; u < scale.n_users; ++u) {
+      for (std::size_t round = 0; round < scale.n_rounds / 4 + 1; ++round) {
+        const eval::Split split =
+            eval::random_split(scale.n_clips, scale.n_clips / 2, rng);
+        auto train = eval::select(legit[u], split.train);
+        // Training mean used to fill masked dimensions.
+        FeatureVector fill;
+        for (const auto& f : train) {
+          fill.z1 += f.z1;
+          fill.z2 += f.z2;
+          fill.z3 += f.z3;
+          fill.z4 += f.z4;
+        }
+        const double n = static_cast<double>(train.size());
+        fill.z1 /= n;
+        fill.z2 /= n;
+        fill.z3 /= n;
+        fill.z4 /= n;
+        for (auto& f : train) f = mask(f, fill, v.behavior, v.trend);
+
+        core::Detector det = data.make_detector();
+        det.train_on_features(train);
+        eval::AttemptCounts counts;
+        for (const std::size_t i : split.test) {
+          const FeatureVector z =
+              mask(legit[u][i], fill, v.behavior, v.trend);
+          counts.add_legit(!det.classify(z).is_attacker);
+        }
+        for (const auto& raw : attack[u]) {
+          const FeatureVector z = mask(raw, fill, v.behavior, v.trend);
+          counts.add_attacker(det.classify(z).is_attacker);
+        }
+        tars.push_back(counts.tar());
+        trrs.push_back(counts.trr());
+      }
+    }
+    bench::row("%-24s %-10.3f %-10.3f", v.label, eval::sample_mean(tars),
+               eval::sample_mean(trrs));
+  }
+
+  std::printf("\nexpected: each subset alone is weaker on at least one side\n"
+              "(behaviour misses shape-matched forgeries, trend is noisier);\n"
+              "the combination is the strongest overall.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Ablation: nasal-bridge ROI vs whole-frame luminance for the received
+// video. The paper picks the lower nasal bridge because it is stable under
+// blinking/talking and rarely occluded (Sec. IV); whole-frame luminance
+// mixes in the (barely modulated) background and every facial noise source.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/luminance_extractor.hpp"
+#include "core/preprocess.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lumichat;
+  const bench::BenchScale scale =
+      bench::parse_scale(argc, argv, {.n_users = 3, .n_clips = 16});
+
+  bench::header("Ablation: nasal ROI vs whole-frame received luminance");
+
+  const eval::SimulationProfile profile = bench::default_profile();
+  const core::DetectorConfig cfg = profile.detector_config();
+  const eval::DatasetBuilder data(profile);
+  const auto pop = eval::make_population();
+  const core::LuminanceExtractor extractor(cfg);
+  const core::Preprocessor pre(cfg);
+  const core::FeatureExtractor fx(cfg);
+
+  auto featurize = [&](const chat::SessionTrace& trace, bool nasal_roi) {
+    const signal::Signal t_raw =
+        extractor.transmitted_signal(trace.transmitted);
+    const signal::Signal r_raw =
+        nasal_roi ? extractor.received_signal(trace.received).luminance
+                  : trace.received.frame_luminance_signal();
+    return fx.extract(pre.process_transmitted(t_raw),
+                      pre.process_received(r_raw))
+        .features;
+  };
+
+  for (const bool nasal : {true, false}) {
+    std::vector<std::vector<core::FeatureVector>> legit(scale.n_users);
+    std::vector<std::vector<core::FeatureVector>> attack(scale.n_users);
+    for (std::size_t u = 0; u < scale.n_users; ++u) {
+      std::fprintf(stderr, "  [data] %s, volunteer %zu\n",
+                   nasal ? "nasal ROI" : "whole frame", u);
+      for (std::size_t c = 0; c < scale.n_clips; ++c) {
+        legit[u].push_back(featurize(data.legit_trace(pop[u], c), nasal));
+        attack[u].push_back(featurize(data.attacker_trace(pop[u], c), nasal));
+      }
+    }
+
+    common::Rng rng(profile.master_seed + 9700);
+    eval::AttemptCounts counts;
+    for (std::size_t u = 0; u < scale.n_users; ++u) {
+      for (std::size_t round = 0; round < 3; ++round) {
+        const eval::Split split =
+            eval::random_split(scale.n_clips, scale.n_clips / 2, rng);
+        core::Detector det = data.make_detector();
+        det.train_on_features(eval::select(legit[u], split.train));
+        for (const std::size_t i : split.test) {
+          counts.add_legit(!det.classify(legit[u][i]).is_attacker);
+        }
+        for (const auto& z : attack[u]) {
+          counts.add_attacker(det.classify(z).is_attacker);
+        }
+      }
+    }
+    bench::row("%-28s TAR=%-8.3f TRR=%-8.3f",
+               nasal ? "nasal-bridge ROI (paper)" : "whole-frame luminance",
+               counts.tar(), counts.trr());
+  }
+
+  std::printf("\nexpected: the whole-frame variant is diluted by the\n"
+              "background and facial-motion noise; the nasal ROI keeps the\n"
+              "reflection signal clean.\n");
+  return 0;
+}

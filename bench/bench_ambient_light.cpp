@@ -1,0 +1,52 @@
+// Sec. VIII-I: influence of ambient light. When ambient illumination
+// dominates, the screen's contribution to the face-reflected luminance
+// shrinks and detection degrades. Following the paper's protocol the
+// classifier is trained under normal indoor light (60 lux) and then asked
+// to judge sessions recorded under other light levels. Paper: similar
+// performance under normal light; TAR drops to ~80% at 240 lux on the face.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lumichat;
+  const bench::BenchScale scale =
+      bench::parse_scale(argc, argv, {.n_users = 3, .n_clips = 20});
+
+  bench::header("Sec. VIII-I reproduction: accuracy vs ambient light");
+
+  // Train once under the headline 60 lux condition.
+  const eval::SimulationProfile base = bench::default_profile();
+  const eval::DatasetBuilder base_data(base);
+  const auto pop = eval::make_population();
+  core::Detector det = base_data.make_detector();
+  det.train_on_features(
+      base_data.features(pop[9], eval::Role::kLegitimate, 20));
+
+  bench::row("%-18s %-10s %-10s", "ambient (lux)", "TAR", "TRR");
+  for (const double lux_level : {30.0, 60.0, 120.0, 240.0, 400.0}) {
+    eval::SimulationProfile profile = base;
+    profile.bob_ambient_lux = lux_level;
+    const eval::DatasetBuilder data(profile);
+
+    eval::AttemptCounts counts;
+    for (std::size_t u = 0; u < scale.n_users; ++u) {
+      std::fprintf(stderr, "  [data] %.0f lux volunteer %zu\n", lux_level, u);
+      for (const auto& z :
+           data.features(pop[u], eval::Role::kLegitimate, scale.n_clips)) {
+        counts.add_legit(!det.classify(z).is_attacker);
+      }
+      for (const auto& z :
+           data.features(pop[u], eval::Role::kAttacker, scale.n_clips)) {
+        counts.add_attacker(det.classify(z).is_attacker);
+      }
+    }
+    bench::row("%-18.0f %-10.3f %-10.3f", lux_level, counts.tar(),
+               counts.trr());
+  }
+
+  std::printf("\npaper: stable under normal indoor light (<= ~120 lux on\n"
+              "the face); TAR ~0.80 at 240 lux; worse beyond as ambient\n"
+              "drowns the screen's modulation.\n");
+  return 0;
+}

@@ -1,0 +1,76 @@
+// Fig. 3 (feasibility study): a screen flashing black/white at 0.2 Hz in
+// front of a volunteer. The paper reports the nasal-bridge luminance rising
+// from ~105 to ~132 (8-bit) between the black and white phases. We replay
+// the same protocol: render the face under the screen's illuminance in both
+// phases, capture with the camera, and report the nasal-bridge level.
+#include <cstdio>
+
+#include "common.hpp"
+#include "face/landmark_detector.hpp"
+#include "face/renderer.hpp"
+#include "face/roi.hpp"
+#include "image/luminance.hpp"
+#include "optics/camera.hpp"
+#include "optics/screen.hpp"
+
+int main() {
+  using namespace lumichat;
+
+  bench::header("Fig. 3 reproduction: face-reflected light vs screen color");
+  std::printf("Dell 27\" LED at 85%% brightness, face at 0.55 m, ambient 60 "
+              "lux, 0.2 Hz black/white flash\n\n");
+
+  const optics::ScreenModel screen(optics::dell_27in_led(), 0.55);
+  const image::Pixel ambient{60, 60, 60};
+  const face::LandmarkDetector detector;
+
+  bench::row("%-12s %-28s %-28s %s", "volunteer", "nasal luma (black phase)",
+             "nasal luma (white phase)", "delta");
+  for (std::size_t vol : {0ul, 4ul, 6ul}) {
+    face::FaceRenderer renderer(face::make_volunteer_face(vol));
+    optics::CameraSpec cam_spec;
+    cam_spec.adaptation_rate = 0.0;  // exposure locked mid-flash, like AE lag
+    optics::CameraModel cam(cam_spec, 7);
+
+    face::FaceState state;
+    state.cx = 0.5;
+    state.cy = 0.52;
+
+    // Lock exposure on a mid-grey screen first (the camera has been
+    // running before the flash starts).
+    const image::Pixel mid = screen.face_illuminance({0.5, 0.5, 0.5});
+    for (int i = 0; i < 3; ++i) {
+      (void)cam.capture(renderer.render(state, mid, ambient));
+    }
+
+    auto nasal_level = [&](double frame_y01) {
+      const image::Pixel illum =
+          screen.face_illuminance({frame_y01, frame_y01, frame_y01});
+      const image::Image frame =
+          cam.capture(renderer.render(state, illum, ambient));
+      const auto lm = detector.detect(frame);
+      if (!lm) return -1.0;
+      return image::roi_luminance(frame, face::nasal_roi_f(*lm));
+    };
+
+    // Average a few noisy captures per phase (the paper reads the value
+    // off a video, i.e. effectively averaged).
+    double black = 0.0;
+    double white = 0.0;
+    const int reps = 10;
+    for (int i = 0; i < reps; ++i) {
+      black += nasal_level(0.02);
+      white += nasal_level(0.98);
+    }
+    black /= reps;
+    white /= reps;
+    bench::row("%-12zu %-28.1f %-28.1f %+.1f", vol, black, white,
+               white - black);
+  }
+
+  std::printf(
+      "\npaper: nasal-bridge luminance ~105 (black) -> ~132 (white), a\n"
+      "clearly visible step; reproduction target is the same *shape*: a\n"
+      "double-digit 8-bit rise from black to white on every skin tone.\n");
+  return 0;
+}

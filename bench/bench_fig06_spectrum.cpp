@@ -1,0 +1,62 @@
+// Fig. 6: spectrum of the face-reflected luminance signal with and without
+// screen-light changes. The paper's observation: the useful signal lives
+// below 1 Hz while noise is broadband — which justifies the 1 Hz low-pass.
+//
+// We reproduce it by running two sessions — one where Alice's metering
+// script produces significant changes, one where she never touches the
+// screen — and printing the one-sided magnitude spectrum of the received
+// nasal-bridge luminance plus the sub-1 Hz energy fraction.
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/luminance_extractor.hpp"
+#include "signal/fft.hpp"
+
+int main() {
+  using namespace lumichat;
+
+  bench::header("Fig. 6 reproduction: spectrum of face-reflected luminance");
+
+  const eval::SimulationProfile profile = bench::default_profile();
+  const auto pop = eval::make_population();
+  const core::LuminanceExtractor extractor(profile.detector_config());
+
+  // "With screen light change": the standard legitimate session.
+  const eval::DatasetBuilder data(profile);
+  const chat::SessionTrace active = data.legit_trace(pop[0], 1);
+  const signal::Signal with_change =
+      extractor.received_signal(active.received).luminance;
+
+  // "Without screen light change": Alice never moves the metering spot.
+  chat::AliceSpec alice_spec;
+  chat::AliceStream alice(alice_spec,
+                          {chat::MeterEvent{0.0, chat::MeterTarget::kShelf}},
+                          11);
+  chat::LegitimateRespondent bob(chat::LegitimateSpec{}, 12);
+  const chat::SessionTrace still =
+      chat::run_session(profile.session_spec(), alice, bob, 13);
+  const signal::Signal without_change =
+      extractor.received_signal(still.received).luminance;
+
+  const double rate = profile.sample_rate_hz;
+  const auto spec_with = signal::magnitude_spectrum(with_change, rate);
+  const auto spec_without = signal::magnitude_spectrum(without_change, rate);
+
+  bench::row("%-12s %-18s %-18s", "freq (Hz)", "mag w/ change",
+             "mag w/o change");
+  for (std::size_t k = 0; k < spec_with.size(); k += 4) {
+    bench::row("%-12.2f %-18.4f %-18.4f", spec_with[k].frequency_hz,
+               spec_with[k].magnitude, spec_without[k].magnitude);
+  }
+
+  const double ratio_with = signal::band_energy_ratio(with_change, rate, 1.0);
+  const double ratio_without =
+      signal::band_energy_ratio(without_change, rate, 1.0);
+  std::printf("\nenergy fraction below 1 Hz: %.1f%% (w/ change) vs %.1f%% "
+              "(w/o change)\n",
+              100.0 * ratio_with, 100.0 * ratio_without);
+  std::printf("paper: screen-light changes concentrate energy under 1 Hz\n"
+              "(cut-off chosen there); without changes the spectrum is\n"
+              "noise-dominated and flat-ish.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Fig. 7: the preprocessing chain on a real session — (a) raw vs low-passed
+// luminance, (b) short-time variance, (c) smoothed variance with the
+// detected significant changes. Prints compact per-stage statistics and the
+// final change timestamps for a legitimate and an attack session.
+// (examples/signal_pipeline_demo dumps the full per-sample series as CSV.)
+#include <cstdio>
+
+#include "common.hpp"
+#include "core/luminance_extractor.hpp"
+#include "core/preprocess.hpp"
+#include "signal/stats.hpp"
+
+namespace {
+
+void describe(const char* name, const lumichat::signal::Signal& s) {
+  using namespace lumichat;
+  if (s.empty()) {
+    std::printf("  %-22s (empty)\n", name);
+    return;
+  }
+  std::printf("  %-22s n=%3zu  min=%8.2f  max=%8.2f  mean=%8.2f\n", name,
+              s.size(), signal::min_value(s), signal::max_value(s),
+              signal::mean(s));
+}
+
+}  // namespace
+
+int main() {
+  using namespace lumichat;
+
+  bench::header("Fig. 7 reproduction: preprocessing stages");
+
+  const eval::SimulationProfile profile = bench::default_profile();
+  const eval::DatasetBuilder data(profile);
+  const auto pop = eval::make_population();
+  const core::LuminanceExtractor extractor(profile.detector_config());
+  const core::Preprocessor pre(profile.detector_config());
+
+  for (const bool attacker : {false, true}) {
+    const chat::SessionTrace trace = attacker
+                                         ? data.attacker_trace(pop[0], 7)
+                                         : data.legit_trace(pop[0], 7);
+    std::printf("\n--- %s session ---\n", attacker ? "attack" : "legitimate");
+    for (const bool received : {false, true}) {
+      const signal::Signal raw =
+          received ? extractor.received_signal(trace.received).luminance
+                   : extractor.transmitted_signal(trace.transmitted);
+      const core::PreprocessResult r =
+          received ? pre.process_received(raw) : pre.process_transmitted(raw);
+      std::printf("%s signal:\n", received ? "received (face)"
+                                           : "transmitted (screen)");
+      describe("raw luminance", raw);
+      describe("low-passed (1 Hz)", r.filtered);
+      describe("variance (win 10)", r.variance);
+      describe("smoothed variance", r.smoothed_variance);
+      std::printf("  significant changes at:");
+      for (const double t : r.change_times_s) std::printf(" %.1fs", t);
+      std::printf("\n");
+    }
+  }
+
+  std::printf(
+      "\npaper: legitimate sessions show matching rising/falling edges in\n"
+      "both signals (green bands in Fig. 7); the attack session's received\n"
+      "changes land at unrelated times.\n");
+  return 0;
+}

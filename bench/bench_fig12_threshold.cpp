@@ -1,0 +1,70 @@
+// Fig. 12: influence of the decision threshold tau. Sweeps tau over
+// [1.5, 4.0] and reports the mean false acceptance rate and false rejection
+// rate, plus the interpolated equal error rate. Paper: balanced FAR/FRR at
+// tau in [2.8, 3.0] with EER ~5.5%.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lumichat;
+  const bench::BenchScale scale = bench::parse_scale(argc, argv);
+
+  bench::header("Fig. 12 reproduction: FAR / FRR vs decision threshold");
+
+  const eval::SimulationProfile profile = bench::default_profile();
+  const eval::DatasetBuilder data(profile);
+
+  const auto legit = bench::features_per_user(data, scale.n_users,
+                                              scale.n_clips,
+                                              eval::Role::kLegitimate);
+  const auto attack = bench::features_per_user(data, scale.n_users,
+                                               scale.n_clips,
+                                               eval::Role::kAttacker);
+
+  // Collect LOF scores once (threshold application is then free): per user,
+  // per round, train on 20 and score the held-out legit + all attack clips.
+  const std::size_t n_train = scale.n_clips / 2;
+  common::Rng rng(profile.master_seed + 2000);
+  std::vector<double> legit_scores;
+  std::vector<double> attack_scores;
+  for (std::size_t u = 0; u < scale.n_users; ++u) {
+    for (std::size_t round = 0; round < scale.n_rounds / 4 + 1; ++round) {
+      const eval::Split split =
+          eval::random_split(scale.n_clips, n_train, rng);
+      core::Detector det = data.make_detector();
+      det.train_on_features(eval::select(legit[u], split.train));
+      for (const std::size_t i : split.test) {
+        legit_scores.push_back(det.classify(legit[u][i]).lof_score);
+      }
+      for (const auto& z : attack[u]) {
+        attack_scores.push_back(det.classify(z).lof_score);
+      }
+    }
+  }
+
+  std::vector<eval::RatePoint> sweep;
+  bench::row("%-8s %-10s %-10s", "tau", "FAR", "FRR");
+  for (double tau = 1.5; tau <= 4.001; tau += 0.1) {
+    std::size_t fa = 0;
+    for (const double s : attack_scores) {
+      if (s <= tau) ++fa;
+    }
+    std::size_t fr = 0;
+    for (const double s : legit_scores) {
+      if (s > tau) ++fr;
+    }
+    eval::RatePoint p;
+    p.threshold = tau;
+    p.far = static_cast<double>(fa) / static_cast<double>(attack_scores.size());
+    p.frr = static_cast<double>(fr) / static_cast<double>(legit_scores.size());
+    sweep.push_back(p);
+    bench::row("%-8.1f %-10.3f %-10.3f", tau, p.far, p.frr);
+  }
+
+  std::printf("\nEER = %.3f\n", eval::equal_error_rate(sweep));
+  std::printf("paper: FAR/FRR balance near tau in [2.8, 3.0], EER ~0.055;\n"
+              "shape check: FAR rises and FRR falls with tau, crossing at a\n"
+              "single-digit-percent error rate.\n");
+  return 0;
+}

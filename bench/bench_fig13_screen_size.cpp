@@ -1,0 +1,70 @@
+// Fig. 13: influence of screen size. The defense's signal is the light the
+// screen throws on the face, so smaller panels mean weaker modulation.
+// Paper: best with the 27" monitor, still ~85% TAR with the smallest
+// monitor, and the 6" phone only works when held ~10 cm from the face.
+#include <cstdio>
+
+#include "common.hpp"
+
+namespace {
+
+struct ScreenCase {
+  const char* label;
+  lumichat::optics::ScreenSpec spec;
+  double distance_m;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lumichat;
+  const bench::BenchScale scale =
+      bench::parse_scale(argc, argv, {.n_users = 4, .n_clips = 20});
+
+  bench::header("Fig. 13 reproduction: TAR / TRR vs screen size");
+
+  const ScreenCase cases[] = {
+      {"27in monitor", optics::dell_27in_led(), 0.55},
+      {"24in monitor", optics::monitor_24in(), 0.55},
+      {"21.5in monitor", optics::monitor_21in(), 0.55},
+      {"6in phone @55cm", optics::phone_6in(), 0.55},
+      {"6in phone @10cm", optics::phone_6in(), 0.10},
+  };
+
+  bench::row("%-18s %-10s %-10s", "screen", "TAR", "TRR");
+  for (const ScreenCase& sc : cases) {
+    eval::SimulationProfile profile = bench::default_profile();
+    profile.bob_screen = sc.spec;
+    profile.bob_screen_distance_m = sc.distance_m;
+    const eval::DatasetBuilder data(profile);
+
+    const auto legit = bench::features_per_user(data, scale.n_users,
+                                                scale.n_clips,
+                                                eval::Role::kLegitimate);
+    const auto attack = bench::features_per_user(data, scale.n_users,
+                                                 scale.n_clips,
+                                                 eval::Role::kAttacker);
+
+    common::Rng rng(profile.master_seed + 3000);
+    std::vector<double> tars;
+    std::vector<double> trrs;
+    for (std::size_t u = 0; u < scale.n_users; ++u) {
+      for (std::size_t round = 0; round < scale.n_rounds / 4 + 1; ++round) {
+        const eval::Split split =
+            eval::random_split(scale.n_clips, scale.n_clips / 2, rng);
+        const eval::RoundResult r = eval::evaluate_round(
+            data, eval::select(legit[u], split.train),
+            eval::select(legit[u], split.test), attack[u]);
+        tars.push_back(r.tar);
+        trrs.push_back(r.trr);
+      }
+    }
+    bench::row("%-18s %-10.3f %-10.3f", sc.label, eval::sample_mean(tars),
+               eval::sample_mean(trrs));
+  }
+
+  std::printf("\npaper: monotone degradation with shrinking screen area;\n"
+              "~85%% TAR on the smallest monitor; the phone only recovers\n"
+              "when held ~10 cm from the face.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fig. 15: influence of the number of training instances (one volunteer).
+// Paper: 8 instances already give TAR ~92.25% / TRR ~91%; 20 instances
+// raise them to ~94.75% / ~95.75% and cut the standard deviations by up to
+// 8.8 percentage points.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lumichat;
+  const bench::BenchScale scale =
+      bench::parse_scale(argc, argv, {.n_users = 1, .n_clips = 40});
+
+  bench::header("Fig. 15 reproduction: accuracy vs training-set size");
+
+  const eval::SimulationProfile profile = bench::default_profile();
+  const eval::DatasetBuilder data(profile);
+  const auto pop = eval::make_population();
+
+  std::fprintf(stderr, "  [data] generating %zu legit + %zu attack clips\n",
+               scale.n_clips, scale.n_clips);
+  const auto legit =
+      data.features(pop[0], eval::Role::kLegitimate, scale.n_clips);
+  const auto attack =
+      data.features(pop[0], eval::Role::kAttacker, scale.n_clips);
+
+  common::Rng rng(profile.master_seed + 5000);
+  bench::row("%-14s %-10s %-12s %-10s %-12s", "train size", "TAR",
+             "TAR stddev", "TRR", "TRR stddev");
+  for (const std::size_t n_train : {6ul, 8ul, 12ul, 16ul, 20ul}) {
+    std::vector<double> tars;
+    std::vector<double> trrs;
+    for (std::size_t round = 0; round < scale.n_rounds; ++round) {
+      const eval::Split split =
+          eval::random_split(scale.n_clips, n_train, rng);
+      // Test on 20 held-out legit instances (fixed-size test set so the
+      // sweep varies only the training side).
+      std::vector<std::size_t> test(split.test.begin(),
+                                    split.test.begin() +
+                                        static_cast<std::ptrdiff_t>(std::min(
+                                            split.test.size(), 20ul)));
+      const eval::RoundResult r = eval::evaluate_round(
+          data, eval::select(legit, split.train), eval::select(legit, test),
+          attack);
+      tars.push_back(r.tar);
+      trrs.push_back(r.trr);
+    }
+    bench::row("%-14zu %-10.3f %-12.3f %-10.3f %-12.3f", n_train,
+               eval::sample_mean(tars), eval::sample_stddev(tars),
+               eval::sample_mean(trrs), eval::sample_stddev(trrs));
+  }
+
+  std::printf("\npaper: usable from ~8 instances (TAR 0.92 / TRR 0.91);\n"
+              "20 instances slightly better and much tighter.\n");
+  return 0;
+}

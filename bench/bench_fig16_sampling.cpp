@@ -1,0 +1,50 @@
+// Fig. 16: influence of the video sampling rate (one volunteer). The whole
+// pipeline — session simulation, extraction, filter windows — runs at the
+// configured rate. Paper: 10 Hz and 8 Hz are fine (>= 95.25% at 8 Hz), at
+// 5 Hz the TAR slips to ~86% and the TRR collapses to ~48%.
+#include <cstdio>
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lumichat;
+  const bench::BenchScale scale =
+      bench::parse_scale(argc, argv, {.n_users = 1, .n_clips = 30});
+
+  bench::header("Fig. 16 reproduction: accuracy vs sampling rate");
+
+  const auto pop = eval::make_population();
+  bench::row("%-12s %-10s %-10s", "rate (Hz)", "TAR", "TRR");
+  for (const double rate : {5.0, 8.0, 10.0}) {
+    eval::SimulationProfile profile = bench::default_profile();
+    profile.sample_rate_hz = rate;
+    const eval::DatasetBuilder data(profile);
+
+    std::fprintf(stderr, "  [data] rate %.0f Hz: %zu legit + %zu attack\n",
+                 rate, scale.n_clips, scale.n_clips);
+    const auto legit =
+        data.features(pop[0], eval::Role::kLegitimate, scale.n_clips);
+    const auto attack =
+        data.features(pop[0], eval::Role::kAttacker, scale.n_clips);
+
+    common::Rng rng(profile.master_seed + 6000);
+    std::vector<double> tars;
+    std::vector<double> trrs;
+    for (std::size_t round = 0; round < scale.n_rounds; ++round) {
+      const eval::Split split =
+          eval::random_split(scale.n_clips, scale.n_clips / 2, rng);
+      const eval::RoundResult r = eval::evaluate_round(
+          data, eval::select(legit, split.train),
+          eval::select(legit, split.test), attack);
+      tars.push_back(r.tar);
+      trrs.push_back(r.trr);
+    }
+    bench::row("%-12.0f %-10.3f %-10.3f", rate, eval::sample_mean(tars),
+               eval::sample_mean(trrs));
+  }
+
+  std::printf("\npaper: >= 8 Hz required; at 5 Hz the smoothing windows\n"
+              "(specified in samples) double in seconds, change\n"
+              "localisation fails, and the TRR collapses (~0.48).\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Fig. 17: effectiveness against the strong (adaptive) attacker of
+// Sec. VIII-J — one who forges the correct reflected-luminance signal but
+// with a processing delay. Paper: the rejection rate climbs quickly,
+// reaching ~80% at a 1.3 s delay; real reenactment pipelines cannot beat
+// that latency, so even the strongest attacker fails.
+#include <cstdio>
+
+#include "common.hpp"
+#include "reenact/cost_model.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lumichat;
+  const bench::BenchScale scale =
+      bench::parse_scale(argc, argv, {.n_users = 2, .n_clips = 15});
+
+  bench::header("Fig. 17 reproduction: rejection rate vs forgery delay");
+
+  const eval::SimulationProfile profile = bench::default_profile();
+  const eval::DatasetBuilder data(profile);
+  const auto pop = eval::make_population();
+
+  // Train once on legitimate data (own-data mode, volunteer 9).
+  const auto train = data.features(pop[9], eval::Role::kLegitimate, 20);
+  core::Detector det = data.make_detector();
+  det.train_on_features(train);
+
+  bench::row("%-12s %-16s", "delay (s)", "rejection rate");
+  for (const double delay :
+       {0.0, 0.3, 0.6, 0.9, 1.1, 1.3, 1.6, 2.0, 2.5}) {
+    eval::AttemptCounts counts;
+    for (std::size_t u = 0; u < scale.n_users; ++u) {
+      const auto feats = data.features(pop[u], eval::Role::kAdaptiveAttacker,
+                                       scale.n_clips, delay);
+      for (const auto& z : feats) {
+        counts.add_attacker(det.classify(z).is_attacker);
+      }
+    }
+    bench::row("%-12.1f %-16.3f", delay, counts.trr());
+  }
+
+  // Context: what delays real pipelines can achieve (Sec. III-A argument).
+  reenact::AttackPipelineCosts face2face_plus_relight;
+  face2face_plus_relight.reenactment_ms = 36.0;
+  face2face_plus_relight.light_estimation_ms = 300.0;
+  face2face_plus_relight.relighting_ms = 900.0;
+  std::printf(
+      "\ncost model: Face2Face (36 ms/frame) + light estimation + "
+      "relighting\n  -> forgery delay %.2f s, %.1f fps sustained\n",
+      reenact::forgery_delay_s(face2face_plus_relight),
+      reenact::achievable_fps(face2face_plus_relight));
+
+  std::printf("\npaper: near-FRR rejection at delay 0 (a perfect, instant\n"
+              "forgery is optically legitimate), rising to ~0.8 by 1.3 s\n"
+              "and higher beyond — the delay wall real pipelines hit.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Extended security analysis (beyond the paper): the cheap gain-tracking
+// attacker — global brightness modulation instead of physical relighting.
+// Sweeps the estimation latency and the attacker's gain-calibration error;
+// shows the same Fig. 17 delay wall plus a second wall from gain mismatch.
+#include <cstdio>
+
+#include "common.hpp"
+#include "reenact/gain_tracking.hpp"
+
+namespace {
+
+using namespace lumichat;
+
+chat::SessionTrace gain_attack_trace(const eval::SimulationProfile& profile,
+                                     const eval::Volunteer& victim,
+                                     double delay_s, double gain_match,
+                                     std::uint64_t seed) {
+  common::Rng rng(seed);
+  chat::AliceSpec alice_spec;
+  chat::AliceStream alice(
+      alice_spec, chat::make_metering_script(profile.clip_duration_s, rng),
+      seed);
+  reenact::GainTrackingSpec spec;
+  spec.reenactor.victim = victim.face;
+  // The target video underneath still carries its own (wrong-time) changes;
+  // slow them down so the tracked modulation dominates — the attacker's
+  // best case.
+  spec.reenactor.target_env.min_step_gap_s = 8.0;
+  spec.reenactor.target_env.max_step_gap_s = 14.0;
+  spec.processing_delay_s = delay_s;
+  spec.gain_match = gain_match;
+  reenact::GainTrackingAttacker attacker(spec,
+                                         common::derive_seed(seed, 5));
+  return chat::run_session(profile.session_spec(), alice, attacker,
+                           common::derive_seed(seed, 6));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchScale scale =
+      bench::parse_scale(argc, argv, {.n_users = 2, .n_clips = 12});
+
+  bench::header("Security analysis: gain-tracking (cheap relight) attacker");
+
+  const eval::SimulationProfile profile = bench::default_profile();
+  const eval::DatasetBuilder data(profile);
+  const auto pop = eval::make_population();
+  core::Detector det = data.make_detector();
+  det.train_on_features(data.features(pop[9], eval::Role::kLegitimate, 20));
+
+  std::printf("rejection rate by (estimation delay, gain calibration)\n\n");
+  std::printf("%-12s", "delay (s)");
+  const double gains[] = {0.25, 0.5, 1.0, 2.0};
+  for (const double g : gains) std::printf(" gain=%-6.2f", g);
+  std::printf("\n");
+
+  for (const double delay : {0.0, 0.3, 0.6, 1.0, 1.5}) {
+    std::printf("%-12.1f", delay);
+    for (const double g : gains) {
+      eval::AttemptCounts counts;
+      for (std::size_t u = 0; u < scale.n_users; ++u) {
+        for (std::size_t c = 0; c < scale.n_clips / 2; ++c) {
+          const auto trace = gain_attack_trace(
+              profile, pop[u], delay, g,
+              40000 + u * 1000 + c * 10 +
+                  static_cast<std::uint64_t>(delay * 10) * 100000);
+          counts.add_attacker(det.detect(trace).is_attacker);
+        }
+      }
+      std::printf(" %-11.2f", counts.trr());
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nreading: a perfectly calibrated (gain=1) instant (delay=0) tracker\n"
+      "defeats the luminance channel — as the paper concedes for any perfect\n"
+      "instant forgery — but real pipelines sit right of the delay wall, and\n"
+      "calibration errors (wrong screen/albedo guess) re-expose them.\n");
+  return 0;
+}

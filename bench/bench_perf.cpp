@@ -1,0 +1,120 @@
+// Sec. IX computation-overhead micro-benchmarks (google-benchmark).
+//
+// The paper's claim: feature extraction + classification for one 15-second
+// clip complete "within 0.2 seconds" even in a naive Matlab/Python
+// implementation, and landmark detection runs at hundreds of fps — i.e. the
+// defense is cheap enough for phones. These benchmarks measure our C++
+// implementation of each stage.
+#include <benchmark/benchmark.h>
+
+#include "core/detector.hpp"
+#include "core/luminance_extractor.hpp"
+#include "core/preprocess.hpp"
+#include "eval/dataset.hpp"
+#include "eval/population.hpp"
+#include "face/landmark_detector.hpp"
+#include "face/renderer.hpp"
+#include "optics/camera.hpp"
+
+namespace {
+
+using namespace lumichat;
+
+// Shared expensive fixtures, built once.
+struct Fixtures {
+  eval::SimulationProfile profile;
+  eval::DatasetBuilder data{profile};
+  chat::SessionTrace trace;
+  core::LuminanceExtractor extractor{profile.detector_config()};
+  core::Preprocessor pre{profile.detector_config()};
+  core::FeatureExtractor fx{profile.detector_config()};
+  core::Detector detector{profile.detector_config()};
+  signal::Signal t_raw;
+  signal::Signal r_raw;
+  core::PreprocessResult t_pre;
+  core::PreprocessResult r_pre;
+  core::FeatureVector feature;
+  image::Image face_frame;
+
+  Fixtures() {
+    const auto pop = eval::make_population();
+    trace = data.legit_trace(pop[0], 0);
+    t_raw = extractor.transmitted_signal(trace.transmitted);
+    r_raw = extractor.received_signal(trace.received).luminance;
+    t_pre = pre.process_transmitted(t_raw);
+    r_pre = pre.process_received(r_raw);
+    feature = fx.extract(t_pre, r_pre).features;
+    detector.train_on_features(
+        data.features(pop[9], eval::Role::kLegitimate, 20));
+    face_frame = trace.received.frames[50];
+  }
+};
+
+Fixtures& fixtures() {
+  static Fixtures f;
+  return f;
+}
+
+void BM_LandmarkDetectionPerFrame(benchmark::State& state) {
+  Fixtures& f = fixtures();
+  const face::LandmarkDetector det;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(det.detect(f.face_frame));
+  }
+}
+BENCHMARK(BM_LandmarkDetectionPerFrame);
+
+void BM_LuminanceExtraction15sClip(benchmark::State& state) {
+  Fixtures& f = fixtures();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.extractor.received_signal(f.trace.received));
+  }
+}
+BENCHMARK(BM_LuminanceExtraction15sClip);
+
+void BM_Preprocess15sSignal(benchmark::State& state) {
+  Fixtures& f = fixtures();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.pre.process_received(f.r_raw));
+  }
+}
+BENCHMARK(BM_Preprocess15sSignal);
+
+void BM_FeatureExtraction(benchmark::State& state) {
+  Fixtures& f = fixtures();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.fx.extract(f.t_pre, f.r_pre));
+  }
+}
+BENCHMARK(BM_FeatureExtraction);
+
+void BM_LofClassification(benchmark::State& state) {
+  Fixtures& f = fixtures();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.detector.classify(f.feature));
+  }
+}
+BENCHMARK(BM_LofClassification);
+
+// The Sec. IX headline: everything after video capture, for one 15 s clip.
+void BM_DetectFull15sClip(benchmark::State& state) {
+  Fixtures& f = fixtures();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.detector.detect(f.trace));
+  }
+}
+BENCHMARK(BM_DetectFull15sClip)->Unit(benchmark::kMillisecond);
+
+void BM_LofTraining20Instances(benchmark::State& state) {
+  Fixtures& f = fixtures();
+  const auto train = f.data.features(eval::make_population()[9],
+                                     eval::Role::kLegitimate, 20);
+  for (auto _ : state) {
+    core::Detector det(f.profile.detector_config());
+    det.train_on_features(train);
+    benchmark::DoNotOptimize(det);
+  }
+}
+BENCHMARK(BM_LofTraining20Instances);
+
+}  // namespace

@@ -1,0 +1,111 @@
+// Robustness sweep beyond the paper's evaluation: codec compression level,
+// network loss, occlusion rate. Shows how far the defense's operating
+// conditions stretch before accuracy degrades — the practical-deployment
+// questions Sec. IX leaves open.
+#include <cstdio>
+
+#include "common.hpp"
+#include "reenact/reenactor.hpp"
+
+namespace {
+
+using namespace lumichat;
+
+struct Condition {
+  const char* label;
+  double compression = 0.25;
+  double drop_probability = 0.01;
+  double occlusion_rate_hz = 0.0;
+};
+
+// Runs the standard protocol under a custom condition (the DatasetBuilder
+// covers the default path; this builds sessions by hand).
+eval::RoundResult run_condition(const Condition& cond,
+                                const eval::SimulationProfile& profile,
+                                std::size_t n_users, std::size_t n_clips) {
+  const auto pop = eval::make_population();
+  const eval::DatasetBuilder data(profile);
+  core::Detector det = data.make_detector();
+
+  chat::SessionSpec session = profile.session_spec();
+  session.codec.compression = cond.compression;
+  session.bob_to_alice.drop_probability = cond.drop_probability;
+
+  auto legit_trace = [&](std::size_t u, std::uint64_t seed) {
+    common::Rng rng(seed);
+    chat::AliceSpec alice_spec;
+    chat::AliceStream alice(
+        alice_spec, chat::make_metering_script(session.duration_s, rng),
+        seed);
+    chat::LegitimateSpec bob;
+    bob.face = pop[u].face;
+    bob.dynamics.occlusion_rate_hz = cond.occlusion_rate_hz;
+    chat::LegitimateRespondent respondent(bob,
+                                          common::derive_seed(seed, 1));
+    return chat::run_session(session, alice, respondent,
+                             common::derive_seed(seed, 2));
+  };
+  auto attack_trace = [&](std::size_t u, std::uint64_t seed) {
+    common::Rng rng(seed);
+    chat::AliceSpec alice_spec;
+    chat::AliceStream alice(
+        alice_spec, chat::make_metering_script(session.duration_s, rng),
+        seed);
+    reenact::ReenactorSpec spec;
+    spec.victim = pop[u].face;
+    reenact::ReenactmentAttacker attacker(spec,
+                                          common::derive_seed(seed, 3));
+    return chat::run_session(session, alice, attacker,
+                             common::derive_seed(seed, 4));
+  };
+
+  // Train on the first half of user 9's legit clips under the SAME
+  // condition (deployment would calibrate in situ).
+  std::vector<core::FeatureVector> train;
+  for (std::size_t c = 0; c < 12; ++c) {
+    train.push_back(det.featurize(legit_trace(9, 10000 + c)).features);
+  }
+  det.train_on_features(train);
+
+  eval::AttemptCounts counts;
+  for (std::size_t u = 0; u < n_users; ++u) {
+    for (std::size_t c = 0; c < n_clips; ++c) {
+      const std::uint64_t seed = 20000 + u * 1000 + c;
+      counts.add_legit(!det.detect(legit_trace(u, seed)).is_attacker);
+      counts.add_attacker(det.detect(attack_trace(u, seed)).is_attacker);
+    }
+  }
+  return eval::RoundResult{counts.tar(), counts.trr()};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bench::BenchScale scale =
+      bench::parse_scale(argc, argv, {.n_users = 2, .n_clips = 12});
+  bench::header("Robustness sweep: codec / network loss / occlusions");
+
+  const eval::SimulationProfile profile = bench::default_profile();
+  const Condition conditions[] = {
+      {"baseline (codec 0.25)", 0.25, 0.01, 0.0},
+      {"no codec", 0.0, 0.01, 0.0},
+      {"codec 0.5", 0.5, 0.01, 0.0},
+      {"codec 0.8", 0.8, 0.01, 0.0},
+      {"10% frame loss", 0.25, 0.10, 0.0},
+      {"20% frame loss", 0.25, 0.20, 0.0},
+      {"occlusions 0.1/s", 0.25, 0.01, 0.1},
+  };
+
+  bench::row("%-24s %-10s %-10s", "condition", "TAR", "TRR");
+  for (const Condition& c : conditions) {
+    std::fprintf(stderr, "  [data] %s\n", c.label);
+    const eval::RoundResult r =
+        run_condition(c, profile, scale.n_users, scale.n_clips / 2);
+    bench::row("%-24s %-10.3f %-10.3f", c.label, r.tar, r.trr);
+  }
+
+  std::printf("\nexpected: graceful degradation — light compression and\n"
+              "realistic loss rates barely move accuracy; heavy compression\n"
+              "and frequent occlusions erode the TAR first.\n");
+  return 0;
+}

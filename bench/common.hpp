@@ -1,0 +1,80 @@
+// Shared plumbing for the figure-reproduction benches: default simulation
+// profile, dataset caching per (volunteer, role), table printing, and a tiny
+// argv override so heavy benches can be scaled down for smoke runs:
+//
+//   ./bench_fig11_overall            # paper-scale protocol
+//   ./bench_fig11_overall 4 10       # 4 volunteers, 10 clips per role
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/detector.hpp"
+#include "eval/dataset.hpp"
+#include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
+#include "eval/population.hpp"
+
+namespace lumichat::bench {
+
+/// Scale parameters, overridable from argv.
+struct BenchScale {
+  std::size_t n_users = eval::kPopulationSize;
+  std::size_t n_clips = eval::kClipsPerRole;
+  std::size_t n_rounds = 20;
+};
+
+inline BenchScale parse_scale(int argc, char** argv, BenchScale defaults = {}) {
+  BenchScale s = defaults;
+  if (argc > 1) s.n_users = std::strtoul(argv[1], nullptr, 10);
+  if (argc > 2) s.n_clips = std::strtoul(argv[2], nullptr, 10);
+  if (argc > 3) s.n_rounds = std::strtoul(argv[3], nullptr, 10);
+  if (s.n_users == 0 || s.n_users > eval::kPopulationSize) {
+    s.n_users = eval::kPopulationSize;
+  }
+  // Half the clips train the LOF model, which needs at least k+1 = 6
+  // vectors; keep a little margin on top.
+  if (s.n_clips < 12) s.n_clips = 12;
+  if (s.n_rounds == 0) s.n_rounds = 1;
+  return s;
+}
+
+/// The headline evaluation profile (27" screen at 85% brightness, 60 lux
+/// ambient, 10 Hz sampling, tau = 3, k = 5) used by every bench unless the
+/// experiment itself sweeps one of the knobs.
+inline eval::SimulationProfile default_profile() {
+  return eval::SimulationProfile{};
+}
+
+/// Computes features for `n_clips` clips of each of the first `n_users`
+/// volunteers in `role`, with progress on stderr (dataset generation is the
+/// slow part of every bench).
+inline std::vector<std::vector<core::FeatureVector>> features_per_user(
+    const eval::DatasetBuilder& data, std::size_t n_users, std::size_t n_clips,
+    eval::Role role, double adaptive_delay_s = 0.0) {
+  const auto pop = eval::make_population();
+  std::vector<std::vector<core::FeatureVector>> out;
+  out.reserve(n_users);
+  for (std::size_t u = 0; u < n_users; ++u) {
+    std::fprintf(stderr, "  [data] role=%d volunteer %zu/%zu (%zu clips)\n",
+                 static_cast<int>(role), u + 1, n_users, n_clips);
+    out.push_back(data.features(pop[u], role, n_clips, adaptive_delay_s));
+  }
+  return out;
+}
+
+/// Prints a markdown-ish table row.
+template <typename... Args>
+void row(const char* fmt, Args... args) {
+  std::printf(fmt, args...);
+  std::printf("\n");
+}
+
+inline void header(const std::string& title) {
+  std::printf("\n== %s ==\n", title.c_str());
+}
+
+}  // namespace lumichat::bench

@@ -1,0 +1,44 @@
+// Prints the z1..z4 feature vectors and LOF scores of legitimate and
+// attack clips — the data behind the paper's Fig. 9 feature-hyperplane
+// illustration. Useful for eyeballing class separation:
+//
+//   $ ./feature_scatter [n_clips_per_class] > scatter.csv
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "eval/dataset.hpp"
+#include "eval/population.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lumichat;
+
+  std::size_t n = 20;
+  if (argc > 1) n = static_cast<std::size_t>(std::strtoul(argv[1], nullptr, 10));
+
+  eval::SimulationProfile profile;
+  eval::DatasetBuilder data(profile);
+  const auto people = eval::make_population();
+
+  // Train on legitimate clips of a volunteer NOT scored below, per the
+  // paper's "train with others' data" deployment mode.
+  const auto train = data.features(people[9], eval::Role::kLegitimate, 20);
+  core::Detector det = data.make_detector();
+  det.train_on_features(train);
+
+  std::printf("role,volunteer,clip,z1,z2,z3,z4,lof\n");
+  for (std::size_t v = 0; v < 3; ++v) {
+    for (std::size_t c = 0; c < n; ++c) {
+      for (const bool attacker : {false, true}) {
+        const chat::SessionTrace tr = attacker
+                                          ? data.attacker_trace(people[v], c)
+                                          : data.legit_trace(people[v], c);
+        const core::DetectionResult r = det.detect(tr);
+        std::printf("%s,%zu,%zu,%.3f,%.3f,%.3f,%.3f,%.3f\n",
+                    attacker ? "attacker" : "legit", v, c, r.features.z1,
+                    r.features.z2, r.features.z3, r.features.z4, r.lof_score);
+      }
+    }
+  }
+  return 0;
+}

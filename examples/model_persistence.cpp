@@ -1,0 +1,57 @@
+// Deployment workflow: train the LOF model once (e.g. at the vendor, on a
+// pool of legitimate clips), persist it, and load it on any device — the
+// "quickly launched on new devices" story of the paper, made concrete.
+//
+//   $ ./model_persistence /tmp/lumichat_model.txt
+#include <cstdio>
+
+#include "core/calibration.hpp"
+#include "core/model_io.hpp"
+#include "eval/dataset.hpp"
+#include "eval/population.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lumichat;
+  const std::string path =
+      argc > 1 ? argv[1] : "/tmp/lumichat_model.txt";
+
+  eval::SimulationProfile profile;
+  eval::DatasetBuilder data(profile);
+  const auto people = eval::make_population();
+
+  // --- Vendor side: gather legitimate clips, auto-calibrate tau, save. ---
+  std::printf("[vendor] collecting 24 legitimate clips (volunteer 9)...\n");
+  const auto legit = data.features(people[9], eval::Role::kLegitimate, 24);
+
+  const core::CalibrationResult cal =
+      core::calibrate_threshold(legit, profile.detector.lof_neighbors,
+                                /*target_frr=*/0.05);
+  std::printf("[vendor] calibrated tau=%.2f (estimated FRR %.1f%%)\n",
+              cal.tau, 100.0 * cal.estimated_frr);
+
+  core::DetectorConfig cfg = profile.detector_config();
+  cfg.lof_threshold = cal.tau;
+  core::save_model(core::model_state_of(cfg, legit), path);
+  std::printf("[vendor] model written to %s\n\n", path.c_str());
+
+  // --- Device side: load, detect, no training data needed locally. ---
+  std::printf("[device] loading model...\n");
+  const core::ModelState state = core::load_model(path);
+  core::Detector detector =
+      core::make_detector_from_model(state, profile.detector_config());
+  std::printf("[device] ready (k=%zu tau=%.2f, %zu training vectors)\n",
+              state.k, state.tau, state.training.size());
+
+  const auto legit_result =
+      detector.detect(data.legit_trace(people[2], 300));
+  const auto attack_result =
+      detector.detect(data.attacker_trace(people[2], 300));
+  std::printf("[device] legitimate chat -> %s (LOF %.2f)\n",
+              legit_result.is_attacker ? "REJECT" : "accept",
+              legit_result.lof_score);
+  std::printf("[device] reenactment attack -> %s (LOF %.2f)\n",
+              attack_result.is_attacker ? "REJECT" : "accept",
+              attack_result.lof_score);
+
+  return (!legit_result.is_attacker && attack_result.is_attacker) ? 0 : 1;
+}

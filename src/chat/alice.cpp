@@ -1,0 +1,94 @@
+#include "chat/alice.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace lumichat::chat {
+namespace {
+
+// Normalised metering-spot coordinates of each target in Alice's scene.
+optics::NormPoint spot_for(MeterTarget t) {
+  switch (t) {
+    case MeterTarget::kWindow:
+      return {0.08, 0.30};
+    case MeterTarget::kShelf:
+      return {0.92, 0.35};
+    case MeterTarget::kFace:
+      return {0.50, 0.45};
+  }
+  return {0.5, 0.5};
+}
+
+}  // namespace
+
+std::vector<MeterEvent> make_metering_script(double duration_s,
+                                             common::Rng& rng,
+                                             double min_gap_s,
+                                             double max_gap_s) {
+  // The user alternates between a clearly bright and a clearly dark area
+  // (Sec. II-B: "moving the metering spot between high-luminance and
+  // low-luminance areas"). A mid-luminance target would produce weak,
+  // ambiguous exposure steps that even a legitimate reflection cannot
+  // reproduce reliably.
+  std::vector<MeterEvent> script;
+  MeterTarget current = rng.chance(0.5) ? MeterTarget::kWindow
+                                        : MeterTarget::kShelf;
+  script.push_back(MeterEvent{0.0, current});
+  double t = rng.uniform(1.0, 1.8);  // first touch early in the clip
+  // Leave room at the end: the reflection of a touch needs the smoothing
+  // support (~2.5 s) to register before the clip is cut.
+  const double last_usable = duration_s - 2.5;
+  while (t < last_usable) {
+    current = current == MeterTarget::kWindow ? MeterTarget::kShelf
+                                              : MeterTarget::kWindow;
+    script.push_back(MeterEvent{t, current});
+    t += rng.uniform(min_gap_s, max_gap_s);
+  }
+  return script;
+}
+
+AliceStream::AliceStream(AliceSpec spec, std::vector<MeterEvent> script,
+                         std::uint64_t seed)
+    : spec_(spec), script_(std::move(script)), rng_(seed),
+      renderer_(spec_.face, spec_.render),
+      dynamics_(face::DynamicsSpec{}, spec_.face.blink_rate_hz,
+                spec_.face.talking, common::derive_seed(seed, 1)),
+      camera_(spec_.camera, common::derive_seed(seed, 2)) {
+  // Apply the initial metering target immediately so it also holds during
+  // any pre-recording warm-up (a t=0 event must not read as a touch).
+  while (next_event_ < script_.size() && script_[next_event_].t_sec <= 0.0) {
+    camera_.set_metering_spot(spot_for(script_[next_event_].target));
+    ++next_event_;
+  }
+}
+
+image::Image AliceStream::scene(double t_sec) {
+  // Face in the middle of the room, lit by Alice's ambient light only.
+  const image::Pixel ambient{spec_.ambient_lux, spec_.ambient_lux,
+                             spec_.ambient_lux};
+  image::Image img =
+      renderer_.render(dynamics_.state(t_sec), image::Pixel{}, ambient);
+
+  // Bright window strip on the left with content flicker (the radiometric
+  // level already includes the daylight it admits).
+  const double flicker = 1.0 + rng_.gaussian(0.0, spec_.window_flicker);
+  const double win = std::max(0.0, spec_.window_level * flicker);
+  image::Rect window{0, 0, img.width() / 6, img.height() * 3 / 4};
+  img.fill_rect(window, image::Pixel{win, win, win * 1.1});
+
+  // Dark bookshelf strip on the right.
+  image::Rect shelf{img.width() * 5 / 6, 0, img.width() / 6, img.height()};
+  img.fill_rect(shelf, image::Pixel{spec_.shelf_level, spec_.shelf_level * 0.9,
+                                    spec_.shelf_level * 0.8});
+  return img;
+}
+
+image::Image AliceStream::frame(double t_sec) {
+  while (next_event_ < script_.size() && script_[next_event_].t_sec <= t_sec) {
+    camera_.set_metering_spot(spot_for(script_[next_event_].target));
+    ++next_event_;
+  }
+  return camera_.capture(scene(t_sec));
+}
+
+}  // namespace lumichat::chat

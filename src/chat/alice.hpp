@@ -1,0 +1,98 @@
+// Alice — the legitimate user who triggers detection (Fig. 4, steps 1-2).
+//
+// Alice's contribution to the protocol is her *transmitted video*: its
+// overall luminance must exhibit significant changes that Bob's screen will
+// replay onto Bob's face. Per Sec. II-B she produces those changes with the
+// camera's own light metering: touching a bright or dark part of her scene
+// moves the spot-metering point, the exposure controller re-exposes the
+// whole frame, and the frame-mean luminance steps to a new level — without
+// replacing the video content (the user-experience advantage the paper
+// claims over flashing-pattern schemes).
+//
+// Her simulated scene is a room: a bright window on the left, a dark
+// bookshelf on the right, her own face in the middle (rendered with the same
+// face substrate as Bob's), plus small content dynamics so the transmitted
+// luminance signal carries realistic high-frequency noise.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "chat/video.hpp"
+#include "common/rng.hpp"
+#include "face/dynamics.hpp"
+#include "face/face_model.hpp"
+#include "face/renderer.hpp"
+#include "optics/camera.hpp"
+
+namespace lumichat::chat {
+
+/// Where Alice can aim the metering spot.
+enum class MeterTarget {
+  kWindow,  ///< bright region -> exposure drops -> dark frame
+  kFace,    ///< mid region    -> mid exposure
+  kShelf,   ///< dark region   -> exposure rises -> bright frame
+};
+
+/// One metering-touch event.
+struct MeterEvent {
+  double t_sec = 0.0;
+  MeterTarget target = MeterTarget::kFace;
+};
+
+/// Generates a random metering script: target changes separated by
+/// `min_gap_s`..`max_gap_s`, consecutive targets always distinct (every
+/// touch produces a significant luminance change). The minimum gap is sized
+/// so two changes never merge inside the detector's ~3 s smoothing support,
+/// and the last touch lands early enough for its reflection to clear the
+/// smoothing tail before the clip ends.
+[[nodiscard]] std::vector<MeterEvent> make_metering_script(
+    double duration_s, common::Rng& rng, double min_gap_s = 3.6,
+    double max_gap_s = 5.6);
+
+/// Parameters of Alice's side.
+struct AliceSpec {
+  face::FaceModel face = face::make_volunteer_face(4);
+  face::RenderSpec render;
+  optics::CameraSpec camera{
+      .metering = optics::MeteringMode::kSpot,
+      .exposure_target = 0.45,
+      .adaptation_rate = 0.5,  // phone AE converges in a few frames
+  };
+  /// Ambient illuminance in Alice's room (lux on her face).
+  double ambient_lux = 120.0;
+  /// Radiometric brightness of the window / shelf regions.
+  double window_level = 500.0;
+  double shelf_level = 18.0;
+  /// Relative flicker of the window light (foliage, clouds — content noise).
+  double window_flicker = 0.06;
+};
+
+/// Produces Alice's transmitted frames.
+class AliceStream {
+ public:
+  AliceStream(AliceSpec spec, std::vector<MeterEvent> script,
+              std::uint64_t seed);
+
+  /// The transmitted (8-bit-range) frame at time `t_sec`. Call with
+  /// non-decreasing `t_sec`.
+  [[nodiscard]] image::Image frame(double t_sec);
+
+  [[nodiscard]] const AliceSpec& spec() const { return spec_; }
+  [[nodiscard]] const std::vector<MeterEvent>& script() const {
+    return script_;
+  }
+
+ private:
+  [[nodiscard]] image::Image scene(double t_sec);
+
+  AliceSpec spec_;
+  std::vector<MeterEvent> script_;
+  common::Rng rng_;
+  face::FaceRenderer renderer_;
+  face::FaceDynamics dynamics_;
+  optics::CameraModel camera_;
+  std::size_t next_event_ = 0;
+};
+
+}  // namespace lumichat::chat

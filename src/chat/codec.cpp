@@ -1,0 +1,67 @@
+#include "chat/codec.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "image/luminance.hpp"
+
+namespace lumichat::chat {
+
+VideoCodec::VideoCodec(CodecSpec spec, std::uint64_t seed)
+    : spec_(spec), rng_(seed) {}
+
+image::Image VideoCodec::transcode(const image::Image& frame) {
+  if (frame.empty() || spec_.compression <= 0.0) return frame;
+  const double c = std::clamp(spec_.compression, 0.0, 1.0);
+
+  // Rate-control pressure: a big change in mean luminance (scene re-exposed)
+  // momentarily starves the encoder and artifacts spike.
+  const double mean = image::frame_luminance(frame);
+  const double motion =
+      prev_mean_ < 0.0 ? 0.0 : std::fabs(mean - prev_mean_) / 255.0;
+  prev_mean_ = mean;
+  const double stress = std::min(1.0, c + 2.0 * c * motion);
+
+  // Effective block size / quantisation scale with compression level.
+  const auto block = std::max<std::size_t>(
+      1, static_cast<std::size_t>(std::lround(
+             static_cast<double>(spec_.block_size) * stress)));
+  const double q = spec_.quant_step * stress;
+
+  image::Image out(frame.width(), frame.height());
+  for (std::size_t by = 0; by < frame.height(); by += block) {
+    for (std::size_t bx = 0; bx < frame.width(); bx += block) {
+      const std::size_t x1 = std::min(bx + block, frame.width());
+      const std::size_t y1 = std::min(by + block, frame.height());
+      // Block DC term.
+      image::Pixel dc;
+      for (std::size_t y = by; y < y1; ++y) {
+        for (std::size_t x = bx; x < x1; ++x) dc += frame(x, y);
+      }
+      const double n = static_cast<double>((x1 - bx) * (y1 - by));
+      dc = dc * (1.0 / n);
+
+      const double block_noise =
+          motion > 0.0 ? rng_.gaussian(0.0, spec_.motion_noise * stress) : 0.0;
+
+      for (std::size_t y = by; y < y1; ++y) {
+        for (std::size_t x = bx; x < x1; ++x) {
+          // Blend original detail toward the block DC (high-frequency loss),
+          // then quantise.
+          auto develop = [&](double v, double dcv) {
+            double mixed = v * (1.0 - 0.6 * stress) + dcv * (0.6 * stress);
+            mixed += block_noise;
+            if (q > 0.5) mixed = std::round(mixed / q) * q;
+            return std::clamp(mixed, 0.0, 255.0);
+          };
+          const image::Pixel& p = frame(x, y);
+          out(x, y) = image::Pixel{develop(p.r, dc.r), develop(p.g, dc.g),
+                                   develop(p.b, dc.b)};
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace lumichat::chat

@@ -1,0 +1,53 @@
+// Lossy video-codec model.
+//
+// Real chat software (Skype/WebEx) compresses video aggressively; the
+// defense must survive codec artifacts because the luminance signal it
+// reads rides on top of them. The adversary model even highlights the
+// asymmetry: the attacker's fake video is injected losslessly through a
+// virtual camera, while the legitimate user's video crosses a real encoder.
+//
+// We model the three artifact classes that matter to a mean-luminance
+// reader, without implementing an actual DCT codec:
+//   * block-wise luminance flattening (macroblock averaging at low quality),
+//   * quantisation of levels (banding),
+//   * rate control: quality drops when frames change a lot (motion), which
+//    correlates artifacts with exactly the luminance steps we care about.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "image/image.hpp"
+
+namespace lumichat::chat {
+
+struct CodecSpec {
+  /// 0 = pristine .. 1 = heavily compressed.
+  double compression = 0.3;
+  /// Macroblock edge length in pixels at full compression.
+  std::size_t block_size = 8;
+  /// Quantisation step in 8-bit LSB at full compression.
+  double quant_step = 6.0;
+  /// Extra per-block noise injected while the rate controller catches up
+  /// with large frame-to-frame changes.
+  double motion_noise = 1.5;
+};
+
+/// Stateful per-stream encoder+decoder pair (state: previous frame mean,
+/// used by the rate-control model).
+class VideoCodec {
+ public:
+  VideoCodec(CodecSpec spec, std::uint64_t seed);
+
+  /// Encodes and immediately decodes one frame (what the receiver sees).
+  [[nodiscard]] image::Image transcode(const image::Image& frame);
+
+  [[nodiscard]] const CodecSpec& spec() const { return spec_; }
+
+ private:
+  CodecSpec spec_;
+  common::Rng rng_;
+  double prev_mean_ = -1.0;
+};
+
+}  // namespace lumichat::chat

@@ -1,0 +1,31 @@
+#include "chat/network.hpp"
+
+#include <algorithm>
+#include <utility>
+
+namespace lumichat::chat {
+
+NetworkChannel::NetworkChannel(NetworkSpec spec, std::uint64_t seed)
+    : spec_(spec), rng_(seed) {}
+
+void NetworkChannel::push(image::Image frame, double t_sec) {
+  if (rng_.chance(spec_.drop_probability)) return;  // lost in transit
+  double arrival =
+      t_sec + spec_.delay_s + rng_.gaussian(0.0, spec_.jitter_sigma_s);
+  arrival = std::max(arrival, t_sec);  // cannot arrive before it was sent
+  // Real-time video decoders discard frames that arrive out of order;
+  // enforcing monotone arrivals models that without reordering logic.
+  arrival = std::max(arrival, last_arrival_);
+  last_arrival_ = arrival;
+  queue_.push_back(InFlight{std::move(frame), arrival});
+}
+
+const image::Image& NetworkChannel::at(double t_sec) {
+  while (!queue_.empty() && queue_.front().arrival_s <= t_sec) {
+    displayed_ = std::move(queue_.front().frame);
+    queue_.pop_front();
+  }
+  return displayed_;
+}
+
+}  // namespace lumichat::chat

@@ -1,0 +1,53 @@
+// One-way video channel with propagation delay, per-frame jitter, and frame
+// drops (a dropped frame leaves the previously displayed frame on screen,
+// as real-time video pipelines do).
+//
+// The network path matters to the defense: the received luminance signal is
+// shifted against the transmitted one by roughly the round-trip time, and the
+// feature extractor must estimate and remove that shift (Sec. VI).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/rng.hpp"
+#include "image/image.hpp"
+
+namespace lumichat::chat {
+
+struct NetworkSpec {
+  double delay_s = 0.15;      ///< one-way propagation delay
+  double jitter_sigma_s = 0.02;  ///< per-frame Gaussian jitter (>= 0 clamp)
+  double drop_probability = 0.01;  ///< i.i.d. frame-loss probability
+};
+
+class NetworkChannel {
+ public:
+  NetworkChannel(NetworkSpec spec, std::uint64_t seed);
+
+  /// Sends `frame` at sender time `t_sec`. Frames must be pushed in
+  /// non-decreasing time order.
+  void push(image::Image frame, double t_sec);
+
+  /// The frame visible at the receiver at time `t_sec`: the most recently
+  /// *arrived* frame. Returns an empty image before anything has arrived.
+  /// Non-const because observing the channel drains arrived frames into the
+  /// receiver's display buffer. Call with non-decreasing `t_sec`.
+  [[nodiscard]] const image::Image& at(double t_sec);
+
+  [[nodiscard]] const NetworkSpec& spec() const { return spec_; }
+
+ private:
+  struct InFlight {
+    image::Image frame;
+    double arrival_s;
+  };
+
+  NetworkSpec spec_;
+  common::Rng rng_;
+  std::deque<InFlight> queue_;
+  image::Image displayed_;
+  double last_arrival_ = -1.0;
+};
+
+}  // namespace lumichat::chat

@@ -1,0 +1,29 @@
+#include "chat/respondent.hpp"
+
+namespace lumichat::chat {
+
+LegitimateRespondent::LegitimateRespondent(LegitimateSpec spec,
+                                           std::uint64_t seed)
+    : spec_(spec), renderer_(spec_.face, spec_.render),
+      dynamics_(spec_.dynamics, spec_.face.blink_rate_hz,
+                spec_.face.talking, common::derive_seed(seed, 11)),
+      screen_(spec_.screen, spec_.screen_distance_m),
+      ambient_(spec_.ambient, common::derive_seed(seed, 12)),
+      camera_(spec_.camera, common::derive_seed(seed, 13)) {}
+
+image::Image LegitimateRespondent::respond(double t_sec,
+                                           const image::Image& displayed) {
+  // The screen shows the (8-bit) received frame; its mean linear RGB drives
+  // the light it throws on the face.
+  image::Pixel frame_mean{};
+  if (!displayed.empty()) {
+    frame_mean = displayed.mean_pixel() * (1.0 / 255.0);
+  }
+  const image::Pixel screen_illum = screen_.face_illuminance(frame_mean);
+  const image::Pixel ambient_illum = ambient_.illuminance(t_sec);
+  const image::Image scene =
+      renderer_.render(dynamics_.state(t_sec), screen_illum, ambient_illum);
+  return camera_.capture(scene);
+}
+
+}  // namespace lumichat::chat

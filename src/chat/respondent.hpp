@@ -1,0 +1,72 @@
+// The untrusted side of the chat (Bob in Fig. 4).
+//
+// A RespondentModel turns "what Bob's screen currently displays" into "the
+// frame Bob's side sends back". The legitimate implementation lives here;
+// attacker implementations live in src/reenact (they plug into the same
+// interface through the virtual camera, exactly as the adversary model
+// describes: the fake video is fed to the chat software in place of the
+// camera stream).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+
+#include "face/dynamics.hpp"
+#include "face/face_model.hpp"
+#include "face/renderer.hpp"
+#include "image/image.hpp"
+#include "optics/ambient.hpp"
+#include "optics/camera.hpp"
+#include "optics/screen.hpp"
+
+namespace lumichat::chat {
+
+class RespondentModel {
+ public:
+  virtual ~RespondentModel() = default;
+
+  /// The frame Bob's side emits at time `t_sec` while his screen shows
+  /// `displayed` (an 8-bit-range frame; may be empty before the first frame
+  /// arrives). Called with non-decreasing `t_sec`.
+  [[nodiscard]] virtual image::Image respond(double t_sec,
+                                             const image::Image& displayed) = 0;
+};
+
+/// Configuration of a legitimate respondent's physical setup.
+struct LegitimateSpec {
+  face::FaceModel face = face::make_volunteer_face(0);
+  face::RenderSpec render;
+  /// Pose/expression process (robustness studies enable occlusions here).
+  face::DynamicsSpec dynamics{};
+  optics::ScreenSpec screen = optics::dell_27in_led();
+  double screen_distance_m = 0.55;
+  optics::AmbientSpec ambient{.lux_on_face = 60.0};
+  optics::CameraSpec camera{
+      .metering = optics::MeteringMode::kMultiZone,
+      .exposure_target = 0.32,
+      .adaptation_rate = 0.08,  // webcams adapt slowly
+  };
+};
+
+/// A real person in front of a real screen: the screen light reflects off
+/// the face (Von Kries), the camera captures it. This is the physical loop
+/// the defense verifies.
+class LegitimateRespondent final : public RespondentModel {
+ public:
+  LegitimateRespondent(LegitimateSpec spec, std::uint64_t seed);
+
+  [[nodiscard]] image::Image respond(double t_sec,
+                                     const image::Image& displayed) override;
+
+  [[nodiscard]] const LegitimateSpec& spec() const { return spec_; }
+
+ private:
+  LegitimateSpec spec_;
+  face::FaceRenderer renderer_;
+  face::FaceDynamics dynamics_;
+  optics::ScreenModel screen_;
+  optics::AmbientLight ambient_;
+  optics::CameraModel camera_;
+};
+
+}  // namespace lumichat::chat

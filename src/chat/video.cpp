@@ -1,0 +1,16 @@
+#include "chat/video.hpp"
+
+#include "image/luminance.hpp"
+
+namespace lumichat::chat {
+
+signal::Signal VideoClip::frame_luminance_signal() const {
+  signal::Signal s;
+  s.reserve(frames.size());
+  for (const image::Image& f : frames) {
+    s.push_back(image::frame_luminance(f));
+  }
+  return s;
+}
+
+}  // namespace lumichat::chat

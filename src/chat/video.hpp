@@ -1,0 +1,31 @@
+// Video clip container shared by the chat pipeline and the detector.
+#pragma once
+
+#include <vector>
+
+#include "image/image.hpp"
+#include "signal/types.hpp"
+
+namespace lumichat::chat {
+
+/// A uniformly sampled sequence of frames. Frames hold 8-bit-range values
+/// ([0,255]) once they have passed through a camera or codec; radiometric
+/// frames never leave the simulation internals.
+struct VideoClip {
+  std::vector<image::Image> frames;
+  double sample_rate_hz = 10.0;
+
+  [[nodiscard]] std::size_t size() const { return frames.size(); }
+  [[nodiscard]] bool empty() const { return frames.empty(); }
+  [[nodiscard]] double duration_s() const {
+    return sample_rate_hz > 0.0
+               ? static_cast<double>(frames.size()) / sample_rate_hz
+               : 0.0;
+  }
+
+  /// Whole-frame mean-luminance signal (the paper's "compress each frame
+  /// into a single pixel" measurement, Eq. 3), one sample per frame.
+  [[nodiscard]] signal::Signal frame_luminance_signal() const;
+};
+
+}  // namespace lumichat::chat

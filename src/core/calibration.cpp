@@ -1,0 +1,63 @@
+#include "core/calibration.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "core/lof.hpp"
+
+namespace lumichat::core {
+
+CalibrationResult calibrate_threshold(const std::vector<FeatureVector>& legit,
+                                      std::size_t k, double target_frr,
+                                      std::size_t folds,
+                                      double safety_margin) {
+  if (folds < 2) {
+    throw std::invalid_argument("calibrate_threshold: need >= 2 folds");
+  }
+  if (legit.size() < folds || legit.size() - legit.size() / folds < k + 1) {
+    throw std::invalid_argument(
+        "calibrate_threshold: not enough legitimate samples for this "
+        "fold/k geometry");
+  }
+
+  // Cross-validated held-out scores: fold f is scored by a model fitted on
+  // the remaining folds.
+  CalibrationResult result;
+  for (std::size_t f = 0; f < folds; ++f) {
+    std::vector<FeatureVector> train;
+    std::vector<FeatureVector> held;
+    for (std::size_t i = 0; i < legit.size(); ++i) {
+      if (i % folds == f) {
+        held.push_back(legit[i]);
+      } else {
+        train.push_back(legit[i]);
+      }
+    }
+    LofClassifier lof(k, /*tau=*/1.0);
+    lof.fit(train);
+    for (const FeatureVector& z : held) {
+      result.held_out_scores.push_back(lof.score(z));
+    }
+  }
+
+  // Smallest tau whose empirical FRR meets the target == the
+  // (1 - target_frr) quantile of the held-out scores.
+  std::vector<double> sorted = result.held_out_scores;
+  std::sort(sorted.begin(), sorted.end());
+  const double clamped_target = std::clamp(target_frr, 0.0, 1.0);
+  const auto idx = static_cast<std::size_t>(
+      std::min<double>(static_cast<double>(sorted.size()) - 1.0,
+                       (1.0 - clamped_target) *
+                           static_cast<double>(sorted.size())));
+  result.tau = sorted[idx] * safety_margin;
+
+  std::size_t rejected = 0;
+  for (const double s : result.held_out_scores) {
+    if (s > result.tau) ++rejected;
+  }
+  result.estimated_frr = static_cast<double>(rejected) /
+                         static_cast<double>(result.held_out_scores.size());
+  return result;
+}
+
+}  // namespace lumichat::core

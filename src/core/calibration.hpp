@@ -1,0 +1,39 @@
+// Decision-threshold calibration.
+//
+// The paper fixes tau = 3 after the Fig. 12 sweep. A deployment that cannot
+// rerun that sweep can pick tau from legitimate data alone: cross-validated
+// LOF scores of held-out legitimate samples estimate the FRR at any
+// threshold, and tau is the smallest value whose estimated FRR meets the
+// target. No attacker data needed — consistent with the paper's training
+// story.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/features.hpp"
+
+namespace lumichat::core {
+
+struct CalibrationResult {
+  double tau = 3.0;             ///< chosen threshold
+  double estimated_frr = 0.0;   ///< cross-validated FRR at that threshold
+  std::vector<double> held_out_scores;  ///< all CV scores (diagnostics)
+};
+
+/// Picks the smallest tau with cross-validated FRR <= `target_frr`.
+///
+/// \param legit      legitimate feature vectors (>= 2*(k+1)).
+/// \param k          LOF neighbour count.
+/// \param target_frr acceptable false-rejection rate (e.g. 0.05).
+/// \param folds      cross-validation folds (default 5).
+/// \param safety_margin multiplicative head-room applied to the chosen tau
+///        (scores drift slightly between calibration and deployment).
+/// \throws std::invalid_argument if `legit` is too small for the fold/k
+///         geometry.
+[[nodiscard]] CalibrationResult calibrate_threshold(
+    const std::vector<FeatureVector>& legit, std::size_t k = 5,
+    double target_frr = 0.05, std::size_t folds = 5,
+    double safety_margin = 1.1);
+
+}  // namespace lumichat::core

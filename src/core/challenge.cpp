@@ -1,0 +1,47 @@
+#include "core/challenge.hpp"
+
+namespace lumichat::core {
+
+ChallengeScheduler::ChallengeScheduler(ChallengePolicy policy,
+                                       DetectorConfig config)
+    : policy_(policy), config_(config), preprocessor_(config) {}
+
+void ChallengeScheduler::reset_window() {
+  window_.clear();
+  cached_changes_ = 0;
+  samples_since_scan_ = 0;
+  // last_change_t_ deliberately survives: spacing advice spans windows.
+}
+
+ChallengeAdvice ChallengeScheduler::push(double t_sec, double luminance) {
+  if (window_.empty()) window_start_t_ = t_sec;
+  window_.push_back(luminance);
+  ++samples_since_scan_;
+
+  // Re-scan the window for significant changes periodically (once a second
+  // at the configured rate) — the chain is cheap but not per-sample cheap.
+  const auto scan_every =
+      static_cast<std::size_t>(config_.sample_rate_hz);
+  if (samples_since_scan_ >= scan_every && window_.size() >= 20) {
+    samples_since_scan_ = 0;
+    const PreprocessResult pre = preprocessor_.process_transmitted(window_);
+    cached_changes_ = pre.change_times_s.size();
+    if (!pre.change_times_s.empty()) {
+      last_change_t_ = window_start_t_ + pre.change_times_s.back();
+    }
+  }
+
+  ChallengeAdvice advice;
+  advice.changes_so_far = cached_changes_;
+  advice.seconds_since_last = t_sec - last_change_t_;
+  // Prompt when the last challenge is stale. The upper spacing bound is the
+  // trigger; the lower bound suppresses prompting right after a change.
+  advice.prompt_now = advice.seconds_since_last > policy_.max_spacing_s;
+  return advice;
+}
+
+bool ChallengeScheduler::window_valid() const {
+  return cached_changes_ >= policy_.min_changes_per_window;
+}
+
+}  // namespace lumichat::core

@@ -1,0 +1,66 @@
+// Challenge scheduling.
+//
+// The defense only works while Alice's transmitted video actually exhibits
+// significant luminance changes — they are the challenge the reflection
+// must answer. The paper has the user create them by touching metering
+// areas (Sec. II-B); a product needs to know WHEN to nudge the user (or an
+// automated exposure wiggle) because a static, evenly-lit scene issues no
+// challenges and a detection window without challenges is void.
+//
+// The ChallengeScheduler watches the transmitted luminance and reports
+// whether the current window already carries enough entropy or a new touch
+// is due.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/preprocess.hpp"
+#include "signal/types.hpp"
+
+namespace lumichat::core {
+
+struct ChallengePolicy {
+  /// Minimum significant changes per detection window for a valid verdict.
+  std::size_t min_changes_per_window = 2;
+  /// Desired spacing between challenges — far enough apart not to merge in
+  /// the smoothing chain, close enough to fit several per window.
+  double min_spacing_s = 3.5;
+  double max_spacing_s = 5.5;
+};
+
+/// Advice produced by the scheduler.
+struct ChallengeAdvice {
+  bool prompt_now = false;        ///< ask the user to touch / wiggle exposure
+  std::size_t changes_so_far = 0; ///< significant changes seen in the window
+  double seconds_since_last = 0.0;
+};
+
+class ChallengeScheduler {
+ public:
+  ChallengeScheduler(ChallengePolicy policy, DetectorConfig config = {});
+
+  /// Feeds the latest transmitted luminance sample; returns current advice.
+  /// Call once per sampling tick with non-decreasing `t_sec`.
+  [[nodiscard]] ChallengeAdvice push(double t_sec, double luminance);
+
+  /// True when the accumulated window carries enough challenges for a
+  /// trustworthy verdict.
+  [[nodiscard]] bool window_valid() const;
+
+  /// Clears the window (call when the detector consumes it).
+  void reset_window();
+
+ private:
+  ChallengePolicy policy_;
+  DetectorConfig config_;
+  Preprocessor preprocessor_;
+  signal::Signal window_;
+  double window_start_t_ = 0.0;
+  double last_change_t_ = -1e9;
+  std::size_t cached_changes_ = 0;
+  std::size_t samples_since_scan_ = 0;
+};
+
+}  // namespace lumichat::core

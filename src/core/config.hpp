@@ -1,0 +1,60 @@
+// All tunables of the defense pipeline, with the paper's published values as
+// defaults (Secs. IV-VII). Kept in one aggregate so experiments can sweep a
+// single field (decision threshold, sampling rate, ...) without touching the
+// pipeline code.
+#pragma once
+
+#include <cstddef>
+
+namespace lumichat::core {
+
+struct DetectorConfig {
+  // --- Luminance extraction (Sec. IV) ---
+  double sample_rate_hz = 10.0;  ///< frame sampling rate (Fig. 16: 5/8/10)
+
+  // --- Preprocessing (Sec. V) ---
+  double lowpass_cutoff_hz = 1.0;   ///< screen light lives under 1 Hz (Fig. 6)
+  std::size_t lowpass_taps = 21;
+  std::size_t variance_window = 10;    ///< short-time variance window
+  double variance_threshold = 2.0;     ///< spike cut-off on the variance
+  std::size_t rms_window = 30;         ///< RMS smoothing window
+  std::size_t savgol_window = 31;      ///< Savitzky-Golay window
+  std::size_t savgol_order = 3;
+  std::size_t moving_avg_window = 10;  ///< final moving-average window
+  /// Peak-prominence floors. The paper reports 10 (screen) and 0.5 (face)
+  /// on its testbed's variance scale; the simulated 27-inch screen drives a
+  /// stronger reflection than theirs, so the face floor is calibrated to
+  /// the same *relative* level (spurious-jitter peaks sit well below it,
+  /// real reflection peaks well above — see EXPERIMENTS.md).
+  double screen_min_prominence = 10.0;
+  double face_min_prominence = 2.0;
+  /// Minimum horizontal distance between peaks, in seconds (one significant
+  /// change cannot straddle another inside the smoothing support).
+  double peak_min_distance_s = 1.0;
+
+  // --- Feature extraction (Sec. VI) ---
+  /// Tolerance for "a luminance change in one signal matches one in the
+  /// other" after delay compensation.
+  double match_tolerance_s = 0.45;
+  /// Largest network+processing delay considered when estimating the shift
+  /// between the transmitted and received signals. Deliberately sized for
+  /// network RTTs only: a forgery pipeline that lags more than this cannot
+  /// hide behind delay compensation (Fig. 17's security argument).
+  double max_delay_s = 1.35;
+  /// Number of equal-length segments for the trend features (paper: 2).
+  std::size_t trend_segments = 2;
+  /// z4 is divided by this to bring DTW into the range of the other
+  /// features (paper: 30).
+  double dtw_scale = 30.0;
+
+  // --- Classification (Sec. VII) ---
+  std::size_t lof_neighbors = 5;  ///< k
+  double lof_threshold = 3.0;     ///< tau (Fig. 12 sweeps 1.5..4)
+
+  // --- Decision combination (Sec. VII-B) ---
+  /// An untrusted user is an attacker if votes exceed this fraction of the
+  /// detection attempts.
+  double vote_fraction = 0.7;
+};
+
+}  // namespace lumichat::core

@@ -1,0 +1,55 @@
+#include "core/detector.hpp"
+
+namespace lumichat::core {
+
+Detector::Detector(DetectorConfig config)
+    : config_(config), extractor_(config), preprocessor_(config),
+      features_(config), lof_(config.lof_neighbors, config.lof_threshold) {}
+
+FeatureExtraction Detector::featurize(const chat::SessionTrace& trace) const {
+  const signal::Signal t_raw = extractor_.transmitted_signal(trace.transmitted);
+  const ReceivedExtraction r_raw = extractor_.received_signal(trace.received);
+  const PreprocessResult t_pre = preprocessor_.process_transmitted(t_raw);
+  const PreprocessResult r_pre = preprocessor_.process_received(r_raw.luminance);
+  return features_.extract(t_pre, r_pre);
+}
+
+void Detector::train(const std::vector<chat::SessionTrace>& legitimate_traces) {
+  std::vector<FeatureVector> feats;
+  feats.reserve(legitimate_traces.size());
+  for (const chat::SessionTrace& trace : legitimate_traces) {
+    feats.push_back(featurize(trace).features);
+  }
+  train_on_features(feats);
+}
+
+void Detector::train_on_features(const std::vector<FeatureVector>& features) {
+  lof_.fit(features);
+}
+
+DetectionResult Detector::detect(const chat::SessionTrace& trace) const {
+  const FeatureExtraction fx = featurize(trace);
+  DetectionResult r = classify(fx.features);
+  r.diagnostics = fx.diagnostics;
+  return r;
+}
+
+DetectionResult Detector::classify(const FeatureVector& z) const {
+  DetectionResult r;
+  r.features = z;
+  r.lof_score = lof_.score(z);
+  r.is_attacker = r.lof_score > lof_.tau();
+  return r;
+}
+
+VoteOutcome Detector::detect_rounds(
+    const std::vector<chat::SessionTrace>& traces) const {
+  std::vector<bool> votes;
+  votes.reserve(traces.size());
+  for (const chat::SessionTrace& t : traces) {
+    votes.push_back(detect(t).is_attacker);
+  }
+  return majority_vote(votes, config_.vote_fraction);
+}
+
+}  // namespace lumichat::core

@@ -1,0 +1,73 @@
+// Detector facade — the public entry point of the defense.
+//
+// Usage mirrors the paper's two phases:
+//   Detector d(config);
+//   d.train(legitimate_traces);          // training phase: legit data only
+//   auto r = d.detect(trace);            // one 15-second detection round
+//   auto v = d.detect_rounds(traces);    // multi-round majority voting
+//
+// A trace is what Alice's side observes: her own transmitted clip plus the
+// received clip (chat::SessionTrace). Everything in between — luminance
+// extraction, filtering, features, LOF — is handled internally.
+#pragma once
+
+#include <vector>
+
+#include "chat/session.hpp"
+#include "core/config.hpp"
+#include "core/features.hpp"
+#include "core/lof.hpp"
+#include "core/luminance_extractor.hpp"
+#include "core/preprocess.hpp"
+#include "core/voting.hpp"
+
+namespace lumichat::core {
+
+/// Verdict and evidence for one detection round.
+struct DetectionResult {
+  bool is_attacker = false;
+  double lof_score = 0.0;
+  FeatureVector features;
+  FeatureDiagnostics diagnostics;
+};
+
+class Detector {
+ public:
+  explicit Detector(DetectorConfig config = {});
+
+  /// Computes the z1..z4 feature vector of one trace (no classification).
+  [[nodiscard]] FeatureExtraction featurize(
+      const chat::SessionTrace& trace) const;
+
+  /// Training phase: fit the LOF model on legitimate traces.
+  void train(const std::vector<chat::SessionTrace>& legitimate_traces);
+
+  /// Training phase from precomputed features (used when the same features
+  /// feed many experiments).
+  void train_on_features(const std::vector<FeatureVector>& features);
+
+  /// One detection round.
+  [[nodiscard]] DetectionResult detect(const chat::SessionTrace& trace) const;
+
+  /// Classifies a precomputed feature vector.
+  [[nodiscard]] DetectionResult classify(const FeatureVector& z) const;
+
+  /// Multi-round detection with majority voting (Sec. VII-B).
+  [[nodiscard]] VoteOutcome detect_rounds(
+      const std::vector<chat::SessionTrace>& traces) const;
+
+  [[nodiscard]] bool is_trained() const { return lof_.is_fitted(); }
+  [[nodiscard]] const DetectorConfig& config() const { return config_; }
+
+  /// Adjusts the decision threshold tau (Fig. 12 sweeps it).
+  void set_threshold(double tau) { lof_.set_tau(tau); }
+
+ private:
+  DetectorConfig config_;
+  LuminanceExtractor extractor_;
+  Preprocessor preprocessor_;
+  FeatureExtractor features_;
+  LofClassifier lof_;
+};
+
+}  // namespace lumichat::core

@@ -1,0 +1,74 @@
+// Feature extraction (Sec. VI).
+//
+// Four features describe how well the received (face-reflected) luminance
+// signal tracks the transmitted (screen-light) one:
+//   z1 — fraction of the transmitted video's significant luminance changes
+//        that have a matching change in the received video (Eq. 4);
+//   z2 — fraction of the received video's significant changes matched in
+//        the transmitted video (Eq. 5);
+//   z3 — the SMALLER Pearson correlation (Eq. 6) over the two equal-length
+//        segments of the delay-compensated, [0,1]-normalised smoothed
+//        variance signals;
+//   z4 — the LARGER dynamic-time-warping distance over the same segment
+//        pairs, divided by 30 to keep its scale comparable.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/preprocess.hpp"
+#include "signal/types.hpp"
+
+namespace lumichat::core {
+
+/// One classified sample on the LOF feature hyperplane.
+struct FeatureVector {
+  double z1 = 0.0;
+  double z2 = 0.0;
+  double z3 = 0.0;
+  double z4 = 0.0;
+
+  [[nodiscard]] std::array<double, 4> as_array() const {
+    return {z1, z2, z3, z4};
+  }
+};
+
+/// Diagnostics kept alongside the features (experiments report them).
+struct FeatureDiagnostics {
+  double estimated_delay_s = 0.0;  ///< network+processing shift removed
+  std::size_t transmitted_changes = 0;  ///< N in Eq. 4
+  std::size_t received_changes = 0;     ///< M in Eq. 5
+  std::size_t matched_transmitted = 0;  ///< F(T,R)
+  std::size_t matched_received = 0;     ///< G(T,R)
+};
+
+struct FeatureExtraction {
+  FeatureVector features;
+  FeatureDiagnostics diagnostics;
+};
+
+class FeatureExtractor {
+ public:
+  explicit FeatureExtractor(DetectorConfig config = {});
+
+  /// Computes z1..z4 from the preprocessed transmitted/received signals.
+  [[nodiscard]] FeatureExtraction extract(
+      const PreprocessResult& transmitted,
+      const PreprocessResult& received) const;
+
+  /// Estimates the received-signal delay as the average time difference
+  /// between matched luminance changes (Sec. VI-2). Only non-negative
+  /// delays up to `config.max_delay_s` are considered (light cannot reflect
+  /// before it is emitted).
+  [[nodiscard]] double estimate_delay_s(
+      const std::vector<double>& transmitted_times,
+      const std::vector<double>& received_times) const;
+
+  [[nodiscard]] const DetectorConfig& config() const { return config_; }
+
+ private:
+  DetectorConfig config_;
+};
+
+}  // namespace lumichat::core

@@ -1,0 +1,63 @@
+// Local-Outlier-Factor classifier (Sec. VII-A, Eqs. 7-8).
+//
+// Training data consists ONLY of legitimate users' feature vectors — no
+// attacker data and no per-user enrollment, which is the paper's deployment
+// advantage. A query vector is scored by comparing its local reachability
+// density against that of its k nearest training neighbours; attackers land
+// away from the legitimate cluster, yielding LOF >> 1, and are flagged when
+// the score exceeds the decision threshold tau (default 3, Fig. 12).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "core/features.hpp"
+
+namespace lumichat::core {
+
+class LofClassifier {
+ public:
+  /// \param k   number of neighbours (paper: 5).
+  /// \param tau decision threshold on the LOF score (paper: 3).
+  explicit LofClassifier(std::size_t k = 5, double tau = 3.0);
+
+  /// Fits the model on legitimate training vectors.
+  /// \throws std::invalid_argument if fewer than k+1 vectors are given.
+  void fit(const std::vector<FeatureVector>& training);
+
+  /// LOF score of a query vector (Eq. 8). ~1 inside the training cluster,
+  /// larger the further outside it lies.
+  [[nodiscard]] double score(const FeatureVector& z) const;
+
+  /// True when `score(z) > tau` — the sample is claimed to be an attacker.
+  [[nodiscard]] bool is_attacker(const FeatureVector& z) const;
+
+  [[nodiscard]] bool is_fitted() const { return !train_.empty(); }
+  [[nodiscard]] std::size_t k() const { return k_; }
+  [[nodiscard]] double tau() const { return tau_; }
+  void set_tau(double tau) { tau_ = tau; }
+
+  [[nodiscard]] const std::vector<FeatureVector>& training_data() const {
+    return train_;
+  }
+
+ private:
+  /// Indices of the k nearest training points to `p`, excluding index
+  /// `exclude` (pass train_.size() to exclude nothing).
+  [[nodiscard]] std::vector<std::size_t> neighbors_of(
+      const std::array<double, 4>& p, std::size_t exclude) const;
+
+  /// Local reachability density of an arbitrary point given its neighbour
+  /// index set (Eq. 7).
+  [[nodiscard]] double lrd_of(const std::array<double, 4>& p,
+                              const std::vector<std::size_t>& neigh) const;
+
+  std::size_t k_;
+  double tau_;
+  std::vector<FeatureVector> train_;
+  std::vector<std::array<double, 4>> pts_;
+  std::vector<double> k_distance_;  ///< per training point
+  std::vector<double> train_lrd_;   ///< per training point
+};
+
+}  // namespace lumichat::core

@@ -1,0 +1,69 @@
+#include "core/luminance_extractor.hpp"
+
+#include "face/roi.hpp"
+#include "image/luminance.hpp"
+#include "signal/resample.hpp"
+
+namespace lumichat::core {
+
+LuminanceExtractor::LuminanceExtractor(DetectorConfig config,
+                                       face::DetectorSpec detector)
+    : config_(config), landmark_detector_(detector) {}
+
+signal::Signal LuminanceExtractor::transmitted_signal(
+    const chat::VideoClip& clip) const {
+  signal::Signal s = clip.frame_luminance_signal();
+  if (clip.sample_rate_hz != config_.sample_rate_hz && !s.empty()) {
+    s = signal::resample_linear(s, clip.sample_rate_hz,
+                                config_.sample_rate_hz);
+  }
+  return s;
+}
+
+ReceivedExtraction LuminanceExtractor::received_signal(
+    const chat::VideoClip& clip) const {
+  ReceivedExtraction out;
+  out.luminance.reserve(clip.size());
+
+  double last_valid = 0.0;
+  bool have_valid = false;
+  std::size_t backfill_until = 0;
+
+  for (const image::Image& frame : clip.frames) {
+    double value = last_valid;
+    bool ok = false;
+    if (!frame.empty()) {
+      if (const auto lm = landmark_detector_.detect(frame)) {
+        const image::RectF roi = face::nasal_roi_f(*lm);
+        if (!roi.empty()) {
+          value = image::roi_luminance(frame, roi);
+          ok = true;
+        }
+      }
+    }
+    if (ok) {
+      if (!have_valid) {
+        // Backfill the leading hold-over samples with the first real value
+        // so the filter chain does not see a fake step at clip start.
+        for (std::size_t i = 0; i < backfill_until; ++i) {
+          out.luminance[i] = value;
+        }
+        have_valid = true;
+      }
+      last_valid = value;
+    } else {
+      ++out.failed_frames;
+      if (!have_valid) ++backfill_until;
+    }
+    out.luminance.push_back(value);
+  }
+
+  if (clip.sample_rate_hz != config_.sample_rate_hz &&
+      !out.luminance.empty()) {
+    out.luminance = signal::resample_linear(
+        out.luminance, clip.sample_rate_hz, config_.sample_rate_hz);
+  }
+  return out;
+}
+
+}  // namespace lumichat::core

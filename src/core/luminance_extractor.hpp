@@ -1,0 +1,50 @@
+// Luminance extraction (Sec. IV).
+//
+// Two signals feed the detector:
+//  * the TRANSMITTED signal: each frame of Alice's outgoing video compressed
+//    to a single pixel, i.e. the frame-mean relative luminance (Eq. 3);
+//  * the RECEIVED signal: the mean luminance of the lower-nasal-bridge
+//    region of Bob's incoming video, located per frame with the landmark
+//    detector and the Fig. 5 interested-area rule.
+//
+// Landmark detection can fail on individual frames (face turned away, not
+// yet arrived, too dark). The extractor holds the last valid value — a real
+// streaming system cannot do better — and reports how many frames needed
+// that fallback so callers can reject hopeless clips.
+#pragma once
+
+#include "chat/video.hpp"
+#include "core/config.hpp"
+#include "face/landmark_detector.hpp"
+#include "signal/types.hpp"
+
+namespace lumichat::core {
+
+/// Result of extracting the received-video signal.
+struct ReceivedExtraction {
+  signal::Signal luminance;     ///< nasal-ROI luminance per sampled frame
+  std::size_t failed_frames = 0;  ///< frames where detection fell back
+};
+
+class LuminanceExtractor {
+ public:
+  explicit LuminanceExtractor(DetectorConfig config = {},
+                              face::DetectorSpec detector = {});
+
+  /// Whole-frame luminance signal of the transmitted video, resampled to
+  /// the configured rate if the clip was captured at a different one.
+  [[nodiscard]] signal::Signal transmitted_signal(
+      const chat::VideoClip& clip) const;
+
+  /// Nasal-bridge luminance signal of the received video.
+  [[nodiscard]] ReceivedExtraction received_signal(
+      const chat::VideoClip& clip) const;
+
+  [[nodiscard]] const DetectorConfig& config() const { return config_; }
+
+ private:
+  DetectorConfig config_;
+  face::LandmarkDetector landmark_detector_;
+};
+
+}  // namespace lumichat::core

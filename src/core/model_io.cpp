@@ -1,0 +1,91 @@
+#include "core/model_io.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace lumichat::core {
+
+namespace {
+constexpr const char* kMagic = "lumichat-lof";
+constexpr const char* kVersion = "v1";
+}  // namespace
+
+void save_model(const ModelState& state, std::ostream& out) {
+  out << kMagic << " " << kVersion << "\n";
+  out << "k " << state.k << "\n";
+  out << "tau " << state.tau << "\n";
+  out << "n " << state.training.size() << "\n";
+  out.precision(17);  // round-trip exact doubles
+  for (const FeatureVector& f : state.training) {
+    out << "z " << f.z1 << " " << f.z2 << " " << f.z3 << " " << f.z4 << "\n";
+  }
+  if (!out) throw std::runtime_error("save_model: write failed");
+}
+
+void save_model(const ModelState& state, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("save_model: cannot open " + path);
+  save_model(state, out);
+}
+
+ModelState load_model(std::istream& in) {
+  std::string magic;
+  std::string version;
+  if (!(in >> magic >> version) || magic != kMagic) {
+    throw std::runtime_error("load_model: not a lumichat model");
+  }
+  if (version != kVersion) {
+    throw std::runtime_error("load_model: unsupported version " + version);
+  }
+
+  ModelState state;
+  std::string tag;
+  if (!(in >> tag >> state.k) || tag != "k") {
+    throw std::runtime_error("load_model: missing k");
+  }
+  if (!(in >> tag >> state.tau) || tag != "tau") {
+    throw std::runtime_error("load_model: missing tau");
+  }
+  std::size_t n = 0;
+  if (!(in >> tag >> n) || tag != "n") {
+    throw std::runtime_error("load_model: missing vector count");
+  }
+  state.training.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    FeatureVector f;
+    if (!(in >> tag >> f.z1 >> f.z2 >> f.z3 >> f.z4) || tag != "z") {
+      std::ostringstream msg;
+      msg << "load_model: truncated at vector " << i << " of " << n;
+      throw std::runtime_error(msg.str());
+    }
+    state.training.push_back(f);
+  }
+  return state;
+}
+
+ModelState load_model(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("load_model: cannot open " + path);
+  return load_model(in);
+}
+
+Detector make_detector_from_model(const ModelState& state,
+                                  DetectorConfig config) {
+  config.lof_neighbors = state.k;
+  config.lof_threshold = state.tau;
+  Detector det(config);
+  det.train_on_features(state.training);
+  return det;
+}
+
+ModelState model_state_of(const DetectorConfig& config,
+                          std::vector<FeatureVector> training) {
+  ModelState state;
+  state.k = config.lof_neighbors;
+  state.tau = config.lof_threshold;
+  state.training = std::move(training);
+  return state;
+}
+
+}  // namespace lumichat::core

@@ -1,0 +1,53 @@
+// Trained-model persistence.
+//
+// The deployment story of the paper is "train once on a handful of
+// legitimate clips, then ship" — which implies the trained state must move
+// between processes/devices. The model is tiny (the LOF training vectors
+// plus two scalars), so a versioned, human-readable text format is the
+// robust choice: diffable, greppable, no endianness traps.
+//
+// Format (one item per line):
+//   lumichat-lof v1
+//   k <neighbors>
+//   tau <threshold>
+//   n <vector count>
+//   z <z1> <z2> <z3> <z4>     (n times)
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "core/detector.hpp"
+#include "core/features.hpp"
+
+namespace lumichat::core {
+
+/// Serialisable trained-model state.
+struct ModelState {
+  std::size_t k = 5;
+  double tau = 3.0;
+  std::vector<FeatureVector> training;
+};
+
+/// Writes `state` to a stream. \throws std::runtime_error on I/O failure.
+void save_model(const ModelState& state, std::ostream& out);
+/// Writes `state` to a file. \throws std::runtime_error on I/O failure.
+void save_model(const ModelState& state, const std::string& path);
+
+/// Parses a model. \throws std::runtime_error on malformed input or
+/// unsupported version.
+[[nodiscard]] ModelState load_model(std::istream& in);
+[[nodiscard]] ModelState load_model(const std::string& path);
+
+/// Convenience: builds a trained Detector from a loaded state, using
+/// `config` for everything except k/tau (which come from the model).
+[[nodiscard]] Detector make_detector_from_model(const ModelState& state,
+                                                DetectorConfig config = {});
+
+/// Extracts the persistable state from a trained detector's configuration
+/// and training features.
+[[nodiscard]] ModelState model_state_of(const DetectorConfig& config,
+                                        std::vector<FeatureVector> training);
+
+}  // namespace lumichat::core

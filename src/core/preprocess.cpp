@@ -1,0 +1,60 @@
+#include "core/preprocess.hpp"
+
+#include <cmath>
+
+#include "signal/fir.hpp"
+#include "signal/savitzky_golay.hpp"
+#include "signal/threshold.hpp"
+#include "signal/windows.hpp"
+
+namespace lumichat::core {
+
+Preprocessor::Preprocessor(DetectorConfig config) : config_(config) {}
+
+PreprocessResult Preprocessor::process(const signal::Signal& raw,
+                                       double min_prominence) const {
+  PreprocessResult r;
+  if (raw.empty()) return r;
+
+  const signal::FirFilter lpf = signal::design_lowpass(
+      config_.lowpass_cutoff_hz, config_.sample_rate_hz, config_.lowpass_taps);
+  r.filtered = lpf.apply_zero_phase(raw);
+
+  r.variance = signal::moving_variance(r.filtered, config_.variance_window);
+  r.thresholded =
+      signal::threshold_filter(r.variance, config_.variance_threshold);
+
+  signal::Signal s = signal::moving_rms(r.thresholded, config_.rms_window);
+  s = signal::savgol_filter(s, config_.savgol_window, config_.savgol_order);
+  r.smoothed_variance =
+      signal::moving_average_centered(s, config_.moving_avg_window);
+
+  signal::PeakOptions opts;
+  opts.min_prominence = min_prominence;
+  opts.min_distance = static_cast<std::size_t>(
+      std::lround(config_.peak_min_distance_s * config_.sample_rate_hz));
+  r.peaks = signal::find_peaks(r.smoothed_variance, opts);
+
+  // The causal variance/RMS windows centre a change's energy roughly half a
+  // window after the change itself; report peak times directly — both
+  // signals pass through the same chain, so the shared lag cancels in the
+  // transmitted-vs-received comparison.
+  r.change_times_s.reserve(r.peaks.size());
+  for (const signal::Peak& p : r.peaks) {
+    r.change_times_s.push_back(static_cast<double>(p.index) /
+                               config_.sample_rate_hz);
+  }
+  return r;
+}
+
+PreprocessResult Preprocessor::process_transmitted(
+    const signal::Signal& raw) const {
+  return process(raw, config_.screen_min_prominence);
+}
+
+PreprocessResult Preprocessor::process_received(
+    const signal::Signal& raw) const {
+  return process(raw, config_.face_min_prominence);
+}
+
+}  // namespace lumichat::core

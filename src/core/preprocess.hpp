@@ -1,0 +1,57 @@
+// Preprocessing chain (Sec. V, Fig. 7), applied to each raw luminance
+// signal in this order:
+//   1. low-pass FIR, cut-off 1 Hz          -> remove broadband noise
+//   2. moving variance, window 10          -> localise energy of changes
+//   3. threshold filter, cut-off 2         -> kill small noise spikes
+//   4. moving RMS, window 30               -> merge split peaks
+//   5. Savitzky-Golay, window 31, order 3  -> polynomial smoothing
+//   6. moving average, window 10           -> final smoothing
+//   7. peak finding by minimal prominence  -> significant luminance changes
+// The smoothed variance signal (after 6) is the "luminance change trend"
+// used by features z3/z4; the peak times (after 7) are the "luminance change
+// behavior" used by z1/z2.
+#pragma once
+
+#include <vector>
+
+#include "core/config.hpp"
+#include "signal/peaks.hpp"
+#include "signal/types.hpp"
+
+namespace lumichat::core {
+
+/// All intermediate products of the chain (Fig. 7 plots exactly these).
+struct PreprocessResult {
+  signal::Signal filtered;           ///< after the 1 Hz low-pass
+  signal::Signal variance;           ///< short-time variance
+  signal::Signal thresholded;        ///< after the spike cut-off
+  signal::Signal smoothed_variance;  ///< after RMS + SavGol + moving average
+  std::vector<signal::Peak> peaks;   ///< significant luminance changes
+  std::vector<double> change_times_s;  ///< peak times in seconds
+};
+
+class Preprocessor {
+ public:
+  explicit Preprocessor(DetectorConfig config = {});
+
+  /// Runs the full chain. `min_prominence` differs per signal: the paper
+  /// uses 10 for the screen-light signal and 0.5 for the face-reflected
+  /// signal (their dynamic ranges differ by an order of magnitude).
+  [[nodiscard]] PreprocessResult process(const signal::Signal& raw,
+                                         double min_prominence) const;
+
+  /// The chain applied to the transmitted (screen-light) signal.
+  [[nodiscard]] PreprocessResult process_transmitted(
+      const signal::Signal& raw) const;
+
+  /// The chain applied to the received (face-reflected) signal.
+  [[nodiscard]] PreprocessResult process_received(
+      const signal::Signal& raw) const;
+
+  [[nodiscard]] const DetectorConfig& config() const { return config_; }
+
+ private:
+  DetectorConfig config_;
+};
+
+}  // namespace lumichat::core

@@ -1,0 +1,74 @@
+#include "core/streaming.hpp"
+
+#include <cmath>
+
+#include "face/roi.hpp"
+#include "image/luminance.hpp"
+
+namespace lumichat::core {
+
+StreamingDetector::StreamingDetector(StreamingConfig config)
+    : config_(config), detector_(config.detector),
+      preprocessor_(config.detector), features_(config.detector) {
+  window_samples_ = static_cast<std::size_t>(
+      std::llround(config_.window_s * config_.detector.sample_rate_hz));
+  t_buffer_.reserve(window_samples_);
+  r_buffer_.reserve(window_samples_);
+}
+
+void StreamingDetector::train_on_features(
+    const std::vector<FeatureVector>& features) {
+  detector_.train_on_features(features);
+}
+
+void StreamingDetector::reset_window() {
+  t_buffer_.clear();
+  r_buffer_.clear();
+}
+
+std::optional<DetectionResult> StreamingDetector::push(
+    double t_sec, const image::Image& transmitted,
+    const image::Image& received) {
+  if (t_sec + 1e-9 < next_sample_at_) return std::nullopt;  // too fast
+  next_sample_at_ = t_sec + 1.0 / config_.detector.sample_rate_hz;
+
+  // Transmitted: whole-frame mean luminance (Eq. 3).
+  t_buffer_.push_back(image::frame_luminance(transmitted));
+
+  // Received: nasal-bridge ROI via the landmark detector, with the batch
+  // extractor's hold-last fallback.
+  double r_value = last_r_value_;
+  if (!received.empty()) {
+    if (const auto lm = landmarks_.detect(received)) {
+      const image::RectF roi = face::nasal_roi_f(*lm);
+      if (!roi.empty()) {
+        r_value = image::roi_luminance(received, roi);
+        if (!have_r_value_) {
+          // Backfill earlier hold-over samples of this window.
+          for (double& v : r_buffer_) v = r_value;
+          have_r_value_ = true;
+        }
+        last_r_value_ = r_value;
+      }
+    }
+  }
+  r_buffer_.push_back(r_value);
+
+  if (t_buffer_.size() < window_samples_) return std::nullopt;
+
+  // Window complete: run the batch pipeline on the buffered signals.
+  const PreprocessResult t_pre = preprocessor_.process_transmitted(t_buffer_);
+  const PreprocessResult r_pre = preprocessor_.process_received(r_buffer_);
+  const FeatureExtraction fx = features_.extract(t_pre, r_pre);
+  DetectionResult result = detector_.classify(fx.features);
+  result.diagnostics = fx.diagnostics;
+  window_verdicts_.push_back(result.is_attacker);
+  reset_window();
+  return result;
+}
+
+VoteOutcome StreamingDetector::running_verdict() const {
+  return majority_vote(window_verdicts_, config_.detector.vote_fraction);
+}
+
+}  // namespace lumichat::core

@@ -1,0 +1,82 @@
+// Streaming (real-time) front end for the detector.
+//
+// The batch Detector consumes complete 15-second clips. A deployed system
+// sees one frame at a time; this wrapper does the per-frame work (luminance
+// extraction at the configured sampling rate) incrementally and emits a
+// DetectionResult whenever a full window of samples has accumulated,
+// keeping a running majority vote across windows (Sec. VII-B).
+//
+//   StreamingDetector sd(config);
+//   sd.train_on_features(legit_features);
+//   while (chatting) {
+//     if (auto r = sd.push(t, my_sent_frame, their_frame)) {
+//       alert_if(r->is_attacker);
+//     }
+//   }
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/config.hpp"
+#include "core/detector.hpp"
+#include "core/luminance_extractor.hpp"
+#include "core/preprocess.hpp"
+#include "core/voting.hpp"
+#include "image/image.hpp"
+
+namespace lumichat::core {
+
+struct StreamingConfig {
+  DetectorConfig detector{};
+  /// Length of one detection window (the paper's clip length).
+  double window_s = 15.0;
+};
+
+class StreamingDetector {
+ public:
+  explicit StreamingDetector(StreamingConfig config = {});
+
+  /// Training phase (delegates to the batch detector).
+  void train_on_features(const std::vector<FeatureVector>& features);
+  [[nodiscard]] bool is_trained() const { return detector_.is_trained(); }
+
+  /// Feeds one simultaneous pair of frames at time `t_sec` (non-decreasing).
+  /// Frames arriving faster than the configured sampling rate are skipped;
+  /// an empty received frame holds the previous luminance value (same
+  /// fallback as the batch extractor). Returns a verdict each time a full
+  /// window completes, std::nullopt otherwise.
+  [[nodiscard]] std::optional<DetectionResult> push(
+      double t_sec, const image::Image& transmitted,
+      const image::Image& received);
+
+  /// Majority-vote outcome over all completed windows so far.
+  [[nodiscard]] VoteOutcome running_verdict() const;
+
+  /// Number of completed detection windows.
+  [[nodiscard]] std::size_t windows_completed() const {
+    return window_verdicts_.size();
+  }
+
+  /// Drops any partially accumulated window (e.g. after a hold/resume).
+  void reset_window();
+
+  [[nodiscard]] const StreamingConfig& config() const { return config_; }
+
+ private:
+  StreamingConfig config_;
+  Detector detector_;
+  face::LandmarkDetector landmarks_;
+  Preprocessor preprocessor_;
+  FeatureExtractor features_;
+
+  signal::Signal t_buffer_;
+  signal::Signal r_buffer_;
+  double next_sample_at_ = 0.0;
+  double last_r_value_ = 0.0;
+  bool have_r_value_ = false;
+  std::size_t window_samples_ = 0;
+  std::vector<bool> window_verdicts_;
+};
+
+}  // namespace lumichat::core

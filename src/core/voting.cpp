@@ -1,0 +1,18 @@
+#include "core/voting.hpp"
+
+namespace lumichat::core {
+
+VoteOutcome majority_vote(const std::vector<bool>& rounds,
+                          double vote_fraction) {
+  VoteOutcome out;
+  out.total_votes = rounds.size();
+  for (const bool v : rounds) {
+    if (v) ++out.attacker_votes;
+  }
+  out.is_attacker =
+      static_cast<double>(out.attacker_votes) >
+      vote_fraction * static_cast<double>(out.total_votes);
+  return out;
+}
+
+}  // namespace lumichat::core

@@ -1,0 +1,23 @@
+// Decision combination (Sec. VII-B): detection can be triggered several
+// times per chat; each round casts one equal-weight vote, and the untrusted
+// user is declared an attacker when attacker-votes exceed 0.7 x D. The 0.7
+// coefficient comes from the single-round accuracy reported in Sec. VIII-C.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lumichat::core {
+
+struct VoteOutcome {
+  std::size_t attacker_votes = 0;
+  std::size_t total_votes = 0;
+  bool is_attacker = false;
+};
+
+/// Combines single-round verdicts (`true` = that round said "attacker").
+/// With an empty input the user is accepted (no evidence, no alarm).
+[[nodiscard]] VoteOutcome majority_vote(const std::vector<bool>& rounds,
+                                        double vote_fraction = 0.7);
+
+}  // namespace lumichat::core

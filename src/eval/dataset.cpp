@@ -1,0 +1,138 @@
+#include "eval/dataset.hpp"
+
+#include "common/rng.hpp"
+#include "reenact/adaptive.hpp"
+#include "reenact/reenactor.hpp"
+
+namespace lumichat::eval {
+
+chat::SessionSpec SimulationProfile::session_spec() const {
+  chat::SessionSpec s;
+  s.duration_s = clip_duration_s;
+  s.sample_rate_hz = sample_rate_hz;
+  s.alice_to_bob = alice_to_bob;
+  s.bob_to_alice = bob_to_alice;
+  return s;
+}
+
+core::DetectorConfig SimulationProfile::detector_config() const {
+  core::DetectorConfig c = detector;
+  c.sample_rate_hz = sample_rate_hz;
+  return c;
+}
+
+DatasetBuilder::DatasetBuilder(SimulationProfile profile)
+    : profile_(profile), featurizer_(profile_.detector_config()) {}
+
+std::uint64_t DatasetBuilder::clip_seed(const Volunteer& v, Role role,
+                                        std::size_t clip_idx) const {
+  // Decorrelated stream per (volunteer, role, clip).
+  const std::uint64_t stream =
+      v.id * 100000ULL + static_cast<std::uint64_t>(role) * 10000ULL +
+      clip_idx;
+  return common::derive_seed(profile_.master_seed, stream);
+}
+
+chat::AliceStream DatasetBuilder::make_alice(std::uint64_t seed) const {
+  chat::AliceSpec spec;
+  // Alice's own face varies with the seed so no two clips show the same
+  // verifier-side content; she is not part of the evaluated population.
+  spec.face = face::make_volunteer_face(seed % 10);
+  common::Rng script_rng(common::derive_seed(seed, 61));
+  auto script = chat::make_metering_script(profile_.clip_duration_s,
+                                           script_rng);
+  return chat::AliceStream(spec, std::move(script),
+                           common::derive_seed(seed, 62));
+}
+
+chat::SessionTrace DatasetBuilder::legit_trace(const Volunteer& v,
+                                               std::size_t clip_idx) const {
+  const std::uint64_t seed = clip_seed(v, Role::kLegitimate, clip_idx);
+  chat::AliceStream alice = make_alice(seed);
+  common::Rng env_rng(common::derive_seed(seed, 69));
+
+  chat::LegitimateSpec bob;
+  bob.face = v.face;
+  bob.screen = profile_.bob_screen;
+  // Session-to-session variation: people do not sit at a fixed distance or
+  // under identical lighting for every chat. This is what gives legitimate
+  // feature vectors their natural spread on the LOF hyperplane.
+  bob.screen_distance_m =
+      profile_.bob_screen_distance_m * env_rng.uniform(0.8, 1.35);
+  bob.ambient.lux_on_face = profile_.bob_ambient_lux * env_rng.uniform(0.55, 1.7);
+  chat::LegitimateRespondent respondent(bob, common::derive_seed(seed, 63));
+
+  return chat::run_session(profile_.session_spec(), alice, respondent,
+                           common::derive_seed(seed, 64));
+}
+
+chat::SessionTrace DatasetBuilder::attacker_trace(const Volunteer& v,
+                                                  std::size_t clip_idx) const {
+  const std::uint64_t seed = clip_seed(v, Role::kAttacker, clip_idx);
+  chat::AliceStream alice = make_alice(seed);
+
+  common::Rng env_rng(common::derive_seed(seed, 69));
+  reenact::ReenactorSpec spec;
+  spec.victim = v.face;  // the impersonated identity
+  // The target video was plausibly recorded in an environment like the
+  // victim's usual one, with the same session-to-session variation.
+  spec.target_env.screen = profile_.bob_screen;
+  spec.target_env.screen_distance_m =
+      profile_.bob_screen_distance_m * env_rng.uniform(0.8, 1.35);
+  spec.target_env.ambient.lux_on_face =
+      profile_.bob_ambient_lux * env_rng.uniform(0.55, 1.7);
+  reenact::ReenactmentAttacker attacker(spec, common::derive_seed(seed, 65));
+
+  return chat::run_session(profile_.session_spec(), alice, attacker,
+                           common::derive_seed(seed, 66));
+}
+
+chat::SessionTrace DatasetBuilder::adaptive_trace(const Volunteer& v,
+                                                  std::size_t clip_idx,
+                                                  double delay_s) const {
+  const std::uint64_t seed = clip_seed(v, Role::kAdaptiveAttacker, clip_idx);
+  chat::AliceStream alice = make_alice(seed);
+
+  common::Rng env_rng(common::derive_seed(seed, 69));
+  reenact::AdaptiveAttackerSpec spec;
+  spec.victim = v.face;
+  spec.screen = profile_.bob_screen;
+  spec.screen_distance_m =
+      profile_.bob_screen_distance_m * env_rng.uniform(0.8, 1.35);
+  spec.ambient.lux_on_face =
+      profile_.bob_ambient_lux * env_rng.uniform(0.55, 1.7);
+  spec.processing_delay_s = delay_s;
+  reenact::AdaptiveAttacker attacker(spec, common::derive_seed(seed, 67));
+
+  return chat::run_session(profile_.session_spec(), alice, attacker,
+                           common::derive_seed(seed, 68));
+}
+
+std::vector<core::FeatureVector> DatasetBuilder::features(
+    const Volunteer& v, Role role, std::size_t n_clips,
+    double adaptive_delay_s) const {
+  std::vector<core::FeatureVector> out;
+  out.reserve(n_clips);
+  for (std::size_t i = 0; i < n_clips; ++i) {
+    chat::SessionTrace trace;
+    switch (role) {
+      case Role::kLegitimate:
+        trace = legit_trace(v, i);
+        break;
+      case Role::kAttacker:
+        trace = attacker_trace(v, i);
+        break;
+      case Role::kAdaptiveAttacker:
+        trace = adaptive_trace(v, i, adaptive_delay_s);
+        break;
+    }
+    out.push_back(featurizer_.featurize(trace).features);
+  }
+  return out;
+}
+
+core::Detector DatasetBuilder::make_detector() const {
+  return core::Detector(profile_.detector_config());
+}
+
+}  // namespace lumichat::eval

@@ -1,0 +1,54 @@
+// Shared experiment protocol helpers (Sec. VIII-C's repeated-round scheme):
+// "we randomly picked 20 instances for training and tested the system using
+// the other 20 instances", repeated 20 rounds per volunteer.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/features.hpp"
+#include "eval/dataset.hpp"
+#include "eval/metrics.hpp"
+
+namespace lumichat::eval {
+
+/// A random disjoint train/test split of indices 0..n-1.
+struct Split {
+  std::vector<std::size_t> train;
+  std::vector<std::size_t> test;
+};
+
+/// Picks `n_train` random training indices out of n; the rest are test.
+/// \throws std::invalid_argument if n_train > n.
+[[nodiscard]] Split random_split(std::size_t n, std::size_t n_train,
+                                 common::Rng& rng);
+
+/// Selects the subset of `features` at `indices`.
+[[nodiscard]] std::vector<core::FeatureVector> select(
+    const std::vector<core::FeatureVector>& features,
+    const std::vector<std::size_t>& indices);
+
+/// Per-round accuracy results for one volunteer.
+struct RoundResult {
+  double tar = 0.0;  ///< over the legit test instances of this round
+  double trr = 0.0;  ///< over the attacker instances of this round
+};
+
+/// The standard protocol: train a LOF detector on `train_features`, score
+/// legit and attacker test sets, return TAR/TRR.
+[[nodiscard]] RoundResult evaluate_round(
+    const DatasetBuilder& data,
+    const std::vector<core::FeatureVector>& train_features,
+    const std::vector<core::FeatureVector>& legit_test,
+    const std::vector<core::FeatureVector>& attacker_test);
+
+/// Multi-round voting accuracy (Fig. 14): draws `attempts` single-round
+/// verdicts per trial from the given verdict pool and applies the 0.7-vote
+/// rule, repeated `trials` times.
+[[nodiscard]] double voting_accuracy(const std::vector<bool>& round_verdicts,
+                                     std::size_t attempts, std::size_t trials,
+                                     double vote_fraction, bool want_attacker,
+                                     common::Rng& rng);
+
+}  // namespace lumichat::eval

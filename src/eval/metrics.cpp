@@ -1,0 +1,89 @@
+#include "eval/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lumichat::eval {
+
+void AttemptCounts::add_legit(bool accepted) {
+  if (accepted) {
+    ++legit_accepted;
+  } else {
+    ++legit_rejected;
+  }
+}
+
+void AttemptCounts::add_attacker(bool rejected) {
+  if (rejected) {
+    ++attacker_rejected;
+  } else {
+    ++attacker_accepted;
+  }
+}
+
+double AttemptCounts::tar() const {
+  const std::size_t n = legit_accepted + legit_rejected;
+  return n == 0 ? 0.0
+               : static_cast<double>(legit_accepted) / static_cast<double>(n);
+}
+
+double AttemptCounts::trr() const {
+  const std::size_t n = attacker_accepted + attacker_rejected;
+  return n == 0 ? 0.0
+               : static_cast<double>(attacker_rejected) /
+                     static_cast<double>(n);
+}
+
+double AttemptCounts::far() const {
+  const std::size_t n = attacker_accepted + attacker_rejected;
+  return n == 0 ? 0.0
+               : static_cast<double>(attacker_accepted) /
+                     static_cast<double>(n);
+}
+
+double AttemptCounts::frr() const {
+  const std::size_t n = legit_accepted + legit_rejected;
+  return n == 0 ? 0.0
+               : static_cast<double>(legit_rejected) / static_cast<double>(n);
+}
+
+double equal_error_rate(std::span<const RatePoint> sweep) {
+  if (sweep.empty()) return 0.0;
+  // Find adjacent points where (FAR - FRR) changes sign and interpolate.
+  for (std::size_t i = 0; i + 1 < sweep.size(); ++i) {
+    const double d0 = sweep[i].far - sweep[i].frr;
+    const double d1 = sweep[i + 1].far - sweep[i + 1].frr;
+    if (d0 == 0.0) return (sweep[i].far + sweep[i].frr) / 2.0;
+    if ((d0 < 0.0) != (d1 < 0.0)) {
+      const double t = d0 / (d0 - d1);
+      const double far_x =
+          sweep[i].far + t * (sweep[i + 1].far - sweep[i].far);
+      const double frr_x =
+          sweep[i].frr + t * (sweep[i + 1].frr - sweep[i].frr);
+      return (far_x + frr_x) / 2.0;
+    }
+  }
+  // No crossing: report the point with the smallest |FAR - FRR|.
+  const auto best = std::min_element(
+      sweep.begin(), sweep.end(), [](const RatePoint& a, const RatePoint& b) {
+        return std::fabs(a.far - a.frr) < std::fabs(b.far - b.frr);
+      });
+  return (best->far + best->frr) / 2.0;
+}
+
+double sample_mean(std::span<const double> xs) {
+  if (xs.empty()) return 0.0;
+  double acc = 0.0;
+  for (const double x : xs) acc += x;
+  return acc / static_cast<double>(xs.size());
+}
+
+double sample_stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = sample_mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+}  // namespace lumichat::eval

@@ -1,0 +1,49 @@
+// Evaluation metrics (Sec. VIII-B): true acceptance rate, true rejection
+// rate, false acceptance rate, false rejection rate, and the equal error
+// rate derived from FAR/FRR curves over a threshold sweep.
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace lumichat::eval {
+
+/// Outcome counts over a set of detection attempts.
+struct AttemptCounts {
+  std::size_t legit_accepted = 0;
+  std::size_t legit_rejected = 0;
+  std::size_t attacker_accepted = 0;
+  std::size_t attacker_rejected = 0;
+
+  void add_legit(bool accepted);
+  void add_attacker(bool rejected);
+
+  /// True acceptance rate: accepted / total legitimate attempts.
+  [[nodiscard]] double tar() const;
+  /// True rejection rate: rejected / total attacker attempts.
+  [[nodiscard]] double trr() const;
+  /// False acceptance rate = 1 - TRR.
+  [[nodiscard]] double far() const;
+  /// False rejection rate = 1 - TAR.
+  [[nodiscard]] double frr() const;
+};
+
+/// One point of a threshold sweep.
+struct RatePoint {
+  double threshold = 0.0;
+  double far = 0.0;
+  double frr = 0.0;
+};
+
+/// Equal error rate: interpolated crossing of the FAR and FRR curves.
+/// Points must be ordered by threshold. Returns the average of FAR and FRR
+/// at the (interpolated) crossing.
+[[nodiscard]] double equal_error_rate(std::span<const RatePoint> sweep);
+
+/// Mean of a sample.
+[[nodiscard]] double sample_mean(std::span<const double> xs);
+/// Unbiased (n-1) standard deviation; 0 for fewer than two samples.
+[[nodiscard]] double sample_stddev(std::span<const double> xs);
+
+}  // namespace lumichat::eval

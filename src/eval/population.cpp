@@ -1,0 +1,14 @@
+#include "eval/population.hpp"
+
+namespace lumichat::eval {
+
+std::vector<Volunteer> make_population() {
+  std::vector<Volunteer> pop;
+  pop.reserve(kPopulationSize);
+  for (std::size_t i = 0; i < kPopulationSize; ++i) {
+    pop.push_back(Volunteer{i, face::make_volunteer_face(i)});
+  }
+  return pop;
+}
+
+}  // namespace lumichat::eval

@@ -1,0 +1,25 @@
+// The evaluation population (Sec. VIII-A): ten volunteers — four female,
+// six male in the paper — with diverse skin tones, each of whom acts both
+// as a legitimate user and as the victim a reenactment attacker impersonates.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "face/face_model.hpp"
+
+namespace lumichat::eval {
+
+struct Volunteer {
+  std::size_t id = 0;
+  face::FaceModel face;
+};
+
+/// The ten evaluation volunteers.
+[[nodiscard]] std::vector<Volunteer> make_population();
+
+inline constexpr std::size_t kPopulationSize = 10;
+/// Clips recorded per role per volunteer (Sec. VIII-A: 40).
+inline constexpr std::size_t kClipsPerRole = 40;
+
+}  // namespace lumichat::eval

@@ -1,0 +1,70 @@
+#include "face/dynamics.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace lumichat::face {
+
+FaceDynamics::FaceDynamics(DynamicsSpec spec, double blink_rate_hz,
+                           bool talking, std::uint64_t seed)
+    : spec_(spec), blink_rate_hz_(blink_rate_hz), talking_(talking),
+      rng_(seed) {
+  phase_x_ = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+  phase_y_ = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+  phase_s_ = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+  phase_yaw_ = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+  // First blink/occlusion are exponentially distributed like the rest.
+  if (blink_rate_hz_ > 0.0) {
+    next_blink_at_ = -std::log(rng_.uniform(1e-9, 1.0)) / blink_rate_hz_;
+  } else {
+    next_blink_at_ = 1e18;
+  }
+  if (spec_.occlusion_rate_hz > 0.0) {
+    next_occlusion_at_ =
+        -std::log(rng_.uniform(1e-9, 1.0)) / spec_.occlusion_rate_hz;
+  } else {
+    next_occlusion_at_ = 1e18;
+  }
+}
+
+FaceState FaceDynamics::state(double t_sec) {
+  const double w = 2.0 * std::numbers::pi / spec_.sway_period_s;
+  FaceState s;
+  s.cx = 0.5 + spec_.sway_amplitude * std::sin(w * t_sec + phase_x_) +
+         rng_.gaussian(0.0, spec_.jitter_sigma);
+  s.cy = 0.52 + 0.6 * spec_.sway_amplitude *
+                    std::sin(0.73 * w * t_sec + phase_y_) +
+         rng_.gaussian(0.0, spec_.jitter_sigma);
+  s.scale = 1.0 + spec_.scale_wobble * std::sin(0.41 * w * t_sec + phase_s_);
+  s.yaw = spec_.yaw_amplitude *
+          std::sin(2.0 * std::numbers::pi * t_sec / spec_.yaw_period_s +
+                   phase_yaw_);
+
+  // Poisson blink process with fixed-duration closures.
+  if (t_sec >= next_blink_at_ && blink_rate_hz_ > 0.0) {
+    blink_until_ = next_blink_at_ + spec_.blink_duration_s;
+    next_blink_at_ +=
+        spec_.blink_duration_s -
+        std::log(rng_.uniform(1e-9, 1.0)) / blink_rate_hz_;
+  }
+  s.eyes_closed = t_sec < blink_until_;
+
+  // Occasional hand-over-face gesture.
+  if (t_sec >= next_occlusion_at_ && spec_.occlusion_rate_hz > 0.0) {
+    occluded_until_ = next_occlusion_at_ + spec_.occlusion_duration_s;
+    next_occlusion_at_ +=
+        spec_.occlusion_duration_s -
+        std::log(rng_.uniform(1e-9, 1.0)) / spec_.occlusion_rate_hz;
+  }
+  s.occluded = t_sec < occluded_until_;
+
+  if (talking_) {
+    const double cycle =
+        std::sin(2.0 * std::numbers::pi * spec_.talk_rate_hz * t_sec);
+    s.mouth_open = 0.5 * (1.0 + cycle);
+  }
+  last_t_ = t_sec;
+  return s;
+}
+
+}  // namespace lumichat::face

@@ -1,0 +1,69 @@
+// Time-varying face state: head pose drift, blinks, and mouth motion.
+//
+// These are the noise sources the paper's Sec. V calls out — "the face of
+// the untrusted user will likely be moving in the scene", blinking and
+// talking "introduce a lot of variances between neighboring frames". The
+// nasal-bridge ROI is chosen precisely because it is robust to them, and the
+// simulator must generate them for that choice to be exercised.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+
+namespace lumichat::face {
+
+/// Instantaneous pose/expression state at one frame.
+struct FaceState {
+  double cx = 0.5;          ///< face centre x (normalised frame coords)
+  double cy = 0.52;         ///< face centre y
+  double scale = 1.0;       ///< relative size multiplier
+  double yaw = 0.0;         ///< head turn, -1 (left) .. 1 (right)
+  bool eyes_closed = false; ///< mid-blink
+  double mouth_open = 0.0;  ///< 0 closed .. 1 fully open
+  bool occluded = false;    ///< hand briefly covering the lower face
+};
+
+/// Parameters for the pose/expression random process.
+struct DynamicsSpec {
+  double sway_amplitude = 0.02;   ///< head sway amplitude (frame fraction)
+  double sway_period_s = 6.0;     ///< dominant sway period
+  double jitter_sigma = 0.003;    ///< per-frame positional jitter
+  double scale_wobble = 0.03;     ///< slow in/out movement amplitude
+  double blink_duration_s = 0.25; ///< time the eyes stay shut per blink
+  double talk_rate_hz = 2.5;      ///< mouth open/close cycles per second
+  double yaw_amplitude = 0.10;    ///< slow head-turn amplitude (|yaw| max)
+  double yaw_period_s = 9.0;      ///< dominant head-turn period
+  /// Rate of brief face occlusions (hand gestures). 0 disables — the
+  /// headline evaluation keeps faces visible (Sec. VIII-A protocol), the
+  /// robustness tests turn this on.
+  double occlusion_rate_hz = 0.0;
+  double occlusion_duration_s = 0.5;
+};
+
+/// Generates a smooth, seeded trajectory of FaceState.
+class FaceDynamics {
+ public:
+  FaceDynamics(DynamicsSpec spec, double blink_rate_hz, bool talking,
+               std::uint64_t seed);
+
+  /// State at time `t_sec`. Call with non-decreasing t (streaming use).
+  [[nodiscard]] FaceState state(double t_sec);
+
+ private:
+  DynamicsSpec spec_;
+  double blink_rate_hz_;
+  bool talking_;
+  common::Rng rng_;
+  double phase_x_;
+  double phase_y_;
+  double phase_s_;
+  double phase_yaw_;
+  double next_blink_at_ = 0.0;
+  double blink_until_ = -1.0;
+  double next_occlusion_at_ = 0.0;
+  double occluded_until_ = -1.0;
+  double last_t_ = -1.0;
+};
+
+}  // namespace lumichat::face

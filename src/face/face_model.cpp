@@ -1,0 +1,40 @@
+#include "face/face_model.hpp"
+
+#include <array>
+#include <stdexcept>
+
+namespace lumichat::face {
+
+FaceModel make_volunteer_face(std::size_t index) {
+  if (index >= 10) {
+    throw std::invalid_argument("make_volunteer_face: index must be 0..9");
+  }
+  // Skin tones sampled across the Fitzpatrick-like range, kept warm
+  // (r > g > b) at every level. Values are linear-light albedos.
+  static constexpr std::array<image::Pixel, 10> kSkin = {{
+      {0.22, 0.15, 0.11},  // dark
+      {0.62, 0.48, 0.38},  // light
+      {0.45, 0.33, 0.25},
+      {0.30, 0.21, 0.15},
+      {0.55, 0.42, 0.33},
+      {0.18, 0.12, 0.09},  // darkest
+      {0.66, 0.52, 0.42},  // lightest
+      {0.40, 0.29, 0.22},
+      {0.50, 0.37, 0.28},
+      {0.35, 0.25, 0.18},
+  }};
+
+  FaceModel m;
+  m.name = "volunteer_" + std::to_string(index);
+  m.skin_albedo = kSkin[index];
+  m.face_width_frac = 0.38 + 0.01 * static_cast<double>(index % 5);
+  m.face_aspect = 1.30 + 0.02 * static_cast<double>(index % 4);
+  m.nose_len_frac = 0.20 + 0.01 * static_cast<double>(index % 3);
+  m.glasses = (index == 2 || index == 7);
+  m.hair_coverage = 0.08 + 0.03 * static_cast<double>(index % 4);
+  m.blink_rate_hz = 0.2 + 0.04 * static_cast<double>(index % 5);
+  m.talking = true;
+  return m;
+}
+
+}  // namespace lumichat::face

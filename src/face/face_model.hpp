@@ -1,0 +1,44 @@
+// Per-person face description used by the synthetic renderer.
+//
+// This substitutes for the paper's human volunteers: ten faces with diverse
+// skin albedo (dark to light, per Sec. VIII-A "diverse skin colors"),
+// optional glasses (an occluder and glare source the paper calls out as a
+// noise source), and hair that can cover the upper face. The defense only
+// reads pixels, so the visual simplicity of the model does not shortcut the
+// detection path.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "image/image.hpp"
+
+namespace lumichat::face {
+
+struct FaceModel {
+  std::string name;
+  /// Linear-light skin albedo (dimensionless 0..1 per channel). Human skin
+  /// is warm: r > g > b for every tone, which the landmark detector's
+  /// chroma mask relies on — exactly like real skin-tone segmentation.
+  image::Pixel skin_albedo{0.50, 0.38, 0.30};
+  /// Width of the face ellipse as a fraction of the frame width.
+  double face_width_frac = 0.42;
+  /// Face ellipse height / width.
+  double face_aspect = 1.35;
+  /// Nose length as a fraction of the face-ellipse height.
+  double nose_len_frac = 0.22;
+  bool glasses = false;
+  /// Fraction of the upper face covered by hair (0 = none).
+  double hair_coverage = 0.15;
+  /// Blink rate in blinks per second (humans: ~0.2-0.4).
+  double blink_rate_hz = 0.3;
+  /// Whether the person is talking (animates the mouth).
+  bool talking = true;
+};
+
+/// Deterministically builds one of the ten evaluation volunteers
+/// (index 0..9). Skin-albedo luminance spans ~0.16 (dark) to ~0.62 (light);
+/// volunteers 2 and 7 wear glasses; hair coverage varies.
+[[nodiscard]] FaceModel make_volunteer_face(std::size_t index);
+
+}  // namespace lumichat::face

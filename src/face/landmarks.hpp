@@ -1,0 +1,29 @@
+// Facial landmark types mirroring the nasal landmarks the paper consumes
+// from its Python face-recognition API (Fig. 5): four points along the nasal
+// bridge and five around the nasal tip.
+#pragma once
+
+#include <array>
+
+namespace lumichat::face {
+
+/// A sub-pixel point in frame coordinates (x right, y down).
+struct PointD {
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// Nasal landmarks. bridge[0] is the top of the bridge, bridge[3] the lower
+/// end — the paper's (a1, b1). tip[2] is the centre of the nasal tip — the
+/// paper's (a2, b2).
+struct Landmarks {
+  std::array<PointD, 4> bridge{};
+  std::array<PointD, 5> tip{};
+
+  /// The paper's (a1, b1): the lower end of the nasal bridge.
+  [[nodiscard]] PointD bridge_lower() const { return bridge[3]; }
+  /// The paper's (a2, b2): the nasal tip centre.
+  [[nodiscard]] PointD tip_center() const { return tip[2]; }
+};
+
+}  // namespace lumichat::face

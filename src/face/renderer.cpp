@@ -1,0 +1,196 @@
+#include "face/renderer.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "optics/reflection.hpp"
+
+namespace lumichat::face {
+namespace {
+
+// Face-feature geometry constants, expressed relative to the face-ellipse
+// half-axes (A horizontal, B vertical). They match average human proportions
+// closely enough for the chroma-mask landmark detector to be calibrated
+// against them (see face/landmark_detector.cpp).
+constexpr double kEyeOffsetX = 0.38;
+constexpr double kEyeOffsetY = -0.20;
+constexpr double kEyeRadX = 0.16;
+constexpr double kEyeRadY = 0.10;
+constexpr double kBrowOffsetY = -0.36;
+constexpr double kBrowHalfW = 0.26;
+constexpr double kBrowHalfH = 0.035;
+constexpr double kNoseTopY = -0.10;  // bridge top, in units of B below centre
+constexpr double kNoseHalfW = 0.07;  // nose strip half-width, units of A
+constexpr double kMouthOffsetY = 0.48;
+constexpr double kMouthRadX = 0.28;
+constexpr double kMouthRadYClosed = 0.03;
+constexpr double kMouthRadYOpen = 0.11;
+
+struct FaceFrame {
+  double fx;  // face centre, px
+  double fy;
+  double a;  // half-width, px
+  double b;  // half-height, px
+};
+
+FaceFrame face_frame(const FaceModel& m, const RenderSpec& spec,
+                     const FaceState& st) {
+  FaceFrame f{};
+  f.fx = st.cx * static_cast<double>(spec.width);
+  f.fy = st.cy * static_cast<double>(spec.height);
+  f.a = 0.5 * m.face_width_frac * st.scale * static_cast<double>(spec.width);
+  f.b = f.a * m.face_aspect;
+  return f;
+}
+
+bool in_ellipse(double dx, double dy, double rx, double ry) {
+  const double nx = dx / rx;
+  const double ny = dy / ry;
+  return nx * nx + ny * ny <= 1.0;
+}
+
+}  // namespace
+
+FaceRenderer::FaceRenderer(FaceModel model, RenderSpec spec)
+    : model_(std::move(model)), spec_(spec) {}
+
+image::Image FaceRenderer::render(const FaceState& state,
+                                  const image::Pixel& screen_illum,
+                                  const image::Pixel& ambient_illum) const {
+  const FaceFrame f = face_frame(model_, spec_, state);
+  const double nose_len = model_.nose_len_frac * 2.0 * f.b;
+  const double nose_top = f.fy + kNoseTopY * f.b;
+  const double nose_bot = nose_top + nose_len;
+
+  const image::Pixel face_illum =
+      optics::combine_illuminants(screen_illum, ambient_illum);
+  const image::Pixel bg_illum = optics::combine_illuminants(
+      screen_illum * spec_.background_screen_coupling, ambient_illum);
+
+  const image::Pixel dark_feature{0.05, 0.04, 0.04};
+  const image::Pixel hair_albedo{0.07, 0.06, 0.05};
+  const image::Pixel mouth_albedo{0.28, 0.09, 0.09};
+  const image::Pixel frame_albedo{0.10, 0.10, 0.12};
+
+  // Head yaw slides the nose line across the face and skews the shading.
+  const double nose_cx = f.fx + state.yaw * 0.18 * f.a;
+  const image::Pixel hand_albedo = model_.skin_albedo * 0.92;
+
+  // Shades the pixel whose centre is (x, y) in pixel coordinates.
+  const auto shade = [&](double x, double y) -> image::Pixel {
+    const double dx = x - f.fx;
+    const double dy = y - f.fy;
+
+    // A hand briefly covering the lower face occludes everything under it
+    // (including the nasal region the detector wants).
+    if (state.occluded &&
+        in_ellipse(x - (f.fx + 0.10 * f.a), y - (f.fy + 0.25 * f.b),
+                   0.55 * f.a, 0.50 * f.b)) {
+      return optics::reflect(face_illum, hand_albedo) * 0.95;
+    }
+
+    const double nx = dx / f.a;
+    const double ny = dy / f.b;
+    const double r2 = nx * nx + ny * ny;
+    if (r2 > 1.0) {
+      // Background: wall with a gentle vertical gradient.
+      const double v = y / static_cast<double>(spec_.height);
+      const image::Pixel albedo = spec_.background_albedo * (0.9 + 0.2 * v);
+      return optics::reflect(bg_illum, albedo);
+    }
+
+    // On the face. Centre-facing surface is brighter (Lambertian falloff);
+    // a turned head shades the receding cheek.
+    double lambert = (0.78 + 0.22 * (1.0 - r2)) * (1.0 - 0.15 * state.yaw * nx);
+    image::Pixel albedo = model_.skin_albedo;
+
+    // Hair covers the top of the ellipse.
+    const double from_top = (dy + f.b) / (2.0 * f.b);  // 0 at the crown
+    if (from_top < model_.hair_coverage) albedo = hair_albedo;
+
+    for (const double side : {-1.0, 1.0}) {
+      const double ex = side * kEyeOffsetX * f.a;
+      const double ey = kEyeOffsetY * f.b;
+      // Eyes (lids are skin while blinking).
+      if (!state.eyes_closed &&
+          in_ellipse(dx - ex, dy - ey, kEyeRadX * f.a, kEyeRadY * f.b)) {
+        albedo = dark_feature;
+      }
+      // Eyebrows.
+      if (std::fabs(dx - ex) < kBrowHalfW * f.a &&
+          std::fabs(dy - kBrowOffsetY * f.b) < kBrowHalfH * 2.0 * f.b) {
+        albedo = dark_feature;
+      }
+      if (model_.glasses) {
+        // Glare patch: specular, mirrors the illuminant with no albedo.
+        if (in_ellipse(dx - ex - 0.04 * f.a, dy - ey + 0.03 * f.b,
+                       0.05 * f.a, 0.03 * f.b)) {
+          return face_illum * (spec_.glasses_glare_gain * 0.1);
+        }
+        // Frame ring around each lens.
+        const double rr =
+            std::sqrt(std::pow((dx - ex) / (kEyeRadX * f.a * 1.5), 2) +
+                      std::pow((dy - ey) / (kEyeRadY * f.b * 1.9), 2));
+        if (rr > 0.85 && rr < 1.15) albedo = frame_albedo;
+      }
+    }
+
+    // Nose: vertical ridge strip with a slight highlight (follows yaw).
+    if (std::fabs(x - nose_cx) < kNoseHalfW * f.a && y >= nose_top &&
+        y <= nose_bot) {
+      albedo = model_.skin_albedo * 1.10;
+      lambert = std::min(1.0, lambert * 1.05);
+    }
+    // Nostril shadow just under the tip.
+    if (std::fabs(y - (nose_bot + 0.02 * f.b)) < 0.018 * f.b &&
+        std::fabs(x - nose_cx) < 0.10 * f.a) {
+      albedo = albedo * 0.55;
+    }
+
+    // Mouth: opens while talking.
+    const double mouth_ry =
+        (kMouthRadYClosed +
+         (kMouthRadYOpen - kMouthRadYClosed) * state.mouth_open) *
+        f.b;
+    if (in_ellipse(dx, dy - kMouthOffsetY * f.b, kMouthRadX * f.a, mouth_ry)) {
+      albedo = state.mouth_open > 0.3 ? dark_feature : mouth_albedo;
+    }
+
+    return optics::reflect(face_illum, albedo) * lambert;
+  };
+
+  image::Image img(spec_.width, spec_.height);
+  for (std::size_t yi = 0; yi < spec_.height; ++yi) {
+    for (std::size_t xi = 0; xi < spec_.width; ++xi) {
+      img(xi, yi) = shade(static_cast<double>(xi) + 0.5,
+                          static_cast<double>(yi) + 0.5);
+    }
+  }
+  return img;
+}
+
+Landmarks FaceRenderer::true_landmarks(const FaceState& state) const {
+  const FaceFrame f = face_frame(model_, spec_, state);
+  const double nose_len = model_.nose_len_frac * 2.0 * f.b;
+  const double nose_top = f.fy + kNoseTopY * f.b;
+  const double nose_cx = f.fx + state.yaw * 0.18 * f.a;
+
+  Landmarks lm;
+  // Bridge: four points over the upper half of the nose strip; the lower
+  // bridge point sits at half the nose length (the "lower part of the nasal
+  // bridge" the paper extracts).
+  for (std::size_t i = 0; i < lm.bridge.size(); ++i) {
+    const double frac = 0.5 * static_cast<double>(i) /
+                        static_cast<double>(lm.bridge.size() - 1);
+    lm.bridge[i] = PointD{nose_cx, nose_top + frac * nose_len};
+  }
+  // Tip: five points fanned across the nose end.
+  const double tip_y = nose_top + nose_len;
+  const std::array<double, 5> tip_dx = {-0.12, -0.06, 0.0, 0.06, 0.12};
+  for (std::size_t i = 0; i < lm.tip.size(); ++i) {
+    lm.tip[i] = PointD{nose_cx + tip_dx[i] * f.a, tip_y};
+  }
+  return lm;
+}
+
+}  // namespace lumichat::face

@@ -1,0 +1,60 @@
+// Synthetic face rasteriser.
+//
+// Renders a parametric face into a radiometric frame under two illuminants
+// (screen light + ambient light), per the Von Kries model the paper builds
+// on: every skin pixel's radiance is albedo x (E_screen + E_ambient) x a
+// Lambertian shading term. Facial features that the paper identifies as
+// luminance-noise sources are modelled explicitly:
+//   * eyes that blink and a mouth that moves while talking,
+//   * hair covering the upper face,
+//   * glasses with a specular glare term around the eyes.
+// The nasal bridge is drawn with a slight ridge highlight, as on real faces.
+//
+// The renderer also exposes ground-truth landmarks so tests can measure the
+// landmark detector's error — production code must go through the detector.
+#pragma once
+
+#include "face/dynamics.hpp"
+#include "face/face_model.hpp"
+#include "face/landmarks.hpp"
+#include "image/image.hpp"
+
+namespace lumichat::face {
+
+/// Static rendering parameters.
+struct RenderSpec {
+  std::size_t width = 96;
+  std::size_t height = 72;
+  image::Pixel background_albedo{0.50, 0.50, 0.50};
+  /// Fraction of the screen illuminance that also reaches the wall behind
+  /// the user (the wall is further from the screen than the face).
+  double background_screen_coupling = 0.12;
+  /// Specular gain of eyeglass glare (reflects screen+ambient directly).
+  double glasses_glare_gain = 2.0;
+};
+
+class FaceRenderer {
+ public:
+  FaceRenderer(FaceModel model, RenderSpec spec = {});
+
+  /// Renders one radiometric frame.
+  ///
+  /// \param state         pose/expression at this instant.
+  /// \param screen_illum  per-channel screen illuminance on the face.
+  /// \param ambient_illum per-channel ambient illuminance on the face.
+  [[nodiscard]] image::Image render(const FaceState& state,
+                                    const image::Pixel& screen_illum,
+                                    const image::Pixel& ambient_illum) const;
+
+  /// Ground-truth nasal landmarks for `state` (test oracle only).
+  [[nodiscard]] Landmarks true_landmarks(const FaceState& state) const;
+
+  [[nodiscard]] const FaceModel& model() const { return model_; }
+  [[nodiscard]] const RenderSpec& spec() const { return spec_; }
+
+ private:
+  FaceModel model_;
+  RenderSpec spec_;
+};
+
+}  // namespace lumichat::face

@@ -1,0 +1,38 @@
+#include "face/roi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lumichat::face {
+
+image::RectF nasal_roi_f(const Landmarks& lm, double min_side) {
+  const PointD b1 = lm.bridge_lower();
+  const PointD b2 = lm.tip_center();
+  const double side = std::max(std::fabs(b1.y - b2.y), min_side);
+  return image::RectF{b1.x - side / 2.0, b1.y - side / 2.0, side, side};
+}
+
+image::Rect nasal_roi(const Landmarks& lm, std::size_t frame_width,
+                      std::size_t frame_height, std::size_t min_side) {
+  const PointD b1 = lm.bridge_lower();
+  const PointD b2 = lm.tip_center();
+  const double side_f = std::max(std::fabs(b1.y - b2.y),
+                                 static_cast<double>(min_side));
+  const auto side = static_cast<std::size_t>(std::lround(side_f));
+
+  const double x0f = b1.x - side_f / 2.0;
+  const double y0f = b1.y - side_f / 2.0;
+
+  image::Rect roi;
+  roi.x = static_cast<std::size_t>(std::max(0.0, std::round(x0f)));
+  roi.y = static_cast<std::size_t>(std::max(0.0, std::round(y0f)));
+  roi.width = side;
+  roi.height = side;
+  // Clip to the frame.
+  if (roi.x >= frame_width || roi.y >= frame_height) return {};
+  roi.width = std::min(roi.width, frame_width - roi.x);
+  roi.height = std::min(roi.height, frame_height - roi.y);
+  return roi;
+}
+
+}  // namespace lumichat::face

@@ -1,0 +1,25 @@
+// Interested-area extraction (paper Fig. 5): given the nasal-bridge lower
+// point (a1, b1) and the nasal-tip centre (a2, b2), the region of interest
+// is the square of side l = |b1 - b2| centred at (a1, b1).
+#pragma once
+
+#include "face/landmarks.hpp"
+#include "image/image.hpp"
+
+namespace lumichat::face {
+
+/// Computes the nasal region of interest from detected landmarks, clipped to
+/// a frame of the given dimensions. The side length is forced to be at least
+/// `min_side` pixels so the luminance average always has a few samples.
+[[nodiscard]] image::Rect nasal_roi(const Landmarks& lm,
+                                    std::size_t frame_width,
+                                    std::size_t frame_height,
+                                    std::size_t min_side = 3);
+
+/// Sub-pixel variant: the square follows the landmarks continuously so
+/// landmark jitter cannot make the sampled luminance jump by whole pixels.
+/// Not clipped — the sub-pixel luminance sampler clips against the frame.
+[[nodiscard]] image::RectF nasal_roi_f(const Landmarks& lm,
+                                       double min_side = 3.0);
+
+}  // namespace lumichat::face

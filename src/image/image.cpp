@@ -1,0 +1,85 @@
+#include "image/image.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lumichat::image {
+
+Image::Image(std::size_t width, std::size_t height, Pixel fill)
+    : width_(width), height_(height), pixels_(width * height, fill) {}
+
+Pixel& Image::at(std::size_t x, std::size_t y) {
+  if (x >= width_ || y >= height_) {
+    throw std::out_of_range("Image::at: coordinates out of range");
+  }
+  return pixels_[y * width_ + x];
+}
+
+const Pixel& Image::at(std::size_t x, std::size_t y) const {
+  if (x >= width_ || y >= height_) {
+    throw std::out_of_range("Image::at: coordinates out of range");
+  }
+  return pixels_[y * width_ + x];
+}
+
+Image Image::crop(const Rect& rect) const {
+  const std::size_t x0 = std::min(rect.x, width_);
+  const std::size_t y0 = std::min(rect.y, height_);
+  const std::size_t w = std::min(rect.width, width_ - x0);
+  const std::size_t h = std::min(rect.height, height_ - y0);
+  Image out(w, h);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      out(x, y) = (*this)(x0 + x, y0 + y);
+    }
+  }
+  return out;
+}
+
+Image Image::downscale(std::size_t new_width, std::size_t new_height) const {
+  if (new_width == 0 || new_height == 0) {
+    throw std::invalid_argument("Image::downscale: zero target size");
+  }
+  if (empty()) return Image(new_width, new_height);
+  Image out(new_width, new_height);
+  for (std::size_t oy = 0; oy < new_height; ++oy) {
+    // Source band covered by this output row/column (box filter).
+    const std::size_t y0 = oy * height_ / new_height;
+    std::size_t y1 = (oy + 1) * height_ / new_height;
+    y1 = std::max(y1, y0 + 1);
+    for (std::size_t ox = 0; ox < new_width; ++ox) {
+      const std::size_t x0 = ox * width_ / new_width;
+      std::size_t x1 = (ox + 1) * width_ / new_width;
+      x1 = std::max(x1, x0 + 1);
+      Pixel acc;
+      for (std::size_t y = y0; y < y1 && y < height_; ++y) {
+        for (std::size_t x = x0; x < x1 && x < width_; ++x) {
+          acc += (*this)(x, y);
+        }
+      }
+      const double n = static_cast<double>((std::min(y1, height_) - y0) *
+                                           (std::min(x1, width_) - x0));
+      out(ox, oy) = acc * (1.0 / n);
+    }
+  }
+  return out;
+}
+
+Pixel Image::mean_pixel() const {
+  if (empty()) return {};
+  Pixel acc;
+  for (const Pixel& p : pixels_) acc += p;
+  return acc * (1.0 / static_cast<double>(pixels_.size()));
+}
+
+void Image::fill_rect(const Rect& rect, Pixel value) {
+  const std::size_t x0 = std::min(rect.x, width_);
+  const std::size_t y0 = std::min(rect.y, height_);
+  const std::size_t x1 = std::min(rect.x + rect.width, width_);
+  const std::size_t y1 = std::min(rect.y + rect.height, height_);
+  for (std::size_t y = y0; y < y1; ++y) {
+    for (std::size_t x = x0; x < x1; ++x) (*this)(x, y) = value;
+  }
+}
+
+}  // namespace lumichat::image

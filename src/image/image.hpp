@@ -1,0 +1,102 @@
+// RGB raster image with linear-light float channels.
+//
+// All light transport in the simulator happens in linear RGB (the Von Kries
+// model of Eq. 1 is linear); conversion to the 8-bit quantised values a real
+// camera emits happens only at the camera boundary (optics::CameraModel).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace lumichat::image {
+
+/// One linear-light RGB sample. Channel values are non-negative and
+/// open-ended (radiometric), not clamped display values.
+struct Pixel {
+  double r = 0.0;
+  double g = 0.0;
+  double b = 0.0;
+
+  Pixel operator+(const Pixel& o) const { return {r + o.r, g + o.g, b + o.b}; }
+  Pixel operator-(const Pixel& o) const { return {r - o.r, g - o.g, b - o.b}; }
+  Pixel operator*(double s) const { return {r * s, g * s, b * s}; }
+  /// Channel-wise product — the Von Kries diagonal model I_c = E_c * R_c.
+  Pixel operator*(const Pixel& o) const { return {r * o.r, g * o.g, b * o.b}; }
+  Pixel& operator+=(const Pixel& o) {
+    r += o.r;
+    g += o.g;
+    b += o.b;
+    return *this;
+  }
+  bool operator==(const Pixel&) const = default;
+};
+
+/// Axis-aligned rectangle in pixel coordinates (half-open on both axes).
+struct Rect {
+  std::size_t x = 0;
+  std::size_t y = 0;
+  std::size_t width = 0;
+  std::size_t height = 0;
+
+  [[nodiscard]] bool empty() const { return width == 0 || height == 0; }
+};
+
+/// Sub-pixel rectangle. Regions derived from (sub-pixel) facial landmarks
+/// must be sampled with fractional coverage: snapping to whole pixels makes
+/// the sampled luminance jump whenever landmark jitter crosses a pixel
+/// boundary, which reads as fake luminance changes downstream.
+struct RectF {
+  double x = 0.0;
+  double y = 0.0;
+  double width = 0.0;
+  double height = 0.0;
+
+  [[nodiscard]] bool empty() const { return width <= 0.0 || height <= 0.0; }
+};
+
+/// A dense RGB image. Row-major storage; (0,0) is the top-left corner.
+class Image {
+ public:
+  Image() = default;
+  Image(std::size_t width, std::size_t height, Pixel fill = {});
+
+  [[nodiscard]] std::size_t width() const { return width_; }
+  [[nodiscard]] std::size_t height() const { return height_; }
+  [[nodiscard]] bool empty() const { return pixels_.empty(); }
+
+  /// Bounds-checked access. \throws std::out_of_range.
+  [[nodiscard]] Pixel& at(std::size_t x, std::size_t y);
+  [[nodiscard]] const Pixel& at(std::size_t x, std::size_t y) const;
+
+  /// Unchecked access for hot loops (renderer, luminance extraction).
+  [[nodiscard]] Pixel& operator()(std::size_t x, std::size_t y) {
+    return pixels_[y * width_ + x];
+  }
+  [[nodiscard]] const Pixel& operator()(std::size_t x, std::size_t y) const {
+    return pixels_[y * width_ + x];
+  }
+
+  /// Crops `rect` (clipped against the image bounds) into a new image.
+  [[nodiscard]] Image crop(const Rect& rect) const;
+
+  /// Box-filter downscale to (new_width, new_height). Downscaling to 1x1
+  /// implements the paper's "compress each frame into a single pixel".
+  [[nodiscard]] Image downscale(std::size_t new_width,
+                                std::size_t new_height) const;
+
+  /// Mean pixel over the whole image (the 1x1 downscale value).
+  [[nodiscard]] Pixel mean_pixel() const;
+
+  /// Fills `rect` (clipped) with `value`.
+  void fill_rect(const Rect& rect, Pixel value);
+
+  [[nodiscard]] const std::vector<Pixel>& pixels() const { return pixels_; }
+
+ private:
+  std::size_t width_ = 0;
+  std::size_t height_ = 0;
+  std::vector<Pixel> pixels_;
+};
+
+}  // namespace lumichat::image

@@ -1,0 +1,59 @@
+#include "image/luminance.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lumichat::image {
+
+double luminance(const Pixel& p) {
+  return kLumaR * p.r + kLumaG * p.g + kLumaB * p.b;
+}
+
+double frame_luminance(const Image& frame) {
+  return luminance(frame.mean_pixel());
+}
+
+double roi_luminance(const Image& frame, const RectF& roi) {
+  const double x0 = std::max(roi.x, 0.0);
+  const double y0 = std::max(roi.y, 0.0);
+  const double x1 = std::min(roi.x + roi.width,
+                             static_cast<double>(frame.width()));
+  const double y1 = std::min(roi.y + roi.height,
+                             static_cast<double>(frame.height()));
+  if (x0 >= x1 || y0 >= y1) return 0.0;
+
+  const auto ix0 = static_cast<std::size_t>(x0);
+  const auto iy0 = static_cast<std::size_t>(y0);
+  const auto ix1 = static_cast<std::size_t>(std::ceil(x1));
+  const auto iy1 = static_cast<std::size_t>(std::ceil(y1));
+
+  double acc = 0.0;
+  double area = 0.0;
+  for (std::size_t y = iy0; y < iy1 && y < frame.height(); ++y) {
+    const double cy = std::min(y1, static_cast<double>(y + 1)) -
+                      std::max(y0, static_cast<double>(y));
+    for (std::size_t x = ix0; x < ix1 && x < frame.width(); ++x) {
+      const double cx = std::min(x1, static_cast<double>(x + 1)) -
+                        std::max(x0, static_cast<double>(x));
+      const double w = cx * cy;
+      acc += w * luminance(frame(x, y));
+      area += w;
+    }
+  }
+  return area > 0.0 ? acc / area : 0.0;
+}
+
+double roi_luminance(const Image& frame, const Rect& roi) {
+  const std::size_t x0 = std::min(roi.x, frame.width());
+  const std::size_t y0 = std::min(roi.y, frame.height());
+  const std::size_t x1 = std::min(roi.x + roi.width, frame.width());
+  const std::size_t y1 = std::min(roi.y + roi.height, frame.height());
+  if (x0 >= x1 || y0 >= y1) return 0.0;
+  double acc = 0.0;
+  for (std::size_t y = y0; y < y1; ++y) {
+    for (std::size_t x = x0; x < x1; ++x) acc += luminance(frame(x, y));
+  }
+  return acc / static_cast<double>((x1 - x0) * (y1 - y0));
+}
+
+}  // namespace lumichat::image

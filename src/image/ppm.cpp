@@ -1,0 +1,70 @@
+#include "image/ppm.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <stdexcept>
+
+namespace lumichat::image {
+namespace {
+
+constexpr double kGamma = 2.2;
+
+std::uint8_t encode(double v, double white) {
+  const double norm = std::clamp(white > 0.0 ? v / white : 0.0, 0.0, 1.0);
+  return static_cast<std::uint8_t>(
+      std::lround(std::pow(norm, 1.0 / kGamma) * 255.0));
+}
+
+double decode(std::uint8_t v, double white) {
+  return std::pow(static_cast<double>(v) / 255.0, kGamma) * white;
+}
+
+}  // namespace
+
+void save_ppm(const Image& img, const std::string& path, double white_level) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw std::runtime_error("save_ppm: cannot open " + path);
+  out << "P6\n" << img.width() << " " << img.height() << "\n255\n";
+  for (std::size_t y = 0; y < img.height(); ++y) {
+    for (std::size_t x = 0; x < img.width(); ++x) {
+      const Pixel& p = img(x, y);
+      const std::uint8_t rgb[3] = {encode(p.r, white_level),
+                                   encode(p.g, white_level),
+                                   encode(p.b, white_level)};
+      out.write(reinterpret_cast<const char*>(rgb), 3);
+    }
+  }
+  if (!out) throw std::runtime_error("save_ppm: write failed for " + path);
+}
+
+Image load_ppm(const std::string& path, double white_level) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error("load_ppm: cannot open " + path);
+  std::string magic;
+  in >> magic;
+  if (magic != "P6") throw std::runtime_error("load_ppm: not a P6 PPM");
+  std::size_t w = 0;
+  std::size_t h = 0;
+  int maxval = 0;
+  in >> w >> h >> maxval;
+  if (!in || maxval != 255) {
+    throw std::runtime_error("load_ppm: unsupported header in " + path);
+  }
+  in.get();  // single whitespace after header
+  Image img(w, h);
+  std::vector<char> row(w * 3);
+  for (std::size_t y = 0; y < h; ++y) {
+    in.read(row.data(), static_cast<std::streamsize>(row.size()));
+    if (!in) throw std::runtime_error("load_ppm: truncated file " + path);
+    for (std::size_t x = 0; x < w; ++x) {
+      img(x, y) = Pixel{
+          decode(static_cast<std::uint8_t>(row[x * 3 + 0]), white_level),
+          decode(static_cast<std::uint8_t>(row[x * 3 + 1]), white_level),
+          decode(static_cast<std::uint8_t>(row[x * 3 + 2]), white_level)};
+    }
+  }
+  return img;
+}
+
+}  // namespace lumichat::image

@@ -1,0 +1,23 @@
+// Binary PPM (P6) I/O so examples can dump rendered frames for inspection.
+// Linear values are gamma-encoded (sRGB-approximate 1/2.2) on save and
+// decoded on load; values are normalised against a caller-supplied white
+// level because the renderer works in open-ended radiometric units.
+#pragma once
+
+#include <string>
+
+#include "image/image.hpp"
+
+namespace lumichat::image {
+
+/// Saves `img` as binary PPM. `white_level` maps to 255.
+/// \throws std::runtime_error on I/O failure.
+void save_ppm(const Image& img, const std::string& path,
+              double white_level = 1.0);
+
+/// Loads a binary PPM. Values are scaled so 255 -> `white_level`.
+/// \throws std::runtime_error on parse or I/O failure.
+[[nodiscard]] Image load_ppm(const std::string& path,
+                             double white_level = 1.0);
+
+}  // namespace lumichat::image

@@ -1,0 +1,25 @@
+#include "optics/ambient.hpp"
+
+#include <cmath>
+#include <numbers>
+
+namespace lumichat::optics {
+
+AmbientLight::AmbientLight(AmbientSpec spec, std::uint64_t seed)
+    : spec_(spec), rng_(seed) {
+  phase_ = rng_.uniform(0.0, 2.0 * std::numbers::pi);
+}
+
+image::Pixel AmbientLight::illuminance(double t_sec) {
+  const double drift =
+      spec_.drift_amplitude *
+      std::sin(2.0 * std::numbers::pi * t_sec /
+                   std::max(spec_.drift_period_s, 1e-6) +
+               phase_);
+  const double flicker = rng_.gaussian(0.0, spec_.flicker_sigma);
+  const double level = spec_.lux_on_face * (1.0 + drift + flicker);
+  const double clamped = level < 0.0 ? 0.0 : level;
+  return spec_.tint * clamped;
+}
+
+}  // namespace lumichat::optics

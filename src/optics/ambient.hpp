@@ -1,0 +1,38 @@
+// Ambient-light model (Sec. VIII-I): a slowly drifting, slightly flickering
+// background illuminant. When ambient dominates the screen light, the
+// relative luminance change of the face-reflected light is buried — the
+// paper reports TAR dropping to ~80% at 240 lux on the face.
+#pragma once
+
+#include "common/rng.hpp"
+#include "image/image.hpp"
+
+namespace lumichat::optics {
+
+/// Configuration of an ambient illuminant.
+struct AmbientSpec {
+  double lux_on_face = 60.0;   ///< mean illuminance on the face
+  double drift_amplitude = 0.05;  ///< slow relative drift (fraction of mean)
+  double drift_period_s = 20.0;   ///< period of the slow drift
+  double flicker_sigma = 0.004;   ///< per-sample relative flicker (AC ripple)
+  /// Colour of the ambient light, normalised so luminance weight == 1.
+  image::Pixel tint{1.0, 1.0, 1.0};
+};
+
+/// Generates the ambient illuminance falling on the face over time.
+class AmbientLight {
+ public:
+  AmbientLight(AmbientSpec spec, std::uint64_t seed);
+
+  /// Illuminance (per channel) at time `t_sec`.
+  [[nodiscard]] image::Pixel illuminance(double t_sec);
+
+  [[nodiscard]] const AmbientSpec& spec() const { return spec_; }
+
+ private:
+  AmbientSpec spec_;
+  common::Rng rng_;
+  double phase_;  // random initial drift phase, per instance
+};
+
+}  // namespace lumichat::optics

@@ -1,0 +1,109 @@
+#include "optics/camera.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "image/luminance.hpp"
+
+namespace lumichat::optics {
+
+CameraModel::CameraModel(CameraSpec spec, std::uint64_t seed)
+    : spec_(spec), rng_(seed) {}
+
+void CameraModel::reset() {
+  gain_ = 0.0;
+  wb_ = image::Pixel{1.0, 1.0, 1.0};
+}
+
+double CameraModel::meter(const image::Image& scene) const {
+  if (scene.empty()) return 0.0;
+  if (spec_.metering == MeteringMode::kSpot) {
+    const auto win_w = std::max<std::size_t>(
+        1, static_cast<std::size_t>(spec_.spot_window_frac *
+                                    static_cast<double>(scene.width())));
+    const auto win_h = std::max<std::size_t>(
+        1, static_cast<std::size_t>(spec_.spot_window_frac *
+                                    static_cast<double>(scene.height())));
+    const double cx = std::clamp(spot_.x, 0.0, 1.0) *
+                      static_cast<double>(scene.width() - 1);
+    const double cy = std::clamp(spot_.y, 0.0, 1.0) *
+                      static_cast<double>(scene.height() - 1);
+    image::Rect roi;
+    roi.x = static_cast<std::size_t>(
+        std::max(0.0, cx - static_cast<double>(win_w) / 2.0));
+    roi.y = static_cast<std::size_t>(
+        std::max(0.0, cy - static_cast<double>(win_h) / 2.0));
+    roi.width = win_w;
+    roi.height = win_h;
+    return image::roi_luminance(scene, roi);
+  }
+
+  // Multi-zone: 5x5 grid, centre-weighted the way consumer firmware does it.
+  constexpr std::size_t kZones = 5;
+  double acc = 0.0;
+  double weight_sum = 0.0;
+  for (std::size_t zy = 0; zy < kZones; ++zy) {
+    for (std::size_t zx = 0; zx < kZones; ++zx) {
+      image::Rect zone;
+      zone.x = zx * scene.width() / kZones;
+      zone.y = zy * scene.height() / kZones;
+      zone.width = scene.width() / kZones;
+      zone.height = scene.height() / kZones;
+      const double dx = static_cast<double>(zx) - 2.0;
+      const double dy = static_cast<double>(zy) - 2.0;
+      const double w = 1.0 / (1.0 + 0.5 * (dx * dx + dy * dy));
+      acc += w * image::roi_luminance(scene, zone);
+      weight_sum += w;
+    }
+  }
+  return weight_sum > 0.0 ? acc / weight_sum : 0.0;
+}
+
+image::Image CameraModel::capture(const image::Image& scene) {
+  const double metered = meter(scene);
+  constexpr double kFullScale = 255.0;
+  const double ideal_gain =
+      metered > 1e-9 ? spec_.exposure_target * kFullScale / metered : gain_;
+  if (gain_ <= 0.0) {
+    gain_ = ideal_gain;  // first frame: firmware snaps exposure immediately
+  } else {
+    gain_ += spec_.adaptation_rate * (ideal_gain - gain_);
+  }
+
+  if (spec_.auto_white_balance && !scene.empty()) {
+    // Grey-world estimate: gains that would equalise the channel means.
+    const image::Pixel mean = scene.mean_pixel();
+    const double grey = (mean.r + mean.g + mean.b) / 3.0;
+    if (grey > 1e-9 && mean.r > 1e-9 && mean.g > 1e-9 && mean.b > 1e-9) {
+      const image::Pixel ideal{grey / mean.r, grey / mean.g, grey / mean.b};
+      wb_.r += spec_.awb_rate * (ideal.r - wb_.r);
+      wb_.g += spec_.awb_rate * (ideal.g - wb_.g);
+      wb_.b += spec_.awb_rate * (ideal.b - wb_.b);
+    }
+  }
+
+  image::Image out(scene.width(), scene.height());
+  for (std::size_t y = 0; y < scene.height(); ++y) {
+    for (std::size_t x = 0; x < scene.width(); ++x) {
+      const image::Pixel& p = scene(x, y);
+      auto develop = [&](double v) {
+        double lsb = v * gain_;
+        // Read and shot noise are independent Gaussians; fold them into one
+        // draw with the combined variance (hot path: every channel of every
+        // pixel of every simulated frame passes through here).
+        const double sigma =
+            std::sqrt(spec_.read_noise_sigma * spec_.read_noise_sigma +
+                      spec_.shot_noise_coeff * spec_.shot_noise_coeff *
+                          std::max(0.0, lsb));
+        lsb += rng_.gaussian(0.0, sigma);
+        lsb = std::clamp(lsb, 0.0, kFullScale);
+        return spec_.quantize ? std::round(lsb) : lsb;
+      };
+      out(x, y) = image::Pixel{develop(p.r * wb_.r), develop(p.g * wb_.g),
+                               develop(p.b * wb_.b)};
+    }
+  }
+  return out;
+}
+
+}  // namespace lumichat::optics

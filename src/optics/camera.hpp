@@ -1,0 +1,94 @@
+// Digital camera model with light metering (paper Sec. II-B).
+//
+// Two roles in the system use it differently:
+//  * Alice's camera: she deliberately moves the *spot-metering* point between
+//    bright and dark parts of her scene. The exposure controller re-exposes
+//    the whole frame, which is how a legitimate user injects significant
+//    luminance changes into her transmitted video without altering content.
+//  * Bob's camera: multi-zone metering over a mostly static scene; its slow
+//    exposure adaptation does not cancel the small, fast face-reflection
+//    changes that the defense measures.
+//
+// The model converts a radiometric scene (open-ended linear units) into the
+// 8-bit-like frames a real capture pipeline emits: exposure gain, shot +
+// read noise, clamping and quantisation to [0, 255].
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "image/image.hpp"
+
+namespace lumichat::optics {
+
+enum class MeteringMode {
+  kSpot,       ///< small window around a movable metering point
+  kMultiZone,  ///< centre-weighted average over a zone grid
+};
+
+/// Static camera parameters.
+struct CameraSpec {
+  MeteringMode metering = MeteringMode::kMultiZone;
+  double frame_rate_hz = 30.0;
+  /// Metered scene luminance is mapped to this fraction of full scale.
+  double exposure_target = 0.5;
+  /// Per-frame exponential step of the gain toward its ideal value (auto
+  /// exposure lag). 1.0 = instant, 0 = frozen.
+  double adaptation_rate = 0.2;
+  /// Gaussian read noise, in 8-bit LSB.
+  double read_noise_sigma = 1.0;
+  /// Photon shot noise: sigma contribution = coeff * sqrt(value_in_lsb).
+  double shot_noise_coeff = 0.06;
+  /// Quantise output to integer LSB values (off for noise-free analysis).
+  bool quantize = true;
+  /// Spot-metering window size as a fraction of the frame dimension.
+  double spot_window_frac = 0.1;
+  /// Grey-world auto white balance: per-channel gains slowly equalise the
+  /// scene's average chroma. Disabled by default — AWB partially fights the
+  /// *colour* of the screen light, one more real-world nuisance for the
+  /// chroma-based landmark detector (covered by robustness tests).
+  bool auto_white_balance = false;
+  /// Per-frame exponential step of the white-balance gains.
+  double awb_rate = 0.05;
+};
+
+/// A point in normalised frame coordinates ([0,1] x [0,1]).
+struct NormPoint {
+  double x = 0.5;
+  double y = 0.5;
+};
+
+class CameraModel {
+ public:
+  CameraModel(CameraSpec spec, std::uint64_t seed);
+
+  /// Moves the spot-metering point (no-op for multi-zone metering).
+  void set_metering_spot(NormPoint p) { spot_ = p; }
+  [[nodiscard]] NormPoint metering_spot() const { return spot_; }
+
+  /// Captures one frame: meters `scene`, adapts exposure, applies gain,
+  /// injects noise and quantises. Values in the result lie in [0, 255].
+  [[nodiscard]] image::Image capture(const image::Image& scene);
+
+  /// Exposure gain currently applied (LSB per radiometric unit).
+  [[nodiscard]] double current_gain() const { return gain_; }
+
+  /// Current white-balance gains (all 1 when AWB is off).
+  [[nodiscard]] image::Pixel white_balance_gains() const { return wb_; }
+
+  [[nodiscard]] const CameraSpec& spec() const { return spec_; }
+
+  /// Resets exposure state (e.g. between independent clips).
+  void reset();
+
+ private:
+  [[nodiscard]] double meter(const image::Image& scene) const;
+
+  CameraSpec spec_;
+  common::Rng rng_;
+  NormPoint spot_{};
+  double gain_ = 0.0;  // 0 = not yet initialised; first frame snaps to ideal
+  image::Pixel wb_{1.0, 1.0, 1.0};
+};
+
+}  // namespace lumichat::optics

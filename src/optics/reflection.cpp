@@ -1,0 +1,30 @@
+#include "optics/reflection.hpp"
+
+namespace lumichat::optics {
+namespace {
+
+double safe_ratio(double after, double before) {
+  constexpr double kEps = 1e-9;
+  if (before < kEps) return 1.0;
+  return after / before;
+}
+
+}  // namespace
+
+image::Pixel reflect(const image::Pixel& illuminant,
+                     const image::Pixel& albedo) {
+  return illuminant * albedo;
+}
+
+image::Pixel illuminant_ratio(const image::Pixel& e_before,
+                              const image::Pixel& e_after) {
+  return {safe_ratio(e_after.r, e_before.r), safe_ratio(e_after.g, e_before.g),
+          safe_ratio(e_after.b, e_before.b)};
+}
+
+image::Pixel combine_illuminants(const image::Pixel& screen,
+                                 const image::Pixel& ambient) {
+  return screen + ambient;
+}
+
+}  // namespace lumichat::optics

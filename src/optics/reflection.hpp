@@ -1,0 +1,27 @@
+// Von Kries diagonal reflection model (paper Eqs. 1-2):
+//   I_c(x) = E_c(x) * R_c(x),  c in {R,G,B}
+// Face-reflected luminance is proportional to the incident illuminant for a
+// fixed albedo — the physical insight the whole defense rests on.
+#pragma once
+
+#include "image/image.hpp"
+
+namespace lumichat::optics {
+
+/// Reflected radiance of a surface point with albedo `albedo` under
+/// illuminant `illuminant` (channel-wise product, Eq. 1).
+[[nodiscard]] image::Pixel reflect(const image::Pixel& illuminant,
+                                   const image::Pixel& albedo);
+
+/// Ratio I'_c / I_c for a fixed-albedo point whose illuminant changed from
+/// `e_before` to `e_after` (Eq. 2). Channels with (near-)zero incident light
+/// report a ratio of 1 (no information).
+[[nodiscard]] image::Pixel illuminant_ratio(const image::Pixel& e_before,
+                                            const image::Pixel& e_after);
+
+/// Combines screen light and ambient light falling on the same surface
+/// point. Illuminance is additive.
+[[nodiscard]] image::Pixel combine_illuminants(const image::Pixel& screen,
+                                               const image::Pixel& ambient);
+
+}  // namespace lumichat::optics

@@ -1,0 +1,57 @@
+#include "optics/screen.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace lumichat::optics {
+
+namespace {
+constexpr double kInchToMeter = 0.0254;
+}
+
+double ScreenSpec::area_m2() const {
+  const double diag_m = diagonal_inches * kInchToMeter;
+  const double ratio = aspect_w / aspect_h;
+  // diag^2 = w^2 + h^2 with w = ratio * h.
+  const double h = diag_m / std::sqrt(ratio * ratio + 1.0);
+  const double w = ratio * h;
+  return w * h;
+}
+
+ScreenSpec dell_27in_led() { return ScreenSpec{.diagonal_inches = 27.0}; }
+ScreenSpec monitor_24in() { return ScreenSpec{.diagonal_inches = 24.0}; }
+ScreenSpec monitor_21in() { return ScreenSpec{.diagonal_inches = 21.5}; }
+ScreenSpec phone_6in() { return ScreenSpec{.diagonal_inches = 6.0}; }
+
+ScreenModel::ScreenModel(ScreenSpec spec, double face_distance_m)
+    : spec_(spec), distance_m_(face_distance_m) {
+  if (face_distance_m <= 0.0) {
+    throw std::invalid_argument("ScreenModel: distance must be positive");
+  }
+  if (spec_.brightness < 0.0 || spec_.brightness > 1.0) {
+    throw std::invalid_argument("ScreenModel: brightness must be in [0,1]");
+  }
+  geometry_gain_ = spec_.max_luminance_nits * spec_.brightness *
+                   spec_.area_m2() / (distance_m_ * distance_m_);
+}
+
+image::Pixel ScreenModel::face_illuminance(
+    const image::Pixel& frame_mean) const {
+  const double floor = spec_.backlight_floor;
+  auto channel = [&](double v) {
+    const double emitted = floor + (1.0 - floor) * v;
+    return geometry_gain_ * emitted;
+  };
+  return {channel(frame_mean.r), channel(frame_mean.g), channel(frame_mean.b)};
+}
+
+double ScreenModel::face_illuminance_scalar(double y01) const {
+  return geometry_gain_ *
+         (spec_.backlight_floor + (1.0 - spec_.backlight_floor) * y01);
+}
+
+double ScreenModel::peak_illuminance() const {
+  return face_illuminance_scalar(1.0);
+}
+
+}  // namespace lumichat::optics

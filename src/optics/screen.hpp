@@ -1,0 +1,65 @@
+// Screen emission model.
+//
+// Bob's screen displays Alice's video; the light it throws onto Bob's face is
+// what the defense measures. We model the screen as a Lambertian area source:
+//
+//   E_face = L_max * brightness * Y_frame * A_screen / d^2   [lux-like units]
+//
+// where Y_frame is the mean relative luminance of the displayed frame
+// (0..1), A_screen the panel area, and d the face-to-screen distance. This
+// captures every effect the paper studies: bigger screens and closer faces
+// give stronger modulation (Fig. 13 and the 6-inch-phone-at-10 cm note), a
+// black frame still leaks a little light (backlight floor of LED/LCD panels),
+// and brightness is a multiplicative setting (85% in the paper's testbed).
+#pragma once
+
+#include "image/image.hpp"
+
+namespace lumichat::optics {
+
+/// Static parameters of a display panel.
+struct ScreenSpec {
+  double diagonal_inches = 27.0;  ///< panel diagonal
+  double aspect_w = 16.0;         ///< aspect ratio numerator
+  double aspect_h = 9.0;          ///< aspect ratio denominator
+  double max_luminance_nits = 300.0;  ///< white-level luminance
+  double brightness = 0.85;       ///< user brightness setting in [0,1]
+  double backlight_floor = 0.02;  ///< fraction of white emitted for black
+
+  /// Panel area in m^2.
+  [[nodiscard]] double area_m2() const;
+};
+
+/// Commonly used testbed screens (paper Fig. 10 / Sec. VIII-E).
+[[nodiscard]] ScreenSpec dell_27in_led();
+[[nodiscard]] ScreenSpec monitor_24in();
+[[nodiscard]] ScreenSpec monitor_21in();
+[[nodiscard]] ScreenSpec phone_6in();
+
+/// Converts displayed frames to face illuminance.
+class ScreenModel {
+ public:
+  ScreenModel(ScreenSpec spec, double face_distance_m);
+
+  /// Illuminance (per channel) delivered to the face when `frame_mean` is
+  /// the mean linear RGB of the displayed frame (components in [0,1]).
+  [[nodiscard]] image::Pixel face_illuminance(
+      const image::Pixel& frame_mean) const;
+
+  /// Scalar helper: illuminance from a frame of relative luminance `y01`.
+  [[nodiscard]] double face_illuminance_scalar(double y01) const;
+
+  /// Peak (white-frame) illuminance — the modulation head-room available to
+  /// the defense. Larger values mean stronger reflected-light signal.
+  [[nodiscard]] double peak_illuminance() const;
+
+  [[nodiscard]] const ScreenSpec& spec() const { return spec_; }
+  [[nodiscard]] double face_distance_m() const { return distance_m_; }
+
+ private:
+  ScreenSpec spec_;
+  double distance_m_;
+  double geometry_gain_;  // L_max * brightness * A / d^2, precomputed
+};
+
+}  // namespace lumichat::optics

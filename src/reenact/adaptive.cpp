@@ -1,0 +1,40 @@
+#include "reenact/adaptive.hpp"
+
+namespace lumichat::reenact {
+
+AdaptiveAttacker::AdaptiveAttacker(AdaptiveAttackerSpec spec,
+                                   std::uint64_t seed)
+    : spec_(spec), renderer_(spec_.victim, spec_.render),
+      source_actor_(face::DynamicsSpec{}, spec_.victim.blink_rate_hz,
+                    /*talking=*/true, common::derive_seed(seed, 51)),
+      screen_(spec_.screen, spec_.screen_distance_m),
+      ambient_(spec_.ambient, common::derive_seed(seed, 52)),
+      synthesis_camera_(spec_.synthesis_camera,
+                        common::derive_seed(seed, 53)) {}
+
+image::Image AdaptiveAttacker::respond(double t_sec,
+                                       const image::Image& displayed) {
+  // Record what the screen shows now; the relighting layer will only get to
+  // use it `processing_delay_s` from now.
+  image::Pixel mean01{};
+  if (!displayed.empty()) mean01 = displayed.mean_pixel() * (1.0 / 255.0);
+  history_.push_back(Observation{t_sec, mean01});
+
+  // Use the newest observation old enough to have cleared the pipeline;
+  // keep it at the front so later calls can still see it.
+  const double cutoff = t_sec - spec_.processing_delay_s;
+  while (history_.size() >= 2 && history_[1].t_sec <= cutoff) {
+    history_.pop_front();
+  }
+  image::Pixel usable{};  // before anything clears the pipe: dark screen
+  if (!history_.empty() && history_.front().t_sec <= cutoff) {
+    usable = history_.front().frame_mean01;
+  }
+
+  const image::Pixel screen_illum = screen_.face_illuminance(usable);
+  const image::Pixel ambient_illum = ambient_.illuminance(t_sec);
+  return synthesis_camera_.capture(renderer_.render(
+      source_actor_.state(t_sec), screen_illum, ambient_illum));
+}
+
+}  // namespace lumichat::reenact

@@ -1,0 +1,69 @@
+// The "strong attacker" of Sec. VIII-J: one who CAN reconstruct the
+// face-reflected screen light on the fake face, but needs extra processing
+// time to do it. The paper evaluates exactly this — "we shifted the relative
+// luminance signals of a legitimate user by different delays" — and shows
+// the rejection rate climbs to ~80% once the forgery pipeline lags 1.3 s.
+//
+// Implementation: the attacker observes what Bob's screen displays, but the
+// relighting layer emits the corresponding face only `processing_delay_s`
+// later. With delay 0 this attacker is optically indistinguishable from a
+// legitimate user (the paper's worst case).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "chat/respondent.hpp"
+#include "face/dynamics.hpp"
+#include "face/face_model.hpp"
+#include "face/renderer.hpp"
+#include "optics/ambient.hpp"
+#include "optics/camera.hpp"
+#include "optics/screen.hpp"
+
+namespace lumichat::reenact {
+
+struct AdaptiveAttackerSpec {
+  face::FaceModel victim = face::make_volunteer_face(1);
+  face::RenderSpec render;
+  /// The screen/geometry whose reflection the attacker forges (it mimics
+  /// Bob's claimed setup).
+  optics::ScreenSpec screen = optics::dell_27in_led();
+  double screen_distance_m = 0.55;
+  optics::AmbientSpec ambient{.lux_on_face = 60.0};
+  optics::CameraSpec synthesis_camera{
+      .metering = optics::MeteringMode::kMultiZone,
+      .exposure_target = 0.32,
+      .adaptation_rate = 0.08,
+  };
+  /// Latency of the luminance-reconstruction pipeline.
+  double processing_delay_s = 1.0;
+};
+
+class AdaptiveAttacker final : public chat::RespondentModel {
+ public:
+  AdaptiveAttacker(AdaptiveAttackerSpec spec, std::uint64_t seed);
+
+  /// Emits the fake frame relit with the screen light of `displayed` as it
+  /// was `processing_delay_s` ago.
+  [[nodiscard]] image::Image respond(double t_sec,
+                                     const image::Image& displayed) override;
+
+  [[nodiscard]] const AdaptiveAttackerSpec& spec() const { return spec_; }
+
+ private:
+  struct Observation {
+    double t_sec;
+    image::Pixel frame_mean01;  // displayed-frame mean, scaled to [0,1]
+  };
+
+  AdaptiveAttackerSpec spec_;
+  face::FaceRenderer renderer_;
+  face::FaceDynamics source_actor_;
+  optics::ScreenModel screen_;
+  optics::AmbientLight ambient_;
+  optics::CameraModel synthesis_camera_;
+  std::deque<Observation> history_;
+};
+
+}  // namespace lumichat::reenact

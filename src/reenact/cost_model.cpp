@@ -1,0 +1,31 @@
+#include "reenact/cost_model.hpp"
+
+#include <algorithm>
+
+namespace lumichat::reenact {
+
+namespace {
+double total_stage_ms(const AttackPipelineCosts& c) {
+  return c.reenactment_ms + c.light_estimation_ms + c.relighting_ms;
+}
+}  // namespace
+
+double achievable_fps(const AttackPipelineCosts& costs) {
+  const double stage = total_stage_ms(costs);
+  if (stage <= 0.0) return 1e9;
+  const double depth = static_cast<double>(std::max<std::size_t>(
+      costs.pipeline_depth, 1));
+  // Pipelining overlaps stages across frames: throughput scales with depth.
+  return 1000.0 * depth / stage;
+}
+
+double forgery_delay_s(const AttackPipelineCosts& costs) {
+  // Latency is not helped by pipelining: a frame must traverse every stage.
+  return total_stage_ms(costs) / 1000.0;
+}
+
+bool attack_feasible(const AttackPipelineCosts& costs, double required_fps) {
+  return achievable_fps(costs) >= required_fps;
+}
+
+}  // namespace lumichat::reenact

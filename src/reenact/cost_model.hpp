@@ -1,0 +1,42 @@
+// Attack cost model (Sec. III-A / VIII-J).
+//
+// The paper's security argument is economic: to beat the defense the
+// attacker must add a luminance-reconstruction (relighting) layer to an
+// already expensive reenactment pipeline, and the combined per-frame latency
+// becomes the forgery delay that Fig. 17 shows is fatal beyond ~1.3 s.
+// This model turns per-stage costs into (a) the achievable frame rate and
+// (b) the end-to-end forgery delay to feed the AdaptiveAttacker.
+#pragma once
+
+#include <cstddef>
+
+namespace lumichat::reenact {
+
+/// Per-frame processing costs of the attack pipeline, in milliseconds.
+struct AttackPipelineCosts {
+  /// Face reenactment synthesis per frame. Face2Face reports 27.6 fps
+  /// (~36 ms); ICFace is an offline model, far slower.
+  double reenactment_ms = 36.0;
+  /// Estimating the victim-side screen light from the incoming video.
+  double light_estimation_ms = 8.0;
+  /// Re-rendering the fake face under the estimated light.
+  double relighting_ms = 0.0;  // 0 = attacker does not forge the reflection
+  /// Frames the pipeline processes concurrently (batching/queueing).
+  std::size_t pipeline_depth = 1;
+};
+
+/// Frame rate the pipeline can sustain (frames per second).
+[[nodiscard]] double achievable_fps(const AttackPipelineCosts& costs);
+
+/// End-to-end latency from "light changes on Bob's screen" to "fake frame
+/// showing the corresponding reflection leaves the virtual camera".
+/// With pipeline_depth > 1, throughput improves but each frame still waits
+/// depth * stage-time in the pipe.
+[[nodiscard]] double forgery_delay_s(const AttackPipelineCosts& costs);
+
+/// True when the pipeline sustains at least `required_fps` (video chat needs
+/// ~10-30 fps to look live).
+[[nodiscard]] bool attack_feasible(const AttackPipelineCosts& costs,
+                                   double required_fps);
+
+}  // namespace lumichat::reenact

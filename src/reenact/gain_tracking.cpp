@@ -1,0 +1,50 @@
+#include "reenact/gain_tracking.hpp"
+
+#include <algorithm>
+
+#include "image/luminance.hpp"
+
+namespace lumichat::reenact {
+
+GainTrackingAttacker::GainTrackingAttacker(GainTrackingSpec spec,
+                                           std::uint64_t seed)
+    : spec_(spec), base_(spec.reenactor, common::derive_seed(seed, 71)) {}
+
+image::Image GainTrackingAttacker::respond(double t_sec,
+                                           const image::Image& displayed) {
+  double y01 = spec_.reference_level;
+  if (!displayed.empty()) {
+    y01 = image::frame_luminance(displayed) / 255.0;
+  }
+  history_.push_back(Observation{t_sec, y01});
+
+  // Newest observation that has cleared the estimation pipeline.
+  const double cutoff = t_sec - spec_.processing_delay_s;
+  while (history_.size() >= 2 && history_[1].t_sec <= cutoff) {
+    history_.pop_front();
+  }
+  double usable = spec_.reference_level;
+  if (!history_.empty() && history_.front().t_sec <= cutoff) {
+    usable = history_.front().displayed_y01;
+  }
+
+  // Global multiplicative modulation around the reference level. The
+  // victim-side reflection swings the *face* by roughly a factor of
+  // (screen + ambient)/(ambient) between dark and bright frames; 0.8 per
+  // unit y01 approximates that for the default testbed when gain_match = 1.
+  const double gain = std::max(
+      0.05, 1.0 + spec_.gain_match * 0.8 * (usable - spec_.reference_level));
+
+  image::Image frame = base_.respond(t_sec, displayed);
+  for (std::size_t y = 0; y < frame.height(); ++y) {
+    for (std::size_t x = 0; x < frame.width(); ++x) {
+      image::Pixel& p = frame(x, y);
+      p.r = std::min(255.0, p.r * gain);
+      p.g = std::min(255.0, p.g * gain);
+      p.b = std::min(255.0, p.b * gain);
+    }
+  }
+  return frame;
+}
+
+}  // namespace lumichat::reenact

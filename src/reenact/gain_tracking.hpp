@@ -1,0 +1,61 @@
+// The cheapest adaptive attack: instead of physically relighting the fake
+// face (AdaptiveAttacker), multiply the whole fake frame by a global gain
+// that tracks the luminance of whatever Bob's screen shows. Per-frame cost
+// is a single multiply-per-pixel — no rendering, no geometry.
+//
+// Why the paper's defense still holds:
+//   * the tracking loop needs a luminance ESTIMATE of the incoming video,
+//    and the estimate is only available after the video pipeline's latency
+//    — so the same Fig. 17 delay wall applies;
+//   * a global gain modulates the fake video's background exactly as much
+//    as the face, which a human observer notices (real screen light falls
+//    off on the background — compare RenderSpec::background_screen_coupling);
+//   * the gain magnitude must match the victim-side reflection transfer
+//    (screen size/distance/albedo), which the attacker must guess.
+// The class exposes the delay and gain-mismatch knobs so experiments can
+// map exactly where the defense starts/stops winning.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "chat/respondent.hpp"
+#include "reenact/reenactor.hpp"
+
+namespace lumichat::reenact {
+
+struct GainTrackingSpec {
+  /// The underlying reenactment pipeline producing the identity-stolen
+  /// frames (its target-environment luminance keeps running underneath).
+  ReenactorSpec reenactor;
+  /// Latency of the luminance-estimation + application loop.
+  double processing_delay_s = 0.3;
+  /// Relative amplitude of the injected modulation per unit change of
+  /// displayed luminance. 1.0 = the attacker guessed the victim's
+  /// reflection transfer perfectly; below/above = under/over-modulation.
+  double gain_match = 1.0;
+  /// Reference displayed luminance (0..1) around which the gain swings.
+  double reference_level = 0.5;
+};
+
+class GainTrackingAttacker final : public chat::RespondentModel {
+ public:
+  GainTrackingAttacker(GainTrackingSpec spec, std::uint64_t seed);
+
+  [[nodiscard]] image::Image respond(double t_sec,
+                                     const image::Image& displayed) override;
+
+  [[nodiscard]] const GainTrackingSpec& spec() const { return spec_; }
+
+ private:
+  struct Observation {
+    double t_sec;
+    double displayed_y01;
+  };
+
+  GainTrackingSpec spec_;
+  ReenactmentAttacker base_;
+  std::deque<Observation> history_;
+};
+
+}  // namespace lumichat::reenact

@@ -1,0 +1,46 @@
+#include "reenact/reenactor.hpp"
+
+#include <algorithm>
+
+namespace lumichat::reenact {
+
+ReenactmentAttacker::ReenactmentAttacker(ReenactorSpec spec,
+                                         std::uint64_t seed)
+    : spec_(spec), renderer_(spec_.victim, spec_.render),
+      source_actor_(spec_.dynamics, spec_.victim.blink_rate_hz,
+                    /*talking=*/true, common::derive_seed(seed, 41)),
+      target_env_(spec_.target_env, common::derive_seed(seed, 42)),
+      recording_camera_(spec_.recording_camera, common::derive_seed(seed, 43)),
+      rng_(common::derive_seed(seed, 44)) {}
+
+image::Image ReenactmentAttacker::respond(double t_sec,
+                                          const image::Image& displayed) {
+  (void)displayed;  // the reenactor cannot see Bob's screen light
+
+  // The target video's illumination at this point of the recording. The
+  // face illuminant and the (weaker) background illuminant both come from
+  // the victim's environment.
+  const image::Pixel illum = target_env_.illuminance(t_sec);
+  // Split heuristically back into a screen-like and ambient-like component
+  // so the renderer's background coupling stays plausible.
+  const image::Pixel ambient_part = illum * 0.4;
+  const image::Pixel screen_part = illum * 0.6;
+
+  image::Image frame = recording_camera_.capture(renderer_.render(
+      source_actor_.state(t_sec), screen_part, ambient_part));
+
+  // GAN temporal flicker: a global multiplicative wobble per frame.
+  const double flicker =
+      std::max(0.0, 1.0 + rng_.gaussian(0.0, spec_.gan_flicker_sigma));
+  for (std::size_t y = 0; y < frame.height(); ++y) {
+    for (std::size_t x = 0; x < frame.width(); ++x) {
+      image::Pixel& p = frame(x, y);
+      p.r = std::min(255.0, p.r * flicker);
+      p.g = std::min(255.0, p.g * flicker);
+      p.b = std::min(255.0, p.b * flicker);
+    }
+  }
+  return frame;
+}
+
+}  // namespace lumichat::reenact

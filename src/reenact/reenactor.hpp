@@ -1,0 +1,66 @@
+// ICFace-style face-reenactment attacker (adversary model, Sec. III-A).
+//
+// The attacker animates prerecorded footage of the victim with their own
+// facial expressions and feeds the result into the chat software through a
+// virtual camera. We reproduce the three properties that matter to the
+// defense:
+//   1. the *identity* shown is the victim's (victim FaceModel);
+//   2. the *expressions/pose* are the attacker's, transferred in real time
+//      (attacker-seeded FaceDynamics drives the victim face);
+//   3. the *illumination* is the target video's (TargetEnvironment),
+//      temporally independent of what Bob's screen currently displays —
+//      the attacker's `respond` ignores `displayed` entirely.
+// A small multiplicative frame-to-frame intensity flicker models the
+// temporal instability every frame-by-frame GAN generator exhibits.
+#pragma once
+
+#include <cstdint>
+
+#include "chat/respondent.hpp"
+#include "face/dynamics.hpp"
+#include "face/face_model.hpp"
+#include "face/renderer.hpp"
+#include "optics/camera.hpp"
+#include "reenact/target_environment.hpp"
+
+namespace lumichat::reenact {
+
+struct ReenactorSpec {
+  /// The impersonated identity.
+  face::FaceModel victim = face::make_volunteer_face(1);
+  face::RenderSpec render;
+  /// Expression/pose process of the source actor driving the fake.
+  face::DynamicsSpec dynamics{};
+  TargetEnvironmentSpec target_env;
+  /// The camera that originally recorded the target video.
+  optics::CameraSpec recording_camera{
+      .metering = optics::MeteringMode::kMultiZone,
+      .exposure_target = 0.32,
+      .adaptation_rate = 0.08,
+  };
+  /// Relative sigma of the GAN's frame-to-frame intensity flicker.
+  double gan_flicker_sigma = 0.012;
+};
+
+class ReenactmentAttacker final : public chat::RespondentModel {
+ public:
+  ReenactmentAttacker(ReenactorSpec spec, std::uint64_t seed);
+
+  /// Produces the fake frame for time `t_sec`. `displayed` is ignored: the
+  /// reenactment model has no knowledge of the light Bob's screen would
+  /// throw on a real face.
+  [[nodiscard]] image::Image respond(double t_sec,
+                                     const image::Image& displayed) override;
+
+  [[nodiscard]] const ReenactorSpec& spec() const { return spec_; }
+
+ private:
+  ReenactorSpec spec_;
+  face::FaceRenderer renderer_;
+  face::FaceDynamics source_actor_;  // the attacker's own expressions
+  TargetEnvironment target_env_;
+  optics::CameraModel recording_camera_;
+  common::Rng rng_;
+};
+
+}  // namespace lumichat::reenact

@@ -1,0 +1,30 @@
+#include "reenact/target_environment.hpp"
+
+namespace lumichat::reenact {
+
+TargetEnvironment::TargetEnvironment(TargetEnvironmentSpec spec,
+                                     std::uint64_t seed)
+    : spec_(spec), rng_(seed),
+      screen_(spec_.screen, spec_.screen_distance_m),
+      ambient_(spec_.ambient, common::derive_seed(seed, 31)) {
+  level_ = rng_.uniform(0.15, 0.9);
+  next_step_at_ = rng_.uniform(0.5, spec_.max_step_gap_s);
+}
+
+image::Pixel TargetEnvironment::illuminance(double t_sec) {
+  while (t_sec >= next_step_at_) {
+    // Jump to a clearly different level, mirroring the significant
+    // luminance changes of a genuine chat video.
+    double next = level_;
+    while (std::abs(next - level_) < 0.25) {
+      next = rng_.uniform(0.1, 0.95);
+    }
+    level_ = next;
+    next_step_at_ += rng_.uniform(spec_.min_step_gap_s, spec_.max_step_gap_s);
+  }
+  const image::Pixel screen =
+      screen_.face_illuminance(image::Pixel{level_, level_, level_});
+  return screen + ambient_.illuminance(t_sec);
+}
+
+}  // namespace lumichat::reenact

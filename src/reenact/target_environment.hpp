@@ -1,0 +1,54 @@
+// Illumination environment of the *target video* — the prerecorded footage
+// of the victim that the reenactment model animates.
+//
+// The paper's core observation (Sec. II-A): "the luminance change of the
+// output video is the same as the target video", i.e. whatever lighting the
+// victim sat in when the footage was recorded. That lighting is statistically
+// similar to a real chat (the victim was plausibly also in front of a screen,
+// with their own ambient light and their own luminance changes) but its
+// timing is INDEPENDENT of Alice's current video — which is exactly what the
+// defense detects.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "image/image.hpp"
+#include "optics/ambient.hpp"
+#include "optics/screen.hpp"
+
+namespace lumichat::reenact {
+
+struct TargetEnvironmentSpec {
+  optics::ScreenSpec screen = optics::dell_27in_led();
+  double screen_distance_m = 0.55;
+  optics::AmbientSpec ambient{.lux_on_face = 60.0};
+  /// The victim's own screen content steps between luminance levels at
+  /// random times in this gap range (their chat partner's video changing).
+  /// Matches the cadence of a genuine chat, so the attacker is only
+  /// distinguishable by *when* the changes happen — the hardest case.
+  double min_step_gap_s = 3.6;
+  double max_step_gap_s = 5.6;
+};
+
+/// Generates the illuminance that fell on the victim's face over the course
+/// of the recorded target video.
+class TargetEnvironment {
+ public:
+  TargetEnvironment(TargetEnvironmentSpec spec, std::uint64_t seed);
+
+  /// Total (screen + ambient) illuminance on the victim's face at `t_sec`
+  /// of the target recording. Call with non-decreasing t.
+  [[nodiscard]] image::Pixel illuminance(double t_sec);
+
+ private:
+  TargetEnvironmentSpec spec_;
+  common::Rng rng_;
+  optics::ScreenModel screen_;
+  optics::AmbientLight ambient_;
+  double level_ = 0.5;        // current screen-content luminance (0..1)
+  double next_step_at_ = 0.0;
+};
+
+}  // namespace lumichat::reenact

@@ -1,0 +1,19 @@
+#include "reenact/virtual_camera.hpp"
+
+#include <cmath>
+
+namespace lumichat::reenact {
+
+image::Image VirtualCamera::respond(double t_sec,
+                                    const image::Image& displayed) {
+  (void)displayed;
+  if (clip_.empty()) return {};
+  auto idx = static_cast<std::size_t>(
+      std::llround(t_sec * clip_.sample_rate_hz));
+  if (idx >= clip_.size()) {
+    idx = loop_ ? idx % clip_.size() : clip_.size() - 1;
+  }
+  return clip_.frames[idx];
+}
+
+}  // namespace lumichat::reenact

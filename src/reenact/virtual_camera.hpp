@@ -1,0 +1,38 @@
+// Virtual web camera (adversary model, Sec. III-A item 3): "the attacker can
+// redirect the input stream of the current video chat software from the
+// camera to the fake facial videos using a virtual web camera".
+//
+// A VirtualCamera serves frames from a prerecorded clip in place of live
+// capture. The chat software cannot tell the difference — which is exactly
+// why challenge-response defenses that trust the attacker's sensor stream
+// (e.g. FaceLive's motion sensors) fail, and why this paper pins its
+// challenge on physics the attacker must *render*, not merely report.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+
+#include "chat/respondent.hpp"
+#include "chat/video.hpp"
+
+namespace lumichat::reenact {
+
+class VirtualCamera final : public chat::RespondentModel {
+ public:
+  explicit VirtualCamera(chat::VideoClip clip) : clip_(std::move(clip)) {}
+
+  /// Replays the loaded clip; holds the last frame once the clip runs out
+  /// (as v4l2loopback-style devices do), loops if `loop(true)` was set.
+  [[nodiscard]] image::Image respond(double t_sec,
+                                     const image::Image& displayed) override;
+
+  void set_loop(bool loop) { loop_ = loop; }
+
+  [[nodiscard]] const chat::VideoClip& clip() const { return clip_; }
+
+ private:
+  chat::VideoClip clip_;
+  bool loop_ = false;
+};
+
+}  // namespace lumichat::reenact

@@ -1,0 +1,27 @@
+// Dynamic-time-warping distance (feature z4, Sec. VI): the paper uses the
+// maximum DTW distance between the two halves of the smoothed variance
+// signals, divided by 30, to measure trend dissimilarity even under small
+// temporal misalignment.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+namespace lumichat::signal {
+
+/// Options for `dtw_distance`.
+struct DtwOptions {
+  /// Sakoe-Chiba band half-width in samples; 0 = unconstrained. A band keeps
+  /// the classifier from crediting pathological warpings that align a rising
+  /// edge at t=1 s with one at t=14 s.
+  std::size_t band = 0;
+};
+
+/// Classic DTW distance with absolute-difference local cost.
+/// Returns +inf if the band makes alignment infeasible; 0 for two empty
+/// inputs; +inf if exactly one input is empty (nothing can align).
+[[nodiscard]] double dtw_distance(std::span<const double> x,
+                                  std::span<const double> y,
+                                  const DtwOptions& opts = {});
+
+}  // namespace lumichat::signal

@@ -1,0 +1,97 @@
+#include "signal/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+#include "signal/stats.hpp"
+
+namespace lumichat::signal {
+namespace {
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+std::size_t next_power_of_two(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void fft_inplace(std::vector<std::complex<double>>& data, bool inverse) {
+  const std::size_t n = data.size();
+  if (!is_power_of_two(n)) {
+    throw std::invalid_argument("fft_inplace: size must be a power of two");
+  }
+  if (n < 2) return;
+
+  // Bit-reversal permutation.
+  for (std::size_t i = 1, j = 0; i < n; ++i) {
+    std::size_t bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  for (std::size_t len = 2; len <= n; len <<= 1) {
+    const double angle = (inverse ? 2.0 : -2.0) * std::numbers::pi /
+                         static_cast<double>(len);
+    const std::complex<double> wlen(std::cos(angle), std::sin(angle));
+    for (std::size_t i = 0; i < n; i += len) {
+      std::complex<double> w(1.0, 0.0);
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> u = data[i + k];
+        const std::complex<double> v = data[i + k + len / 2] * w;
+        data[i + k] = u + v;
+        data[i + k + len / 2] = u - v;
+        w *= wlen;
+      }
+    }
+  }
+
+  if (inverse) {
+    for (auto& c : data) c /= static_cast<double>(n);
+  }
+}
+
+std::vector<std::complex<double>> fft_real(const Signal& x) {
+  std::vector<std::complex<double>> data(next_power_of_two(
+      std::max<std::size_t>(x.size(), 2)));
+  for (std::size_t i = 0; i < x.size(); ++i) data[i] = {x[i], 0.0};
+  fft_inplace(data);
+  return data;
+}
+
+std::vector<SpectrumBin> magnitude_spectrum(const Signal& x,
+                                            double sample_rate_hz) {
+  if (x.empty()) return {};
+  Signal centred = x;
+  const double m = mean(centred);
+  for (double& v : centred) v -= m;
+
+  const auto spec = fft_real(centred);
+  const std::size_t n = spec.size();
+  std::vector<SpectrumBin> bins(n / 2 + 1);
+  for (std::size_t k = 0; k < bins.size(); ++k) {
+    bins[k].frequency_hz =
+        sample_rate_hz * static_cast<double>(k) / static_cast<double>(n);
+    bins[k].magnitude = std::abs(spec[k]) / static_cast<double>(x.size());
+  }
+  return bins;
+}
+
+double band_energy_ratio(const Signal& x, double sample_rate_hz,
+                         double cutoff_hz) {
+  const auto bins = magnitude_spectrum(x, sample_rate_hz);
+  double low = 0.0;
+  double total = 0.0;
+  for (const auto& b : bins) {
+    const double e = b.magnitude * b.magnitude;
+    total += e;
+    if (b.frequency_hz <= cutoff_hz) low += e;
+  }
+  return total > 0.0 ? low / total : 0.0;
+}
+
+}  // namespace lumichat::signal

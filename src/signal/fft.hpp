@@ -1,0 +1,37 @@
+// Radix-2 FFT and one-sided magnitude spectrum, used by the Fig. 6
+// reproduction (spectrum of the face-reflected luminance with and without
+// screen-light change) and by tests validating the 1 Hz low-pass filter.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <vector>
+
+#include "signal/types.hpp"
+
+namespace lumichat::signal {
+
+/// In-place iterative radix-2 Cooley-Tukey FFT.
+/// \throws std::invalid_argument if the size is not a power of two.
+void fft_inplace(std::vector<std::complex<double>>& data, bool inverse = false);
+
+/// Forward FFT of a real signal, zero-padded to the next power of two.
+[[nodiscard]] std::vector<std::complex<double>> fft_real(const Signal& x);
+
+/// One bin of a one-sided spectrum.
+struct SpectrumBin {
+  double frequency_hz = 0.0;
+  double magnitude = 0.0;
+};
+
+/// One-sided magnitude spectrum of `x` sampled at `sample_rate_hz`.
+/// The mean is removed first so the DC bin does not dwarf the signal band.
+[[nodiscard]] std::vector<SpectrumBin> magnitude_spectrum(
+    const Signal& x, double sample_rate_hz);
+
+/// Fraction of (mean-removed) spectral energy at or below `cutoff_hz`.
+/// Handy single-number summary of "the signal lives under 1 Hz" (Fig. 6).
+[[nodiscard]] double band_energy_ratio(const Signal& x, double sample_rate_hz,
+                                       double cutoff_hz);
+
+}  // namespace lumichat::signal

@@ -1,0 +1,90 @@
+#include "signal/iir.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <stdexcept>
+
+namespace lumichat::signal {
+
+double Biquad::step(double x) {
+  // Direct form II transposed: good numeric behaviour at low cutoffs.
+  const double y = b0 * x + z1_;
+  z1_ = b1 * x - a1 * y + z2_;
+  z2_ = b2 * x - a2 * y;
+  return y;
+}
+
+void Biquad::reset() {
+  z1_ = 0.0;
+  z2_ = 0.0;
+}
+
+double IirFilter::step(double x) {
+  double v = x;
+  for (Biquad& s : sections_) v = s.step(v);
+  return v;
+}
+
+Signal IirFilter::apply(const Signal& x) {
+  reset();
+  Signal y(x.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = step(x[i]);
+  return y;
+}
+
+Signal IirFilter::apply_zero_phase(const Signal& x) {
+  Signal forward = apply(x);
+  std::reverse(forward.begin(), forward.end());
+  Signal backward = apply(forward);
+  std::reverse(backward.begin(), backward.end());
+  return backward;
+}
+
+void IirFilter::reset() {
+  for (Biquad& s : sections_) s.reset();
+}
+
+IirFilter butterworth_lowpass(double cutoff_hz, double sample_rate_hz,
+                              std::size_t n_sections) {
+  if (sample_rate_hz <= 0.0 || cutoff_hz <= 0.0 ||
+      cutoff_hz >= sample_rate_hz / 2.0) {
+    throw std::invalid_argument(
+        "butterworth_lowpass: cutoff must lie in (0, rate/2)");
+  }
+  if (n_sections == 0) {
+    throw std::invalid_argument("butterworth_lowpass: need >= 1 section");
+  }
+
+  // Pre-warped analogue cutoff for the bilinear transform.
+  const double warped =
+      std::tan(std::numbers::pi * cutoff_hz / sample_rate_hz);
+  const std::size_t order = 2 * n_sections;
+
+  std::vector<Biquad> sections;
+  sections.reserve(n_sections);
+  for (std::size_t k = 0; k < n_sections; ++k) {
+    // Butterworth pole-pair angle for this section.
+    const double theta =
+        std::numbers::pi *
+        (2.0 * static_cast<double>(k) + 1.0) /
+        (2.0 * static_cast<double>(order));
+    const double q = 1.0 / (2.0 * std::cos(theta));
+
+    // Analogue prototype H(s) = 1 / (s^2 + s/q + 1), scaled by `warped`,
+    // through the bilinear transform.
+    const double w2 = warped * warped;
+    const double a0 = w2 + warped / q + 1.0;
+
+    Biquad s;
+    s.b0 = w2 / a0;
+    s.b1 = 2.0 * w2 / a0;
+    s.b2 = w2 / a0;
+    s.a1 = 2.0 * (w2 - 1.0) / a0;
+    s.a2 = (w2 - warped / q + 1.0) / a0;
+    sections.push_back(s);
+  }
+  return IirFilter(std::move(sections));
+}
+
+}  // namespace lumichat::signal

@@ -1,0 +1,59 @@
+// Second-order-section IIR filters (Butterworth low-pass).
+//
+// The paper's pipeline uses an FIR low-pass; a Butterworth IIR is the
+// classic cheaper alternative on streaming samples (2 multiplies per
+// section per sample vs num_taps). It is used by the filter-design ablation
+// and available to the streaming detector for constrained devices.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "signal/types.hpp"
+
+namespace lumichat::signal {
+
+/// One biquad section, direct form II transposed.
+struct Biquad {
+  double b0 = 1.0, b1 = 0.0, b2 = 0.0;  // numerator
+  double a1 = 0.0, a2 = 0.0;            // denominator (a0 normalised to 1)
+
+  /// Processes one sample (stateful).
+  [[nodiscard]] double step(double x);
+  void reset();
+
+ private:
+  double z1_ = 0.0;
+  double z2_ = 0.0;
+};
+
+/// Cascade of biquads.
+class IirFilter {
+ public:
+  explicit IirFilter(std::vector<Biquad> sections)
+      : sections_(std::move(sections)) {}
+
+  /// Streaming one-sample step.
+  [[nodiscard]] double step(double x);
+  /// Filters a whole signal (resets state first).
+  [[nodiscard]] Signal apply(const Signal& x);
+  /// Forward-backward (zero-phase) filtering.
+  [[nodiscard]] Signal apply_zero_phase(const Signal& x);
+
+  void reset();
+  [[nodiscard]] const std::vector<Biquad>& sections() const {
+    return sections_;
+  }
+
+ private:
+  std::vector<Biquad> sections_;
+};
+
+/// Designs an order-2N Butterworth low-pass as N biquads via the bilinear
+/// transform.
+/// \throws std::invalid_argument for cutoff outside (0, rate/2) or N == 0.
+[[nodiscard]] IirFilter butterworth_lowpass(double cutoff_hz,
+                                            double sample_rate_hz,
+                                            std::size_t n_sections = 2);
+
+}  // namespace lumichat::signal

@@ -1,0 +1,68 @@
+#include "signal/linalg.hpp"
+
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace lumichat::signal {
+
+Matrix gram(const Matrix& a) {
+  Matrix g(a.cols(), a.cols(), 0.0);
+  for (std::size_t i = 0; i < a.cols(); ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double acc = 0.0;
+      for (std::size_t k = 0; k < a.rows(); ++k) acc += a(k, i) * a(k, j);
+      g(i, j) = acc;
+      g(j, i) = acc;
+    }
+  }
+  return g;
+}
+
+std::vector<double> mat_t_vec(const Matrix& a, const std::vector<double>& b) {
+  if (b.size() != a.rows()) {
+    throw std::invalid_argument("mat_t_vec: dimension mismatch");
+  }
+  std::vector<double> out(a.cols(), 0.0);
+  for (std::size_t j = 0; j < a.cols(); ++j) {
+    double acc = 0.0;
+    for (std::size_t k = 0; k < a.rows(); ++k) acc += a(k, j) * b[k];
+    out[j] = acc;
+  }
+  return out;
+}
+
+std::vector<double> solve(Matrix a, std::vector<double> b) {
+  const std::size_t n = a.rows();
+  if (a.cols() != n || b.size() != n) {
+    throw std::invalid_argument("solve: matrix must be square, b must match");
+  }
+  for (std::size_t col = 0; col < n; ++col) {
+    std::size_t pivot = col;
+    for (std::size_t r = col + 1; r < n; ++r) {
+      if (std::fabs(a(r, col)) > std::fabs(a(pivot, col))) pivot = r;
+    }
+    if (std::fabs(a(pivot, col)) < 1e-12) {
+      throw std::runtime_error("solve: singular matrix");
+    }
+    if (pivot != col) {
+      for (std::size_t c = 0; c < n; ++c) std::swap(a(pivot, c), a(col, c));
+      std::swap(b[pivot], b[col]);
+    }
+    for (std::size_t r = col + 1; r < n; ++r) {
+      const double f = a(r, col) / a(col, col);
+      if (f == 0.0) continue;
+      for (std::size_t c = col; c < n; ++c) a(r, c) -= f * a(col, c);
+      b[r] -= f * b[col];
+    }
+  }
+  std::vector<double> x(n, 0.0);
+  for (std::size_t ri = n; ri-- > 0;) {
+    double acc = b[ri];
+    for (std::size_t c = ri + 1; c < n; ++c) acc -= a(ri, c) * x[c];
+    x[ri] = acc / a(ri, ri);
+  }
+  return x;
+}
+
+}  // namespace lumichat::signal

@@ -1,0 +1,45 @@
+// Minimal dense linear algebra: just enough to derive Savitzky-Golay
+// least-squares coefficients (small symmetric positive-definite systems).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lumichat::signal {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  [[nodiscard]] std::size_t rows() const { return rows_; }
+  [[nodiscard]] std::size_t cols() const { return cols_; }
+
+  [[nodiscard]] double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  [[nodiscard]] double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Returns A^T * A (for normal equations).
+[[nodiscard]] Matrix gram(const Matrix& a);
+
+/// Returns A^T * b.
+[[nodiscard]] std::vector<double> mat_t_vec(const Matrix& a,
+                                            const std::vector<double>& b);
+
+/// Solves A x = b via Gaussian elimination with partial pivoting.
+/// \throws std::invalid_argument on dimension mismatch,
+///         std::runtime_error on a (numerically) singular matrix.
+[[nodiscard]] std::vector<double> solve(Matrix a, std::vector<double> b);
+
+}  // namespace lumichat::signal

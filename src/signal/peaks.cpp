@@ -1,0 +1,93 @@
+#include "signal/peaks.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace lumichat::signal {
+namespace {
+
+// Prominence of the peak at `p`: walk left and right until terrain higher
+// than the peak (or the signal edge); the base is the higher of the two
+// minima found, and prominence = height - base.
+double prominence_of(const Signal& x, Index p) {
+  const double h = x[p];
+
+  double left_min = h;
+  for (Index i = p; i-- > 0;) {
+    if (x[i] > h) break;
+    left_min = std::min(left_min, x[i]);
+  }
+
+  double right_min = h;
+  for (Index i = p + 1; i < x.size(); ++i) {
+    if (x[i] > h) break;
+    right_min = std::min(right_min, x[i]);
+  }
+
+  return h - std::max(left_min, right_min);
+}
+
+}  // namespace
+
+std::vector<Peak> find_peaks(const Signal& x, const PeakOptions& opts) {
+  std::vector<Peak> peaks;
+  if (x.size() < 3) return peaks;
+
+  for (Index i = 1; i + 1 < x.size(); ++i) {
+    if (!(x[i] > x[i - 1])) continue;
+    // Plateau handling: advance to the end of any flat run; it is a peak if
+    // terrain falls afterwards. Report the left edge of the plateau.
+    Index j = i;
+    while (j + 1 < x.size() && x[j + 1] == x[i]) ++j;
+    if (j + 1 >= x.size() || x[j + 1] >= x[i]) {
+      i = j;
+      continue;
+    }
+    Peak pk;
+    pk.index = i;
+    pk.height = x[i];
+    pk.prominence = prominence_of(x, i);
+    if (pk.prominence >= opts.min_prominence && pk.height >= opts.min_height) {
+      peaks.push_back(pk);
+    }
+    i = j;
+  }
+
+  if (opts.min_distance > 0 && peaks.size() > 1) {
+    // Greedy suppression, most prominent first (scipy semantics).
+    std::vector<std::size_t> order(peaks.size());
+    for (std::size_t k = 0; k < order.size(); ++k) order[k] = k;
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      return peaks[a].prominence > peaks[b].prominence;
+    });
+    std::vector<bool> keep(peaks.size(), true);
+    for (std::size_t oi = 0; oi < order.size(); ++oi) {
+      const std::size_t k = order[oi];
+      if (!keep[k]) continue;
+      for (std::size_t other = 0; other < peaks.size(); ++other) {
+        if (other == k || !keep[other]) continue;
+        const auto dist = peaks[k].index > peaks[other].index
+                              ? peaks[k].index - peaks[other].index
+                              : peaks[other].index - peaks[k].index;
+        if (dist < opts.min_distance &&
+            peaks[other].prominence <= peaks[k].prominence) {
+          keep[other] = false;
+        }
+      }
+    }
+    std::vector<Peak> filtered;
+    for (std::size_t k = 0; k < peaks.size(); ++k) {
+      if (keep[k]) filtered.push_back(peaks[k]);
+    }
+    peaks = std::move(filtered);
+  }
+  return peaks;
+}
+
+std::vector<Index> peak_indices(const Signal& x, const PeakOptions& opts) {
+  std::vector<Index> idx;
+  for (const Peak& p : find_peaks(x, opts)) idx.push_back(p.index);
+  return idx;
+}
+
+}  // namespace lumichat::signal

@@ -1,0 +1,55 @@
+#include "signal/resample.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lumichat::signal {
+namespace {
+
+// Sample x at fractional index t with clamped linear interpolation.
+double sample_at(const Signal& x, double t) {
+  if (x.empty()) return 0.0;
+  const double max_t = static_cast<double>(x.size() - 1);
+  t = std::clamp(t, 0.0, max_t);
+  const auto i0 = static_cast<std::size_t>(std::floor(t));
+  const std::size_t i1 = std::min(i0 + 1, x.size() - 1);
+  const double frac = t - static_cast<double>(i0);
+  return x[i0] * (1.0 - frac) + x[i1] * frac;
+}
+
+}  // namespace
+
+Signal resample_linear(const Signal& x, double from_hz, double to_hz) {
+  if (from_hz <= 0.0 || to_hz <= 0.0) {
+    throw std::invalid_argument("resample_linear: rates must be positive");
+  }
+  if (x.size() < 2) return x;
+  const double duration = static_cast<double>(x.size() - 1) / from_hz;
+  const auto out_n = static_cast<std::size_t>(
+      std::floor(duration * to_hz)) + 1;
+  Signal out(out_n, 0.0);
+  for (std::size_t i = 0; i < out_n; ++i) {
+    const double t_sec = static_cast<double>(i) / to_hz;
+    out[i] = sample_at(x, t_sec * from_hz);
+  }
+  return out;
+}
+
+Signal decimate(const Signal& x, std::size_t factor) {
+  if (factor == 0) throw std::invalid_argument("decimate: factor must be >=1");
+  Signal out;
+  out.reserve(x.size() / factor + 1);
+  for (std::size_t i = 0; i < x.size(); i += factor) out.push_back(x[i]);
+  return out;
+}
+
+Signal delay_signal(const Signal& x, double delay_samples) {
+  Signal out(x.size(), 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out[i] = sample_at(x, static_cast<double>(i) - delay_samples);
+  }
+  return out;
+}
+
+}  // namespace lumichat::signal

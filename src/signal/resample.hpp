@@ -1,0 +1,28 @@
+// Sample-rate conversion: the luminance extractor samples received video at
+// 5-10 Hz (Sec. IV / Fig. 16), while the camera substrate produces frames at
+// its native rate. Linear interpolation is sufficient because everything of
+// interest lives below 1 Hz.
+#pragma once
+
+#include <cstddef>
+
+#include "signal/types.hpp"
+
+namespace lumichat::signal {
+
+/// Resamples `x` (sampled at `from_hz`) to `to_hz` via linear interpolation.
+/// The output covers the same time span [0, (n-1)/from_hz].
+/// \throws std::invalid_argument on non-positive rates.
+[[nodiscard]] Signal resample_linear(const Signal& x, double from_hz,
+                                     double to_hz);
+
+/// Keeps every `factor`-th sample (no anti-alias filter; callers low-pass
+/// first where aliasing matters). factor must be >= 1.
+[[nodiscard]] Signal decimate(const Signal& x, std::size_t factor);
+
+/// Shifts a signal in time by `delay_samples` (can be fractional; linear
+/// interpolation; edges replicate). Positive delay moves content later.
+/// Models both network delay and the adaptive attacker's processing delay.
+[[nodiscard]] Signal delay_signal(const Signal& x, double delay_samples);
+
+}  // namespace lumichat::signal

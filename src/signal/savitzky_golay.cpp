@@ -1,0 +1,77 @@
+#include "signal/savitzky_golay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "signal/linalg.hpp"
+
+namespace lumichat::signal {
+
+Signal savgol_coefficients(std::size_t window, std::size_t poly_order) {
+  if (window % 2 == 0 || window == 0) {
+    throw std::invalid_argument("savgol: window must be odd");
+  }
+  if (poly_order >= window) {
+    throw std::invalid_argument("savgol: poly_order must be < window");
+  }
+  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(window) / 2;
+  const std::size_t terms = poly_order + 1;
+
+  // Vandermonde design matrix over window offsets -half..half.
+  Matrix a(window, terms);
+  for (std::size_t r = 0; r < window; ++r) {
+    const double t = static_cast<double>(static_cast<std::ptrdiff_t>(r) - half);
+    double p = 1.0;
+    for (std::size_t c = 0; c < terms; ++c) {
+      a(r, c) = p;
+      p *= t;
+    }
+  }
+
+  // The kernel weight for window sample r is the centre value of the
+  // polynomial fitted to the unit impulse at r; equivalently, row 0 of
+  // (A^T A)^{-1} A^T. We recover it by solving one system per sample.
+  const Matrix g = gram(a);
+  Signal kernel(window, 0.0);
+  for (std::size_t r = 0; r < window; ++r) {
+    std::vector<double> e(window, 0.0);
+    e[r] = 1.0;
+    const std::vector<double> rhs = mat_t_vec(a, e);
+    const std::vector<double> beta = solve(g, rhs);
+    kernel[r] = beta[0];  // polynomial evaluated at t = 0
+  }
+  return kernel;
+}
+
+Signal savgol_filter(const Signal& x, std::size_t window,
+                     std::size_t poly_order) {
+  if (x.empty()) return {};
+  std::size_t w = window;
+  if (w % 2 == 0) ++w;
+  // Shrink the window for short clips so the fit stays overdetermined.
+  const std::size_t min_w =
+      (poly_order + 2) % 2 == 0 ? poly_order + 3 : poly_order + 2;
+  if (w > x.size()) {
+    w = (x.size() % 2 == 0) ? x.size() - 1 : x.size();
+    w = std::max(w, min_w);
+    if (w > x.size()) return x;  // too short to smooth meaningfully
+  }
+
+  const Signal kernel = savgol_coefficients(w, poly_order);
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
+  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(w) / 2;
+  Signal y(x.size(), 0.0);
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    double acc = 0.0;
+    for (std::ptrdiff_t k = -half; k <= half; ++k) {
+      std::ptrdiff_t j = std::clamp<std::ptrdiff_t>(i + k, 0, n - 1);
+      acc += kernel[static_cast<std::size_t>(k + half)] *
+             x[static_cast<std::size_t>(j)];
+    }
+    y[static_cast<std::size_t>(i)] = acc;
+  }
+  return y;
+}
+
+}  // namespace lumichat::signal

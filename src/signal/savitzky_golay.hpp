@@ -1,0 +1,34 @@
+// Savitzky-Golay smoothing (Sec. V): the paper applies a Savitzky-Golay
+// filter with a window of 31 samples to the RMS-smoothed variance signal so
+// neighbouring sub-peaks of a single luminance change merge into one peak
+// without washing out its location.
+//
+// Coefficients are derived the classical way: fit a degree-`poly_order`
+// polynomial to each window by linear least squares; the smoothed value is
+// the fitted polynomial evaluated at the window centre. Because the design
+// matrix depends only on window geometry, the fit reduces to a fixed
+// convolution kernel, computed once per (window, order) pair.
+#pragma once
+
+#include <cstddef>
+
+#include "signal/types.hpp"
+
+namespace lumichat::signal {
+
+/// Computes the central Savitzky-Golay convolution kernel.
+///
+/// \param window     odd window length (even values are rejected).
+/// \param poly_order polynomial degree, must be < window.
+/// \throws std::invalid_argument on bad parameters.
+[[nodiscard]] Signal savgol_coefficients(std::size_t window,
+                                         std::size_t poly_order);
+
+/// Applies Savitzky-Golay smoothing with edge-replicated boundaries.
+/// If the signal is shorter than the window, the window is shrunk to the
+/// largest odd length that fits (minimum poly_order + 1 | odd), mirroring
+/// scipy's practical behaviour for short clips.
+[[nodiscard]] Signal savgol_filter(const Signal& x, std::size_t window,
+                                   std::size_t poly_order = 3);
+
+}  // namespace lumichat::signal

@@ -1,0 +1,84 @@
+#include "signal/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lumichat::signal {
+
+double mean(std::span<const double> x) {
+  if (x.empty()) throw std::invalid_argument("mean: empty input");
+  double acc = 0.0;
+  for (double v : x) acc += v;
+  return acc / static_cast<double>(x.size());
+}
+
+double variance(std::span<const double> x) {
+  const double m = mean(x);
+  double acc = 0.0;
+  for (double v : x) {
+    const double d = v - m;
+    acc += d * d;
+  }
+  return acc / static_cast<double>(x.size());
+}
+
+double stddev(std::span<const double> x) { return std::sqrt(variance(x)); }
+
+double min_value(std::span<const double> x) {
+  if (x.empty()) throw std::invalid_argument("min_value: empty input");
+  return *std::min_element(x.begin(), x.end());
+}
+
+double max_value(std::span<const double> x) {
+  if (x.empty()) throw std::invalid_argument("max_value: empty input");
+  return *std::max_element(x.begin(), x.end());
+}
+
+Signal normalize01(const Signal& x) {
+  if (x.empty()) return {};
+  const double lo = min_value(x);
+  const double hi = max_value(x);
+  Signal out(x.size(), 0.0);
+  if (hi - lo < 1e-12) return out;
+  for (std::size_t i = 0; i < x.size(); ++i) out[i] = (x[i] - lo) / (hi - lo);
+  return out;
+}
+
+double pearson(std::span<const double> x, std::span<const double> y) {
+  if (x.size() != y.size()) {
+    throw std::invalid_argument("pearson: size mismatch");
+  }
+  if (x.empty()) throw std::invalid_argument("pearson: empty input");
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double dx = x[i] - mx;
+    const double dy = y[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx < 1e-12 || syy < 1e-12) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+std::vector<Signal> split_segments(const Signal& x, std::size_t parts) {
+  if (parts == 0) throw std::invalid_argument("split_segments: parts == 0");
+  std::vector<Signal> out;
+  out.reserve(parts);
+  const std::size_t base = x.size() / parts;
+  std::size_t pos = 0;
+  for (std::size_t p = 0; p < parts; ++p) {
+    const std::size_t len = (p + 1 == parts) ? x.size() - pos : base;
+    out.emplace_back(x.begin() + static_cast<std::ptrdiff_t>(pos),
+                     x.begin() + static_cast<std::ptrdiff_t>(pos + len));
+    pos += len;
+  }
+  return out;
+}
+
+}  // namespace lumichat::signal

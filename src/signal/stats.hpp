@@ -1,0 +1,34 @@
+// Scalar statistics, normalisation, and the Pearson correlation coefficient
+// (paper Eq. 6) used by the luminance-change-trend features.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "signal/types.hpp"
+
+namespace lumichat::signal {
+
+[[nodiscard]] double mean(std::span<const double> x);
+[[nodiscard]] double variance(std::span<const double> x);  // population
+[[nodiscard]] double stddev(std::span<const double> x);    // population
+[[nodiscard]] double min_value(std::span<const double> x);
+[[nodiscard]] double max_value(std::span<const double> x);
+
+/// Rescales `x` affinely to [0, 1]. A constant signal maps to all zeros
+/// (the trend of a flat signal carries no information either way).
+[[nodiscard]] Signal normalize01(const Signal& x);
+
+/// Pearson correlation coefficient between equally sized spans (Eq. 6).
+/// Returns 0 when either side is (numerically) constant — an uninformative
+/// trend should neither confirm nor refute correlation.
+/// \throws std::invalid_argument on size mismatch or empty input.
+[[nodiscard]] double pearson(std::span<const double> x,
+                             std::span<const double> y);
+
+/// Splits a signal into `parts` contiguous segments of equal length
+/// (trailing remainder samples go to the last segment).
+[[nodiscard]] std::vector<Signal> split_segments(const Signal& x,
+                                                 std::size_t parts);
+
+}  // namespace lumichat::signal

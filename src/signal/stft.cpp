@@ -1,0 +1,71 @@
+#include "signal/stft.hpp"
+
+#include <cmath>
+#include <complex>
+#include <numbers>
+#include <stdexcept>
+
+#include "signal/fft.hpp"
+
+namespace lumichat::signal {
+namespace {
+
+std::size_t next_pow2(std::size_t n) {
+  std::size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+double stft_bin_frequency(std::size_t k, double sample_rate_hz,
+                          const StftOptions& opts) {
+  const std::size_t n = next_pow2(opts.window);
+  return sample_rate_hz * static_cast<double>(k) / static_cast<double>(n);
+}
+
+std::vector<StftFrame> spectrogram(const Signal& x, double sample_rate_hz,
+                                   const StftOptions& opts) {
+  if (opts.window == 0 || opts.hop == 0) {
+    throw std::invalid_argument("spectrogram: window and hop must be >= 1");
+  }
+  std::vector<StftFrame> frames;
+  if (x.size() < opts.window || sample_rate_hz <= 0.0) return frames;
+
+  const std::size_t nfft = next_pow2(opts.window);
+  // Hann window.
+  std::vector<double> hann(opts.window);
+  for (std::size_t i = 0; i < opts.window; ++i) {
+    hann[i] = 0.5 - 0.5 * std::cos(2.0 * std::numbers::pi *
+                                   static_cast<double>(i) /
+                                   static_cast<double>(opts.window - 1));
+  }
+
+  for (std::size_t start = 0; start + opts.window <= x.size();
+       start += opts.hop) {
+    // Mean-removed, windowed frame.
+    double mean = 0.0;
+    for (std::size_t i = 0; i < opts.window; ++i) mean += x[start + i];
+    mean /= static_cast<double>(opts.window);
+
+    std::vector<std::complex<double>> data(nfft, {0.0, 0.0});
+    for (std::size_t i = 0; i < opts.window; ++i) {
+      data[i] = {(x[start + i] - mean) * hann[i], 0.0};
+    }
+    fft_inplace(data);
+
+    StftFrame frame;
+    frame.time_s = (static_cast<double>(start) +
+                    static_cast<double>(opts.window) / 2.0) /
+                   sample_rate_hz;
+    frame.magnitudes.resize(nfft / 2 + 1);
+    for (std::size_t k = 0; k < frame.magnitudes.size(); ++k) {
+      frame.magnitudes[k] =
+          std::abs(data[k]) / static_cast<double>(opts.window);
+    }
+    frames.push_back(std::move(frame));
+  }
+  return frames;
+}
+
+}  // namespace lumichat::signal

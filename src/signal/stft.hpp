@@ -1,0 +1,39 @@
+// Short-time Fourier transform (magnitude spectrogram).
+//
+// Fig. 6 shows a single spectrum; a spectrogram shows *when* the sub-1 Hz
+// energy appears — it lines up with the metering touches, which makes the
+// cut-off choice visually obvious. Used by the spectrum bench and available
+// for diagnostics.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "signal/types.hpp"
+
+namespace lumichat::signal {
+
+struct StftOptions {
+  std::size_t window = 64;  ///< samples per frame (Hann-windowed)
+  std::size_t hop = 16;     ///< samples between frame starts
+};
+
+/// One STFT frame: magnitudes of the one-sided spectrum.
+struct StftFrame {
+  double time_s = 0.0;              ///< centre time of the frame
+  std::vector<double> magnitudes;   ///< bin k -> |X_k| (size window/2 + 1)
+};
+
+/// Magnitude spectrogram of `x` sampled at `sample_rate_hz`. The mean of
+/// each frame is removed before the FFT (as in magnitude_spectrum).
+/// Returns an empty vector when the signal is shorter than one window.
+/// \throws std::invalid_argument for zero window/hop.
+[[nodiscard]] std::vector<StftFrame> spectrogram(const Signal& x,
+                                                 double sample_rate_hz,
+                                                 const StftOptions& opts = {});
+
+/// Frequency of bin `k` for the given options/rate.
+[[nodiscard]] double stft_bin_frequency(std::size_t k, double sample_rate_hz,
+                                        const StftOptions& opts);
+
+}  // namespace lumichat::signal

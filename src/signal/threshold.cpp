@@ -1,0 +1,23 @@
+#include "signal/threshold.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace lumichat::signal {
+
+Signal threshold_filter(const Signal& x, double cutoff) {
+  Signal out = x;
+  for (double& v : out) {
+    if (v < cutoff) v = 0.0;
+  }
+  return out;
+}
+
+Signal clamp_signal(const Signal& x, double lo, double hi) {
+  if (lo > hi) throw std::invalid_argument("clamp_signal: lo > hi");
+  Signal out = x;
+  for (double& v : out) v = std::clamp(v, lo, hi);
+  return out;
+}
+
+}  // namespace lumichat::signal

@@ -1,0 +1,16 @@
+// Threshold filter (Sec. V): small spikes in the short-time variance signal
+// caused by low-frequency noise are zeroed with a cut-off of 2 before the
+// smoothing stages.
+#pragma once
+
+#include "signal/types.hpp"
+
+namespace lumichat::signal {
+
+/// Zeroes every sample strictly below `cutoff` (samples >= cutoff pass).
+[[nodiscard]] Signal threshold_filter(const Signal& x, double cutoff);
+
+/// Clamps every sample into [lo, hi]. Used by camera quantisation paths.
+[[nodiscard]] Signal clamp_signal(const Signal& x, double lo, double hi);
+
+}  // namespace lumichat::signal

@@ -1,0 +1,17 @@
+// Common scalar/sequence types shared by the signal-processing substrate.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace lumichat::signal {
+
+/// A uniformly sampled real-valued signal. The sample rate is carried
+/// separately by the producing context (luminance signals in this project are
+/// sampled at 5-10 Hz).
+using Signal = std::vector<double>;
+
+/// Index into a Signal.
+using Index = std::size_t;
+
+}  // namespace lumichat::signal

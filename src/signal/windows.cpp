@@ -1,0 +1,85 @@
+#include "signal/windows.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace lumichat::signal {
+namespace {
+
+void check_window(std::size_t window) {
+  if (window == 0) {
+    throw std::invalid_argument("window statistics: window must be >= 1");
+  }
+}
+
+}  // namespace
+
+Signal moving_variance(const Signal& x, std::size_t window) {
+  check_window(window);
+  Signal out(x.size(), 0.0);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const std::size_t begin = (i + 1 >= window) ? i + 1 - window : 0;
+    const std::size_t n = i - begin + 1;
+    double mean = 0.0;
+    for (std::size_t j = begin; j <= i; ++j) mean += x[j];
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t j = begin; j <= i; ++j) {
+      const double d = x[j] - mean;
+      var += d * d;
+    }
+    out[i] = var / static_cast<double>(n);
+  }
+  return out;
+}
+
+Signal moving_rms(const Signal& x, std::size_t window) {
+  check_window(window);
+  Signal out(x.size(), 0.0);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += x[i] * x[i];
+    if (i >= window) acc -= x[i - window] * x[i - window];
+    const std::size_t n = std::min(i + 1, window);
+    // Rounding drift from the sliding accumulator is negligible at the
+    // signal lengths used here (a 15 s clip at 10 Hz is 150 samples).
+    out[i] = std::sqrt(std::max(0.0, acc / static_cast<double>(n)));
+  }
+  return out;
+}
+
+Signal moving_average(const Signal& x, std::size_t window) {
+  check_window(window);
+  Signal out(x.size(), 0.0);
+  double acc = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    acc += x[i];
+    if (i >= window) acc -= x[i - window];
+    const std::size_t n = std::min(i + 1, window);
+    out[i] = acc / static_cast<double>(n);
+  }
+  return out;
+}
+
+Signal moving_average_centered(const Signal& x, std::size_t window) {
+  check_window(window);
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
+  const std::ptrdiff_t half_lo = static_cast<std::ptrdiff_t>(window) / 2;
+  const std::ptrdiff_t half_hi =
+      static_cast<std::ptrdiff_t>(window) - half_lo - 1;
+  Signal out(x.size(), 0.0);
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const std::ptrdiff_t begin = std::max<std::ptrdiff_t>(0, i - half_lo);
+    const std::ptrdiff_t end = std::min<std::ptrdiff_t>(n - 1, i + half_hi);
+    double acc = 0.0;
+    for (std::ptrdiff_t j = begin; j <= end; ++j) {
+      acc += x[static_cast<std::size_t>(j)];
+    }
+    out[static_cast<std::size_t>(i)] =
+        acc / static_cast<double>(end - begin + 1);
+  }
+  return out;
+}
+
+}  // namespace lumichat::signal

@@ -1,0 +1,33 @@
+// Sliding-window statistics used by the preprocessing chain (Sec. V):
+// short-time variance (window 10) to localise significant luminance changes,
+// root-mean-square smoothing (window 30) to merge split peaks, and a moving
+// average (window 10) as the final smoothing stage.
+#pragma once
+
+#include <cstddef>
+
+#include "signal/types.hpp"
+
+namespace lumichat::signal {
+
+/// Short-time variance over a trailing window.
+///
+/// Output has the same length as the input; position `i` holds the population
+/// variance of `x[max(0, i-window+1) .. i]`. Early positions therefore use a
+/// shorter effective window, which mirrors how a streaming implementation
+/// warms up.
+[[nodiscard]] Signal moving_variance(const Signal& x, std::size_t window);
+
+/// Root-mean-square over a trailing window (same edge semantics as
+/// `moving_variance`).
+[[nodiscard]] Signal moving_rms(const Signal& x, std::size_t window);
+
+/// Arithmetic mean over a trailing window (same edge semantics).
+[[nodiscard]] Signal moving_average(const Signal& x, std::size_t window);
+
+/// Centred moving average (window split across both sides, edges clamped).
+/// Used where symmetric smoothing must not delay peak locations.
+[[nodiscard]] Signal moving_average_centered(const Signal& x,
+                                             std::size_t window);
+
+}  // namespace lumichat::signal

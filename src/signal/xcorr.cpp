@@ -1,0 +1,55 @@
+#include "signal/xcorr.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "signal/stats.hpp"
+
+namespace lumichat::signal {
+
+double correlation_at_lag(std::span<const double> x, std::span<const double> y,
+                          std::ptrdiff_t lag) {
+  // Overlap of x[i] with y[i - lag].
+  const std::ptrdiff_t nx = static_cast<std::ptrdiff_t>(x.size());
+  const std::ptrdiff_t ny = static_cast<std::ptrdiff_t>(y.size());
+  const std::ptrdiff_t i_begin = std::max<std::ptrdiff_t>(0, lag);
+  const std::ptrdiff_t i_end = std::min(nx, ny + lag);
+  if (i_end - i_begin < 3) return 0.0;
+
+  const std::size_t n = static_cast<std::size_t>(i_end - i_begin);
+  return pearson(
+      x.subspan(static_cast<std::size_t>(i_begin), n),
+      y.subspan(static_cast<std::size_t>(i_begin - lag), n));
+}
+
+XcorrPeak best_lag(std::span<const double> x, std::span<const double> y,
+                   std::size_t max_lag) {
+  XcorrPeak best;
+  best.correlation = -2.0;
+  const auto m = static_cast<std::ptrdiff_t>(max_lag);
+  for (std::ptrdiff_t lag = -m; lag <= m; ++lag) {
+    const double c = correlation_at_lag(x, y, lag);
+    if (c > best.correlation) {
+      best.correlation = c;
+      best.lag = lag;
+    }
+  }
+  if (best.correlation < -1.0) best = XcorrPeak{};  // nothing overlapped
+  return best;
+}
+
+double estimate_delay_xcorr(const Signal& transmitted, const Signal& received,
+                            double sample_rate_hz, double max_delay_s) {
+  if (transmitted.empty() || received.empty() || sample_rate_hz <= 0.0) {
+    return 0.0;
+  }
+  const auto max_lag = static_cast<std::size_t>(
+      std::lround(max_delay_s * sample_rate_hz));
+  // The received signal lags the transmitted one: y(t) ~ x(t - d), i.e.
+  // correlate x against y at positive y-lags.
+  const XcorrPeak peak = best_lag(received, transmitted, max_lag);
+  const double delay_samples = static_cast<double>(peak.lag);
+  return std::max(0.0, delay_samples / sample_rate_hz);
+}
+
+}  // namespace lumichat::signal

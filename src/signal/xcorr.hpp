@@ -1,0 +1,43 @@
+// Normalised cross-correlation and correlation-based delay estimation.
+//
+// The paper estimates the transmitted-vs-received shift from matched peak
+// times (Sec. VI). Cross-correlation over the *whole* smoothed trend is the
+// natural alternative: it needs no peak detection, at the cost of being
+// pulled around by amplitude mismatches. Exposed for the delay-estimation
+// ablation and for callers who need sub-sample delays.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "signal/types.hpp"
+
+namespace lumichat::signal {
+
+/// Pearson correlation of y shifted by `lag` samples against x (overlap
+/// region only). Returns 0 when the overlap is shorter than 3 samples or
+/// either side is constant.
+[[nodiscard]] double correlation_at_lag(std::span<const double> x,
+                                        std::span<const double> y,
+                                        std::ptrdiff_t lag);
+
+/// Result of a cross-correlation scan.
+struct XcorrPeak {
+  std::ptrdiff_t lag = 0;      ///< best lag in samples (y lags x by `lag`)
+  double correlation = 0.0;    ///< normalised correlation at that lag
+};
+
+/// Scans lags in [-max_lag, +max_lag] and returns the best.
+[[nodiscard]] XcorrPeak best_lag(std::span<const double> x,
+                                 std::span<const double> y,
+                                 std::size_t max_lag);
+
+/// Delay (in seconds, >= 0) of `received` behind `transmitted`, estimated
+/// by cross-correlation. Negative best-lags clamp to 0 (a reflection cannot
+/// precede its cause).
+[[nodiscard]] double estimate_delay_xcorr(const Signal& transmitted,
+                                          const Signal& received,
+                                          double sample_rate_hz,
+                                          double max_delay_s);
+
+}  // namespace lumichat::signal

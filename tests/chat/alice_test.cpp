@@ -1,0 +1,112 @@
+#include "chat/alice.hpp"
+
+#include <gtest/gtest.h>
+
+#include "image/luminance.hpp"
+
+namespace lumichat::chat {
+namespace {
+
+TEST(MeteringScript, StartsAtTimeZeroAndAlternates) {
+  common::Rng rng(1);
+  const auto script = make_metering_script(15.0, rng);
+  ASSERT_GE(script.size(), 3u);
+  EXPECT_DOUBLE_EQ(script[0].t_sec, 0.0);
+  for (std::size_t i = 1; i < script.size(); ++i) {
+    EXPECT_NE(script[i].target, script[i - 1].target) << "event " << i;
+    EXPECT_GT(script[i].t_sec, script[i - 1].t_sec);
+  }
+}
+
+TEST(MeteringScript, GapsWithinBounds) {
+  common::Rng rng(7);
+  const auto script = make_metering_script(15.0, rng, 2.8, 5.0);
+  for (std::size_t i = 2; i < script.size(); ++i) {
+    const double gap = script[i].t_sec - script[i - 1].t_sec;
+    EXPECT_GE(gap, 2.8 - 1e-9);
+    EXPECT_LE(gap, 5.0 + 1e-9);
+  }
+}
+
+TEST(MeteringScript, LeavesTailRoom) {
+  common::Rng rng(3);
+  const auto script = make_metering_script(15.0, rng);
+  EXPECT_LT(script.back().t_sec, 15.0 - 2.4);
+}
+
+TEST(MeteringScript, ProducesSeveralChangesPerClip) {
+  // ~3-5 touches in a 15 s clip at the default cadence.
+  for (std::uint64_t seed = 0; seed < 10; ++seed) {
+    common::Rng rng(seed);
+    const auto script = make_metering_script(15.0, rng);
+    EXPECT_GE(script.size(), 3u) << "seed " << seed;
+    EXPECT_LE(script.size(), 7u) << "seed " << seed;
+  }
+}
+
+TEST(AliceStream, MeteringTouchesCreateLuminanceSteps) {
+  AliceSpec spec;
+  std::vector<MeterEvent> script{
+      MeterEvent{0.0, MeterTarget::kWindow},
+      MeterEvent{2.0, MeterTarget::kShelf},
+  };
+  AliceStream alice(spec, script, 5);
+
+  // Average frame luminance well before vs well after the touch.
+  double before = 0.0;
+  double after = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    before += image::frame_luminance(alice.frame(1.0 + 0.05 * i));
+  }
+  for (int i = 0; i < 10; ++i) {
+    after += image::frame_luminance(alice.frame(4.0 + 0.05 * i));
+  }
+  before /= 10.0;
+  after /= 10.0;
+  // Metering the bright window -> dark frame; metering the dark shelf ->
+  // bright frame. The step must be large (the "significant change").
+  EXPECT_GT(after - before, 60.0);
+}
+
+TEST(AliceStream, InitialTargetAppliedBeforeFirstFrame) {
+  AliceSpec spec;
+  std::vector<MeterEvent> window_first{MeterEvent{0.0, MeterTarget::kWindow}};
+  std::vector<MeterEvent> shelf_first{MeterEvent{0.0, MeterTarget::kShelf}};
+  AliceStream a(spec, window_first, 5);
+  AliceStream b(spec, shelf_first, 5);
+  // Even at negative (warm-up) time, the two scripts expose differently.
+  const double ya = image::frame_luminance(a.frame(-2.0));
+  const double yb = image::frame_luminance(b.frame(-2.0));
+  EXPECT_GT(yb - ya, 40.0);
+}
+
+TEST(AliceStream, FramesAreEightBitRange) {
+  AliceSpec spec;
+  common::Rng rng(11);
+  AliceStream alice(spec, make_metering_script(15.0, rng), 11);
+  const image::Image f = alice.frame(0.0);
+  for (const auto& p : f.pixels()) {
+    EXPECT_GE(p.r, 0.0);
+    EXPECT_LE(p.r, 255.0);
+  }
+}
+
+TEST(AliceStream, ContentNoisePresentBetweenTouches) {
+  // The window flicker puts high-frequency noise on the transmitted
+  // luminance — the realistic nuisance the 1 Hz low-pass must remove.
+  AliceSpec spec;
+  std::vector<MeterEvent> script{MeterEvent{0.0, MeterTarget::kShelf}};
+  AliceStream alice(spec, script, 3);
+  double lo = 1e9;
+  double hi = -1e9;
+  for (int i = 0; i < 30; ++i) {
+    const double y = image::frame_luminance(alice.frame(2.0 + 0.1 * i));
+    lo = std::min(lo, y);
+    hi = std::max(hi, y);
+  }
+  EXPECT_GT(hi - lo, 0.3);   // visible noise...
+  EXPECT_LT(hi - lo, 40.0);  // ...but no step-sized artifacts
+}
+
+}  // namespace
+}  // namespace lumichat::chat

@@ -1,0 +1,105 @@
+#include "chat/codec.hpp"
+
+#include <gtest/gtest.h>
+
+#include "image/luminance.hpp"
+
+namespace lumichat::chat {
+namespace {
+
+image::Image gradient_frame(std::size_t w = 32, std::size_t h = 24) {
+  image::Image img(w, h);
+  for (std::size_t y = 0; y < h; ++y) {
+    for (std::size_t x = 0; x < w; ++x) {
+      const double v = 255.0 * static_cast<double>(x + y) /
+                       static_cast<double>(w + h);
+      img(x, y) = image::Pixel{v, v, v};
+    }
+  }
+  return img;
+}
+
+TEST(Codec, ZeroCompressionIsIdentity) {
+  VideoCodec codec(CodecSpec{.compression = 0.0}, 1);
+  const image::Image in = gradient_frame();
+  const image::Image out = codec.transcode(in);
+  for (std::size_t i = 0; i < in.pixels().size(); ++i) {
+    EXPECT_EQ(out.pixels()[i], in.pixels()[i]);
+  }
+}
+
+TEST(Codec, EmptyFramePassesThrough) {
+  VideoCodec codec(CodecSpec{}, 1);
+  EXPECT_TRUE(codec.transcode(image::Image{}).empty());
+}
+
+TEST(Codec, PreservesFrameMeanLuminance) {
+  // The property the defense depends on: compression may mangle detail but
+  // must roughly preserve mean luminance.
+  VideoCodec codec(CodecSpec{.compression = 0.5}, 2);
+  const image::Image in = gradient_frame(48, 36);
+  const image::Image out = codec.transcode(in);
+  EXPECT_NEAR(image::frame_luminance(out), image::frame_luminance(in), 4.0);
+}
+
+TEST(Codec, StrongerCompressionLosesMoreDetail) {
+  const image::Image in = gradient_frame(48, 36);
+  auto detail_loss = [&](double compression) {
+    VideoCodec codec(CodecSpec{.compression = compression}, 3);
+    const image::Image out = codec.transcode(in);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < in.pixels().size(); ++i) {
+      acc += std::abs(out.pixels()[i].g - in.pixels()[i].g);
+    }
+    return acc / static_cast<double>(in.pixels().size());
+  };
+  EXPECT_LT(detail_loss(0.1), detail_loss(0.8));
+}
+
+TEST(Codec, OutputStaysInEightBitRange) {
+  VideoCodec codec(CodecSpec{.compression = 1.0}, 4);
+  const image::Image out = codec.transcode(gradient_frame());
+  for (const auto& p : out.pixels()) {
+    EXPECT_GE(p.r, 0.0);
+    EXPECT_LE(p.r, 255.0);
+  }
+}
+
+TEST(Codec, MotionIncreasesArtifacts) {
+  // Rate-control: a large frame-to-frame change degrades the next frame
+  // more than a static scene.
+  const image::Image bright(32, 24, image::Pixel{200, 200, 200});
+  const image::Image dark(32, 24, image::Pixel{30, 30, 30});
+  const image::Image detail = gradient_frame();
+
+  VideoCodec static_codec(CodecSpec{.compression = 0.4}, 5);
+  (void)static_codec.transcode(detail);
+  const image::Image calm = static_codec.transcode(detail);
+
+  VideoCodec moving_codec(CodecSpec{.compression = 0.4}, 5);
+  (void)moving_codec.transcode(bright);
+  (void)moving_codec.transcode(dark);  // big luminance jump
+  const image::Image stressed = moving_codec.transcode(detail);
+
+  double calm_err = 0.0;
+  double stressed_err = 0.0;
+  for (std::size_t i = 0; i < detail.pixels().size(); ++i) {
+    calm_err += std::abs(calm.pixels()[i].g - detail.pixels()[i].g);
+    stressed_err += std::abs(stressed.pixels()[i].g - detail.pixels()[i].g);
+  }
+  EXPECT_GT(stressed_err, calm_err);
+}
+
+TEST(Codec, DeterministicForSeed) {
+  VideoCodec a(CodecSpec{.compression = 0.5}, 42);
+  VideoCodec b(CodecSpec{.compression = 0.5}, 42);
+  const image::Image in = gradient_frame();
+  const image::Image fa = a.transcode(in);
+  const image::Image fb = b.transcode(in);
+  for (std::size_t i = 0; i < fa.pixels().size(); ++i) {
+    EXPECT_EQ(fa.pixels()[i], fb.pixels()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace lumichat::chat

@@ -1,0 +1,98 @@
+#include "chat/network.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lumichat::chat {
+namespace {
+
+image::Image tagged(double v) { return image::Image(1, 1, image::Pixel{v, v, v}); }
+
+double tag_of(const image::Image& img) {
+  return img.empty() ? -1.0 : img(0, 0).r;
+}
+
+NetworkSpec clean_delay(double d) {
+  NetworkSpec s;
+  s.delay_s = d;
+  s.jitter_sigma_s = 0.0;
+  s.drop_probability = 0.0;
+  return s;
+}
+
+TEST(NetworkChannel, NothingVisibleBeforeFirstArrival) {
+  NetworkChannel ch(clean_delay(0.5), 1);
+  ch.push(tagged(1), 0.0);
+  EXPECT_TRUE(ch.at(0.0).empty());
+  EXPECT_TRUE(ch.at(0.4).empty());
+}
+
+TEST(NetworkChannel, FrameArrivesAfterDelay) {
+  NetworkChannel ch(clean_delay(0.5), 1);
+  ch.push(tagged(1), 0.0);
+  EXPECT_DOUBLE_EQ(tag_of(ch.at(0.5)), 1.0);
+}
+
+TEST(NetworkChannel, LatestArrivedFrameIsDisplayed) {
+  NetworkChannel ch(clean_delay(0.2), 1);
+  ch.push(tagged(1), 0.0);
+  ch.push(tagged(2), 0.1);
+  ch.push(tagged(3), 0.2);
+  EXPECT_DOUBLE_EQ(tag_of(ch.at(0.25)), 1.0);
+  EXPECT_DOUBLE_EQ(tag_of(ch.at(0.35)), 2.0);
+  EXPECT_DOUBLE_EQ(tag_of(ch.at(1.0)), 3.0);
+}
+
+TEST(NetworkChannel, DroppedFramesLeavePreviousOnScreen) {
+  NetworkSpec spec = clean_delay(0.1);
+  spec.drop_probability = 1.0;  // drop everything after we disable it
+  NetworkChannel always_drops(spec, 2);
+  always_drops.push(tagged(9), 0.0);
+  EXPECT_TRUE(always_drops.at(5.0).empty());
+
+  // Mixed: first frame delivered (drop off), rest dropped -> old frame stays.
+  NetworkChannel ch(clean_delay(0.1), 2);
+  ch.push(tagged(1), 0.0);
+  EXPECT_DOUBLE_EQ(tag_of(ch.at(0.2)), 1.0);
+}
+
+TEST(NetworkChannel, ArrivalsAreMonotone) {
+  // Even with heavy jitter, a later-pushed frame never displaces an
+  // earlier-pushed frame retroactively.
+  NetworkSpec spec;
+  spec.delay_s = 0.2;
+  spec.jitter_sigma_s = 0.3;
+  spec.drop_probability = 0.0;
+  NetworkChannel ch(spec, 7);
+  double last_seen = -1.0;
+  for (int i = 0; i < 100; ++i) {
+    const double t = static_cast<double>(i) * 0.1;
+    ch.push(tagged(static_cast<double>(i)), t);
+    const double seen = tag_of(ch.at(t));
+    EXPECT_GE(seen, last_seen);
+    last_seen = seen;
+  }
+}
+
+TEST(NetworkChannel, ZeroDelayDeliversImmediately) {
+  NetworkChannel ch(clean_delay(0.0), 1);
+  ch.push(tagged(5), 1.0);
+  EXPECT_DOUBLE_EQ(tag_of(ch.at(1.0)), 5.0);
+}
+
+TEST(NetworkChannel, DeterministicForSeed) {
+  NetworkSpec spec;
+  spec.delay_s = 0.15;
+  spec.jitter_sigma_s = 0.05;
+  spec.drop_probability = 0.3;
+  NetworkChannel a(spec, 99);
+  NetworkChannel b(spec, 99);
+  for (int i = 0; i < 50; ++i) {
+    const double t = static_cast<double>(i) * 0.1;
+    a.push(tagged(static_cast<double>(i)), t);
+    b.push(tagged(static_cast<double>(i)), t);
+    EXPECT_DOUBLE_EQ(tag_of(a.at(t)), tag_of(b.at(t)));
+  }
+}
+
+}  // namespace
+}  // namespace lumichat::chat

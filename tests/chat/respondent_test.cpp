@@ -1,0 +1,91 @@
+#include "chat/respondent.hpp"
+
+#include <gtest/gtest.h>
+
+#include "image/luminance.hpp"
+
+namespace lumichat::chat {
+namespace {
+
+image::Image screen_frame(double level) {
+  return image::Image(32, 24, image::Pixel{level, level, level});
+}
+
+TEST(LegitimateRespondent, ProducesFramesOfRenderSize) {
+  LegitimateRespondent bob(LegitimateSpec{}, 1);
+  const image::Image f = bob.respond(0.0, screen_frame(128));
+  EXPECT_EQ(f.width(), LegitimateSpec{}.render.width);
+  EXPECT_EQ(f.height(), LegitimateSpec{}.render.height);
+}
+
+TEST(LegitimateRespondent, FaceReflectsScreenLuminance) {
+  // Core physical loop: a brighter displayed frame must brighten Bob's
+  // captured face. Compare the raw radiometric reflection via two separate
+  // respondents (exposure state isolated), sampling right after warm-up.
+  LegitimateSpec spec;
+  spec.camera.adaptation_rate = 0.0;  // freeze AE after the first frame
+  LegitimateRespondent bob(spec, 3);
+
+  // Warm up with a mid display so exposure locks at a common level.
+  for (int i = 0; i < 5; ++i) {
+    (void)bob.respond(0.1 * i, screen_frame(128));
+  }
+  const image::Image dark = bob.respond(1.0, screen_frame(10));
+  const image::Image bright = bob.respond(1.1, screen_frame(245));
+  const double yd = image::frame_luminance(dark);
+  const double yb = image::frame_luminance(bright);
+  EXPECT_GT(yb, yd + 5.0);
+}
+
+TEST(LegitimateRespondent, HandlesEmptyDisplayFrame) {
+  LegitimateRespondent bob(LegitimateSpec{}, 1);
+  const image::Image f = bob.respond(0.0, image::Image{});
+  EXPECT_FALSE(f.empty());  // dark screen, but the face is still there
+}
+
+TEST(LegitimateRespondent, EightBitOutputRange) {
+  LegitimateRespondent bob(LegitimateSpec{}, 1);
+  const image::Image f = bob.respond(0.0, screen_frame(200));
+  for (const auto& p : f.pixels()) {
+    EXPECT_GE(p.g, 0.0);
+    EXPECT_LE(p.g, 255.0);
+  }
+}
+
+TEST(LegitimateRespondent, DifferentSeedsGiveDifferentBehaviour) {
+  LegitimateRespondent a(LegitimateSpec{}, 1);
+  LegitimateRespondent b(LegitimateSpec{}, 2);
+  const image::Image fa = a.respond(0.5, screen_frame(128));
+  const image::Image fb = b.respond(0.5, screen_frame(128));
+  bool differ = false;
+  for (std::size_t i = 0; i < fa.pixels().size() && !differ; ++i) {
+    differ = !(fa.pixels()[i] == fb.pixels()[i]);
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(LegitimateRespondent, CloserScreenReflectsMore) {
+  LegitimateSpec near_spec;
+  near_spec.screen_distance_m = 0.3;
+  near_spec.camera.adaptation_rate = 0.0;
+  LegitimateSpec far_spec = near_spec;
+  far_spec.screen_distance_m = 1.2;
+
+  LegitimateRespondent near_bob(near_spec, 5);
+  LegitimateRespondent far_bob(far_spec, 5);
+  for (int i = 0; i < 5; ++i) {
+    (void)near_bob.respond(0.1 * i, screen_frame(128));
+    (void)far_bob.respond(0.1 * i, screen_frame(128));
+  }
+  // Same step on the screen: the nearer user's face changes more.
+  const double near_delta =
+      image::frame_luminance(near_bob.respond(1.0, screen_frame(250))) -
+      image::frame_luminance(near_bob.respond(1.1, screen_frame(10)));
+  const double far_delta =
+      image::frame_luminance(far_bob.respond(1.0, screen_frame(250))) -
+      image::frame_luminance(far_bob.respond(1.1, screen_frame(10)));
+  EXPECT_GT(near_delta, far_delta);
+}
+
+}  // namespace
+}  // namespace lumichat::chat

@@ -1,0 +1,41 @@
+#include "chat/video.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lumichat::chat {
+namespace {
+
+TEST(VideoClip, EmptyClip) {
+  const VideoClip clip;
+  EXPECT_TRUE(clip.empty());
+  EXPECT_EQ(clip.size(), 0u);
+  EXPECT_DOUBLE_EQ(clip.duration_s(), 0.0);
+  EXPECT_TRUE(clip.frame_luminance_signal().empty());
+}
+
+TEST(VideoClip, DurationFromRateAndCount) {
+  VideoClip clip;
+  clip.sample_rate_hz = 10.0;
+  clip.frames.assign(150, image::Image(2, 2));
+  EXPECT_DOUBLE_EQ(clip.duration_s(), 15.0);
+}
+
+TEST(VideoClip, LuminanceSignalMatchesFrames) {
+  VideoClip clip;
+  clip.frames.push_back(image::Image(2, 2, image::Pixel{100, 100, 100}));
+  clip.frames.push_back(image::Image(2, 2, image::Pixel{200, 200, 200}));
+  const auto s = clip.frame_luminance_signal();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_NEAR(s[0], 100.0, 1e-9);
+  EXPECT_NEAR(s[1], 200.0, 1e-9);
+}
+
+TEST(VideoClip, ZeroRateGivesZeroDuration) {
+  VideoClip clip;
+  clip.sample_rate_hz = 0.0;
+  clip.frames.assign(10, image::Image(1, 1));
+  EXPECT_DOUBLE_EQ(clip.duration_s(), 0.0);
+}
+
+}  // namespace
+}  // namespace lumichat::chat

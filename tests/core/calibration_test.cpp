@@ -1,0 +1,77 @@
+#include "core/calibration.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/lof.hpp"
+
+namespace lumichat::core {
+namespace {
+
+std::vector<FeatureVector> cluster(std::size_t n, std::uint64_t seed,
+                                   double spread = 0.08) {
+  common::Rng rng(seed);
+  std::vector<FeatureVector> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(FeatureVector{
+        1.0 + rng.gaussian(0.0, spread), 1.0 + rng.gaussian(0.0, spread),
+        0.9 + rng.gaussian(0.0, spread), 0.3 + rng.gaussian(0.0, spread)});
+  }
+  return out;
+}
+
+TEST(Calibration, RejectsDegenerateInputs) {
+  EXPECT_THROW((void)calibrate_threshold(cluster(4, 1), 5),
+               std::invalid_argument);
+  EXPECT_THROW((void)calibrate_threshold(cluster(40, 1), 5, 0.05, 1),
+               std::invalid_argument);
+}
+
+TEST(Calibration, ProducesScoresForEverySample) {
+  const auto legit = cluster(40, 2);
+  const CalibrationResult r = calibrate_threshold(legit);
+  EXPECT_EQ(r.held_out_scores.size(), legit.size());
+  EXPECT_GT(r.tau, 0.0);
+}
+
+TEST(Calibration, EstimatedFrrMeetsTarget) {
+  const auto legit = cluster(60, 3);
+  const CalibrationResult r = calibrate_threshold(legit, 5, 0.05);
+  EXPECT_LE(r.estimated_frr, 0.05 + 1e-9);
+}
+
+TEST(Calibration, StricterTargetRaisesTau) {
+  const auto legit = cluster(60, 4);
+  const double tau_loose = calibrate_threshold(legit, 5, 0.20).tau;
+  const double tau_tight = calibrate_threshold(legit, 5, 0.01).tau;
+  EXPECT_GE(tau_tight, tau_loose);
+}
+
+TEST(Calibration, ChosenTauStillFlagsObviousAttackers) {
+  const auto legit = cluster(60, 5);
+  const CalibrationResult r = calibrate_threshold(legit, 5, 0.05);
+  LofClassifier lof(5, r.tau);
+  lof.fit(legit);
+  EXPECT_TRUE(lof.is_attacker(FeatureVector{0.1, 0.1, -0.5, 2.0}));
+  EXPECT_FALSE(lof.is_attacker(FeatureVector{1.0, 1.0, 0.9, 0.3}));
+}
+
+TEST(Calibration, SafetyMarginScalesTau) {
+  const auto legit = cluster(60, 6);
+  const double base = calibrate_threshold(legit, 5, 0.05, 5, 1.0).tau;
+  const double padded = calibrate_threshold(legit, 5, 0.05, 5, 1.5).tau;
+  EXPECT_NEAR(padded / base, 1.5, 1e-9);
+}
+
+TEST(Calibration, TauIsScaleInvariant) {
+  // LOF scores depend only on *relative* local densities, so uniformly
+  // scaling the legitimate cluster must not move the calibrated threshold —
+  // the reason a single tau generalises across users with different
+  // feature spreads (the paper's cross-user training result).
+  const double tau_tight = calibrate_threshold(cluster(60, 7, 0.03)).tau;
+  const double tau_wide = calibrate_threshold(cluster(60, 7, 0.30)).tau;
+  EXPECT_NEAR(tau_tight, tau_wide, 1e-6);
+}
+
+}  // namespace
+}  // namespace lumichat::core

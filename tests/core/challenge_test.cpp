@@ -1,0 +1,75 @@
+#include "core/challenge.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace lumichat::core {
+namespace {
+
+// Feeds `scheduler` a luminance stream with steps at the given times.
+ChallengeAdvice feed(ChallengeScheduler& scheduler,
+                     const std::vector<double>& step_times, double duration_s,
+                     double rate = 10.0, std::uint64_t seed = 1) {
+  common::Rng rng(seed);
+  ChallengeAdvice last;
+  bool high = false;
+  std::size_t next = 0;
+  const auto n = static_cast<std::size_t>(duration_s * rate);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / rate;
+    if (next < step_times.size() && t >= step_times[next]) {
+      high = !high;
+      ++next;
+    }
+    last = scheduler.push(t, (high ? 220.0 : 60.0) + rng.gaussian(0.0, 1.0));
+  }
+  return last;
+}
+
+TEST(Challenge, QuietSceneTriggersPrompt) {
+  ChallengeScheduler scheduler(ChallengePolicy{});
+  const ChallengeAdvice advice = feed(scheduler, {}, 10.0);
+  EXPECT_TRUE(advice.prompt_now);
+  EXPECT_EQ(advice.changes_so_far, 0u);
+  EXPECT_FALSE(scheduler.window_valid());
+}
+
+TEST(Challenge, RegularTouchesSuppressPrompt) {
+  ChallengeScheduler scheduler(ChallengePolicy{});
+  const ChallengeAdvice advice = feed(scheduler, {2.0, 6.0, 10.0}, 13.0);
+  EXPECT_FALSE(advice.prompt_now);
+  EXPECT_GE(advice.changes_so_far, 2u);
+  EXPECT_TRUE(scheduler.window_valid());
+}
+
+TEST(Challenge, PromptAfterLastTouchGoesStale) {
+  ChallengeScheduler scheduler(ChallengePolicy{});
+  // One early touch, then silence for 10+ seconds.
+  const ChallengeAdvice advice = feed(scheduler, {2.0}, 14.0);
+  EXPECT_TRUE(advice.prompt_now);
+  EXPECT_GT(advice.seconds_since_last, 5.5);
+}
+
+TEST(Challenge, WindowValidityNeedsMinimumChanges) {
+  ChallengePolicy policy;
+  policy.min_changes_per_window = 3;
+  ChallengeScheduler scheduler(policy);
+  (void)feed(scheduler, {2.0, 6.0}, 10.0);
+  EXPECT_FALSE(scheduler.window_valid());  // only 2 changes
+
+  ChallengeScheduler scheduler2(policy);
+  (void)feed(scheduler2, {2.0, 6.0, 10.0}, 14.0);
+  EXPECT_TRUE(scheduler2.window_valid());
+}
+
+TEST(Challenge, ResetClearsWindowCounts) {
+  ChallengeScheduler scheduler(ChallengePolicy{});
+  (void)feed(scheduler, {2.0, 6.0}, 10.0);
+  EXPECT_TRUE(scheduler.window_valid());
+  scheduler.reset_window();
+  EXPECT_FALSE(scheduler.window_valid());
+}
+
+}  // namespace
+}  // namespace lumichat::core

@@ -1,0 +1,78 @@
+#include "core/detector.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace lumichat::core {
+namespace {
+
+std::vector<FeatureVector> legit_like(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<FeatureVector> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(FeatureVector{1.0 - rng.uniform(0.0, 0.15),
+                                1.0 - rng.uniform(0.0, 0.15),
+                                0.9 - rng.uniform(0.0, 0.2),
+                                0.2 + rng.uniform(0.0, 0.2)});
+  }
+  return out;
+}
+
+TEST(Detector, ClassifyBeforeTrainingThrows) {
+  const Detector det;
+  EXPECT_FALSE(det.is_trained());
+  EXPECT_THROW((void)det.classify(FeatureVector{}), std::logic_error);
+}
+
+TEST(Detector, TrainOnFeaturesThenClassify) {
+  Detector det;
+  det.train_on_features(legit_like(20, 1));
+  EXPECT_TRUE(det.is_trained());
+
+  const DetectionResult good = det.classify(FeatureVector{1.0, 0.95, 0.85, 0.3});
+  EXPECT_FALSE(good.is_attacker);
+  EXPECT_LT(good.lof_score, 3.0);
+
+  const DetectionResult bad = det.classify(FeatureVector{0.1, 0.2, -0.4, 1.5});
+  EXPECT_TRUE(bad.is_attacker);
+  EXPECT_GT(bad.lof_score, 3.0);
+}
+
+TEST(Detector, ThresholdAdjustable) {
+  Detector det;
+  det.train_on_features(legit_like(20, 2));
+  const FeatureVector borderline{0.7, 0.7, 0.5, 0.6};
+  const double score = det.classify(borderline).lof_score;
+  det.set_threshold(score + 0.01);
+  EXPECT_FALSE(det.classify(borderline).is_attacker);
+  det.set_threshold(score - 0.01);
+  EXPECT_TRUE(det.classify(borderline).is_attacker);
+}
+
+TEST(Detector, ResultCarriesFeaturesAndScore) {
+  Detector det;
+  det.train_on_features(legit_like(20, 3));
+  const FeatureVector z{0.9, 0.9, 0.8, 0.35};
+  const DetectionResult r = det.classify(z);
+  EXPECT_DOUBLE_EQ(r.features.z1, z.z1);
+  EXPECT_DOUBLE_EQ(r.features.z4, z.z4);
+  EXPECT_GT(r.lof_score, 0.0);
+}
+
+TEST(Detector, ConfigPropagates) {
+  DetectorConfig cfg;
+  cfg.lof_threshold = 2.0;
+  cfg.lof_neighbors = 3;
+  Detector det(cfg);
+  det.train_on_features(legit_like(10, 4));
+  EXPECT_DOUBLE_EQ(det.config().lof_threshold, 2.0);
+  // tau=2 is stricter than the default 3: a mild outlier gets flagged.
+  const DetectionResult r = det.classify(FeatureVector{0.6, 0.6, 0.4, 0.7});
+  if (r.lof_score > 2.0) {
+    EXPECT_TRUE(r.is_attacker);
+  }
+}
+
+}  // namespace
+}  // namespace lumichat::core

@@ -1,0 +1,192 @@
+#include "core/features.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace lumichat::core {
+namespace {
+
+// Builds a PreprocessResult directly (unit-level: bypass the filter chain).
+PreprocessResult pre_with(std::vector<double> change_times,
+                          signal::Signal trend, double rate = 10.0) {
+  PreprocessResult r;
+  r.change_times_s = std::move(change_times);
+  r.smoothed_variance = std::move(trend);
+  for (const double t : r.change_times_s) {
+    signal::Peak p;
+    p.index = static_cast<std::size_t>(t * rate);
+    r.peaks.push_back(p);
+  }
+  return r;
+}
+
+signal::Signal bumps_at(const std::vector<double>& times, std::size_t n,
+                        double rate = 10.0) {
+  signal::Signal s(n, 0.0);
+  for (const double t : times) {
+    const auto c = static_cast<std::ptrdiff_t>(t * rate);
+    for (std::ptrdiff_t k = -5; k <= 5; ++k) {
+      const std::ptrdiff_t i = c + k;
+      if (i >= 0 && i < static_cast<std::ptrdiff_t>(n)) {
+        s[static_cast<std::size_t>(i)] +=
+            10.0 * std::exp(-static_cast<double>(k * k) / 8.0);
+      }
+    }
+  }
+  return s;
+}
+
+TEST(Features, PerfectAlignmentGivesIdealVector) {
+  const FeatureExtractor fx;
+  const std::vector<double> times{2.0, 6.0, 10.0};
+  const auto t = pre_with(times, bumps_at(times, 150));
+  const auto r = pre_with(times, bumps_at(times, 150));
+  const FeatureExtraction e = fx.extract(t, r);
+  EXPECT_DOUBLE_EQ(e.features.z1, 1.0);
+  EXPECT_DOUBLE_EQ(e.features.z2, 1.0);
+  EXPECT_NEAR(e.features.z3, 1.0, 1e-9);
+  EXPECT_NEAR(e.features.z4, 0.0, 1e-9);
+  EXPECT_NEAR(e.diagnostics.estimated_delay_s, 0.0, 1e-9);
+}
+
+TEST(Features, ConstantDelayIsEstimatedAndRemoved) {
+  const FeatureExtractor fx;
+  const std::vector<double> t_times{2.0, 6.0, 10.0};
+  const std::vector<double> r_times{2.4, 6.4, 10.4};
+  const auto t = pre_with(t_times, bumps_at(t_times, 150));
+  const auto r = pre_with(r_times, bumps_at(r_times, 150));
+  const FeatureExtraction e = fx.extract(t, r);
+  EXPECT_NEAR(e.diagnostics.estimated_delay_s, 0.4, 0.05);
+  EXPECT_DOUBLE_EQ(e.features.z1, 1.0);
+  EXPECT_DOUBLE_EQ(e.features.z2, 1.0);
+  EXPECT_GT(e.features.z3, 0.9);
+  EXPECT_LT(e.features.z4, 0.2);
+}
+
+TEST(Features, MisalignedChangesDoNotMatch) {
+  const FeatureExtractor fx;
+  const std::vector<double> t_times{2.0, 6.0, 10.0};
+  const std::vector<double> r_times{4.0, 8.3, 12.6};  // inconsistent offsets
+  const auto t = pre_with(t_times, bumps_at(t_times, 150));
+  const auto r = pre_with(r_times, bumps_at(r_times, 150));
+  const FeatureExtraction e = fx.extract(t, r);
+  EXPECT_LT(e.features.z1, 0.67);
+  EXPECT_LT(e.features.z3, 0.5);
+}
+
+TEST(Features, DelayBeyondWindowIsNotCompensated) {
+  // The Fig. 17 security property: a uniform 2 s lag (attacker processing
+  // time) exceeds max_delay_s and must NOT be silently removed.
+  const FeatureExtractor fx;  // default max_delay_s = 1.2
+  const std::vector<double> t_times{2.0, 6.0, 10.0};
+  const std::vector<double> r_times{4.0, 8.0, 12.0};
+  const auto t = pre_with(t_times, bumps_at(t_times, 150));
+  const auto r = pre_with(r_times, bumps_at(r_times, 150));
+  const FeatureExtraction e = fx.extract(t, r);
+  EXPECT_LT(e.diagnostics.estimated_delay_s, 0.5);
+  EXPECT_DOUBLE_EQ(e.features.z1, 0.0);
+  EXPECT_DOUBLE_EQ(e.features.z2, 0.0);
+}
+
+TEST(Features, DelayJustInsideWindowIsCompensated) {
+  const FeatureExtractor fx;
+  const std::vector<double> t_times{2.0, 6.0, 10.0};
+  const std::vector<double> r_times{3.0, 7.0, 11.0};  // 1.0 s < 1.2 s
+  const auto t = pre_with(t_times, bumps_at(t_times, 150));
+  const auto r = pre_with(r_times, bumps_at(r_times, 150));
+  const FeatureExtraction e = fx.extract(t, r);
+  EXPECT_NEAR(e.diagnostics.estimated_delay_s, 1.0, 0.1);
+  EXPECT_DOUBLE_EQ(e.features.z1, 1.0);
+}
+
+TEST(Features, NoChangesAnywhereGivesAttackerLikeVector) {
+  const FeatureExtractor fx;
+  const auto t = pre_with({}, signal::Signal(150, 0.0));
+  const auto r = pre_with({}, signal::Signal(150, 0.0));
+  const FeatureExtraction e = fx.extract(t, r);
+  EXPECT_DOUBLE_EQ(e.features.z1, 0.0);
+  EXPECT_DOUBLE_EQ(e.features.z2, 0.0);
+  EXPECT_DOUBLE_EQ(e.features.z3, 0.0);  // constant trend: no information
+}
+
+TEST(Features, EmptyTrendsHandled) {
+  const FeatureExtractor fx;
+  const auto t = pre_with({1.0}, {});
+  const auto r = pre_with({1.0}, {});
+  const FeatureExtraction e = fx.extract(t, r);
+  EXPECT_DOUBLE_EQ(e.features.z3, 0.0);
+  EXPECT_DOUBLE_EQ(e.features.z4, 2.0);  // out-of-range sentinel
+}
+
+TEST(Features, ExtraReceivedChangesLowerZ2Only) {
+  const FeatureExtractor fx;
+  const std::vector<double> t_times{2.0, 6.0};
+  const std::vector<double> r_times{2.0, 6.0, 11.0, 13.0};  // 2 spurious
+  const auto t = pre_with(t_times, bumps_at(t_times, 150));
+  const auto r = pre_with(r_times, bumps_at(r_times, 150));
+  const FeatureExtraction e = fx.extract(t, r);
+  EXPECT_DOUBLE_EQ(e.features.z1, 1.0);
+  EXPECT_DOUBLE_EQ(e.features.z2, 0.5);
+  EXPECT_EQ(e.diagnostics.received_changes, 4u);
+  EXPECT_EQ(e.diagnostics.matched_received, 2u);
+}
+
+TEST(Features, MissingReceivedChangesLowerZ1) {
+  const FeatureExtractor fx;
+  const std::vector<double> t_times{2.0, 6.0, 10.0, 13.0};
+  const std::vector<double> r_times{2.0, 10.0};
+  const auto t = pre_with(t_times, bumps_at(t_times, 150));
+  const auto r = pre_with(r_times, bumps_at(r_times, 150));
+  const FeatureExtraction e = fx.extract(t, r);
+  EXPECT_DOUBLE_EQ(e.features.z1, 0.5);
+  EXPECT_DOUBLE_EQ(e.features.z2, 1.0);
+}
+
+TEST(Features, AnticorrelatedTrendGivesNegativeZ3) {
+  const FeatureExtractor fx;
+  const std::vector<double> times{2.0, 6.0, 10.0};
+  signal::Signal up = bumps_at(times, 150);
+  signal::Signal down;
+  for (double v : up) down.push_back(10.0 - v);
+  const auto t = pre_with(times, up);
+  const auto r = pre_with(times, down);
+  const FeatureExtraction e = fx.extract(t, r);
+  EXPECT_LT(e.features.z3, -0.9);
+}
+
+TEST(Features, Z4ScaledByConfiguredDivisor) {
+  DetectorConfig cfg;
+  cfg.dtw_scale = 10.0;
+  const FeatureExtractor fx10(cfg);
+  const FeatureExtractor fx30;  // default 30
+  const std::vector<double> t_times{2.0, 6.0};
+  const std::vector<double> r_times{3.5, 9.0};
+  const auto t = pre_with(t_times, bumps_at(t_times, 150));
+  const auto r = pre_with(r_times, bumps_at(r_times, 150));
+  const double z4_10 = fx10.extract(t, r).features.z4;
+  const double z4_30 = fx30.extract(t, r).features.z4;
+  EXPECT_NEAR(z4_10 / z4_30, 3.0, 1e-9);
+}
+
+TEST(EstimateDelay, MedianRobustToOneBadPair) {
+  const FeatureExtractor fx;
+  // Three consistent diffs of 0.4 and one wild one.
+  const std::vector<double> t_times{2.0, 5.0, 8.0, 11.0};
+  const std::vector<double> r_times{2.4, 5.4, 8.4, 12.1};
+  EXPECT_NEAR(fx.estimate_delay_s(t_times, r_times), 0.4, 0.05);
+}
+
+TEST(EstimateDelay, EmptyInputsGiveZero) {
+  const FeatureExtractor fx;
+  EXPECT_DOUBLE_EQ(fx.estimate_delay_s({}, {1.0}), 0.0);
+  EXPECT_DOUBLE_EQ(fx.estimate_delay_s({1.0}, {}), 0.0);
+}
+
+TEST(EstimateDelay, NeverNegative) {
+  const FeatureExtractor fx;
+  EXPECT_GE(fx.estimate_delay_s({2.0, 5.0}, {1.9, 4.9}), 0.0);
+}
+
+}  // namespace
+}  // namespace lumichat::core

@@ -1,0 +1,155 @@
+#include "core/lof.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace lumichat::core {
+namespace {
+
+// A tight cluster of legitimate-looking feature vectors near (1, 1, 0.9, 0.3).
+std::vector<FeatureVector> make_cluster(std::size_t n, std::uint64_t seed,
+                                        double spread = 0.05) {
+  common::Rng rng(seed);
+  std::vector<FeatureVector> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    FeatureVector f;
+    f.z1 = 1.0 + rng.gaussian(0.0, spread);
+    f.z2 = 1.0 + rng.gaussian(0.0, spread);
+    f.z3 = 0.9 + rng.gaussian(0.0, spread);
+    f.z4 = 0.3 + rng.gaussian(0.0, spread);
+    out.push_back(f);
+  }
+  return out;
+}
+
+TEST(Lof, RejectsBadConstruction) {
+  EXPECT_THROW(LofClassifier(0, 3.0), std::invalid_argument);
+}
+
+TEST(Lof, FitRequiresKPlusOnePoints) {
+  LofClassifier lof(5, 3.0);
+  EXPECT_THROW(lof.fit(make_cluster(5, 1)), std::invalid_argument);
+  EXPECT_NO_THROW(lof.fit(make_cluster(6, 1)));
+}
+
+TEST(Lof, ScoreBeforeFitThrows) {
+  const LofClassifier lof(5, 3.0);
+  EXPECT_THROW((void)lof.score(FeatureVector{}), std::logic_error);
+}
+
+TEST(Lof, InlierScoresNearOne) {
+  LofClassifier lof(5, 3.0);
+  lof.fit(make_cluster(20, 42));
+  FeatureVector probe;
+  probe.z1 = 1.0;
+  probe.z2 = 1.0;
+  probe.z3 = 0.9;
+  probe.z4 = 0.3;
+  EXPECT_LT(lof.score(probe), 1.5);
+  EXPECT_FALSE(lof.is_attacker(probe));
+}
+
+TEST(Lof, FarOutlierScoresHigh) {
+  LofClassifier lof(5, 3.0);
+  lof.fit(make_cluster(20, 42));
+  FeatureVector probe;  // attacker-like: nothing matches, trend anticorrelated
+  probe.z1 = 0.1;
+  probe.z2 = 0.2;
+  probe.z3 = -0.5;
+  probe.z4 = 2.0;
+  EXPECT_GT(lof.score(probe), 3.0);
+  EXPECT_TRUE(lof.is_attacker(probe));
+}
+
+TEST(Lof, ScoreGrowsWithDistance) {
+  LofClassifier lof(5, 3.0);
+  lof.fit(make_cluster(20, 7));
+  double prev = 0.0;
+  for (const double offset : {0.0, 0.5, 1.0, 2.0}) {
+    FeatureVector probe;
+    probe.z1 = 1.0 - offset;
+    probe.z2 = 1.0 - offset;
+    probe.z3 = 0.9 - offset;
+    probe.z4 = 0.3 + offset;
+    const double s = lof.score(probe);
+    EXPECT_GE(s, prev) << "offset " << offset;
+    prev = s;
+  }
+}
+
+TEST(Lof, TrainingPointsThemselvesAreInliers) {
+  LofClassifier lof(5, 3.0);
+  const auto train = make_cluster(20, 9);
+  lof.fit(train);
+  for (const FeatureVector& f : train) {
+    EXPECT_LT(lof.score(f), 2.0);
+  }
+}
+
+TEST(Lof, DuplicateTrainingPointsDoNotCrash) {
+  LofClassifier lof(3, 3.0);
+  std::vector<FeatureVector> train(10, FeatureVector{1.0, 1.0, 0.9, 0.3});
+  EXPECT_NO_THROW(lof.fit(train));
+  // A probe at the duplicate location is an inlier; a distant probe is not.
+  EXPECT_FALSE(lof.is_attacker(FeatureVector{1.0, 1.0, 0.9, 0.3}));
+  EXPECT_TRUE(lof.is_attacker(FeatureVector{-5.0, -5.0, -5.0, 5.0}));
+}
+
+TEST(Lof, ThresholdIsAdjustable) {
+  LofClassifier lof(5, 3.0);
+  lof.fit(make_cluster(20, 11));
+  FeatureVector probe;
+  probe.z1 = 0.4;
+  probe.z2 = 0.4;
+  probe.z3 = 0.2;
+  probe.z4 = 1.0;
+  const double s = lof.score(probe);
+  lof.set_tau(s - 0.1);
+  EXPECT_TRUE(lof.is_attacker(probe));
+  lof.set_tau(s + 0.1);
+  EXPECT_FALSE(lof.is_attacker(probe));
+}
+
+TEST(Lof, WiderTrainingClusterToleratesWiderDeviations) {
+  // The Sec. VIII-C observation: training data spread over a larger area
+  // yields better acceptance of borderline legitimate samples.
+  LofClassifier tight(5, 3.0);
+  tight.fit(make_cluster(20, 13, 0.02));
+  LofClassifier wide(5, 3.0);
+  wide.fit(make_cluster(20, 13, 0.15));
+  FeatureVector probe;
+  probe.z1 = 0.8;
+  probe.z2 = 0.85;
+  probe.z3 = 0.7;
+  probe.z4 = 0.45;
+  EXPECT_GT(tight.score(probe), wide.score(probe));
+}
+
+TEST(Lof, KNearestUsedNotAll) {
+  // Two sub-clusters: scoring near one of them must ignore the other when
+  // k is small.
+  std::vector<FeatureVector> train;
+  for (const auto& c : make_cluster(10, 21)) train.push_back(c);
+  for (auto c : make_cluster(10, 22)) {
+    c.z1 -= 5.0;  // far-away second cluster
+    train.push_back(c);
+  }
+  LofClassifier lof(3, 3.0);
+  lof.fit(train);
+  EXPECT_LT(lof.score(FeatureVector{1.0, 1.0, 0.9, 0.3}), 1.5);
+  EXPECT_LT(lof.score(FeatureVector{-4.0, 1.0, 0.9, 0.3}), 1.5);
+}
+
+TEST(Lof, AccessorsReportConfiguration) {
+  LofClassifier lof(5, 3.0);
+  EXPECT_EQ(lof.k(), 5u);
+  EXPECT_DOUBLE_EQ(lof.tau(), 3.0);
+  EXPECT_FALSE(lof.is_fitted());
+  lof.fit(make_cluster(10, 1));
+  EXPECT_TRUE(lof.is_fitted());
+  EXPECT_EQ(lof.training_data().size(), 10u);
+}
+
+}  // namespace
+}  // namespace lumichat::core

@@ -1,0 +1,105 @@
+#include "core/model_io.hpp"
+
+#include <filesystem>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+
+namespace lumichat::core {
+namespace {
+
+ModelState sample_state(std::size_t n = 20) {
+  common::Rng rng(5);
+  ModelState s;
+  s.k = 5;
+  s.tau = 2.75;
+  for (std::size_t i = 0; i < n; ++i) {
+    s.training.push_back(FeatureVector{rng.uniform(), rng.uniform(),
+                                       rng.uniform(-1.0, 1.0),
+                                       rng.uniform(0.0, 2.0)});
+  }
+  return s;
+}
+
+TEST(ModelIo, StreamRoundTripIsExact) {
+  const ModelState original = sample_state();
+  std::stringstream ss;
+  save_model(original, ss);
+  const ModelState back = load_model(ss);
+  EXPECT_EQ(back.k, original.k);
+  EXPECT_DOUBLE_EQ(back.tau, original.tau);
+  ASSERT_EQ(back.training.size(), original.training.size());
+  for (std::size_t i = 0; i < back.training.size(); ++i) {
+    EXPECT_DOUBLE_EQ(back.training[i].z1, original.training[i].z1);
+    EXPECT_DOUBLE_EQ(back.training[i].z2, original.training[i].z2);
+    EXPECT_DOUBLE_EQ(back.training[i].z3, original.training[i].z3);
+    EXPECT_DOUBLE_EQ(back.training[i].z4, original.training[i].z4);
+  }
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "lumichat_model.txt").string();
+  const ModelState original = sample_state(8);
+  save_model(original, path);
+  const ModelState back = load_model(path);
+  EXPECT_EQ(back.training.size(), 8u);
+  std::filesystem::remove(path);
+}
+
+TEST(ModelIo, RejectsWrongMagic) {
+  std::stringstream ss("not-a-model v1\nk 5\n");
+  EXPECT_THROW((void)load_model(ss), std::runtime_error);
+}
+
+TEST(ModelIo, RejectsUnsupportedVersion) {
+  std::stringstream ss("lumichat-lof v99\nk 5\n");
+  EXPECT_THROW((void)load_model(ss), std::runtime_error);
+}
+
+TEST(ModelIo, RejectsTruncatedFile) {
+  const ModelState original = sample_state(5);
+  std::stringstream ss;
+  save_model(original, ss);
+  std::string text = ss.str();
+  text.resize(text.size() / 2);  // chop mid-vector
+  std::stringstream cut(text);
+  EXPECT_THROW((void)load_model(cut), std::runtime_error);
+}
+
+TEST(ModelIo, MissingFileThrows) {
+  EXPECT_THROW((void)load_model("/nonexistent/model.txt"),
+               std::runtime_error);
+}
+
+TEST(ModelIo, RebuiltDetectorScoresIdentically) {
+  const ModelState state = sample_state();
+  Detector direct = make_detector_from_model(state);
+
+  std::stringstream ss;
+  save_model(state, ss);
+  Detector reloaded = make_detector_from_model(load_model(ss));
+
+  common::Rng rng(9);
+  for (int i = 0; i < 20; ++i) {
+    const FeatureVector probe{rng.uniform(), rng.uniform(),
+                              rng.uniform(-1.0, 1.0), rng.uniform(0.0, 2.0)};
+    EXPECT_DOUBLE_EQ(direct.classify(probe).lof_score,
+                     reloaded.classify(probe).lof_score);
+  }
+}
+
+TEST(ModelIo, ModelStateOfCapturesConfig) {
+  DetectorConfig cfg;
+  cfg.lof_neighbors = 7;
+  cfg.lof_threshold = 2.2;
+  const ModelState s = model_state_of(cfg, sample_state(10).training);
+  EXPECT_EQ(s.k, 7u);
+  EXPECT_DOUBLE_EQ(s.tau, 2.2);
+  EXPECT_EQ(s.training.size(), 10u);
+}
+
+}  // namespace
+}  // namespace lumichat::core

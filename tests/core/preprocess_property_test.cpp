@@ -1,0 +1,110 @@
+// Parameterized property sweep over the preprocessing chain: for any
+// combination of sampling rate, step amplitude and noise level within the
+// system's operating envelope, well-separated luminance steps must be
+// found — no more, no fewer — and their order preserved.
+#include <cmath>
+#include <tuple>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/features.hpp"
+#include "core/preprocess.hpp"
+
+namespace lumichat::core {
+namespace {
+
+struct SweepParam {
+  double rate_hz;
+  double amplitude;    // step height in 8-bit LSB
+  double noise_sigma;  // additive Gaussian noise
+};
+
+class PreprocessSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PreprocessSweep, FindsExactlyTheInjectedSteps) {
+  const SweepParam p = GetParam();
+  DetectorConfig cfg;
+  cfg.sample_rate_hz = p.rate_hz;
+  const Preprocessor pre(cfg);
+
+  // Steps 5 s apart — beyond the smoothing support at every rate tested.
+  const std::vector<double> truth{3.0, 8.0, 13.0};
+  common::Rng rng(static_cast<std::uint64_t>(p.rate_hz * 100 + p.amplitude));
+  const auto n = static_cast<std::size_t>(18.0 * p.rate_hz);
+  signal::Signal raw(n, 100.0);
+  bool high = false;
+  std::size_t next = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double t = static_cast<double>(i) / p.rate_hz;
+    if (next < truth.size() && t >= truth[next]) {
+      high = !high;
+      ++next;
+    }
+    raw[i] = 100.0 + (high ? p.amplitude : 0.0) +
+             rng.gaussian(0.0, p.noise_sigma);
+  }
+
+  const PreprocessResult r = pre.process_received(raw);
+  ASSERT_EQ(r.change_times_s.size(), truth.size())
+      << "rate=" << p.rate_hz << " amp=" << p.amplitude
+      << " noise=" << p.noise_sigma;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    // Shared chain lag: the peak lands after the step but within the
+    // smoothing support.
+    EXPECT_GT(r.change_times_s[i], truth[i] - 0.5);
+    EXPECT_LT(r.change_times_s[i], truth[i] + 3.5);
+    if (i > 0) {
+      EXPECT_GT(r.change_times_s[i], r.change_times_s[i - 1]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    OperatingEnvelope, PreprocessSweep,
+    ::testing::Values(SweepParam{10.0, 30.0, 0.5},   //
+                      SweepParam{10.0, 30.0, 1.5},   //
+                      SweepParam{10.0, 80.0, 2.5},   //
+                      SweepParam{10.0, 150.0, 3.0},  //
+                      SweepParam{8.0, 30.0, 1.0},    //
+                      SweepParam{8.0, 80.0, 2.0},    //
+                      SweepParam{12.0, 50.0, 1.0}));
+
+class TrendSegments : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TrendSegments, MoreSegmentsStillIdealOnPerfectAlignment) {
+  // Eq. 6 generalises to L segments; the min-correlation / max-DTW features
+  // must stay ideal for identical signals at any L.
+  DetectorConfig cfg;
+  cfg.trend_segments = GetParam();
+  const FeatureExtractor fx(cfg);
+
+  PreprocessResult t;
+  t.change_times_s = {2.0, 6.0, 10.0};
+  t.smoothed_variance.assign(150, 0.0);
+  for (const double ct : t.change_times_s) {
+    const auto c = static_cast<std::size_t>(ct * 10.0);
+    for (std::size_t k = c > 5 ? c - 5 : 0; k < c + 5 && k < 150; ++k) {
+      t.smoothed_variance[k] = 10.0;
+    }
+  }
+  const FeatureExtraction e = fx.extract(t, t);
+  EXPECT_DOUBLE_EQ(e.features.z1, 1.0);
+  if (GetParam() <= 3) {
+    // Every segment contains at least one change: min correlation stays 1.
+    EXPECT_NEAR(e.features.z3, 1.0, 1e-9);
+  } else {
+    // With many segments one of them is entirely flat; a constant segment
+    // carries no trend information and Pearson reports 0 by design, so the
+    // min over segments drops to 0 even for identical signals. This is why
+    // the paper uses only L = 2.
+    EXPECT_NEAR(e.features.z3, 0.0, 1e-9);
+  }
+  EXPECT_NEAR(e.features.z4, 0.0, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(SegmentCounts, TrendSegments,
+                         ::testing::Values<std::size_t>(1, 2, 3, 5));
+
+}  // namespace
+}  // namespace lumichat::core

@@ -1,0 +1,130 @@
+#include "core/streaming.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "eval/dataset.hpp"
+#include "eval/population.hpp"
+
+namespace lumichat::core {
+namespace {
+
+std::vector<FeatureVector> legit_like(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<FeatureVector> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(FeatureVector{1.0 - rng.uniform(0.0, 0.15),
+                                1.0 - rng.uniform(0.0, 0.15),
+                                0.9 - rng.uniform(0.0, 0.2),
+                                0.2 + rng.uniform(0.0, 0.2)});
+  }
+  return out;
+}
+
+TEST(Streaming, NoVerdictBeforeWindowCompletes) {
+  StreamingDetector sd;
+  sd.train_on_features(legit_like(20, 1));
+  const image::Image frame(8, 8, image::Pixel{100, 100, 100});
+  for (int i = 0; i < 50; ++i) {  // 5 s of a 15 s window
+    EXPECT_FALSE(sd.push(static_cast<double>(i) * 0.1, frame, frame));
+  }
+  EXPECT_EQ(sd.windows_completed(), 0u);
+}
+
+TEST(Streaming, EmitsVerdictEveryWindow) {
+  StreamingConfig cfg;
+  cfg.window_s = 3.0;  // short windows for test speed
+  StreamingDetector sd(cfg);
+  sd.train_on_features(legit_like(20, 2));
+  const image::Image frame(8, 8, image::Pixel{100, 100, 100});
+  std::size_t verdicts = 0;
+  for (int i = 0; i < 95; ++i) {  // 9.5 s -> 3 complete windows
+    if (sd.push(static_cast<double>(i) * 0.1, frame, frame)) ++verdicts;
+  }
+  EXPECT_EQ(verdicts, 3u);
+  EXPECT_EQ(sd.windows_completed(), 3u);
+}
+
+TEST(Streaming, SkipsFramesFasterThanSamplingRate) {
+  StreamingConfig cfg;
+  cfg.window_s = 2.0;
+  StreamingDetector sd(cfg);
+  sd.train_on_features(legit_like(20, 3));
+  const image::Image frame(8, 8, image::Pixel{100, 100, 100});
+  // 30 fps input, 10 Hz sampling: a window needs 2 s regardless.
+  std::size_t verdicts = 0;
+  for (int i = 0; i < 90; ++i) {  // 3 s at 30 fps
+    if (sd.push(static_cast<double>(i) / 30.0, frame, frame)) ++verdicts;
+  }
+  EXPECT_EQ(verdicts, 1u);
+}
+
+TEST(Streaming, ResetWindowDropsPartialData) {
+  StreamingConfig cfg;
+  cfg.window_s = 2.0;
+  StreamingDetector sd(cfg);
+  sd.train_on_features(legit_like(20, 4));
+  const image::Image frame(8, 8, image::Pixel{100, 100, 100});
+  for (int i = 0; i < 15; ++i) {
+    (void)sd.push(static_cast<double>(i) * 0.1, frame, frame);
+  }
+  sd.reset_window();
+  // Window restarts: 19 more samples still yield no verdict...
+  std::size_t verdicts = 0;
+  for (int i = 15; i < 34; ++i) {
+    if (sd.push(static_cast<double>(i) * 0.1, frame, frame)) ++verdicts;
+  }
+  EXPECT_EQ(verdicts, 0u);
+  // ...the 20th completes it.
+  EXPECT_TRUE(sd.push(3.4, frame, frame).has_value());
+}
+
+TEST(Streaming, RunningVerdictAggregatesWindows) {
+  StreamingConfig cfg;
+  cfg.window_s = 2.0;
+  StreamingDetector sd(cfg);
+  sd.train_on_features(legit_like(20, 5));
+  const image::Image frame(8, 8, image::Pixel{100, 100, 100});
+  for (int i = 0; i < 65; ++i) {
+    (void)sd.push(static_cast<double>(i) * 0.1, frame, frame);
+  }
+  const VoteOutcome v = sd.running_verdict();
+  EXPECT_EQ(v.total_votes, sd.windows_completed());
+}
+
+TEST(Streaming, MatchesBatchDetectorOnSimulatedSession) {
+  // Feeding a simulated session frame-by-frame must reproduce the batch
+  // detector's verdict on the same trace (identical pipeline, same config).
+  eval::SimulationProfile profile;
+  eval::DatasetBuilder data(profile);
+  const auto pop = eval::make_population();
+
+  const auto train = data.features(pop[9], eval::Role::kLegitimate, 12);
+
+  StreamingConfig cfg;
+  cfg.detector = profile.detector_config();
+  cfg.window_s = profile.clip_duration_s;
+  StreamingDetector streaming(cfg);
+  streaming.train_on_features(train);
+
+  Detector batch(profile.detector_config());
+  batch.train_on_features(train);
+
+  const chat::SessionTrace trace = data.legit_trace(pop[0], 5);
+  std::optional<DetectionResult> streamed;
+  for (std::size_t i = 0; i < trace.transmitted.size(); ++i) {
+    const double t = static_cast<double>(i) / profile.sample_rate_hz;
+    auto r = streaming.push(t, trace.transmitted.frames[i],
+                            trace.received.frames[i]);
+    if (r) streamed = r;
+  }
+  ASSERT_TRUE(streamed.has_value());
+  const DetectionResult batched = batch.detect(trace);
+  EXPECT_EQ(streamed->is_attacker, batched.is_attacker);
+  EXPECT_NEAR(streamed->lof_score, batched.lof_score, 1e-9);
+  EXPECT_NEAR(streamed->features.z1, batched.features.z1, 1e-9);
+  EXPECT_NEAR(streamed->features.z3, batched.features.z3, 1e-9);
+}
+
+}  // namespace
+}  // namespace lumichat::core

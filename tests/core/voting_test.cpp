@@ -1,0 +1,70 @@
+#include "core/voting.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lumichat::core {
+namespace {
+
+TEST(Voting, EmptyInputAccepts) {
+  const VoteOutcome v = majority_vote({});
+  EXPECT_FALSE(v.is_attacker);
+  EXPECT_EQ(v.total_votes, 0u);
+}
+
+TEST(Voting, SingleVotePassesThrough) {
+  EXPECT_TRUE(majority_vote({true}).is_attacker);
+  EXPECT_FALSE(majority_vote({false}).is_attacker);
+}
+
+TEST(Voting, SeventyPercentRule) {
+  // D = 10, coefficient 0.7: attacker iff votes > 7.
+  std::vector<bool> seven(10, false);
+  for (int i = 0; i < 7; ++i) seven[static_cast<std::size_t>(i)] = true;
+  EXPECT_FALSE(majority_vote(seven).is_attacker);  // 7 is NOT > 7
+
+  std::vector<bool> eight(10, false);
+  for (int i = 0; i < 8; ++i) eight[static_cast<std::size_t>(i)] = true;
+  EXPECT_TRUE(majority_vote(eight).is_attacker);
+}
+
+TEST(Voting, CountsReported) {
+  const VoteOutcome v = majority_vote({true, false, true, true});
+  EXPECT_EQ(v.attacker_votes, 3u);
+  EXPECT_EQ(v.total_votes, 4u);
+  EXPECT_TRUE(v.is_attacker);  // 3 > 0.7*4 = 2.8
+}
+
+TEST(Voting, ToleratesOneWrongVoteOutOfThree) {
+  // The design goal of Sec. VII-B: a single misclassification out of three
+  // rounds must not flip the outcome.
+  EXPECT_FALSE(majority_vote({true, false, false}).is_attacker);
+  EXPECT_TRUE(majority_vote({true, true, true}).is_attacker);
+  // 2/3 = 0.667 < 0.7 -> still accepted (attacker needs a clean sweep).
+  EXPECT_FALSE(majority_vote({true, true, false}).is_attacker);
+}
+
+TEST(Voting, CustomFraction) {
+  // Plain majority (0.5): 2 of 3 suffices.
+  EXPECT_TRUE(majority_vote({true, true, false}, 0.5).is_attacker);
+  EXPECT_FALSE(majority_vote({true, false, false}, 0.5).is_attacker);
+}
+
+class VotingBoundary : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(VotingBoundary, ThresholdIsStrictInequality) {
+  const std::size_t d = GetParam();
+  // Find the smallest vote count that flags: must be floor(0.7*d) + 1.
+  for (std::size_t votes = 0; votes <= d; ++votes) {
+    std::vector<bool> rounds(d, false);
+    for (std::size_t i = 0; i < votes; ++i) rounds[i] = true;
+    const bool flagged = majority_vote(rounds).is_attacker;
+    EXPECT_EQ(flagged, static_cast<double>(votes) > 0.7 * static_cast<double>(d))
+        << "D=" << d << " votes=" << votes;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, VotingBoundary,
+                         ::testing::Values<std::size_t>(1, 2, 3, 5, 7, 10));
+
+}  // namespace
+}  // namespace lumichat::core

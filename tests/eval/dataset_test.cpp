@@ -1,0 +1,112 @@
+#include "eval/dataset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lumichat::eval {
+namespace {
+
+TEST(SimulationProfile, SessionSpecDerivedFromProfile) {
+  SimulationProfile p;
+  p.clip_duration_s = 12.0;
+  p.sample_rate_hz = 8.0;
+  p.alice_to_bob.delay_s = 0.25;
+  const chat::SessionSpec s = p.session_spec();
+  EXPECT_DOUBLE_EQ(s.duration_s, 12.0);
+  EXPECT_DOUBLE_EQ(s.sample_rate_hz, 8.0);
+  EXPECT_DOUBLE_EQ(s.alice_to_bob.delay_s, 0.25);
+}
+
+TEST(SimulationProfile, DetectorConfigInheritsSampleRate) {
+  SimulationProfile p;
+  p.sample_rate_hz = 5.0;
+  EXPECT_DOUBLE_EQ(p.detector_config().sample_rate_hz, 5.0);
+}
+
+TEST(DatasetBuilder, TracesHaveProfileGeometry) {
+  SimulationProfile p;
+  p.clip_duration_s = 6.0;  // short for test speed
+  DatasetBuilder data(p);
+  const Volunteer v = make_population()[0];
+  const chat::SessionTrace legit = data.legit_trace(v, 0);
+  EXPECT_EQ(legit.transmitted.size(), 60u);
+  EXPECT_EQ(legit.received.size(), 60u);
+  const chat::SessionTrace fake = data.attacker_trace(v, 0);
+  EXPECT_EQ(fake.received.size(), 60u);
+}
+
+TEST(DatasetBuilder, DeterministicPerSeedAndClip) {
+  SimulationProfile p;
+  p.clip_duration_s = 5.0;
+  DatasetBuilder a(p);
+  DatasetBuilder b(p);
+  const Volunteer v = make_population()[2];
+  const auto ta = a.legit_trace(v, 3).received.frame_luminance_signal();
+  const auto tb = b.legit_trace(v, 3).received.frame_luminance_signal();
+  ASSERT_EQ(ta.size(), tb.size());
+  for (std::size_t i = 0; i < ta.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ta[i], tb[i]);
+  }
+}
+
+TEST(DatasetBuilder, DifferentClipsDiffer) {
+  SimulationProfile p;
+  p.clip_duration_s = 5.0;
+  DatasetBuilder data(p);
+  const Volunteer v = make_population()[1];
+  const auto c0 = data.legit_trace(v, 0).received.frame_luminance_signal();
+  const auto c1 = data.legit_trace(v, 1).received.frame_luminance_signal();
+  bool differ = false;
+  for (std::size_t i = 0; i < c0.size() && !differ; ++i) {
+    differ = c0[i] != c1[i];
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(DatasetBuilder, RolesProduceDisjointStreams) {
+  SimulationProfile p;
+  p.clip_duration_s = 5.0;
+  DatasetBuilder data(p);
+  const Volunteer v = make_population()[1];
+  const auto legit = data.legit_trace(v, 0).received.frame_luminance_signal();
+  const auto fake = data.attacker_trace(v, 0).received.frame_luminance_signal();
+  bool differ = false;
+  for (std::size_t i = 0; i < legit.size() && !differ; ++i) {
+    differ = legit[i] != fake[i];
+  }
+  EXPECT_TRUE(differ);
+}
+
+TEST(DatasetBuilder, FeaturesBatchHasRequestedCount) {
+  SimulationProfile p;
+  p.clip_duration_s = 6.0;
+  DatasetBuilder data(p);
+  const Volunteer v = make_population()[0];
+  EXPECT_EQ(data.features(v, Role::kLegitimate, 3).size(), 3u);
+  EXPECT_EQ(data.features(v, Role::kAttacker, 2).size(), 2u);
+  EXPECT_EQ(data.features(v, Role::kAdaptiveAttacker, 2, 1.0).size(), 2u);
+}
+
+TEST(DatasetBuilder, MasterSeedChangesEverything) {
+  SimulationProfile p1;
+  p1.clip_duration_s = 5.0;
+  SimulationProfile p2 = p1;
+  p2.master_seed = 777;
+  DatasetBuilder d1(p1);
+  DatasetBuilder d2(p2);
+  const Volunteer v = make_population()[0];
+  const auto a = d1.legit_trace(v, 0).received.frame_luminance_signal();
+  const auto b = d2.legit_trace(v, 0).received.frame_luminance_signal();
+  bool differ = false;
+  for (std::size_t i = 0; i < a.size() && !differ; ++i) differ = a[i] != b[i];
+  EXPECT_TRUE(differ);
+}
+
+TEST(DatasetBuilder, MakeDetectorUsesProfileConfig) {
+  SimulationProfile p;
+  p.detector.lof_threshold = 2.5;
+  DatasetBuilder data(p);
+  EXPECT_DOUBLE_EQ(data.make_detector().config().lof_threshold, 2.5);
+}
+
+}  // namespace
+}  // namespace lumichat::eval

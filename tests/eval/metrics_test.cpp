@@ -1,0 +1,83 @@
+#include "eval/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lumichat::eval {
+namespace {
+
+TEST(AttemptCounts, RatesComputedCorrectly) {
+  AttemptCounts c;
+  for (int i = 0; i < 9; ++i) c.add_legit(true);
+  c.add_legit(false);
+  for (int i = 0; i < 19; ++i) c.add_attacker(true);
+  c.add_attacker(false);
+  EXPECT_DOUBLE_EQ(c.tar(), 0.9);
+  EXPECT_DOUBLE_EQ(c.frr(), 0.1);
+  EXPECT_DOUBLE_EQ(c.trr(), 0.95);
+  EXPECT_DOUBLE_EQ(c.far(), 0.05);
+}
+
+TEST(AttemptCounts, ComplementaryIdentities) {
+  AttemptCounts c;
+  c.add_legit(true);
+  c.add_legit(false);
+  c.add_attacker(true);
+  EXPECT_DOUBLE_EQ(c.tar() + c.frr(), 1.0);
+  EXPECT_DOUBLE_EQ(c.trr() + c.far(), 1.0);
+}
+
+TEST(AttemptCounts, EmptyCategoriesGiveZero) {
+  const AttemptCounts c;
+  EXPECT_DOUBLE_EQ(c.tar(), 0.0);
+  EXPECT_DOUBLE_EQ(c.trr(), 0.0);
+  EXPECT_DOUBLE_EQ(c.far(), 0.0);
+  EXPECT_DOUBLE_EQ(c.frr(), 0.0);
+}
+
+TEST(EqualErrorRate, ExactCrossing) {
+  const std::vector<RatePoint> sweep{
+      {1.0, 0.30, 0.01},
+      {2.0, 0.10, 0.10},  // FAR == FRR here
+      {3.0, 0.02, 0.25},
+  };
+  EXPECT_NEAR(equal_error_rate(sweep), 0.10, 1e-9);
+}
+
+TEST(EqualErrorRate, InterpolatedCrossing) {
+  const std::vector<RatePoint> sweep{
+      {1.0, 0.40, 0.00},
+      {2.0, 0.00, 0.40},
+  };
+  // Curves cross halfway: EER = 0.2.
+  EXPECT_NEAR(equal_error_rate(sweep), 0.20, 1e-9);
+}
+
+TEST(EqualErrorRate, NoCrossingUsesClosestPoint) {
+  const std::vector<RatePoint> sweep{
+      {1.0, 0.50, 0.10},
+      {2.0, 0.40, 0.20},
+      {3.0, 0.35, 0.30},
+  };
+  EXPECT_NEAR(equal_error_rate(sweep), (0.35 + 0.30) / 2.0, 1e-9);
+}
+
+TEST(EqualErrorRate, EmptySweep) {
+  EXPECT_DOUBLE_EQ(equal_error_rate({}), 0.0);
+}
+
+TEST(SampleStats, MeanAndStddev) {
+  const std::vector<double> xs{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(sample_mean(xs), 5.0);
+  EXPECT_NEAR(sample_stddev(xs), 2.138, 0.001);  // n-1 normalisation
+}
+
+TEST(SampleStats, DegenerateInputs) {
+  const std::vector<double> empty;
+  const std::vector<double> one{5.0};
+  EXPECT_DOUBLE_EQ(sample_mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(sample_stddev(empty), 0.0);
+  EXPECT_DOUBLE_EQ(sample_stddev(one), 0.0);
+}
+
+}  // namespace
+}  // namespace lumichat::eval

@@ -1,0 +1,44 @@
+#include "eval/population.hpp"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "image/luminance.hpp"
+
+namespace lumichat::eval {
+namespace {
+
+TEST(Population, TenVolunteersWithUniqueIds) {
+  const auto pop = make_population();
+  ASSERT_EQ(pop.size(), kPopulationSize);
+  std::set<std::size_t> ids;
+  for (const auto& v : pop) ids.insert(v.id);
+  EXPECT_EQ(ids.size(), kPopulationSize);
+}
+
+TEST(Population, FacesMatchVolunteerIndex) {
+  const auto pop = make_population();
+  for (const auto& v : pop) {
+    EXPECT_EQ(v.face.name, face::make_volunteer_face(v.id).name);
+  }
+}
+
+TEST(Population, SkinDiversityPreserved) {
+  const auto pop = make_population();
+  double lo = 1.0;
+  double hi = 0.0;
+  for (const auto& v : pop) {
+    const double y = image::luminance(v.face.skin_albedo);
+    lo = std::min(lo, y);
+    hi = std::max(hi, y);
+  }
+  EXPECT_GT(hi / lo, 3.0);
+}
+
+TEST(Population, FortyClipsPerRoleConstant) {
+  EXPECT_EQ(kClipsPerRole, 40u);
+}
+
+}  // namespace
+}  // namespace lumichat::eval

@@ -1,0 +1,91 @@
+#include "face/dynamics.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lumichat::face {
+namespace {
+
+TEST(FaceDynamics, StaysNearFrameCentre) {
+  FaceDynamics dyn(DynamicsSpec{}, 0.3, true, 1);
+  for (int i = 0; i < 300; ++i) {
+    const FaceState s = dyn.state(static_cast<double>(i) * 0.1);
+    EXPECT_GT(s.cx, 0.35);
+    EXPECT_LT(s.cx, 0.65);
+    EXPECT_GT(s.cy, 0.35);
+    EXPECT_LT(s.cy, 0.70);
+    EXPECT_GT(s.scale, 0.9);
+    EXPECT_LT(s.scale, 1.1);
+  }
+}
+
+TEST(FaceDynamics, BlinksHappenAtRoughlyTheConfiguredRate) {
+  FaceDynamics dyn(DynamicsSpec{}, 0.5, false, 3);
+  int closed_samples = 0;
+  const int n = 3000;  // 300 s at 10 Hz
+  for (int i = 0; i < n; ++i) {
+    if (dyn.state(static_cast<double>(i) * 0.1).eyes_closed) ++closed_samples;
+  }
+  // Expected closed fraction = rate * duration = 0.5 * 0.25 = 12.5%.
+  const double frac = static_cast<double>(closed_samples) / n;
+  EXPECT_GT(frac, 0.05);
+  EXPECT_LT(frac, 0.25);
+}
+
+TEST(FaceDynamics, NoBlinksWhenRateIsZero) {
+  FaceDynamics dyn(DynamicsSpec{}, 0.0, false, 3);
+  for (int i = 0; i < 500; ++i) {
+    EXPECT_FALSE(dyn.state(static_cast<double>(i) * 0.1).eyes_closed);
+  }
+}
+
+TEST(FaceDynamics, MouthMovesOnlyWhenTalking) {
+  FaceDynamics talking(DynamicsSpec{}, 0.0, true, 5);
+  FaceDynamics silent(DynamicsSpec{}, 0.0, false, 5);
+  double talk_range = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double t = static_cast<double>(i) * 0.05;
+    talk_range = std::max(talk_range, talking.state(t).mouth_open);
+    EXPECT_DOUBLE_EQ(silent.state(t).mouth_open, 0.0);
+  }
+  EXPECT_GT(talk_range, 0.8);
+}
+
+TEST(FaceDynamics, MotionIsSmooth) {
+  // Between consecutive 10 Hz samples the centre moves at most ~2% of the
+  // frame — faces do not teleport.
+  FaceDynamics dyn(DynamicsSpec{}, 0.3, true, 9);
+  FaceState prev = dyn.state(0.0);
+  for (int i = 1; i < 300; ++i) {
+    const FaceState s = dyn.state(static_cast<double>(i) * 0.1);
+    EXPECT_LT(std::abs(s.cx - prev.cx), 0.03);
+    EXPECT_LT(std::abs(s.cy - prev.cy), 0.03);
+    prev = s;
+  }
+}
+
+TEST(FaceDynamics, SameSeedSameTrajectory) {
+  FaceDynamics a(DynamicsSpec{}, 0.3, true, 42);
+  FaceDynamics b(DynamicsSpec{}, 0.3, true, 42);
+  for (int i = 0; i < 100; ++i) {
+    const double t = static_cast<double>(i) * 0.1;
+    const FaceState sa = a.state(t);
+    const FaceState sb = b.state(t);
+    EXPECT_DOUBLE_EQ(sa.cx, sb.cx);
+    EXPECT_DOUBLE_EQ(sa.cy, sb.cy);
+    EXPECT_EQ(sa.eyes_closed, sb.eyes_closed);
+  }
+}
+
+TEST(FaceDynamics, DifferentSeedsDiffer) {
+  FaceDynamics a(DynamicsSpec{}, 0.3, true, 1);
+  FaceDynamics b(DynamicsSpec{}, 0.3, true, 2);
+  bool differ = false;
+  for (int i = 0; i < 50 && !differ; ++i) {
+    const double t = static_cast<double>(i) * 0.1;
+    differ = a.state(t).cx != b.state(t).cx;
+  }
+  EXPECT_TRUE(differ);
+}
+
+}  // namespace
+}  // namespace lumichat::face

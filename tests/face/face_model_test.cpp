@@ -1,0 +1,72 @@
+#include "face/face_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "image/luminance.hpp"
+
+namespace lumichat::face {
+namespace {
+
+TEST(FaceModel, TenVolunteersAvailable) {
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NO_THROW((void)make_volunteer_face(i));
+  }
+  EXPECT_THROW((void)make_volunteer_face(10), std::invalid_argument);
+}
+
+TEST(FaceModel, SkinTonesAreDiverse) {
+  // Sec. VIII-A: volunteers with "diverse skin colors (both dark skin and
+  // light skin)". Albedo luminance must span at least a 3x range.
+  double lo = 1.0;
+  double hi = 0.0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    const double y = image::luminance(make_volunteer_face(i).skin_albedo);
+    lo = std::min(lo, y);
+    hi = std::max(hi, y);
+  }
+  EXPECT_LT(lo, 0.2);
+  EXPECT_GT(hi, 0.45);
+  EXPECT_GT(hi / lo, 3.0);
+}
+
+TEST(FaceModel, AllSkinTonesAreWarm) {
+  // r > g > b at every tone — what the landmark detector's chroma mask
+  // relies on, and true of human skin.
+  for (std::size_t i = 0; i < 10; ++i) {
+    const auto a = make_volunteer_face(i).skin_albedo;
+    EXPECT_GT(a.r, a.g) << "volunteer " << i;
+    EXPECT_GT(a.g, a.b) << "volunteer " << i;
+  }
+}
+
+TEST(FaceModel, SomeVolunteersWearGlasses) {
+  std::size_t with_glasses = 0;
+  for (std::size_t i = 0; i < 10; ++i) {
+    if (make_volunteer_face(i).glasses) ++with_glasses;
+  }
+  EXPECT_GE(with_glasses, 1u);
+  EXPECT_LE(with_glasses, 5u);
+}
+
+TEST(FaceModel, Deterministic) {
+  const FaceModel a = make_volunteer_face(3);
+  const FaceModel b = make_volunteer_face(3);
+  EXPECT_EQ(a.skin_albedo, b.skin_albedo);
+  EXPECT_EQ(a.face_width_frac, b.face_width_frac);
+  EXPECT_EQ(a.name, b.name);
+}
+
+TEST(FaceModel, GeometryWithinRenderableBounds) {
+  for (std::size_t i = 0; i < 10; ++i) {
+    const FaceModel m = make_volunteer_face(i);
+    EXPECT_GT(m.face_width_frac, 0.2);
+    EXPECT_LT(m.face_width_frac, 0.6);
+    EXPECT_GT(m.nose_len_frac, 0.1);
+    EXPECT_LT(m.nose_len_frac, 0.4);
+    EXPECT_GE(m.hair_coverage, 0.0);
+    EXPECT_LT(m.hair_coverage, 0.3);
+  }
+}
+
+}  // namespace
+}  // namespace lumichat::face

@@ -1,0 +1,103 @@
+// Tests for head yaw and hand-occlusion support in the face substrate.
+#include <gtest/gtest.h>
+
+#include "face/dynamics.hpp"
+#include "face/renderer.hpp"
+#include "image/luminance.hpp"
+
+namespace lumichat::face {
+namespace {
+
+image::Pixel lux(double v) { return image::Pixel{v, v, v}; }
+
+TEST(Yaw, DynamicsProduceBoundedSmoothYaw) {
+  DynamicsSpec spec;
+  spec.yaw_amplitude = 0.2;
+  FaceDynamics dyn(spec, 0.0, false, 3);
+  double prev = dyn.state(0.0).yaw;
+  bool moved = false;
+  for (int i = 1; i < 300; ++i) {
+    const double y = dyn.state(static_cast<double>(i) * 0.1).yaw;
+    EXPECT_LE(std::fabs(y), 0.2 + 1e-9);
+    EXPECT_LT(std::fabs(y - prev), 0.05);  // smooth
+    if (std::fabs(y - prev) > 1e-6) moved = true;
+    prev = y;
+  }
+  EXPECT_TRUE(moved);
+}
+
+TEST(Yaw, TrueLandmarksFollowNose) {
+  FaceRenderer r(make_volunteer_face(0));
+  FaceState left;
+  left.yaw = -0.5;
+  FaceState right;
+  right.yaw = 0.5;
+  EXPECT_LT(r.true_landmarks(left).bridge_lower().x,
+            r.true_landmarks(right).bridge_lower().x);
+}
+
+TEST(Yaw, ShadingSkewsWithHeadTurn) {
+  FaceRenderer r(make_volunteer_face(1));
+  FaceState turned;
+  turned.yaw = 0.8;
+  const image::Image img = r.render(turned, lux(80), lux(40));
+  // Left cheek (receding, nx < 0) brighter than right under positive yaw
+  // times the negative coefficient: compare symmetric cheek samples.
+  const std::size_t cy = img.height() / 2;
+  const std::size_t off = img.width() / 8;
+  const double left = image::luminance(img(img.width() / 2 - off, cy));
+  const double right = image::luminance(img(img.width() / 2 + off, cy));
+  EXPECT_GT(left, right);
+}
+
+TEST(Occlusion, DisabledByDefault) {
+  FaceDynamics dyn(DynamicsSpec{}, 0.3, true, 5);
+  for (int i = 0; i < 400; ++i) {
+    EXPECT_FALSE(dyn.state(static_cast<double>(i) * 0.1).occluded);
+  }
+}
+
+TEST(Occlusion, EventsOccurAtConfiguredRate) {
+  DynamicsSpec spec;
+  spec.occlusion_rate_hz = 0.2;
+  spec.occlusion_duration_s = 0.5;
+  FaceDynamics dyn(spec, 0.0, false, 7);
+  int occluded_samples = 0;
+  const int n = 2000;  // 200 s
+  for (int i = 0; i < n; ++i) {
+    if (dyn.state(static_cast<double>(i) * 0.1).occluded) ++occluded_samples;
+  }
+  // Expected fraction ~ rate * duration = 10%.
+  const double frac = static_cast<double>(occluded_samples) / n;
+  EXPECT_GT(frac, 0.03);
+  EXPECT_LT(frac, 0.25);
+}
+
+TEST(Occlusion, HandChangesNasalRegion) {
+  FaceRenderer r(make_volunteer_face(1));
+  FaceState open;
+  FaceState covered;
+  covered.occluded = true;
+  const Landmarks lm = r.true_landmarks(open);
+  const image::RectF roi{lm.bridge_lower().x - 2, lm.bridge_lower().y - 2, 4,
+                         4};
+  const double visible =
+      image::roi_luminance(r.render(open, lux(80), lux(40)), roi);
+  const double blocked =
+      image::roi_luminance(r.render(covered, lux(80), lux(40)), roi);
+  EXPECT_NE(visible, blocked);
+}
+
+TEST(Occlusion, HandStillReflectsScreenLight) {
+  // The hand is skin too: the occluded frame still carries reflection, so
+  // the luminance signal is perturbed but not blacked out.
+  FaceRenderer r(make_volunteer_face(1));
+  FaceState covered;
+  covered.occluded = true;
+  const image::Image dim = r.render(covered, lux(20), lux(40));
+  const image::Image bright = r.render(covered, lux(120), lux(40));
+  EXPECT_GT(image::frame_luminance(bright), image::frame_luminance(dim));
+}
+
+}  // namespace
+}  // namespace lumichat::face

@@ -1,0 +1,177 @@
+#include "face/renderer.hpp"
+
+#include <gtest/gtest.h>
+
+#include "image/luminance.hpp"
+
+namespace lumichat::face {
+namespace {
+
+image::Pixel lux(double v) { return image::Pixel{v, v, v}; }
+
+FaceState centered() {
+  FaceState s;
+  s.cx = 0.5;
+  s.cy = 0.52;
+  s.scale = 1.0;
+  return s;
+}
+
+TEST(Renderer, FrameHasRequestedSize) {
+  RenderSpec spec;
+  spec.width = 64;
+  spec.height = 48;
+  FaceRenderer r(make_volunteer_face(0), spec);
+  const image::Image img = r.render(centered(), lux(50), lux(50));
+  EXPECT_EQ(img.width(), 64u);
+  EXPECT_EQ(img.height(), 48u);
+}
+
+TEST(Renderer, FaceLuminanceScalesWithIlluminance) {
+  // The Von Kries property end-to-end: doubling the light on the face
+  // doubles the rendered nasal-region radiance.
+  FaceRenderer r(make_volunteer_face(1));
+  const Landmarks lm = r.true_landmarks(centered());
+  const image::RectF roi{lm.bridge_lower().x - 2, lm.bridge_lower().y - 2, 4,
+                         4};
+  const image::Image dim = r.render(centered(), lux(30), lux(20));
+  const image::Image bright = r.render(centered(), lux(60), lux(40));
+  const double y_dim = image::roi_luminance(dim, roi);
+  const double y_bright = image::roi_luminance(bright, roi);
+  EXPECT_NEAR(y_bright / y_dim, 2.0, 0.01);
+}
+
+TEST(Renderer, ScreenLightAffectsFaceMoreThanBackground) {
+  FaceRenderer r(make_volunteer_face(1));
+  const image::Image off = r.render(centered(), lux(0), lux(50));
+  const image::Image on = r.render(centered(), lux(100), lux(50));
+  // Face centre pixel.
+  const std::size_t fx = off.width() / 2;
+  const std::size_t fy = off.height() / 2;
+  const double face_gain = image::luminance(on(fx, fy)) /
+                           image::luminance(off(fx, fy));
+  // Background corner pixel.
+  const double bg_gain = image::luminance(on(1, off.height() - 2)) /
+                         image::luminance(off(1, off.height() - 2));
+  EXPECT_GT(face_gain, bg_gain * 1.5);
+}
+
+TEST(Renderer, DarkerSkinReflectsLess) {
+  const FaceModel dark = make_volunteer_face(5);   // darkest albedo
+  const FaceModel light = make_volunteer_face(6);  // lightest albedo
+  FaceRenderer rd(dark);
+  FaceRenderer rl(light);
+  const FaceState s = centered();
+  const std::size_t fx = 48;
+  const std::size_t fy = 38;
+  const image::Image fd = rd.render(s, lux(80), lux(40));
+  const image::Image fl = rl.render(s, lux(80), lux(40));
+  EXPECT_LT(image::luminance(fd(fx, fy)), image::luminance(fl(fx, fy)));
+}
+
+TEST(Renderer, BlinkBrightensEyeRegion) {
+  // Open eyes are dark; lids are skin -> blinking raises eye-region
+  // luminance (the noise source the nasal ROI avoids).
+  FaceRenderer r(make_volunteer_face(1));
+  FaceState open = centered();
+  FaceState blink = centered();
+  blink.eyes_closed = true;
+  const image::Image fo = r.render(open, lux(80), lux(40));
+  const image::Image fb = r.render(blink, lux(80), lux(40));
+  // Eye location: centre +- 0.38 * half-width, centre - 0.20 * half-height.
+  const FaceModel& m = r.model();
+  const double w = static_cast<double>(fo.width());
+  const double h = static_cast<double>(fo.height());
+  const double a = 0.5 * m.face_width_frac * w;
+  const double b = a * m.face_aspect;
+  const image::RectF eye{0.5 * w + 0.38 * a - 2, 0.52 * h - 0.20 * b - 1, 4,
+                         2};
+  EXPECT_GT(image::roi_luminance(fb, eye),
+            image::roi_luminance(fo, eye) * 1.5);
+}
+
+TEST(Renderer, MouthRegionChangesWhileTalking) {
+  FaceRenderer r(make_volunteer_face(1));
+  FaceState closed = centered();
+  FaceState open = centered();
+  open.mouth_open = 1.0;
+  const image::Image fc = r.render(closed, lux(80), lux(40));
+  const image::Image fo = r.render(open, lux(80), lux(40));
+  const FaceModel& m = r.model();
+  const double w = static_cast<double>(fc.width());
+  const double h = static_cast<double>(fc.height());
+  const double a = 0.5 * m.face_width_frac * w;
+  const double b = a * m.face_aspect;
+  const image::RectF mouth{0.5 * w - 3, 0.52 * h + 0.48 * b - 2, 6, 4};
+  EXPECT_NE(image::roi_luminance(fc, mouth), image::roi_luminance(fo, mouth));
+}
+
+TEST(Renderer, NasalRegionStableUnderBlinkAndTalk) {
+  // The paper's reason for choosing the nasal bridge: blinking/talking must
+  // not move its luminance appreciably.
+  FaceRenderer r(make_volunteer_face(1));
+  const Landmarks lm = r.true_landmarks(centered());
+  const image::RectF roi{lm.bridge_lower().x - 2, lm.bridge_lower().y - 2, 4,
+                         4};
+  FaceState neutral = centered();
+  FaceState busy = centered();
+  busy.eyes_closed = true;
+  busy.mouth_open = 1.0;
+  const double y1 =
+      image::roi_luminance(r.render(neutral, lux(80), lux(40)), roi);
+  const double y2 =
+      image::roi_luminance(r.render(busy, lux(80), lux(40)), roi);
+  EXPECT_NEAR(y1, y2, 0.02 * y1);
+}
+
+TEST(Renderer, GlassesAddGlareNearEyes) {
+  FaceModel with = make_volunteer_face(2);  // wears glasses
+  FaceModel without = with;
+  without.glasses = false;
+  FaceRenderer rw(with);
+  FaceRenderer ro(without);
+  const image::Image fw = rw.render(centered(), lux(80), lux(40));
+  const image::Image fo = ro.render(centered(), lux(80), lux(40));
+  // Somewhere near the eyes the glasses frame/glare changes pixels.
+  double max_diff = 0.0;
+  for (std::size_t y = 0; y < fw.height(); ++y) {
+    for (std::size_t x = 0; x < fw.width(); ++x) {
+      max_diff = std::max(max_diff, std::abs(image::luminance(fw(x, y)) -
+                                             image::luminance(fo(x, y))));
+    }
+  }
+  EXPECT_GT(max_diff, 1.0);
+}
+
+TEST(Renderer, TrueLandmarksFollowPose) {
+  FaceRenderer r(make_volunteer_face(0));
+  FaceState left = centered();
+  left.cx = 0.4;
+  FaceState right = centered();
+  right.cx = 0.6;
+  const Landmarks ll = r.true_landmarks(left);
+  const Landmarks lr = r.true_landmarks(right);
+  EXPECT_LT(ll.bridge_lower().x, lr.bridge_lower().x);
+  // Bridge points are ordered top to bottom; tip centre sits below.
+  const Landmarks lm = r.true_landmarks(centered());
+  for (std::size_t i = 1; i < lm.bridge.size(); ++i) {
+    EXPECT_GT(lm.bridge[i].y, lm.bridge[i - 1].y);
+  }
+  EXPECT_GT(lm.tip_center().y, lm.bridge_lower().y);
+}
+
+TEST(Renderer, LandmarkGapScalesWithFaceSize) {
+  FaceRenderer r(make_volunteer_face(0));
+  FaceState small = centered();
+  small.scale = 0.8;
+  FaceState big = centered();
+  big.scale = 1.2;
+  const auto gap = [&](const FaceState& s) {
+    const Landmarks lm = r.true_landmarks(s);
+    return lm.tip_center().y - lm.bridge_lower().y;
+  };
+  EXPECT_GT(gap(big), gap(small));
+}
+
+}  // namespace
+}  // namespace lumichat::face

@@ -1,0 +1,86 @@
+#include "face/roi.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lumichat::face {
+namespace {
+
+Landmarks sample_landmarks() {
+  Landmarks lm;
+  lm.bridge = {PointD{50, 30}, PointD{50, 33}, PointD{50, 36}, PointD{50, 39}};
+  lm.tip = {PointD{44, 45}, PointD{47, 45}, PointD{50, 45}, PointD{53, 45},
+            PointD{56, 45}};
+  return lm;
+}
+
+TEST(NasalRoi, SideLengthIsBridgeTipGap) {
+  // Fig. 5: l = |b1 - b2| with (a1,b1) the lower bridge point and (a2,b2)
+  // the nasal tip.
+  const Landmarks lm = sample_landmarks();
+  const image::Rect roi = nasal_roi(lm, 96, 72);
+  EXPECT_EQ(roi.width, 6u);  // |39 - 45|
+  EXPECT_EQ(roi.height, 6u);
+}
+
+TEST(NasalRoi, CenteredOnLowerBridgePoint) {
+  const Landmarks lm = sample_landmarks();
+  const image::Rect roi = nasal_roi(lm, 96, 72);
+  EXPECT_NEAR(static_cast<double>(roi.x) + static_cast<double>(roi.width) / 2.0,
+              50.0, 1.0);
+  EXPECT_NEAR(
+      static_cast<double>(roi.y) + static_cast<double>(roi.height) / 2.0, 39.0,
+      1.0);
+}
+
+TEST(NasalRoi, MinimumSideEnforced) {
+  Landmarks lm = sample_landmarks();
+  lm.tip[2].y = 39.5;  // gap of only 0.5 px
+  const image::Rect roi = nasal_roi(lm, 96, 72, 3);
+  EXPECT_EQ(roi.width, 3u);
+}
+
+TEST(NasalRoi, ClipsAtFrameEdges) {
+  Landmarks lm = sample_landmarks();
+  for (auto& p : lm.bridge) p.x = 1.0;
+  const image::Rect roi = nasal_roi(lm, 96, 72);
+  EXPECT_EQ(roi.x, 0u);
+  EXPECT_GT(roi.width, 0u);
+  EXPECT_LE(roi.x + roi.width, 96u);
+}
+
+TEST(NasalRoi, OffFrameLandmarksGiveEmptyRoi) {
+  Landmarks lm = sample_landmarks();
+  for (auto& p : lm.bridge) {
+    p.x = 500.0;
+    p.y = 500.0;
+  }
+  for (auto& p : lm.tip) p.y = 505.0;
+  const image::Rect roi = nasal_roi(lm, 96, 72);
+  EXPECT_TRUE(roi.empty());
+}
+
+TEST(NasalRoiF, MatchesIntegerRoiGeometry) {
+  const Landmarks lm = sample_landmarks();
+  const image::RectF f = nasal_roi_f(lm);
+  EXPECT_NEAR(f.width, 6.0, 1e-12);
+  EXPECT_NEAR(f.x + f.width / 2.0, 50.0, 1e-12);
+  EXPECT_NEAR(f.y + f.height / 2.0, 39.0, 1e-12);
+}
+
+TEST(NasalRoiF, MovesContinuouslyWithLandmarks) {
+  Landmarks lm = sample_landmarks();
+  const image::RectF a = nasal_roi_f(lm);
+  for (auto& p : lm.bridge) p.x += 0.25;
+  const image::RectF b = nasal_roi_f(lm);
+  EXPECT_NEAR(b.x - a.x, 0.25, 1e-12);
+}
+
+TEST(NasalRoiF, MinimumSideEnforced) {
+  Landmarks lm = sample_landmarks();
+  lm.tip[2].y = 39.1;
+  const image::RectF f = nasal_roi_f(lm, 3.0);
+  EXPECT_NEAR(f.width, 3.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace lumichat::face

@@ -1,0 +1,108 @@
+#include "image/image.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lumichat::image {
+namespace {
+
+TEST(Pixel, Arithmetic) {
+  const Pixel a{1, 2, 3};
+  const Pixel b{4, 5, 6};
+  EXPECT_EQ(a + b, (Pixel{5, 7, 9}));
+  EXPECT_EQ(b - a, (Pixel{3, 3, 3}));
+  EXPECT_EQ(a * 2.0, (Pixel{2, 4, 6}));
+  EXPECT_EQ(a * b, (Pixel{4, 10, 18}));  // Von Kries channel-wise product
+  Pixel c = a;
+  c += b;
+  EXPECT_EQ(c, (Pixel{5, 7, 9}));
+}
+
+TEST(Image, ConstructionAndFill) {
+  const Image img(4, 3, Pixel{1, 1, 1});
+  EXPECT_EQ(img.width(), 4u);
+  EXPECT_EQ(img.height(), 3u);
+  EXPECT_FALSE(img.empty());
+  EXPECT_EQ(img(3, 2), (Pixel{1, 1, 1}));
+}
+
+TEST(Image, DefaultIsEmpty) {
+  const Image img;
+  EXPECT_TRUE(img.empty());
+  EXPECT_EQ(img.width(), 0u);
+}
+
+TEST(Image, AtBoundsChecked) {
+  Image img(2, 2);
+  EXPECT_NO_THROW((void)img.at(1, 1));
+  EXPECT_THROW((void)img.at(2, 0), std::out_of_range);
+  EXPECT_THROW((void)img.at(0, 2), std::out_of_range);
+}
+
+TEST(Image, CropExtractsRegion) {
+  Image img(4, 4);
+  img(2, 1) = Pixel{9, 9, 9};
+  const Image c = img.crop(Rect{1, 1, 2, 2});
+  EXPECT_EQ(c.width(), 2u);
+  EXPECT_EQ(c.height(), 2u);
+  EXPECT_EQ(c(1, 0), (Pixel{9, 9, 9}));
+}
+
+TEST(Image, CropClipsAgainstBounds) {
+  const Image img(4, 4, Pixel{1, 1, 1});
+  const Image c = img.crop(Rect{3, 3, 10, 10});
+  EXPECT_EQ(c.width(), 1u);
+  EXPECT_EQ(c.height(), 1u);
+  const Image none = img.crop(Rect{10, 10, 2, 2});
+  EXPECT_TRUE(none.empty());
+}
+
+TEST(Image, DownscaleToSinglePixelAverages) {
+  Image img(2, 2);
+  img(0, 0) = Pixel{0, 0, 0};
+  img(1, 0) = Pixel{2, 2, 2};
+  img(0, 1) = Pixel{4, 4, 4};
+  img(1, 1) = Pixel{6, 6, 6};
+  const Image d = img.downscale(1, 1);
+  EXPECT_EQ(d(0, 0), (Pixel{3, 3, 3}));
+  EXPECT_EQ(img.mean_pixel(), (Pixel{3, 3, 3}));
+}
+
+TEST(Image, DownscalePreservesMeanApproximately) {
+  Image img(8, 6);
+  double total = 0.0;
+  for (std::size_t y = 0; y < 6; ++y) {
+    for (std::size_t x = 0; x < 8; ++x) {
+      const double v = static_cast<double>(x * y);
+      img(x, y) = Pixel{v, v, v};
+      total += v;
+    }
+  }
+  const Image d = img.downscale(4, 3);
+  EXPECT_NEAR(d.mean_pixel().r, total / 48.0, 1e-9);
+}
+
+TEST(Image, DownscaleRejectsZeroTarget) {
+  const Image img(2, 2);
+  EXPECT_THROW((void)img.downscale(0, 1), std::invalid_argument);
+  EXPECT_THROW((void)img.downscale(1, 0), std::invalid_argument);
+}
+
+TEST(Image, MeanPixelOfEmptyIsZero) {
+  EXPECT_EQ(Image{}.mean_pixel(), Pixel{});
+}
+
+TEST(Image, FillRectClipsAndWrites) {
+  Image img(4, 4);
+  img.fill_rect(Rect{2, 2, 10, 10}, Pixel{5, 5, 5});
+  EXPECT_EQ(img(3, 3), (Pixel{5, 5, 5}));
+  EXPECT_EQ(img(1, 1), Pixel{});
+}
+
+TEST(RectF, EmptinessSemantics) {
+  EXPECT_TRUE((RectF{0, 0, 0, 5}.empty()));
+  EXPECT_TRUE((RectF{0, 0, 5, -1}.empty()));
+  EXPECT_FALSE((RectF{0, 0, 1, 1}.empty()));
+}
+
+}  // namespace
+}  // namespace lumichat::image

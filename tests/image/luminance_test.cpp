@@ -1,0 +1,85 @@
+#include "image/luminance.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lumichat::image {
+namespace {
+
+TEST(Luminance, Rec709Weights) {
+  EXPECT_NEAR(luminance(Pixel{1, 0, 0}), 0.2126, 1e-12);
+  EXPECT_NEAR(luminance(Pixel{0, 1, 0}), 0.7152, 1e-12);
+  EXPECT_NEAR(luminance(Pixel{0, 0, 1}), 0.0722, 1e-12);
+  // Weights sum to 1: a grey pixel's luminance equals its level.
+  EXPECT_NEAR(luminance(Pixel{0.5, 0.5, 0.5}), 0.5, 1e-12);
+}
+
+TEST(Luminance, LinearInIntensity) {
+  const Pixel p{0.3, 0.5, 0.2};
+  EXPECT_NEAR(luminance(p * 2.0), 2.0 * luminance(p), 1e-12);
+}
+
+TEST(FrameLuminance, EqualsMeanPixelLuminance) {
+  Image img(2, 1);
+  img(0, 0) = Pixel{1, 0, 0};
+  img(1, 0) = Pixel{0, 1, 0};
+  EXPECT_NEAR(frame_luminance(img), (0.2126 + 0.7152) / 2.0, 1e-12);
+}
+
+TEST(RoiLuminance, IntegerRoi) {
+  Image img(4, 4);
+  img.fill_rect(Rect{0, 0, 4, 4}, Pixel{1, 1, 1});
+  img.fill_rect(Rect{1, 1, 2, 2}, Pixel{3, 3, 3});
+  EXPECT_NEAR(roi_luminance(img, Rect{1, 1, 2, 2}), 3.0, 1e-12);
+  EXPECT_NEAR(roi_luminance(img, Rect{0, 0, 1, 1}), 1.0, 1e-12);
+}
+
+TEST(RoiLuminance, ClipsAndHandlesEmpty) {
+  Image img(4, 4, Pixel{2, 2, 2});
+  EXPECT_NEAR(roi_luminance(img, Rect{3, 3, 10, 10}), 2.0, 1e-12);
+  EXPECT_DOUBLE_EQ(roi_luminance(img, Rect{5, 5, 2, 2}), 0.0);
+  EXPECT_DOUBLE_EQ(roi_luminance(img, Rect{0, 0, 0, 0}), 0.0);
+}
+
+TEST(RoiLuminanceSubpixel, FullPixelAgreesWithInteger) {
+  Image img(4, 4);
+  img.fill_rect(Rect{0, 0, 4, 4}, Pixel{1, 1, 1});
+  img.fill_rect(Rect{2, 0, 2, 4}, Pixel{5, 5, 5});
+  const double integer = roi_luminance(img, Rect{1, 1, 2, 2});
+  const double subpixel = roi_luminance(img, RectF{1.0, 1.0, 2.0, 2.0});
+  EXPECT_NEAR(integer, subpixel, 1e-12);
+}
+
+TEST(RoiLuminanceSubpixel, HalfCoverageBlends) {
+  Image img(2, 1);
+  img(0, 0) = Pixel{0, 0, 0};
+  img(1, 0) = Pixel{4, 4, 4};
+  // A 1x1 region centred on the pixel boundary: half dark, half bright.
+  EXPECT_NEAR(roi_luminance(img, RectF{0.5, 0.0, 1.0, 1.0}), 2.0, 1e-12);
+}
+
+TEST(RoiLuminanceSubpixel, VariesContinuouslyWithPosition) {
+  // Sliding the region by a fraction of a pixel moves the result a
+  // proportional fraction — the property that kills landmark-jitter noise.
+  Image img(3, 1);
+  img(0, 0) = Pixel{0, 0, 0};
+  img(1, 0) = Pixel{0, 0, 0};
+  img(2, 0) = Pixel{10, 10, 10};
+  const double at0 = roi_luminance(img, RectF{0.0, 0.0, 2.0, 1.0});
+  const double at025 = roi_luminance(img, RectF{0.25, 0.0, 2.0, 1.0});
+  const double at05 = roi_luminance(img, RectF{0.5, 0.0, 2.0, 1.0});
+  EXPECT_NEAR(at0, 0.0, 1e-12);
+  EXPECT_NEAR(at025, 10.0 * 0.25 / 2.0, 1e-12);
+  EXPECT_NEAR(at05, 10.0 * 0.5 / 2.0, 1e-12);
+}
+
+TEST(RoiLuminanceSubpixel, OutsideFrameIsZero) {
+  const Image img(2, 2, Pixel{1, 1, 1});
+  EXPECT_DOUBLE_EQ(roi_luminance(img, RectF{5.0, 5.0, 1.0, 1.0}), 0.0);
+  // [-3, -1) does not intersect the frame at all.
+  EXPECT_DOUBLE_EQ(roi_luminance(img, RectF{-3.0, 0.0, 2.0, 1.0}), 0.0);
+  // Partially overlapping region averages only the covered pixels.
+  EXPECT_DOUBLE_EQ(roi_luminance(img, RectF{-1.0, 0.0, 2.0, 1.0}), 1.0);
+}
+
+}  // namespace
+}  // namespace lumichat::image

@@ -1,0 +1,79 @@
+#include "image/ppm.hpp"
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace lumichat::image {
+namespace {
+
+std::string temp_path(const char* name) {
+  return (std::filesystem::temp_directory_path() / name).string();
+}
+
+TEST(Ppm, RoundTripPreservesValues) {
+  Image img(3, 2);
+  img(0, 0) = Pixel{0.0, 0.0, 0.0};
+  img(1, 0) = Pixel{0.5, 0.25, 0.75};
+  img(2, 0) = Pixel{1.0, 1.0, 1.0};
+  img(0, 1) = Pixel{0.1, 0.2, 0.3};
+
+  const std::string path = temp_path("lumichat_ppm_roundtrip.ppm");
+  save_ppm(img, path, 1.0);
+  const Image back = load_ppm(path, 1.0);
+
+  ASSERT_EQ(back.width(), img.width());
+  ASSERT_EQ(back.height(), img.height());
+  for (std::size_t y = 0; y < img.height(); ++y) {
+    for (std::size_t x = 0; x < img.width(); ++x) {
+      // 8-bit gamma-coded storage: expect ~1% accuracy.
+      EXPECT_NEAR(back(x, y).r, img(x, y).r, 0.02);
+      EXPECT_NEAR(back(x, y).g, img(x, y).g, 0.02);
+      EXPECT_NEAR(back(x, y).b, img(x, y).b, 0.02);
+    }
+  }
+  std::filesystem::remove(path);
+}
+
+TEST(Ppm, WhiteLevelScales) {
+  Image img(1, 1, Pixel{200.0, 100.0, 50.0});
+  const std::string path = temp_path("lumichat_ppm_white.ppm");
+  save_ppm(img, path, 200.0);
+  const Image back = load_ppm(path, 200.0);
+  EXPECT_NEAR(back(0, 0).r, 200.0, 2.0);
+  EXPECT_NEAR(back(0, 0).g, 100.0, 2.0);
+  std::filesystem::remove(path);
+}
+
+TEST(Ppm, ValuesAboveWhiteClamp) {
+  Image img(1, 1, Pixel{10.0, 10.0, 10.0});
+  const std::string path = temp_path("lumichat_ppm_clamp.ppm");
+  save_ppm(img, path, 1.0);
+  const Image back = load_ppm(path, 1.0);
+  EXPECT_NEAR(back(0, 0).r, 1.0, 1e-6);
+  std::filesystem::remove(path);
+}
+
+TEST(Ppm, LoadMissingFileThrows) {
+  EXPECT_THROW((void)load_ppm("/nonexistent/nope.ppm"), std::runtime_error);
+}
+
+TEST(Ppm, SaveToBadPathThrows) {
+  const Image img(1, 1);
+  EXPECT_THROW(save_ppm(img, "/nonexistent_dir/out.ppm"), std::runtime_error);
+}
+
+TEST(Ppm, LoadRejectsWrongMagic) {
+  const std::string path = temp_path("lumichat_not_a_ppm.txt");
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("P3\n1 1\n255\n0 0 0\n", f);
+  std::fclose(f);
+  EXPECT_THROW((void)load_ppm(path), std::runtime_error);
+  std::filesystem::remove(path);
+}
+
+}  // namespace
+}  // namespace lumichat::image

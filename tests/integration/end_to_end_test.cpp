@@ -1,0 +1,169 @@
+// Integration tests: the whole pipeline — Alice's camera, network, Bob's
+// screen/face/camera (or an attacker), luminance extraction, filtering,
+// features, LOF — exercised together, asserting the paper's headline claims
+// qualitatively.
+#include <gtest/gtest.h>
+
+#include "core/detector.hpp"
+#include "eval/dataset.hpp"
+#include "eval/experiment.hpp"
+#include "eval/metrics.hpp"
+#include "eval/population.hpp"
+
+namespace lumichat {
+namespace {
+
+// Shared fixture: one trained detector + feature sets, built once because
+// simulation is the expensive part.
+class EndToEnd : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    eval::SimulationProfile profile;
+    data_ = new eval::DatasetBuilder(profile);
+    pop_ = new std::vector<eval::Volunteer>(eval::make_population());
+
+    // Train on volunteer 9 (others are scored) per the paper's
+    // "train with another volunteer's data" deployment mode.
+    train_ = new std::vector<core::FeatureVector>(
+        data_->features((*pop_)[9], eval::Role::kLegitimate, 20));
+    detector_ = new core::Detector(data_->make_detector());
+    detector_->train_on_features(*train_);
+  }
+
+  static void TearDownTestSuite() {
+    delete detector_;
+    delete train_;
+    delete pop_;
+    delete data_;
+    detector_ = nullptr;
+    train_ = nullptr;
+    pop_ = nullptr;
+    data_ = nullptr;
+  }
+
+  static eval::DatasetBuilder* data_;
+  static std::vector<eval::Volunteer>* pop_;
+  static std::vector<core::FeatureVector>* train_;
+  static core::Detector* detector_;
+};
+
+eval::DatasetBuilder* EndToEnd::data_ = nullptr;
+std::vector<eval::Volunteer>* EndToEnd::pop_ = nullptr;
+std::vector<core::FeatureVector>* EndToEnd::train_ = nullptr;
+core::Detector* EndToEnd::detector_ = nullptr;
+
+TEST_F(EndToEnd, LegitimateUsersAreMostlyAccepted) {
+  eval::AttemptCounts counts;
+  for (const std::size_t vol : {0ul, 3ul, 5ul}) {
+    for (std::size_t clip = 50; clip < 56; ++clip) {
+      const auto r = detector_->detect(data_->legit_trace((*pop_)[vol], clip));
+      counts.add_legit(!r.is_attacker);
+    }
+  }
+  EXPECT_GE(counts.tar(), 0.8) << "accepted " << counts.legit_accepted
+                               << " of 18 legitimate clips";
+}
+
+TEST_F(EndToEnd, ReenactmentAttackersAreMostlyRejected) {
+  eval::AttemptCounts counts;
+  for (const std::size_t vol : {0ul, 3ul, 5ul}) {
+    for (std::size_t clip = 50; clip < 56; ++clip) {
+      const auto r =
+          detector_->detect(data_->attacker_trace((*pop_)[vol], clip));
+      counts.add_attacker(r.is_attacker);
+    }
+  }
+  EXPECT_GE(counts.trr(), 0.8) << "rejected " << counts.attacker_rejected
+                               << " of 18 attack clips";
+}
+
+TEST_F(EndToEnd, LegitFeaturesLookLegit) {
+  const auto fx = detector_->featurize(data_->legit_trace((*pop_)[1], 60));
+  EXPECT_GE(fx.features.z1, 0.5);
+  EXPECT_GE(fx.features.z2, 0.5);
+  EXPECT_GE(fx.diagnostics.transmitted_changes, 2u);
+  // Network delay estimate is physically plausible (one RTT-ish).
+  EXPECT_GE(fx.diagnostics.estimated_delay_s, 0.0);
+  EXPECT_LE(fx.diagnostics.estimated_delay_s, 1.2);
+}
+
+TEST_F(EndToEnd, AttackerFeaturesLookWrong) {
+  // A single attack clip might get lucky; average over a few.
+  double z1 = 0.0;
+  double z3 = 0.0;
+  const std::size_t n = 5;
+  for (std::size_t clip = 60; clip < 60 + n; ++clip) {
+    const auto fx =
+        detector_->featurize(data_->attacker_trace((*pop_)[1], clip));
+    z1 += fx.features.z1;
+    z3 += fx.features.z3;
+  }
+  EXPECT_LT(z1 / n, 0.6);
+  EXPECT_LT(z3 / n, 0.5);
+}
+
+TEST_F(EndToEnd, AdaptiveAttackerWithLargeDelayRejected) {
+  // Fig. 17: forgery delay of 2 s is far beyond what delay compensation
+  // absorbs.
+  eval::AttemptCounts counts;
+  for (std::size_t clip = 0; clip < 6; ++clip) {
+    const auto r = detector_->detect(
+        data_->adaptive_trace((*pop_)[2], clip, /*delay_s=*/2.0));
+    counts.add_attacker(r.is_attacker);
+  }
+  EXPECT_GE(counts.trr(), 0.8);
+}
+
+TEST_F(EndToEnd, AdaptiveAttackerWithZeroDelayPasses) {
+  // The flip side of Fig. 17: an attacker who forges the reflection with no
+  // latency is optically indistinguishable — the defense accepts it. This
+  // is exactly why the paper's security argument is about *delay*.
+  eval::AttemptCounts counts;
+  for (std::size_t clip = 10; clip < 16; ++clip) {
+    const auto r = detector_->detect(
+        data_->adaptive_trace((*pop_)[2], clip, /*delay_s=*/0.0));
+    counts.add_legit(!r.is_attacker);
+  }
+  EXPECT_GE(counts.tar(), 0.5);
+}
+
+TEST_F(EndToEnd, MultiRoundVotingFlagsAttacker) {
+  std::vector<chat::SessionTrace> rounds;
+  for (std::size_t clip = 70; clip < 73; ++clip) {
+    rounds.push_back(data_->attacker_trace((*pop_)[4], clip));
+  }
+  const core::VoteOutcome v = detector_->detect_rounds(rounds);
+  EXPECT_EQ(v.total_votes, 3u);
+  EXPECT_TRUE(v.is_attacker);
+}
+
+TEST_F(EndToEnd, MultiRoundVotingAcceptsLegitimateUser) {
+  std::vector<chat::SessionTrace> rounds;
+  for (std::size_t clip = 70; clip < 73; ++clip) {
+    rounds.push_back(data_->legit_trace((*pop_)[4], clip));
+  }
+  const core::VoteOutcome v = detector_->detect_rounds(rounds);
+  EXPECT_FALSE(v.is_attacker);
+}
+
+TEST_F(EndToEnd, TrainingOnOwnVsOthersDataBothWork) {
+  // Fig. 11's headline: training with someone else's data performs about
+  // as well as training with the evaluated user's own data.
+  const eval::Volunteer& user = (*pop_)[6];
+  const auto own = data_->features(user, eval::Role::kLegitimate, 20);
+  core::Detector own_det = data_->make_detector();
+  own_det.train_on_features(own);
+
+  eval::AttemptCounts own_counts;
+  eval::AttemptCounts other_counts;
+  for (std::size_t clip = 25; clip < 33; ++clip) {
+    const auto trace = data_->legit_trace(user, clip);
+    own_counts.add_legit(!own_det.detect(trace).is_attacker);
+    other_counts.add_legit(!detector_->detect(trace).is_attacker);
+  }
+  EXPECT_GE(own_counts.tar(), 0.6);
+  EXPECT_GE(other_counts.tar(), 0.6);
+}
+
+}  // namespace
+}  // namespace lumichat

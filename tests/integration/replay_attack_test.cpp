@@ -1,0 +1,97 @@
+// Replay attacks: the classic pre-reenactment forgery, where the attacker
+// feeds a *recording* of the victim through a virtual camera. The recording
+// contains perfectly real face reflections — of the victim's PAST chat, not
+// of Alice's current video — so its luminance challenge-response fails the
+// same way a reenactment does. The paper's adversary model subsumes this
+// case; these tests pin it down explicitly.
+#include <gtest/gtest.h>
+
+#include "core/detector.hpp"
+#include "eval/dataset.hpp"
+#include "eval/metrics.hpp"
+#include "eval/population.hpp"
+#include "reenact/virtual_camera.hpp"
+
+namespace lumichat {
+namespace {
+
+class ReplayAttack : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    profile_ = eval::SimulationProfile{};
+    data_ = std::make_unique<eval::DatasetBuilder>(profile_);
+    pop_ = eval::make_population();
+    detector_ = std::make_unique<core::Detector>(data_->make_detector());
+    detector_->train_on_features(
+        data_->features(pop_[9], eval::Role::kLegitimate, 12));
+  }
+
+  // Runs a session where Bob is a virtual camera replaying `clip`.
+  chat::SessionTrace replay_session(chat::VideoClip clip,
+                                    std::uint64_t seed) const {
+    reenact::VirtualCamera cam(std::move(clip));
+    cam.set_loop(true);
+    chat::AliceSpec alice_spec;
+    common::Rng rng(seed);
+    chat::AliceStream alice(
+        alice_spec,
+        chat::make_metering_script(profile_.clip_duration_s, rng), seed);
+    return chat::run_session(profile_.session_spec(), alice, cam,
+                             common::derive_seed(seed, 99));
+  }
+
+  eval::SimulationProfile profile_;
+  std::unique_ptr<eval::DatasetBuilder> data_;
+  std::vector<eval::Volunteer> pop_;
+  std::unique_ptr<core::Detector> detector_;
+};
+
+TEST_F(ReplayAttack, ReplayedLegitimateRecordingIsRejected) {
+  eval::AttemptCounts counts;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    // The attacker possesses a genuine recording of the victim from an
+    // EARLIER chat (different Alice, different script).
+    const chat::SessionTrace original =
+        data_->legit_trace(pop_[0], 200 + i);
+    const chat::SessionTrace replayed =
+        replay_session(original.received, 3000 + i);
+    counts.add_attacker(detector_->detect(replayed).is_attacker);
+  }
+  EXPECT_GE(counts.trr(), 0.8)
+      << "rejected " << counts.attacker_rejected << "/5 replays";
+}
+
+TEST_F(ReplayAttack, ReplayFeaturesMatchReenactmentProfile) {
+  // Replays look like reenactments on the feature plane: changes happen,
+  // but (on average — a single replay can align by luck) at wrong times.
+  double z1 = 0.0;
+  double z3 = 0.0;
+  const std::uint64_t n = 4;
+  for (std::uint64_t i = 0; i < n; ++i) {
+    const chat::SessionTrace original =
+        data_->legit_trace(pop_[1], 210 + i);
+    const chat::SessionTrace replayed =
+        replay_session(original.received, 4000 + i);
+    const auto fx = detector_->featurize(replayed);
+    z1 += fx.features.z1;
+    z3 += fx.features.z3;
+  }
+  EXPECT_LT(z1 / static_cast<double>(n), 0.85);
+  EXPECT_LT(z3 / static_cast<double>(n), 0.6);
+}
+
+TEST_F(ReplayAttack, StaticPhotoReplayIsRejected) {
+  // Even simpler: a looping still image ("photo attack"). No luminance
+  // changes at all on the received side.
+  const chat::SessionTrace original = data_->legit_trace(pop_[2], 220);
+  chat::VideoClip still;
+  still.sample_rate_hz = profile_.sample_rate_hz;
+  still.frames.assign(10, original.received.frames[100]);
+  const chat::SessionTrace replayed = replay_session(still, 5000);
+  const auto r = detector_->detect(replayed);
+  EXPECT_TRUE(r.is_attacker);
+  EXPECT_EQ(r.diagnostics.received_changes, 0u);
+}
+
+}  // namespace
+}  // namespace lumichat

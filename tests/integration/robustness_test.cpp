@@ -1,0 +1,139 @@
+// Failure-injection robustness: the defense under conditions the headline
+// protocol excludes — hand occlusions, camera auto-white-balance, heavy
+// codec compression, lossy networks. Each nuisance is injected into an
+// otherwise-standard legitimate session; the detector should degrade
+// gracefully (extraction keeps working, features stay mostly legitimate),
+// not fall over.
+#include <gtest/gtest.h>
+
+#include "core/detector.hpp"
+#include "core/luminance_extractor.hpp"
+#include "eval/dataset.hpp"
+#include "eval/metrics.hpp"
+#include "eval/population.hpp"
+#include "reenact/reenactor.hpp"
+
+namespace lumichat {
+namespace {
+
+class Robustness : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_ = std::make_unique<eval::DatasetBuilder>(profile_);
+    pop_ = eval::make_population();
+    detector_ = std::make_unique<core::Detector>(data_->make_detector());
+    detector_->train_on_features(
+        data_->features(pop_[9], eval::Role::kLegitimate, 12));
+  }
+
+  // A legitimate session with a customised Bob spec / session spec.
+  chat::SessionTrace custom_session(const chat::LegitimateSpec& bob,
+                                    chat::SessionSpec session,
+                                    std::uint64_t seed) const {
+    common::Rng rng(seed);
+    chat::AliceSpec alice_spec;
+    chat::AliceStream alice(
+        alice_spec, chat::make_metering_script(session.duration_s, rng),
+        seed);
+    chat::LegitimateRespondent respondent(bob, common::derive_seed(seed, 1));
+    return chat::run_session(session, alice, respondent,
+                             common::derive_seed(seed, 2));
+  }
+
+  eval::SimulationProfile profile_;
+  std::unique_ptr<eval::DatasetBuilder> data_;
+  std::vector<eval::Volunteer> pop_;
+  std::unique_ptr<core::Detector> detector_;
+};
+
+TEST_F(Robustness, OcclusionBurstsDoNotCrashExtraction) {
+  chat::LegitimateSpec bob;
+  bob.face = pop_[3].face;
+  bob.dynamics.occlusion_rate_hz = 0.2;  // a gesture every ~5 s
+  const chat::SessionTrace trace =
+      custom_session(bob, profile_.session_spec(), 100);
+
+  const core::LuminanceExtractor ex(profile_.detector_config());
+  const auto r = ex.received_signal(trace.received);
+  EXPECT_EQ(r.luminance.size(), trace.received.size());
+  // Some frames lose the face behind the hand; the extractor holds over.
+  EXPECT_LT(r.failed_frames, trace.received.size() / 2);
+}
+
+TEST_F(Robustness, ModerateOcclusionsUsuallyStillAccepted) {
+  eval::AttemptCounts counts;
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    chat::LegitimateSpec bob;
+    bob.face = pop_[3].face;
+    bob.dynamics.occlusion_rate_hz = 0.08;  // one-ish gesture per clip
+    const chat::SessionTrace trace =
+        custom_session(bob, profile_.session_spec(), 200 + i);
+    counts.add_legit(!detector_->detect(trace).is_attacker);
+  }
+  EXPECT_GE(counts.tar(), 0.6);
+}
+
+TEST_F(Robustness, AutoWhiteBalanceKeepsLandmarksUsable) {
+  chat::LegitimateSpec bob;
+  bob.face = pop_[4].face;
+  bob.camera.auto_white_balance = true;
+  const chat::SessionTrace trace =
+      custom_session(bob, profile_.session_spec(), 300);
+  const core::LuminanceExtractor ex(profile_.detector_config());
+  const auto r = ex.received_signal(trace.received);
+  // The grey-world AWB weakens skin chroma but must not blind the detector.
+  EXPECT_LT(r.failed_frames, trace.received.size() / 4);
+  EXPECT_FALSE(detector_->detect(trace).is_attacker);
+}
+
+TEST_F(Robustness, HeavyCompressionDegradesGracefully) {
+  chat::LegitimateSpec bob;
+  bob.face = pop_[5].face;
+  chat::SessionSpec session = profile_.session_spec();
+  session.codec.compression = 0.7;
+  eval::AttemptCounts counts;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const chat::SessionTrace trace = custom_session(bob, session, 400 + i);
+    counts.add_legit(!detector_->detect(trace).is_attacker);
+  }
+  EXPECT_GE(counts.tar(), 0.5);
+}
+
+TEST_F(Robustness, LossyNetworkStillDetectsAttacker) {
+  chat::SessionSpec session = profile_.session_spec();
+  session.bob_to_alice.drop_probability = 0.15;
+  session.bob_to_alice.jitter_sigma_s = 0.08;
+  common::Rng rng(500);
+  chat::AliceSpec alice_spec;
+
+  eval::AttemptCounts counts;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    chat::AliceStream alice(
+        alice_spec, chat::make_metering_script(session.duration_s, rng),
+        600 + i);
+    reenact::ReenactorSpec spec;
+    spec.victim = pop_[0].face;
+    reenact::ReenactmentAttacker attacker(spec, 700 + i);
+    const chat::SessionTrace trace =
+        chat::run_session(session, alice, attacker, 800 + i);
+    counts.add_attacker(detector_->detect(trace).is_attacker);
+  }
+  EXPECT_GE(counts.trr(), 0.75);
+}
+
+TEST_F(Robustness, LossyNetworkStillAcceptsLegitimate) {
+  chat::LegitimateSpec bob;
+  bob.face = pop_[6].face;
+  chat::SessionSpec session = profile_.session_spec();
+  session.bob_to_alice.drop_probability = 0.15;
+  session.alice_to_bob.drop_probability = 0.10;
+  eval::AttemptCounts counts;
+  for (std::uint64_t i = 0; i < 4; ++i) {
+    const chat::SessionTrace trace = custom_session(bob, session, 900 + i);
+    counts.add_legit(!detector_->detect(trace).is_attacker);
+  }
+  EXPECT_GE(counts.tar(), 0.5);
+}
+
+}  // namespace
+}  // namespace lumichat

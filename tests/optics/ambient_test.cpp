@@ -1,0 +1,84 @@
+#include "optics/ambient.hpp"
+
+#include <gtest/gtest.h>
+
+#include "image/luminance.hpp"
+
+namespace lumichat::optics {
+namespace {
+
+TEST(AmbientLight, MeanLevelNearSpec) {
+  AmbientSpec spec;
+  spec.lux_on_face = 100.0;
+  AmbientLight light(spec, 7);
+  double acc = 0.0;
+  const int n = 2000;
+  for (int i = 0; i < n; ++i) {
+    acc += light.illuminance(static_cast<double>(i) * 0.1).g;
+  }
+  EXPECT_NEAR(acc / n, 100.0, 5.0);
+}
+
+TEST(AmbientLight, NeverNegative) {
+  AmbientSpec spec;
+  spec.lux_on_face = 1.0;
+  spec.flicker_sigma = 2.0;  // absurd flicker to force the clamp
+  AmbientLight light(spec, 3);
+  for (int i = 0; i < 500; ++i) {
+    const auto e = light.illuminance(static_cast<double>(i) * 0.1);
+    EXPECT_GE(e.r, 0.0);
+    EXPECT_GE(e.g, 0.0);
+    EXPECT_GE(e.b, 0.0);
+  }
+}
+
+TEST(AmbientLight, DriftIsSlowAndBounded) {
+  AmbientSpec spec;
+  spec.lux_on_face = 100.0;
+  spec.flicker_sigma = 0.0;  // isolate the drift component
+  spec.drift_amplitude = 0.05;
+  AmbientLight light(spec, 11);
+  for (int i = 0; i < 400; ++i) {
+    const double v = light.illuminance(static_cast<double>(i) * 0.1).g;
+    EXPECT_GE(v, 95.0 - 1e-9);
+    EXPECT_LE(v, 105.0 + 1e-9);
+  }
+}
+
+TEST(AmbientLight, TintShapesChannels) {
+  AmbientSpec spec;
+  spec.lux_on_face = 50.0;
+  spec.flicker_sigma = 0.0;
+  spec.drift_amplitude = 0.0;
+  spec.tint = image::Pixel{1.2, 1.0, 0.8};  // warm bulb
+  AmbientLight light(spec, 5);
+  const auto e = light.illuminance(0.0);
+  EXPECT_NEAR(e.r, 60.0, 1e-9);
+  EXPECT_NEAR(e.g, 50.0, 1e-9);
+  EXPECT_NEAR(e.b, 40.0, 1e-9);
+}
+
+TEST(AmbientLight, DeterministicForSameSeed) {
+  AmbientSpec spec;
+  AmbientLight a(spec, 42);
+  AmbientLight b(spec, 42);
+  for (int i = 0; i < 100; ++i) {
+    const double t = static_cast<double>(i) * 0.1;
+    EXPECT_DOUBLE_EQ(a.illuminance(t).g, b.illuminance(t).g);
+  }
+}
+
+TEST(AmbientLight, DifferentSeedsDecorrelate) {
+  AmbientSpec spec;
+  AmbientLight a(spec, 1);
+  AmbientLight b(spec, 2);
+  bool any_different = false;
+  for (int i = 0; i < 50; ++i) {
+    const double t = static_cast<double>(i) * 0.1;
+    if (a.illuminance(t).g != b.illuminance(t).g) any_different = true;
+  }
+  EXPECT_TRUE(any_different);
+}
+
+}  // namespace
+}  // namespace lumichat::optics

@@ -1,0 +1,85 @@
+// Auto-white-balance tests.
+#include <gtest/gtest.h>
+
+#include "optics/camera.hpp"
+
+namespace lumichat::optics {
+namespace {
+
+image::Image tinted_scene(double r, double g, double b) {
+  return image::Image(20, 20, image::Pixel{r, g, b});
+}
+
+CameraSpec awb_spec() {
+  CameraSpec s;
+  s.read_noise_sigma = 0.0;
+  s.shot_noise_coeff = 0.0;
+  s.quantize = false;
+  s.auto_white_balance = true;
+  s.awb_rate = 0.3;
+  return s;
+}
+
+TEST(Awb, OffByDefaultGainsStayUnity) {
+  CameraSpec spec;
+  CameraModel cam(spec, 1);
+  (void)cam.capture(tinted_scene(100, 50, 25));
+  const image::Pixel wb = cam.white_balance_gains();
+  EXPECT_DOUBLE_EQ(wb.r, 1.0);
+  EXPECT_DOUBLE_EQ(wb.g, 1.0);
+  EXPECT_DOUBLE_EQ(wb.b, 1.0);
+}
+
+TEST(Awb, ConvergesTowardGreyWorld) {
+  CameraModel cam(awb_spec(), 1);
+  image::Image frame;
+  for (int i = 0; i < 60; ++i) {
+    frame = cam.capture(tinted_scene(120, 60, 30));  // warm scene
+  }
+  // After convergence the captured channels are nearly equal.
+  const image::Pixel mean = frame.mean_pixel();
+  EXPECT_NEAR(mean.r, mean.g, 0.05 * mean.g);
+  EXPECT_NEAR(mean.g, mean.b, 0.05 * mean.g);
+}
+
+TEST(Awb, GainsOrderedAgainstTint) {
+  CameraModel cam(awb_spec(), 1);
+  for (int i = 0; i < 60; ++i) {
+    (void)cam.capture(tinted_scene(120, 60, 30));
+  }
+  const image::Pixel wb = cam.white_balance_gains();
+  EXPECT_LT(wb.r, wb.g);
+  EXPECT_LT(wb.g, wb.b);
+}
+
+TEST(Awb, AdaptsSlowlyAtLowRate) {
+  CameraSpec spec = awb_spec();
+  spec.awb_rate = 0.02;
+  CameraModel cam(spec, 1);
+  (void)cam.capture(tinted_scene(120, 60, 30));
+  const image::Pixel wb = cam.white_balance_gains();
+  // One frame at 2% rate barely moves the gains.
+  EXPECT_NEAR(wb.r, 1.0, 0.05);
+  EXPECT_NEAR(wb.b, 1.0, 0.05);
+}
+
+TEST(Awb, ResetRestoresUnityGains) {
+  CameraModel cam(awb_spec(), 1);
+  for (int i = 0; i < 20; ++i) (void)cam.capture(tinted_scene(120, 60, 30));
+  cam.reset();
+  const image::Pixel wb = cam.white_balance_gains();
+  EXPECT_DOUBLE_EQ(wb.r, 1.0);
+  EXPECT_DOUBLE_EQ(wb.b, 1.0);
+}
+
+TEST(Awb, NeutralSceneLeavesGainsNearUnity) {
+  CameraModel cam(awb_spec(), 1);
+  for (int i = 0; i < 40; ++i) (void)cam.capture(tinted_scene(80, 80, 80));
+  const image::Pixel wb = cam.white_balance_gains();
+  EXPECT_NEAR(wb.r, 1.0, 1e-6);
+  EXPECT_NEAR(wb.g, 1.0, 1e-6);
+  EXPECT_NEAR(wb.b, 1.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace lumichat::optics

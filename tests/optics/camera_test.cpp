@@ -1,0 +1,158 @@
+#include "optics/camera.hpp"
+
+#include <gtest/gtest.h>
+
+#include "image/luminance.hpp"
+
+namespace lumichat::optics {
+namespace {
+
+image::Image flat_scene(double level, std::size_t w = 20, std::size_t h = 20) {
+  return image::Image(w, h, image::Pixel{level, level, level});
+}
+
+CameraSpec noiseless() {
+  CameraSpec s;
+  s.read_noise_sigma = 0.0;
+  s.shot_noise_coeff = 0.0;
+  s.quantize = false;
+  return s;
+}
+
+TEST(Camera, FirstFrameSnapsToTargetExposure) {
+  CameraSpec spec = noiseless();
+  spec.exposure_target = 0.5;
+  CameraModel cam(spec, 1);
+  const image::Image out = cam.capture(flat_scene(80.0));
+  EXPECT_NEAR(image::frame_luminance(out), 0.5 * 255.0, 1.0);
+}
+
+TEST(Camera, ExposureAdaptsGraduallyAfterSceneChange) {
+  CameraSpec spec = noiseless();
+  spec.adaptation_rate = 0.2;
+  CameraModel cam(spec, 1);
+  (void)cam.capture(flat_scene(80.0));
+  // Scene doubles in brightness: first frame after the change is over-
+  // exposed, then converges back toward the target.
+  const image::Image right_after = cam.capture(flat_scene(160.0));
+  EXPECT_GT(image::frame_luminance(right_after), 0.55 * 255.0);
+  image::Image later;
+  for (int i = 0; i < 60; ++i) later = cam.capture(flat_scene(160.0));
+  EXPECT_NEAR(image::frame_luminance(later), 0.5 * 255.0, 3.0);
+}
+
+TEST(Camera, ResetForgetsExposureState) {
+  CameraSpec spec = noiseless();
+  CameraModel cam(spec, 1);
+  (void)cam.capture(flat_scene(10.0));
+  const double gain_before = cam.current_gain();
+  cam.reset();
+  (void)cam.capture(flat_scene(200.0));
+  EXPECT_NE(cam.current_gain(), gain_before);
+  EXPECT_NEAR(image::frame_luminance(cam.capture(flat_scene(200.0))),
+              0.5 * 255.0, 2.0);
+}
+
+TEST(Camera, OutputClampedToFullScale) {
+  CameraSpec spec = noiseless();
+  CameraModel cam(spec, 1);
+  (void)cam.capture(flat_scene(10.0));  // high gain locked in
+  const image::Image out = cam.capture(flat_scene(10000.0));
+  for (std::size_t y = 0; y < out.height(); ++y) {
+    for (std::size_t x = 0; x < out.width(); ++x) {
+      EXPECT_LE(out(x, y).r, 255.0);
+      EXPECT_GE(out(x, y).r, 0.0);
+    }
+  }
+}
+
+TEST(Camera, QuantizationYieldsIntegers) {
+  CameraSpec spec;
+  spec.read_noise_sigma = 0.5;
+  spec.quantize = true;
+  CameraModel cam(spec, 9);
+  const image::Image out = cam.capture(flat_scene(50.0));
+  for (std::size_t y = 0; y < out.height(); ++y) {
+    for (std::size_t x = 0; x < out.width(); ++x) {
+      EXPECT_DOUBLE_EQ(out(x, y).g, std::round(out(x, y).g));
+    }
+  }
+}
+
+TEST(Camera, NoiseHasExpectedMagnitude) {
+  CameraSpec spec;
+  spec.read_noise_sigma = 2.0;
+  spec.shot_noise_coeff = 0.0;
+  spec.quantize = false;
+  CameraModel cam(spec, 4);
+  const image::Image out = cam.capture(flat_scene(80.0, 60, 60));
+  // Per-pixel std dev of the green channel should be ~2 LSB.
+  double mean = 0.0;
+  for (const auto& p : out.pixels()) mean += p.g;
+  mean /= static_cast<double>(out.pixels().size());
+  double var = 0.0;
+  for (const auto& p : out.pixels()) var += (p.g - mean) * (p.g - mean);
+  var /= static_cast<double>(out.pixels().size());
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.3);
+}
+
+TEST(Camera, SpotMeteringFollowsTheSpot) {
+  CameraSpec spec = noiseless();
+  spec.metering = MeteringMode::kSpot;
+  spec.adaptation_rate = 1.0;  // immediate, to read the effect directly
+  CameraModel cam(spec, 1);
+
+  // Scene: left half dark (10), right half bright (200).
+  image::Image scene(40, 20);
+  scene.fill_rect(image::Rect{0, 0, 20, 20}, image::Pixel{10, 10, 10});
+  scene.fill_rect(image::Rect{20, 0, 20, 20}, image::Pixel{200, 200, 200});
+
+  cam.set_metering_spot(NormPoint{0.25, 0.5});  // meter the dark half
+  const image::Image metered_dark = cam.capture(scene);
+  cam.set_metering_spot(NormPoint{0.75, 0.5});  // meter the bright half
+  image::Image metered_bright;
+  for (int i = 0; i < 3; ++i) metered_bright = cam.capture(scene);
+
+  // Metering the dark area raises exposure -> brighter frame overall.
+  EXPECT_GT(image::frame_luminance(metered_dark),
+            image::frame_luminance(metered_bright) + 20.0);
+}
+
+TEST(Camera, MultiZoneIsCentreWeighted) {
+  CameraSpec spec = noiseless();
+  spec.metering = MeteringMode::kMultiZone;
+  CameraModel cam_face_bright(spec, 1);
+  CameraModel cam_corner_bright(spec, 1);
+
+  // Bright patch in the centre vs the same patch in a corner.
+  image::Image centre(50, 50, image::Pixel{20, 20, 20});
+  centre.fill_rect(image::Rect{20, 20, 10, 10}, image::Pixel{200, 200, 200});
+  image::Image corner(50, 50, image::Pixel{20, 20, 20});
+  corner.fill_rect(image::Rect{0, 0, 10, 10}, image::Pixel{200, 200, 200});
+
+  (void)cam_face_bright.capture(centre);
+  (void)cam_corner_bright.capture(corner);
+  // Centre-weighted metering sees the central patch as brighter -> lower
+  // gain than for the corner patch.
+  EXPECT_LT(cam_face_bright.current_gain(), cam_corner_bright.current_gain());
+}
+
+TEST(Camera, DeterministicForSameSeed) {
+  CameraSpec spec;  // with noise
+  CameraModel a(spec, 77);
+  CameraModel b(spec, 77);
+  const image::Image scene = flat_scene(60.0);
+  const image::Image fa = a.capture(scene);
+  const image::Image fb = b.capture(scene);
+  for (std::size_t i = 0; i < fa.pixels().size(); ++i) {
+    EXPECT_EQ(fa.pixels()[i], fb.pixels()[i]);
+  }
+}
+
+TEST(Camera, EmptySceneYieldsEmptyFrame) {
+  CameraModel cam(CameraSpec{}, 1);
+  EXPECT_TRUE(cam.capture(image::Image{}).empty());
+}
+
+}  // namespace
+}  // namespace lumichat::optics

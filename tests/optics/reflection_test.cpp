@@ -1,0 +1,67 @@
+#include "optics/reflection.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lumichat::optics {
+namespace {
+
+using image::Pixel;
+
+TEST(Reflect, VonKriesChannelProduct) {
+  const Pixel illum{100, 200, 300};
+  const Pixel albedo{0.5, 0.25, 0.1};
+  const Pixel out = reflect(illum, albedo);
+  EXPECT_DOUBLE_EQ(out.r, 50.0);
+  EXPECT_DOUBLE_EQ(out.g, 50.0);
+  EXPECT_DOUBLE_EQ(out.b, 30.0);
+}
+
+TEST(Reflect, ZeroAlbedoReflectsNothing) {
+  EXPECT_EQ(reflect(Pixel{100, 100, 100}, Pixel{}), Pixel{});
+}
+
+TEST(Reflect, ProportionalityInIlluminant) {
+  // Paper Eq. 2: for fixed albedo, reflected light scales with the
+  // illuminant — the basic insight of the defense.
+  const Pixel albedo{0.4, 0.3, 0.2};
+  const Pixel e1{50, 60, 70};
+  const Pixel out1 = reflect(e1, albedo);
+  const Pixel out2 = reflect(e1 * 3.0, albedo);
+  EXPECT_DOUBLE_EQ(out2.r / out1.r, 3.0);
+  EXPECT_DOUBLE_EQ(out2.g / out1.g, 3.0);
+  EXPECT_DOUBLE_EQ(out2.b / out1.b, 3.0);
+}
+
+TEST(IlluminantRatio, ComputesPerChannelRatio) {
+  const Pixel r = illuminant_ratio(Pixel{10, 20, 40}, Pixel{20, 10, 40});
+  EXPECT_DOUBLE_EQ(r.r, 2.0);
+  EXPECT_DOUBLE_EQ(r.g, 0.5);
+  EXPECT_DOUBLE_EQ(r.b, 1.0);
+}
+
+TEST(IlluminantRatio, ZeroBeforeChannelReportsOne) {
+  const Pixel r = illuminant_ratio(Pixel{0, 10, 10}, Pixel{5, 10, 10});
+  EXPECT_DOUBLE_EQ(r.r, 1.0);  // no incident light -> no information
+}
+
+TEST(IlluminantRatio, MatchesReflectedRatio) {
+  // The reflected-light ratio equals the illuminant ratio for any fixed
+  // albedo (Eq. 2 exactly).
+  const Pixel albedo{0.37, 0.21, 0.55};
+  const Pixel e1{30, 40, 50};
+  const Pixel e2{90, 20, 75};
+  const Pixel i1 = reflect(e1, albedo);
+  const Pixel i2 = reflect(e2, albedo);
+  const Pixel er = illuminant_ratio(e1, e2);
+  EXPECT_NEAR(i2.r / i1.r, er.r, 1e-12);
+  EXPECT_NEAR(i2.g / i1.g, er.g, 1e-12);
+  EXPECT_NEAR(i2.b / i1.b, er.b, 1e-12);
+}
+
+TEST(CombineIlluminants, Additive) {
+  const Pixel c = combine_illuminants(Pixel{1, 2, 3}, Pixel{10, 20, 30});
+  EXPECT_EQ(c, (Pixel{11, 22, 33}));
+}
+
+}  // namespace
+}  // namespace lumichat::optics

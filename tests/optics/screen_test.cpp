@@ -1,0 +1,85 @@
+#include "optics/screen.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lumichat::optics {
+namespace {
+
+TEST(ScreenSpec, AreaOf27InchPanel) {
+  // 27" 16:9 panel: ~0.598 x 0.336 m -> ~0.201 m^2.
+  EXPECT_NEAR(dell_27in_led().area_m2(), 0.201, 0.005);
+}
+
+TEST(ScreenSpec, AreaGrowsWithDiagonal) {
+  EXPECT_GT(monitor_24in().area_m2(), monitor_21in().area_m2());
+  EXPECT_GT(dell_27in_led().area_m2(), monitor_24in().area_m2());
+  EXPECT_GT(monitor_21in().area_m2(), phone_6in().area_m2());
+}
+
+TEST(ScreenModel, RejectsBadParameters) {
+  EXPECT_THROW(ScreenModel(dell_27in_led(), 0.0), std::invalid_argument);
+  EXPECT_THROW(ScreenModel(dell_27in_led(), -1.0), std::invalid_argument);
+  ScreenSpec bad = dell_27in_led();
+  bad.brightness = 1.5;
+  EXPECT_THROW(ScreenModel(bad, 0.5), std::invalid_argument);
+}
+
+TEST(ScreenModel, IlluminanceScalesWithFrameLuminance) {
+  const ScreenModel m(dell_27in_led(), 0.55);
+  const double dark = m.face_illuminance_scalar(0.0);
+  const double mid = m.face_illuminance_scalar(0.5);
+  const double bright = m.face_illuminance_scalar(1.0);
+  EXPECT_LT(dark, mid);
+  EXPECT_LT(mid, bright);
+  // Linear in content above the backlight floor.
+  const double floor = dark;
+  EXPECT_NEAR(mid - floor, (bright - floor) / 2.0, 1e-9);
+}
+
+TEST(ScreenModel, BacklightFloorLeaksOnBlack) {
+  const ScreenModel m(dell_27in_led(), 0.55);
+  EXPECT_GT(m.face_illuminance_scalar(0.0), 0.0);
+  EXPECT_NEAR(m.face_illuminance_scalar(0.0),
+              m.peak_illuminance() * m.spec().backlight_floor, 1e-9);
+}
+
+TEST(ScreenModel, InverseSquareDistanceFalloff) {
+  const ScreenModel near(dell_27in_led(), 0.5);
+  const ScreenModel far(dell_27in_led(), 1.0);
+  EXPECT_NEAR(near.peak_illuminance() / far.peak_illuminance(), 4.0, 1e-9);
+}
+
+TEST(ScreenModel, BiggerScreenThrowsMoreLight) {
+  const ScreenModel small(phone_6in(), 0.55);
+  const ScreenModel large(dell_27in_led(), 0.55);
+  EXPECT_GT(large.peak_illuminance(), 10.0 * small.peak_illuminance());
+}
+
+TEST(ScreenModel, PhoneAtTenCentimetersRivalsMonitor) {
+  // The Sec. VIII-E observation: a 6" phone only modulates the face enough
+  // when held ~10 cm away.
+  const ScreenModel phone_far(phone_6in(), 0.55);
+  const ScreenModel phone_near(phone_6in(), 0.10);
+  const ScreenModel monitor(dell_27in_led(), 0.55);
+  EXPECT_LT(phone_far.peak_illuminance(), 0.1 * monitor.peak_illuminance());
+  EXPECT_GT(phone_near.peak_illuminance(), 0.5 * monitor.peak_illuminance());
+}
+
+TEST(ScreenModel, BrightnessSettingScalesOutput) {
+  ScreenSpec dim = dell_27in_led();
+  dim.brightness = 0.425;  // half of the default 0.85
+  const ScreenModel half(dim, 0.55);
+  const ScreenModel full(dell_27in_led(), 0.55);
+  EXPECT_NEAR(full.peak_illuminance() / half.peak_illuminance(), 2.0, 1e-9);
+}
+
+TEST(ScreenModel, PerChannelIlluminanceFollowsFrameColor) {
+  const ScreenModel m(dell_27in_led(), 0.55);
+  const image::Pixel e = m.face_illuminance(image::Pixel{1.0, 0.5, 0.0});
+  EXPECT_GT(e.r, e.g);
+  EXPECT_GT(e.g, e.b);
+  EXPECT_GT(e.b, 0.0);  // backlight floor leaks on the dark channel too
+}
+
+}  // namespace
+}  // namespace lumichat::optics

@@ -1,0 +1,92 @@
+#include "reenact/adaptive.hpp"
+
+#include <gtest/gtest.h>
+
+#include "image/luminance.hpp"
+
+namespace lumichat::reenact {
+namespace {
+
+image::Image screen_frame(double level) {
+  return image::Image(32, 24, image::Pixel{level, level, level});
+}
+
+AdaptiveAttackerSpec frozen_ae(double delay) {
+  AdaptiveAttackerSpec spec;
+  spec.processing_delay_s = delay;
+  spec.synthesis_camera.adaptation_rate = 0.0;
+  spec.synthesis_camera.read_noise_sigma = 0.0;
+  spec.synthesis_camera.shot_noise_coeff = 0.0;
+  spec.synthesis_camera.quantize = false;
+  return spec;
+}
+
+TEST(AdaptiveAttacker, ZeroDelayTracksScreenImmediately) {
+  AdaptiveAttacker attacker(frozen_ae(0.0), 1);
+  // Lock exposure with mid-level frames.
+  for (int i = 0; i < 10; ++i) {
+    (void)attacker.respond(0.1 * i, screen_frame(128));
+  }
+  const double y_dark =
+      image::frame_luminance(attacker.respond(1.0, screen_frame(5)));
+  const double y_bright =
+      image::frame_luminance(attacker.respond(1.1, screen_frame(250)));
+  EXPECT_GT(y_bright, y_dark + 5.0);
+}
+
+TEST(AdaptiveAttacker, DelayedForgeryLagsTheScreen) {
+  const double delay = 1.0;
+  AdaptiveAttacker attacker(frozen_ae(delay), 2);
+  // Feed dark frames for 3 s, then switch to bright.
+  double t = 0.0;
+  for (; t < 3.0; t += 0.1) (void)attacker.respond(t, screen_frame(10));
+  const double y_before = image::frame_luminance(
+      attacker.respond(t, screen_frame(250)));
+  // 0.5 s after the switch (< delay): still reflecting the dark screen.
+  for (; t < 3.5; t += 0.1) (void)attacker.respond(t, screen_frame(250));
+  const double y_mid =
+      image::frame_luminance(attacker.respond(t, screen_frame(250)));
+  EXPECT_NEAR(y_mid, y_before, 3.0);
+  // 2 s after the switch (> delay): now reflecting the bright screen.
+  for (; t < 5.0; t += 0.1) (void)attacker.respond(t, screen_frame(250));
+  const double y_after =
+      image::frame_luminance(attacker.respond(t, screen_frame(250)));
+  EXPECT_GT(y_after, y_before + 5.0);
+}
+
+TEST(AdaptiveAttacker, DelayControlsLagPrecisely) {
+  // Measure the observed lag of the luminance step against the configured
+  // processing delay.
+  for (const double delay : {0.5, 1.0, 2.0}) {
+    AdaptiveAttacker attacker(frozen_ae(delay), 3);
+    double t = 0.0;
+    for (; t < 3.0; t += 0.1) (void)attacker.respond(t, screen_frame(10));
+    const double y_base =
+        image::frame_luminance(attacker.respond(t, screen_frame(10)));
+    const double switch_time = t;
+    double seen_at = -1.0;
+    for (; t < switch_time + 4.0; t += 0.1) {
+      const double y =
+          image::frame_luminance(attacker.respond(t, screen_frame(250)));
+      if (seen_at < 0.0 && y > y_base + 5.0) seen_at = t;
+    }
+    ASSERT_GT(seen_at, 0.0) << "delay " << delay;
+    EXPECT_NEAR(seen_at - switch_time, delay, 0.25) << "delay " << delay;
+  }
+}
+
+TEST(AdaptiveAttacker, BeforePipelineFillsScreenReadsDark) {
+  AdaptiveAttacker attacker(frozen_ae(5.0), 4);
+  // Nothing has cleared the 5 s pipe yet: the forged reflection assumes a
+  // dark screen, so only ambient lights the face.
+  const image::Image f = attacker.respond(0.0, screen_frame(250));
+  EXPECT_FALSE(f.empty());
+}
+
+TEST(AdaptiveAttacker, EmptyDisplayedFrameHandled) {
+  AdaptiveAttacker attacker(frozen_ae(0.5), 5);
+  EXPECT_NO_THROW((void)attacker.respond(0.0, image::Image{}));
+}
+
+}  // namespace
+}  // namespace lumichat::reenact

@@ -1,0 +1,64 @@
+#include "reenact/cost_model.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lumichat::reenact {
+namespace {
+
+TEST(CostModel, Face2FaceBaselineSustainsRealTime) {
+  // Face2Face runs at ~27.6 fps without relighting (Sec. X-A).
+  AttackPipelineCosts costs;
+  costs.reenactment_ms = 36.0;
+  costs.light_estimation_ms = 0.0;
+  costs.relighting_ms = 0.0;
+  EXPECT_NEAR(achievable_fps(costs), 27.8, 0.5);
+  EXPECT_TRUE(attack_feasible(costs, 25.0));
+}
+
+TEST(CostModel, RelightingOverheadBreaksRealTime) {
+  // The Sec. III-A argument: adding the reflection-reconstruction layer
+  // pushes the pipeline below chat-grade frame rates.
+  AttackPipelineCosts costs;
+  costs.reenactment_ms = 36.0;
+  costs.light_estimation_ms = 15.0;
+  costs.relighting_ms = 60.0;
+  EXPECT_LT(achievable_fps(costs), 10.0);
+  EXPECT_FALSE(attack_feasible(costs, 10.0));
+}
+
+TEST(CostModel, ForgeryDelayIsStageSum) {
+  AttackPipelineCosts costs;
+  costs.reenactment_ms = 400.0;
+  costs.light_estimation_ms = 300.0;
+  costs.relighting_ms = 600.0;
+  EXPECT_NEAR(forgery_delay_s(costs), 1.3, 1e-9);
+}
+
+TEST(CostModel, PipeliningHelpsThroughputNotLatency) {
+  AttackPipelineCosts serial;
+  serial.reenactment_ms = 50.0;
+  serial.light_estimation_ms = 25.0;
+  serial.relighting_ms = 25.0;
+  AttackPipelineCosts deep = serial;
+  deep.pipeline_depth = 4;
+  EXPECT_NEAR(achievable_fps(deep), 4.0 * achievable_fps(serial), 1e-9);
+  EXPECT_DOUBLE_EQ(forgery_delay_s(deep), forgery_delay_s(serial));
+}
+
+TEST(CostModel, ZeroCostPipelineIsUnbounded) {
+  AttackPipelineCosts costs;
+  costs.reenactment_ms = 0.0;
+  costs.light_estimation_ms = 0.0;
+  costs.relighting_ms = 0.0;
+  EXPECT_GT(achievable_fps(costs), 1e6);
+  EXPECT_DOUBLE_EQ(forgery_delay_s(costs), 0.0);
+}
+
+TEST(CostModel, DepthZeroTreatedAsOne) {
+  AttackPipelineCosts costs;
+  costs.pipeline_depth = 0;
+  EXPECT_GT(achievable_fps(costs), 0.0);
+}
+
+}  // namespace
+}  // namespace lumichat::reenact

@@ -1,0 +1,90 @@
+#include "reenact/gain_tracking.hpp"
+
+#include <gtest/gtest.h>
+
+#include "image/luminance.hpp"
+
+namespace lumichat::reenact {
+namespace {
+
+image::Image screen_frame(double level) {
+  return image::Image(32, 24, image::Pixel{level, level, level});
+}
+
+GainTrackingSpec quiet_spec(double delay, double gain_match = 1.0) {
+  GainTrackingSpec spec;
+  spec.processing_delay_s = delay;
+  spec.gain_match = gain_match;
+  // Quiet down the underlying reenactor so the gain modulation dominates.
+  spec.reenactor.gan_flicker_sigma = 0.0;
+  spec.reenactor.target_env.ambient.flicker_sigma = 0.0;
+  spec.reenactor.target_env.ambient.drift_amplitude = 0.0;
+  spec.reenactor.target_env.min_step_gap_s = 1e6;  // no target-env steps
+  spec.reenactor.target_env.max_step_gap_s = 2e6;
+  return spec;
+}
+
+TEST(GainTracking, TracksDisplayedLuminanceAfterDelay) {
+  GainTrackingAttacker attacker(quiet_spec(0.5), 1);
+  double t = 0.0;
+  for (; t < 2.0; t += 0.1) (void)attacker.respond(t, screen_frame(30));
+  const double y_dark =
+      image::frame_luminance(attacker.respond(t, screen_frame(30)));
+  // Switch to bright; within the delay the output is unchanged...
+  for (; t < 2.4; t += 0.1) (void)attacker.respond(t, screen_frame(240));
+  const double y_mid =
+      image::frame_luminance(attacker.respond(t, screen_frame(240)));
+  EXPECT_NEAR(y_mid, y_dark, 2.0);
+  // ...after the delay it brightens.
+  for (; t < 4.0; t += 0.1) (void)attacker.respond(t, screen_frame(240));
+  const double y_bright =
+      image::frame_luminance(attacker.respond(t, screen_frame(240)));
+  EXPECT_GT(y_bright, y_dark + 5.0);
+}
+
+TEST(GainTracking, ZeroGainMatchIgnoresScreen) {
+  GainTrackingAttacker attacker(quiet_spec(0.0, 0.0), 2);
+  double t = 0.0;
+  for (; t < 2.0; t += 0.1) (void)attacker.respond(t, screen_frame(30));
+  const double y1 =
+      image::frame_luminance(attacker.respond(t, screen_frame(30)));
+  for (; t < 4.0; t += 0.1) (void)attacker.respond(t, screen_frame(240));
+  const double y2 =
+      image::frame_luminance(attacker.respond(t, screen_frame(240)));
+  EXPECT_NEAR(y1, y2, 2.0);
+}
+
+TEST(GainTracking, ModulatesBackgroundAsMuchAsFace) {
+  // The telltale artifact of the cheap attack: real screen light brightens
+  // the face much more than the wall behind, but a global gain brightens
+  // both equally. (The defense's luminance channel cannot see this; a
+  // human — or a background-aware extension — can.)
+  GainTrackingAttacker attacker(quiet_spec(0.0), 3);
+  double t = 0.0;
+  for (; t < 2.0; t += 0.1) (void)attacker.respond(t, screen_frame(30));
+  const image::Image dark = attacker.respond(t, screen_frame(30));
+  for (; t < 4.0; t += 0.1) (void)attacker.respond(t, screen_frame(240));
+  const image::Image bright = attacker.respond(t, screen_frame(240));
+
+  const std::size_t fx = dark.width() / 2;
+  const std::size_t fy = dark.height() / 2;
+  const double face_ratio =
+      image::luminance(bright(fx, fy)) / image::luminance(dark(fx, fy));
+  const double bg_ratio = image::luminance(bright(1, dark.height() - 2)) /
+                          image::luminance(dark(1, dark.height() - 2));
+  EXPECT_NEAR(face_ratio, bg_ratio, 0.15 * face_ratio);
+}
+
+TEST(GainTracking, OutputStaysEightBit) {
+  GainTrackingAttacker attacker(quiet_spec(0.0, 3.0), 4);  // over-modulated
+  double t = 0.0;
+  for (; t < 3.0; t += 0.1) (void)attacker.respond(t, screen_frame(250));
+  const image::Image f = attacker.respond(t, screen_frame(250));
+  for (const auto& p : f.pixels()) {
+    EXPECT_GE(p.g, 0.0);
+    EXPECT_LE(p.g, 255.0);
+  }
+}
+
+}  // namespace
+}  // namespace lumichat::reenact

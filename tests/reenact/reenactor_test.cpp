@@ -1,0 +1,87 @@
+#include "reenact/reenactor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "image/luminance.hpp"
+#include "signal/stats.hpp"
+
+namespace lumichat::reenact {
+namespace {
+
+image::Image screen_frame(double level) {
+  return image::Image(32, 24, image::Pixel{level, level, level});
+}
+
+TEST(Reenactor, ProducesNonEmptyEightBitFrames) {
+  ReenactmentAttacker attacker(ReenactorSpec{}, 1);
+  const image::Image f = attacker.respond(0.0, screen_frame(128));
+  ASSERT_FALSE(f.empty());
+  for (const auto& p : f.pixels()) {
+    EXPECT_GE(p.r, 0.0);
+    EXPECT_LE(p.r, 255.0);
+  }
+}
+
+TEST(Reenactor, OutputIndependentOfDisplayedFrame) {
+  // The defining property: the fake video's luminance ignores what Bob's
+  // screen shows. Two attackers with identical seeds fed opposite screen
+  // content must produce identical frames.
+  ReenactmentAttacker a(ReenactorSpec{}, 7);
+  ReenactmentAttacker b(ReenactorSpec{}, 7);
+  for (int i = 0; i < 30; ++i) {
+    const double t = static_cast<double>(i) * 0.1;
+    const image::Image fa = a.respond(t, screen_frame(250));
+    const image::Image fb = b.respond(t, screen_frame(5));
+    const auto& pa = fa.pixels();
+    const auto& pb = fb.pixels();
+    ASSERT_EQ(pa.size(), pb.size());
+    for (std::size_t k = 0; k < pa.size(); ++k) {
+      ASSERT_EQ(pa[k], pb[k]) << "frame " << i << " pixel " << k;
+    }
+  }
+}
+
+TEST(Reenactor, LuminanceFollowsTargetEnvironmentTimeline) {
+  // The fake face's luminance does change over time (the target video had
+  // its own lighting changes) — it is just uncorrelated with Alice's video.
+  ReenactmentAttacker attacker(ReenactorSpec{}, 3);
+  signal::Signal lum;
+  for (int i = 0; i < 200; ++i) {
+    lum.push_back(image::frame_luminance(
+        attacker.respond(static_cast<double>(i) * 0.1, screen_frame(128))));
+  }
+  EXPECT_GT(signal::max_value(lum) - signal::min_value(lum), 15.0);
+}
+
+TEST(Reenactor, ImpersonatesTheConfiguredVictim) {
+  ReenactorSpec dark;
+  dark.victim = face::make_volunteer_face(5);  // darkest skin
+  ReenactorSpec light;
+  light.victim = face::make_volunteer_face(6);  // lightest skin
+  ReenactmentAttacker ad(dark, 9);
+  ReenactmentAttacker al(light, 9);
+  // Same environment seed, different identity: the light-skinned victim's
+  // face reflects more, so the central face region is brighter.
+  const image::Image fd = ad.respond(1.0, screen_frame(128));
+  const image::Image fl = al.respond(1.0, screen_frame(128));
+  const image::RectF centre{static_cast<double>(fd.width()) / 2.0 - 4,
+                            static_cast<double>(fd.height()) / 2.0 - 4, 8, 8};
+  EXPECT_LT(image::roi_luminance(fd, centre), image::roi_luminance(fl, centre));
+}
+
+TEST(Reenactor, GanFlickerPerturbsConsecutiveFrames) {
+  ReenactorSpec spec;
+  spec.gan_flicker_sigma = 0.05;  // exaggerated for the test
+  ReenactmentAttacker attacker(spec, 11);
+  // Captures of the same instant differ from captures a frame apart by the
+  // flicker; verify global luminance is not perfectly static.
+  signal::Signal lum;
+  for (int i = 0; i < 20; ++i) {
+    lum.push_back(image::frame_luminance(
+        attacker.respond(1.0 + 0.01 * i, screen_frame(128))));
+  }
+  EXPECT_GT(signal::stddev(lum), 0.3);
+}
+
+}  // namespace
+}  // namespace lumichat::reenact

@@ -1,0 +1,82 @@
+#include "reenact/target_environment.hpp"
+
+#include <gtest/gtest.h>
+
+#include "image/luminance.hpp"
+
+namespace lumichat::reenact {
+namespace {
+
+TEST(TargetEnvironment, IlluminanceIsPositiveAndBounded) {
+  TargetEnvironment env(TargetEnvironmentSpec{}, 1);
+  for (int i = 0; i < 300; ++i) {
+    const auto e = env.illuminance(static_cast<double>(i) * 0.1);
+    EXPECT_GT(e.g, 0.0);
+    EXPECT_LT(e.g, 500.0);
+  }
+}
+
+TEST(TargetEnvironment, StepsOccurAtConfiguredCadence) {
+  TargetEnvironmentSpec spec;
+  spec.ambient.flicker_sigma = 0.0;
+  spec.ambient.drift_amplitude = 0.0;
+  TargetEnvironment env(spec, 5);
+  // Count level jumps over 30 s: expect roughly 30 / ((2.8+5)/2) ~ 7-8.
+  int jumps = 0;
+  double prev = env.illuminance(0.0).g;
+  for (int i = 1; i < 300; ++i) {
+    const double v = env.illuminance(static_cast<double>(i) * 0.1).g;
+    if (std::abs(v - prev) > 10.0) ++jumps;
+    prev = v;
+  }
+  EXPECT_GE(jumps, 4);
+  EXPECT_LE(jumps, 12);
+}
+
+TEST(TargetEnvironment, ConsecutiveLevelsClearlyDiffer) {
+  TargetEnvironmentSpec spec;
+  spec.ambient.flicker_sigma = 0.0;
+  spec.ambient.drift_amplitude = 0.0;
+  TargetEnvironment env(spec, 9);
+  double prev = env.illuminance(0.0).g;
+  for (int i = 1; i < 400; ++i) {
+    const double v = env.illuminance(static_cast<double>(i) * 0.1).g;
+    if (std::abs(v - prev) > 1.0) {
+      // A jump: must be a significant one (min level distance 0.25 of the
+      // screen's dynamic range).
+      EXPECT_GT(std::abs(v - prev), 10.0);
+    }
+    prev = v;
+  }
+}
+
+TEST(TargetEnvironment, IndependentSeedsGiveIndependentTimelines) {
+  TargetEnvironment a(TargetEnvironmentSpec{}, 1);
+  TargetEnvironment b(TargetEnvironmentSpec{}, 2);
+  int differing = 0;
+  for (int i = 0; i < 100; ++i) {
+    const double t = static_cast<double>(i) * 0.1;
+    if (std::abs(a.illuminance(t).g - b.illuminance(t).g) > 5.0) ++differing;
+  }
+  EXPECT_GT(differing, 20);
+}
+
+TEST(TargetEnvironment, ScreenSizeScalesIlluminance) {
+  TargetEnvironmentSpec small;
+  small.screen = optics::phone_6in();
+  TargetEnvironmentSpec large;
+  large.screen = optics::dell_27in_led();
+  TargetEnvironment es(small, 3);
+  TargetEnvironment el(large, 3);
+  double acc_s = 0.0;
+  double acc_l = 0.0;
+  for (int i = 0; i < 100; ++i) {
+    const double t = static_cast<double>(i) * 0.1;
+    acc_s += es.illuminance(t).g;
+    acc_l += el.illuminance(t).g;
+  }
+  EXPECT_GT(acc_l, acc_s);
+}
+
+}  // namespace
+}  // namespace lumichat::reenact

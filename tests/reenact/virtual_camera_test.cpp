@@ -1,0 +1,55 @@
+#include "reenact/virtual_camera.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lumichat::reenact {
+namespace {
+
+chat::VideoClip tagged_clip(std::size_t n, double rate = 10.0) {
+  chat::VideoClip clip;
+  clip.sample_rate_hz = rate;
+  for (std::size_t i = 0; i < n; ++i) {
+    clip.frames.push_back(image::Image(
+        1, 1, image::Pixel{static_cast<double>(i), 0, 0}));
+  }
+  return clip;
+}
+
+TEST(VirtualCamera, ServesFramesByTime) {
+  VirtualCamera cam(tagged_clip(10));
+  EXPECT_DOUBLE_EQ(cam.respond(0.0, {})(0, 0).r, 0.0);
+  EXPECT_DOUBLE_EQ(cam.respond(0.5, {})(0, 0).r, 5.0);
+  EXPECT_DOUBLE_EQ(cam.respond(0.9, {})(0, 0).r, 9.0);
+}
+
+TEST(VirtualCamera, HoldsLastFrameAfterClipEnds) {
+  VirtualCamera cam(tagged_clip(5));
+  EXPECT_DOUBLE_EQ(cam.respond(10.0, {})(0, 0).r, 4.0);
+}
+
+TEST(VirtualCamera, LoopsWhenEnabled) {
+  VirtualCamera cam(tagged_clip(5));
+  cam.set_loop(true);
+  EXPECT_DOUBLE_EQ(cam.respond(0.7, {})(0, 0).r, 2.0);  // 7 mod 5
+}
+
+TEST(VirtualCamera, IgnoresDisplayedFrame) {
+  VirtualCamera cam(tagged_clip(5));
+  const image::Image bright(4, 4, image::Pixel{255, 255, 255});
+  const image::Image dark(4, 4, image::Pixel{0, 0, 0});
+  EXPECT_DOUBLE_EQ(cam.respond(0.2, bright)(0, 0).r,
+                   cam.respond(0.2, dark)(0, 0).r);
+}
+
+TEST(VirtualCamera, EmptyClipGivesEmptyFrames) {
+  VirtualCamera cam(chat::VideoClip{});
+  EXPECT_TRUE(cam.respond(0.0, {}).empty());
+}
+
+TEST(VirtualCamera, RespectsClipSampleRate) {
+  VirtualCamera cam(tagged_clip(30, 30.0));
+  EXPECT_DOUBLE_EQ(cam.respond(0.5, {})(0, 0).r, 15.0);
+}
+
+}  // namespace
+}  // namespace lumichat::reenact

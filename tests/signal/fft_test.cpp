@@ -1,0 +1,118 @@
+#include "signal/fft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+namespace lumichat::signal {
+namespace {
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  std::vector<std::complex<double>> data(6);
+  EXPECT_THROW(fft_inplace(data), std::invalid_argument);
+}
+
+TEST(Fft, ImpulseGivesFlatSpectrum) {
+  std::vector<std::complex<double>> data(8, {0.0, 0.0});
+  data[0] = {1.0, 0.0};
+  fft_inplace(data);
+  for (const auto& c : data) EXPECT_NEAR(std::abs(c), 1.0, 1e-12);
+}
+
+TEST(Fft, ForwardInverseRoundTrip) {
+  std::vector<std::complex<double>> data;
+  for (int i = 0; i < 64; ++i) {
+    data.emplace_back(std::sin(0.3 * i) + 0.2 * i, std::cos(0.1 * i));
+  }
+  const auto original = data;
+  fft_inplace(data);
+  fft_inplace(data, /*inverse=*/true);
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    EXPECT_NEAR(data[i].real(), original[i].real(), 1e-9);
+    EXPECT_NEAR(data[i].imag(), original[i].imag(), 1e-9);
+  }
+}
+
+TEST(Fft, ParsevalHolds) {
+  std::vector<std::complex<double>> data;
+  for (int i = 0; i < 128; ++i) data.emplace_back(std::sin(0.7 * i), 0.0);
+  double time_energy = 0.0;
+  for (const auto& c : data) time_energy += std::norm(c);
+  fft_inplace(data);
+  double freq_energy = 0.0;
+  for (const auto& c : data) freq_energy += std::norm(c);
+  EXPECT_NEAR(freq_energy / static_cast<double>(data.size()), time_energy,
+              1e-6 * time_energy);
+}
+
+TEST(MagnitudeSpectrum, LocatesSineFrequency) {
+  const double rate = 10.0;
+  const double freq = 2.5;
+  Signal x;
+  for (int i = 0; i < 256; ++i) {
+    x.push_back(std::sin(2.0 * std::numbers::pi * freq *
+                         static_cast<double>(i) / rate));
+  }
+  const auto bins = magnitude_spectrum(x, rate);
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < bins.size(); ++k) {
+    if (bins[k].magnitude > bins[best].magnitude) best = k;
+  }
+  EXPECT_NEAR(bins[best].frequency_hz, freq, rate / 256.0 * 2.0);
+}
+
+TEST(MagnitudeSpectrum, MeanRemovedSoDcIsSmall) {
+  const auto bins = magnitude_spectrum(Signal(64, 100.0), 10.0);
+  ASSERT_FALSE(bins.empty());
+  EXPECT_NEAR(bins[0].magnitude, 0.0, 1e-9);
+}
+
+TEST(MagnitudeSpectrum, EmptyInput) {
+  EXPECT_TRUE(magnitude_spectrum({}, 10.0).empty());
+}
+
+TEST(MagnitudeSpectrum, FrequenciesSpanToNyquist) {
+  Signal x(100, 0.0);
+  x[3] = 1.0;
+  const auto bins = magnitude_spectrum(x, 10.0);
+  EXPECT_NEAR(bins.front().frequency_hz, 0.0, 1e-12);
+  EXPECT_NEAR(bins.back().frequency_hz, 5.0, 1e-9);
+}
+
+TEST(BandEnergyRatio, LowFrequencySignalConcentratesBelow1Hz) {
+  // The Fig. 6 observation: screen-light-driven luminance lives under 1 Hz.
+  Signal x;
+  const double rate = 10.0;
+  for (int i = 0; i < 512; ++i) {
+    x.push_back(std::sin(2.0 * std::numbers::pi * 0.25 *
+                         static_cast<double>(i) / rate));
+  }
+  EXPECT_GT(band_energy_ratio(x, rate, 1.0), 0.95);
+}
+
+TEST(BandEnergyRatio, HighFrequencySignalConcentratesAbove1Hz) {
+  Signal x;
+  const double rate = 10.0;
+  for (int i = 0; i < 512; ++i) {
+    x.push_back(std::sin(2.0 * std::numbers::pi * 4.0 *
+                         static_cast<double>(i) / rate));
+  }
+  EXPECT_LT(band_energy_ratio(x, rate, 1.0), 0.05);
+}
+
+TEST(BandEnergyRatio, MixedSignalSplitsEnergy) {
+  Signal x;
+  const double rate = 10.0;
+  for (int i = 0; i < 512; ++i) {
+    const double t = static_cast<double>(i) / rate;
+    x.push_back(std::sin(2.0 * std::numbers::pi * 0.3 * t) +
+                std::sin(2.0 * std::numbers::pi * 3.5 * t));
+  }
+  const double ratio = band_energy_ratio(x, rate, 1.0);
+  EXPECT_GT(ratio, 0.4);
+  EXPECT_LT(ratio, 0.6);
+}
+
+}  // namespace
+}  // namespace lumichat::signal

@@ -1,0 +1,144 @@
+#include "signal/fir.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+#include "signal/stats.hpp"
+
+namespace lumichat::signal {
+namespace {
+
+Signal sine(double freq_hz, double rate_hz, std::size_t n,
+            double amplitude = 1.0) {
+  Signal s(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i] = amplitude * std::sin(2.0 * std::numbers::pi * freq_hz *
+                                static_cast<double>(i) / rate_hz);
+  }
+  return s;
+}
+
+double rms(const Signal& s) {
+  double acc = 0.0;
+  for (double v : s) acc += v * v;
+  return std::sqrt(acc / static_cast<double>(s.size()));
+}
+
+TEST(FirDesign, RejectsBadParameters) {
+  EXPECT_THROW(design_lowpass(0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(design_lowpass(-1.0, 10.0), std::invalid_argument);
+  EXPECT_THROW(design_lowpass(5.0, 10.0), std::invalid_argument);  // >= Nyquist
+  EXPECT_THROW(design_lowpass(1.0, 0.0), std::invalid_argument);
+  EXPECT_THROW(design_lowpass(1.0, -10.0), std::invalid_argument);
+  EXPECT_THROW(design_lowpass(1.0, 10.0, 2), std::invalid_argument);
+}
+
+TEST(FirDesign, EvenTapCountBumpedToOdd) {
+  const FirFilter f = design_lowpass(1.0, 10.0, 20);
+  EXPECT_EQ(f.taps.size() % 2, 1u);
+  EXPECT_EQ(f.taps.size(), 21u);
+}
+
+TEST(FirDesign, UnitDcGain) {
+  const FirFilter f = design_lowpass(1.0, 10.0, 21);
+  double sum = 0.0;
+  for (double t : f.taps) sum += t;
+  EXPECT_NEAR(sum, 1.0, 1e-12);
+}
+
+TEST(FirDesign, TapsAreSymmetric) {
+  const FirFilter f = design_lowpass(1.0, 10.0, 21);
+  for (std::size_t i = 0; i < f.taps.size() / 2; ++i) {
+    EXPECT_NEAR(f.taps[i], f.taps[f.taps.size() - 1 - i], 1e-12)
+        << "tap " << i;
+  }
+}
+
+TEST(FirApply, ConstantSignalPassesUnchanged) {
+  const FirFilter f = design_lowpass(1.0, 10.0, 21);
+  const Signal x(100, 42.0);
+  for (const Signal& y : {f.apply(x), f.apply_zero_phase(x)}) {
+    for (double v : y) EXPECT_NEAR(v, 42.0, 1e-9);
+  }
+}
+
+TEST(FirApply, EmptySignalGivesEmptyOutput) {
+  const FirFilter f = design_lowpass(1.0, 10.0, 21);
+  EXPECT_TRUE(f.apply({}).empty());
+  EXPECT_TRUE(f.apply_zero_phase({}).empty());
+}
+
+TEST(FirApply, PassesBandBelowCutoff) {
+  const FirFilter f = design_lowpass(1.0, 10.0, 41);
+  const Signal in = sine(0.3, 10.0, 400);
+  const Signal out = f.apply_zero_phase(in);
+  // Compare RMS over the middle (away from edge effects).
+  const Signal mid_in(in.begin() + 50, in.end() - 50);
+  const Signal mid_out(out.begin() + 50, out.end() - 50);
+  EXPECT_GT(rms(mid_out) / rms(mid_in), 0.9);
+}
+
+TEST(FirApply, AttenuatesBandAboveCutoff) {
+  const FirFilter f = design_lowpass(1.0, 10.0, 41);
+  const Signal in = sine(3.0, 10.0, 400);
+  const Signal out = f.apply_zero_phase(in);
+  const Signal mid_in(in.begin() + 50, in.end() - 50);
+  const Signal mid_out(out.begin() + 50, out.end() - 50);
+  EXPECT_LT(rms(mid_out) / rms(mid_in), 0.1);
+}
+
+TEST(FirApply, ZeroPhaseKeepsStepLocation) {
+  // A step at index 100: the zero-phase filter must keep the 50% crossing
+  // at the step, because edge timestamps feed the z1/z2 features.
+  Signal x(200, 0.0);
+  for (std::size_t i = 100; i < x.size(); ++i) x[i] = 10.0;
+  const FirFilter f = design_lowpass(1.0, 10.0, 21);
+  const Signal y = f.apply_zero_phase(x);
+  // Find first crossing of 5.0.
+  std::size_t crossing = 0;
+  for (std::size_t i = 1; i < y.size(); ++i) {
+    if (y[i - 1] < 5.0 && y[i] >= 5.0) {
+      crossing = i;
+      break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(crossing), 100.0, 2.0);
+}
+
+TEST(FirApply, OutputSizeMatchesInput) {
+  const FirFilter f = design_lowpass(1.0, 10.0, 21);
+  for (std::size_t n : {1u, 5u, 21u, 150u}) {
+    const Signal x(n, 1.0);
+    EXPECT_EQ(f.apply(x).size(), n);
+    EXPECT_EQ(f.apply_zero_phase(x).size(), n);
+  }
+}
+
+// Parameterized attenuation sweep: every frequency comfortably above the
+// cut-off must be strongly attenuated, every one comfortably below passed.
+class FirResponse : public ::testing::TestWithParam<double> {};
+
+TEST_P(FirResponse, MagnitudeResponseShape) {
+  const double freq = GetParam();
+  const double rate = 10.0;
+  const FirFilter f = design_lowpass(1.0, rate, 41);
+  const Signal in = sine(freq, rate, 600);
+  const Signal out = f.apply_zero_phase(in);
+  const Signal mid_in(in.begin() + 80, in.end() - 80);
+  const Signal mid_out(out.begin() + 80, out.end() - 80);
+  const double gain = rms(mid_out) / rms(mid_in);
+  if (freq <= 0.5) {
+    EXPECT_GT(gain, 0.85) << "passband frequency " << freq;
+  } else if (freq >= 2.0) {
+    EXPECT_LT(gain, 0.15) << "stopband frequency " << freq;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Frequencies, FirResponse,
+                         ::testing::Values(0.1, 0.2, 0.3, 0.4, 0.5, 2.0, 2.5,
+                                           3.0, 4.0, 4.5));
+
+}  // namespace
+}  // namespace lumichat::signal

@@ -1,0 +1,102 @@
+#include "signal/iir.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+namespace lumichat::signal {
+namespace {
+
+Signal sine(double freq_hz, double rate_hz, std::size_t n) {
+  Signal s(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    s[i] = std::sin(2.0 * std::numbers::pi * freq_hz *
+                    static_cast<double>(i) / rate_hz);
+  }
+  return s;
+}
+
+double rms_mid(const Signal& s) {
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = s.size() / 4; i < 3 * s.size() / 4; ++i) {
+    acc += s[i] * s[i];
+    ++n;
+  }
+  return std::sqrt(acc / static_cast<double>(n));
+}
+
+TEST(Butterworth, RejectsBadParameters) {
+  EXPECT_THROW((void)butterworth_lowpass(0.0, 10.0), std::invalid_argument);
+  EXPECT_THROW((void)butterworth_lowpass(5.0, 10.0), std::invalid_argument);
+  EXPECT_THROW((void)butterworth_lowpass(1.0, 10.0, 0), std::invalid_argument);
+}
+
+TEST(Butterworth, UnitDcGain) {
+  IirFilter f = butterworth_lowpass(1.0, 10.0, 2);
+  const Signal y = f.apply(Signal(300, 5.0));
+  EXPECT_NEAR(y.back(), 5.0, 0.01);
+}
+
+TEST(Butterworth, PassbandAndStopband) {
+  IirFilter f = butterworth_lowpass(1.0, 10.0, 2);
+  const Signal low = f.apply_zero_phase(sine(0.3, 10.0, 600));
+  const Signal high = f.apply_zero_phase(sine(3.0, 10.0, 600));
+  EXPECT_GT(rms_mid(low) / rms_mid(sine(0.3, 10.0, 600)), 0.9);
+  EXPECT_LT(rms_mid(high) / rms_mid(sine(3.0, 10.0, 600)), 0.05);
+}
+
+TEST(Butterworth, HalfPowerAtCutoff) {
+  // |H| at the cutoff of an order-2N Butterworth is 1/sqrt(2).
+  IirFilter f = butterworth_lowpass(1.0, 10.0, 1);
+  const Signal in = sine(1.0, 10.0, 2000);
+  const Signal out = f.apply(in);
+  EXPECT_NEAR(rms_mid(out) / rms_mid(in), 1.0 / std::sqrt(2.0), 0.03);
+}
+
+TEST(Butterworth, MoreSectionsSteeperRolloff) {
+  IirFilter gentle = butterworth_lowpass(1.0, 10.0, 1);
+  IirFilter steep = butterworth_lowpass(1.0, 10.0, 3);
+  const Signal in = sine(2.0, 10.0, 1000);
+  EXPECT_GT(rms_mid(gentle.apply_zero_phase(in)),
+            rms_mid(steep.apply_zero_phase(in)));
+}
+
+TEST(Iir, StreamingStepMatchesBatchApply) {
+  IirFilter a = butterworth_lowpass(1.0, 10.0, 2);
+  IirFilter b = butterworth_lowpass(1.0, 10.0, 2);
+  const Signal in = sine(0.5, 10.0, 100);
+  const Signal batch = a.apply(in);
+  b.reset();
+  for (std::size_t i = 0; i < in.size(); ++i) {
+    EXPECT_NEAR(b.step(in[i]), batch[i], 1e-12) << "sample " << i;
+  }
+}
+
+TEST(Iir, ResetClearsState) {
+  IirFilter f = butterworth_lowpass(1.0, 10.0, 2);
+  (void)f.step(100.0);
+  (void)f.step(100.0);
+  f.reset();
+  // After reset, a zero input yields zero output.
+  EXPECT_DOUBLE_EQ(f.step(0.0), 0.0);
+}
+
+TEST(Iir, ZeroPhaseKeepsStepLocation) {
+  Signal x(200, 0.0);
+  for (std::size_t i = 100; i < x.size(); ++i) x[i] = 10.0;
+  IirFilter f = butterworth_lowpass(1.0, 10.0, 2);
+  const Signal y = f.apply_zero_phase(x);
+  std::size_t crossing = 0;
+  for (std::size_t i = 1; i < y.size(); ++i) {
+    if (y[i - 1] < 5.0 && y[i] >= 5.0) {
+      crossing = i;
+      break;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(crossing), 100.0, 2.0);
+}
+
+}  // namespace
+}  // namespace lumichat::signal

@@ -1,0 +1,111 @@
+#include "signal/linalg.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lumichat::signal {
+namespace {
+
+TEST(Matrix, StorageAndAccess) {
+  Matrix m(2, 3);
+  m(0, 0) = 1.0;
+  m(1, 2) = 5.0;
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(0, 0), 1.0);
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m(0, 1), 0.0);
+}
+
+TEST(Gram, ComputesAtA) {
+  // A = [[1, 2], [3, 4]] -> A^T A = [[10, 14], [14, 20]].
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  const Matrix g = gram(a);
+  EXPECT_DOUBLE_EQ(g(0, 0), 10.0);
+  EXPECT_DOUBLE_EQ(g(0, 1), 14.0);
+  EXPECT_DOUBLE_EQ(g(1, 0), 14.0);
+  EXPECT_DOUBLE_EQ(g(1, 1), 20.0);
+}
+
+TEST(MatTVec, ComputesAtB) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 3;
+  a(1, 1) = 4;
+  const auto v = mat_t_vec(a, {1.0, 1.0});
+  ASSERT_EQ(v.size(), 2u);
+  EXPECT_DOUBLE_EQ(v[0], 4.0);
+  EXPECT_DOUBLE_EQ(v[1], 6.0);
+}
+
+TEST(MatTVec, DimensionMismatchThrows) {
+  Matrix a(2, 2);
+  EXPECT_THROW((void)mat_t_vec(a, {1.0}), std::invalid_argument);
+}
+
+TEST(Solve, SimpleSystem) {
+  // x + y = 3; 2x - y = 0 -> x = 1, y = 2.
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 1;
+  a(1, 0) = 2;
+  a(1, 1) = -1;
+  const auto x = solve(a, {3.0, 0.0});
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 2.0, 1e-12);
+}
+
+TEST(Solve, NeedsPivoting) {
+  // Leading zero forces a row swap.
+  Matrix a(2, 2);
+  a(0, 0) = 0;
+  a(0, 1) = 1;
+  a(1, 0) = 1;
+  a(1, 1) = 0;
+  const auto x = solve(a, {5.0, 7.0});
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 5.0, 1e-12);
+}
+
+TEST(Solve, SingularThrows) {
+  Matrix a(2, 2);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(1, 0) = 2;
+  a(1, 1) = 4;
+  EXPECT_THROW((void)solve(a, {1.0, 2.0}), std::runtime_error);
+}
+
+TEST(Solve, NonSquareThrows) {
+  Matrix a(2, 3);
+  EXPECT_THROW((void)solve(a, {1.0, 2.0}), std::invalid_argument);
+}
+
+TEST(Solve, LargerRandomSystemRoundTrips) {
+  const std::size_t n = 8;
+  Matrix a(n, n);
+  unsigned state = 7;
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) {
+      state = state * 1103515245u + 12345u;
+      a(r, c) = static_cast<double>(state % 100) / 10.0;
+    }
+    a(r, r) += 20.0;  // diagonally dominant -> well conditioned
+  }
+  std::vector<double> x_true(n);
+  for (std::size_t i = 0; i < n; ++i) x_true[i] = static_cast<double>(i) - 3.5;
+  std::vector<double> b(n, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) b[r] += a(r, c) * x_true[c];
+  }
+  Matrix a_copy = a;
+  const auto x = solve(std::move(a_copy), std::move(b));
+  for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], x_true[i], 1e-9);
+}
+
+}  // namespace
+}  // namespace lumichat::signal

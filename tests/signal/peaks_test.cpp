@@ -1,0 +1,143 @@
+#include "signal/peaks.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace lumichat::signal {
+namespace {
+
+TEST(FindPeaks, EmptyAndTinySignals) {
+  EXPECT_TRUE(find_peaks({}).empty());
+  EXPECT_TRUE(find_peaks({1.0}).empty());
+  EXPECT_TRUE(find_peaks({1.0, 2.0}).empty());
+}
+
+TEST(FindPeaks, SingleTriangle) {
+  const Signal x{0, 1, 2, 3, 2, 1, 0};
+  const auto peaks = find_peaks(x);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 3u);
+  EXPECT_DOUBLE_EQ(peaks[0].height, 3.0);
+  EXPECT_DOUBLE_EQ(peaks[0].prominence, 3.0);
+}
+
+TEST(FindPeaks, NoPeakInMonotoneSignal) {
+  EXPECT_TRUE(find_peaks({0, 1, 2, 3, 4, 5}).empty());
+  EXPECT_TRUE(find_peaks({5, 4, 3, 2, 1, 0}).empty());
+  EXPECT_TRUE(find_peaks(Signal(10, 3.0)).empty());
+}
+
+TEST(FindPeaks, PlateauReportsLeftEdge) {
+  const Signal x{0, 2, 2, 2, 0};
+  const auto peaks = find_peaks(x);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 1u);
+}
+
+TEST(FindPeaks, EndpointsAreNotPeaks) {
+  const Signal x{5, 1, 0, 1, 6};
+  EXPECT_TRUE(find_peaks(x).empty());
+}
+
+TEST(FindPeaks, ProminenceOfNestedPeaks) {
+  // Big peak (height 10) with a smaller side peak (height 4) separated by
+  // a valley at 2: side peak prominence = 4 - 2 = 2.
+  const Signal x{0, 10, 2, 4, 1, 0};
+  const auto peaks = find_peaks(x);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_EQ(peaks[0].index, 1u);
+  EXPECT_DOUBLE_EQ(peaks[0].prominence, 10.0);
+  EXPECT_EQ(peaks[1].index, 3u);
+  EXPECT_DOUBLE_EQ(peaks[1].prominence, 2.0);
+}
+
+TEST(FindPeaks, MinProminenceFilters) {
+  const Signal x{0, 10, 2, 4, 1, 0};
+  PeakOptions opts;
+  opts.min_prominence = 3.0;
+  const auto peaks = find_peaks(x, opts);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 1u);
+}
+
+TEST(FindPeaks, MinHeightFilters) {
+  const Signal x{0, 2, 0, 8, 0};
+  PeakOptions opts;
+  opts.min_height = 5.0;
+  const auto peaks = find_peaks(x, opts);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 3u);
+}
+
+TEST(FindPeaks, MinDistanceKeepsMoreProminent) {
+  // Two peaks 3 apart; with min_distance 5 only the taller survives.
+  const Signal x{0, 5, 0, 0, 8, 0};
+  PeakOptions opts;
+  opts.min_distance = 5;
+  const auto peaks = find_peaks(x, opts);
+  ASSERT_EQ(peaks.size(), 1u);
+  EXPECT_EQ(peaks[0].index, 4u);
+}
+
+TEST(FindPeaks, MinDistanceZeroKeepsAll) {
+  const Signal x{0, 5, 0, 8, 0, 3, 0};
+  EXPECT_EQ(find_peaks(x).size(), 3u);
+}
+
+TEST(PeakIndices, MatchesFindPeaks) {
+  const Signal x{0, 5, 0, 8, 0, 3, 0};
+  const auto idx = peak_indices(x);
+  ASSERT_EQ(idx.size(), 3u);
+  EXPECT_EQ(idx[0], 1u);
+  EXPECT_EQ(idx[1], 3u);
+  EXPECT_EQ(idx[2], 5u);
+}
+
+TEST(FindPeaks, NegativeValuesWork) {
+  const Signal x{-10, -5, -8, -2, -9};
+  const auto peaks = find_peaks(x);
+  ASSERT_EQ(peaks.size(), 2u);
+  EXPECT_DOUBLE_EQ(peaks[0].prominence, 3.0);  // -5 vs max(-10, -8)
+  // -2 is the global maximum: both walks reach the signal edges, so its
+  // base is max(left edge min -10, right edge min -9) = -9.
+  EXPECT_DOUBLE_EQ(peaks[1].prominence, 7.0);
+}
+
+// Property: every reported peak is a genuine local maximum and its
+// prominence never exceeds its height minus the global minimum.
+class PeakProperty : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(PeakProperty, Invariants) {
+  unsigned state = GetParam();
+  Signal x;
+  for (int i = 0; i < 300; ++i) {
+    state = state * 1103515245u + 12345u;
+    x.push_back(static_cast<double>(state % 1000) / 10.0);
+  }
+  double global_min = x[0];
+  for (double v : x) global_min = std::min(global_min, v);
+
+  const auto peaks = find_peaks(x);
+  for (const Peak& p : peaks) {
+    ASSERT_GT(p.index, 0u);
+    ASSERT_LT(p.index, x.size() - 1);
+    EXPECT_GT(x[p.index], x[p.index - 1]);
+    EXPECT_GE(x[p.index], x[p.index + 1]);
+    EXPECT_GT(p.prominence, 0.0);
+    EXPECT_LE(p.prominence, p.height - global_min + 1e-12);
+  }
+
+  // Prominence filtering is monotone: higher threshold, fewer peaks.
+  PeakOptions lo;
+  lo.min_prominence = 10.0;
+  PeakOptions hi;
+  hi.min_prominence = 40.0;
+  EXPECT_GE(find_peaks(x, lo).size(), find_peaks(x, hi).size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PeakProperty,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+}  // namespace
+}  // namespace lumichat::signal

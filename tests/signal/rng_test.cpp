@@ -1,0 +1,98 @@
+// Tests for the deterministic RNG utilities every stochastic component
+// builds on (common/rng.hpp).
+#include "common/rng.hpp"
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace lumichat::common {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_DOUBLE_EQ(a.uniform(), b.uniform());
+    EXPECT_DOUBLE_EQ(a.gaussian(), b.gaussian());
+    EXPECT_EQ(a.uniform_int(0, 1000), b.uniform_int(0, 1000));
+    EXPECT_EQ(a.chance(0.5), b.chance(0.5));
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-2.5, 3.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(Rng, UniformIntInclusiveBounds) {
+  Rng rng(9);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(3, 7));
+  EXPECT_EQ(*seen.begin(), 3u);
+  EXPECT_EQ(*seen.rbegin(), 7u);
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, GaussianMomentsRoughlyCorrect) {
+  Rng rng(11);
+  const int n = 20000;
+  double sum = 0.0;
+  double sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.gaussian(10.0, 2.0);
+    sum += v;
+    sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.1);
+}
+
+TEST(Rng, ChanceMatchesProbability) {
+  Rng rng(13);
+  int hits = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (rng.chance(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.02);
+}
+
+TEST(DeriveSeed, DistinctStreamsForDistinctIds) {
+  std::set<std::uint64_t> seeds;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    seeds.insert(derive_seed(42, i));
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(DeriveSeed, DifferentMastersDecouple) {
+  EXPECT_NE(derive_seed(1, 5), derive_seed(2, 5));
+}
+
+TEST(DeriveSeed, DerivedStreamsAreDecorrelated) {
+  // Streams from adjacent ids should not produce correlated uniforms.
+  Rng a(derive_seed(99, 1));
+  Rng b(derive_seed(99, 2));
+  double acc = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    acc += (a.uniform() - 0.5) * (b.uniform() - 0.5);
+  }
+  EXPECT_LT(std::fabs(acc / n), 0.01);  // covariance ~0 (1/12 would be max)
+}
+
+TEST(Splitmix, IsConstexprAndNonTrivial) {
+  static_assert(splitmix64(1) != splitmix64(2));
+  EXPECT_NE(splitmix64(0), 0u);
+}
+
+}  // namespace
+}  // namespace lumichat::common

@@ -1,0 +1,129 @@
+#include "signal/savitzky_golay.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace lumichat::signal {
+namespace {
+
+TEST(SavgolCoefficients, RejectsBadParameters) {
+  EXPECT_THROW(savgol_coefficients(4, 2), std::invalid_argument);  // even
+  EXPECT_THROW(savgol_coefficients(0, 0), std::invalid_argument);
+  EXPECT_THROW(savgol_coefficients(5, 5), std::invalid_argument);  // order>=w
+}
+
+TEST(SavgolCoefficients, SumToOne) {
+  for (std::size_t w : {5u, 7u, 31u}) {
+    for (std::size_t p : {2u, 3u}) {
+      const Signal k = savgol_coefficients(w, p);
+      double sum = 0.0;
+      for (double v : k) sum += v;
+      EXPECT_NEAR(sum, 1.0, 1e-9) << "w=" << w << " p=" << p;
+    }
+  }
+}
+
+TEST(SavgolCoefficients, SymmetricKernel) {
+  const Signal k = savgol_coefficients(9, 3);
+  for (std::size_t i = 0; i < k.size() / 2; ++i) {
+    EXPECT_NEAR(k[i], k[k.size() - 1 - i], 1e-9);
+  }
+}
+
+TEST(SavgolCoefficients, MatchesKnownQuadraticWindow5) {
+  // Classic published SG(5, 2) smoothing kernel: (-3, 12, 17, 12, -3)/35.
+  const Signal k = savgol_coefficients(5, 2);
+  const double expected[5] = {-3.0 / 35, 12.0 / 35, 17.0 / 35, 12.0 / 35,
+                              -3.0 / 35};
+  for (std::size_t i = 0; i < 5; ++i) {
+    EXPECT_NEAR(k[i], expected[i], 1e-9) << "tap " << i;
+  }
+}
+
+TEST(SavgolFilter, ReproducesPolynomialExactly) {
+  // A degree-3 filter must reproduce any cubic exactly (away from edges).
+  Signal x;
+  for (int i = 0; i < 100; ++i) {
+    const double t = static_cast<double>(i);
+    x.push_back(0.001 * t * t * t - 0.2 * t * t + 3.0 * t - 7.0);
+  }
+  const Signal y = savgol_filter(x, 31, 3);
+  for (std::size_t i = 16; i + 16 < x.size(); ++i) {
+    EXPECT_NEAR(y[i], x[i], 1e-6) << "index " << i;
+  }
+}
+
+TEST(SavgolFilter, SmoothsNoise) {
+  Signal x(200, 5.0);
+  unsigned state = 99;
+  for (double& v : x) {
+    state = state * 1103515245u + 12345u;
+    v += (static_cast<double>(state % 200) - 100.0) / 100.0;  // +-1 noise
+  }
+  const Signal y = savgol_filter(x, 31, 3);
+  // Sample variance of the middle section must shrink substantially.
+  auto var_of = [](const Signal& s, std::size_t a, std::size_t b) {
+    double mean = 0.0;
+    for (std::size_t i = a; i < b; ++i) mean += s[i];
+    mean /= static_cast<double>(b - a);
+    double var = 0.0;
+    for (std::size_t i = a; i < b; ++i) var += (s[i] - mean) * (s[i] - mean);
+    return var / static_cast<double>(b - a);
+  };
+  EXPECT_LT(var_of(y, 20, 180), 0.3 * var_of(x, 20, 180));
+}
+
+TEST(SavgolFilter, ShortSignalShrinksWindow) {
+  // 10 samples < window 31: the filter shrinks rather than throwing and
+  // still returns the same number of samples.
+  Signal x{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  const Signal y = savgol_filter(x, 31, 3);
+  ASSERT_EQ(y.size(), x.size());
+  // A straight line is degree <= 3, so the interior must be reproduced
+  // (edges use replicated padding and flatten slightly).
+  for (std::size_t i = 4; i + 4 < x.size(); ++i) {
+    EXPECT_NEAR(y[i], x[i], 1e-6) << "index " << i;
+  }
+}
+
+TEST(SavgolFilter, EmptyInput) { EXPECT_TRUE(savgol_filter({}, 31, 3).empty()); }
+
+TEST(SavgolFilter, ConstantPreserved) {
+  const Signal y = savgol_filter(Signal(50, 3.25), 31, 3);
+  for (double v : y) EXPECT_NEAR(v, 3.25, 1e-9);
+}
+
+// Every (window, order) combination must reproduce polynomials of its own
+// order exactly in the interior — the defining Savitzky-Golay property.
+class SavgolExactness
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(SavgolExactness, PolynomialReproduction) {
+  const auto [w, p] = GetParam();
+  Signal x;
+  for (int i = 0; i < 120; ++i) {
+    const double t = static_cast<double>(i) / 10.0;
+    double v = 0.0;
+    double tp = 1.0;
+    for (std::size_t d = 0; d <= p; ++d) {
+      v += (static_cast<double>(d) + 0.5) * tp;
+      tp *= t;
+    }
+    x.push_back(v);
+  }
+  const Signal y = savgol_filter(x, w, p);
+  const std::size_t half = w / 2;
+  for (std::size_t i = half; i + half < x.size(); ++i) {
+    EXPECT_NEAR(y[i], x[i], std::abs(x[i]) * 1e-6 + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SavgolExactness,
+    ::testing::Values(std::make_tuple(5u, 2u), std::make_tuple(7u, 2u),
+                      std::make_tuple(9u, 3u), std::make_tuple(21u, 3u),
+                      std::make_tuple(31u, 3u), std::make_tuple(31u, 4u)));
+
+}  // namespace
+}  // namespace lumichat::signal

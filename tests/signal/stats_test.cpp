@@ -1,0 +1,126 @@
+#include "signal/stats.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace lumichat::signal {
+namespace {
+
+TEST(Stats, MeanVarianceStddev) {
+  const Signal x{2, 4, 4, 4, 5, 5, 7, 9};
+  EXPECT_DOUBLE_EQ(mean(x), 5.0);
+  EXPECT_DOUBLE_EQ(variance(x), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(x), 2.0);
+}
+
+TEST(Stats, MinMax) {
+  const Signal x{3, -1, 7, 0};
+  EXPECT_DOUBLE_EQ(min_value(x), -1.0);
+  EXPECT_DOUBLE_EQ(max_value(x), 7.0);
+}
+
+TEST(Stats, EmptyInputThrows) {
+  EXPECT_THROW((void)mean({}), std::invalid_argument);
+  EXPECT_THROW((void)min_value({}), std::invalid_argument);
+  EXPECT_THROW((void)max_value({}), std::invalid_argument);
+}
+
+TEST(Normalize01, MapsRangeToUnitInterval) {
+  const Signal y = normalize01({10, 20, 15, 30});
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.5);
+  EXPECT_DOUBLE_EQ(y[2], 0.25);
+  EXPECT_DOUBLE_EQ(y[3], 1.0);
+}
+
+TEST(Normalize01, ConstantSignalMapsToZeros) {
+  const Signal y = normalize01(Signal(5, 42.0));
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(Normalize01, EmptyInput) { EXPECT_TRUE(normalize01({}).empty()); }
+
+TEST(Pearson, PerfectPositiveAndNegative) {
+  const Signal x{1, 2, 3, 4, 5};
+  const Signal y{2, 4, 6, 8, 10};
+  Signal neg = y;
+  for (double& v : neg) v = -v;
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+  EXPECT_NEAR(pearson(x, neg), -1.0, 1e-12);
+}
+
+TEST(Pearson, ShiftAndScaleInvariant) {
+  const Signal x{1, 5, 2, 8, 3};
+  Signal y;
+  for (double v : x) y.push_back(3.0 * v + 17.0);
+  EXPECT_NEAR(pearson(x, y), 1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantInputGivesZero) {
+  const Signal x{1, 2, 3};
+  const Signal c(3, 5.0);
+  EXPECT_DOUBLE_EQ(pearson(x, c), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(c, x), 0.0);
+}
+
+TEST(Pearson, MismatchedSizesThrow) {
+  EXPECT_THROW((void)pearson(Signal{1, 2}, Signal{1, 2, 3}),
+               std::invalid_argument);
+  EXPECT_THROW((void)pearson(Signal{}, Signal{}), std::invalid_argument);
+}
+
+TEST(Pearson, UncorrelatedNearZero) {
+  Signal x;
+  Signal y;
+  unsigned s1 = 1;
+  unsigned s2 = 777;
+  for (int i = 0; i < 2000; ++i) {
+    s1 = s1 * 1103515245u + 12345u;
+    s2 = s2 * 1103515245u + 12345u;
+    x.push_back(static_cast<double>(s1 % 1000));
+    y.push_back(static_cast<double>(s2 % 1000));
+  }
+  EXPECT_LT(std::fabs(pearson(x, y)), 0.1);
+}
+
+TEST(SplitSegments, EqualSplit) {
+  const auto segs = split_segments({1, 2, 3, 4, 5, 6}, 2);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0], (Signal{1, 2, 3}));
+  EXPECT_EQ(segs[1], (Signal{4, 5, 6}));
+}
+
+TEST(SplitSegments, RemainderGoesToLastSegment) {
+  const auto segs = split_segments({1, 2, 3, 4, 5, 6, 7}, 3);
+  ASSERT_EQ(segs.size(), 3u);
+  EXPECT_EQ(segs[0].size(), 2u);
+  EXPECT_EQ(segs[1].size(), 2u);
+  EXPECT_EQ(segs[2].size(), 3u);
+}
+
+TEST(SplitSegments, MorePartsThanSamples) {
+  const auto segs = split_segments({1, 2}, 4);
+  ASSERT_EQ(segs.size(), 4u);
+  std::size_t total = 0;
+  for (const auto& s : segs) total += s.size();
+  EXPECT_EQ(total, 2u);
+}
+
+TEST(SplitSegments, ZeroPartsThrows) {
+  EXPECT_THROW((void)split_segments({1.0}, 0), std::invalid_argument);
+}
+
+TEST(SplitSegments, ConcatenationRestoresOriginal) {
+  Signal x;
+  for (int i = 0; i < 153; ++i) x.push_back(static_cast<double>(i) * 0.5);
+  for (std::size_t parts : {1u, 2u, 3u, 7u}) {
+    const auto segs = split_segments(x, parts);
+    Signal glued;
+    for (const auto& s : segs) glued.insert(glued.end(), s.begin(), s.end());
+    EXPECT_EQ(glued, x) << "parts=" << parts;
+  }
+}
+
+}  // namespace
+}  // namespace lumichat::signal

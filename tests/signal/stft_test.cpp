@@ -1,0 +1,82 @@
+#include "signal/stft.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include <gtest/gtest.h>
+
+namespace lumichat::signal {
+namespace {
+
+Signal chirp_like(double f1, double f2, double rate, std::size_t n) {
+  // First half at f1, second half at f2.
+  Signal s(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double f = i < n / 2 ? f1 : f2;
+    s[i] = std::sin(2.0 * std::numbers::pi * f * static_cast<double>(i) /
+                    rate);
+  }
+  return s;
+}
+
+std::size_t peak_bin(const StftFrame& frame) {
+  std::size_t best = 0;
+  for (std::size_t k = 1; k < frame.magnitudes.size(); ++k) {
+    if (frame.magnitudes[k] > frame.magnitudes[best]) best = k;
+  }
+  return best;
+}
+
+TEST(Stft, RejectsZeroWindowOrHop) {
+  EXPECT_THROW((void)spectrogram({1, 2, 3}, 10.0, {.window = 0, .hop = 1}),
+               std::invalid_argument);
+  EXPECT_THROW((void)spectrogram({1, 2, 3}, 10.0, {.window = 4, .hop = 0}),
+               std::invalid_argument);
+}
+
+TEST(Stft, ShortSignalGivesNoFrames) {
+  EXPECT_TRUE(spectrogram(Signal(10, 1.0), 10.0, {.window = 64}).empty());
+}
+
+TEST(Stft, FrameCountMatchesHops) {
+  const Signal x(200, 0.0);
+  const auto frames = spectrogram(x, 10.0, {.window = 64, .hop = 16});
+  EXPECT_EQ(frames.size(), (200 - 64) / 16 + 1);
+}
+
+TEST(Stft, FrameTimesAdvanceByHop) {
+  const Signal x(200, 0.0);
+  const auto frames = spectrogram(x, 10.0, {.window = 64, .hop = 16});
+  ASSERT_GE(frames.size(), 2u);
+  EXPECT_NEAR(frames[1].time_s - frames[0].time_s, 1.6, 1e-9);
+}
+
+TEST(Stft, TracksFrequencyChangeOverTime) {
+  const double rate = 10.0;
+  const Signal x = chirp_like(0.5, 3.0, rate, 512);
+  const auto frames = spectrogram(x, rate, {.window = 64, .hop = 16});
+  ASSERT_GE(frames.size(), 8u);
+
+  const StftFrame& early = frames[1];
+  const StftFrame& late = frames[frames.size() - 2];
+  const double f_early = stft_bin_frequency(peak_bin(early), rate, {});
+  const double f_late = stft_bin_frequency(peak_bin(late), rate, {});
+  EXPECT_NEAR(f_early, 0.5, 0.3);
+  EXPECT_NEAR(f_late, 3.0, 0.3);
+}
+
+TEST(Stft, ConstantSignalHasNoEnergy) {
+  const auto frames = spectrogram(Signal(128, 42.0), 10.0, {.window = 64});
+  for (const auto& frame : frames) {
+    for (const double m : frame.magnitudes) EXPECT_NEAR(m, 0.0, 1e-9);
+  }
+}
+
+TEST(Stft, BinFrequencySpansToNyquist) {
+  const StftOptions opts{.window = 64, .hop = 16};
+  EXPECT_DOUBLE_EQ(stft_bin_frequency(0, 10.0, opts), 0.0);
+  EXPECT_DOUBLE_EQ(stft_bin_frequency(32, 10.0, opts), 5.0);
+}
+
+}  // namespace
+}  // namespace lumichat::signal

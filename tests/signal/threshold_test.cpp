@@ -1,0 +1,42 @@
+#include "signal/threshold.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lumichat::signal {
+namespace {
+
+TEST(ThresholdFilter, ZeroesBelowCutoff) {
+  const Signal y = threshold_filter({0.5, 2.0, 1.9, 3.7, -1.0}, 2.0);
+  EXPECT_EQ(y, (Signal{0.0, 2.0, 0.0, 3.7, 0.0}));
+}
+
+TEST(ThresholdFilter, AtCutoffPasses) {
+  const Signal y = threshold_filter({2.0}, 2.0);
+  EXPECT_DOUBLE_EQ(y[0], 2.0);
+}
+
+TEST(ThresholdFilter, EmptyInput) {
+  EXPECT_TRUE(threshold_filter({}, 2.0).empty());
+}
+
+TEST(ThresholdFilter, PreservesLength) {
+  const Signal x(37, 1.0);
+  EXPECT_EQ(threshold_filter(x, 5.0).size(), x.size());
+}
+
+TEST(ClampSignal, ClampsBothEnds) {
+  const Signal y = clamp_signal({-5, 0, 100, 300}, 0.0, 255.0);
+  EXPECT_EQ(y, (Signal{0, 0, 100, 255}));
+}
+
+TEST(ClampSignal, RejectsInvertedBounds) {
+  EXPECT_THROW((void)clamp_signal({1.0}, 5.0, 1.0), std::invalid_argument);
+}
+
+TEST(ClampSignal, IdentityWithinBounds) {
+  const Signal x{1, 2, 3};
+  EXPECT_EQ(clamp_signal(x, 0.0, 10.0), x);
+}
+
+}  // namespace
+}  // namespace lumichat::signal

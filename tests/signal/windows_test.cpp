@@ -1,0 +1,130 @@
+#include "signal/windows.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace lumichat::signal {
+namespace {
+
+TEST(MovingVariance, RejectsZeroWindow) {
+  EXPECT_THROW(moving_variance({1.0}, 0), std::invalid_argument);
+  EXPECT_THROW(moving_rms({1.0}, 0), std::invalid_argument);
+  EXPECT_THROW(moving_average({1.0}, 0), std::invalid_argument);
+  EXPECT_THROW(moving_average_centered({1.0}, 0), std::invalid_argument);
+}
+
+TEST(MovingVariance, ConstantSignalHasZeroVariance) {
+  const Signal v = moving_variance(Signal(50, 7.0), 10);
+  for (double x : v) EXPECT_NEAR(x, 0.0, 1e-12);
+}
+
+TEST(MovingVariance, StepProducesVarianceBump) {
+  Signal x(60, 0.0);
+  for (std::size_t i = 30; i < x.size(); ++i) x[i] = 10.0;
+  const Signal v = moving_variance(x, 10);
+  // Inside the window straddling the step: variance of half-zeros and
+  // half-tens, max at the 50/50 point: 25.
+  double peak = 0.0;
+  for (double val : v) peak = std::max(peak, val);
+  EXPECT_NEAR(peak, 25.0, 1e-9);
+  // Far from the step the variance is zero again.
+  EXPECT_NEAR(v[15], 0.0, 1e-12);
+  EXPECT_NEAR(v[55], 0.0, 1e-12);
+}
+
+TEST(MovingVariance, MatchesDirectComputationOnRandomData) {
+  Signal x;
+  unsigned state = 12345;
+  for (int i = 0; i < 40; ++i) {
+    state = state * 1103515245u + 12345u;
+    x.push_back(static_cast<double>(state % 1000) / 100.0);
+  }
+  const std::size_t w = 7;
+  const Signal v = moving_variance(x, w);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const std::size_t begin = (i + 1 >= w) ? i + 1 - w : 0;
+    const std::size_t n = i - begin + 1;
+    double mean = 0.0;
+    for (std::size_t j = begin; j <= i; ++j) mean += x[j];
+    mean /= static_cast<double>(n);
+    double var = 0.0;
+    for (std::size_t j = begin; j <= i; ++j) var += (x[j] - mean) * (x[j] - mean);
+    var /= static_cast<double>(n);
+    EXPECT_NEAR(v[i], var, 1e-9) << "index " << i;
+  }
+}
+
+TEST(MovingRms, ConstantSignal) {
+  const Signal r = moving_rms(Signal(30, -4.0), 5);
+  for (double x : r) EXPECT_NEAR(x, 4.0, 1e-9);
+}
+
+TEST(MovingRms, WarmupUsesShorterWindow) {
+  const Signal r = moving_rms({3.0, 4.0}, 10);
+  EXPECT_NEAR(r[0], 3.0, 1e-12);
+  EXPECT_NEAR(r[1], std::sqrt((9.0 + 16.0) / 2.0), 1e-12);
+}
+
+TEST(MovingAverage, SlidingMeanIsCorrect) {
+  const Signal a = moving_average({1, 2, 3, 4, 5}, 3);
+  EXPECT_NEAR(a[0], 1.0, 1e-12);
+  EXPECT_NEAR(a[1], 1.5, 1e-12);
+  EXPECT_NEAR(a[2], 2.0, 1e-12);
+  EXPECT_NEAR(a[3], 3.0, 1e-12);
+  EXPECT_NEAR(a[4], 4.0, 1e-12);
+}
+
+TEST(MovingAverageCentered, SymmetricAroundImpulse) {
+  Signal x(21, 0.0);
+  x[10] = 9.0;
+  const Signal a = moving_average_centered(x, 9);
+  // The impulse spreads equally to both sides.
+  for (std::size_t k = 1; k <= 4; ++k) {
+    EXPECT_NEAR(a[10 - k], a[10 + k], 1e-12) << "offset " << k;
+  }
+  EXPECT_NEAR(a[10], 1.0, 1e-12);  // 9 / window 9
+}
+
+TEST(MovingAverageCentered, PreservesMeanOfConstant) {
+  const Signal a = moving_average_centered(Signal(15, 2.5), 10);
+  for (double v : a) EXPECT_NEAR(v, 2.5, 1e-12);
+}
+
+TEST(WindowStats, EmptyInputGivesEmptyOutput) {
+  EXPECT_TRUE(moving_variance({}, 5).empty());
+  EXPECT_TRUE(moving_rms({}, 5).empty());
+  EXPECT_TRUE(moving_average({}, 5).empty());
+  EXPECT_TRUE(moving_average_centered({}, 5).empty());
+}
+
+// Property sweep: output length always equals input length, and all
+// variance/RMS outputs are non-negative, for many (n, window) combinations.
+class WindowProperty
+    : public ::testing::TestWithParam<std::tuple<std::size_t, std::size_t>> {};
+
+TEST_P(WindowProperty, LengthAndNonNegativity) {
+  const auto [n, w] = GetParam();
+  Signal x;
+  for (std::size_t i = 0; i < n; ++i) {
+    x.push_back(std::sin(static_cast<double>(i)) * 10.0 - 3.0);
+  }
+  const Signal v = moving_variance(x, w);
+  const Signal r = moving_rms(x, w);
+  const Signal a = moving_average(x, w);
+  const Signal c = moving_average_centered(x, w);
+  EXPECT_EQ(v.size(), n);
+  EXPECT_EQ(r.size(), n);
+  EXPECT_EQ(a.size(), n);
+  EXPECT_EQ(c.size(), n);
+  for (double val : v) EXPECT_GE(val, 0.0);
+  for (double val : r) EXPECT_GE(val, 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, WindowProperty,
+    ::testing::Combine(::testing::Values<std::size_t>(1, 2, 9, 10, 11, 150),
+                       ::testing::Values<std::size_t>(1, 2, 10, 30, 31)));
+
+}  // namespace
+}  // namespace lumichat::signal

@@ -1,0 +1,88 @@
+#include "signal/xcorr.hpp"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "signal/resample.hpp"
+
+namespace lumichat::signal {
+namespace {
+
+Signal bumps(std::size_t n, std::initializer_list<std::size_t> centers) {
+  Signal s(n, 0.0);
+  for (const std::size_t c : centers) {
+    for (std::ptrdiff_t k = -4; k <= 4; ++k) {
+      const std::ptrdiff_t i = static_cast<std::ptrdiff_t>(c) + k;
+      if (i >= 0 && i < static_cast<std::ptrdiff_t>(n)) {
+        s[static_cast<std::size_t>(i)] +=
+            std::exp(-static_cast<double>(k * k) / 4.0);
+      }
+    }
+  }
+  return s;
+}
+
+TEST(Xcorr, ZeroLagForIdenticalSignals) {
+  const Signal x = bumps(100, {20, 50, 80});
+  const XcorrPeak p = best_lag(x, x, 20);
+  EXPECT_EQ(p.lag, 0);
+  EXPECT_NEAR(p.correlation, 1.0, 1e-9);
+}
+
+TEST(Xcorr, RecoversKnownShift) {
+  const Signal x = bumps(120, {30, 60, 90});
+  const Signal y = delay_signal(x, 7.0);
+  // y lags x by 7: correlating y against x finds lag +7.
+  const XcorrPeak p = best_lag(y, x, 15);
+  EXPECT_EQ(p.lag, 7);
+  EXPECT_GT(p.correlation, 0.95);
+}
+
+TEST(Xcorr, CorrelationAtLagHandlesShortOverlap) {
+  const Signal x{1, 2, 3};
+  const Signal y{1, 2, 3};
+  EXPECT_DOUBLE_EQ(correlation_at_lag(x, y, 2), 0.0);   // overlap 1 < 3
+  EXPECT_DOUBLE_EQ(correlation_at_lag(x, y, -5), 0.0);  // no overlap
+}
+
+TEST(Xcorr, EstimateDelayMatchesGroundTruth) {
+  const double rate = 10.0;
+  const Signal t = bumps(150, {30, 70, 110});
+  for (const double delay_s : {0.0, 0.4, 0.8}) {
+    const Signal r = delay_signal(t, delay_s * rate);
+    EXPECT_NEAR(estimate_delay_xcorr(t, r, rate, 1.5), delay_s, 0.15)
+        << "delay " << delay_s;
+  }
+}
+
+TEST(Xcorr, DelayClampedToNonNegative) {
+  const double rate = 10.0;
+  const Signal t = bumps(150, {30, 70, 110});
+  const Signal r = delay_signal(t, -5.0);  // received "before" transmitted
+  EXPECT_DOUBLE_EQ(estimate_delay_xcorr(t, r, rate, 1.5), 0.0);
+}
+
+TEST(Xcorr, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(estimate_delay_xcorr({}, {1, 2, 3}, 10.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(estimate_delay_xcorr({1, 2, 3}, {}, 10.0, 1.0), 0.0);
+  EXPECT_DOUBLE_EQ(estimate_delay_xcorr({1, 2}, {1, 2}, 0.0, 1.0), 0.0);
+}
+
+TEST(Xcorr, UncorrelatedSignalsGiveWeakPeak) {
+  Signal x;
+  Signal y;
+  unsigned s1 = 3;
+  unsigned s2 = 1009;
+  for (int i = 0; i < 300; ++i) {
+    s1 = s1 * 1103515245u + 12345u;
+    s2 = s2 * 1103515245u + 12345u;
+    x.push_back(static_cast<double>(s1 % 100));
+    y.push_back(static_cast<double>(s2 % 100));
+  }
+  const XcorrPeak p = best_lag(x, y, 10);
+  EXPECT_LT(p.correlation, 0.3);
+}
+
+}  // namespace
+}  // namespace lumichat::signal
