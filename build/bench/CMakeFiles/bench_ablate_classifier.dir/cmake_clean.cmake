@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_classifier.dir/bench_ablate_classifier.cpp.o"
+  "CMakeFiles/bench_ablate_classifier.dir/bench_ablate_classifier.cpp.o.d"
+  "bench_ablate_classifier"
+  "bench_ablate_classifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_classifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

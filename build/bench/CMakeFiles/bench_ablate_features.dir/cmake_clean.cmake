@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_features.dir/bench_ablate_features.cpp.o"
+  "CMakeFiles/bench_ablate_features.dir/bench_ablate_features.cpp.o.d"
+  "bench_ablate_features"
+  "bench_ablate_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

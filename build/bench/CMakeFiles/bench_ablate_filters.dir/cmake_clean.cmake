@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_filters.dir/bench_ablate_filters.cpp.o"
+  "CMakeFiles/bench_ablate_filters.dir/bench_ablate_filters.cpp.o.d"
+  "bench_ablate_filters"
+  "bench_ablate_filters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_filters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablate_roi.dir/bench_ablate_roi.cpp.o"
+  "CMakeFiles/bench_ablate_roi.dir/bench_ablate_roi.cpp.o.d"
+  "bench_ablate_roi"
+  "bench_ablate_roi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_roi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

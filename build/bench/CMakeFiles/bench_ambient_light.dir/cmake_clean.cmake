@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ambient_light.dir/bench_ambient_light.cpp.o"
+  "CMakeFiles/bench_ambient_light.dir/bench_ambient_light.cpp.o.d"
+  "bench_ambient_light"
+  "bench_ambient_light.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ambient_light.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

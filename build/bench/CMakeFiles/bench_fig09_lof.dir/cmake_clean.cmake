@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_lof.dir/bench_fig09_lof.cpp.o"
+  "CMakeFiles/bench_fig09_lof.dir/bench_fig09_lof.cpp.o.d"
+  "bench_fig09_lof"
+  "bench_fig09_lof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_lof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig14_attempts.dir/bench_fig14_attempts.cpp.o"
+  "CMakeFiles/bench_fig14_attempts.dir/bench_fig14_attempts.cpp.o.d"
+  "bench_fig14_attempts"
+  "bench_fig14_attempts.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig14_attempts.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

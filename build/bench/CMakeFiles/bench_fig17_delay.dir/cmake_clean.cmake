@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_delay.dir/bench_fig17_delay.cpp.o"
+  "CMakeFiles/bench_fig17_delay.dir/bench_fig17_delay.cpp.o.d"
+  "bench_fig17_delay"
+  "bench_fig17_delay.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_delay.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

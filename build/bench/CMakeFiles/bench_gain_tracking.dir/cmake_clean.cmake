@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_gain_tracking.dir/bench_gain_tracking.cpp.o"
+  "CMakeFiles/bench_gain_tracking.dir/bench_gain_tracking.cpp.o.d"
+  "bench_gain_tracking"
+  "bench_gain_tracking.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_gain_tracking.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_robustness.cpp" "bench/CMakeFiles/bench_robustness.dir/bench_robustness.cpp.o" "gcc" "bench/CMakeFiles/bench_robustness.dir/bench_robustness.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/lumichat_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lumichat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/reenact/CMakeFiles/lumichat_reenact.dir/DependInfo.cmake"
+  "/root/repo/build/src/chat/CMakeFiles/lumichat_chat.dir/DependInfo.cmake"
+  "/root/repo/build/src/face/CMakeFiles/lumichat_face.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/lumichat_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/lumichat_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/lumichat_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

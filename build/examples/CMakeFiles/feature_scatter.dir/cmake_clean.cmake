@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/feature_scatter.dir/feature_scatter.cpp.o"
+  "CMakeFiles/feature_scatter.dir/feature_scatter.cpp.o.d"
+  "feature_scatter"
+  "feature_scatter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/feature_scatter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signal_pipeline_demo.dir/signal_pipeline_demo.cpp.o"
+  "CMakeFiles/signal_pipeline_demo.dir/signal_pipeline_demo.cpp.o.d"
+  "signal_pipeline_demo"
+  "signal_pipeline_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signal_pipeline_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

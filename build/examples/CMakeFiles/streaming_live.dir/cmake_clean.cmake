@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_live.dir/streaming_live.cpp.o"
+  "CMakeFiles/streaming_live.dir/streaming_live.cpp.o.d"
+  "streaming_live"
+  "streaming_live.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_live.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

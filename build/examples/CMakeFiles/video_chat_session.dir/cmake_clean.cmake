@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_chat_session.dir/video_chat_session.cpp.o"
+  "CMakeFiles/video_chat_session.dir/video_chat_session.cpp.o.d"
+  "video_chat_session"
+  "video_chat_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_chat_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

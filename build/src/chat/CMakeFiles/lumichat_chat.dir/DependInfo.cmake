@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/chat/alice.cpp" "src/chat/CMakeFiles/lumichat_chat.dir/alice.cpp.o" "gcc" "src/chat/CMakeFiles/lumichat_chat.dir/alice.cpp.o.d"
+  "/root/repo/src/chat/codec.cpp" "src/chat/CMakeFiles/lumichat_chat.dir/codec.cpp.o" "gcc" "src/chat/CMakeFiles/lumichat_chat.dir/codec.cpp.o.d"
+  "/root/repo/src/chat/network.cpp" "src/chat/CMakeFiles/lumichat_chat.dir/network.cpp.o" "gcc" "src/chat/CMakeFiles/lumichat_chat.dir/network.cpp.o.d"
+  "/root/repo/src/chat/respondent.cpp" "src/chat/CMakeFiles/lumichat_chat.dir/respondent.cpp.o" "gcc" "src/chat/CMakeFiles/lumichat_chat.dir/respondent.cpp.o.d"
+  "/root/repo/src/chat/session.cpp" "src/chat/CMakeFiles/lumichat_chat.dir/session.cpp.o" "gcc" "src/chat/CMakeFiles/lumichat_chat.dir/session.cpp.o.d"
+  "/root/repo/src/chat/video.cpp" "src/chat/CMakeFiles/lumichat_chat.dir/video.cpp.o" "gcc" "src/chat/CMakeFiles/lumichat_chat.dir/video.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/lumichat_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/lumichat_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/face/CMakeFiles/lumichat_face.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/lumichat_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

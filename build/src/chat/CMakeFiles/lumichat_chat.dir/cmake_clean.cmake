@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumichat_chat.dir/alice.cpp.o"
+  "CMakeFiles/lumichat_chat.dir/alice.cpp.o.d"
+  "CMakeFiles/lumichat_chat.dir/codec.cpp.o"
+  "CMakeFiles/lumichat_chat.dir/codec.cpp.o.d"
+  "CMakeFiles/lumichat_chat.dir/network.cpp.o"
+  "CMakeFiles/lumichat_chat.dir/network.cpp.o.d"
+  "CMakeFiles/lumichat_chat.dir/respondent.cpp.o"
+  "CMakeFiles/lumichat_chat.dir/respondent.cpp.o.d"
+  "CMakeFiles/lumichat_chat.dir/session.cpp.o"
+  "CMakeFiles/lumichat_chat.dir/session.cpp.o.d"
+  "CMakeFiles/lumichat_chat.dir/video.cpp.o"
+  "CMakeFiles/lumichat_chat.dir/video.cpp.o.d"
+  "liblumichat_chat.a"
+  "liblumichat_chat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumichat_chat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblumichat_chat.a"
+)

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/calibration.cpp" "src/core/CMakeFiles/lumichat_core.dir/calibration.cpp.o" "gcc" "src/core/CMakeFiles/lumichat_core.dir/calibration.cpp.o.d"
+  "/root/repo/src/core/challenge.cpp" "src/core/CMakeFiles/lumichat_core.dir/challenge.cpp.o" "gcc" "src/core/CMakeFiles/lumichat_core.dir/challenge.cpp.o.d"
+  "/root/repo/src/core/detector.cpp" "src/core/CMakeFiles/lumichat_core.dir/detector.cpp.o" "gcc" "src/core/CMakeFiles/lumichat_core.dir/detector.cpp.o.d"
+  "/root/repo/src/core/features.cpp" "src/core/CMakeFiles/lumichat_core.dir/features.cpp.o" "gcc" "src/core/CMakeFiles/lumichat_core.dir/features.cpp.o.d"
+  "/root/repo/src/core/lof.cpp" "src/core/CMakeFiles/lumichat_core.dir/lof.cpp.o" "gcc" "src/core/CMakeFiles/lumichat_core.dir/lof.cpp.o.d"
+  "/root/repo/src/core/luminance_extractor.cpp" "src/core/CMakeFiles/lumichat_core.dir/luminance_extractor.cpp.o" "gcc" "src/core/CMakeFiles/lumichat_core.dir/luminance_extractor.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "src/core/CMakeFiles/lumichat_core.dir/model_io.cpp.o" "gcc" "src/core/CMakeFiles/lumichat_core.dir/model_io.cpp.o.d"
+  "/root/repo/src/core/preprocess.cpp" "src/core/CMakeFiles/lumichat_core.dir/preprocess.cpp.o" "gcc" "src/core/CMakeFiles/lumichat_core.dir/preprocess.cpp.o.d"
+  "/root/repo/src/core/streaming.cpp" "src/core/CMakeFiles/lumichat_core.dir/streaming.cpp.o" "gcc" "src/core/CMakeFiles/lumichat_core.dir/streaming.cpp.o.d"
+  "/root/repo/src/core/voting.cpp" "src/core/CMakeFiles/lumichat_core.dir/voting.cpp.o" "gcc" "src/core/CMakeFiles/lumichat_core.dir/voting.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/signal/CMakeFiles/lumichat_signal.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/lumichat_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/face/CMakeFiles/lumichat_face.dir/DependInfo.cmake"
+  "/root/repo/build/src/chat/CMakeFiles/lumichat_chat.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/lumichat_optics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

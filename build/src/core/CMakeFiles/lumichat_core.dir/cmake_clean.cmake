@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumichat_core.dir/calibration.cpp.o"
+  "CMakeFiles/lumichat_core.dir/calibration.cpp.o.d"
+  "CMakeFiles/lumichat_core.dir/challenge.cpp.o"
+  "CMakeFiles/lumichat_core.dir/challenge.cpp.o.d"
+  "CMakeFiles/lumichat_core.dir/detector.cpp.o"
+  "CMakeFiles/lumichat_core.dir/detector.cpp.o.d"
+  "CMakeFiles/lumichat_core.dir/features.cpp.o"
+  "CMakeFiles/lumichat_core.dir/features.cpp.o.d"
+  "CMakeFiles/lumichat_core.dir/lof.cpp.o"
+  "CMakeFiles/lumichat_core.dir/lof.cpp.o.d"
+  "CMakeFiles/lumichat_core.dir/luminance_extractor.cpp.o"
+  "CMakeFiles/lumichat_core.dir/luminance_extractor.cpp.o.d"
+  "CMakeFiles/lumichat_core.dir/model_io.cpp.o"
+  "CMakeFiles/lumichat_core.dir/model_io.cpp.o.d"
+  "CMakeFiles/lumichat_core.dir/preprocess.cpp.o"
+  "CMakeFiles/lumichat_core.dir/preprocess.cpp.o.d"
+  "CMakeFiles/lumichat_core.dir/streaming.cpp.o"
+  "CMakeFiles/lumichat_core.dir/streaming.cpp.o.d"
+  "CMakeFiles/lumichat_core.dir/voting.cpp.o"
+  "CMakeFiles/lumichat_core.dir/voting.cpp.o.d"
+  "liblumichat_core.a"
+  "liblumichat_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumichat_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumichat_eval.dir/dataset.cpp.o"
+  "CMakeFiles/lumichat_eval.dir/dataset.cpp.o.d"
+  "CMakeFiles/lumichat_eval.dir/experiment.cpp.o"
+  "CMakeFiles/lumichat_eval.dir/experiment.cpp.o.d"
+  "CMakeFiles/lumichat_eval.dir/metrics.cpp.o"
+  "CMakeFiles/lumichat_eval.dir/metrics.cpp.o.d"
+  "CMakeFiles/lumichat_eval.dir/population.cpp.o"
+  "CMakeFiles/lumichat_eval.dir/population.cpp.o.d"
+  "liblumichat_eval.a"
+  "liblumichat_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumichat_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

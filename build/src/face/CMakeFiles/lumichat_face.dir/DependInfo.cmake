@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/face/dynamics.cpp" "src/face/CMakeFiles/lumichat_face.dir/dynamics.cpp.o" "gcc" "src/face/CMakeFiles/lumichat_face.dir/dynamics.cpp.o.d"
+  "/root/repo/src/face/face_model.cpp" "src/face/CMakeFiles/lumichat_face.dir/face_model.cpp.o" "gcc" "src/face/CMakeFiles/lumichat_face.dir/face_model.cpp.o.d"
+  "/root/repo/src/face/landmark_detector.cpp" "src/face/CMakeFiles/lumichat_face.dir/landmark_detector.cpp.o" "gcc" "src/face/CMakeFiles/lumichat_face.dir/landmark_detector.cpp.o.d"
+  "/root/repo/src/face/renderer.cpp" "src/face/CMakeFiles/lumichat_face.dir/renderer.cpp.o" "gcc" "src/face/CMakeFiles/lumichat_face.dir/renderer.cpp.o.d"
+  "/root/repo/src/face/roi.cpp" "src/face/CMakeFiles/lumichat_face.dir/roi.cpp.o" "gcc" "src/face/CMakeFiles/lumichat_face.dir/roi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/lumichat_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/lumichat_optics.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumichat_face.dir/dynamics.cpp.o"
+  "CMakeFiles/lumichat_face.dir/dynamics.cpp.o.d"
+  "CMakeFiles/lumichat_face.dir/face_model.cpp.o"
+  "CMakeFiles/lumichat_face.dir/face_model.cpp.o.d"
+  "CMakeFiles/lumichat_face.dir/landmark_detector.cpp.o"
+  "CMakeFiles/lumichat_face.dir/landmark_detector.cpp.o.d"
+  "CMakeFiles/lumichat_face.dir/renderer.cpp.o"
+  "CMakeFiles/lumichat_face.dir/renderer.cpp.o.d"
+  "CMakeFiles/lumichat_face.dir/roi.cpp.o"
+  "CMakeFiles/lumichat_face.dir/roi.cpp.o.d"
+  "liblumichat_face.a"
+  "liblumichat_face.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumichat_face.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumichat_image.dir/image.cpp.o"
+  "CMakeFiles/lumichat_image.dir/image.cpp.o.d"
+  "CMakeFiles/lumichat_image.dir/luminance.cpp.o"
+  "CMakeFiles/lumichat_image.dir/luminance.cpp.o.d"
+  "CMakeFiles/lumichat_image.dir/ppm.cpp.o"
+  "CMakeFiles/lumichat_image.dir/ppm.cpp.o.d"
+  "liblumichat_image.a"
+  "liblumichat_image.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumichat_image.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optics/ambient.cpp" "src/optics/CMakeFiles/lumichat_optics.dir/ambient.cpp.o" "gcc" "src/optics/CMakeFiles/lumichat_optics.dir/ambient.cpp.o.d"
+  "/root/repo/src/optics/camera.cpp" "src/optics/CMakeFiles/lumichat_optics.dir/camera.cpp.o" "gcc" "src/optics/CMakeFiles/lumichat_optics.dir/camera.cpp.o.d"
+  "/root/repo/src/optics/reflection.cpp" "src/optics/CMakeFiles/lumichat_optics.dir/reflection.cpp.o" "gcc" "src/optics/CMakeFiles/lumichat_optics.dir/reflection.cpp.o.d"
+  "/root/repo/src/optics/screen.cpp" "src/optics/CMakeFiles/lumichat_optics.dir/screen.cpp.o" "gcc" "src/optics/CMakeFiles/lumichat_optics.dir/screen.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/image/CMakeFiles/lumichat_image.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumichat_optics.dir/ambient.cpp.o"
+  "CMakeFiles/lumichat_optics.dir/ambient.cpp.o.d"
+  "CMakeFiles/lumichat_optics.dir/camera.cpp.o"
+  "CMakeFiles/lumichat_optics.dir/camera.cpp.o.d"
+  "CMakeFiles/lumichat_optics.dir/reflection.cpp.o"
+  "CMakeFiles/lumichat_optics.dir/reflection.cpp.o.d"
+  "CMakeFiles/lumichat_optics.dir/screen.cpp.o"
+  "CMakeFiles/lumichat_optics.dir/screen.cpp.o.d"
+  "liblumichat_optics.a"
+  "liblumichat_optics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumichat_optics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

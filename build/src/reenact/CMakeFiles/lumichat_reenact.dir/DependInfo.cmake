@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/reenact/adaptive.cpp" "src/reenact/CMakeFiles/lumichat_reenact.dir/adaptive.cpp.o" "gcc" "src/reenact/CMakeFiles/lumichat_reenact.dir/adaptive.cpp.o.d"
+  "/root/repo/src/reenact/cost_model.cpp" "src/reenact/CMakeFiles/lumichat_reenact.dir/cost_model.cpp.o" "gcc" "src/reenact/CMakeFiles/lumichat_reenact.dir/cost_model.cpp.o.d"
+  "/root/repo/src/reenact/gain_tracking.cpp" "src/reenact/CMakeFiles/lumichat_reenact.dir/gain_tracking.cpp.o" "gcc" "src/reenact/CMakeFiles/lumichat_reenact.dir/gain_tracking.cpp.o.d"
+  "/root/repo/src/reenact/reenactor.cpp" "src/reenact/CMakeFiles/lumichat_reenact.dir/reenactor.cpp.o" "gcc" "src/reenact/CMakeFiles/lumichat_reenact.dir/reenactor.cpp.o.d"
+  "/root/repo/src/reenact/target_environment.cpp" "src/reenact/CMakeFiles/lumichat_reenact.dir/target_environment.cpp.o" "gcc" "src/reenact/CMakeFiles/lumichat_reenact.dir/target_environment.cpp.o.d"
+  "/root/repo/src/reenact/virtual_camera.cpp" "src/reenact/CMakeFiles/lumichat_reenact.dir/virtual_camera.cpp.o" "gcc" "src/reenact/CMakeFiles/lumichat_reenact.dir/virtual_camera.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/chat/CMakeFiles/lumichat_chat.dir/DependInfo.cmake"
+  "/root/repo/build/src/face/CMakeFiles/lumichat_face.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/lumichat_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/lumichat_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/lumichat_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumichat_reenact.dir/adaptive.cpp.o"
+  "CMakeFiles/lumichat_reenact.dir/adaptive.cpp.o.d"
+  "CMakeFiles/lumichat_reenact.dir/cost_model.cpp.o"
+  "CMakeFiles/lumichat_reenact.dir/cost_model.cpp.o.d"
+  "CMakeFiles/lumichat_reenact.dir/gain_tracking.cpp.o"
+  "CMakeFiles/lumichat_reenact.dir/gain_tracking.cpp.o.d"
+  "CMakeFiles/lumichat_reenact.dir/reenactor.cpp.o"
+  "CMakeFiles/lumichat_reenact.dir/reenactor.cpp.o.d"
+  "CMakeFiles/lumichat_reenact.dir/target_environment.cpp.o"
+  "CMakeFiles/lumichat_reenact.dir/target_environment.cpp.o.d"
+  "CMakeFiles/lumichat_reenact.dir/virtual_camera.cpp.o"
+  "CMakeFiles/lumichat_reenact.dir/virtual_camera.cpp.o.d"
+  "liblumichat_reenact.a"
+  "liblumichat_reenact.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumichat_reenact.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

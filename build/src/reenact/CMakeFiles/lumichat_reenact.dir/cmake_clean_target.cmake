@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblumichat_reenact.a"
+)

@@ -1,0 +1,2 @@
+# Empty dependencies file for lumichat_reenact.
+# This may be replaced when dependencies are built.

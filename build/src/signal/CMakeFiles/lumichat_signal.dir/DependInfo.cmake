@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/signal/dtw.cpp" "src/signal/CMakeFiles/lumichat_signal.dir/dtw.cpp.o" "gcc" "src/signal/CMakeFiles/lumichat_signal.dir/dtw.cpp.o.d"
+  "/root/repo/src/signal/fft.cpp" "src/signal/CMakeFiles/lumichat_signal.dir/fft.cpp.o" "gcc" "src/signal/CMakeFiles/lumichat_signal.dir/fft.cpp.o.d"
+  "/root/repo/src/signal/fir.cpp" "src/signal/CMakeFiles/lumichat_signal.dir/fir.cpp.o" "gcc" "src/signal/CMakeFiles/lumichat_signal.dir/fir.cpp.o.d"
+  "/root/repo/src/signal/iir.cpp" "src/signal/CMakeFiles/lumichat_signal.dir/iir.cpp.o" "gcc" "src/signal/CMakeFiles/lumichat_signal.dir/iir.cpp.o.d"
+  "/root/repo/src/signal/linalg.cpp" "src/signal/CMakeFiles/lumichat_signal.dir/linalg.cpp.o" "gcc" "src/signal/CMakeFiles/lumichat_signal.dir/linalg.cpp.o.d"
+  "/root/repo/src/signal/peaks.cpp" "src/signal/CMakeFiles/lumichat_signal.dir/peaks.cpp.o" "gcc" "src/signal/CMakeFiles/lumichat_signal.dir/peaks.cpp.o.d"
+  "/root/repo/src/signal/resample.cpp" "src/signal/CMakeFiles/lumichat_signal.dir/resample.cpp.o" "gcc" "src/signal/CMakeFiles/lumichat_signal.dir/resample.cpp.o.d"
+  "/root/repo/src/signal/savitzky_golay.cpp" "src/signal/CMakeFiles/lumichat_signal.dir/savitzky_golay.cpp.o" "gcc" "src/signal/CMakeFiles/lumichat_signal.dir/savitzky_golay.cpp.o.d"
+  "/root/repo/src/signal/stats.cpp" "src/signal/CMakeFiles/lumichat_signal.dir/stats.cpp.o" "gcc" "src/signal/CMakeFiles/lumichat_signal.dir/stats.cpp.o.d"
+  "/root/repo/src/signal/stft.cpp" "src/signal/CMakeFiles/lumichat_signal.dir/stft.cpp.o" "gcc" "src/signal/CMakeFiles/lumichat_signal.dir/stft.cpp.o.d"
+  "/root/repo/src/signal/threshold.cpp" "src/signal/CMakeFiles/lumichat_signal.dir/threshold.cpp.o" "gcc" "src/signal/CMakeFiles/lumichat_signal.dir/threshold.cpp.o.d"
+  "/root/repo/src/signal/windows.cpp" "src/signal/CMakeFiles/lumichat_signal.dir/windows.cpp.o" "gcc" "src/signal/CMakeFiles/lumichat_signal.dir/windows.cpp.o.d"
+  "/root/repo/src/signal/xcorr.cpp" "src/signal/CMakeFiles/lumichat_signal.dir/xcorr.cpp.o" "gcc" "src/signal/CMakeFiles/lumichat_signal.dir/xcorr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

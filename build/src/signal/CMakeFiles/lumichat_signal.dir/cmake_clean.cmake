@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lumichat_signal.dir/dtw.cpp.o"
+  "CMakeFiles/lumichat_signal.dir/dtw.cpp.o.d"
+  "CMakeFiles/lumichat_signal.dir/fft.cpp.o"
+  "CMakeFiles/lumichat_signal.dir/fft.cpp.o.d"
+  "CMakeFiles/lumichat_signal.dir/fir.cpp.o"
+  "CMakeFiles/lumichat_signal.dir/fir.cpp.o.d"
+  "CMakeFiles/lumichat_signal.dir/iir.cpp.o"
+  "CMakeFiles/lumichat_signal.dir/iir.cpp.o.d"
+  "CMakeFiles/lumichat_signal.dir/linalg.cpp.o"
+  "CMakeFiles/lumichat_signal.dir/linalg.cpp.o.d"
+  "CMakeFiles/lumichat_signal.dir/peaks.cpp.o"
+  "CMakeFiles/lumichat_signal.dir/peaks.cpp.o.d"
+  "CMakeFiles/lumichat_signal.dir/resample.cpp.o"
+  "CMakeFiles/lumichat_signal.dir/resample.cpp.o.d"
+  "CMakeFiles/lumichat_signal.dir/savitzky_golay.cpp.o"
+  "CMakeFiles/lumichat_signal.dir/savitzky_golay.cpp.o.d"
+  "CMakeFiles/lumichat_signal.dir/stats.cpp.o"
+  "CMakeFiles/lumichat_signal.dir/stats.cpp.o.d"
+  "CMakeFiles/lumichat_signal.dir/stft.cpp.o"
+  "CMakeFiles/lumichat_signal.dir/stft.cpp.o.d"
+  "CMakeFiles/lumichat_signal.dir/threshold.cpp.o"
+  "CMakeFiles/lumichat_signal.dir/threshold.cpp.o.d"
+  "CMakeFiles/lumichat_signal.dir/windows.cpp.o"
+  "CMakeFiles/lumichat_signal.dir/windows.cpp.o.d"
+  "CMakeFiles/lumichat_signal.dir/xcorr.cpp.o"
+  "CMakeFiles/lumichat_signal.dir/xcorr.cpp.o.d"
+  "liblumichat_signal.a"
+  "liblumichat_signal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lumichat_signal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chat_tests.dir/chat/alice_test.cpp.o"
+  "CMakeFiles/chat_tests.dir/chat/alice_test.cpp.o.d"
+  "CMakeFiles/chat_tests.dir/chat/codec_test.cpp.o"
+  "CMakeFiles/chat_tests.dir/chat/codec_test.cpp.o.d"
+  "CMakeFiles/chat_tests.dir/chat/network_test.cpp.o"
+  "CMakeFiles/chat_tests.dir/chat/network_test.cpp.o.d"
+  "CMakeFiles/chat_tests.dir/chat/respondent_test.cpp.o"
+  "CMakeFiles/chat_tests.dir/chat/respondent_test.cpp.o.d"
+  "CMakeFiles/chat_tests.dir/chat/session_test.cpp.o"
+  "CMakeFiles/chat_tests.dir/chat/session_test.cpp.o.d"
+  "CMakeFiles/chat_tests.dir/chat/video_test.cpp.o"
+  "CMakeFiles/chat_tests.dir/chat/video_test.cpp.o.d"
+  "chat_tests"
+  "chat_tests.pdb"
+  "chat_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chat_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/core/calibration_test.cpp" "tests/CMakeFiles/core_tests.dir/core/calibration_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/calibration_test.cpp.o.d"
+  "/root/repo/tests/core/challenge_test.cpp" "tests/CMakeFiles/core_tests.dir/core/challenge_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/challenge_test.cpp.o.d"
+  "/root/repo/tests/core/detector_test.cpp" "tests/CMakeFiles/core_tests.dir/core/detector_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/detector_test.cpp.o.d"
+  "/root/repo/tests/core/features_test.cpp" "tests/CMakeFiles/core_tests.dir/core/features_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/features_test.cpp.o.d"
+  "/root/repo/tests/core/lof_test.cpp" "tests/CMakeFiles/core_tests.dir/core/lof_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/lof_test.cpp.o.d"
+  "/root/repo/tests/core/luminance_extractor_test.cpp" "tests/CMakeFiles/core_tests.dir/core/luminance_extractor_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/luminance_extractor_test.cpp.o.d"
+  "/root/repo/tests/core/model_io_test.cpp" "tests/CMakeFiles/core_tests.dir/core/model_io_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/model_io_test.cpp.o.d"
+  "/root/repo/tests/core/preprocess_property_test.cpp" "tests/CMakeFiles/core_tests.dir/core/preprocess_property_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/preprocess_property_test.cpp.o.d"
+  "/root/repo/tests/core/preprocess_test.cpp" "tests/CMakeFiles/core_tests.dir/core/preprocess_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/preprocess_test.cpp.o.d"
+  "/root/repo/tests/core/streaming_test.cpp" "tests/CMakeFiles/core_tests.dir/core/streaming_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/streaming_test.cpp.o.d"
+  "/root/repo/tests/core/voting_test.cpp" "tests/CMakeFiles/core_tests.dir/core/voting_test.cpp.o" "gcc" "tests/CMakeFiles/core_tests.dir/core/voting_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/lumichat_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lumichat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/reenact/CMakeFiles/lumichat_reenact.dir/DependInfo.cmake"
+  "/root/repo/build/src/chat/CMakeFiles/lumichat_chat.dir/DependInfo.cmake"
+  "/root/repo/build/src/face/CMakeFiles/lumichat_face.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/lumichat_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/lumichat_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/lumichat_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,32 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_tests.dir/core/calibration_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/calibration_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/challenge_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/challenge_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/detector_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/detector_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/features_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/features_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/lof_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/lof_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/luminance_extractor_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/luminance_extractor_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/model_io_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/model_io_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/preprocess_property_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/preprocess_property_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/preprocess_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/preprocess_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/streaming_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/streaming_test.cpp.o.d"
+  "CMakeFiles/core_tests.dir/core/voting_test.cpp.o"
+  "CMakeFiles/core_tests.dir/core/voting_test.cpp.o.d"
+  "core_tests"
+  "core_tests.pdb"
+  "core_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

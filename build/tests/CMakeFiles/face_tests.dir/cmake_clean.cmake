@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/face_tests.dir/face/dynamics_test.cpp.o"
+  "CMakeFiles/face_tests.dir/face/dynamics_test.cpp.o.d"
+  "CMakeFiles/face_tests.dir/face/face_model_test.cpp.o"
+  "CMakeFiles/face_tests.dir/face/face_model_test.cpp.o.d"
+  "CMakeFiles/face_tests.dir/face/landmark_detector_test.cpp.o"
+  "CMakeFiles/face_tests.dir/face/landmark_detector_test.cpp.o.d"
+  "CMakeFiles/face_tests.dir/face/pose_features_test.cpp.o"
+  "CMakeFiles/face_tests.dir/face/pose_features_test.cpp.o.d"
+  "CMakeFiles/face_tests.dir/face/renderer_test.cpp.o"
+  "CMakeFiles/face_tests.dir/face/renderer_test.cpp.o.d"
+  "CMakeFiles/face_tests.dir/face/roi_test.cpp.o"
+  "CMakeFiles/face_tests.dir/face/roi_test.cpp.o.d"
+  "face_tests"
+  "face_tests.pdb"
+  "face_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/face_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

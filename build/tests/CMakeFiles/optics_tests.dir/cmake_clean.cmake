@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optics_tests.dir/optics/ambient_test.cpp.o"
+  "CMakeFiles/optics_tests.dir/optics/ambient_test.cpp.o.d"
+  "CMakeFiles/optics_tests.dir/optics/awb_test.cpp.o"
+  "CMakeFiles/optics_tests.dir/optics/awb_test.cpp.o.d"
+  "CMakeFiles/optics_tests.dir/optics/camera_test.cpp.o"
+  "CMakeFiles/optics_tests.dir/optics/camera_test.cpp.o.d"
+  "CMakeFiles/optics_tests.dir/optics/reflection_test.cpp.o"
+  "CMakeFiles/optics_tests.dir/optics/reflection_test.cpp.o.d"
+  "CMakeFiles/optics_tests.dir/optics/screen_test.cpp.o"
+  "CMakeFiles/optics_tests.dir/optics/screen_test.cpp.o.d"
+  "optics_tests"
+  "optics_tests.pdb"
+  "optics_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optics_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reenact_tests.dir/reenact/adaptive_test.cpp.o"
+  "CMakeFiles/reenact_tests.dir/reenact/adaptive_test.cpp.o.d"
+  "CMakeFiles/reenact_tests.dir/reenact/cost_model_test.cpp.o"
+  "CMakeFiles/reenact_tests.dir/reenact/cost_model_test.cpp.o.d"
+  "CMakeFiles/reenact_tests.dir/reenact/gain_tracking_test.cpp.o"
+  "CMakeFiles/reenact_tests.dir/reenact/gain_tracking_test.cpp.o.d"
+  "CMakeFiles/reenact_tests.dir/reenact/reenactor_test.cpp.o"
+  "CMakeFiles/reenact_tests.dir/reenact/reenactor_test.cpp.o.d"
+  "CMakeFiles/reenact_tests.dir/reenact/target_environment_test.cpp.o"
+  "CMakeFiles/reenact_tests.dir/reenact/target_environment_test.cpp.o.d"
+  "CMakeFiles/reenact_tests.dir/reenact/virtual_camera_test.cpp.o"
+  "CMakeFiles/reenact_tests.dir/reenact/virtual_camera_test.cpp.o.d"
+  "reenact_tests"
+  "reenact_tests.pdb"
+  "reenact_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reenact_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,40 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/signal/dtw_test.cpp" "tests/CMakeFiles/signal_tests.dir/signal/dtw_test.cpp.o" "gcc" "tests/CMakeFiles/signal_tests.dir/signal/dtw_test.cpp.o.d"
+  "/root/repo/tests/signal/fft_test.cpp" "tests/CMakeFiles/signal_tests.dir/signal/fft_test.cpp.o" "gcc" "tests/CMakeFiles/signal_tests.dir/signal/fft_test.cpp.o.d"
+  "/root/repo/tests/signal/fir_test.cpp" "tests/CMakeFiles/signal_tests.dir/signal/fir_test.cpp.o" "gcc" "tests/CMakeFiles/signal_tests.dir/signal/fir_test.cpp.o.d"
+  "/root/repo/tests/signal/iir_test.cpp" "tests/CMakeFiles/signal_tests.dir/signal/iir_test.cpp.o" "gcc" "tests/CMakeFiles/signal_tests.dir/signal/iir_test.cpp.o.d"
+  "/root/repo/tests/signal/linalg_test.cpp" "tests/CMakeFiles/signal_tests.dir/signal/linalg_test.cpp.o" "gcc" "tests/CMakeFiles/signal_tests.dir/signal/linalg_test.cpp.o.d"
+  "/root/repo/tests/signal/peaks_test.cpp" "tests/CMakeFiles/signal_tests.dir/signal/peaks_test.cpp.o" "gcc" "tests/CMakeFiles/signal_tests.dir/signal/peaks_test.cpp.o.d"
+  "/root/repo/tests/signal/resample_test.cpp" "tests/CMakeFiles/signal_tests.dir/signal/resample_test.cpp.o" "gcc" "tests/CMakeFiles/signal_tests.dir/signal/resample_test.cpp.o.d"
+  "/root/repo/tests/signal/rng_test.cpp" "tests/CMakeFiles/signal_tests.dir/signal/rng_test.cpp.o" "gcc" "tests/CMakeFiles/signal_tests.dir/signal/rng_test.cpp.o.d"
+  "/root/repo/tests/signal/savgol_test.cpp" "tests/CMakeFiles/signal_tests.dir/signal/savgol_test.cpp.o" "gcc" "tests/CMakeFiles/signal_tests.dir/signal/savgol_test.cpp.o.d"
+  "/root/repo/tests/signal/stats_test.cpp" "tests/CMakeFiles/signal_tests.dir/signal/stats_test.cpp.o" "gcc" "tests/CMakeFiles/signal_tests.dir/signal/stats_test.cpp.o.d"
+  "/root/repo/tests/signal/stft_test.cpp" "tests/CMakeFiles/signal_tests.dir/signal/stft_test.cpp.o" "gcc" "tests/CMakeFiles/signal_tests.dir/signal/stft_test.cpp.o.d"
+  "/root/repo/tests/signal/threshold_test.cpp" "tests/CMakeFiles/signal_tests.dir/signal/threshold_test.cpp.o" "gcc" "tests/CMakeFiles/signal_tests.dir/signal/threshold_test.cpp.o.d"
+  "/root/repo/tests/signal/windows_test.cpp" "tests/CMakeFiles/signal_tests.dir/signal/windows_test.cpp.o" "gcc" "tests/CMakeFiles/signal_tests.dir/signal/windows_test.cpp.o.d"
+  "/root/repo/tests/signal/xcorr_test.cpp" "tests/CMakeFiles/signal_tests.dir/signal/xcorr_test.cpp.o" "gcc" "tests/CMakeFiles/signal_tests.dir/signal/xcorr_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/eval/CMakeFiles/lumichat_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lumichat_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/reenact/CMakeFiles/lumichat_reenact.dir/DependInfo.cmake"
+  "/root/repo/build/src/chat/CMakeFiles/lumichat_chat.dir/DependInfo.cmake"
+  "/root/repo/build/src/face/CMakeFiles/lumichat_face.dir/DependInfo.cmake"
+  "/root/repo/build/src/optics/CMakeFiles/lumichat_optics.dir/DependInfo.cmake"
+  "/root/repo/build/src/image/CMakeFiles/lumichat_image.dir/DependInfo.cmake"
+  "/root/repo/build/src/signal/CMakeFiles/lumichat_signal.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,38 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/signal_tests.dir/signal/dtw_test.cpp.o"
+  "CMakeFiles/signal_tests.dir/signal/dtw_test.cpp.o.d"
+  "CMakeFiles/signal_tests.dir/signal/fft_test.cpp.o"
+  "CMakeFiles/signal_tests.dir/signal/fft_test.cpp.o.d"
+  "CMakeFiles/signal_tests.dir/signal/fir_test.cpp.o"
+  "CMakeFiles/signal_tests.dir/signal/fir_test.cpp.o.d"
+  "CMakeFiles/signal_tests.dir/signal/iir_test.cpp.o"
+  "CMakeFiles/signal_tests.dir/signal/iir_test.cpp.o.d"
+  "CMakeFiles/signal_tests.dir/signal/linalg_test.cpp.o"
+  "CMakeFiles/signal_tests.dir/signal/linalg_test.cpp.o.d"
+  "CMakeFiles/signal_tests.dir/signal/peaks_test.cpp.o"
+  "CMakeFiles/signal_tests.dir/signal/peaks_test.cpp.o.d"
+  "CMakeFiles/signal_tests.dir/signal/resample_test.cpp.o"
+  "CMakeFiles/signal_tests.dir/signal/resample_test.cpp.o.d"
+  "CMakeFiles/signal_tests.dir/signal/rng_test.cpp.o"
+  "CMakeFiles/signal_tests.dir/signal/rng_test.cpp.o.d"
+  "CMakeFiles/signal_tests.dir/signal/savgol_test.cpp.o"
+  "CMakeFiles/signal_tests.dir/signal/savgol_test.cpp.o.d"
+  "CMakeFiles/signal_tests.dir/signal/stats_test.cpp.o"
+  "CMakeFiles/signal_tests.dir/signal/stats_test.cpp.o.d"
+  "CMakeFiles/signal_tests.dir/signal/stft_test.cpp.o"
+  "CMakeFiles/signal_tests.dir/signal/stft_test.cpp.o.d"
+  "CMakeFiles/signal_tests.dir/signal/threshold_test.cpp.o"
+  "CMakeFiles/signal_tests.dir/signal/threshold_test.cpp.o.d"
+  "CMakeFiles/signal_tests.dir/signal/windows_test.cpp.o"
+  "CMakeFiles/signal_tests.dir/signal/windows_test.cpp.o.d"
+  "CMakeFiles/signal_tests.dir/signal/xcorr_test.cpp.o"
+  "CMakeFiles/signal_tests.dir/signal/xcorr_test.cpp.o.d"
+  "signal_tests"
+  "signal_tests.pdb"
+  "signal_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/signal_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/signal_tests[1]_include.cmake")
+include("/root/repo/build/tests/image_tests[1]_include.cmake")
+include("/root/repo/build/tests/optics_tests[1]_include.cmake")
+include("/root/repo/build/tests/face_tests[1]_include.cmake")
+include("/root/repo/build/tests/chat_tests[1]_include.cmake")
+include("/root/repo/build/tests/reenact_tests[1]_include.cmake")
+include("/root/repo/build/tests/core_tests[1]_include.cmake")
+include("/root/repo/build/tests/eval_tests[1]_include.cmake")
+include("/root/repo/build/tests/integration_tests[1]_include.cmake")
