@@ -6,40 +6,62 @@
 
 #include "common.hpp"
 
+namespace {
+
+struct ScoreSets {
+  std::vector<double> legit;
+  std::vector<double> attack;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace lumichat;
   const bench::BenchScale scale = bench::parse_scale(argc, argv);
+  common::ThreadPool pool;
 
   bench::header("Fig. 12 reproduction: FAR / FRR vs decision threshold");
 
   const eval::SimulationProfile profile = bench::default_profile();
   const eval::DatasetBuilder data(profile);
 
-  const auto legit = bench::features_per_user(data, scale.n_users,
-                                              scale.n_clips,
-                                              eval::Role::kLegitimate);
-  const auto attack = bench::features_per_user(data, scale.n_users,
-                                               scale.n_clips,
-                                               eval::Role::kAttacker);
+  const auto legit = bench::features_per_user(
+      data, scale.n_users, scale.n_clips, eval::Role::kLegitimate, 0.0, &pool);
+  const auto attack = bench::features_per_user(
+      data, scale.n_users, scale.n_clips, eval::Role::kAttacker, 0.0, &pool);
 
   // Collect LOF scores once (threshold application is then free): per user,
   // per round, train on 20 and score the held-out legit + all attack clips.
+  // Rounds run across the pool; scores are concatenated in round order so
+  // the sweep is thread-count-independent.
   const std::size_t n_train = scale.n_clips / 2;
-  common::Rng rng(profile.master_seed + 2000);
+  const std::size_t rounds_per_user = scale.n_rounds / 4 + 1;
   std::vector<double> legit_scores;
   std::vector<double> attack_scores;
   for (std::size_t u = 0; u < scale.n_users; ++u) {
-    for (std::size_t round = 0; round < scale.n_rounds / 4 + 1; ++round) {
-      const eval::Split split =
-          eval::random_split(scale.n_clips, n_train, rng);
-      core::Detector det = data.make_detector();
-      det.train_on_features(eval::select(legit[u], split.train));
-      for (const std::size_t i : split.test) {
-        legit_scores.push_back(det.classify(legit[u][i]).lof_score);
-      }
-      for (const auto& z : attack[u]) {
-        attack_scores.push_back(det.classify(z).lof_score);
-      }
+    const std::uint64_t user_master =
+        common::derive_seed(profile.master_seed + 2000, u);
+    const std::vector<ScoreSets> rounds = eval::run_rounds<ScoreSets>(
+        rounds_per_user, user_master,
+        [&](std::size_t /*round*/, std::uint64_t seed) {
+          const eval::Split split =
+              eval::random_split(scale.n_clips, n_train, seed);
+          core::Detector det = data.make_detector();
+          det.train_on_features(eval::select(legit[u], split.train));
+          ScoreSets s;
+          for (const std::size_t i : split.test) {
+            s.legit.push_back(det.classify(legit[u][i]).lof_score);
+          }
+          for (const auto& z : attack[u]) {
+            s.attack.push_back(det.classify(z).lof_score);
+          }
+          return s;
+        },
+        &pool);
+    for (const ScoreSets& s : rounds) {
+      legit_scores.insert(legit_scores.end(), s.legit.begin(), s.legit.end());
+      attack_scores.insert(attack_scores.end(), s.attack.begin(),
+                           s.attack.end());
     }
   }
 

@@ -5,39 +5,60 @@
 
 #include "common.hpp"
 
+namespace {
+
+struct VerdictSets {
+  std::vector<bool> legit;
+  std::vector<bool> attack;
+};
+
+}  // namespace
+
 int main(int argc, char** argv) {
   using namespace lumichat;
   const bench::BenchScale scale =
       bench::parse_scale(argc, argv, {.n_users = 6, .n_clips = 20});
+  common::ThreadPool pool;
 
   bench::header("Fig. 14 reproduction: accuracy vs number of attempts");
 
   const eval::SimulationProfile profile = bench::default_profile();
   const eval::DatasetBuilder data(profile);
 
-  const auto legit = bench::features_per_user(data, scale.n_users,
-                                              scale.n_clips,
-                                              eval::Role::kLegitimate);
-  const auto attack = bench::features_per_user(data, scale.n_users,
-                                               scale.n_clips,
-                                               eval::Role::kAttacker);
+  const auto legit = bench::features_per_user(
+      data, scale.n_users, scale.n_clips, eval::Role::kLegitimate, 0.0, &pool);
+  const auto attack = bench::features_per_user(
+      data, scale.n_users, scale.n_clips, eval::Role::kAttacker, 0.0, &pool);
 
-  // Build per-user single-round verdict pools (own-data training).
-  common::Rng rng(profile.master_seed + 4000);
+  // Build per-user single-round verdict pools (own-data training); the four
+  // splitting rounds per user run across the pool on per-round seeds.
   std::vector<std::vector<bool>> legit_verdicts(scale.n_users);
   std::vector<std::vector<bool>> attack_verdicts(scale.n_users);
   for (std::size_t u = 0; u < scale.n_users; ++u) {
-    for (std::size_t round = 0; round < 4; ++round) {
-      const eval::Split split =
-          eval::random_split(scale.n_clips, scale.n_clips / 2, rng);
-      core::Detector det = data.make_detector();
-      det.train_on_features(eval::select(legit[u], split.train));
-      for (const std::size_t i : split.test) {
-        legit_verdicts[u].push_back(det.classify(legit[u][i]).is_attacker);
-      }
-      for (const auto& z : attack[u]) {
-        attack_verdicts[u].push_back(det.classify(z).is_attacker);
-      }
+    const std::uint64_t user_master =
+        common::derive_seed(profile.master_seed + 4000, u);
+    const std::vector<VerdictSets> rounds = eval::run_rounds<VerdictSets>(
+        4, user_master,
+        [&](std::size_t /*round*/, std::uint64_t seed) {
+          const eval::Split split =
+              eval::random_split(scale.n_clips, scale.n_clips / 2, seed);
+          core::Detector det = data.make_detector();
+          det.train_on_features(eval::select(legit[u], split.train));
+          VerdictSets v;
+          for (const std::size_t i : split.test) {
+            v.legit.push_back(det.classify(legit[u][i]).is_attacker);
+          }
+          for (const auto& z : attack[u]) {
+            v.attack.push_back(det.classify(z).is_attacker);
+          }
+          return v;
+        },
+        &pool);
+    for (const VerdictSets& v : rounds) {
+      legit_verdicts[u].insert(legit_verdicts[u].end(), v.legit.begin(),
+                               v.legit.end());
+      attack_verdicts[u].insert(attack_verdicts[u].end(), v.attack.begin(),
+                                v.attack.end());
     }
   }
 
@@ -47,12 +68,16 @@ int main(int argc, char** argv) {
     std::vector<double> tars;
     std::vector<double> trrs;
     for (std::size_t u = 0; u < scale.n_users; ++u) {
-      tars.push_back(eval::voting_accuracy(legit_verdicts[u], d, 400,
-                                           profile.detector.vote_fraction,
-                                           /*want_attacker=*/false, rng));
-      trrs.push_back(eval::voting_accuracy(attack_verdicts[u], d, 400,
-                                           profile.detector.vote_fraction,
-                                           /*want_attacker=*/true, rng));
+      // Distinct derived streams per (user, attempts, role): the Monte-Carlo
+      // voting trials are deterministic and chunked across the pool.
+      const std::uint64_t vote_master = common::derive_seed(
+          profile.master_seed + 4100, u * 1000 + d * 2);
+      tars.push_back(eval::voting_accuracy_parallel(
+          legit_verdicts[u], d, 400, profile.detector.vote_fraction,
+          /*want_attacker=*/false, vote_master, &pool));
+      trrs.push_back(eval::voting_accuracy_parallel(
+          attack_verdicts[u], d, 400, profile.detector.vote_fraction,
+          /*want_attacker=*/true, vote_master + 1, &pool));
     }
     bench::row("%-10zu %-12.3f %-12.3f %-12.3f %-12.3f", d,
                eval::sample_mean(tars), eval::sample_stddev(tars),

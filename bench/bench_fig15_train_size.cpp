@@ -10,38 +10,41 @@ int main(int argc, char** argv) {
   using namespace lumichat;
   const bench::BenchScale scale =
       bench::parse_scale(argc, argv, {.n_users = 1, .n_clips = 40});
+  common::ThreadPool pool;
 
   bench::header("Fig. 15 reproduction: accuracy vs training-set size");
 
   const eval::SimulationProfile profile = bench::default_profile();
   const eval::DatasetBuilder data(profile);
-  const auto pop = eval::make_population();
 
-  std::fprintf(stderr, "  [data] generating %zu legit + %zu attack clips\n",
-               scale.n_clips, scale.n_clips);
-  const auto legit =
-      data.features(pop[0], eval::Role::kLegitimate, scale.n_clips);
-  const auto attack =
-      data.features(pop[0], eval::Role::kAttacker, scale.n_clips);
+  const auto legit = bench::features_per_user(
+      data, 1, scale.n_clips, eval::Role::kLegitimate, 0.0, &pool)[0];
+  const auto attack = bench::features_per_user(
+      data, 1, scale.n_clips, eval::Role::kAttacker, 0.0, &pool)[0];
 
-  common::Rng rng(profile.master_seed + 5000);
   bench::row("%-14s %-10s %-12s %-10s %-12s", "train size", "TAR",
              "TAR stddev", "TRR", "TRR stddev");
   for (const std::size_t n_train : {6ul, 8ul, 12ul, 16ul, 20ul}) {
+    // Smoke scales may give fewer clips than the largest sweep points; a
+    // train set needs at least one held-out instance to test on.
+    if (n_train >= scale.n_clips) {
+      bench::row("%-14zu (skipped: only %zu clips)", n_train, scale.n_clips);
+      continue;
+    }
+    // Test on 20 held-out legit instances (fixed-size test set so the sweep
+    // varies only the training side). Each sweep point gets its own derived
+    // master; rounds fan out over the pool on per-round seeds.
+    eval::RoundPlan plan;
+    plan.n_rounds = scale.n_rounds;
+    plan.n_train = n_train;
+    plan.max_legit_test = 20;
+    plan.master_seed = common::derive_seed(profile.master_seed + 5000,
+                                           n_train);
+    const std::vector<eval::RoundResult> rounds =
+        eval::evaluate_rounds(data, legit, attack, plan, &pool);
     std::vector<double> tars;
     std::vector<double> trrs;
-    for (std::size_t round = 0; round < scale.n_rounds; ++round) {
-      const eval::Split split =
-          eval::random_split(scale.n_clips, n_train, rng);
-      // Test on 20 held-out legit instances (fixed-size test set so the
-      // sweep varies only the training side).
-      std::vector<std::size_t> test(split.test.begin(),
-                                    split.test.begin() +
-                                        static_cast<std::ptrdiff_t>(std::min(
-                                            split.test.size(), 20ul)));
-      const eval::RoundResult r = eval::evaluate_round(
-          data, eval::select(legit, split.train), eval::select(legit, test),
-          attack);
+    for (const eval::RoundResult& r : rounds) {
       tars.push_back(r.tar);
       trrs.push_back(r.trr);
     }

@@ -1,0 +1,174 @@
+// Parallel-engine scaling: rounds/sec (and clips/sec, traces/sec) at
+// 1/2/4/N threads versus the serial path, with a bitwise determinism check
+// at every point — the speedup is measured, not asserted, and the numbers
+// must not move by a single ULP across thread counts.
+//
+//   ./bench_parallel_scaling              # default scale
+//   ./bench_parallel_scaling 2 16 2000    # users, clips, eval rounds
+//
+// Stage A: population_features — trace simulation, the heavy part of every
+//          figure bench (~hundreds of ms per 15 s clip).
+// Stage B: evaluate_rounds — LOF train + score per round, the Monte-Carlo
+//          kernel of Figs. 11/13/15/16.
+// Stage C: Detector::detect_batch — batched detection over raw traces.
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common.hpp"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+bool same_features(
+    const std::vector<std::vector<lumichat::core::FeatureVector>>& a,
+    const std::vector<std::vector<lumichat::core::FeatureVector>>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t u = 0; u < a.size(); ++u) {
+    if (a[u].size() != b[u].size()) return false;
+    for (std::size_t c = 0; c < a[u].size(); ++c) {
+      if (a[u][c].z1 != b[u][c].z1 || a[u][c].z2 != b[u][c].z2 ||
+          a[u][c].z3 != b[u][c].z3 || a[u][c].z4 != b[u][c].z4) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+bool same_rounds(const std::vector<lumichat::eval::RoundResult>& a,
+                 const std::vector<lumichat::eval::RoundResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].tar != b[i].tar || a[i].trr != b[i].trr) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lumichat;
+  const bench::BenchScale scale =
+      bench::parse_scale(argc, argv, {.n_users = 1, .n_clips = 12,
+                                      .n_rounds = 2000});
+
+  bench::header("Parallel experiment engine: scaling & determinism");
+
+  const eval::SimulationProfile profile = bench::default_profile();
+  const eval::DatasetBuilder data(profile);
+  const auto pop = eval::make_population(scale.n_users);
+
+  std::vector<std::size_t> thread_counts{1, 2, 4};
+  const std::size_t hw = common::ThreadPool::default_thread_count();
+  if (hw > 4) thread_counts.push_back(hw);
+
+  // ---- Stage A: dataset generation ------------------------------------
+  bench::row("%-22s %-10s %-12s %-10s %-8s", "stage", "threads", "time (s)",
+             "units/s", "speedup");
+  const std::size_t n_units = scale.n_users * scale.n_clips;
+
+  auto t0 = Clock::now();
+  const auto serial_feats = eval::population_features(
+      data, pop, eval::Role::kLegitimate, scale.n_clips);
+  const double serial_feat_s = seconds_since(t0);
+  bench::row("%-22s %-10s %-12.2f %-10.2f %-8s", "features (clips)", "serial",
+             serial_feat_s, static_cast<double>(n_units) / serial_feat_s,
+             "1.00");
+
+  for (const std::size_t nt : thread_counts) {
+    common::ThreadPool pool(nt);
+    t0 = Clock::now();
+    const auto feats = eval::population_features(
+        data, pop, eval::Role::kLegitimate, scale.n_clips, 0.0, &pool);
+    const double dt = seconds_since(t0);
+    if (!same_features(serial_feats, feats)) {
+      std::fprintf(stderr, "DETERMINISM VIOLATION: features @ %zu threads\n",
+                   nt);
+      return 1;
+    }
+    bench::row("%-22s %-10zu %-12.2f %-10.2f %-8.2f", "features (clips)", nt,
+               dt, static_cast<double>(n_units) / dt, serial_feat_s / dt);
+  }
+
+  // ---- Stage B: evaluation rounds -------------------------------------
+  const auto attack_feats = eval::population_features(
+      data, pop, eval::Role::kAttacker, scale.n_clips, 0.0, nullptr);
+  eval::RoundPlan plan;
+  plan.n_rounds = scale.n_rounds;
+  plan.n_train = scale.n_clips / 2;
+  plan.master_seed = profile.master_seed;
+
+  t0 = Clock::now();
+  const auto serial_rounds =
+      eval::evaluate_rounds(data, serial_feats[0], attack_feats[0], plan);
+  const double serial_round_s = seconds_since(t0);
+  bench::row("%-22s %-10s %-12.2f %-10.0f %-8s", "evaluate_rounds", "serial",
+             serial_round_s,
+             static_cast<double>(plan.n_rounds) / serial_round_s, "1.00");
+
+  for (const std::size_t nt : thread_counts) {
+    common::ThreadPool pool(nt);
+    t0 = Clock::now();
+    const auto rounds = eval::evaluate_rounds(data, serial_feats[0],
+                                              attack_feats[0], plan, &pool);
+    const double dt = seconds_since(t0);
+    if (!same_rounds(serial_rounds, rounds)) {
+      std::fprintf(stderr, "DETERMINISM VIOLATION: rounds @ %zu threads\n",
+                   nt);
+      return 1;
+    }
+    bench::row("%-22s %-10zu %-12.2f %-10.0f %-8.2f", "evaluate_rounds", nt,
+               dt, static_cast<double>(plan.n_rounds) / dt,
+               serial_round_s / dt);
+  }
+
+  // ---- Stage C: batched detection over raw traces ---------------------
+  const std::size_t n_traces = std::min<std::size_t>(scale.n_clips, 8);
+  std::vector<chat::SessionTrace> traces;
+  traces.reserve(n_traces);
+  for (std::size_t i = 0; i < n_traces; ++i) {
+    traces.push_back(data.legit_trace(pop[0], i));
+  }
+  core::Detector det = data.make_detector();
+  det.train_on_features(eval::select(serial_feats[0],
+                                     eval::random_split(scale.n_clips,
+                                                        scale.n_clips / 2,
+                                                        profile.master_seed)
+                                         .train));
+
+  t0 = Clock::now();
+  const auto serial_batch = det.detect_batch(traces);
+  const double serial_batch_s = seconds_since(t0);
+  bench::row("%-22s %-10s %-12.2f %-10.2f %-8s", "detect_batch (traces)",
+             "serial", serial_batch_s,
+             static_cast<double>(n_traces) / serial_batch_s, "1.00");
+
+  for (const std::size_t nt : thread_counts) {
+    common::ThreadPool pool(nt);
+    t0 = Clock::now();
+    const auto batch = det.detect_batch(traces, &pool);
+    const double dt = seconds_since(t0);
+    for (std::size_t i = 0; i < batch.size(); ++i) {
+      if (batch[i].is_attacker != serial_batch[i].is_attacker ||
+          batch[i].lof_score != serial_batch[i].lof_score) {
+        std::fprintf(stderr,
+                     "DETERMINISM VIOLATION: detect_batch @ %zu threads\n",
+                     nt);
+        return 1;
+      }
+    }
+    bench::row("%-22s %-10zu %-12.2f %-10.2f %-8.2f", "detect_batch (traces)",
+               nt, dt, static_cast<double>(n_traces) / dt,
+               serial_batch_s / dt);
+  }
+
+  std::printf("\nall thread counts produced bit-identical results "
+              "(hardware threads here: %zu)\n", hw);
+  return 0;
+}

@@ -12,10 +12,12 @@
 #include <vector>
 
 #include "common/rng.hpp"
+#include "common/thread_pool.hpp"
 #include "core/detector.hpp"
 #include "eval/dataset.hpp"
 #include "eval/experiment.hpp"
 #include "eval/metrics.hpp"
+#include "eval/parallel.hpp"
 #include "eval/population.hpp"
 
 namespace lumichat::bench {
@@ -50,20 +52,21 @@ inline eval::SimulationProfile default_profile() {
 }
 
 /// Computes features for `n_clips` clips of each of the first `n_users`
-/// volunteers in `role`, with progress on stderr (dataset generation is the
-/// slow part of every bench).
+/// volunteers in `role` (dataset generation is the slow part of every
+/// bench). With a pool, clips are computed across its workers — each clip is
+/// seeded per (master, volunteer, role, clip), so the features are identical
+/// either way.
 inline std::vector<std::vector<core::FeatureVector>> features_per_user(
     const eval::DatasetBuilder& data, std::size_t n_users, std::size_t n_clips,
-    eval::Role role, double adaptive_delay_s = 0.0) {
-  const auto pop = eval::make_population();
-  std::vector<std::vector<core::FeatureVector>> out;
-  out.reserve(n_users);
-  for (std::size_t u = 0; u < n_users; ++u) {
-    std::fprintf(stderr, "  [data] role=%d volunteer %zu/%zu (%zu clips)\n",
-                 static_cast<int>(role), u + 1, n_users, n_clips);
-    out.push_back(data.features(pop[u], role, n_clips, adaptive_delay_s));
-  }
-  return out;
+    eval::Role role, double adaptive_delay_s = 0.0,
+    common::ThreadPool* pool = nullptr) {
+  const auto pop = eval::make_population(n_users);
+  std::fprintf(stderr,
+               "  [data] role=%d: %zu volunteers x %zu clips (%zu threads)\n",
+               static_cast<int>(role), n_users, n_clips,
+               pool != nullptr ? pool->size() : 1ul);
+  return eval::population_features(data, pop, role, n_clips, adaptive_delay_s,
+                                   pool);
 }
 
 /// Prints a markdown-ish table row.

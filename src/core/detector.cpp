@@ -42,12 +42,24 @@ DetectionResult Detector::classify(const FeatureVector& z) const {
   return r;
 }
 
+std::vector<DetectionResult> Detector::detect_batch(
+    const std::vector<chat::SessionTrace>& traces,
+    common::ThreadPool* pool) const {
+  std::vector<DetectionResult> results(traces.size());
+  common::for_each_index(pool, traces.size(), [&](std::size_t i) {
+    results[i] = detect(traces[i]);
+  });
+  return results;
+}
+
 VoteOutcome Detector::detect_rounds(
-    const std::vector<chat::SessionTrace>& traces) const {
+    const std::vector<chat::SessionTrace>& traces,
+    common::ThreadPool* pool) const {
+  const std::vector<DetectionResult> results = detect_batch(traces, pool);
   std::vector<bool> votes;
-  votes.reserve(traces.size());
-  for (const chat::SessionTrace& t : traces) {
-    votes.push_back(detect(t).is_attacker);
+  votes.reserve(results.size());
+  for (const DetectionResult& r : results) {
+    votes.push_back(r.is_attacker);
   }
   return majority_vote(votes, config_.vote_fraction);
 }

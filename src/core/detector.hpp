@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "chat/session.hpp"
+#include "common/thread_pool.hpp"
 #include "core/config.hpp"
 #include "core/features.hpp"
 #include "core/lof.hpp"
@@ -52,9 +53,17 @@ class Detector {
   /// Classifies a precomputed feature vector.
   [[nodiscard]] DetectionResult classify(const FeatureVector& z) const;
 
+  /// Runs detect() on every trace, optionally fanning out over `pool`.
+  /// Result i always corresponds to trace i and detection is stateless, so
+  /// the output is identical for any pool size (nullptr = serial).
+  [[nodiscard]] std::vector<DetectionResult> detect_batch(
+      const std::vector<chat::SessionTrace>& traces,
+      common::ThreadPool* pool = nullptr) const;
+
   /// Multi-round detection with majority voting (Sec. VII-B).
   [[nodiscard]] VoteOutcome detect_rounds(
-      const std::vector<chat::SessionTrace>& traces) const;
+      const std::vector<chat::SessionTrace>& traces,
+      common::ThreadPool* pool = nullptr) const;
 
   [[nodiscard]] bool is_trained() const { return lof_.is_fitted(); }
   [[nodiscard]] const DetectorConfig& config() const { return config_; }

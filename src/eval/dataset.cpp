@@ -108,25 +108,31 @@ chat::SessionTrace DatasetBuilder::adaptive_trace(const Volunteer& v,
                            common::derive_seed(seed, 68));
 }
 
+core::FeatureVector DatasetBuilder::feature(const Volunteer& v, Role role,
+                                            std::size_t clip_idx,
+                                            double adaptive_delay_s) const {
+  chat::SessionTrace trace;
+  switch (role) {
+    case Role::kLegitimate:
+      trace = legit_trace(v, clip_idx);
+      break;
+    case Role::kAttacker:
+      trace = attacker_trace(v, clip_idx);
+      break;
+    case Role::kAdaptiveAttacker:
+      trace = adaptive_trace(v, clip_idx, adaptive_delay_s);
+      break;
+  }
+  return featurizer_.featurize(trace).features;
+}
+
 std::vector<core::FeatureVector> DatasetBuilder::features(
     const Volunteer& v, Role role, std::size_t n_clips,
     double adaptive_delay_s) const {
   std::vector<core::FeatureVector> out;
   out.reserve(n_clips);
   for (std::size_t i = 0; i < n_clips; ++i) {
-    chat::SessionTrace trace;
-    switch (role) {
-      case Role::kLegitimate:
-        trace = legit_trace(v, i);
-        break;
-      case Role::kAttacker:
-        trace = attacker_trace(v, i);
-        break;
-      case Role::kAdaptiveAttacker:
-        trace = adaptive_trace(v, i, adaptive_delay_s);
-        break;
-    }
-    out.push_back(featurizer_.featurize(trace).features);
+    out.push_back(feature(v, role, i, adaptive_delay_s));
   }
   return out;
 }

@@ -72,6 +72,14 @@ class DatasetBuilder {
                                                   std::size_t clip_idx,
                                                   double delay_s) const;
 
+  /// Feature vector of one clip of volunteer `v` in `role`. Every clip is a
+  /// pure function of (profile, v, role, clip_idx), which is what lets the
+  /// parallel engine compute clips in any order on any thread.
+  [[nodiscard]] core::FeatureVector feature(const Volunteer& v, Role role,
+                                            std::size_t clip_idx,
+                                            double adaptive_delay_s = 0.0)
+      const;
+
   /// Feature vectors for `n_clips` clips of volunteer `v` in `role`.
   [[nodiscard]] std::vector<core::FeatureVector> features(
       const Volunteer& v, Role role, std::size_t n_clips,

@@ -21,6 +21,11 @@ Split random_split(std::size_t n, std::size_t n_train, common::Rng& rng) {
   return s;
 }
 
+Split random_split(std::size_t n, std::size_t n_train, std::uint64_t seed) {
+  common::Rng rng(seed);
+  return random_split(n, n_train, rng);
+}
+
 std::vector<core::FeatureVector> select(
     const std::vector<core::FeatureVector>& features,
     const std::vector<std::size_t>& indices) {
@@ -48,6 +53,19 @@ RoundResult evaluate_round(
   return RoundResult{counts.tar(), counts.trr()};
 }
 
+bool voting_trial(const std::vector<bool>& round_verdicts,
+                  std::size_t attempts, double vote_fraction,
+                  bool want_attacker, common::Rng& rng) {
+  std::vector<bool> votes;
+  votes.reserve(attempts);
+  for (std::size_t a = 0; a < attempts; ++a) {
+    votes.push_back(
+        round_verdicts[rng.uniform_int(0, round_verdicts.size() - 1)]);
+  }
+  const core::VoteOutcome v = core::majority_vote(votes, vote_fraction);
+  return v.is_attacker == want_attacker;
+}
+
 double voting_accuracy(const std::vector<bool>& round_verdicts,
                        std::size_t attempts, std::size_t trials,
                        double vote_fraction, bool want_attacker,
@@ -55,14 +73,26 @@ double voting_accuracy(const std::vector<bool>& round_verdicts,
   if (round_verdicts.empty() || attempts == 0 || trials == 0) return 0.0;
   std::size_t correct = 0;
   for (std::size_t t = 0; t < trials; ++t) {
-    std::vector<bool> votes;
-    votes.reserve(attempts);
-    for (std::size_t a = 0; a < attempts; ++a) {
-      votes.push_back(
-          round_verdicts[rng.uniform_int(0, round_verdicts.size() - 1)]);
+    if (voting_trial(round_verdicts, attempts, vote_fraction, want_attacker,
+                     rng)) {
+      ++correct;
     }
-    const core::VoteOutcome v = core::majority_vote(votes, vote_fraction);
-    if (v.is_attacker == want_attacker) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(trials);
+}
+
+double voting_accuracy(const std::vector<bool>& round_verdicts,
+                       std::size_t attempts, std::size_t trials,
+                       double vote_fraction, bool want_attacker,
+                       std::uint64_t master_seed) {
+  if (round_verdicts.empty() || attempts == 0 || trials == 0) return 0.0;
+  std::size_t correct = 0;
+  for (std::size_t t = 0; t < trials; ++t) {
+    common::Rng rng(common::derive_seed(master_seed, t));
+    if (voting_trial(round_verdicts, attempts, vote_fraction, want_attacker,
+                     rng)) {
+      ++correct;
+    }
   }
   return static_cast<double>(correct) / static_cast<double>(trials);
 }

@@ -1,0 +1,74 @@
+#include "eval/parallel.hpp"
+
+#include <algorithm>
+
+namespace lumichat::eval {
+
+std::vector<RoundResult> evaluate_rounds(
+    const DatasetBuilder& data,
+    const std::vector<core::FeatureVector>& legit_pool,
+    const std::vector<core::FeatureVector>& attacker_pool,
+    const RoundPlan& plan, common::ThreadPool* pool) {
+  return run_rounds<RoundResult>(
+      plan.n_rounds, plan.master_seed,
+      [&](std::size_t /*round*/, std::uint64_t seed) {
+        Split split = random_split(legit_pool.size(), plan.n_train, seed);
+        if (split.test.size() > plan.max_legit_test) {
+          split.test.resize(plan.max_legit_test);
+        }
+        return evaluate_round(data, select(legit_pool, split.train),
+                              select(legit_pool, split.test), attacker_pool);
+      },
+      pool);
+}
+
+std::vector<std::vector<core::FeatureVector>> population_features(
+    const DatasetBuilder& data, std::span<const Volunteer> volunteers,
+    Role role, std::size_t n_clips, double adaptive_delay_s,
+    common::ThreadPool* pool) {
+  std::vector<std::vector<core::FeatureVector>> out(volunteers.size());
+  for (auto& per_user : out) {
+    per_user.resize(n_clips);
+  }
+  // Flatten to (volunteer, clip) so small populations still fill the pool.
+  common::for_each_index(pool, volunteers.size() * n_clips,
+                         [&](std::size_t flat) {
+                           const std::size_t u = flat / n_clips;
+                           const std::size_t c = flat % n_clips;
+                           out[u][c] = data.feature(volunteers[u], role, c,
+                                                    adaptive_delay_s);
+                         });
+  return out;
+}
+
+double voting_accuracy_parallel(const std::vector<bool>& round_verdicts,
+                                std::size_t attempts, std::size_t trials,
+                                double vote_fraction, bool want_attacker,
+                                std::uint64_t master_seed,
+                                common::ThreadPool* pool) {
+  if (round_verdicts.empty() || attempts == 0 || trials == 0) return 0.0;
+  // One trial is a handful of integer draws — far too small a grain for a
+  // task each. Chunk trials; trial t still derives its own seed, so the
+  // chunking (and hence the thread count) cannot change the result.
+  constexpr std::size_t kChunk = 64;
+  const std::size_t n_chunks = (trials + kChunk - 1) / kChunk;
+  std::vector<std::size_t> correct_per_chunk(n_chunks, 0);
+  common::for_each_index(pool, n_chunks, [&](std::size_t chunk) {
+    const std::size_t begin = chunk * kChunk;
+    const std::size_t end = std::min(begin + kChunk, trials);
+    std::size_t correct = 0;
+    for (std::size_t t = begin; t < end; ++t) {
+      common::Rng rng(common::derive_seed(master_seed, t));
+      if (voting_trial(round_verdicts, attempts, vote_fraction, want_attacker,
+                       rng)) {
+        ++correct;
+      }
+    }
+    correct_per_chunk[chunk] = correct;
+  });
+  std::size_t correct = 0;
+  for (const std::size_t c : correct_per_chunk) correct += c;
+  return static_cast<double>(correct) / static_cast<double>(trials);
+}
+
+}  // namespace lumichat::eval

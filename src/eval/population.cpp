@@ -3,9 +3,14 @@
 namespace lumichat::eval {
 
 std::vector<Volunteer> make_population() {
+  return make_population(kPopulationSize);
+}
+
+std::vector<Volunteer> make_population(std::size_t n) {
+  if (n > kPopulationSize) n = kPopulationSize;
   std::vector<Volunteer> pop;
-  pop.reserve(kPopulationSize);
-  for (std::size_t i = 0; i < kPopulationSize; ++i) {
+  pop.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
     pop.push_back(Volunteer{i, face::make_volunteer_face(i)});
   }
   return pop;

@@ -15,11 +15,18 @@ struct Volunteer {
   face::FaceModel face;
 };
 
-/// The ten evaluation volunteers.
-[[nodiscard]] std::vector<Volunteer> make_population();
-
 inline constexpr std::size_t kPopulationSize = 10;
 /// Clips recorded per role per volunteer (Sec. VIII-A: 40).
 inline constexpr std::size_t kClipsPerRole = 40;
+/// Train/test rounds per volunteer in the Sec. VIII-C protocol.
+inline constexpr std::size_t kRoundsPerVolunteer = 20;
+
+/// The ten evaluation volunteers.
+[[nodiscard]] std::vector<Volunteer> make_population();
+
+/// The first `n` volunteers (clamped to kPopulationSize) — the scaled-down
+/// population the benches use for smoke runs and the parallel feature
+/// builder fans out over.
+[[nodiscard]] std::vector<Volunteer> make_population(std::size_t n);
 
 }  // namespace lumichat::eval

@@ -1,0 +1,90 @@
+// Golden regression for the Fig. 11-style protocol: a fixed
+// (profile, master seed, plan) must keep producing exactly these TAR/TRR
+// means — to 1e-9 — so future performance work (SIMD, caching, scheduling
+// changes) cannot silently shift accuracy. The same run is repeated on a
+// 4-thread pool and must match the serial numbers bit for bit.
+//
+// If a change legitimately alters the simulation (new noise source, fixed
+// physics), re-pin using the values this test prints at %.17g.
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "common/thread_pool.hpp"
+#include "eval/metrics.hpp"
+#include "eval/parallel.hpp"
+
+namespace lumichat::eval {
+namespace {
+
+constexpr std::size_t kUsers = 2;
+constexpr std::size_t kClips = 12;  // per role per volunteer
+
+struct GoldenMeans {
+  double tar = 0.0;
+  double trr = 0.0;
+};
+
+// Pinned from the first run of this protocol (seed master_seed = 42,
+// default SimulationProfile, plan below). 1e-9 is far below any
+// legitimate statistical wiggle: these are means over 4 rounds of
+// counting rates, i.e. exact rationals.
+constexpr GoldenMeans kGolden[kUsers] = {
+    {1.0, 0.95833333333333326},
+    {1.0, 0.91666666666666663},
+};
+
+TEST(GoldenMetrics, Fig11ProtocolIsFrozenAndThreadCountInvariant) {
+  const SimulationProfile profile;  // defaults; master_seed = 42
+  const DatasetBuilder data(profile);
+  const auto pop = make_population(kUsers);
+
+  common::ThreadPool pool(4);
+  const auto legit =
+      population_features(data, pop, Role::kLegitimate, kClips, 0.0, &pool);
+  const auto legit_serial =
+      population_features(data, pop, Role::kLegitimate, kClips);
+  const auto attack =
+      population_features(data, pop, Role::kAttacker, kClips, 0.0, &pool);
+
+  RoundPlan plan;
+  plan.n_rounds = 4;
+  plan.n_train = 6;
+  plan.master_seed = profile.master_seed;
+
+  for (std::size_t u = 0; u < kUsers; ++u) {
+    // The simulated dataset itself must be frozen (parallel == serial).
+    for (std::size_t c = 0; c < kClips; ++c) {
+      ASSERT_EQ(legit[u][c].z1, legit_serial[u][c].z1);
+      ASSERT_EQ(legit[u][c].z4, legit_serial[u][c].z4);
+    }
+
+    const auto serial = evaluate_rounds(data, legit[u], attack[u], plan);
+    const auto threaded =
+        evaluate_rounds(data, legit[u], attack[u], plan, &pool);
+    ASSERT_EQ(serial.size(), threaded.size());
+    std::vector<double> tars;
+    std::vector<double> trrs;
+    for (std::size_t r = 0; r < serial.size(); ++r) {
+      EXPECT_EQ(serial[r].tar, threaded[r].tar) << "u=" << u << " r=" << r;
+      EXPECT_EQ(serial[r].trr, threaded[r].trr) << "u=" << u << " r=" << r;
+      tars.push_back(serial[r].tar);
+      trrs.push_back(serial[r].trr);
+    }
+
+    const double tar_mean = sample_mean(tars);
+    const double trr_mean = sample_mean(trrs);
+    // Always printed so a legitimate re-pin can copy the exact values.
+    std::printf("golden[%zu] = {%.17g, %.17g}\n", u, tar_mean, trr_mean);
+    EXPECT_NEAR(tar_mean, kGolden[u].tar, 1e-9) << "volunteer " << u;
+    EXPECT_NEAR(trr_mean, kGolden[u].trr, 1e-9) << "volunteer " << u;
+
+    // Sanity floor: the defense must actually work at this scale, so a
+    // re-pin can't accidentally freeze a broken pipeline.
+    EXPECT_GT(tar_mean, 0.8);
+    EXPECT_GT(trr_mean, 0.8);
+  }
+}
+
+}  // namespace
+}  // namespace lumichat::eval
