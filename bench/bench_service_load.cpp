@@ -1,0 +1,156 @@
+// Service runtime under load: M concurrent simulated chats (mixed
+// legitimate / reenactment-attacker respondents, one deterministic seed per
+// session) driven through the sharded SessionManager + FrameScheduler, at
+// 1/2/4/N worker threads. Reports sessions/sec, frame throughput and
+// push-to-verdict tail latency per thread count, and — like
+// bench_parallel_scaling — *verifies* rather than assumes determinism:
+// every session's window-verdict sequence (class and LOF score) must be
+// bit-identical across all thread counts, or the bench exits nonzero.
+//
+//   ./bench_service_load                       # 500 sessions, 6 s chats
+//   ./bench_service_load 500 3 3 50            # sessions, duration_s,
+//                                              # window_s, attacker %
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+#include "service/load_generator.hpp"
+
+namespace {
+
+bool same_verdicts(const std::vector<lumichat::service::SessionResult>& a,
+                   const std::vector<lumichat::service::SessionResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].id != b[i].id || a[i].truth_attacker != b[i].truth_attacker ||
+        a[i].window_verdicts != b[i].window_verdicts ||
+        a[i].lof_scores != b[i].lof_scores ||
+        a[i].final_verdict.is_attacker != b[i].final_verdict.is_attacker ||
+        a[i].pending_samples_dropped != b[i].pending_samples_dropped) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lumichat;
+
+  std::size_t n_sessions = 500;
+  double duration_s = 6.0;
+  double window_s = 3.0;
+  double attacker_pct = 50.0;
+  if (argc > 1) n_sessions = std::strtoul(argv[1], nullptr, 10);
+  if (argc > 2) duration_s = std::strtod(argv[2], nullptr);
+  if (argc > 3) window_s = std::strtod(argv[3], nullptr);
+  if (argc > 4) attacker_pct = std::strtod(argv[4], nullptr);
+  if (n_sessions == 0) n_sessions = 500;
+  if (duration_s <= 0.0) duration_s = 6.0;
+  if (window_s <= 0.0) window_s = duration_s;
+
+  bench::header("Service runtime: concurrent-session load & determinism");
+
+  // --- Train the prototype detector once; every session clones it. -------
+  // Training clips use the same window length the service will verify with,
+  // so the LOF model sees the feature distribution it will score.
+  eval::SimulationProfile profile;
+  profile.clip_duration_s = window_s;
+  const eval::DatasetBuilder data(profile);
+  const auto pop = eval::make_population();
+
+  common::ThreadPool setup_pool;  // LUMICHAT_THREADS or hardware width
+  std::printf("[setup] training prototype on 16 legitimate clips "
+              "(window %.1fs, %zu threads)...\n",
+              window_s, setup_pool.size());
+  const auto train_features =
+      eval::population_features(data, {&pop[9], 1}, eval::Role::kLegitimate,
+                                16, 0.0, &setup_pool);
+
+  core::StreamingConfig streaming_cfg;
+  streaming_cfg.detector = profile.detector_config();
+  streaming_cfg.window_s = window_s;
+  core::StreamingDetector prototype(streaming_cfg);
+  prototype.train_on_features(train_features[0]);
+
+  // --- Scenario ----------------------------------------------------------
+  service::LoadSpec load;
+  load.n_sessions = n_sessions;
+  load.duration_s = duration_s;
+  load.sample_rate_hz = profile.sample_rate_hz;
+  load.warmup_s = 1.0;
+  load.attacker_fraction = attacker_pct / 100.0;
+  load.ticks_per_pump = 2;  // bounds buffered frames: 2 pairs per session
+  load.full_chat = true;
+
+  service::ServiceConfig service_cfg;
+  service_cfg.n_shards = 32;
+  if (service_cfg.max_sessions == 0) {
+    service_cfg.max_sessions = service::default_service_capacity();
+  }
+  std::printf("[setup] %zu sessions x %.1fs chat, %.0f%% attackers, "
+              "capacity %zu (LUMICHAT_SERVICE_CAPACITY)\n\n",
+              n_sessions, duration_s, attacker_pct,
+              service_cfg.max_sessions);
+
+  std::vector<std::size_t> thread_counts{1, 2, 4};
+  const std::size_t hw = common::ThreadPool::default_thread_count();
+  if (hw > 4) thread_counts.push_back(hw);
+
+  bench::row("%-10s %-10s %-11s %-11s %-9s %-9s %-9s %-8s %-8s", "threads",
+             "time (s)", "frames/s", "sessions/s", "p50 (ms)", "p95 (ms)",
+             "p99 (ms)", "drops", "speedup");
+
+  std::vector<service::SessionResult> baseline;
+  double baseline_s = 0.0;
+  double four_thread_speedup = 0.0;
+  std::string json;
+  bool deterministic = true;
+
+  for (const std::size_t nt : thread_counts) {
+    common::ThreadPool pool(nt);
+    const service::LoadReport report =
+        service::run_load(load, service_cfg, prototype, &pool);
+
+    if (baseline.empty()) {
+      baseline = report.sessions;
+      baseline_s = report.elapsed_s;
+    } else if (!same_verdicts(baseline, report.sessions)) {
+      std::fprintf(stderr,
+                   "DETERMINISM VIOLATION: per-session verdicts @ %zu "
+                   "threads differ from the 1-thread run\n",
+                   nt);
+      deterministic = false;
+    }
+    const double speedup = report.elapsed_s > 0.0
+                               ? baseline_s / report.elapsed_s
+                               : 0.0;
+    if (nt == 4) four_thread_speedup = speedup;
+    bench::row("%-10zu %-10.2f %-11.0f %-11.1f %-9.2f %-9.2f %-9.2f "
+               "%-8llu %-8.2f",
+               nt, report.elapsed_s, report.frames_per_sec(),
+               report.sessions_per_sec(), report.metrics.latency_p50_s * 1e3,
+               report.metrics.latency_p95_s * 1e3,
+               report.metrics.latency_p99_s * 1e3,
+               static_cast<unsigned long long>(report.metrics.frames_dropped),
+               speedup);
+    json = report.metrics.to_json();
+    if (nt == thread_counts.back()) {
+      std::printf("\n[accuracy] %.1f%% of %zu sessions classified "
+                  "correctly (%zu rejected at admission)\n",
+                  100.0 * report.accuracy(), report.sessions.size(),
+                  report.sessions_rejected);
+    }
+  }
+
+  std::printf("[metrics] %s\n", json.c_str());
+  if (!deterministic) return 1;
+  std::printf("\nall thread counts produced bit-identical per-session "
+              "verdict sequences (1 -> 4 threads speedup: %.2fx, hardware "
+              "threads here: %zu)\n",
+              four_thread_speedup, hw);
+  return 0;
+}

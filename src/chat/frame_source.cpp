@@ -1,0 +1,43 @@
+#include "chat/frame_source.hpp"
+
+#include <cmath>
+#include <utility>
+
+#include "common/rng.hpp"
+
+namespace lumichat::chat {
+
+SessionFrameSource::SessionFrameSource(const SessionSpec& spec,
+                                       AliceStream& alice,
+                                       RespondentModel& respondent,
+                                       std::uint64_t seed)
+    : spec_(spec),
+      alice_(alice),
+      respondent_(respondent),
+      a2b_(spec.alice_to_bob, common::derive_seed(seed, 21)),
+      b2a_(spec.bob_to_alice, common::derive_seed(seed, 22)),
+      codec_a2b_(spec.codec, common::derive_seed(seed, 23)),
+      codec_b2a_(spec.codec, common::derive_seed(seed, 24)),
+      tick_(-static_cast<std::ptrdiff_t>(
+          std::llround(spec.warmup_s * spec.sample_rate_hz))) {}
+
+FramePair SessionFrameSource::next() {
+  for (;;) {
+    const double t = static_cast<double>(tick_) / spec_.sample_rate_hz;
+
+    image::Image sent = codec_a2b_.transcode(alice_.frame(t));  // step 1
+    a2b_.push(sent, t);                                         // step 2
+    const image::Image& on_bobs_screen = a2b_.at(t);            // display
+    image::Image bob_out = codec_b2a_.transcode(
+        respondent_.respond(t, on_bobs_screen));                // step 3
+    b2a_.push(std::move(bob_out), t);                           // step 4
+
+    const bool warming_up = tick_ < 0;
+    ++tick_;
+    if (warming_up) continue;
+    ++produced_;
+    return FramePair{t, std::move(sent), b2a_.at(t)};           // step 5
+  }
+}
+
+}  // namespace lumichat::chat

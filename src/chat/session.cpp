@@ -1,42 +1,29 @@
 #include "chat/session.hpp"
 
 #include <cmath>
+#include <utility>
 
-#include "common/rng.hpp"
+#include "chat/frame_source.hpp"
 
 namespace lumichat::chat {
 
 SessionTrace run_session(const SessionSpec& spec, AliceStream& alice,
                          RespondentModel& respondent, std::uint64_t seed) {
-  const auto ticks = static_cast<std::ptrdiff_t>(
+  const auto ticks = static_cast<std::size_t>(
       std::llround(spec.duration_s * spec.sample_rate_hz));
-  const auto warmup_ticks = static_cast<std::ptrdiff_t>(
-      std::llround(spec.warmup_s * spec.sample_rate_hz));
 
-  NetworkChannel a2b(spec.alice_to_bob, common::derive_seed(seed, 21));
-  NetworkChannel b2a(spec.bob_to_alice, common::derive_seed(seed, 22));
-  VideoCodec codec_a2b(spec.codec, common::derive_seed(seed, 23));
-  VideoCodec codec_b2a(spec.codec, common::derive_seed(seed, 24));
+  SessionFrameSource source(spec, alice, respondent, seed);
 
   SessionTrace trace;
   trace.transmitted.sample_rate_hz = spec.sample_rate_hz;
   trace.received.sample_rate_hz = spec.sample_rate_hz;
-  trace.transmitted.frames.reserve(static_cast<std::size_t>(ticks));
-  trace.received.frames.reserve(static_cast<std::size_t>(ticks));
+  trace.transmitted.frames.reserve(ticks);
+  trace.received.frames.reserve(ticks);
 
-  // Warm-up runs the same loop at negative time; nothing is recorded.
-  for (std::ptrdiff_t i = -warmup_ticks; i < ticks; ++i) {
-    const double t = static_cast<double>(i) / spec.sample_rate_hz;
-
-    image::Image sent = codec_a2b.transcode(alice.frame(t));  // step 1
-    a2b.push(sent, t);                                        // step 2
-    const image::Image& on_bobs_screen = a2b.at(t);           // display
-    image::Image bob_out =
-        codec_b2a.transcode(respondent.respond(t, on_bobs_screen));  // step 3
-    b2a.push(std::move(bob_out), t);                          // step 4
-    if (i < 0) continue;
-    trace.received.frames.push_back(b2a.at(t));            // step 5 input
-    trace.transmitted.frames.push_back(std::move(sent));
+  for (std::size_t i = 0; i < ticks; ++i) {
+    FramePair pair = source.next();  // first call runs the warm-up
+    trace.received.frames.push_back(std::move(pair.received));
+    trace.transmitted.frames.push_back(std::move(pair.transmitted));
   }
   return trace;
 }

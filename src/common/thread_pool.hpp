@@ -52,6 +52,13 @@ class ThreadPool {
     return fut;
   }
 
+  /// Fire-and-forget enqueue: no future, no result slot. The dispatch hook
+  /// for event-driven callers (the service FrameScheduler) that track
+  /// completion themselves with an in-flight count, where a future per
+  /// dispatched task would be pure allocation overhead. The task must not
+  /// throw — there is nowhere to deliver the exception.
+  void post(std::function<void()> task) { enqueue(std::move(task)); }
+
   /// Runs fn(i) for every i in [0, n), blocking until all calls returned.
   /// Indices are claimed from a shared atomic counter, so scheduling is
   /// nondeterministic but the index->call mapping is not; callers that write

@@ -26,6 +26,26 @@ void StreamingDetector::reset_window() {
   r_buffer_.clear();
 }
 
+FlushReport StreamingDetector::flush() {
+  FlushReport report;
+  report.pending_samples = t_buffer_.size();
+  report.window_samples = window_samples_;
+  if (window_samples_ > 0) {
+    report.window_fill = static_cast<double>(report.pending_samples) /
+                         static_cast<double>(window_samples_);
+  }
+  reset_window();
+  return report;
+}
+
+void StreamingDetector::reset() {
+  reset_window();
+  window_verdicts_.clear();
+  next_sample_at_ = 0.0;
+  last_r_value_ = 0.0;
+  have_r_value_ = false;
+}
+
 std::optional<DetectionResult> StreamingDetector::push(
     double t_sec, const image::Image& transmitted,
     const image::Image& received) {

@@ -33,6 +33,18 @@ struct StreamingConfig {
   double window_s = 15.0;
 };
 
+/// Evidence discarded when a partially accumulated window is flushed (a
+/// session torn down mid-window loses up to window_samples-1 samples; the
+/// service layer reports that loss instead of discarding it silently).
+struct FlushReport {
+  /// Samples that had accumulated toward the incomplete window.
+  std::size_t pending_samples = 0;
+  /// Samples a complete window needs.
+  std::size_t window_samples = 0;
+  /// pending_samples / window_samples (0 when nothing was pending).
+  double window_fill = 0.0;
+};
+
 class StreamingDetector {
  public:
   explicit StreamingDetector(StreamingConfig config = {});
@@ -60,6 +72,23 @@ class StreamingDetector {
 
   /// Drops any partially accumulated window (e.g. after a hold/resume).
   void reset_window();
+
+  /// Samples accumulated toward the current (incomplete) window.
+  [[nodiscard]] std::size_t pending_samples() const {
+    return t_buffer_.size();
+  }
+
+  /// Discards the partial window like reset_window(), but reports how much
+  /// evidence was dropped so callers tearing a session down mid-window can
+  /// account for it instead of losing it invisibly.
+  FlushReport flush();
+
+  /// Returns the detector to its just-trained state: partial window, window
+  /// verdicts, sampling phase and the hold-last received-luminance state are
+  /// all cleared; the trained model is kept. A reset detector reproduces a
+  /// fresh detector's verdicts bit-exactly, which is what lets the service
+  /// runtime recycle detector instances across sessions without retraining.
+  void reset();
 
   [[nodiscard]] const StreamingConfig& config() const { return config_; }
 

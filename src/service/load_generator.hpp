@@ -1,0 +1,84 @@
+// Deterministic load generator for the verification service.
+//
+// Simulates M concurrent video chats — a deterministic mix of legitimate
+// respondents and ICFace-style reenactment attackers, each seeded with
+// derive_seed(master, session ordinal) — and drives them through a
+// SessionManager + FrameScheduler in lockstep ticks: every simulated chat
+// advances one frame, feeds it, and the scheduler pumps the backlog across
+// the pool. Because each chat's frame stream is a pure function of
+// (spec, ordinal) and each session's frames are processed in feed order, the
+// per-session verdict sequences are bit-identical for any worker count —
+// run_load at 1 thread and at N threads must agree exactly, which is the
+// service-layer extension of bench_parallel_scaling's invariant.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "core/streaming.hpp"
+#include "core/voting.hpp"
+#include "service/scheduler.hpp"
+#include "service/session_manager.hpp"
+
+namespace lumichat::service {
+
+struct LoadSpec {
+  /// Concurrent simulated chats.
+  std::size_t n_sessions = 500;
+  /// Simulated chat time fed per session (warm-up excluded).
+  double duration_s = 6.0;
+  double sample_rate_hz = 10.0;
+  /// Unrecorded chat simulated before frames are fed (camera adaptation).
+  double warmup_s = 1.0;
+  /// Deterministic fraction of sessions backed by a reenactment attacker.
+  double attacker_fraction = 0.5;
+  /// Simulation ticks fed (per session) between scheduler pumps. Values
+  /// above the session queue capacity exercise drop-oldest backpressure —
+  /// still deterministically, because drops depend only on one session's
+  /// own feed/drain interleaving, which this driver fixes.
+  std::size_t ticks_per_pump = 2;
+  /// Full chat simulation (face renderers, optics, codec, network) when
+  /// true; a cheap synthetic luminance source when false (used by unit
+  /// tests, where per-frame cost matters more than realism).
+  bool full_chat = true;
+  std::uint64_t master_seed = 42;
+};
+
+/// Outcome of one simulated chat, in session-creation order.
+struct SessionResult {
+  SessionId id = 0;
+  bool truth_attacker = false;
+  std::vector<bool> window_verdicts;
+  std::vector<double> lof_scores;
+  core::VoteOutcome final_verdict{};
+  std::size_t pending_samples_dropped = 0;
+};
+
+struct LoadReport {
+  std::vector<SessionResult> sessions;
+  std::size_t sessions_rejected = 0;  ///< admission-control refusals
+  std::size_t frames_fed = 0;
+  double elapsed_s = 0.0;  ///< drive loop only (setup excluded)
+  MetricsSnapshot metrics{};
+
+  [[nodiscard]] double frames_per_sec() const;
+  [[nodiscard]] double sessions_per_sec() const;
+  /// Fraction of sessions whose final majority verdict matches ground truth.
+  [[nodiscard]] double accuracy() const;
+};
+
+/// Ground-truth role of simulated chat `ordinal` — a pure function of
+/// (spec.master_seed, spec.attacker_fraction, ordinal).
+[[nodiscard]] bool load_session_is_attacker(const LoadSpec& spec,
+                                            std::size_t ordinal);
+
+/// Runs the scenario. `prototype` must be trained; `pool` is used both for
+/// frame generation (chats are independent) and for the scheduler's drains.
+/// nullptr runs everything serially.
+[[nodiscard]] LoadReport run_load(const LoadSpec& spec,
+                                  const ServiceConfig& service_config,
+                                  const core::StreamingDetector& prototype,
+                                  common::ThreadPool* pool = nullptr);
+
+}  // namespace lumichat::service

@@ -1,0 +1,105 @@
+// Lock-cheap service telemetry: monotone atomic counters plus a log-bucketed
+// latency histogram, aggregated on demand into a point-in-time snapshot that
+// serialises to JSON (the export format any later transport — an HTTP
+// endpoint, a log shipper — can wrap without reformatting).
+//
+// Writers only ever do a relaxed fetch_add on an atomic; no hot path takes a
+// lock, so a counter bump costs one uncontended RMW even with hundreds of
+// sessions reporting concurrently from pool workers.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace lumichat::service {
+
+/// Log-spaced latency histogram covering 1 us .. ~2.4 h with four buckets
+/// per octave (quarter-power-of-two edges, resolution about +/-9% — plenty
+/// for p50/p95/p99 reporting, at 132 atomic words of storage).
+class LatencyHistogram {
+ public:
+  static constexpr std::size_t kBucketsPerOctave = 4;
+  static constexpr std::size_t kOctaves = 33;
+  static constexpr std::size_t kBuckets = kBucketsPerOctave * kOctaves;
+
+  void record(double seconds);
+
+  [[nodiscard]] std::uint64_t count() const;
+
+  /// Approximate q-quantile in seconds for q in [0, 1]: the geometric
+  /// midpoint of the bucket holding the ceil(q * count)-th sample. Returns 0
+  /// when the histogram is empty.
+  [[nodiscard]] double quantile(double q) const;
+
+  void reset();
+
+ private:
+  [[nodiscard]] static std::size_t bucket_of(double seconds);
+
+  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
+};
+
+/// Point-in-time aggregate of a SessionManager's counters.
+struct MetricsSnapshot {
+  std::uint64_t sessions_created = 0;
+  std::uint64_t sessions_rejected = 0;  ///< admission-control rejections
+  std::uint64_t sessions_evicted = 0;
+  std::uint64_t sessions_active = 0;
+  std::uint64_t frames_in = 0;        ///< accepted by feed()
+  std::uint64_t frames_dropped = 0;   ///< backpressure + eviction discards
+  std::uint64_t frames_processed = 0;  ///< pushed through a detector
+  std::uint64_t windows_completed = 0;
+  std::uint64_t verdicts_legit = 0;
+  std::uint64_t verdicts_attacker = 0;
+  double latency_p50_s = 0.0;  ///< push-to-verdict, completing frame
+  double latency_p95_s = 0.0;
+  double latency_p99_s = 0.0;
+
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// One instance per SessionManager; safe to write from any thread.
+class ServiceMetrics {
+ public:
+  void on_session_created() { bump(sessions_created_); }
+  void on_session_rejected() { bump(sessions_rejected_); }
+  void on_session_evicted() { bump(sessions_evicted_); }
+  void on_frame_in() { bump(frames_in_); }
+  void on_frames_dropped(std::uint64_t n) {
+    frames_dropped_.fetch_add(n, std::memory_order_relaxed);
+  }
+  void on_frame_processed() { bump(frames_processed_); }
+  void on_window_verdict(bool is_attacker, double push_to_verdict_s) {
+    bump(windows_completed_);
+    bump(is_attacker ? verdicts_attacker_ : verdicts_legit_);
+    push_to_verdict_.record(push_to_verdict_s);
+  }
+
+  [[nodiscard]] const LatencyHistogram& push_to_verdict() const {
+    return push_to_verdict_;
+  }
+
+  /// `sessions_active` comes from the manager (it owns the shard maps).
+  [[nodiscard]] MetricsSnapshot snapshot(std::uint64_t sessions_active) const;
+
+ private:
+  static void bump(std::atomic<std::uint64_t>& counter) {
+    counter.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  std::atomic<std::uint64_t> sessions_created_{0};
+  std::atomic<std::uint64_t> sessions_rejected_{0};
+  std::atomic<std::uint64_t> sessions_evicted_{0};
+  std::atomic<std::uint64_t> frames_in_{0};
+  std::atomic<std::uint64_t> frames_dropped_{0};
+  std::atomic<std::uint64_t> frames_processed_{0};
+  std::atomic<std::uint64_t> windows_completed_{0};
+  std::atomic<std::uint64_t> verdicts_legit_{0};
+  std::atomic<std::uint64_t> verdicts_attacker_{0};
+  LatencyHistogram push_to_verdict_;
+};
+
+}  // namespace lumichat::service

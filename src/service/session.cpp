@@ -1,0 +1,124 @@
+#include "service/session.hpp"
+
+#include <utility>
+
+namespace lumichat::service {
+
+ServiceSession::ServiceSession(SessionId id, core::StreamingDetector detector,
+                               std::size_t queue_capacity,
+                               ServiceMetrics* metrics)
+    : id_(id),
+      queue_capacity_(queue_capacity == 0 ? 1 : queue_capacity),
+      metrics_(metrics),
+      detector_(std::move(detector)) {}
+
+bool ServiceSession::enqueue(FrameJob job, bool* dropped) {
+  if (dropped != nullptr) *dropped = false;
+  const std::lock_guard<std::mutex> lock(queue_mu_);
+  if (closed_.load(std::memory_order_relaxed)) return false;
+  if (queue_.size() >= queue_capacity_) {
+    queue_.pop_front();  // drop-oldest backpressure
+    if (dropped != nullptr) *dropped = true;
+  }
+  queue_.push_back(std::move(job));
+  return true;
+}
+
+bool ServiceSession::try_mark_ready() {
+  return !ready_.exchange(true, std::memory_order_acq_rel);
+}
+
+std::size_t ServiceSession::drain() {
+  std::deque<FrameJob> batch;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mu_);
+    batch.swap(queue_);
+  }
+  if (batch.empty()) return 0;
+
+  const std::lock_guard<std::mutex> lock(state_mu_);
+  if (closed_.load(std::memory_order_acquire)) {
+    // Raced with close(): the session's detector is already flushed (and
+    // possibly recycled), so the late batch is accounted as dropped.
+    if (metrics_ != nullptr) metrics_->on_frames_dropped(batch.size());
+    return 0;
+  }
+  std::size_t processed = 0;
+  for (FrameJob& job : batch) {
+    const auto verdict =
+        detector_.push(job.t_sec, job.transmitted, job.received);
+    ++processed;
+    if (metrics_ != nullptr) metrics_->on_frame_processed();
+    if (verdict.has_value()) {
+      const double latency = std::chrono::duration<double>(
+                                 ServiceClock::now() - job.enqueued_at)
+                                 .count();
+      history_.push_back(WindowVerdict{history_.size(), verdict->is_attacker,
+                                       verdict->lof_score, latency});
+      if (metrics_ != nullptr) {
+        metrics_->on_window_verdict(verdict->is_attacker, latency);
+      }
+    }
+  }
+  frames_processed_ += processed;
+  return processed;
+}
+
+bool ServiceSession::finish_drain() {
+  const std::lock_guard<std::mutex> lock(queue_mu_);
+  if (queue_.empty()) {
+    ready_.store(false, std::memory_order_release);
+    return false;
+  }
+  return true;  // ownership retained; caller must schedule another drain
+}
+
+core::VoteOutcome ServiceSession::running_verdict() const {
+  const std::lock_guard<std::mutex> lock(state_mu_);
+  return detector_.running_verdict();
+}
+
+std::vector<WindowVerdict> ServiceSession::verdicts() const {
+  const std::lock_guard<std::mutex> lock(state_mu_);
+  return history_;
+}
+
+std::size_t ServiceSession::frames_processed() const {
+  const std::lock_guard<std::mutex> lock(state_mu_);
+  return frames_processed_;
+}
+
+std::size_t ServiceSession::queued_frames() const {
+  const std::lock_guard<std::mutex> lock(queue_mu_);
+  return queue_.size();
+}
+
+ServiceSession::CloseReport ServiceSession::close() {
+  std::size_t discarded = 0;
+  {
+    const std::lock_guard<std::mutex> lock(queue_mu_);
+    closed_.store(true, std::memory_order_release);
+    discarded = queue_.size();
+    queue_.clear();
+  }
+  if (metrics_ != nullptr && discarded > 0) {
+    metrics_->on_frames_dropped(discarded);
+  }
+
+  const std::lock_guard<std::mutex> lock(state_mu_);
+  CloseReport report;
+  report.windows_completed = history_.size();
+  report.verdict = detector_.running_verdict();
+  report.window_verdicts = history_;
+  const core::FlushReport flushed = detector_.flush();
+  report.pending_samples_dropped = flushed.pending_samples;
+  report.window_fill = flushed.window_fill;
+  return report;
+}
+
+core::StreamingDetector ServiceSession::take_detector() {
+  const std::lock_guard<std::mutex> lock(state_mu_);
+  return std::move(detector_);
+}
+
+}  // namespace lumichat::service

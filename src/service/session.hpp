@@ -1,0 +1,117 @@
+// One hosted verification session: a StreamingDetector behind a bounded
+// frame queue.
+//
+// Concurrency contract (what keeps the runtime deterministic):
+//   * enqueue() may be called from any thread; the queue is a FIFO with
+//     drop-oldest backpressure, so a slow session sheds its stalest frames
+//     instead of growing without bound or stalling its feeder.
+//   * drain() is serialized by the ready-flag protocol: only the caller that
+//     won try_mark_ready() may drain, and it gives ownership back with
+//     finish_drain(). The detector therefore has exactly one writer at any
+//     moment, and a session's frames are processed in feed order no matter
+//     how many pool workers the scheduler uses — which is why per-session
+//     verdict sequences are bit-identical across thread counts.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "core/streaming.hpp"
+#include "core/voting.hpp"
+#include "image/image.hpp"
+#include "service/metrics.hpp"
+
+namespace lumichat::service {
+
+using SessionId = std::uint64_t;
+using ServiceClock = std::chrono::steady_clock;
+
+/// One queued frame pair awaiting detection.
+struct FrameJob {
+  double t_sec = 0.0;
+  image::Image transmitted;
+  image::Image received;
+  ServiceClock::time_point enqueued_at{};
+};
+
+/// One completed detection window of a hosted session.
+struct WindowVerdict {
+  std::size_t window_index = 0;
+  bool is_attacker = false;
+  double lof_score = 0.0;
+  /// Wall time from enqueue of the window-completing frame to its verdict.
+  double push_to_verdict_s = 0.0;
+};
+
+class ServiceSession {
+ public:
+  /// `metrics` is borrowed from the owning manager (may be null in tests).
+  ServiceSession(SessionId id, core::StreamingDetector detector,
+                 std::size_t queue_capacity, ServiceMetrics* metrics);
+
+  ServiceSession(const ServiceSession&) = delete;
+  ServiceSession& operator=(const ServiceSession&) = delete;
+
+  [[nodiscard]] SessionId id() const { return id_; }
+
+  /// Enqueues a frame pair. Returns false once the session is closed. Sets
+  /// `*dropped` when the queue was full and the oldest frame was shed.
+  bool enqueue(FrameJob job, bool* dropped = nullptr);
+
+  /// Claims exclusive drain ownership. True means the caller must drain and
+  /// then call finish_drain(); false means another drainer already owns it.
+  [[nodiscard]] bool try_mark_ready();
+
+  /// Processes every queued frame through the detector, recording window
+  /// verdicts. Caller must own the ready flag. Returns frames processed.
+  std::size_t drain();
+
+  /// Releases drain ownership. Returns true when frames arrived during the
+  /// drain — the flag stays claimed and the caller must schedule another
+  /// drain (otherwise those frames would sit until the next enqueue).
+  [[nodiscard]] bool finish_drain();
+
+  [[nodiscard]] core::VoteOutcome running_verdict() const;
+  [[nodiscard]] std::vector<WindowVerdict> verdicts() const;
+  [[nodiscard]] std::size_t frames_processed() const;
+  [[nodiscard]] std::size_t queued_frames() const;
+
+  /// Final accounting returned by SessionManager::evict.
+  struct CloseReport {
+    std::size_t windows_completed = 0;
+    core::VoteOutcome verdict{};
+    std::vector<WindowVerdict> window_verdicts;
+    /// Evidence lost by tearing the session down mid-window.
+    std::size_t pending_samples_dropped = 0;
+    double window_fill = 0.0;
+  };
+
+  /// Closes the session: future enqueues are rejected, queued frames are
+  /// discarded (counted as dropped), the partial window is flushed and the
+  /// final verdict computed. Blocks until an in-flight drain finishes.
+  CloseReport close();
+
+  /// Extracts the detector for recycling. Only valid after close().
+  [[nodiscard]] core::StreamingDetector take_detector();
+
+ private:
+  const SessionId id_;
+  const std::size_t queue_capacity_;
+  ServiceMetrics* const metrics_;
+
+  mutable std::mutex queue_mu_;
+  std::deque<FrameJob> queue_;       // guarded by queue_mu_
+  std::atomic<bool> closed_{false};  // set under queue_mu_, read anywhere
+  std::atomic<bool> ready_{false};   // drain-ownership flag
+
+  mutable std::mutex state_mu_;  // detector + verdict history
+  core::StreamingDetector detector_;
+  std::vector<WindowVerdict> history_;
+  std::size_t frames_processed_ = 0;
+};
+
+}  // namespace lumichat::service

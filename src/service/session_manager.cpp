@@ -1,0 +1,143 @@
+#include "service/session_manager.hpp"
+
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+#include "service/scheduler.hpp"
+
+namespace lumichat::service {
+
+std::size_t default_service_capacity() {
+  if (const char* env = std::getenv("LUMICHAT_SERVICE_CAPACITY")) {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && v > 0) return static_cast<std::size_t>(v);
+  }
+  return 4096;
+}
+
+SessionManager::SessionManager(ServiceConfig config,
+                               core::StreamingDetector prototype)
+    : config_(config), prototype_(std::move(prototype)) {
+  if (!prototype_.is_trained()) {
+    throw std::invalid_argument(
+        "SessionManager: the prototype detector must be trained (sessions "
+        "clone it; the service never trains)");
+  }
+  if (config_.n_shards == 0) config_.n_shards = 1;
+  if (config_.max_sessions == 0) {
+    config_.max_sessions = default_service_capacity();
+  }
+  shards_.reserve(config_.n_shards);
+  for (std::size_t i = 0; i < config_.n_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+core::StreamingDetector SessionManager::checkout_detector() {
+  {
+    const std::lock_guard<std::mutex> lock(freelist_mu_);
+    if (!freelist_.empty()) {
+      core::StreamingDetector recycled = std::move(freelist_.back());
+      freelist_.pop_back();
+      return recycled;
+    }
+  }
+  return prototype_;  // clone: shares the trained model, trains nothing
+}
+
+std::optional<SessionId> SessionManager::create() {
+  // Optimistic reservation: claim a slot first so two racing creates cannot
+  // both squeeze past the cap, release it if that overshot.
+  const std::size_t prior = active_.fetch_add(1, std::memory_order_acq_rel);
+  if (prior >= config_.max_sessions) {
+    active_.fetch_sub(1, std::memory_order_acq_rel);
+    metrics_.on_session_rejected();
+    return std::nullopt;
+  }
+  const SessionId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  auto session = std::make_shared<ServiceSession>(
+      id, checkout_detector(), config_.session_queue_capacity, &metrics_);
+  Shard& shard = shard_of(id);
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    shard.sessions.emplace(id, std::move(session));
+  }
+  metrics_.on_session_created();
+  return id;
+}
+
+std::shared_ptr<ServiceSession> SessionManager::find(SessionId id) const {
+  const Shard& shard = shard_of(id);
+  const std::lock_guard<std::mutex> lock(shard.mu);
+  const auto it = shard.sessions.find(id);
+  return it == shard.sessions.end() ? nullptr : it->second;
+}
+
+bool SessionManager::feed(SessionId id, double t_sec,
+                          image::Image transmitted, image::Image received) {
+  const std::shared_ptr<ServiceSession> session = find(id);
+  if (session == nullptr) return false;
+
+  FrameJob job;
+  job.t_sec = t_sec;
+  job.transmitted = std::move(transmitted);
+  job.received = std::move(received);
+  job.enqueued_at = ServiceClock::now();
+
+  bool dropped = false;
+  if (!session->enqueue(std::move(job), &dropped)) return false;
+  metrics_.on_frame_in();
+  if (dropped) metrics_.on_frames_dropped(1);
+
+  if (scheduler_ != nullptr) {
+    scheduler_->notify(session);
+  } else if (session->try_mark_ready()) {
+    do {
+      session->drain();
+    } while (session->finish_drain());
+  }
+  return true;
+}
+
+std::optional<core::VoteOutcome> SessionManager::running_verdict(
+    SessionId id) const {
+  const std::shared_ptr<ServiceSession> session = find(id);
+  if (session == nullptr) return std::nullopt;
+  return session->running_verdict();
+}
+
+std::vector<WindowVerdict> SessionManager::verdicts(SessionId id) const {
+  const std::shared_ptr<ServiceSession> session = find(id);
+  return session == nullptr ? std::vector<WindowVerdict>{}
+                            : session->verdicts();
+}
+
+std::optional<ServiceSession::CloseReport> SessionManager::evict(
+    SessionId id) {
+  std::shared_ptr<ServiceSession> session;
+  Shard& shard = shard_of(id);
+  {
+    const std::lock_guard<std::mutex> lock(shard.mu);
+    const auto it = shard.sessions.find(id);
+    if (it == shard.sessions.end()) return std::nullopt;
+    session = std::move(it->second);
+    shard.sessions.erase(it);
+  }
+  ServiceSession::CloseReport report = session->close();
+
+  core::StreamingDetector recycled = session->take_detector();
+  recycled.reset();
+  {
+    const std::lock_guard<std::mutex> lock(freelist_mu_);
+    if (freelist_.size() < config_.detector_freelist_capacity) {
+      freelist_.push_back(std::move(recycled));
+    }
+  }
+  active_.fetch_sub(1, std::memory_order_acq_rel);
+  metrics_.on_session_evicted();
+  return report;
+}
+
+}  // namespace lumichat::service

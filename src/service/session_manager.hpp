@@ -1,0 +1,118 @@
+// Multi-tenant ownership of concurrent verification sessions.
+//
+// The manager shards its session table: session id -> shard (id % n_shards),
+// each shard a map behind its own mutex, so lookups for different sessions
+// almost never contend — the lock is held only for the map operation itself,
+// never while a frame is processed. Admission control caps the number of
+// live sessions (reject new callers past capacity rather than degrading
+// everyone already admitted), and evicted sessions return their detector to
+// a freelist where StreamingDetector::reset() makes it bit-identical to a
+// freshly cloned one — recycling skips the copy of the trained model's
+// training set on the create hot path.
+//
+// Lifecycle:   create() -> feed()* -> running_verdict()/verdicts() -> evict()
+//
+// feed() routes frames through the attached FrameScheduler when one is set
+// (the concurrent runtime); without a scheduler it drains inline, which is
+// the synchronous single-caller mode tests and simple embedders use.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/streaming.hpp"
+#include "service/metrics.hpp"
+#include "service/session.hpp"
+
+namespace lumichat::service {
+
+class FrameScheduler;
+
+/// LUMICHAT_SERVICE_CAPACITY environment variable if set to a positive
+/// integer (parsed exactly like LUMICHAT_THREADS), else 4096.
+[[nodiscard]] std::size_t default_service_capacity();
+
+struct ServiceConfig {
+  std::size_t n_shards = 16;
+  /// Admission-control cap on concurrently live sessions.
+  std::size_t max_sessions = 0;  ///< 0 = default_service_capacity()
+  /// Bounded per-session frame queue (drop-oldest past this).
+  std::size_t session_queue_capacity = 32;
+  /// Reset detectors kept for reuse across sessions.
+  std::size_t detector_freelist_capacity = 256;
+};
+
+class SessionManager {
+ public:
+  /// `prototype` must be trained; every session runs a clone (or a recycled
+  /// reset instance) of it, so no per-session training ever happens.
+  SessionManager(ServiceConfig config, core::StreamingDetector prototype);
+
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  /// Routes feeds through `scheduler` (borrowed; must outlive the manager).
+  /// Pass nullptr to return to inline draining.
+  void attach_scheduler(FrameScheduler* scheduler) { scheduler_ = scheduler; }
+
+  /// Admits a new session, or std::nullopt when at capacity.
+  [[nodiscard]] std::optional<SessionId> create();
+
+  /// Feeds one simultaneous frame pair at session time `t_sec`. Thread-safe
+  /// for distinct sessions; frames of one session must be fed in order by a
+  /// single caller at a time (the natural shape: one chat, one feeder).
+  /// Returns false for unknown or closed sessions.
+  bool feed(SessionId id, double t_sec, image::Image transmitted,
+            image::Image received);
+
+  /// Majority vote over the session's completed windows so far.
+  [[nodiscard]] std::optional<core::VoteOutcome> running_verdict(
+      SessionId id) const;
+
+  /// Per-window verdict history (empty for unknown sessions).
+  [[nodiscard]] std::vector<WindowVerdict> verdicts(SessionId id) const;
+
+  /// Tears the session down and returns its final accounting, including how
+  /// much partial-window evidence was discarded. std::nullopt if unknown.
+  std::optional<ServiceSession::CloseReport> evict(SessionId id);
+
+  [[nodiscard]] std::size_t active_sessions() const {
+    return active_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::size_t capacity() const { return config_.max_sessions; }
+  [[nodiscard]] const ServiceConfig& config() const { return config_; }
+
+  ServiceMetrics& metrics() { return metrics_; }
+  [[nodiscard]] MetricsSnapshot metrics_snapshot() const {
+    return metrics_.snapshot(active_.load(std::memory_order_relaxed));
+  }
+
+ private:
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<SessionId, std::shared_ptr<ServiceSession>> sessions;
+  };
+
+  [[nodiscard]] Shard& shard_of(SessionId id) const {
+    return *shards_[id % shards_.size()];
+  }
+  [[nodiscard]] std::shared_ptr<ServiceSession> find(SessionId id) const;
+  [[nodiscard]] core::StreamingDetector checkout_detector();
+
+  ServiceConfig config_;
+  core::StreamingDetector prototype_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<SessionId> next_id_{1};
+  std::atomic<std::size_t> active_{0};
+  FrameScheduler* scheduler_ = nullptr;
+  ServiceMetrics metrics_;
+
+  std::mutex freelist_mu_;
+  std::vector<core::StreamingDetector> freelist_;
+};
+
+}  // namespace lumichat::service

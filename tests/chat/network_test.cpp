@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <vector>
+
 namespace lumichat::chat {
 namespace {
 
@@ -77,6 +80,64 @@ TEST(NetworkChannel, ZeroDelayDeliversImmediately) {
   NetworkChannel ch(clean_delay(0.0), 1);
   ch.push(tagged(5), 1.0);
   EXPECT_DOUBLE_EQ(tag_of(ch.at(1.0)), 5.0);
+}
+
+TEST(NetworkChannel, QueryingAnIdleChannelHoldsTheEmptyImage) {
+  // A receiver can look at the channel arbitrarily often before anything
+  // was ever pushed: it must see the empty image every time, never crash,
+  // and the probes must not disturb later delivery.
+  NetworkChannel ch(clean_delay(0.3), 11);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(ch.at(static_cast<double>(i) * 0.05).empty());
+  }
+  ch.push(tagged(4), 0.5);
+  EXPECT_TRUE(ch.at(0.79).empty());  // still in flight
+  EXPECT_DOUBLE_EQ(tag_of(ch.at(0.8)), 4.0);
+  // ...and with nothing further pushed, the last frame stays on screen.
+  EXPECT_DOUBLE_EQ(tag_of(ch.at(100.0)), 4.0);
+}
+
+TEST(NetworkChannel, FullLossChannelNeverDisplaysAnything) {
+  NetworkSpec spec = clean_delay(0.05);
+  spec.drop_probability = 1.0;
+  NetworkChannel ch(spec, 13);
+  for (int i = 0; i < 200; ++i) {
+    const double t = static_cast<double>(i) * 0.1;
+    ch.push(tagged(static_cast<double>(i)), t);
+    EXPECT_TRUE(ch.at(t).empty());
+  }
+  EXPECT_TRUE(ch.at(1e6).empty());
+}
+
+TEST(NetworkChannel, JitteredArrivalsNeverRegressReceiverTime) {
+  // Heavy jitter draws would reorder frames in flight; the channel models a
+  // real-time decoder by clamping each arrival to be no earlier than the
+  // previous one (and never before its own send time). Observable contract:
+  // sweeping the receiver clock forward, each frame index appears at a
+  // visibility time that is (a) monotone in frame order and (b) >= its send
+  // time.
+  NetworkSpec spec;
+  spec.delay_s = 0.1;
+  spec.jitter_sigma_s = 0.5;  // sigma >> delay: raw arrivals reorder wildly
+  spec.drop_probability = 0.0;
+  NetworkChannel ch(spec, 17);
+  std::vector<double> sent_at;
+  for (int i = 0; i < 50; ++i) {
+    const double t = static_cast<double>(i) * 0.1;
+    ch.push(tagged(static_cast<double>(i)), t);
+    sent_at.push_back(t);
+  }
+  double last_tag = -1.0;
+  for (double t = 0.0; t < 30.0; t += 0.01) {
+    const double tag = tag_of(ch.at(t));
+    EXPECT_GE(tag, last_tag);  // display order == send order
+    if (tag > last_tag) {
+      // First time this frame is visible: not before it was sent.
+      EXPECT_GE(t, sent_at[static_cast<std::size_t>(tag)] - 1e-9);
+      last_tag = tag;
+    }
+  }
+  EXPECT_DOUBLE_EQ(last_tag, 49.0);  // everything eventually delivered
 }
 
 TEST(NetworkChannel, DeterministicForSeed) {

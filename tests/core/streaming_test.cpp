@@ -92,6 +92,95 @@ TEST(Streaming, RunningVerdictAggregatesWindows) {
   EXPECT_EQ(v.total_votes, sd.windows_completed());
 }
 
+TEST(Streaming, PendingSamplesTracksThePartialWindow) {
+  StreamingConfig cfg;
+  cfg.window_s = 2.0;
+  StreamingDetector sd(cfg);
+  sd.train_on_features(legit_like(20, 6));
+  const image::Image frame(8, 8, image::Pixel{100, 100, 100});
+  EXPECT_EQ(sd.pending_samples(), 0u);
+  for (int i = 0; i < 7; ++i) {
+    (void)sd.push(static_cast<double>(i) * 0.1, frame, frame);
+  }
+  EXPECT_EQ(sd.pending_samples(), 7u);
+  // Completing the window empties the buffer again.
+  for (int i = 7; i < 20; ++i) {
+    (void)sd.push(static_cast<double>(i) * 0.1, frame, frame);
+  }
+  EXPECT_EQ(sd.pending_samples(), 0u);
+  EXPECT_EQ(sd.windows_completed(), 1u);
+}
+
+TEST(Streaming, FlushReportsDiscardedEvidence) {
+  StreamingConfig cfg;
+  cfg.window_s = 2.0;  // 20 samples at the default 10 Hz
+  StreamingDetector sd(cfg);
+  sd.train_on_features(legit_like(20, 7));
+  const image::Image frame(8, 8, image::Pixel{100, 100, 100});
+  for (int i = 0; i < 7; ++i) {
+    (void)sd.push(static_cast<double>(i) * 0.1, frame, frame);
+  }
+  const FlushReport report = sd.flush();
+  EXPECT_EQ(report.pending_samples, 7u);
+  EXPECT_EQ(report.window_samples, 20u);
+  EXPECT_NEAR(report.window_fill, 0.35, 1e-12);
+  EXPECT_EQ(sd.pending_samples(), 0u);
+
+  // A second flush has nothing left to account for.
+  const FlushReport empty = sd.flush();
+  EXPECT_EQ(empty.pending_samples, 0u);
+  EXPECT_DOUBLE_EQ(empty.window_fill, 0.0);
+}
+
+TEST(Streaming, ResetReproducesAFreshDetectorBitExactly) {
+  // The service runtime recycles evicted sessions' detectors; reset() must
+  // make a recycled instance indistinguishable from a fresh clone. Run one
+  // detector through a messy history (partial windows, verdicts, hold-last
+  // state), reset it, then feed it and a never-used twin the same stream:
+  // every verdict must match to the bit.
+  StreamingConfig cfg;
+  cfg.window_s = 2.0;
+  StreamingDetector used(cfg);
+  used.train_on_features(legit_like(20, 8));
+  StreamingDetector fresh(cfg);
+  fresh.train_on_features(legit_like(20, 8));
+
+  common::Rng rng(123);
+  const image::Image empty_frame;
+  for (int i = 0; i < 53; ++i) {  // 2 windows + a dangling partial
+    const image::Image tx(8, 8, image::Pixel{rng.uniform(60.0, 180.0),
+                                             100.0, 100.0});
+    // Occasional empty received frames exercise the hold-last fallback.
+    const image::Image& rx = (i % 11 == 0) ? empty_frame : tx;
+    (void)used.push(static_cast<double>(i) * 0.1, tx, rx);
+  }
+  ASSERT_GT(used.windows_completed(), 0u);
+  ASSERT_GT(used.pending_samples(), 0u);
+
+  used.reset();
+  EXPECT_TRUE(used.is_trained());  // the model survives
+  EXPECT_EQ(used.windows_completed(), 0u);
+  EXPECT_EQ(used.pending_samples(), 0u);
+  EXPECT_EQ(used.running_verdict().total_votes, 0u);
+
+  common::Rng replay(456);
+  for (int i = 0; i < 47; ++i) {
+    const image::Image tx(8, 8, image::Pixel{replay.uniform(60.0, 180.0),
+                                             100.0, 100.0});
+    const image::Image& rx = (i % 13 == 0) ? empty_frame : tx;
+    const double t = static_cast<double>(i) * 0.1;
+    const auto a = used.push(t, tx, rx);
+    const auto b = fresh.push(t, tx, rx);
+    ASSERT_EQ(a.has_value(), b.has_value()) << "frame " << i;
+    if (a.has_value()) {
+      EXPECT_EQ(a->is_attacker, b->is_attacker) << "frame " << i;
+      EXPECT_EQ(a->lof_score, b->lof_score) << "frame " << i;  // bit-exact
+    }
+  }
+  EXPECT_EQ(used.windows_completed(), fresh.windows_completed());
+  EXPECT_EQ(used.pending_samples(), fresh.pending_samples());
+}
+
 TEST(Streaming, MatchesBatchDetectorOnSimulatedSession) {
   // Feeding a simulated session frame-by-frame must reproduce the batch
   // detector's verdict on the same trace (identical pipeline, same config).

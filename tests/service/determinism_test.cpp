@@ -1,0 +1,115 @@
+// Service-level determinism regression (the runtime extension of the
+// parallel-engine invariant): one load scenario, executed serially, on a
+// 1-thread pool and on an N-thread pool, must yield bit-identical
+// per-session verdict sequences — including when backpressure is actively
+// dropping frames.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/thread_pool.hpp"
+#include "service/load_generator.hpp"
+#include "service_test_util.hpp"
+
+namespace lumichat::service {
+namespace {
+
+LoadSpec small_scenario() {
+  LoadSpec spec;
+  spec.n_sessions = 40;
+  spec.duration_s = 5.0;
+  spec.sample_rate_hz = 10.0;
+  spec.warmup_s = 0.0;
+  spec.attacker_fraction = 0.5;
+  spec.ticks_per_pump = 4;
+  spec.full_chat = false;  // synthetic frames: runtime paths, cheap ticks
+  spec.master_seed = 1234;
+  return spec;
+}
+
+ServiceConfig small_service() {
+  ServiceConfig cfg;
+  cfg.n_shards = 8;
+  cfg.max_sessions = 64;
+  return cfg;
+}
+
+void expect_identical(const LoadReport& a, const LoadReport& b,
+                      const char* what) {
+  ASSERT_EQ(a.sessions.size(), b.sessions.size()) << what;
+  EXPECT_EQ(a.frames_fed, b.frames_fed) << what;
+  EXPECT_EQ(a.metrics.frames_dropped, b.metrics.frames_dropped) << what;
+  EXPECT_EQ(a.metrics.windows_completed, b.metrics.windows_completed) << what;
+  for (std::size_t i = 0; i < a.sessions.size(); ++i) {
+    const SessionResult& x = a.sessions[i];
+    const SessionResult& y = b.sessions[i];
+    EXPECT_EQ(x.id, y.id) << what << " session " << i;
+    EXPECT_EQ(x.truth_attacker, y.truth_attacker) << what << " session " << i;
+    EXPECT_EQ(x.window_verdicts, y.window_verdicts)
+        << what << " session " << i;
+    EXPECT_EQ(x.lof_scores, y.lof_scores) << what << " session " << i;
+    EXPECT_EQ(x.final_verdict.is_attacker, y.final_verdict.is_attacker)
+        << what << " session " << i;
+    EXPECT_EQ(x.pending_samples_dropped, y.pending_samples_dropped)
+        << what << " session " << i;
+  }
+}
+
+TEST(ServiceDeterminism, VerdictsIdenticalAcrossThreadCounts) {
+  const LoadSpec spec = small_scenario();
+  const auto prototype = testutil::trained_prototype(2.0);
+
+  const LoadReport serial = run_load(spec, small_service(), prototype,
+                                     nullptr);
+  ASSERT_EQ(serial.sessions.size(), spec.n_sessions);
+  EXPECT_GT(serial.metrics.windows_completed, 0u);
+
+  common::ThreadPool one(1);
+  expect_identical(serial, run_load(spec, small_service(), prototype, &one),
+                   "1-thread pool");
+  common::ThreadPool four(4);
+  expect_identical(serial, run_load(spec, small_service(), prototype, &four),
+                   "4-thread pool");
+}
+
+TEST(ServiceDeterminism, HoldsUnderDropOldestBackpressure) {
+  // Bursts larger than the queue force drop-oldest decisions; those must be
+  // a pure function of the scenario too, not of worker timing.
+  LoadSpec spec = small_scenario();
+  spec.ticks_per_pump = 12;
+  ServiceConfig cfg = small_service();
+  cfg.session_queue_capacity = 8;
+  const auto prototype = testutil::trained_prototype(2.0);
+
+  const LoadReport serial = run_load(spec, cfg, prototype, nullptr);
+  EXPECT_GT(serial.metrics.frames_dropped, 0u);  // backpressure engaged
+
+  common::ThreadPool four(4);
+  expect_identical(serial, run_load(spec, cfg, prototype, &four),
+                   "4-thread pool under backpressure");
+}
+
+TEST(ServiceDeterminism, RepeatedRunsAreIdentical) {
+  const LoadSpec spec = small_scenario();
+  const auto prototype = testutil::trained_prototype(2.0);
+  common::ThreadPool pool(2);
+  const LoadReport first = run_load(spec, small_service(), prototype, &pool);
+  const LoadReport second = run_load(spec, small_service(), prototype, &pool);
+  expect_identical(first, second, "repeat on the same pool");
+}
+
+TEST(ServiceDeterminism, GroundTruthAssignmentIsAPureFunction) {
+  const LoadSpec spec = small_scenario();
+  std::size_t attackers = 0;
+  for (std::size_t i = 0; i < spec.n_sessions; ++i) {
+    const bool a = load_session_is_attacker(spec, i);
+    EXPECT_EQ(a, load_session_is_attacker(spec, i));
+    if (a) ++attackers;
+  }
+  // With fraction 0.5 the split should be roughly balanced.
+  EXPECT_GT(attackers, spec.n_sessions / 5);
+  EXPECT_LT(attackers, spec.n_sessions * 4 / 5);
+}
+
+}  // namespace
+}  // namespace lumichat::service

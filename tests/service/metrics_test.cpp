@@ -1,0 +1,104 @@
+#include "service/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace lumichat::service {
+namespace {
+
+TEST(LatencyHistogram, EmptyHistogramReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), 0.0);
+}
+
+TEST(LatencyHistogram, QuantilesLandInTheRightBucket) {
+  LatencyHistogram h;
+  for (int i = 0; i < 99; ++i) h.record(1e-3);
+  h.record(100e-3);
+  EXPECT_EQ(h.count(), 100u);
+  // Bucket edges are quarter-octaves: +/-9% resolution, so allow a
+  // generous window around each true value.
+  EXPECT_GT(h.quantile(0.5), 0.8e-3);
+  EXPECT_LT(h.quantile(0.5), 1.3e-3);
+  // The 99th of 100 sorted samples is still 1 ms; only the max reaches
+  // the 100 ms bucket.
+  EXPECT_LT(h.quantile(0.99), 1.3e-3);
+  EXPECT_GT(h.quantile(1.0), 80e-3);
+  EXPECT_LT(h.quantile(1.0), 130e-3);
+}
+
+TEST(LatencyHistogram, QuantileIsMonotoneInQ) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 1000; ++i) h.record(static_cast<double>(i) * 1e-4);
+  double prev = 0.0;
+  for (double q = 0.05; q <= 1.0; q += 0.05) {
+    const double v = h.quantile(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+TEST(LatencyHistogram, ExtremeValuesClampInsteadOfCrashing) {
+  LatencyHistogram h;
+  h.record(0.0);      // below the 1 us floor
+  h.record(-1.0);     // nonsense input
+  h.record(1e9);      // far beyond the ~2.4 h ceiling
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_GT(h.quantile(1.0), 0.0);
+}
+
+TEST(LatencyHistogram, ResetClears) {
+  LatencyHistogram h;
+  h.record(1e-3);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+}
+
+TEST(ServiceMetrics, CountersAggregateIntoSnapshot) {
+  ServiceMetrics m;
+  m.on_session_created();
+  m.on_session_created();
+  m.on_session_rejected();
+  m.on_session_evicted();
+  m.on_frame_in();
+  m.on_frame_in();
+  m.on_frame_in();
+  m.on_frames_dropped(2);
+  m.on_frame_processed();
+  m.on_window_verdict(false, 5e-3);
+  m.on_window_verdict(true, 7e-3);
+
+  const MetricsSnapshot s = m.snapshot(/*sessions_active=*/1);
+  EXPECT_EQ(s.sessions_created, 2u);
+  EXPECT_EQ(s.sessions_rejected, 1u);
+  EXPECT_EQ(s.sessions_evicted, 1u);
+  EXPECT_EQ(s.sessions_active, 1u);
+  EXPECT_EQ(s.frames_in, 3u);
+  EXPECT_EQ(s.frames_dropped, 2u);
+  EXPECT_EQ(s.frames_processed, 1u);
+  EXPECT_EQ(s.windows_completed, 2u);
+  EXPECT_EQ(s.verdicts_legit, 1u);
+  EXPECT_EQ(s.verdicts_attacker, 1u);
+  EXPECT_GT(s.latency_p50_s, 0.0);
+  EXPECT_GE(s.latency_p99_s, s.latency_p50_s);
+}
+
+TEST(ServiceMetrics, SnapshotSerialisesToJson) {
+  ServiceMetrics m;
+  m.on_session_created();
+  m.on_frame_in();
+  m.on_window_verdict(true, 1e-3);
+  const std::string json = m.snapshot(1).to_json();
+  EXPECT_NE(json.find("\"sessions\""), std::string::npos);
+  EXPECT_NE(json.find("\"created\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"frames\""), std::string::npos);
+  EXPECT_NE(json.find("\"verdicts_attacker\":1"), std::string::npos);
+  EXPECT_NE(json.find("push_to_verdict_latency_s"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lumichat::service

@@ -1,0 +1,199 @@
+#include "service/session_manager.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <optional>
+#include <stdexcept>
+#include <vector>
+
+#include "service/scheduler.hpp"
+#include "service_test_util.hpp"
+
+namespace lumichat::service {
+namespace {
+
+using testutil::frame;
+using testutil::trained_prototype;
+using testutil::wave;
+
+ServiceConfig small_config(std::size_t max_sessions = 8,
+                           std::size_t queue_capacity = 32) {
+  ServiceConfig cfg;
+  cfg.n_shards = 4;
+  cfg.max_sessions = max_sessions;
+  cfg.session_queue_capacity = queue_capacity;
+  return cfg;
+}
+
+/// Feeds `n` frames of the deterministic wave at 10 Hz, starting at tick
+/// `first_tick`. Returns how many feeds were accepted.
+std::size_t feed_wave(SessionManager& m, SessionId id, std::size_t n,
+                      std::size_t first_tick = 0) {
+  std::size_t accepted = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t tick = first_tick + i;
+    const double t = static_cast<double>(tick) * 0.1;
+    if (m.feed(id, t, frame(wave(tick)), frame(0.6 * wave(tick) + 20.0))) {
+      ++accepted;
+    }
+  }
+  return accepted;
+}
+
+TEST(SessionManager, RequiresTrainedPrototype) {
+  EXPECT_THROW(SessionManager(small_config(), core::StreamingDetector{}),
+               std::invalid_argument);
+}
+
+TEST(SessionManager, CreateFeedVerdictEvictLifecycle) {
+  SessionManager m(small_config(), trained_prototype());
+  const auto id = m.create();
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(m.active_sessions(), 1u);
+
+  // 2 s window at 10 Hz: 20 frames complete exactly one window; 5 more
+  // accumulate toward the next.
+  EXPECT_EQ(feed_wave(m, *id, 25), 25u);
+
+  const auto running = m.running_verdict(*id);
+  ASSERT_TRUE(running.has_value());
+  EXPECT_EQ(running->total_votes, 1u);
+  const auto verdicts = m.verdicts(*id);
+  ASSERT_EQ(verdicts.size(), 1u);
+  EXPECT_EQ(verdicts[0].window_index, 0u);
+  EXPECT_GE(verdicts[0].push_to_verdict_s, 0.0);
+
+  const auto report = m.evict(*id);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->windows_completed, 1u);
+  EXPECT_EQ(report->verdict.total_votes, 1u);
+  // The 5 extra frames were partial-window evidence, now accounted for.
+  EXPECT_EQ(report->pending_samples_dropped, 5u);
+  EXPECT_NEAR(report->window_fill, 0.25, 1e-12);
+  EXPECT_EQ(m.active_sessions(), 0u);
+
+  // The session is gone: every operation degrades gracefully.
+  EXPECT_FALSE(m.feed(*id, 99.0, frame(1), frame(1)));
+  EXPECT_FALSE(m.running_verdict(*id).has_value());
+  EXPECT_TRUE(m.verdicts(*id).empty());
+  EXPECT_FALSE(m.evict(*id).has_value());
+}
+
+TEST(SessionManager, AdmissionControlRejectsPastCapacity) {
+  SessionManager m(small_config(/*max_sessions=*/2), trained_prototype());
+  const auto a = m.create();
+  const auto b = m.create();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_FALSE(m.create().has_value());
+  EXPECT_EQ(m.metrics_snapshot().sessions_rejected, 1u);
+
+  // Eviction frees a slot.
+  EXPECT_TRUE(m.evict(*a).has_value());
+  EXPECT_TRUE(m.create().has_value());
+}
+
+TEST(SessionManager, DropOldestBackpressureIsObservable) {
+  // With a scheduler attached, frames queue until pump() — so a burst
+  // larger than the queue capacity sheds its oldest frames.
+  SessionManager m(small_config(8, /*queue_capacity=*/4),
+                   trained_prototype());
+  FrameScheduler scheduler(nullptr);
+  m.attach_scheduler(&scheduler);
+  const auto id = m.create();
+  ASSERT_TRUE(id.has_value());
+
+  EXPECT_EQ(feed_wave(m, *id, 10), 10u);
+  MetricsSnapshot s = m.metrics_snapshot();
+  EXPECT_EQ(s.frames_in, 10u);
+  EXPECT_EQ(s.frames_dropped, 6u);
+  EXPECT_EQ(s.frames_processed, 0u);
+
+  EXPECT_EQ(scheduler.pump(), 4u);
+  s = m.metrics_snapshot();
+  EXPECT_EQ(s.frames_processed, 4u);
+}
+
+TEST(SessionManager, EvictionDiscardsQueuedFramesAsDropped) {
+  SessionManager m(small_config(), trained_prototype());
+  FrameScheduler scheduler(nullptr);
+  m.attach_scheduler(&scheduler);
+  const auto id = m.create();
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(feed_wave(m, *id, 5), 5u);  // queued, never pumped
+
+  const auto report = m.evict(*id);
+  ASSERT_TRUE(report.has_value());
+  EXPECT_EQ(report->windows_completed, 0u);
+  const MetricsSnapshot s = m.metrics_snapshot();
+  EXPECT_EQ(s.frames_dropped, 5u);
+  EXPECT_EQ(s.frames_processed, 0u);
+  EXPECT_EQ(s.sessions_evicted, 1u);
+}
+
+TEST(SessionManager, RecycledDetectorMatchesFreshClone) {
+  // Session 1 runs a full window and is evicted; its detector lands on the
+  // freelist and session 2 reuses it after reset(). A second manager with
+  // the same prototype serves the reference: session 2's verdicts must be
+  // bit-identical to a never-recycled detector's.
+  SessionManager recycled(small_config(), trained_prototype());
+  SessionManager fresh(small_config(), trained_prototype());
+
+  const auto warm = recycled.create();
+  ASSERT_TRUE(warm.has_value());
+  feed_wave(recycled, *warm, 33);  // one window + a partial
+  ASSERT_TRUE(recycled.evict(*warm).has_value());
+
+  const auto a = recycled.create();  // gets the recycled detector
+  const auto b = fresh.create();     // gets a pristine clone
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  feed_wave(recycled, *a, 45);
+  feed_wave(fresh, *b, 45);
+
+  const auto va = recycled.verdicts(*a);
+  const auto vb = fresh.verdicts(*b);
+  ASSERT_EQ(va.size(), vb.size());
+  ASSERT_EQ(va.size(), 2u);
+  for (std::size_t i = 0; i < va.size(); ++i) {
+    EXPECT_EQ(va[i].is_attacker, vb[i].is_attacker);
+    EXPECT_EQ(va[i].lof_score, vb[i].lof_score);  // bit-exact
+  }
+}
+
+TEST(SessionManager, DistinctSessionsAreIndependent) {
+  SessionManager m(small_config(), trained_prototype());
+  const auto a = m.create();
+  const auto b = m.create();
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  feed_wave(m, *a, 20);
+  EXPECT_EQ(m.verdicts(*a).size(), 1u);
+  EXPECT_TRUE(m.verdicts(*b).empty());
+}
+
+TEST(ServiceCapacity, EnvironmentKnobParsesLikeThreads) {
+  // LUMICHAT_SERVICE_CAPACITY is parsed exactly like LUMICHAT_THREADS:
+  // positive integers win, anything else falls back to the default.
+  ASSERT_EQ(setenv("LUMICHAT_SERVICE_CAPACITY", "37", 1), 0);
+  EXPECT_EQ(default_service_capacity(), 37u);
+  ASSERT_EQ(setenv("LUMICHAT_SERVICE_CAPACITY", "0", 1), 0);
+  EXPECT_EQ(default_service_capacity(), 4096u);
+  ASSERT_EQ(setenv("LUMICHAT_SERVICE_CAPACITY", "-3", 1), 0);
+  EXPECT_EQ(default_service_capacity(), 4096u);
+  ASSERT_EQ(setenv("LUMICHAT_SERVICE_CAPACITY", "garbage", 1), 0);
+  EXPECT_EQ(default_service_capacity(), 4096u);
+  ASSERT_EQ(unsetenv("LUMICHAT_SERVICE_CAPACITY"), 0);
+  EXPECT_EQ(default_service_capacity(), 4096u);
+}
+
+TEST(ServiceCapacity, ZeroMaxSessionsUsesDefaultCapacity) {
+  ASSERT_EQ(setenv("LUMICHAT_SERVICE_CAPACITY", "3", 1), 0);
+  SessionManager m(ServiceConfig{}, trained_prototype());
+  EXPECT_EQ(m.capacity(), 3u);
+  ASSERT_EQ(unsetenv("LUMICHAT_SERVICE_CAPACITY"), 0);
+}
+
+}  // namespace
+}  // namespace lumichat::service
