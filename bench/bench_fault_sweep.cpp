@@ -1,0 +1,89 @@
+// Fault-injection severity sweep: accuracy and abstain-rate curves per
+// fault family, emitted as JSON on stdout, plus a hard determinism gate —
+// the whole sweep runs twice with the same spec and the process exits
+// nonzero unless the two verdict sequences are bit-identical. A fault layer
+// that perturbed shared RNG streams, or a detector whose abstain rule
+// depended on timing, would trip it.
+//
+//   ./bench_fault_sweep                 # full grid, 15 s clips
+//   ./bench_fault_sweep 1 3 2 8         # 1 volunteer, 3 eval clips,
+//                                       # severities {0, 1}, 8 s clips
+#include <cstdio>
+#include <cstdlib>
+
+#include "common.hpp"
+#include "eval/fault_sweep.hpp"
+
+int main(int argc, char** argv) {
+  using namespace lumichat;
+
+  eval::FaultSweepSpec spec;
+  if (argc > 1) spec.n_volunteers = std::strtoul(argv[1], nullptr, 10);
+  if (argc > 2) spec.n_eval_clips = std::strtoul(argv[2], nullptr, 10);
+  if (argc > 3) {
+    // n points evenly spaced over [0, 1], always anchored at 0.
+    const std::size_t n = std::max(2ul, std::strtoul(argv[3], nullptr, 10));
+    spec.severities.clear();
+    for (std::size_t i = 0; i < n; ++i) {
+      spec.severities.push_back(static_cast<double>(i) /
+                                static_cast<double>(n - 1));
+    }
+  }
+  if (argc > 4) spec.clip_duration_s = std::strtod(argv[4], nullptr);
+  if (spec.n_volunteers == 0 || spec.n_volunteers > eval::kPopulationSize) {
+    spec.n_volunteers = 2;
+  }
+  if (spec.n_eval_clips == 0) spec.n_eval_clips = 6;
+  if (spec.clip_duration_s < 4.0) spec.clip_duration_s = 4.0;
+
+  bench::header("Fault-injection severity sweep");
+  std::fprintf(stderr,
+               "  [spec] %zu volunteers, %zu eval clips/role, %zu severities, "
+               "%.3g s clips\n",
+               spec.n_volunteers, spec.n_eval_clips, spec.severities.size(),
+               spec.clip_duration_s);
+
+  common::ThreadPool pool(4);
+  const eval::FaultSweepResult first = eval::run_fault_sweep(spec, &pool);
+  const eval::FaultSweepResult second = eval::run_fault_sweep(spec, &pool);
+
+  // Determinism gate: same spec, same seed => bit-identical verdicts.
+  const auto fp1 = first.verdict_fingerprint();
+  const auto fp2 = second.verdict_fingerprint();
+  if (fp1 != fp2) {
+    std::fprintf(stderr,
+                 "FAIL: verdict sequences diverged across identical runs "
+                 "(%zu vs %zu verdicts)\n",
+                 fp1.size(), fp2.size());
+    return 1;
+  }
+
+  // Baseline gate: at severity 0 the fault layer is a no-op and abstaining
+  // is pointless, so the anchor point of every curve must decide every clip.
+  for (const eval::FaultFamilyCurve& curve : first.curves) {
+    for (const eval::FaultSweepPoint& p : curve.points) {
+      if (p.severity == 0.0 && p.abstain_rate() > 0.0) {
+        std::fprintf(stderr,
+                     "FAIL: family %s abstained at severity 0 "
+                     "(abstain_rate=%.3g)\n",
+                     curve.family.c_str(), p.abstain_rate());
+        return 1;
+      }
+    }
+  }
+
+  bench::row("%-22s %-9s %-8s %-8s %-8s", "family", "severity", "TAR", "TRR",
+             "abstain");
+  for (const eval::FaultFamilyCurve& curve : first.curves) {
+    for (const eval::FaultSweepPoint& p : curve.points) {
+      bench::row("%-22s %-9.3g %-8.3g %-8.3g %-8.3g", curve.family.c_str(),
+                 p.severity, p.tar(), p.trr(), p.abstain_rate());
+    }
+  }
+
+  // The machine-readable artefact (stdout, one line, greppable).
+  std::printf("JSON %s\n", first.to_json().c_str());
+  std::fprintf(stderr, "determinism: OK (%zu verdicts bit-identical)\n",
+               fp1.size());
+  return 0;
+}

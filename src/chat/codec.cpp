@@ -10,6 +10,10 @@ namespace lumichat::chat {
 VideoCodec::VideoCodec(CodecSpec spec, std::uint64_t seed)
     : spec_(spec), rng_(seed) {}
 
+void VideoCodec::set_compression(double compression) {
+  spec_.compression = std::clamp(compression, 0.0, 1.0);
+}
+
 image::Image VideoCodec::transcode(const image::Image& frame) {
   if (frame.empty() || spec_.compression <= 0.0) return frame;
   const double c = std::clamp(spec_.compression, 0.0, 1.0);

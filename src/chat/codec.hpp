@@ -42,6 +42,11 @@ class VideoCodec {
   /// Encodes and immediately decodes one frame (what the receiver sees).
   [[nodiscard]] image::Image transcode(const image::Image& frame);
 
+  /// Adjusts the compression level mid-stream (clamped to [0, 1]). Real
+  /// rate controllers do exactly this under congestion; the fault layer's
+  /// codec-collapse injector drives it per frame.
+  void set_compression(double compression);
+
   [[nodiscard]] const CodecSpec& spec() const { return spec_; }
 
  private:

@@ -18,25 +18,57 @@ SessionFrameSource::SessionFrameSource(const SessionSpec& spec,
       b2a_(spec.bob_to_alice, common::derive_seed(seed, 22)),
       codec_a2b_(spec.codec, common::derive_seed(seed, 23)),
       codec_b2a_(spec.codec, common::derive_seed(seed, 24)),
+      plan_(spec.faults, common::derive_seed(seed, 31)),
       tick_(-static_cast<std::ptrdiff_t>(
-          std::llround(spec.warmup_s * spec.sample_rate_hz))) {}
+          std::llround(spec.warmup_s * spec.sample_rate_hz))) {
+  if (plan_.any()) {
+    // Stream ids 1/2 = the two link directions; the codec and resolution
+    // injectors reuse the same ids for their respective directions.
+    a2b_.inject_faults(plan_.link(1));
+    b2a_.inject_faults(plan_.link(2));
+    collapse_a2b_ = plan_.codec_collapse(spec_.codec.compression, 1);
+    collapse_b2a_ = plan_.codec_collapse(spec_.codec.compression, 2);
+    res_switch_a2b_ = plan_.resolution_switch(1);
+    res_switch_b2a_ = plan_.resolution_switch(2);
+  }
+}
 
 FramePair SessionFrameSource::next() {
   for (;;) {
     const double t = static_cast<double>(tick_) / spec_.sample_rate_hz;
 
+    // Congestion-style codec collapse: the rate controller follows the
+    // injector's deterministic quality schedule.
+    if (collapse_a2b_.enabled()) {
+      codec_a2b_.set_compression(collapse_a2b_.compression_at(t));
+    }
+    if (collapse_b2a_.enabled()) {
+      codec_b2a_.set_compression(collapse_b2a_.compression_at(t));
+    }
+
     image::Image sent = codec_a2b_.transcode(alice_.frame(t));  // step 1
     a2b_.push(sent, t);                                         // step 2
     const image::Image& on_bobs_screen = a2b_.at(t);            // display
-    image::Image bob_out = codec_b2a_.transcode(
-        respondent_.respond(t, on_bobs_screen));                // step 3
+    image::Image bob_out;
+    if (res_switch_a2b_.enabled()) {
+      // Mid-call resolution drop on the stream Bob's screen displays.
+      bob_out = codec_b2a_.transcode(
+          respondent_.respond(t, res_switch_a2b_.apply(on_bobs_screen, t)));
+    } else {
+      bob_out = codec_b2a_.transcode(
+          respondent_.respond(t, on_bobs_screen));              // step 3
+    }
     b2a_.push(std::move(bob_out), t);                           // step 4
 
     const bool warming_up = tick_ < 0;
     ++tick_;
     if (warming_up) continue;
     ++produced_;
-    return FramePair{t, std::move(sent), b2a_.at(t)};           // step 5
+    image::Image received = b2a_.at(t);                         // step 5
+    if (res_switch_b2a_.enabled()) {
+      received = res_switch_b2a_.apply(received, t);
+    }
+    return FramePair{t, std::move(sent), std::move(received)};
   }
 }
 

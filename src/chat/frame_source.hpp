@@ -18,6 +18,7 @@
 #include "chat/network.hpp"
 #include "chat/respondent.hpp"
 #include "chat/session.hpp"
+#include "faults/plan.hpp"
 #include "image/image.hpp"
 
 namespace lumichat::chat {
@@ -52,6 +53,13 @@ class SessionFrameSource {
 
   [[nodiscard]] const SessionSpec& spec() const { return spec_; }
 
+  /// The fault plan degrading this session (severity 0 everywhere unless
+  /// spec.faults says otherwise). Camera-level drift is not applied here —
+  /// cameras belong to `alice` / `respondent`; callers inject
+  /// plan-compatible drift through their CameraSpec (see
+  /// faults::FaultPlan::camera_drift).
+  [[nodiscard]] const faults::FaultPlan& fault_plan() const { return plan_; }
+
  private:
   SessionSpec spec_;
   AliceStream& alice_;
@@ -60,6 +68,11 @@ class SessionFrameSource {
   NetworkChannel b2a_;
   VideoCodec codec_a2b_;
   VideoCodec codec_b2a_;
+  faults::FaultPlan plan_;
+  faults::CodecCollapse collapse_a2b_;
+  faults::CodecCollapse collapse_b2a_;
+  faults::ResolutionSwitch res_switch_a2b_;
+  faults::ResolutionSwitch res_switch_b2a_;
   std::ptrdiff_t tick_;
   std::size_t produced_ = 0;
 };

@@ -8,16 +8,44 @@ namespace lumichat::chat {
 NetworkChannel::NetworkChannel(NetworkSpec spec, std::uint64_t seed)
     : spec_(spec), rng_(seed) {}
 
+void NetworkChannel::inject_faults(faults::LinkFaults faults) {
+  if (faults.enabled()) faults_ = std::move(faults);
+}
+
 void NetworkChannel::push(image::Image frame, double t_sec) {
+  // Fault injectors run before the channel's own stochastic model and draw
+  // from their own RNG streams, so with no injectors installed the original
+  // drop/jitter sequence is reproduced bit for bit.
+  double send_t = t_sec;
+  faults::DeliveryAction action = faults::DeliveryAction::kDeliver;
+  if (faults_.has_value()) {
+    if (faults_->loss.drop()) return;  // lost in a burst
+    send_t = faults_->timing.warp(t_sec);
+    action = faults_->delivery.next();
+  }
+
   if (rng_.chance(spec_.drop_probability)) return;  // lost in transit
   double arrival =
-      t_sec + spec_.delay_s + rng_.gaussian(0.0, spec_.jitter_sigma_s);
+      send_t + spec_.delay_s + rng_.gaussian(0.0, spec_.jitter_sigma_s);
   arrival = std::max(arrival, t_sec);  // cannot arrive before it was sent
   // Real-time video decoders discard frames that arrive out of order;
   // enforcing monotone arrivals models that without reordering logic.
   arrival = std::max(arrival, last_arrival_);
   last_arrival_ = arrival;
+
+  if (action == faults::DeliveryAction::kSwapWithPrevious &&
+      !queue_.empty()) {
+    // Out-of-order delivery: this frame overtakes the previous in-flight
+    // one, so the receiver displays them swapped.
+    std::swap(queue_.back().frame, frame);
+  }
   queue_.push_back(InFlight{std::move(frame), arrival});
+  if (action == faults::DeliveryAction::kDuplicate) {
+    // The duplicate lands one nominal frame interval later (decoders show
+    // the same image twice — a stutter, not extra information).
+    last_arrival_ = arrival + 1.0 / 30.0;
+    queue_.push_back(InFlight{queue_.back().frame, last_arrival_});
+  }
 }
 
 const image::Image& NetworkChannel::at(double t_sec) {

@@ -9,8 +9,10 @@
 
 #include <cstdint>
 #include <deque>
+#include <optional>
 
 #include "common/rng.hpp"
+#include "faults/plan.hpp"
 #include "image/image.hpp"
 
 namespace lumichat::chat {
@@ -29,6 +31,12 @@ class NetworkChannel {
   /// non-decreasing time order.
   void push(image::Image frame, double t_sec);
 
+  /// Installs transport fault injectors (burst loss, duplication/reorder,
+  /// clock skew). Must be called before the first push. Without injectors —
+  /// or with all families at severity 0 — push() runs the exact original
+  /// path and consumes the exact original RNG sequence.
+  void inject_faults(faults::LinkFaults faults);
+
   /// The frame visible at the receiver at time `t_sec`: the most recently
   /// *arrived* frame. Returns an empty image before anything has arrived.
   /// Non-const because observing the channel drains arrived frames into the
@@ -45,6 +53,7 @@ class NetworkChannel {
 
   NetworkSpec spec_;
   common::Rng rng_;
+  std::optional<faults::LinkFaults> faults_;
   std::deque<InFlight> queue_;
   image::Image displayed_;
   double last_arrival_ = -1.0;

@@ -15,6 +15,7 @@
 #include "chat/network.hpp"
 #include "chat/respondent.hpp"
 #include "chat/video.hpp"
+#include "faults/fault_config.hpp"
 
 namespace lumichat::chat {
 
@@ -32,6 +33,12 @@ struct SessionSpec {
   /// attacker's fake video also crosses Bob's encoder: the virtual camera
   /// replaces the *camera*, not the software's send path.
   CodecSpec codec{.compression = 0.25};
+  /// Deterministic degradation of the session (burst loss, clock skew,
+  /// codec collapse, resolution switches, ...). All severities default to 0,
+  /// which is an exact no-op: traces are then bit-identical to a faultless
+  /// build. Injector streams derive from the session seed, so one (spec,
+  /// seed) pair always degrades the same way.
+  faults::FaultConfig faults{};
 };
 
 /// What Alice's side observes during one detection window.

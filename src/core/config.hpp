@@ -55,6 +55,22 @@ struct DetectorConfig {
   /// An untrusted user is an attacker if votes exceed this fraction of the
   /// detection attempts.
   double vote_fraction = 0.7;
+
+  // --- Graceful degradation (beyond the paper) ---
+  /// When true, a detection round whose input fails the signal-quality
+  /// floors below returns Verdict::kAbstain instead of a confident verdict;
+  /// voting treats abstains as non-votes. Strictly opt-in: the default
+  /// (false) reproduces the paper's always-decide behaviour bit for bit.
+  bool enable_abstain = false;
+  /// Minimum significant changes the *transmitted* signal must carry — with
+  /// fewer, Alice injected no probe and there is nothing to correlate.
+  std::size_t abstain_min_changes = 1;
+  /// Minimum peak-to-floor ratio of the received smoothed-variance trend
+  /// (SNR proxy; a buried reflection cannot be scored either way).
+  double abstain_min_snr = 1.3;
+  /// Minimum fraction of window samples backed by real received data
+  /// (landmark hits / delivered frames rather than hold-last fallback).
+  double abstain_min_completeness = 0.5;
 };
 
 }  // namespace lumichat::core

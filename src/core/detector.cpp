@@ -28,9 +28,33 @@ void Detector::train_on_features(const std::vector<FeatureVector>& features) {
 }
 
 DetectionResult Detector::detect(const chat::SessionTrace& trace) const {
-  const FeatureExtraction fx = featurize(trace);
+  const signal::Signal t_raw = extractor_.transmitted_signal(trace.transmitted);
+  const ReceivedExtraction r_raw = extractor_.received_signal(trace.received);
+  const PreprocessResult t_pre = preprocessor_.process_transmitted(t_raw);
+  const PreprocessResult r_pre = preprocessor_.process_received(r_raw.luminance);
+
+  const double r_completeness =
+      r_raw.luminance.empty()
+          ? 0.0
+          : 1.0 - static_cast<double>(r_raw.failed_frames) /
+                      static_cast<double>(r_raw.luminance.size());
+  const SignalQuality t_quality = assess_signal_quality(t_pre, 1.0);
+  const SignalQuality r_quality = assess_signal_quality(r_pre, r_completeness);
+
+  if (config_.enable_abstain &&
+      quality_insufficient(t_quality, r_quality, config_)) {
+    DetectionResult r;
+    r.verdict = Verdict::kAbstain;
+    r.transmitted_quality = t_quality;
+    r.received_quality = r_quality;
+    return r;
+  }
+
+  const FeatureExtraction fx = features_.extract(t_pre, r_pre);
   DetectionResult r = classify(fx.features);
   r.diagnostics = fx.diagnostics;
+  r.transmitted_quality = t_quality;
+  r.received_quality = r_quality;
   return r;
 }
 
@@ -39,6 +63,7 @@ DetectionResult Detector::classify(const FeatureVector& z) const {
   r.features = z;
   r.lof_score = lof_.score(z);
   r.is_attacker = r.lof_score > lof_.tau();
+  r.verdict = r.is_attacker ? Verdict::kAttacker : Verdict::kLegitimate;
   return r;
 }
 
@@ -56,10 +81,10 @@ VoteOutcome Detector::detect_rounds(
     const std::vector<chat::SessionTrace>& traces,
     common::ThreadPool* pool) const {
   const std::vector<DetectionResult> results = detect_batch(traces, pool);
-  std::vector<bool> votes;
+  std::vector<Verdict> votes;
   votes.reserve(results.size());
   for (const DetectionResult& r : results) {
-    votes.push_back(r.is_attacker);
+    votes.push_back(r.verdict);
   }
   return majority_vote(votes, config_.vote_fraction);
 }

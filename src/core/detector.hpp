@@ -27,9 +27,17 @@ namespace lumichat::core {
 /// Verdict and evidence for one detection round.
 struct DetectionResult {
   bool is_attacker = false;
+  /// Three-way verdict. Matches is_attacker unless the round abstained
+  /// (possible only when DetectorConfig::enable_abstain is set), in which
+  /// case is_attacker is false and lof_score/features are not meaningful.
+  Verdict verdict = Verdict::kLegitimate;
   double lof_score = 0.0;
   FeatureVector features;
   FeatureDiagnostics diagnostics;
+  /// Evidence assessment of the round's two signals (filled by detect();
+  /// classify() on precomputed features leaves them at their defaults).
+  SignalQuality transmitted_quality;
+  SignalQuality received_quality;
 };
 
 class Detector {

@@ -54,11 +54,17 @@ double FeatureExtractor::estimate_delay_s(
   }
   if (diffs.empty()) return 0.0;
   // Median rather than mean: one spuriously paired change must not drag the
-  // whole alignment off.
-  std::nth_element(diffs.begin(), diffs.begin() + static_cast<std::ptrdiff_t>(
-                                      diffs.size() / 2),
-                   diffs.end());
-  return std::max(0.0, diffs[diffs.size() / 2]);
+  // whole alignment off. For an even count the two middle elements are
+  // averaged — taking only the upper one biases the estimate late by up to
+  // half the gap between them.
+  const auto mid = static_cast<std::ptrdiff_t>(diffs.size() / 2);
+  std::nth_element(diffs.begin(), diffs.begin() + mid, diffs.end());
+  double median = diffs[static_cast<std::size_t>(mid)];
+  if (diffs.size() % 2 == 0) {
+    const double lower = *std::max_element(diffs.begin(), diffs.begin() + mid);
+    median = 0.5 * (lower + median);
+  }
+  return std::max(0.0, median);
 }
 
 FeatureExtraction FeatureExtractor::extract(
@@ -101,9 +107,9 @@ FeatureExtraction FeatureExtractor::extract(
                                static_cast<double>(r_times.size());
 
   // --- Luminance change trend: z3 and z4 ---
-  const signal::Signal& t_trend = transmitted.smoothed_variance;
-  signal::Signal r_trend = received.smoothed_variance;
-  if (t_trend.empty() || r_trend.empty()) {
+  const signal::Signal& t_full = transmitted.smoothed_variance;
+  const signal::Signal& r_full = received.smoothed_variance;
+  if (t_full.empty() || r_full.empty()) {
     z.z3 = 0.0;
     // Sentinel: clearly outside the legitimate z4 range (which the /30
     // scaling keeps well below ~1.5 in practice).
@@ -111,10 +117,27 @@ FeatureExtraction FeatureExtractor::extract(
     return out;
   }
 
-  // Remove the estimated delay, then normalise both trends to [0, 1].
+  // Remove the estimated delay, then restrict both trends to the shifted
+  // signal's valid range: outside it delay compensation only replicated the
+  // boundary sample, and a constant tail correlates perfectly with anything
+  // — inflating z3 for attackers precisely when the delay is largest.
   const double delay_samples =
       diag.estimated_delay_s * config_.sample_rate_hz;
-  r_trend = signal::delay_signal(r_trend, -delay_samples);
+  const signal::DelayedSignal shifted =
+      signal::delay_signal_checked(r_full, -delay_samples);
+  const std::size_t begin = shifted.valid_begin;
+  const std::size_t end = std::min(shifted.valid_end, t_full.size());
+  const std::size_t min_len = std::max<std::size_t>(4, 2 * config_.trend_segments);
+  if (end <= begin || end - begin < min_len) {
+    z.z3 = 0.0;
+    z.z4 = 2.0;
+    return out;
+  }
+  const signal::Signal t_trend(t_full.begin() + static_cast<std::ptrdiff_t>(begin),
+                               t_full.begin() + static_cast<std::ptrdiff_t>(end));
+  const signal::Signal r_trend(
+      shifted.samples.begin() + static_cast<std::ptrdiff_t>(begin),
+      shifted.samples.begin() + static_cast<std::ptrdiff_t>(end));
   const signal::Signal t_norm = signal::normalize01(t_trend);
   const signal::Signal r_norm = signal::normalize01(r_trend);
 

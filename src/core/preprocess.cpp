@@ -1,5 +1,6 @@
 #include "core/preprocess.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "signal/fir.hpp"
@@ -9,6 +10,67 @@
 
 namespace lumichat::core {
 
+namespace {
+
+// Replaces NaN/Inf samples with the previous finite sample (0 when none has
+// been seen yet) — the same hold-last policy the extractor uses for missing
+// frames. One bad sample must not poison the whole FIR convolution.
+signal::Signal sanitize_non_finite(const signal::Signal& raw,
+                                   std::size_t* bad_count) {
+  *bad_count = 0;
+  for (const double v : raw) {
+    if (!std::isfinite(v)) ++*bad_count;
+  }
+  if (*bad_count == 0) return raw;
+  signal::Signal out = raw;
+  double last = 0.0;
+  for (double& v : out) {
+    if (std::isfinite(v)) {
+      last = v;
+    } else {
+      v = last;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+SignalQuality assess_signal_quality(const PreprocessResult& pre,
+                                    double completeness) {
+  SignalQuality q;
+  q.change_events = pre.peaks.size();
+  q.window_completeness = std::clamp(completeness, 0.0, 1.0);
+  q.all_finite = pre.non_finite_samples == 0;
+  if (!pre.smoothed_variance.empty()) {
+    double peak = 0.0;
+    double sum = 0.0;
+    for (const double v : pre.smoothed_variance) {
+      peak = std::max(peak, v);
+      sum += v;
+    }
+    const double mean = sum / static_cast<double>(pre.smoothed_variance.size());
+    // +1 in both numerator and denominator keeps the ratio at 1 for a dead
+    // (all-zero) trend instead of 0/0, and bounds its sensitivity near zero.
+    q.snr_proxy = (peak + 1.0) / (mean + 1.0);
+  }
+  return q;
+}
+
+bool quality_insufficient(const SignalQuality& transmitted,
+                          const SignalQuality& received,
+                          const DetectorConfig& cfg) {
+  // No probe injected: nothing to correlate, decide nothing.
+  if (transmitted.change_events < cfg.abstain_min_changes) return true;
+  // Received side starved of real data (loss/black frames) or too noisy.
+  if (received.window_completeness < cfg.abstain_min_completeness) return true;
+  if (received.snr_proxy < cfg.abstain_min_snr &&
+      received.change_events == 0) {
+    return true;
+  }
+  return false;
+}
+
 Preprocessor::Preprocessor(DetectorConfig config) : config_(config) {}
 
 PreprocessResult Preprocessor::process(const signal::Signal& raw,
@@ -16,9 +78,11 @@ PreprocessResult Preprocessor::process(const signal::Signal& raw,
   PreprocessResult r;
   if (raw.empty()) return r;
 
+  const signal::Signal clean = sanitize_non_finite(raw, &r.non_finite_samples);
+
   const signal::FirFilter lpf = signal::design_lowpass(
       config_.lowpass_cutoff_hz, config_.sample_rate_hz, config_.lowpass_taps);
-  r.filtered = lpf.apply_zero_phase(raw);
+  r.filtered = lpf.apply_zero_phase(clean);
 
   r.variance = signal::moving_variance(r.filtered, config_.variance_window);
   r.thresholded =

@@ -28,7 +28,40 @@ struct PreprocessResult {
   signal::Signal smoothed_variance;  ///< after RMS + SavGol + moving average
   std::vector<signal::Peak> peaks;   ///< significant luminance changes
   std::vector<double> change_times_s;  ///< peak times in seconds
+  /// Raw samples that were NaN/Inf on entry (sanitised before filtering).
+  std::size_t non_finite_samples = 0;
 };
+
+/// How much evidence one preprocessed window actually carries. Computed per
+/// signal and per window so the detector can *measure* degradation (packet
+/// loss, exposure collapse, a user who never injected changes) and abstain
+/// instead of emitting a confident verdict on garbage.
+struct SignalQuality {
+  /// Significant luminance changes found in the window.
+  std::size_t change_events = 0;
+  /// Peak-to-floor ratio of the smoothed-variance trend — a cheap SNR
+  /// proxy: ~1 for a flat (dead) signal, large when real changes stand
+  /// clear of the noise floor.
+  double snr_proxy = 0.0;
+  /// Fraction of the window's samples backed by real data (vs hold-last
+  /// fallback / missing frames). The caller supplies it; batch extraction
+  /// derives it from failed-landmark counts, streaming from delivered
+  /// frames.
+  double window_completeness = 1.0;
+  /// False when the raw signal contained NaN/Inf samples.
+  bool all_finite = true;
+};
+
+/// Assesses one preprocessed signal. `completeness` is the caller-known
+/// fraction of real samples (1.0 when every sample was genuinely observed).
+[[nodiscard]] SignalQuality assess_signal_quality(const PreprocessResult& pre,
+                                                  double completeness);
+
+/// The abstain rule: true when a round's evidence fails the configured
+/// floors (cfg.enable_abstain is NOT consulted here — callers gate on it).
+[[nodiscard]] bool quality_insufficient(const SignalQuality& transmitted,
+                                        const SignalQuality& received,
+                                        const DetectorConfig& cfg);
 
 class Preprocessor {
  public:

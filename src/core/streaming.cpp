@@ -24,6 +24,7 @@ void StreamingDetector::train_on_features(
 void StreamingDetector::reset_window() {
   t_buffer_.clear();
   r_buffer_.clear();
+  real_r_samples_ = 0;
 }
 
 FlushReport StreamingDetector::flush() {
@@ -58,11 +59,13 @@ std::optional<DetectionResult> StreamingDetector::push(
   // Received: nasal-bridge ROI via the landmark detector, with the batch
   // extractor's hold-last fallback.
   double r_value = last_r_value_;
+  bool real_sample = false;
   if (!received.empty()) {
     if (const auto lm = landmarks_.detect(received)) {
       const image::RectF roi = face::nasal_roi_f(*lm);
       if (!roi.empty()) {
         r_value = image::roi_luminance(received, roi);
+        real_sample = true;
         if (!have_r_value_) {
           // Backfill earlier hold-over samples of this window.
           for (double& v : r_buffer_) v = r_value;
@@ -73,16 +76,38 @@ std::optional<DetectionResult> StreamingDetector::push(
     }
   }
   r_buffer_.push_back(r_value);
+  if (real_sample) ++real_r_samples_;
 
   if (t_buffer_.size() < window_samples_) return std::nullopt;
 
   // Window complete: run the batch pipeline on the buffered signals.
   const PreprocessResult t_pre = preprocessor_.process_transmitted(t_buffer_);
   const PreprocessResult r_pre = preprocessor_.process_received(r_buffer_);
+
+  const double completeness =
+      window_samples_ == 0 ? 0.0
+                           : static_cast<double>(real_r_samples_) /
+                                 static_cast<double>(window_samples_);
+  const SignalQuality t_quality = assess_signal_quality(t_pre, 1.0);
+  const SignalQuality r_quality = assess_signal_quality(r_pre, completeness);
+
+  if (config_.detector.enable_abstain &&
+      quality_insufficient(t_quality, r_quality, config_.detector)) {
+    DetectionResult result;
+    result.verdict = Verdict::kAbstain;
+    result.transmitted_quality = t_quality;
+    result.received_quality = r_quality;
+    window_verdicts_.push_back(result.verdict);
+    reset_window();
+    return result;
+  }
+
   const FeatureExtraction fx = features_.extract(t_pre, r_pre);
   DetectionResult result = detector_.classify(fx.features);
   result.diagnostics = fx.diagnostics;
-  window_verdicts_.push_back(result.is_attacker);
+  result.transmitted_quality = t_quality;
+  result.received_quality = r_quality;
+  window_verdicts_.push_back(result.verdict);
   reset_window();
   return result;
 }

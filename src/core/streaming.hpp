@@ -104,8 +104,11 @@ class StreamingDetector {
   double next_sample_at_ = 0.0;
   double last_r_value_ = 0.0;
   bool have_r_value_ = false;
+  /// Samples of the current window backed by a real landmark hit (vs the
+  /// hold-last fallback) — the window_completeness numerator.
+  std::size_t real_r_samples_ = 0;
   std::size_t window_samples_ = 0;
-  std::vector<bool> window_verdicts_;
+  std::vector<Verdict> window_verdicts_;
 };
 
 }  // namespace lumichat::core

@@ -2,22 +2,45 @@
 // times per chat; each round casts one equal-weight vote, and the untrusted
 // user is declared an attacker when attacker-votes exceed 0.7 x D. The 0.7
 // coefficient comes from the single-round accuracy reported in Sec. VIII-C.
+//
+// Beyond the paper, a round may also ABSTAIN (degraded input — see the
+// abstain knobs in DetectorConfig). Abstains are non-votes: they are
+// reported for observability but excluded from both the attacker count and
+// the denominator, so a session that abstains every round is accepted (no
+// evidence, no alarm) rather than convicted on garbage.
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 namespace lumichat::core {
 
+/// Outcome of one detection round.
+enum class Verdict : std::uint8_t {
+  kLegitimate = 0,
+  kAttacker = 1,
+  kAbstain = 2,  ///< evidence insufficient; counts as a non-vote
+};
+
 struct VoteOutcome {
   std::size_t attacker_votes = 0;
+  /// Decided (non-abstained) rounds — the vote denominator.
   std::size_t total_votes = 0;
+  /// Rounds that abstained (excluded from total_votes).
+  std::size_t abstained_votes = 0;
   bool is_attacker = false;
 };
 
 /// Combines single-round verdicts (`true` = that round said "attacker").
 /// With an empty input the user is accepted (no evidence, no alarm).
 [[nodiscard]] VoteOutcome majority_vote(const std::vector<bool>& rounds,
+                                        double vote_fraction = 0.7);
+
+/// Three-way overload: abstained rounds are counted in `abstained_votes`
+/// but excluded from the attacker-fraction test. All-abstain (or empty)
+/// inputs are accepted.
+[[nodiscard]] VoteOutcome majority_vote(const std::vector<Verdict>& rounds,
                                         double vote_fraction = 0.7);
 
 }  // namespace lumichat::core

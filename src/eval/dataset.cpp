@@ -1,6 +1,7 @@
 #include "eval/dataset.hpp"
 
 #include "common/rng.hpp"
+#include "faults/plan.hpp"
 #include "reenact/adaptive.hpp"
 #include "reenact/reenactor.hpp"
 
@@ -12,6 +13,7 @@ chat::SessionSpec SimulationProfile::session_spec() const {
   s.sample_rate_hz = sample_rate_hz;
   s.alice_to_bob = alice_to_bob;
   s.bob_to_alice = bob_to_alice;
+  s.faults = faults;
   return s;
 }
 
@@ -33,11 +35,13 @@ std::uint64_t DatasetBuilder::clip_seed(const Volunteer& v, Role role,
   return common::derive_seed(profile_.master_seed, stream);
 }
 
-chat::AliceStream DatasetBuilder::make_alice(std::uint64_t seed) const {
+chat::AliceStream DatasetBuilder::make_alice(
+    std::uint64_t seed, optics::ExposureDriftSpec drift) const {
   chat::AliceSpec spec;
   // Alice's own face varies with the seed so no two clips show the same
   // verifier-side content; she is not part of the evaluated population.
   spec.face = face::make_volunteer_face(seed % 10);
+  spec.camera.drift = drift;
   common::Rng script_rng(common::derive_seed(seed, 61));
   auto script = chat::make_metering_script(profile_.clip_duration_s,
                                            script_rng);
@@ -48,11 +52,16 @@ chat::AliceStream DatasetBuilder::make_alice(std::uint64_t seed) const {
 chat::SessionTrace DatasetBuilder::legit_trace(const Volunteer& v,
                                                std::size_t clip_idx) const {
   const std::uint64_t seed = clip_seed(v, Role::kLegitimate, clip_idx);
-  chat::AliceStream alice = make_alice(seed);
+  // Camera-side degradations attach to the real capture devices; an all-zero
+  // config yields disabled (default) drift specs.
+  const faults::FaultPlan drift_plan(profile_.faults,
+                                     common::derive_seed(seed, 71));
+  chat::AliceStream alice = make_alice(seed, drift_plan.camera_drift(1));
   common::Rng env_rng(common::derive_seed(seed, 69));
 
   chat::LegitimateSpec bob;
   bob.face = v.face;
+  bob.camera.drift = drift_plan.camera_drift(2);
   bob.screen = profile_.bob_screen;
   // Session-to-session variation: people do not sit at a fixed distance or
   // under identical lighting for every chat. This is what gives legitimate
@@ -69,7 +78,11 @@ chat::SessionTrace DatasetBuilder::legit_trace(const Volunteer& v,
 chat::SessionTrace DatasetBuilder::attacker_trace(const Volunteer& v,
                                                   std::size_t clip_idx) const {
   const std::uint64_t seed = clip_seed(v, Role::kAttacker, clip_idx);
-  chat::AliceStream alice = make_alice(seed);
+  // Only Alice's side has a real camera here — the attacker's frames come
+  // from the synthetic reenactment pipeline behind a virtual camera.
+  const faults::FaultPlan drift_plan(profile_.faults,
+                                     common::derive_seed(seed, 71));
+  chat::AliceStream alice = make_alice(seed, drift_plan.camera_drift(1));
 
   common::Rng env_rng(common::derive_seed(seed, 69));
   reenact::ReenactorSpec spec;
@@ -91,7 +104,9 @@ chat::SessionTrace DatasetBuilder::adaptive_trace(const Volunteer& v,
                                                   std::size_t clip_idx,
                                                   double delay_s) const {
   const std::uint64_t seed = clip_seed(v, Role::kAdaptiveAttacker, clip_idx);
-  chat::AliceStream alice = make_alice(seed);
+  const faults::FaultPlan drift_plan(profile_.faults,
+                                     common::derive_seed(seed, 71));
+  chat::AliceStream alice = make_alice(seed, drift_plan.camera_drift(1));
 
   common::Rng env_rng(common::derive_seed(seed, 69));
   reenact::AdaptiveAttackerSpec spec;

@@ -20,6 +20,7 @@
 #include "chat/session.hpp"
 #include "core/detector.hpp"
 #include "eval/population.hpp"
+#include "faults/fault_config.hpp"
 #include "optics/ambient.hpp"
 #include "optics/screen.hpp"
 
@@ -40,6 +41,12 @@ struct SimulationProfile {
 
   /// Detector configuration (tau, k, windows, ...).
   core::DetectorConfig detector{};
+
+  /// Deterministic degradations injected into every session built from this
+  /// profile (link faults, codec collapse, resolution switches via the
+  /// SessionSpec; camera drift applied to the real cameras). All-zero
+  /// severities (the default) are an exact no-op.
+  faults::FaultConfig faults{};
 
   std::uint64_t master_seed = 42;
 
@@ -93,7 +100,8 @@ class DatasetBuilder {
  private:
   [[nodiscard]] std::uint64_t clip_seed(const Volunteer& v, Role role,
                                         std::size_t clip_idx) const;
-  [[nodiscard]] chat::AliceStream make_alice(std::uint64_t seed) const;
+  [[nodiscard]] chat::AliceStream make_alice(
+      std::uint64_t seed, optics::ExposureDriftSpec drift = {}) const;
 
   SimulationProfile profile_;
   core::Detector featurizer_;  // used only for featurize(); never trained

@@ -1,0 +1,64 @@
+// Deterministic fault-injection configuration.
+//
+// Real chat sessions are not the clean simulations the evaluation protocol
+// records: packets are lost in bursts, codecs collapse under congestion,
+// cameras drift their exposure while the sun moves, and clocks skew. The
+// paper sweeps distance, brightness and pose (Figs. 12-14); this layer
+// extends the sweep to transport- and capture-level degradations so the
+// defense's accuracy and abstain behaviour can be measured per fault family
+// at a controlled severity.
+//
+// Every family is driven by one severity knob in [0, 1]:
+//   0 = disabled — the injector is an exact no-op that consumes NO random
+//       numbers, so a zero-severity FaultConfig reproduces the undegraded
+//       simulation bit for bit (the golden regressions rely on this);
+//   1 = the worst condition the sweep models (multi-second loss bursts,
+//       near-total codec collapse, quarter-resolution video, ...).
+#pragma once
+
+#include <cstdint>
+
+namespace lumichat::faults {
+
+struct FaultConfig {
+  /// Bursty frame loss (Gilbert-Elliott two-state channel). Severity scales
+  /// both the burst entry rate and the in-burst loss probability.
+  double burst_loss = 0.0;
+  /// Frame duplication probability scale (decoder sees the same frame twice).
+  double duplication = 0.0;
+  /// Frame reordering probability scale (adjacent frames swap in flight).
+  double reordering = 0.0;
+  /// Clock skew plus a slowly ramping one-way delay and extra jitter.
+  double clock_skew = 0.0;
+  /// Auto-gain oscillation of the capture pipeline (exposure hunting).
+  double exposure_drift = 0.0;
+  /// White-balance drift (opposing red/blue channel gains).
+  double white_balance_drift = 0.0;
+  /// Episodic codec quality collapse (congestion-style compression bursts).
+  double codec_collapse = 0.0;
+  /// Mid-call resolution switches (rate adaptation drops to 1/2 or 1/4).
+  double resolution_switch = 0.0;
+
+  [[nodiscard]] bool any() const {
+    return burst_loss > 0.0 || duplication > 0.0 || reordering > 0.0 ||
+           clock_skew > 0.0 || exposure_drift > 0.0 ||
+           white_balance_drift > 0.0 || codec_collapse > 0.0 ||
+           resolution_switch > 0.0;
+  }
+
+  /// Every family at the same severity (the "everything degrades" sweep).
+  [[nodiscard]] static FaultConfig uniform(double severity) {
+    FaultConfig c;
+    c.burst_loss = severity;
+    c.duplication = severity;
+    c.reordering = severity;
+    c.clock_skew = severity;
+    c.exposure_drift = severity;
+    c.white_balance_drift = severity;
+    c.codec_collapse = severity;
+    c.resolution_switch = severity;
+    return c;
+  }
+};
+
+}  // namespace lumichat::faults

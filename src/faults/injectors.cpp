@@ -1,0 +1,164 @@
+#include "faults/injectors.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lumichat::faults {
+namespace {
+
+[[nodiscard]] double clamp01(double v) { return std::clamp(v, 0.0, 1.0); }
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// GilbertElliottLoss
+
+GilbertElliottLoss::GilbertElliottLoss(double severity, std::uint64_t seed)
+    : rng_(seed) {
+  const double s = clamp01(severity);
+  if (s <= 0.0) return;
+  enabled_ = true;
+  // At severity 1: a burst starts about every 16 frames, lasts ~5 frames on
+  // average and loses ~90% of the frames inside it — multi-second outages at
+  // 10 Hz. At low severity bursts are rare, short and shallow.
+  p_enter_burst_ = 0.06 * s;
+  p_exit_burst_ = 0.35 - 0.15 * s;
+  loss_bad_ = 0.4 + 0.5 * s;
+  loss_good_ = 0.01 * s;
+}
+
+bool GilbertElliottLoss::drop() {
+  if (!enabled_) return false;
+  if (burst_) {
+    if (rng_.chance(p_exit_burst_)) burst_ = false;
+  } else {
+    if (rng_.chance(p_enter_burst_)) burst_ = true;
+  }
+  return rng_.chance(burst_ ? loss_bad_ : loss_good_);
+}
+
+// ---------------------------------------------------------------------------
+// DeliveryFault
+
+DeliveryFault::DeliveryFault(double dup_severity, double reorder_severity,
+                             std::uint64_t seed)
+    : rng_(seed) {
+  p_duplicate_ = 0.12 * clamp01(dup_severity);
+  p_swap_ = 0.12 * clamp01(reorder_severity);
+  enabled_ = p_duplicate_ > 0.0 || p_swap_ > 0.0;
+}
+
+DeliveryAction DeliveryFault::next() {
+  if (!enabled_) return DeliveryAction::kDeliver;
+  // One uniform draw per frame regardless of which families are on, so
+  // enabling reordering does not change the duplication sample sequence.
+  const double u = rng_.uniform();
+  if (u < p_duplicate_) return DeliveryAction::kDuplicate;
+  if (u < p_duplicate_ + p_swap_) return DeliveryAction::kSwapWithPrevious;
+  return DeliveryAction::kDeliver;
+}
+
+// ---------------------------------------------------------------------------
+// ClockSkewFault
+
+ClockSkewFault::ClockSkewFault(double severity, std::uint64_t seed)
+    : rng_(seed) {
+  const double s = clamp01(severity);
+  if (s <= 0.0) return;
+  enabled_ = true;
+  // Signed skew up to +/-3%: sender timestamps stretch or compress against
+  // the receiver clock. The delay ramp models a queue building over the
+  // call, capped so the shift stays within the same order as real RTTs.
+  skew_ = rng_.uniform(-0.03, 0.03) * s;
+  ramp_rate_ = 0.02 * s;
+  ramp_cap_s_ = 0.6 * s;
+  jitter_sigma_s_ = 0.04 * s;
+}
+
+double ClockSkewFault::warp(double t_sec) {
+  if (!enabled_) return t_sec;
+  const double ramp = std::min(ramp_cap_s_, ramp_rate_ * std::max(0.0, t_sec));
+  const double jitter = std::fabs(rng_.gaussian(0.0, jitter_sigma_s_));
+  return t_sec * (1.0 + skew_) + ramp + jitter;
+}
+
+// ---------------------------------------------------------------------------
+// CodecCollapse
+
+CodecCollapse::CodecCollapse(double severity, double base_compression,
+                             std::uint64_t seed) {
+  const double s = clamp01(severity);
+  // The base survives even when disabled: a severity-0 injector must report
+  // the session's own compression, not 0, wherever it is consulted.
+  base_ = std::clamp(base_compression, 0.0, 0.95);
+  if (s <= 0.0) return;
+  enabled_ = true;
+  depth_ = s * (0.95 - base_);
+  // Seeded cadence: collapse episodes every 6-12 s, phase-shifted so
+  // different streams collapse at different moments.
+  common::Rng rng(seed);
+  period_s_ = rng.uniform(6.0, 12.0);
+  duty_ = 0.25 + 0.25 * s;
+  phase_s_ = rng.uniform(0.0, period_s_);
+}
+
+double CodecCollapse::compression_at(double t_sec) const {
+  if (!enabled_) return base_;
+  const double local =
+      std::fmod(t_sec + phase_s_, period_s_) / period_s_;  // 0..1 in episode
+  if (local >= duty_) return base_;
+  // Raised-cosine attack/decay inside the collapse window: quality ramps
+  // down and back up rather than stepping (rate controllers are smooth).
+  const double envelope =
+      0.5 * (1.0 - std::cos(2.0 * 3.14159265358979323846 * local / duty_));
+  return std::clamp(base_ + depth_ * envelope, 0.0, 0.95);
+}
+
+// ---------------------------------------------------------------------------
+// ResolutionSwitch
+
+ResolutionSwitch::ResolutionSwitch(double severity, std::uint64_t seed)
+    : seed_(seed) {
+  const double s = clamp01(severity);
+  if (s <= 0.0) return;
+  enabled_ = true;
+  p_degraded_ = 0.7 * s;
+}
+
+std::size_t ResolutionSwitch::factor_at(double t_sec) const {
+  if (!enabled_ || t_sec < 0.0) return 1;
+  const auto epoch = static_cast<std::uint64_t>(t_sec / epoch_s_);
+  const std::uint64_t h = common::derive_seed(seed_, epoch);
+  const double u = static_cast<double>(h % 100000) / 100000.0;
+  if (u >= p_degraded_) return 1;
+  // Degraded epochs split between half and quarter resolution.
+  return (h >> 20) % 2 == 0 ? 2 : 4;
+}
+
+image::Image ResolutionSwitch::apply(const image::Image& frame,
+                                     double t_sec) const {
+  const std::size_t factor = factor_at(t_sec);
+  if (factor <= 1 || frame.empty()) return frame;
+  const std::size_t w = std::max<std::size_t>(1, frame.width() / factor);
+  const std::size_t h = std::max<std::size_t>(1, frame.height() / factor);
+  return upscale_nearest(frame.downscale(w, h), frame.width(),
+                         frame.height());
+}
+
+image::Image upscale_nearest(const image::Image& small, std::size_t width,
+                             std::size_t height) {
+  if (small.empty() || width == 0 || height == 0) return {};
+  image::Image out(width, height);
+  for (std::size_t y = 0; y < height; ++y) {
+    const std::size_t sy =
+        std::min(small.height() - 1, y * small.height() / height);
+    for (std::size_t x = 0; x < width; ++x) {
+      const std::size_t sx =
+          std::min(small.width() - 1, x * small.width() / width);
+      out(x, y) = small(sx, sy);
+    }
+  }
+  return out;
+}
+
+}  // namespace lumichat::faults

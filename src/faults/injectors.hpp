@@ -1,0 +1,147 @@
+// The individual fault injectors composed by faults::FaultPlan.
+//
+// Each injector owns its own common::Rng stream (derived from the plan
+// seed), so enabling one family never perturbs the draws of another — or of
+// the underlying simulation. A disabled injector (severity 0) never touches
+// its generator at all: the degraded and clean code paths are bit-identical
+// except for the faults explicitly injected.
+#pragma once
+
+#include <cstdint>
+
+#include "common/rng.hpp"
+#include "image/image.hpp"
+
+namespace lumichat::faults {
+
+/// Two-state Markov (Gilbert-Elliott) frame-loss channel. The i.i.d. drop
+/// model in chat::NetworkSpec cannot produce the multi-frame outages real
+/// congestion causes; this one loses frames in bursts whose rate and depth
+/// grow with severity.
+class GilbertElliottLoss {
+ public:
+  GilbertElliottLoss() = default;
+  GilbertElliottLoss(double severity, std::uint64_t seed);
+
+  /// Advances the channel one frame; true = the frame is lost.
+  [[nodiscard]] bool drop();
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] bool in_burst() const { return burst_; }
+
+ private:
+  bool enabled_ = false;
+  bool burst_ = false;
+  double p_enter_burst_ = 0.0;  ///< good -> bad transition per frame
+  double p_exit_burst_ = 1.0;   ///< bad -> good transition per frame
+  double loss_good_ = 0.0;      ///< residual loss outside bursts
+  double loss_bad_ = 0.0;       ///< loss probability inside a burst
+  common::Rng rng_;
+};
+
+/// Per-frame delivery mutation: duplication and adjacent-frame reordering.
+enum class DeliveryAction : std::uint8_t {
+  kDeliver,           ///< normal delivery
+  kDuplicate,         ///< the frame arrives twice
+  kSwapWithPrevious,  ///< this frame and the previous in-flight one swap
+};
+
+class DeliveryFault {
+ public:
+  DeliveryFault() = default;
+  DeliveryFault(double dup_severity, double reorder_severity,
+                std::uint64_t seed);
+
+  [[nodiscard]] DeliveryAction next();
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+ private:
+  bool enabled_ = false;
+  double p_duplicate_ = 0.0;
+  double p_swap_ = 0.0;
+  common::Rng rng_;
+};
+
+/// Clock skew plus delay ramp plus extra jitter, applied to send timestamps.
+/// warp(t) models the sender clock running fast/slow relative to the
+/// receiver (skew), queueing delay building up over the call (ramp, capped)
+/// and per-frame timing noise on top of the channel's own jitter.
+class ClockSkewFault {
+ public:
+  ClockSkewFault() = default;
+  ClockSkewFault(double severity, std::uint64_t seed);
+
+  /// Warped send time for a frame sent at `t_sec` (call once per frame; the
+  /// jitter component draws from this injector's stream).
+  [[nodiscard]] double warp(double t_sec);
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+  [[nodiscard]] double skew() const { return skew_; }
+
+ private:
+  bool enabled_ = false;
+  double skew_ = 0.0;          ///< relative clock-rate error
+  double ramp_rate_ = 0.0;     ///< delay growth in s per s of call time
+  double ramp_cap_s_ = 0.0;    ///< ceiling of the ramp
+  double jitter_sigma_s_ = 0.0;
+  common::Rng rng_;
+};
+
+/// Episodic codec quality collapse: congestion windows during which the
+/// compression level ramps toward near-total collapse. A pure function of
+/// time (phase and cadence fixed by the seed), so feeding frames in any
+/// batching produces identical quality trajectories.
+class CodecCollapse {
+ public:
+  CodecCollapse() = default;
+  CodecCollapse(double severity, double base_compression, std::uint64_t seed);
+
+  /// Compression level (0..~0.95) the codec should use at call time `t_sec`.
+  [[nodiscard]] double compression_at(double t_sec) const;
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+ private:
+  bool enabled_ = false;
+  double base_ = 0.0;
+  double depth_ = 0.0;     ///< how far toward 0.95 a collapse episode goes
+  double period_s_ = 8.0;  ///< episode cadence
+  double duty_ = 0.4;      ///< fraction of each period spent collapsed
+  double phase_s_ = 0.0;
+};
+
+/// Mid-call resolution switches: rate adaptation drops the stream to half or
+/// quarter resolution for a stretch, then restores it. Factor schedule is a
+/// pure function of time (hash of the epoch index), so it is deterministic
+/// under any frame batching.
+class ResolutionSwitch {
+ public:
+  ResolutionSwitch() = default;
+  ResolutionSwitch(double severity, std::uint64_t seed);
+
+  /// Downscale factor (1, 2 or 4) in force at call time `t_sec`.
+  [[nodiscard]] std::size_t factor_at(double t_sec) const;
+
+  /// Applies the factor in force at `t_sec`: box-downscale by it, then
+  /// nearest-neighbour upscale back to the original dimensions (the blocky
+  /// frame a real decoder displays after a downswitch). Factor 1 (or an
+  /// empty frame) returns the input untouched.
+  [[nodiscard]] image::Image apply(const image::Image& frame,
+                                   double t_sec) const;
+
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+ private:
+  bool enabled_ = false;
+  double p_degraded_ = 0.0;  ///< probability an epoch runs degraded
+  double epoch_s_ = 5.0;     ///< length of one resolution epoch
+  std::uint64_t seed_ = 0;
+};
+
+/// Nearest-neighbour upscale to (width, height) — the display half of a
+/// resolution downswitch. Exposed for tests.
+[[nodiscard]] image::Image upscale_nearest(const image::Image& small,
+                                           std::size_t width,
+                                           std::size_t height);
+
+}  // namespace lumichat::faults

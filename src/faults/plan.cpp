@@ -1,0 +1,73 @@
+#include "faults/plan.hpp"
+
+namespace lumichat::faults {
+namespace {
+
+// Family ordinals for seed derivation. Append only: reordering these would
+// silently re-seed every existing sweep.
+enum : std::uint64_t {
+  kSeedLoss = 1,
+  kSeedDelivery = 2,
+  kSeedTiming = 3,
+  kSeedCodec = 4,
+  kSeedResolution = 5,
+  kSeedCameraDrift = 6,
+};
+
+}  // namespace
+
+FaultPlan::FaultPlan(FaultConfig config, std::uint64_t seed)
+    : config_(config), seed_(seed) {}
+
+std::uint64_t FaultPlan::stream_seed(std::uint64_t family,
+                                     std::uint64_t stream) const {
+  return common::derive_seed(common::derive_seed(seed_, family), stream);
+}
+
+LinkFaults FaultPlan::link(std::uint64_t stream) const {
+  LinkFaults f;
+  f.loss =
+      GilbertElliottLoss(config_.burst_loss, stream_seed(kSeedLoss, stream));
+  f.delivery = DeliveryFault(config_.duplication, config_.reordering,
+                             stream_seed(kSeedDelivery, stream));
+  f.timing =
+      ClockSkewFault(config_.clock_skew, stream_seed(kSeedTiming, stream));
+  return f;
+}
+
+CodecCollapse FaultPlan::codec_collapse(double base_compression,
+                                        std::uint64_t stream) const {
+  return CodecCollapse(config_.codec_collapse, base_compression,
+                       stream_seed(kSeedCodec, stream));
+}
+
+ResolutionSwitch FaultPlan::resolution_switch(std::uint64_t stream) const {
+  return ResolutionSwitch(config_.resolution_switch,
+                          stream_seed(kSeedResolution, stream));
+}
+
+optics::ExposureDriftSpec FaultPlan::camera_drift(
+    std::uint64_t stream) const {
+  optics::ExposureDriftSpec drift;
+  if (config_.exposure_drift <= 0.0 && config_.white_balance_drift <= 0.0) {
+    return drift;  // all-zero: CameraModel skips the drift path entirely
+  }
+  common::Rng rng(stream_seed(kSeedCameraDrift, stream));
+  // Amplitudes scale with severity; periods and phases are seeded so
+  // different cameras hunt at different cadences. At severity 1 the gain
+  // wobbles +/-25% — enough to bury the face-reflection signal in exposure
+  // artefacts — and the WB gains swing +/-15%.
+  if (config_.exposure_drift > 0.0) {
+    drift.gain_amplitude = 0.25 * config_.exposure_drift;
+    drift.gain_period_s = rng.uniform(5.0, 11.0);
+    drift.gain_phase = rng.uniform(0.0, 6.283185307179586);
+  }
+  if (config_.white_balance_drift > 0.0) {
+    drift.wb_amplitude = 0.15 * config_.white_balance_drift;
+    drift.wb_period_s = rng.uniform(7.0, 15.0);
+    drift.wb_phase = rng.uniform(0.0, 6.283185307179586);
+  }
+  return drift;
+}
+
+}  // namespace lumichat::faults

@@ -1,0 +1,66 @@
+// FaultPlan — a seeded factory for every injector of one degraded session.
+//
+// One plan is built per session from (FaultConfig, seed); each injector it
+// hands out draws from a decorrelated common::Rng stream derived with
+// derive_seed(plan seed, family ordinal ^ stream id), so:
+//   * the same (config, seed) always produces the same degradation sequence
+//     — sweeps are reproducible bit for bit;
+//   * the two directions of a chat (or any other distinct streams) degrade
+//     independently, as real links do;
+//   * the simulation's own RNG streams (camera noise, codec noise, network
+//     jitter) are never consumed by the fault layer, so severity 0 leaves
+//     the undegraded run untouched.
+#pragma once
+
+#include <cstdint>
+
+#include "faults/fault_config.hpp"
+#include "faults/injectors.hpp"
+#include "optics/camera.hpp"
+
+namespace lumichat::faults {
+
+/// The per-link injector bundle chat::NetworkChannel consumes.
+struct LinkFaults {
+  GilbertElliottLoss loss;
+  DeliveryFault delivery;
+  ClockSkewFault timing;
+
+  [[nodiscard]] bool enabled() const {
+    return loss.enabled() || delivery.enabled() || timing.enabled();
+  }
+};
+
+class FaultPlan {
+ public:
+  FaultPlan() = default;
+  FaultPlan(FaultConfig config, std::uint64_t seed);
+
+  /// Transport faults for one direction; `stream` decorrelates directions.
+  [[nodiscard]] LinkFaults link(std::uint64_t stream) const;
+
+  /// Time-varying compression schedule starting from `base_compression`.
+  [[nodiscard]] CodecCollapse codec_collapse(double base_compression,
+                                             std::uint64_t stream) const;
+
+  /// Mid-call resolution switch schedule for one displayed stream.
+  [[nodiscard]] ResolutionSwitch resolution_switch(
+      std::uint64_t stream) const;
+
+  /// Capture degradation for one camera (assign to CameraSpec::drift).
+  [[nodiscard]] optics::ExposureDriftSpec camera_drift(
+      std::uint64_t stream) const;
+
+  [[nodiscard]] const FaultConfig& config() const { return config_; }
+  [[nodiscard]] std::uint64_t seed() const { return seed_; }
+  [[nodiscard]] bool any() const { return config_.any(); }
+
+ private:
+  [[nodiscard]] std::uint64_t stream_seed(std::uint64_t family,
+                                          std::uint64_t stream) const;
+
+  FaultConfig config_{};
+  std::uint64_t seed_ = 0;
+};
+
+}  // namespace lumichat::faults

@@ -13,6 +13,7 @@ CameraModel::CameraModel(CameraSpec spec, std::uint64_t seed)
 void CameraModel::reset() {
   gain_ = 0.0;
   wb_ = image::Pixel{1.0, 1.0, 1.0};
+  frames_captured_ = 0;
 }
 
 double CameraModel::meter(const image::Image& scene) const {
@@ -82,12 +83,39 @@ image::Image CameraModel::capture(const image::Image& scene) {
     }
   }
 
+  // Capture-pipeline degradation: a multiplicative wobble on the exposure
+  // gain and opposing red/blue gains, as a function of capture time. The
+  // wobble is measured, not integrated, so it never corrupts the adaptation
+  // state — severity 0 leaves every state variable untouched.
+  double effective_gain = gain_;
+  image::Pixel effective_wb = wb_;
+  if (spec_.drift.enabled()) {
+    constexpr double kTwoPi = 6.283185307179586;
+    const double t =
+        static_cast<double>(frames_captured_) / spec_.frame_rate_hz;
+    if (spec_.drift.gain_amplitude > 0.0) {
+      effective_gain *=
+          1.0 + spec_.drift.gain_amplitude *
+                    std::sin(kTwoPi * t / spec_.drift.gain_period_s +
+                             spec_.drift.gain_phase);
+    }
+    if (spec_.drift.wb_amplitude > 0.0) {
+      const double shift =
+          spec_.drift.wb_amplitude *
+          std::sin(kTwoPi * t / spec_.drift.wb_period_s +
+                   spec_.drift.wb_phase);
+      effective_wb.r *= 1.0 + shift;
+      effective_wb.b *= 1.0 - shift;
+    }
+  }
+  ++frames_captured_;
+
   image::Image out(scene.width(), scene.height());
   for (std::size_t y = 0; y < scene.height(); ++y) {
     for (std::size_t x = 0; x < scene.width(); ++x) {
       const image::Pixel& p = scene(x, y);
       auto develop = [&](double v) {
-        double lsb = v * gain_;
+        double lsb = v * effective_gain;
         // Read and shot noise are independent Gaussians; fold them into one
         // draw with the combined variance (hot path: every channel of every
         // pixel of every simulated frame passes through here).
@@ -99,8 +127,9 @@ image::Image CameraModel::capture(const image::Image& scene) {
         lsb = std::clamp(lsb, 0.0, kFullScale);
         return spec_.quantize ? std::round(lsb) : lsb;
       };
-      out(x, y) = image::Pixel{develop(p.r * wb_.r), develop(p.g * wb_.g),
-                               develop(p.b * wb_.b)};
+      out(x, y) = image::Pixel{develop(p.r * effective_wb.r),
+                               develop(p.g * effective_wb.g),
+                               develop(p.b * effective_wb.b)};
     }
   }
   return out;

@@ -26,6 +26,26 @@ enum class MeteringMode {
   kMultiZone,  ///< centre-weighted average over a zone grid
 };
 
+/// Slow sinusoidal degradation of the capture pipeline: exposure "hunting"
+/// (the auto-gain loop oscillating around its target) and white-balance
+/// drift (opposing red/blue gains, the look of a failing AWB loop under
+/// changing ambient light). All-zero amplitudes (the default) are an exact
+/// no-op — the degraded and clean capture paths are then bit-identical,
+/// which is what lets the fault-injection layer be strictly opt-in.
+/// Typically filled in by faults::FaultPlan::camera_drift().
+struct ExposureDriftSpec {
+  double gain_amplitude = 0.0;  ///< fractional peak exposure-gain deviation
+  double gain_period_s = 7.0;
+  double gain_phase = 0.0;
+  double wb_amplitude = 0.0;  ///< fractional peak red/blue gain deviation
+  double wb_period_s = 11.0;
+  double wb_phase = 0.0;
+
+  [[nodiscard]] bool enabled() const {
+    return gain_amplitude > 0.0 || wb_amplitude > 0.0;
+  }
+};
+
 /// Static camera parameters.
 struct CameraSpec {
   MeteringMode metering = MeteringMode::kMultiZone;
@@ -50,6 +70,10 @@ struct CameraSpec {
   bool auto_white_balance = false;
   /// Per-frame exponential step of the white-balance gains.
   double awb_rate = 0.05;
+  /// Optional capture degradation (exposure hunting, WB drift). Disabled by
+  /// default; severity is injected by the fault layer, never by experiments
+  /// that model healthy hardware.
+  ExposureDriftSpec drift{};
 };
 
 /// A point in normalised frame coordinates ([0,1] x [0,1]).
@@ -89,6 +113,7 @@ class CameraModel {
   NormPoint spot_{};
   double gain_ = 0.0;  // 0 = not yet initialised; first frame snaps to ideal
   image::Pixel wb_{1.0, 1.0, 1.0};
+  std::uint64_t frames_captured_ = 0;  // drives the drift clock
 };
 
 }  // namespace lumichat::optics

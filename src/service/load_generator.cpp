@@ -12,6 +12,7 @@
 #include "chat/respondent.hpp"
 #include "common/rng.hpp"
 #include "face/face_model.hpp"
+#include "faults/plan.hpp"
 #include "reenact/reenactor.hpp"
 
 namespace lumichat::service {
@@ -33,8 +34,14 @@ class FullChatSource final : public ChatSource {
     const std::uint64_t seed =
         common::derive_seed(spec.master_seed, ordinal);
 
+    // Camera-side degradations (exposure/white-balance drift) attach to the
+    // capture specs; link/codec/resolution faults ride in the SessionSpec.
+    const faults::FaultPlan drift_plan(spec.faults,
+                                       common::derive_seed(seed, 71));
+
     chat::AliceSpec alice_spec;
     alice_spec.face = face::make_volunteer_face(seed % 10);
+    alice_spec.camera.drift = drift_plan.camera_drift(1);
     common::Rng script_rng(common::derive_seed(seed, 61));
     auto script = chat::make_metering_script(spec.duration_s, script_rng);
     alice_ = std::make_unique<chat::AliceStream>(
@@ -55,6 +62,7 @@ class FullChatSource final : public ChatSource {
     } else {
       chat::LegitimateSpec peer_spec;
       peer_spec.face = victim;
+      peer_spec.camera.drift = drift_plan.camera_drift(2);
       peer_spec.screen_distance_m *= env_rng.uniform(0.8, 1.35);
       peer_spec.ambient.lux_on_face *= env_rng.uniform(0.55, 1.7);
       peer_ = std::make_unique<chat::LegitimateRespondent>(
@@ -66,6 +74,7 @@ class FullChatSource final : public ChatSource {
     session_spec.duration_s = spec.duration_s;
     session_spec.sample_rate_hz = spec.sample_rate_hz;
     session_spec.warmup_s = spec.warmup_s;
+    session_spec.faults = spec.faults;
     source_ = std::make_unique<chat::SessionFrameSource>(
         session_spec, *alice_, *peer_, session_seed);
   }
@@ -224,6 +233,8 @@ LoadReport run_load(const LoadSpec& spec, const ServiceConfig& service_config,
     result.truth_attacker = c.attacker;
     for (const WindowVerdict& w : manager.verdicts(c.id)) {
       result.window_verdicts.push_back(w.is_attacker);
+      result.verdicts.push_back(w.verdict);
+      if (w.verdict == core::Verdict::kAbstain) ++result.windows_abstained;
       result.lof_scores.push_back(w.lof_score);
     }
     if (const auto closed = manager.evict(c.id)) {

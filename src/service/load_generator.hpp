@@ -18,6 +18,7 @@
 #include "common/thread_pool.hpp"
 #include "core/streaming.hpp"
 #include "core/voting.hpp"
+#include "faults/fault_config.hpp"
 #include "service/scheduler.hpp"
 #include "service/session_manager.hpp"
 
@@ -42,6 +43,9 @@ struct LoadSpec {
   /// true; a cheap synthetic luminance source when false (used by unit
   /// tests, where per-frame cost matters more than realism).
   bool full_chat = true;
+  /// Degradations injected into every simulated chat (full_chat only).
+  /// All-zero severities are an exact no-op — same frames, same verdicts.
+  faults::FaultConfig faults{};
   std::uint64_t master_seed = 42;
 };
 
@@ -50,8 +54,12 @@ struct SessionResult {
   SessionId id = 0;
   bool truth_attacker = false;
   std::vector<bool> window_verdicts;
+  /// Three-way per-window outcomes (window_verdicts mirrors these as bools
+  /// for two-way consumers; an abstained window mirrors to false).
+  std::vector<core::Verdict> verdicts;
   std::vector<double> lof_scores;
   core::VoteOutcome final_verdict{};
+  std::size_t windows_abstained = 0;
   std::size_t pending_samples_dropped = 0;
 };
 

@@ -65,6 +65,7 @@ MetricsSnapshot ServiceMetrics::snapshot(std::uint64_t sessions_active) const {
   s.windows_completed = windows_completed_.load(std::memory_order_relaxed);
   s.verdicts_legit = verdicts_legit_.load(std::memory_order_relaxed);
   s.verdicts_attacker = verdicts_attacker_.load(std::memory_order_relaxed);
+  s.verdicts_abstain = verdicts_abstain_.load(std::memory_order_relaxed);
   s.latency_p50_s = push_to_verdict_.quantile(0.50);
   s.latency_p95_s = push_to_verdict_.quantile(0.95);
   s.latency_p99_s = push_to_verdict_.quantile(0.99);
@@ -79,7 +80,7 @@ std::string MetricsSnapshot::to_json() const {
       "\"active\":%llu},"
       "\"frames\":{\"in\":%llu,\"dropped\":%llu,\"processed\":%llu},"
       "\"windows\":{\"completed\":%llu,\"verdicts_legit\":%llu,"
-      "\"verdicts_attacker\":%llu},"
+      "\"verdicts_attacker\":%llu,\"verdicts_abstain\":%llu},"
       "\"push_to_verdict_latency_s\":{\"p50\":%.6g,\"p95\":%.6g,"
       "\"p99\":%.6g}}",
       static_cast<unsigned long long>(sessions_created),
@@ -92,6 +93,7 @@ std::string MetricsSnapshot::to_json() const {
       static_cast<unsigned long long>(windows_completed),
       static_cast<unsigned long long>(verdicts_legit),
       static_cast<unsigned long long>(verdicts_attacker),
+      static_cast<unsigned long long>(verdicts_abstain),
       latency_p50_s, latency_p95_s, latency_p99_s);
   return std::string(buf);
 }

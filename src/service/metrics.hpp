@@ -14,6 +14,8 @@
 #include <cstdint>
 #include <string>
 
+#include "core/voting.hpp"
+
 namespace lumichat::service {
 
 /// Log-spaced latency histogram covering 1 us .. ~2.4 h with four buckets
@@ -54,6 +56,7 @@ struct MetricsSnapshot {
   std::uint64_t windows_completed = 0;
   std::uint64_t verdicts_legit = 0;
   std::uint64_t verdicts_attacker = 0;
+  std::uint64_t verdicts_abstain = 0;  ///< degraded-input non-votes
   double latency_p50_s = 0.0;  ///< push-to-verdict, completing frame
   double latency_p95_s = 0.0;
   double latency_p99_s = 0.0;
@@ -72,9 +75,13 @@ class ServiceMetrics {
     frames_dropped_.fetch_add(n, std::memory_order_relaxed);
   }
   void on_frame_processed() { bump(frames_processed_); }
-  void on_window_verdict(bool is_attacker, double push_to_verdict_s) {
+  void on_window_verdict(core::Verdict verdict, double push_to_verdict_s) {
     bump(windows_completed_);
-    bump(is_attacker ? verdicts_attacker_ : verdicts_legit_);
+    switch (verdict) {
+      case core::Verdict::kAttacker: bump(verdicts_attacker_); break;
+      case core::Verdict::kLegitimate: bump(verdicts_legit_); break;
+      case core::Verdict::kAbstain: bump(verdicts_abstain_); break;
+    }
     push_to_verdict_.record(push_to_verdict_s);
   }
 
@@ -99,6 +106,7 @@ class ServiceMetrics {
   std::atomic<std::uint64_t> windows_completed_{0};
   std::atomic<std::uint64_t> verdicts_legit_{0};
   std::atomic<std::uint64_t> verdicts_attacker_{0};
+  std::atomic<std::uint64_t> verdicts_abstain_{0};
   LatencyHistogram push_to_verdict_;
 };
 

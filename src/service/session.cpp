@@ -54,9 +54,10 @@ std::size_t ServiceSession::drain() {
                                  ServiceClock::now() - job.enqueued_at)
                                  .count();
       history_.push_back(WindowVerdict{history_.size(), verdict->is_attacker,
-                                       verdict->lof_score, latency});
+                                       verdict->verdict, verdict->lof_score,
+                                       latency});
       if (metrics_ != nullptr) {
-        metrics_->on_window_verdict(verdict->is_attacker, latency);
+        metrics_->on_window_verdict(verdict->verdict, latency);
       }
     }
   }

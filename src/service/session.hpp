@@ -42,6 +42,9 @@ struct FrameJob {
 struct WindowVerdict {
   std::size_t window_index = 0;
   bool is_attacker = false;
+  /// Three-way outcome; is_attacker mirrors it for two-way consumers and is
+  /// false when the window abstained (degraded input, see DetectorConfig).
+  core::Verdict verdict = core::Verdict::kLegitimate;
   double lof_score = 0.0;
   /// Wall time from enqueue of the window-completing frame to its verdict.
   double push_to_verdict_s = 0.0;

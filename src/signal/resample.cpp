@@ -24,7 +24,14 @@ Signal resample_linear(const Signal& x, double from_hz, double to_hz) {
   if (from_hz <= 0.0 || to_hz <= 0.0) {
     throw std::invalid_argument("resample_linear: rates must be positive");
   }
-  if (x.size() < 2) return x;
+  if (x.empty()) return x;
+  if (x.size() == 1) {
+    // Sample-and-hold over the sample's 1/from_hz span: the output must be
+    // sized for the *target* rate, not returned unchanged.
+    const auto out_n = std::max<std::size_t>(
+        1, static_cast<std::size_t>(std::floor(to_hz / from_hz)));
+    return Signal(out_n, x.front());
+  }
   const double duration = static_cast<double>(x.size() - 1) / from_hz;
   const auto out_n = static_cast<std::size_t>(
       std::floor(duration * to_hz)) + 1;
@@ -49,6 +56,22 @@ Signal delay_signal(const Signal& x, double delay_samples) {
   for (std::size_t i = 0; i < x.size(); ++i) {
     out[i] = sample_at(x, static_cast<double>(i) - delay_samples);
   }
+  return out;
+}
+
+DelayedSignal delay_signal_checked(const Signal& x, double delay_samples) {
+  DelayedSignal out;
+  out.samples = delay_signal(x, delay_samples);
+  if (x.empty()) return out;
+  // out.samples[i] reads x at i - delay; it is real data (interpolated, not
+  // edge-replicated) iff 0 <= i - delay <= n-1.
+  const double n1 = static_cast<double>(x.size() - 1);
+  const double lo = std::ceil(delay_samples);
+  const double hi = std::floor(n1 + delay_samples);
+  const double begin = std::clamp(lo, 0.0, n1 + 1.0);
+  const double end = std::clamp(hi + 1.0, begin, n1 + 1.0);
+  out.valid_begin = static_cast<std::size_t>(begin);
+  out.valid_end = static_cast<std::size_t>(end);
   return out;
 }
 

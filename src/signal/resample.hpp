@@ -11,7 +11,12 @@
 namespace lumichat::signal {
 
 /// Resamples `x` (sampled at `from_hz`) to `to_hz` via linear interpolation.
-/// The output covers the same time span [0, (n-1)/from_hz].
+/// The output covers the same time span [0, (n-1)/from_hz]. Degenerate
+/// inputs: an empty signal stays empty (nothing to interpolate); a single
+/// sample is treated as sample-and-hold over its 1/from_hz span, so the
+/// output has max(1, floor(to_hz/from_hz)) copies of it — callers get a
+/// correctly-*sized* signal for the target rate instead of the input handed
+/// back unchanged regardless of rates.
 /// \throws std::invalid_argument on non-positive rates.
 [[nodiscard]] Signal resample_linear(const Signal& x, double from_hz,
                                      double to_hz);
@@ -24,5 +29,20 @@ namespace lumichat::signal {
 /// interpolation; edges replicate). Positive delay moves content later.
 /// Models both network delay and the adaptive attacker's processing delay.
 [[nodiscard]] Signal delay_signal(const Signal& x, double delay_samples);
+
+/// delay_signal plus the [valid_begin, valid_end) index range of `samples`
+/// backed by real data. Outside it the clamped interpolation only replicates
+/// the boundary sample — a constant run that is pure artefact. Correlating
+/// over it manufactures agreement between any two signals (two constants
+/// correlate perfectly), so consumers comparing delay-compensated signals
+/// must restrict themselves to the valid range.
+struct DelayedSignal {
+  Signal samples;
+  std::size_t valid_begin = 0;  ///< first index backed by real data
+  std::size_t valid_end = 0;    ///< one past the last such index
+};
+
+[[nodiscard]] DelayedSignal delay_signal_checked(const Signal& x,
+                                                 double delay_samples);
 
 }  // namespace lumichat::signal

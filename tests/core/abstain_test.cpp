@@ -1,0 +1,254 @@
+// Abstaining verdicts and degraded-input robustness.
+//
+// Two invariants are pinned here:
+//  * with the default config the detector ALWAYS decides — abstaining is
+//    strictly opt-in, and even pathological inputs (100% frame loss,
+//    all-black video, a transmitted signal with zero changes) must flow
+//    through the pipeline to a finite LOF score, never a NaN/Inf;
+//  * with enable_abstain set, those same inputs must yield kAbstain, and
+//    the majority vote must treat the abstained windows as non-votes.
+#include <cmath>
+#include <cstddef>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "chat/session.hpp"
+#include "chat/video.hpp"
+#include "common/rng.hpp"
+#include "core/detector.hpp"
+#include "core/preprocess.hpp"
+#include "core/streaming.hpp"
+#include "image/image.hpp"
+
+namespace lumichat::core {
+namespace {
+
+std::vector<FeatureVector> legit_like(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<FeatureVector> out;
+  for (std::size_t i = 0; i < n; ++i) {
+    out.push_back(FeatureVector{1.0 - rng.uniform(0.0, 0.15),
+                                1.0 - rng.uniform(0.0, 0.15),
+                                0.9 - rng.uniform(0.0, 0.2),
+                                0.2 + rng.uniform(0.0, 0.2)});
+  }
+  return out;
+}
+
+chat::VideoClip flat_clip(std::size_t n, double value) {
+  chat::VideoClip clip;
+  clip.sample_rate_hz = 10.0;
+  clip.frames.assign(n, image::Image(8, 8, image::Pixel{value, value, value}));
+  return clip;
+}
+
+chat::VideoClip empty_frames_clip(std::size_t n) {
+  chat::VideoClip clip;
+  clip.sample_rate_hz = 10.0;
+  clip.frames.assign(n, image::Image{});
+  return clip;
+}
+
+// Alternating bright/dark periods so the transmitted signal carries real
+// luminance-change events (one per transition).
+chat::VideoClip blink_clip(std::size_t n) {
+  chat::VideoClip clip;
+  clip.sample_rate_hz = 10.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const double v = ((i / 20) % 2 == 0) ? 40.0 : 200.0;
+    clip.frames.emplace_back(8, 8, image::Pixel{v, v, v});
+  }
+  return clip;
+}
+
+Detector trained_detector(DetectorConfig config = {}) {
+  Detector d(config);
+  d.train_on_features(legit_like(20, 9));
+  return d;
+}
+
+void expect_finite(const DetectionResult& r) {
+  EXPECT_TRUE(std::isfinite(r.lof_score));
+  EXPECT_TRUE(std::isfinite(r.features.z1));
+  EXPECT_TRUE(std::isfinite(r.features.z2));
+  EXPECT_TRUE(std::isfinite(r.features.z3));
+  EXPECT_TRUE(std::isfinite(r.features.z4));
+}
+
+// --- default config: always decide, always finite ---
+
+TEST(AbstainOptIn, DefaultConfigDecidesOnTotalFrameLoss) {
+  const Detector d = trained_detector();
+  chat::SessionTrace trace{blink_clip(120), empty_frames_clip(120)};
+  const DetectionResult r = d.detect(trace);
+  EXPECT_NE(r.verdict, Verdict::kAbstain);
+  expect_finite(r);
+}
+
+TEST(AbstainOptIn, DefaultConfigDecidesOnAllBlackVideo) {
+  const Detector d = trained_detector();
+  chat::SessionTrace trace{flat_clip(120, 0.0), flat_clip(120, 0.0)};
+  const DetectionResult r = d.detect(trace);
+  EXPECT_NE(r.verdict, Verdict::kAbstain);
+  expect_finite(r);
+}
+
+TEST(AbstainOptIn, DefaultConfigDecidesOnZeroChangeWindow) {
+  const Detector d = trained_detector();
+  chat::SessionTrace trace{flat_clip(120, 100.0), flat_clip(120, 100.0)};
+  const DetectionResult r = d.detect(trace);
+  EXPECT_NE(r.verdict, Verdict::kAbstain);
+  expect_finite(r);
+}
+
+TEST(AbstainOptIn, NonFiniteRawSamplesAreSanitisedBeforeFiltering) {
+  const Preprocessor pp;
+  signal::Signal raw;
+  for (int i = 0; i < 120; ++i) raw.push_back(100.0 + (i % 7));
+  raw[10] = std::numeric_limits<double>::quiet_NaN();
+  raw[50] = std::numeric_limits<double>::infinity();
+  raw[51] = -std::numeric_limits<double>::infinity();
+  const PreprocessResult pre = pp.process(raw, 10.0);
+  EXPECT_EQ(pre.non_finite_samples, 3u);
+  for (const double v : pre.smoothed_variance) EXPECT_TRUE(std::isfinite(v));
+  for (const double v : pre.filtered) EXPECT_TRUE(std::isfinite(v));
+  const SignalQuality q = assess_signal_quality(pre, 1.0);
+  EXPECT_FALSE(q.all_finite);
+}
+
+// --- abstain rule (config-independent predicate) ---
+
+TEST(AbstainRule, ZeroTransmittedChangesAreInsufficient) {
+  SignalQuality t;  // change_events == 0
+  SignalQuality r;
+  r.change_events = 3;
+  r.snr_proxy = 10.0;
+  EXPECT_TRUE(quality_insufficient(t, r, DetectorConfig{}));
+}
+
+TEST(AbstainRule, LowCompletenessIsInsufficient) {
+  SignalQuality t;
+  t.change_events = 4;
+  SignalQuality r;
+  r.change_events = 4;
+  r.snr_proxy = 10.0;
+  r.window_completeness = 0.3;  // below the 0.5 floor
+  EXPECT_TRUE(quality_insufficient(t, r, DetectorConfig{}));
+}
+
+TEST(AbstainRule, DeadReceivedSignalIsInsufficient) {
+  SignalQuality t;
+  t.change_events = 4;
+  SignalQuality r;  // no changes, snr ~1: flat line
+  r.snr_proxy = 1.0;
+  EXPECT_TRUE(quality_insufficient(t, r, DetectorConfig{}));
+}
+
+TEST(AbstainRule, HealthySignalsAreSufficient) {
+  SignalQuality t;
+  t.change_events = 4;
+  SignalQuality r;
+  r.change_events = 4;
+  r.snr_proxy = 10.0;
+  EXPECT_FALSE(quality_insufficient(t, r, DetectorConfig{}));
+}
+
+// --- batch detector abstains when enabled ---
+
+TEST(AbstainBatch, AbstainsOnTotalFrameLossWhenEnabled) {
+  DetectorConfig cfg;
+  cfg.enable_abstain = true;
+  const Detector d = trained_detector(cfg);
+  chat::SessionTrace trace{blink_clip(120), empty_frames_clip(120)};
+  const DetectionResult r = d.detect(trace);
+  EXPECT_EQ(r.verdict, Verdict::kAbstain);
+  EXPECT_FALSE(r.is_attacker);
+  EXPECT_DOUBLE_EQ(r.received_quality.window_completeness, 0.0);
+}
+
+TEST(AbstainBatch, AbstainsOnZeroChangeTransmissionWhenEnabled) {
+  DetectorConfig cfg;
+  cfg.enable_abstain = true;
+  const Detector d = trained_detector(cfg);
+  chat::SessionTrace trace{flat_clip(120, 100.0), flat_clip(120, 100.0)};
+  const DetectionResult r = d.detect(trace);
+  EXPECT_EQ(r.verdict, Verdict::kAbstain);
+  EXPECT_EQ(r.transmitted_quality.change_events, 0u);
+}
+
+TEST(AbstainBatch, AbstainedRoundsAreNonVotes) {
+  DetectorConfig cfg;
+  cfg.enable_abstain = true;
+  const Detector d = trained_detector(cfg);
+  // Every round abstains -> no evidence -> accepted, not convicted.
+  std::vector<chat::SessionTrace> rounds(
+      3, chat::SessionTrace{flat_clip(120, 100.0), flat_clip(120, 100.0)});
+  const VoteOutcome v = d.detect_rounds(rounds);
+  EXPECT_EQ(v.abstained_votes, 3u);
+  EXPECT_EQ(v.total_votes, 0u);
+  EXPECT_FALSE(v.is_attacker);
+}
+
+// --- streaming detector ---
+
+TEST(AbstainStreaming, AbstainsOnWindowsWithoutEvidenceWhenEnabled) {
+  StreamingConfig cfg;
+  cfg.window_s = 2.0;
+  cfg.detector.enable_abstain = true;
+  StreamingDetector sd(cfg);
+  sd.train_on_features(legit_like(20, 4));
+  const image::Image sent(8, 8, image::Pixel{100, 100, 100});
+  std::size_t windows = 0;
+  for (int i = 0; i < 65; ++i) {  // 6.5 s -> 3 complete 2 s windows
+    const auto r = sd.push(static_cast<double>(i) * 0.1, sent, image::Image{});
+    if (r) {
+      ++windows;
+      EXPECT_EQ(r->verdict, Verdict::kAbstain);
+      EXPECT_FALSE(r->is_attacker);
+      EXPECT_DOUBLE_EQ(r->received_quality.window_completeness, 0.0);
+    }
+  }
+  ASSERT_EQ(windows, 3u);
+  const VoteOutcome v = sd.running_verdict();
+  EXPECT_EQ(v.abstained_votes, 3u);
+  EXPECT_EQ(v.total_votes, 0u);
+  EXPECT_FALSE(v.is_attacker);
+}
+
+TEST(AbstainStreaming, DefaultConfigNeverAbstains) {
+  StreamingConfig cfg;
+  cfg.window_s = 2.0;
+  StreamingDetector sd(cfg);
+  sd.train_on_features(legit_like(20, 5));
+  const image::Image sent(8, 8, image::Pixel{100, 100, 100});
+  for (int i = 0; i < 65; ++i) {
+    const auto r = sd.push(static_cast<double>(i) * 0.1, sent, image::Image{});
+    if (r) {
+      EXPECT_NE(r->verdict, Verdict::kAbstain);
+      EXPECT_TRUE(std::isfinite(r->lof_score));
+    }
+  }
+  EXPECT_EQ(sd.running_verdict().abstained_votes, 0u);
+  EXPECT_GT(sd.windows_completed(), 0u);
+}
+
+TEST(AbstainStreaming, ResetClearsAbstainHistory) {
+  StreamingConfig cfg;
+  cfg.window_s = 2.0;
+  cfg.detector.enable_abstain = true;
+  StreamingDetector sd(cfg);
+  sd.train_on_features(legit_like(20, 6));
+  const image::Image sent(8, 8, image::Pixel{100, 100, 100});
+  for (int i = 0; i < 25; ++i) {
+    (void)sd.push(static_cast<double>(i) * 0.1, sent, image::Image{});
+  }
+  ASSERT_GT(sd.running_verdict().abstained_votes, 0u);
+  sd.reset();
+  EXPECT_EQ(sd.running_verdict().abstained_votes, 0u);
+  EXPECT_EQ(sd.windows_completed(), 0u);
+}
+
+}  // namespace
+}  // namespace lumichat::core

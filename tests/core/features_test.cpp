@@ -188,5 +188,28 @@ TEST(EstimateDelay, NeverNegative) {
   EXPECT_GE(fx.estimate_delay_s({2.0, 5.0}, {1.9, 4.9}), 0.0);
 }
 
+TEST(EstimateDelay, EvenCountAveragesTheMiddlePair) {
+  const FeatureExtractor fx;
+  // Two pairs with diffs {0.1, 0.3}: the median of an even count must
+  // average the middle pair to 0.2. (Regression: the old code returned the
+  // upper middle, biasing every two-change window late.)
+  EXPECT_NEAR(fx.estimate_delay_s({1.0, 5.0}, {1.1, 5.3}), 0.2, 1e-12);
+}
+
+TEST(EstimateDelay, FourPairsAverageTheTwoMiddleDiffs) {
+  const FeatureExtractor fx;
+  // Diffs {0.1, 0.2, 0.4, 0.9} -> (0.2 + 0.4) / 2.
+  EXPECT_NEAR(fx.estimate_delay_s({1.0, 4.0, 7.0, 10.0},
+                                  {1.1, 4.2, 7.4, 10.9}),
+              0.3, 1e-12);
+}
+
+TEST(EstimateDelay, OddCountStillPicksTheMiddleDiff) {
+  const FeatureExtractor fx;
+  // Diffs {0.1, 0.2, 0.9} -> 0.2 exactly, no averaging.
+  EXPECT_NEAR(fx.estimate_delay_s({1.0, 5.0, 9.0}, {1.1, 5.2, 9.9}), 0.2,
+              1e-12);
+}
+
 }  // namespace
 }  // namespace lumichat::core

@@ -6,14 +6,14 @@ namespace lumichat::core {
 namespace {
 
 TEST(Voting, EmptyInputAccepts) {
-  const VoteOutcome v = majority_vote({});
+  const VoteOutcome v = majority_vote(std::vector<bool>{});
   EXPECT_FALSE(v.is_attacker);
   EXPECT_EQ(v.total_votes, 0u);
 }
 
 TEST(Voting, SingleVotePassesThrough) {
-  EXPECT_TRUE(majority_vote({true}).is_attacker);
-  EXPECT_FALSE(majority_vote({false}).is_attacker);
+  EXPECT_TRUE(majority_vote(std::vector<bool>{true}).is_attacker);
+  EXPECT_FALSE(majority_vote(std::vector<bool>{false}).is_attacker);
 }
 
 TEST(Voting, SeventyPercentRule) {
@@ -65,6 +65,56 @@ TEST_P(VotingBoundary, ThresholdIsStrictInequality) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, VotingBoundary,
                          ::testing::Values<std::size_t>(1, 2, 3, 5, 7, 10));
+
+// --- Three-way (abstaining) overload ---
+
+TEST(VotingAbstain, AbstainsAreNonVotes) {
+  const std::vector<Verdict> rounds = {
+      Verdict::kAttacker, Verdict::kAbstain, Verdict::kAttacker,
+      Verdict::kAbstain,  Verdict::kAbstain};
+  const VoteOutcome v = majority_vote(rounds);
+  EXPECT_EQ(v.attacker_votes, 2u);
+  EXPECT_EQ(v.total_votes, 2u);      // abstains excluded from denominator
+  EXPECT_EQ(v.abstained_votes, 3u);
+  EXPECT_TRUE(v.is_attacker);  // 2 > 0.7 * 2
+}
+
+TEST(VotingAbstain, AllAbstainAccepts) {
+  const std::vector<Verdict> rounds(5, Verdict::kAbstain);
+  const VoteOutcome v = majority_vote(rounds);
+  EXPECT_FALSE(v.is_attacker);
+  EXPECT_EQ(v.total_votes, 0u);
+  EXPECT_EQ(v.abstained_votes, 5u);
+}
+
+TEST(VotingAbstain, MatchesBoolOverloadWithoutAbstains) {
+  // Without abstains the two overloads must agree on every count.
+  const std::vector<bool> as_bool = {true, false, true, true, false};
+  std::vector<Verdict> as_verdict;
+  for (const bool b : as_bool) {
+    as_verdict.push_back(b ? Verdict::kAttacker : Verdict::kLegitimate);
+  }
+  const VoteOutcome a = majority_vote(as_bool);
+  const VoteOutcome b = majority_vote(as_verdict);
+  EXPECT_EQ(a.attacker_votes, b.attacker_votes);
+  EXPECT_EQ(a.total_votes, b.total_votes);
+  EXPECT_EQ(a.is_attacker, b.is_attacker);
+  EXPECT_EQ(b.abstained_votes, 0u);
+}
+
+TEST(VotingAbstain, AbstainsLowerTheDenominator) {
+  // 3 attacker votes out of 5 decided rounds would not flag (3 < 0.7*5);
+  // the same 3 votes with the other rounds abstaining does (3 > 0.7*3 is
+  // false — but 3 > 0.7*4 is true with one legit vote left).
+  const std::vector<Verdict> five = {
+      Verdict::kAttacker, Verdict::kAttacker, Verdict::kAttacker,
+      Verdict::kLegitimate, Verdict::kLegitimate};
+  EXPECT_FALSE(majority_vote(five).is_attacker);  // 3 > 3.5 fails
+  const std::vector<Verdict> with_abstain = {
+      Verdict::kAttacker, Verdict::kAttacker, Verdict::kAttacker,
+      Verdict::kLegitimate, Verdict::kAbstain};
+  EXPECT_TRUE(majority_vote(with_abstain).is_attacker);  // 3 > 2.8
+}
 
 }  // namespace
 }  // namespace lumichat::core

@@ -1,0 +1,214 @@
+#include "faults/injectors.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+namespace lumichat::faults {
+namespace {
+
+// --- Gilbert-Elliott loss ---
+
+TEST(GilbertElliottLoss, SeverityZeroIsDisabledAndNeverDrops) {
+  GilbertElliottLoss loss(0.0, 123);
+  EXPECT_FALSE(loss.enabled());
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(loss.drop());
+}
+
+TEST(GilbertElliottLoss, DefaultConstructedIsDisabled) {
+  GilbertElliottLoss loss;
+  EXPECT_FALSE(loss.enabled());
+  EXPECT_FALSE(loss.drop());
+}
+
+TEST(GilbertElliottLoss, FullSeverityDropsInBursts) {
+  GilbertElliottLoss loss(1.0, 123);
+  EXPECT_TRUE(loss.enabled());
+  std::size_t dropped = 0;
+  std::size_t burst_frames = 0;
+  const std::size_t n = 20000;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (loss.drop()) ++dropped;
+    if (loss.in_burst()) ++burst_frames;
+  }
+  // At severity 1 the channel must actually lose a meaningful fraction and
+  // spend real time in the bad state.
+  EXPECT_GT(dropped, n / 20);
+  EXPECT_LT(dropped, n);
+  EXPECT_GT(burst_frames, n / 50);
+}
+
+TEST(GilbertElliottLoss, SameSeedSameSequence) {
+  GilbertElliottLoss a(0.7, 99);
+  GilbertElliottLoss b(0.7, 99);
+  for (int i = 0; i < 2000; ++i) ASSERT_EQ(a.drop(), b.drop());
+}
+
+TEST(GilbertElliottLoss, LossGrowsWithSeverity) {
+  auto loss_rate = [](double severity) {
+    GilbertElliottLoss loss(severity, 7);
+    std::size_t dropped = 0;
+    for (int i = 0; i < 30000; ++i) {
+      if (loss.drop()) ++dropped;
+    }
+    return static_cast<double>(dropped) / 30000.0;
+  };
+  EXPECT_LT(loss_rate(0.2), loss_rate(1.0));
+}
+
+// --- Delivery faults ---
+
+TEST(DeliveryFault, SeverityZeroAlwaysDelivers) {
+  DeliveryFault f(0.0, 0.0, 5);
+  EXPECT_FALSE(f.enabled());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_EQ(f.next(), DeliveryAction::kDeliver);
+  }
+}
+
+TEST(DeliveryFault, ProducesDuplicatesAndSwapsAtFullSeverity) {
+  DeliveryFault f(1.0, 1.0, 5);
+  EXPECT_TRUE(f.enabled());
+  std::size_t dup = 0;
+  std::size_t swap = 0;
+  for (int i = 0; i < 10000; ++i) {
+    switch (f.next()) {
+      case DeliveryAction::kDuplicate: ++dup; break;
+      case DeliveryAction::kSwapWithPrevious: ++swap; break;
+      case DeliveryAction::kDeliver: break;
+    }
+  }
+  EXPECT_GT(dup, 100u);
+  EXPECT_GT(swap, 100u);
+}
+
+TEST(DeliveryFault, DuplicationOnlyNeverSwaps) {
+  DeliveryFault f(1.0, 0.0, 5);
+  for (int i = 0; i < 5000; ++i) {
+    EXPECT_NE(f.next(), DeliveryAction::kSwapWithPrevious);
+  }
+}
+
+// --- Clock skew ---
+
+TEST(ClockSkewFault, SeverityZeroIsIdentity) {
+  ClockSkewFault f(0.0, 11);
+  EXPECT_FALSE(f.enabled());
+  for (double t = 0.0; t < 20.0; t += 0.37) {
+    EXPECT_DOUBLE_EQ(f.warp(t), t);
+  }
+}
+
+TEST(ClockSkewFault, WarpNeverMovesTimeBackwardsBeforeSend) {
+  // The warp adds skew, ramp and non-negative jitter; a frame sent at t must
+  // never be warped earlier than skew alone could place it, and typical
+  // magnitudes must stay sub-second over a chat.
+  ClockSkewFault f(1.0, 11);
+  EXPECT_TRUE(f.enabled());
+  for (double t = 0.0; t < 30.0; t += 0.1) {
+    const double w = f.warp(t);
+    EXPECT_GE(w, t * (1.0 + f.skew()) - 1e-12);
+    EXPECT_LT(w - t, 2.0);
+  }
+}
+
+TEST(ClockSkewFault, SameSeedSameWarp) {
+  ClockSkewFault a(0.8, 17);
+  ClockSkewFault b(0.8, 17);
+  for (double t = 0.0; t < 10.0; t += 0.2) {
+    ASSERT_DOUBLE_EQ(a.warp(t), b.warp(t));
+  }
+}
+
+// --- Codec collapse ---
+
+TEST(CodecCollapse, SeverityZeroHoldsBaseCompression) {
+  CodecCollapse c(0.0, 0.25, 3);
+  EXPECT_FALSE(c.enabled());
+  for (double t = 0.0; t < 60.0; t += 0.5) {
+    EXPECT_DOUBLE_EQ(c.compression_at(t), 0.25);
+  }
+}
+
+TEST(CodecCollapse, CollapsesAboveBaseAndStaysBounded) {
+  CodecCollapse c(1.0, 0.25, 3);
+  EXPECT_TRUE(c.enabled());
+  double worst = 0.0;
+  for (double t = 0.0; t < 120.0; t += 0.05) {
+    const double q = c.compression_at(t);
+    EXPECT_GE(q, 0.25 - 1e-12);
+    EXPECT_LE(q, 0.96);
+    worst = std::max(worst, q);
+  }
+  // Episodes must actually reach deep collapse at severity 1.
+  EXPECT_GT(worst, 0.8);
+}
+
+TEST(CodecCollapse, PureFunctionOfTime) {
+  const CodecCollapse c(0.6, 0.25, 3);
+  for (double t = 0.0; t < 30.0; t += 1.7) {
+    EXPECT_DOUBLE_EQ(c.compression_at(t), c.compression_at(t));
+  }
+  const CodecCollapse d(0.6, 0.25, 3);
+  EXPECT_DOUBLE_EQ(c.compression_at(13.37), d.compression_at(13.37));
+}
+
+// --- Resolution switch ---
+
+TEST(ResolutionSwitch, SeverityZeroNeverSwitches) {
+  ResolutionSwitch r(0.0, 9);
+  EXPECT_FALSE(r.enabled());
+  for (double t = 0.0; t < 60.0; t += 0.5) {
+    EXPECT_EQ(r.factor_at(t), 1u);
+  }
+}
+
+TEST(ResolutionSwitch, FactorsAreOneTwoOrFour) {
+  ResolutionSwitch r(1.0, 9);
+  bool saw_degraded = false;
+  for (double t = 0.0; t < 300.0; t += 0.5) {
+    const std::size_t f = r.factor_at(t);
+    EXPECT_TRUE(f == 1 || f == 2 || f == 4) << "factor " << f;
+    if (f > 1) saw_degraded = true;
+  }
+  EXPECT_TRUE(saw_degraded);
+}
+
+TEST(ResolutionSwitch, ApplyPreservesDimensions) {
+  ResolutionSwitch r(1.0, 9);
+  // Find a degraded instant so the test exercises the downscale path.
+  double degraded_t = -1.0;
+  for (double t = 0.0; t < 300.0; t += 0.5) {
+    if (r.factor_at(t) > 1) {
+      degraded_t = t;
+      break;
+    }
+  }
+  ASSERT_GE(degraded_t, 0.0);
+  const image::Image frame(64, 48, image::Pixel{100.0, 120.0, 140.0});
+  const image::Image out = r.apply(frame, degraded_t);
+  EXPECT_EQ(out.width(), 64u);
+  EXPECT_EQ(out.height(), 48u);
+}
+
+TEST(ResolutionSwitch, ApplyOnEmptyFrameIsSafe) {
+  ResolutionSwitch r(1.0, 9);
+  const image::Image out = r.apply(image::Image{}, 2.0);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(UpscaleNearest, RoundTripsFlatImageExactly) {
+  const image::Image small(4, 3, image::Pixel{10.0, 20.0, 30.0});
+  const image::Image big = upscale_nearest(small, 16, 12);
+  ASSERT_EQ(big.width(), 16u);
+  ASSERT_EQ(big.height(), 12u);
+  for (std::size_t y = 0; y < big.height(); ++y) {
+    for (std::size_t x = 0; x < big.width(); ++x) {
+      ASSERT_EQ(big(x, y), small(0, 0));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace lumichat::faults

@@ -1,0 +1,96 @@
+#include "faults/plan.hpp"
+
+#include <gtest/gtest.h>
+
+namespace lumichat::faults {
+namespace {
+
+TEST(FaultPlan, ZeroConfigProducesDisabledInjectors) {
+  const FaultPlan plan(FaultConfig{}, 42);
+  EXPECT_FALSE(plan.any());
+  EXPECT_FALSE(plan.link(1).enabled());
+  EXPECT_FALSE(plan.link(2).enabled());
+  EXPECT_FALSE(plan.codec_collapse(0.25, 1).enabled());
+  EXPECT_FALSE(plan.resolution_switch(1).enabled());
+  EXPECT_FALSE(plan.camera_drift(1).enabled());
+}
+
+TEST(FaultPlan, UniformConfigEnablesEveryFamily) {
+  const FaultPlan plan(FaultConfig::uniform(1.0), 42);
+  EXPECT_TRUE(plan.any());
+  EXPECT_TRUE(plan.link(1).enabled());
+  EXPECT_TRUE(plan.codec_collapse(0.25, 1).enabled());
+  EXPECT_TRUE(plan.resolution_switch(1).enabled());
+  EXPECT_TRUE(plan.camera_drift(1).enabled());
+}
+
+TEST(FaultPlan, SameSeedReproducesInjectorSequences) {
+  const FaultPlan a(FaultConfig::uniform(0.8), 7);
+  const FaultPlan b(FaultConfig::uniform(0.8), 7);
+  LinkFaults la = a.link(1);
+  LinkFaults lb = b.link(1);
+  for (int i = 0; i < 2000; ++i) {
+    ASSERT_EQ(la.loss.drop(), lb.loss.drop());
+    ASSERT_EQ(la.delivery.next(), lb.delivery.next());
+  }
+  for (double t = 0.0; t < 10.0; t += 0.3) {
+    ASSERT_DOUBLE_EQ(la.timing.warp(t), lb.timing.warp(t));
+  }
+}
+
+TEST(FaultPlan, DirectionsAreDecorrelated) {
+  const FaultPlan plan(FaultConfig::uniform(0.8), 7);
+  LinkFaults fwd = plan.link(1);
+  LinkFaults rev = plan.link(2);
+  std::size_t agree = 0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) {
+    if (fwd.loss.drop() == rev.loss.drop()) ++agree;
+  }
+  // Identical streams would agree on every frame; independent ones cannot.
+  EXPECT_LT(agree, static_cast<std::size_t>(n));
+}
+
+TEST(FaultPlan, DifferentSeedsDifferentSchedules) {
+  const FaultPlan a(FaultConfig::uniform(1.0), 1);
+  const FaultPlan b(FaultConfig::uniform(1.0), 2);
+  const CodecCollapse ca = a.codec_collapse(0.25, 1);
+  const CodecCollapse cb = b.codec_collapse(0.25, 1);
+  bool differs = false;
+  for (double t = 0.0; t < 60.0 && !differs; t += 0.25) {
+    if (ca.compression_at(t) != cb.compression_at(t)) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(FaultPlan, CameraDriftScalesWithSeverity) {
+  FaultConfig mild;
+  mild.exposure_drift = 0.2;
+  mild.white_balance_drift = 0.2;
+  FaultConfig severe;
+  severe.exposure_drift = 1.0;
+  severe.white_balance_drift = 1.0;
+  const auto d_mild = FaultPlan(mild, 3).camera_drift(1);
+  const auto d_severe = FaultPlan(severe, 3).camera_drift(1);
+  EXPECT_TRUE(d_mild.enabled());
+  EXPECT_TRUE(d_severe.enabled());
+  EXPECT_LT(d_mild.gain_amplitude, d_severe.gain_amplitude);
+  EXPECT_LT(d_mild.wb_amplitude, d_severe.wb_amplitude);
+}
+
+TEST(FaultPlan, SingleFamilyLeavesOthersDisabled) {
+  FaultConfig only_loss;
+  only_loss.burst_loss = 1.0;
+  const FaultPlan plan(only_loss, 11);
+  EXPECT_TRUE(plan.any());
+  LinkFaults link = plan.link(1);
+  EXPECT_TRUE(link.loss.enabled());
+  EXPECT_FALSE(link.delivery.enabled());
+  EXPECT_FALSE(link.timing.enabled());
+  EXPECT_FALSE(plan.codec_collapse(0.25, 1).enabled());
+  EXPECT_FALSE(plan.resolution_switch(1).enabled());
+  EXPECT_FALSE(plan.camera_drift(1).enabled());
+}
+
+}  // namespace
+}  // namespace lumichat::faults

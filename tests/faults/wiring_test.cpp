@@ -1,0 +1,121 @@
+// End-to-end wiring of the fault layer into the chat simulation: a
+// zero-severity FaultConfig must leave sessions bit-identical to a config-
+// free run (the golden regressions depend on it), while any enabled family
+// must change the session deterministically.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "chat/respondent.hpp"
+#include "chat/session.hpp"
+#include "common/rng.hpp"
+#include "faults/fault_config.hpp"
+#include "faults/plan.hpp"
+#include "image/luminance.hpp"
+#include "optics/camera.hpp"
+
+namespace lumichat {
+namespace {
+
+chat::AliceStream make_alice(std::uint64_t seed) {
+  common::Rng rng(seed);
+  return chat::AliceStream(chat::AliceSpec{},
+                           chat::make_metering_script(8.0, rng), seed);
+}
+
+chat::SessionTrace run_with(const faults::FaultConfig& faults,
+                            std::uint64_t seed) {
+  chat::SessionSpec spec;
+  spec.duration_s = 8.0;
+  spec.faults = faults;
+  chat::AliceStream alice = make_alice(seed);
+  chat::LegitimateRespondent bob(chat::LegitimateSpec{},
+                                 common::derive_seed(seed, 1));
+  return chat::run_session(spec, alice, bob, common::derive_seed(seed, 2));
+}
+
+bool traces_identical(const chat::SessionTrace& a,
+                      const chat::SessionTrace& b) {
+  if (a.transmitted.size() != b.transmitted.size()) return false;
+  if (a.received.size() != b.received.size()) return false;
+  for (std::size_t i = 0; i < a.received.size(); ++i) {
+    const image::Image& fa = a.received.frames[i];
+    const image::Image& fb = b.received.frames[i];
+    if (fa.width() != fb.width() || fa.height() != fb.height()) return false;
+    for (std::size_t y = 0; y < fa.height(); ++y) {
+      for (std::size_t x = 0; x < fa.width(); ++x) {
+        if (!(fa(x, y) == fb(x, y))) return false;
+      }
+    }
+  }
+  return true;
+}
+
+TEST(FaultWiring, ZeroSeverityIsBitIdenticalToNoConfig) {
+  const chat::SessionTrace clean = run_with(faults::FaultConfig{}, 77);
+  const chat::SessionTrace zeroed =
+      run_with(faults::FaultConfig::uniform(0.0), 77);
+  EXPECT_TRUE(traces_identical(clean, zeroed));
+}
+
+TEST(FaultWiring, EnabledFaultsChangeTheSession) {
+  const chat::SessionTrace clean = run_with(faults::FaultConfig{}, 77);
+  const chat::SessionTrace degraded =
+      run_with(faults::FaultConfig::uniform(1.0), 77);
+  EXPECT_FALSE(traces_identical(clean, degraded));
+}
+
+TEST(FaultWiring, DegradedSessionsAreDeterministic) {
+  const faults::FaultConfig config = faults::FaultConfig::uniform(0.7);
+  const chat::SessionTrace a = run_with(config, 31);
+  const chat::SessionTrace b = run_with(config, 31);
+  EXPECT_TRUE(traces_identical(a, b));
+}
+
+TEST(FaultWiring, SingleFamilyBurstLossAltersDelivery) {
+  faults::FaultConfig config;
+  config.burst_loss = 1.0;
+  const chat::SessionTrace clean = run_with(faults::FaultConfig{}, 55);
+  const chat::SessionTrace lossy = run_with(config, 55);
+  EXPECT_FALSE(traces_identical(clean, lossy));
+}
+
+TEST(FaultWiring, CameraDriftModulatesCapturedLuminance) {
+  // Same scene, one camera with drift, one without: the drifting camera's
+  // output must oscillate around the clean one's.
+  optics::CameraSpec clean_spec;
+  optics::CameraSpec drift_spec = clean_spec;
+  drift_spec.drift.gain_amplitude = 0.3;
+  drift_spec.drift.gain_period_s = 2.0;
+
+  optics::CameraModel clean_cam(clean_spec, 5);
+  optics::CameraModel drift_cam(drift_spec, 5);
+
+  const image::Image scene(32, 32, image::Pixel{40.0, 40.0, 40.0});
+  double max_diff = 0.0;
+  for (int i = 0; i < 90; ++i) {
+    const image::Image a = clean_cam.capture(scene);
+    const image::Image b = drift_cam.capture(scene);
+    max_diff = std::max(max_diff,
+                        std::abs(image::frame_luminance(a) -
+                                 image::frame_luminance(b)));
+  }
+  EXPECT_GT(max_diff, 1.0);
+}
+
+TEST(FaultWiring, DisabledDriftLeavesCameraUntouched) {
+  optics::CameraSpec spec;
+  ASSERT_FALSE(spec.drift.enabled());
+  optics::CameraModel a(spec, 5);
+  optics::CameraModel b(spec, 5);
+  const image::Image scene(16, 16, image::Pixel{40.0, 40.0, 40.0});
+  for (int i = 0; i < 30; ++i) {
+    const image::Image fa = a.capture(scene);
+    const image::Image fb = b.capture(scene);
+    ASSERT_DOUBLE_EQ(image::frame_luminance(fa), image::frame_luminance(fb));
+  }
+}
+
+}  // namespace
+}  // namespace lumichat

@@ -29,8 +29,13 @@ struct GoldenMeans {
 // default SimulationProfile, plan below). 1e-9 is far below any
 // legitimate statistical wiggle: these are means over 4 rounds of
 // counting rates, i.e. exact rationals.
+//
+// Re-pinned when feature extraction stopped correlating over the
+// edge-replicated tail that delay compensation manufactures (the constant
+// run correlated perfectly with anything, inflating z3): volunteer 0's TRR
+// moved from 23/24 to 43/48.
 constexpr GoldenMeans kGolden[kUsers] = {
-    {1.0, 0.95833333333333326},
+    {1.0, 0.89583333333333337},
     {1.0, 0.91666666666666663},
 };
 

@@ -69,8 +69,9 @@ TEST(ServiceMetrics, CountersAggregateIntoSnapshot) {
   m.on_frame_in();
   m.on_frames_dropped(2);
   m.on_frame_processed();
-  m.on_window_verdict(false, 5e-3);
-  m.on_window_verdict(true, 7e-3);
+  m.on_window_verdict(core::Verdict::kLegitimate, 5e-3);
+  m.on_window_verdict(core::Verdict::kAttacker, 7e-3);
+  m.on_window_verdict(core::Verdict::kAbstain, 9e-3);
 
   const MetricsSnapshot s = m.snapshot(/*sessions_active=*/1);
   EXPECT_EQ(s.sessions_created, 2u);
@@ -80,9 +81,10 @@ TEST(ServiceMetrics, CountersAggregateIntoSnapshot) {
   EXPECT_EQ(s.frames_in, 3u);
   EXPECT_EQ(s.frames_dropped, 2u);
   EXPECT_EQ(s.frames_processed, 1u);
-  EXPECT_EQ(s.windows_completed, 2u);
+  EXPECT_EQ(s.windows_completed, 3u);
   EXPECT_EQ(s.verdicts_legit, 1u);
   EXPECT_EQ(s.verdicts_attacker, 1u);
+  EXPECT_EQ(s.verdicts_abstain, 1u);
   EXPECT_GT(s.latency_p50_s, 0.0);
   EXPECT_GE(s.latency_p99_s, s.latency_p50_s);
 }
@@ -91,12 +93,13 @@ TEST(ServiceMetrics, SnapshotSerialisesToJson) {
   ServiceMetrics m;
   m.on_session_created();
   m.on_frame_in();
-  m.on_window_verdict(true, 1e-3);
+  m.on_window_verdict(core::Verdict::kAttacker, 1e-3);
   const std::string json = m.snapshot(1).to_json();
   EXPECT_NE(json.find("\"sessions\""), std::string::npos);
   EXPECT_NE(json.find("\"created\":1"), std::string::npos);
   EXPECT_NE(json.find("\"frames\""), std::string::npos);
   EXPECT_NE(json.find("\"verdicts_attacker\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"verdicts_abstain\":0"), std::string::npos);
   EXPECT_NE(json.find("push_to_verdict_latency_s"), std::string::npos);
 }
 

@@ -96,6 +96,68 @@ TEST(DelaySignal, ZeroDelayIsIdentity) {
   EXPECT_EQ(delay_signal(x, 0.0), x);
 }
 
+TEST(Resample, SingleSampleIsHeldNotDropped) {
+  // A 1-sample signal carries one value and a duration of 1/from_hz; the
+  // resampler holds that value for the equivalent number of output samples
+  // instead of pretending the signal was empty or zero-padded.
+  EXPECT_EQ(resample_linear({7.0}, 5.0, 10.0), (Signal{7.0, 7.0}));
+  EXPECT_EQ(resample_linear({7.0}, 10.0, 10.0), Signal{7.0});
+  // Downsampling below one output sample still keeps the value.
+  EXPECT_EQ(resample_linear({7.0}, 10.0, 5.0), Signal{7.0});
+  EXPECT_EQ(resample_linear({7.0}, 10.0, 1.0), Signal{7.0});
+}
+
+TEST(Resample, EmptyStaysEmptyInBothDirections) {
+  EXPECT_TRUE(resample_linear({}, 5.0, 10.0).empty());
+  EXPECT_TRUE(resample_linear({}, 10.0, 5.0).empty());
+}
+
+TEST(DelaySignalChecked, PositiveDelayMarksLeadingRunInvalid) {
+  const Signal x{1, 2, 3, 4, 5};
+  const DelayedSignal d = delay_signal_checked(x, 2.0);
+  EXPECT_EQ(d.samples, delay_signal(x, 2.0));
+  EXPECT_EQ(d.valid_begin, 2u);
+  EXPECT_EQ(d.valid_end, 5u);
+}
+
+TEST(DelaySignalChecked, NegativeDelayMarksTrailingRunInvalid) {
+  const Signal x{1, 2, 3, 4, 5};
+  const DelayedSignal d = delay_signal_checked(x, -2.0);
+  EXPECT_EQ(d.samples, delay_signal(x, -2.0));
+  EXPECT_EQ(d.valid_begin, 0u);
+  EXPECT_EQ(d.valid_end, 3u);
+}
+
+TEST(DelaySignalChecked, ZeroDelayIsFullyValid) {
+  const Signal x{1, 2, 3};
+  const DelayedSignal d = delay_signal_checked(x, 0.0);
+  EXPECT_EQ(d.samples, x);
+  EXPECT_EQ(d.valid_begin, 0u);
+  EXPECT_EQ(d.valid_end, 3u);
+}
+
+TEST(DelaySignalChecked, FractionalDelayRoundsValidRangeInward) {
+  // delay 0.5: sample 0 would need x[-0.5] (extrapolated), so validity
+  // starts at 1; the last sample interpolates x[3.5] which still exists.
+  const Signal x{0, 10, 0, 10, 0};
+  const DelayedSignal d = delay_signal_checked(x, 0.5);
+  EXPECT_EQ(d.valid_begin, 1u);
+  EXPECT_EQ(d.valid_end, 5u);
+}
+
+TEST(DelaySignalChecked, WholeSignalShiftedOutIsEmptyRange) {
+  const Signal x{1, 2, 3};
+  const DelayedSignal d = delay_signal_checked(x, 10.0);
+  EXPECT_EQ(d.valid_begin, d.valid_end);
+}
+
+TEST(DelaySignalChecked, EmptyInputGivesEmptyRange) {
+  const DelayedSignal d = delay_signal_checked({}, 1.0);
+  EXPECT_TRUE(d.samples.empty());
+  EXPECT_EQ(d.valid_begin, 0u);
+  EXPECT_EQ(d.valid_end, 0u);
+}
+
 TEST(DelaySignal, RoundTripApproximatelyRestores) {
   Signal x;
   for (int i = 0; i < 60; ++i) x.push_back(std::sin(0.2 * i));
