@@ -10,12 +10,26 @@
 //   ./bench_service_load                       # 500 sessions, 6 s chats
 //   ./bench_service_load 500 3 3 50            # sessions, duration_s,
 //                                              # window_s, attacker %
+//   ./bench_service_load --trace-out load.trace.json   # + Chrome trace and
+//                                              # per-stage timing JSON
+//                                              # (or LUMICHAT_TRACE=path)
+//   ./bench_service_load --trace-selftest      # observability gate: traced
+//                                              # vs untraced 50-session runs
+//                                              # must agree bit-for-bit, the
+//                                              # trace must parse and nest
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <set>
 #include <string>
 #include <vector>
 
 #include "common.hpp"
+#include "obs/explain.hpp"
+#include "obs/json.hpp"
+#include "obs/trace.hpp"
 #include "service/load_generator.hpp"
 
 namespace {
@@ -35,33 +49,13 @@ bool same_verdicts(const std::vector<lumichat::service::SessionResult>& a,
   return true;
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
+/// Trains the prototype every session clones (window-length clips so the
+/// LOF model sees the feature distribution it will score).
+lumichat::core::StreamingDetector train_prototype(
+    const lumichat::eval::SimulationProfile& profile, double window_s) {
   using namespace lumichat;
-
-  std::size_t n_sessions = 500;
-  double duration_s = 6.0;
-  double window_s = 3.0;
-  double attacker_pct = 50.0;
-  if (argc > 1) n_sessions = std::strtoul(argv[1], nullptr, 10);
-  if (argc > 2) duration_s = std::strtod(argv[2], nullptr);
-  if (argc > 3) window_s = std::strtod(argv[3], nullptr);
-  if (argc > 4) attacker_pct = std::strtod(argv[4], nullptr);
-  if (n_sessions == 0) n_sessions = 500;
-  if (duration_s <= 0.0) duration_s = 6.0;
-  if (window_s <= 0.0) window_s = duration_s;
-
-  bench::header("Service runtime: concurrent-session load & determinism");
-
-  // --- Train the prototype detector once; every session clones it. -------
-  // Training clips use the same window length the service will verify with,
-  // so the LOF model sees the feature distribution it will score.
-  eval::SimulationProfile profile;
-  profile.clip_duration_s = window_s;
   const eval::DatasetBuilder data(profile);
   const auto pop = eval::make_population();
-
   common::ThreadPool setup_pool;  // LUMICHAT_THREADS or hardware width
   std::printf("[setup] training prototype on 16 legitimate clips "
               "(window %.1fs, %zu threads)...\n",
@@ -75,6 +69,181 @@ int main(int argc, char** argv) {
   streaming_cfg.window_s = window_s;
   core::StreamingDetector prototype(streaming_cfg);
   prototype.train_on_features(train_features[0]);
+  return prototype;
+}
+
+std::vector<std::string> sorted_lines(
+    const std::vector<lumichat::obs::RoundExplanation>& records) {
+  std::vector<std::string> lines;
+  lines.reserve(records.size());
+  for (const auto& r : records) lines.push_back(r.to_json());
+  std::sort(lines.begin(), lines.end());
+  return lines;
+}
+
+/// The bench-smoke observability gate: one 50-session load run untraced and
+/// one fully traced (tracer + explanation sink + registry). Verdicts and
+/// explanation records must match bit-for-bit, the Chrome trace must be
+/// well-formed JSON with well-nested spans covering every pipeline stage.
+int run_trace_selftest() {
+  using namespace lumichat;
+  bench::header("Service load: traced-vs-untraced observability selftest");
+
+  const double window_s = 2.0;
+  eval::SimulationProfile profile;
+  profile.clip_duration_s = window_s;
+  core::StreamingDetector prototype = train_prototype(profile, window_s);
+
+  service::LoadSpec load;
+  load.n_sessions = 50;
+  load.duration_s = 2.0;
+  load.sample_rate_hz = profile.sample_rate_hz;
+  load.warmup_s = 1.0;
+  load.attacker_fraction = 0.5;
+  load.ticks_per_pump = 2;
+  load.full_chat = true;
+
+  service::ServiceConfig service_cfg;
+  service_cfg.n_shards = 8;
+  if (service_cfg.max_sessions == 0) {
+    service_cfg.max_sessions = service::default_service_capacity();
+  }
+
+  common::ThreadPool pool;
+  int failures = 0;
+  const auto check = [&failures](bool ok, const char* what) {
+    std::printf("[%s] %s\n", ok ? "ok" : "FAIL", what);
+    if (!ok) ++failures;
+  };
+
+  // Reference run: tracing OFF, explanations collected.
+  obs::CollectingExplanationSink plain_sink;
+  prototype.set_explanation_sink(&plain_sink);
+  const service::LoadReport plain =
+      service::run_load(load, service_cfg, prototype, &pool);
+
+  // Traced run: tracer installed, fresh sink, registry attached.
+  obs::Tracer tracer;
+  obs::CollectingExplanationSink traced_sink;
+  obs::MetricsRegistry registry;
+  prototype.set_explanation_sink(&traced_sink);
+  tracer.install();
+  const service::LoadReport traced =
+      service::run_load(load, service_cfg, prototype, &pool, &registry);
+  obs::Tracer::uninstall();
+  prototype.set_explanation_sink(nullptr);
+
+  check(same_verdicts(plain.sessions, traced.sessions),
+        "verdict sequences bit-identical with tracing on vs off");
+
+  const std::vector<std::string> plain_lines = sorted_lines(plain_sink.records());
+  const std::vector<std::string> traced_lines =
+      sorted_lines(traced_sink.records());
+  check(!plain_lines.empty(), "explanation records were emitted");
+  check(plain_lines == traced_lines,
+        "RoundExplanation streams (z1..z4, LOF, votes) bit-identical");
+
+  std::size_t windows = 0;
+  for (const auto& s : traced.sessions) windows += s.verdicts.size();
+  check(traced_sink.size() == windows,
+        "one explanation per completed window");
+
+  const std::vector<obs::SpanRecord> spans = tracer.snapshot();
+  check(!spans.empty(), "tracer captured spans");
+  check(obs::spans_well_nested(spans), "span nesting well-formed (per "
+                                       "thread, on the logical clock)");
+
+  const std::string chrome = tracer.chrome_trace_json();
+  check(obs::json_well_formed(chrome), "Chrome trace JSON parses");
+  check(obs::json_well_formed(tracer.stage_summary_json()),
+        "stage summary JSON parses");
+  check(obs::json_well_formed(registry.to_json()),
+        "metrics-registry JSON parses");
+
+  const char* expected[] = {"chat.tick",  "service.feed",  "service.pump",
+                            "service.drain", "stream.window", "pre.filter",
+                            "pre.change_detect", "features.extract",
+                            "lof.score", "vote.majority", "load.build_chats"};
+  std::set<std::string> seen;
+  for (const obs::SpanRecord& s : spans) seen.insert(s.name);
+  for (const char* name : expected) {
+    std::string what = "trace contains spans for stage '";
+    what += name;
+    what += "'";
+    check(seen.count(name) != 0, what.c_str());
+  }
+
+  check(registry.counter("scheduler.pumps").value() > 0,
+        "registry counted scheduler pumps");
+  check(registry.counter("load.frames_fed").value() > 0,
+        "registry counted frames fed");
+
+  std::printf("\n[spans] %zu captured, %llu dropped at the ring bound\n",
+              spans.size(),
+              static_cast<unsigned long long>(tracer.spans_dropped()));
+  std::printf("[registry] %s\n", registry.to_json().c_str());
+  if (failures > 0) {
+    std::fprintf(stderr, "\n%d observability check(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("\nall observability checks passed\n");
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace lumichat;
+
+  // Flags first (they do not shift the positional scale arguments).
+  std::string trace_out = obs::env_trace_path();
+  std::string explain_out;
+  bool selftest = false;
+  std::vector<char*> positional;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--trace-selftest") == 0) {
+      selftest = true;
+    } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
+      trace_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--explain-out") == 0 && i + 1 < argc) {
+      explain_out = argv[++i];
+    } else {
+      positional.push_back(argv[i]);
+    }
+  }
+  if (selftest) return run_trace_selftest();
+
+  std::size_t n_sessions = 500;
+  double duration_s = 6.0;
+  double window_s = 3.0;
+  double attacker_pct = 50.0;
+  if (positional.size() > 0) n_sessions = std::strtoul(positional[0], nullptr, 10);
+  if (positional.size() > 1) duration_s = std::strtod(positional[1], nullptr);
+  if (positional.size() > 2) window_s = std::strtod(positional[2], nullptr);
+  if (positional.size() > 3) attacker_pct = std::strtod(positional[3], nullptr);
+  if (n_sessions == 0) n_sessions = 500;
+  if (duration_s <= 0.0) duration_s = 6.0;
+  if (window_s <= 0.0) window_s = duration_s;
+
+  bench::header("Service runtime: concurrent-session load & determinism");
+
+  eval::SimulationProfile profile;
+  profile.clip_duration_s = window_s;
+  core::StreamingDetector prototype = train_prototype(profile, window_s);
+
+  // JSONL decision records for every completed window, when asked for
+  // (sessions clone the prototype, and the sink rides along).
+  std::unique_ptr<obs::JsonlExplanationWriter> explain_writer;
+  if (!explain_out.empty()) {
+    explain_writer = std::make_unique<obs::JsonlExplanationWriter>(explain_out);
+    if (explain_writer->ok()) {
+      prototype.set_explanation_sink(explain_writer.get());
+    } else {
+      std::fprintf(stderr, "cannot open --explain-out %s\n",
+                   explain_out.c_str());
+      return 1;
+    }
+  }
 
   // --- Scenario ----------------------------------------------------------
   service::LoadSpec load;
@@ -96,6 +265,14 @@ int main(int argc, char** argv) {
               n_sessions, duration_s, attacker_pct,
               service_cfg.max_sessions);
 
+  // Tracing covers every measured thread count when requested; the tid
+  // field separates the runs' workers. Tracing never changes verdicts (the
+  // --trace-selftest mode proves it), only adds overhead — leave it off for
+  // clean throughput numbers.
+  obs::Tracer tracer;
+  if (!trace_out.empty()) tracer.install();
+  obs::MetricsRegistry registry;
+
   std::vector<std::size_t> thread_counts{1, 2, 4};
   const std::size_t hw = common::ThreadPool::default_thread_count();
   if (hw > 4) thread_counts.push_back(hw);
@@ -113,7 +290,7 @@ int main(int argc, char** argv) {
   for (const std::size_t nt : thread_counts) {
     common::ThreadPool pool(nt);
     const service::LoadReport report =
-        service::run_load(load, service_cfg, prototype, &pool);
+        service::run_load(load, service_cfg, prototype, &pool, &registry);
 
     if (baseline.empty()) {
       baseline = report.sessions;
@@ -147,6 +324,25 @@ int main(int argc, char** argv) {
   }
 
   std::printf("[metrics] %s\n", json.c_str());
+  std::printf("[registry] %s\n", registry.to_json().c_str());
+  if (!trace_out.empty()) {
+    obs::Tracer::uninstall();
+    const std::string stages_out = trace_out + ".stages.json";
+    if (tracer.write_chrome_trace(trace_out)) {
+      std::printf("[trace] Chrome trace -> %s (%zu spans, %llu dropped)\n",
+                  trace_out.c_str(), tracer.snapshot().size(),
+                  static_cast<unsigned long long>(tracer.spans_dropped()));
+    } else {
+      std::fprintf(stderr, "cannot write trace to %s\n", trace_out.c_str());
+    }
+    std::FILE* f = std::fopen(stages_out.c_str(), "wb");
+    if (f != nullptr) {
+      const std::string summary = tracer.stage_summary_json();
+      std::fwrite(summary.data(), 1, summary.size(), f);
+      std::fclose(f);
+      std::printf("[trace] per-stage timings -> %s\n", stages_out.c_str());
+    }
+  }
   if (!deterministic) return 1;
   std::printf("\nall thread counts produced bit-identical per-session "
               "verdict sequences (1 -> 4 threads speedup: %.2fx, hardware "

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "common/rng.hpp"
+#include "obs/trace.hpp"
 
 namespace lumichat::chat {
 
@@ -34,6 +35,7 @@ SessionFrameSource::SessionFrameSource(const SessionSpec& spec,
 }
 
 FramePair SessionFrameSource::next() {
+  const obs::ObsSpan span("chat.tick", "chat");
   for (;;) {
     const double t = static_cast<double>(tick_) / spec_.sample_rate_hz;
 

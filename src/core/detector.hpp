@@ -21,6 +21,7 @@
 #include "core/luminance_extractor.hpp"
 #include "core/preprocess.hpp"
 #include "core/voting.hpp"
+#include "obs/explain.hpp"
 
 namespace lumichat::core {
 
@@ -79,12 +80,32 @@ class Detector {
   /// Adjusts the decision threshold tau (Fig. 12 sweeps it).
   void set_threshold(double tau) { lof_.set_tau(tau); }
 
+  /// Builds the decision record for one round's result (the full evidence
+  /// chain: quality, delay, z1..z4, LOF vs tau, verdict, optional running
+  /// vote tally). Purely a read — never changes detection state.
+  [[nodiscard]] obs::RoundExplanation explain(
+      const DetectionResult& result, std::uint64_t stream_id = 0,
+      std::uint64_t round_index = 0,
+      const VoteOutcome* tally = nullptr) const;
+
+  /// Where detect()/detect_batch() send their per-round explanations.
+  /// Defaults to obs::default_explanation_sink() (the LUMICHAT_EXPLAIN_OUT
+  /// JSONL writer, or nullptr = silent). Copied detectors share the sink.
+  void set_explanation_sink(obs::ExplanationSink* sink) { explain_ = sink; }
+  [[nodiscard]] obs::ExplanationSink* explanation_sink() const {
+    return explain_;
+  }
+
  private:
+  [[nodiscard]] DetectionResult detect_impl(
+      const chat::SessionTrace& trace) const;
+
   DetectorConfig config_;
   LuminanceExtractor extractor_;
   Preprocessor preprocessor_;
   FeatureExtractor features_;
   LofClassifier lof_;
+  obs::ExplanationSink* explain_ = nullptr;  ///< borrowed; may be null
 };
 
 }  // namespace lumichat::core

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/trace.hpp"
 #include "signal/dtw.hpp"
 #include "signal/resample.hpp"
 #include "signal/stats.hpp"
@@ -70,6 +71,7 @@ double FeatureExtractor::estimate_delay_s(
 FeatureExtraction FeatureExtractor::extract(
     const PreprocessResult& transmitted,
     const PreprocessResult& received) const {
+  const obs::ObsSpan span("features.extract");
   FeatureExtraction out;
   FeatureDiagnostics& diag = out.diagnostics;
   FeatureVector& z = out.features;

@@ -5,6 +5,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace lumichat::core {
 namespace {
 
@@ -83,6 +85,7 @@ void LofClassifier::fit(const std::vector<FeatureVector>& training) {
 }
 
 double LofClassifier::score(const FeatureVector& z) const {
+  const obs::ObsSpan span("lof.score");
   if (!is_fitted()) {
     throw std::logic_error("LofClassifier::score: fit() not called");
   }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/trace.hpp"
 #include "signal/fir.hpp"
 #include "signal/savitzky_golay.hpp"
 #include "signal/threshold.hpp"
@@ -78,21 +79,27 @@ PreprocessResult Preprocessor::process(const signal::Signal& raw,
   PreprocessResult r;
   if (raw.empty()) return r;
 
-  const signal::Signal clean = sanitize_non_finite(raw, &r.non_finite_samples);
+  {
+    const obs::ObsSpan span("pre.filter");
+    const signal::Signal clean =
+        sanitize_non_finite(raw, &r.non_finite_samples);
 
-  const signal::FirFilter lpf = signal::design_lowpass(
-      config_.lowpass_cutoff_hz, config_.sample_rate_hz, config_.lowpass_taps);
-  r.filtered = lpf.apply_zero_phase(clean);
+    const signal::FirFilter lpf =
+        signal::design_lowpass(config_.lowpass_cutoff_hz,
+                               config_.sample_rate_hz, config_.lowpass_taps);
+    r.filtered = lpf.apply_zero_phase(clean);
 
-  r.variance = signal::moving_variance(r.filtered, config_.variance_window);
-  r.thresholded =
-      signal::threshold_filter(r.variance, config_.variance_threshold);
+    r.variance = signal::moving_variance(r.filtered, config_.variance_window);
+    r.thresholded =
+        signal::threshold_filter(r.variance, config_.variance_threshold);
 
-  signal::Signal s = signal::moving_rms(r.thresholded, config_.rms_window);
-  s = signal::savgol_filter(s, config_.savgol_window, config_.savgol_order);
-  r.smoothed_variance =
-      signal::moving_average_centered(s, config_.moving_avg_window);
+    signal::Signal s = signal::moving_rms(r.thresholded, config_.rms_window);
+    s = signal::savgol_filter(s, config_.savgol_window, config_.savgol_order);
+    r.smoothed_variance =
+        signal::moving_average_centered(s, config_.moving_avg_window);
+  }
 
+  const obs::ObsSpan span("pre.change_detect");
   signal::PeakOptions opts;
   opts.min_prominence = min_prominence;
   opts.min_distance = static_cast<std::size_t>(

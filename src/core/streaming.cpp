@@ -4,6 +4,7 @@
 
 #include "face/roi.hpp"
 #include "image/luminance.hpp"
+#include "obs/trace.hpp"
 
 namespace lumichat::core {
 
@@ -45,6 +46,16 @@ void StreamingDetector::reset() {
   next_sample_at_ = 0.0;
   last_r_value_ = 0.0;
   have_r_value_ = false;
+  stream_id_ = 0;
+}
+
+void StreamingDetector::emit_explanation(const DetectionResult& result) {
+  obs::ExplanationSink* sink = detector_.explanation_sink();
+  if (sink == nullptr) return;
+  const VoteOutcome tally = running_verdict();
+  sink->emit(detector_.explain(
+      result, stream_id_,
+      static_cast<std::uint64_t>(window_verdicts_.size() - 1), &tally));
 }
 
 std::optional<DetectionResult> StreamingDetector::push(
@@ -81,6 +92,7 @@ std::optional<DetectionResult> StreamingDetector::push(
   if (t_buffer_.size() < window_samples_) return std::nullopt;
 
   // Window complete: run the batch pipeline on the buffered signals.
+  const obs::ObsSpan span("stream.window");
   const PreprocessResult t_pre = preprocessor_.process_transmitted(t_buffer_);
   const PreprocessResult r_pre = preprocessor_.process_received(r_buffer_);
 
@@ -98,6 +110,7 @@ std::optional<DetectionResult> StreamingDetector::push(
     result.transmitted_quality = t_quality;
     result.received_quality = r_quality;
     window_verdicts_.push_back(result.verdict);
+    emit_explanation(result);
     reset_window();
     return result;
   }
@@ -108,6 +121,7 @@ std::optional<DetectionResult> StreamingDetector::push(
   result.transmitted_quality = t_quality;
   result.received_quality = r_quality;
   window_verdicts_.push_back(result.verdict);
+  emit_explanation(result);
   reset_window();
   return result;
 }

@@ -84,11 +84,26 @@ class StreamingDetector {
   FlushReport flush();
 
   /// Returns the detector to its just-trained state: partial window, window
-  /// verdicts, sampling phase and the hold-last received-luminance state are
-  /// all cleared; the trained model is kept. A reset detector reproduces a
-  /// fresh detector's verdicts bit-exactly, which is what lets the service
-  /// runtime recycle detector instances across sessions without retraining.
+  /// verdicts, sampling phase, stream id and the hold-last received-luminance
+  /// state are all cleared; the trained model is kept. A reset detector
+  /// reproduces a fresh detector's verdicts bit-exactly, which is what lets
+  /// the service runtime recycle detector instances across sessions without
+  /// retraining.
   void reset();
+
+  /// Label stamped into every emitted RoundExplanation (the service layer
+  /// sets the session id here). Cleared to 0 by reset().
+  void set_stream_id(std::uint64_t id) { stream_id_ = id; }
+  [[nodiscard]] std::uint64_t stream_id() const { return stream_id_; }
+
+  /// Where completed windows send their explanation records (defaults to
+  /// the process default; nullptr = silent).
+  void set_explanation_sink(obs::ExplanationSink* sink) {
+    detector_.set_explanation_sink(sink);
+  }
+  [[nodiscard]] obs::ExplanationSink* explanation_sink() const {
+    return detector_.explanation_sink();
+  }
 
   [[nodiscard]] const StreamingConfig& config() const { return config_; }
 
@@ -108,7 +123,10 @@ class StreamingDetector {
   /// hold-last fallback) — the window_completeness numerator.
   std::size_t real_r_samples_ = 0;
   std::size_t window_samples_ = 0;
+  std::uint64_t stream_id_ = 0;
   std::vector<Verdict> window_verdicts_;
+
+  void emit_explanation(const DetectionResult& result);
 };
 
 }  // namespace lumichat::core

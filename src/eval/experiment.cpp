@@ -42,13 +42,23 @@ RoundResult evaluate_round(
     const std::vector<core::FeatureVector>& attacker_test) {
   core::Detector det = data.make_detector();
   det.train_on_features(train_features);
+  obs::ExplanationSink* sink = det.explanation_sink();
 
+  // Round indices number legit test vectors first, then attackers, in scan
+  // order — deterministic regardless of how rounds fan out over a pool.
   AttemptCounts counts;
+  std::uint64_t idx = 0;
   for (const core::FeatureVector& z : legit_test) {
-    counts.add_legit(!det.classify(z).is_attacker);
+    const core::DetectionResult r = det.classify(z);
+    counts.add_legit(!r.is_attacker);
+    if (sink != nullptr) sink->emit(det.explain(r, 0, idx));
+    ++idx;
   }
   for (const core::FeatureVector& z : attacker_test) {
-    counts.add_attacker(det.classify(z).is_attacker);
+    const core::DetectionResult r = det.classify(z);
+    counts.add_attacker(r.is_attacker);
+    if (sink != nullptr) sink->emit(det.explain(r, 0, idx));
+    ++idx;
   }
   return RoundResult{counts.tar(), counts.trr()};
 }

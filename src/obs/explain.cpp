@@ -1,0 +1,113 @@
+#include "obs/explain.hpp"
+
+#include <cinttypes>
+#include <cstdlib>
+
+namespace lumichat::obs {
+
+std::string RoundExplanation::to_json() const {
+  char buf[1024];
+  std::snprintf(
+      buf, sizeof(buf),
+      "{\"stream\":%" PRIu64 ",\"round\":%" PRIu64
+      ",\"verdict\":\"%s\""
+      ",\"lof\":{\"score\":%.17g,\"tau\":%.17g}"
+      ",\"features\":{\"z1\":%.17g,\"z2\":%.17g,\"z3\":%.17g,\"z4\":%.17g}"
+      ",\"delay\":{\"estimated_s\":%.17g,\"t_changes\":%" PRIu64
+      ",\"r_changes\":%" PRIu64 ",\"matched_t\":%" PRIu64
+      ",\"matched_r\":%" PRIu64 "}"
+      ",\"quality\":{\"t_snr\":%.17g,\"r_snr\":%.17g,"
+      "\"r_completeness\":%.17g,\"finite\":%s}"
+      ",\"votes\":{\"legit\":%" PRIu64 ",\"attacker\":%" PRIu64
+      ",\"abstain\":%" PRIu64 "}}",
+      stream_id, round_index, verdict_name(verdict), lof_score, lof_tau, z1,
+      z2, z3, z4, estimated_delay_s, transmitted_changes, received_changes,
+      matched_transmitted, matched_received, t_snr, r_snr, r_completeness,
+      inputs_finite ? "true" : "false", votes_legit, votes_attacker,
+      votes_abstain);
+  return std::string(buf);
+}
+
+const char* verdict_name(int verdict) {
+  switch (verdict) {
+    case 0: return "legitimate";
+    case 1: return "attacker";
+    case 2: return "abstain";
+    default: return "unknown";
+  }
+}
+
+void CollectingExplanationSink::emit(const RoundExplanation& record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(record);
+}
+
+std::vector<RoundExplanation> CollectingExplanationSink::records() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_;
+}
+
+std::size_t CollectingExplanationSink::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return records_.size();
+}
+
+void CollectingExplanationSink::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+JsonlExplanationWriter::JsonlExplanationWriter(const std::string& path)
+    : file_(std::fopen(path.c_str(), "wb")) {}
+
+JsonlExplanationWriter::~JsonlExplanationWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+void JsonlExplanationWriter::emit(const RoundExplanation& record) {
+  if (file_ == nullptr) return;
+  const std::string line = record.to_json();
+  std::lock_guard<std::mutex> lock(mu_);
+  std::fwrite(line.data(), 1, line.size(), file_);
+  std::fputc('\n', file_);
+  std::fflush(file_);
+}
+
+namespace {
+
+struct DefaultSinkState {
+  std::mutex mu;
+  bool initialised = false;
+  ExplanationSink* sink = nullptr;              // what detectors get
+  std::unique_ptr<JsonlExplanationWriter> env_writer;  // owned env sink
+};
+
+DefaultSinkState& default_sink_state() {
+  static DefaultSinkState state;
+  return state;
+}
+
+}  // namespace
+
+ExplanationSink* default_explanation_sink() {
+  DefaultSinkState& state = default_sink_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  if (!state.initialised) {
+    state.initialised = true;
+    const char* path = std::getenv("LUMICHAT_EXPLAIN_OUT");
+    if (path != nullptr && path[0] != '\0') {
+      state.env_writer = std::make_unique<JsonlExplanationWriter>(path);
+      if (state.env_writer->ok()) state.sink = state.env_writer.get();
+    }
+  }
+  return state.sink;
+}
+
+void set_default_explanation_sink(ExplanationSink* sink) {
+  DefaultSinkState& state = default_sink_state();
+  std::lock_guard<std::mutex> lock(state.mu);
+  state.initialised = true;  // an explicit override beats the env variable
+  state.sink = sink;
+}
+
+}  // namespace lumichat::obs

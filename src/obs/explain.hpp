@@ -1,0 +1,119 @@
+// Per-round decision records: *why* the detector said what it said.
+//
+// Every detection round can emit one `RoundExplanation` — the full evidence
+// chain from signal quality through the correlation features z1..z4 to the
+// LOF score vs threshold and the running vote tally. Serialised as JSONL
+// (one object per line), the stream is the audit artifact for a verdict:
+// which round abstained and which quality floor it failed, what delay the
+// matcher estimated, how far past tau the LOF landed.
+//
+// This layer knows nothing about core types: `verdict` is a plain int with
+// the same values as core::Verdict (0 legit, 1 attacker, 2 abstain), and
+// core fills the struct. Field contents are deterministic per
+// (stream_id, round_index); doubles serialise with %.17g so a round-trip
+// preserves every bit and two runs' lines can be compared for equality.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lumichat::obs {
+
+/// The evidence behind one detection-round verdict.
+struct RoundExplanation {
+  std::uint64_t stream_id = 0;    ///< session / detector stream
+  std::uint64_t round_index = 0;  ///< window or round within the stream
+
+  int verdict = 0;  ///< core::Verdict values: 0 legit, 1 attacker, 2 abstain
+
+  // LOF decision (paper Eq. 8): attacker iff lof_score > lof_tau.
+  double lof_score = 0.0;
+  double lof_tau = 0.0;
+
+  // Correlation features (paper Eqs. 4-6 / Fig. 9).
+  double z1 = 0.0;
+  double z2 = 0.0;
+  double z3 = 0.0;
+  double z4 = 0.0;
+
+  // Matcher diagnostics (paper Sec. VI-2 / Fig. 17).
+  double estimated_delay_s = 0.0;
+  std::uint64_t transmitted_changes = 0;
+  std::uint64_t received_changes = 0;
+  std::uint64_t matched_transmitted = 0;
+  std::uint64_t matched_received = 0;
+
+  // Signal quality of both windows (abstain evidence).
+  double t_snr = 0.0;
+  double r_snr = 0.0;
+  double r_completeness = 0.0;
+  bool inputs_finite = true;
+
+  // Running vote tally after this round (paper Sec. VII-B / Fig. 14);
+  // all-zero when the caller has no voting context (single detections).
+  std::uint64_t votes_legit = 0;
+  std::uint64_t votes_attacker = 0;
+  std::uint64_t votes_abstain = 0;
+
+  /// One-line JSON object (no trailing newline). Doubles use %.17g, so the
+  /// text round-trips bit-exactly and equal records serialise identically.
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Human name for a RoundExplanation::verdict value.
+[[nodiscard]] const char* verdict_name(int verdict);
+
+/// Receives explanation records; emit() must be thread-safe.
+class ExplanationSink {
+ public:
+  virtual ~ExplanationSink() = default;
+  virtual void emit(const RoundExplanation& record) = 0;
+};
+
+/// Buffers records in memory (tests, selftests).
+class CollectingExplanationSink final : public ExplanationSink {
+ public:
+  void emit(const RoundExplanation& record) override;
+  [[nodiscard]] std::vector<RoundExplanation> records() const;
+  [[nodiscard]] std::size_t size() const;
+  void clear();
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<RoundExplanation> records_;
+};
+
+/// Appends one JSON line per record to a file. Lines are written atomically
+/// with respect to each other (a mutex per emit), but the *order* of lines
+/// from concurrent emitters is scheduling-dependent — consumers must key on
+/// (stream_id, round_index), whose contents are deterministic.
+class JsonlExplanationWriter final : public ExplanationSink {
+ public:
+  explicit JsonlExplanationWriter(const std::string& path);
+  ~JsonlExplanationWriter() override;
+
+  /// False when the file could not be opened (emit() is then a no-op).
+  [[nodiscard]] bool ok() const { return file_ != nullptr; }
+
+  void emit(const RoundExplanation& record) override;
+
+ private:
+  std::mutex mu_;
+  std::FILE* file_;
+};
+
+/// Process-default sink: built lazily from the LUMICHAT_EXPLAIN_OUT
+/// environment variable (a JSONL path) on first call; nullptr when unset.
+/// Detectors pick this up at construction.
+[[nodiscard]] ExplanationSink* default_explanation_sink();
+
+/// Overrides the process default (for tests and benches); pass nullptr to
+/// silence. The caller keeps ownership and must keep `sink` alive until the
+/// override is replaced and every detector holding it is gone.
+void set_default_explanation_sink(ExplanationSink* sink);
+
+}  // namespace lumichat::obs

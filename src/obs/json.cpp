@@ -1,0 +1,154 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cstddef>
+
+namespace lumichat::obs {
+
+namespace {
+
+constexpr int kMaxDepth = 256;
+
+struct Parser {
+  std::string_view text;
+  std::size_t pos = 0;
+
+  [[nodiscard]] bool done() const { return pos >= text.size(); }
+  [[nodiscard]] char peek() const { return text[pos]; }
+
+  void skip_ws() {
+    while (!done()) {
+      const char c = peek();
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        ++pos;
+      } else {
+        break;
+      }
+    }
+  }
+
+  bool consume(char c) {
+    if (done() || peek() != c) return false;
+    ++pos;
+    return true;
+  }
+
+  bool literal(std::string_view word) {
+    if (text.substr(pos, word.size()) != word) return false;
+    pos += word.size();
+    return true;
+  }
+
+  bool string() {
+    if (!consume('"')) return false;
+    while (!done()) {
+      const char c = text[pos++];
+      if (c == '"') return true;
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (done()) return false;
+        const char e = text[pos++];
+        switch (e) {
+          case '"': case '\\': case '/': case 'b':
+          case 'f': case 'n': case 'r': case 't':
+            break;
+          case 'u': {
+            for (int i = 0; i < 4; ++i) {
+              if (done() || std::isxdigit(static_cast<unsigned char>(
+                                text[pos])) == 0) {
+                return false;
+              }
+              ++pos;
+            }
+            break;
+          }
+          default:
+            return false;
+        }
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool digits() {
+    if (done() || std::isdigit(static_cast<unsigned char>(peek())) == 0) {
+      return false;
+    }
+    while (!done() && std::isdigit(static_cast<unsigned char>(peek())) != 0) {
+      ++pos;
+    }
+    return true;
+  }
+
+  bool number() {
+    consume('-');
+    if (consume('0')) {
+      // leading zero: no further integer digits allowed
+    } else if (!digits()) {
+      return false;
+    }
+    if (consume('.') && !digits()) return false;
+    if (!done() && (peek() == 'e' || peek() == 'E')) {
+      ++pos;
+      if (!done() && (peek() == '+' || peek() == '-')) ++pos;
+      if (!digits()) return false;
+    }
+    return true;
+  }
+
+  bool value(int depth) {
+    if (depth > kMaxDepth) return false;
+    skip_ws();
+    if (done()) return false;
+    const char c = peek();
+    if (c == '{') return object(depth);
+    if (c == '[') return array(depth);
+    if (c == '"') return string();
+    if (c == 't') return literal("true");
+    if (c == 'f') return literal("false");
+    if (c == 'n') return literal("null");
+    if (c == '-' || std::isdigit(static_cast<unsigned char>(c)) != 0) {
+      return number();
+    }
+    return false;
+  }
+
+  bool object(int depth) {
+    if (!consume('{')) return false;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      if (!string()) return false;
+      skip_ws();
+      if (!consume(':')) return false;
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (consume('}')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+
+  bool array(int depth) {
+    if (!consume('[')) return false;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      if (!value(depth + 1)) return false;
+      skip_ws();
+      if (consume(']')) return true;
+      if (!consume(',')) return false;
+    }
+  }
+};
+
+}  // namespace
+
+bool json_well_formed(std::string_view text) {
+  Parser p{text};
+  if (!p.value(0)) return false;
+  p.skip_ws();
+  return p.done();
+}
+
+}  // namespace lumichat::obs

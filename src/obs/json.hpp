@@ -1,0 +1,14 @@
+// Minimal JSON well-formedness check, used by the trace selftest and unit
+// tests to validate exporter output without pulling in a JSON library.
+#pragma once
+
+#include <string_view>
+
+namespace lumichat::obs {
+
+/// True when `text` is exactly one well-formed JSON value (object, array,
+/// string, number, true/false/null) per RFC 8259 grammar, up to a nesting
+/// depth of 256. No number-range or UTF-8 validation beyond escapes.
+[[nodiscard]] bool json_well_formed(std::string_view text);
+
+}  // namespace lumichat::obs

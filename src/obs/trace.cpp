@@ -1,0 +1,277 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string_view>
+
+namespace lumichat::obs {
+
+namespace detail {
+
+// One recording thread's bounded span store. Each buffer is touched by its
+// owning thread (append) and by snapshot/clear under the mutex; appends take
+// the same mutex, but it is uncontended in the steady state because every
+// thread has its own buffer.
+struct TracerThreadBuffer {
+  explicit TracerThreadBuffer(std::uint32_t thread_id, std::size_t capacity)
+      : id(thread_id), cap(capacity) {}
+
+  void append(const SpanRecord& rec) {
+    std::lock_guard<std::mutex> lock(mu);
+    if (spans.size() >= cap) {
+      spans.pop_front();
+      ++dropped;
+    }
+    spans.push_back(rec);
+  }
+
+  const std::uint32_t id;
+  const std::size_t cap;
+  std::mutex mu;
+  std::deque<SpanRecord> spans;
+  std::uint64_t dropped = 0;
+  std::uint32_t depth = 0;  ///< live nesting depth; owning thread only
+};
+
+namespace {
+
+// Thread-local cache of "my buffer in the currently-installed tracer".
+// The generation is process-unique per Tracer instance, so a stale cache
+// from a destroyed tracer can never be dereferenced: the generation check
+// fails first and the thread re-registers.
+struct ThreadCache {
+  std::uint64_t generation = 0;
+  TracerThreadBuffer* buffer = nullptr;
+};
+
+thread_local ThreadCache t_cache;
+
+std::atomic<std::uint64_t> g_next_generation{1};
+
+}  // namespace
+}  // namespace detail
+
+std::atomic<Tracer*> Tracer::active_tracer_{nullptr};
+
+Tracer::Tracer(TracerConfig config)
+    : per_thread_capacity_(config.per_thread_capacity == 0
+                               ? 1
+                               : config.per_thread_capacity),
+      clock_(config.clock != nullptr ? config.clock : &own_clock_),
+      generation_(detail::g_next_generation.fetch_add(
+          1, std::memory_order_relaxed)) {}
+
+Tracer::~Tracer() {
+  if (active() == this) uninstall();
+}
+
+detail::TracerThreadBuffer& Tracer::local_buffer() {
+  auto& cache = detail::t_cache;
+  if (cache.generation == generation_) return *cache.buffer;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  buffers_.push_back(std::make_unique<detail::TracerThreadBuffer>(
+      static_cast<std::uint32_t>(buffers_.size()), per_thread_capacity_));
+  cache.generation = generation_;
+  cache.buffer = buffers_.back().get();
+  return *cache.buffer;
+}
+
+Tracer::OpenToken Tracer::open() {
+  detail::TracerThreadBuffer& buf = local_buffer();
+  OpenToken token;
+  token.buffer = &buf;
+  token.depth = buf.depth++;
+  token.open_seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  token.start_ns = clock_->now_ns();
+  return token;
+}
+
+void Tracer::close(const OpenToken& token, const char* name,
+                   const char* category) {
+  const std::uint64_t end_ns = clock_->now_ns();
+  SpanRecord rec;
+  rec.name = name;
+  rec.category = category;
+  rec.thread = token.buffer->id;
+  rec.depth = token.depth;
+  rec.open_seq = token.open_seq;
+  rec.close_seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  rec.start_ns = token.start_ns;
+  rec.dur_ns = end_ns >= token.start_ns ? end_ns - token.start_ns : 0;
+  token.buffer->depth = token.depth;
+  token.buffer->append(rec);
+}
+
+std::vector<SpanRecord> Tracer::snapshot() const {
+  std::vector<SpanRecord> out;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    out.insert(out.end(), buf->spans.begin(), buf->spans.end());
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.open_seq < b.open_seq;
+            });
+  return out;
+}
+
+std::uint64_t Tracer::spans_dropped() const {
+  std::uint64_t total = 0;
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    total += buf->dropped;
+  }
+  return total;
+}
+
+void Tracer::clear() {
+  std::lock_guard<std::mutex> lock(registry_mu_);
+  for (const auto& buf : buffers_) {
+    std::lock_guard<std::mutex> buf_lock(buf->mu);
+    buf->spans.clear();
+    buf->dropped = 0;
+  }
+}
+
+namespace {
+
+void append_json_escaped(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x",
+                    static_cast<unsigned>(static_cast<unsigned char>(c)));
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+}
+
+}  // namespace
+
+std::string Tracer::chrome_trace_json() const {
+  const std::vector<SpanRecord> spans = snapshot();
+  std::string out;
+  out.reserve(spans.size() * 160 + 64);
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char buf[256];
+  bool first = true;
+  for (const SpanRecord& s : spans) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":\"";
+    append_json_escaped(out, s.name);
+    out += "\",\"cat\":\"";
+    append_json_escaped(out, s.category);
+    // trace_event "complete" events: ts/dur in microseconds (fractional ok).
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,"
+                  "\"tid\":%" PRIu32 ",\"args\":{\"seq\":%" PRIu64
+                  ",\"depth\":%" PRIu32 "}}",
+                  static_cast<double>(s.start_ns) / 1e3,
+                  static_cast<double>(s.dur_ns) / 1e3, s.thread, s.open_seq,
+                  s.depth);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+bool Tracer::write_chrome_trace(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  const std::string json = chrome_trace_json();
+  const bool ok = std::fwrite(json.data(), 1, json.size(), f) == json.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+std::string Tracer::stage_summary_json() const {
+  struct Agg {
+    std::uint64_t count = 0;
+    std::uint64_t total_ns = 0;
+    std::uint64_t max_ns = 0;
+  };
+  // std::map => name-sorted output, deterministic across runs.
+  std::map<std::string_view, Agg> by_name;
+  for (const SpanRecord& s : snapshot()) {
+    Agg& a = by_name[s.name];
+    ++a.count;
+    a.total_ns += s.dur_ns;
+    a.max_ns = std::max(a.max_ns, s.dur_ns);
+  }
+  std::string out = "{\"stages\":[";
+  char buf[256];
+  bool first = true;
+  for (const auto& [name, a] : by_name) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"name\":\"";
+    append_json_escaped(out, std::string(name).c_str());
+    std::snprintf(buf, sizeof(buf),
+                  "\",\"count\":%" PRIu64
+                  ",\"total_ms\":%.6f,\"mean_us\":%.3f,\"max_us\":%.3f}",
+                  a.count, static_cast<double>(a.total_ns) / 1e6,
+                  a.count == 0 ? 0.0
+                               : static_cast<double>(a.total_ns) /
+                                     (1e3 * static_cast<double>(a.count)),
+                  static_cast<double>(a.max_ns) / 1e3);
+    out += buf;
+  }
+  out += "]}";
+  return out;
+}
+
+bool spans_well_nested(const std::vector<SpanRecord>& spans) {
+  // Per thread, replay open/close events in logical-clock order; proper
+  // nesting means the events bracket like parentheses (LIFO).
+  struct Event {
+    std::uint64_t seq;
+    bool is_open;
+    std::size_t span;  ///< index into the thread's span list
+  };
+  std::map<std::uint32_t, std::vector<const SpanRecord*>> by_thread;
+  for (const SpanRecord& s : spans) {
+    if (s.close_seq <= s.open_seq) return false;
+    by_thread[s.thread].push_back(&s);
+  }
+  for (const auto& [tid, list] : by_thread) {
+    (void)tid;
+    std::vector<Event> events;
+    events.reserve(list.size() * 2);
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      events.push_back({list[i]->open_seq, true, i});
+      events.push_back({list[i]->close_seq, false, i});
+    }
+    std::sort(events.begin(), events.end(),
+              [](const Event& a, const Event& b) { return a.seq < b.seq; });
+    std::vector<std::size_t> stack;
+    for (const Event& ev : events) {
+      if (ev.is_open) {
+        stack.push_back(ev.span);
+      } else {
+        if (stack.empty() || stack.back() != ev.span) return false;
+        stack.pop_back();
+      }
+    }
+    if (!stack.empty()) return false;
+  }
+  return true;
+}
+
+std::string env_trace_path() {
+  const char* v = std::getenv("LUMICHAT_TRACE");
+  return v != nullptr ? std::string(v) : std::string();
+}
+
+}  // namespace lumichat::obs

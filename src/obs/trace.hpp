@@ -1,0 +1,206 @@
+// Low-overhead cross-layer tracer.
+//
+// Every pipeline stage (preprocess, change detection, feature extraction,
+// LOF scoring, voting) and every service path (feed, drain, pump) brackets
+// itself with an RAII `ObsSpan` guard. When no tracer is installed the guard
+// costs one relaxed atomic load and a branch — disabled-by-default
+// instrumentation compiles to a branch-on-null, cheap enough to leave in
+// per-frame code (bench_perf's BM_ObsSpanDisabled measures it).
+//
+// When a tracer IS installed, each closing span appends one fixed-size
+// record to a per-thread bounded buffer (drop-oldest past capacity, so a
+// runaway trace can never exhaust memory). Two clocks stamp every record:
+//
+//   * a process-global *logical* clock (`open_seq`/`close_seq`, one atomic
+//     counter) that totally orders span opens/closes — the deterministic
+//     skeleton used for nesting validation, independent of timer noise;
+//   * an injectable *wall* clock (`TraceClock`) for durations. The default
+//     is steady_clock; tests inject `ManualTraceClock` for reproducible
+//     timestamps.
+//
+// Tracing only ever observes — it reads no RNG, mutates no pipeline state —
+// so verdict sequences are bit-identical with tracing on or off
+// (bench_service_load --trace-selftest enforces this).
+//
+// Lifetime contract: the tracer must outlive every span opened against it
+// and every thread that recorded into it must quiesce before the tracer is
+// destroyed (install before spawning workers, uninstall after joining them).
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lumichat::obs {
+
+namespace detail {
+struct TracerThreadBuffer;
+}  // namespace detail
+
+/// Injectable wall clock. Implementations must be callable from any thread.
+class TraceClock {
+ public:
+  virtual ~TraceClock() = default;
+  /// Monotonic nanoseconds since an arbitrary (per-clock) origin.
+  [[nodiscard]] virtual std::uint64_t now_ns() = 0;
+};
+
+/// Default wall clock: steady_clock nanoseconds since construction.
+class SteadyTraceClock final : public TraceClock {
+ public:
+  SteadyTraceClock() : origin_(std::chrono::steady_clock::now()) {}
+  [[nodiscard]] std::uint64_t now_ns() override {
+    return static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - origin_)
+            .count());
+  }
+
+ private:
+  std::chrono::steady_clock::time_point origin_;
+};
+
+/// Deterministic clock for tests: time moves only when told to.
+class ManualTraceClock final : public TraceClock {
+ public:
+  void set_ns(std::uint64_t t) { t_.store(t, std::memory_order_relaxed); }
+  void advance_ns(std::uint64_t d) {
+    t_.fetch_add(d, std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t now_ns() override {
+    return t_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> t_{0};
+};
+
+/// One completed span. `name`/`category` must be string literals (the
+/// tracer stores the pointers, not copies).
+struct SpanRecord {
+  const char* name = "";
+  const char* category = "";
+  std::uint32_t thread = 0;     ///< dense tracer-assigned thread ordinal
+  std::uint32_t depth = 0;      ///< nesting depth within the thread at open
+  std::uint64_t open_seq = 0;   ///< logical clock at open
+  std::uint64_t close_seq = 0;  ///< logical clock at close
+  std::uint64_t start_ns = 0;   ///< wall clock at open
+  std::uint64_t dur_ns = 0;
+};
+
+struct TracerConfig {
+  /// Spans kept per recording thread; the oldest are dropped past this, so
+  /// total memory is bounded by threads x capacity x sizeof(SpanRecord).
+  std::size_t per_thread_capacity = 1 << 15;
+  /// Borrowed wall clock (must outlive the tracer); nullptr = an internal
+  /// SteadyTraceClock.
+  TraceClock* clock = nullptr;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(TracerConfig config = {});
+  ~Tracer();
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// The process-wide tracer, or nullptr when tracing is off. This load is
+  /// the entire disabled-path cost of an ObsSpan.
+  [[nodiscard]] static Tracer* active() {
+    return active_tracer_.load(std::memory_order_acquire);
+  }
+
+  /// Makes this tracer the process-wide one (replacing any previous).
+  void install() { active_tracer_.store(this, std::memory_order_release); }
+
+  /// Turns tracing off. The (former) tracer keeps its records.
+  static void uninstall() {
+    active_tracer_.store(nullptr, std::memory_order_release);
+  }
+
+  /// All recorded spans, merged across threads and sorted by open_seq.
+  [[nodiscard]] std::vector<SpanRecord> snapshot() const;
+
+  /// Spans lost to the per-thread drop-oldest bound.
+  [[nodiscard]] std::uint64_t spans_dropped() const;
+
+  /// Discards every recorded span (buffers and thread registrations stay).
+  void clear();
+
+  /// Chrome trace_event JSON ("catapult" format): load the file at
+  /// chrome://tracing or https://ui.perfetto.dev.
+  [[nodiscard]] std::string chrome_trace_json() const;
+
+  /// Writes chrome_trace_json() to `path`; false on I/O failure.
+  bool write_chrome_trace(const std::string& path) const;
+
+  /// Per-stage aggregate: {"stages":[{"name":...,"count":...,"total_ms":...,
+  /// "mean_us":...,"max_us":...},...]} sorted by name.
+  [[nodiscard]] std::string stage_summary_json() const;
+
+ private:
+  friend class ObsSpan;
+
+  struct OpenToken {
+    detail::TracerThreadBuffer* buffer = nullptr;
+    std::uint32_t depth = 0;
+    std::uint64_t open_seq = 0;
+    std::uint64_t start_ns = 0;
+  };
+
+  [[nodiscard]] OpenToken open();
+  void close(const OpenToken& token, const char* name, const char* category);
+  [[nodiscard]] detail::TracerThreadBuffer& local_buffer();
+
+  static std::atomic<Tracer*> active_tracer_;
+
+  const std::size_t per_thread_capacity_;
+  TraceClock* clock_;  // borrowed, or &own_clock_
+  SteadyTraceClock own_clock_;
+  const std::uint64_t generation_;  ///< process-unique per Tracer instance
+  std::atomic<std::uint64_t> seq_{0};
+
+  mutable std::mutex registry_mu_;
+  std::deque<std::unique_ptr<detail::TracerThreadBuffer>> buffers_;
+};
+
+/// RAII span guard. Construct at the top of a stage; the span closes when
+/// the guard leaves scope. `name` and `category` must be string literals.
+class ObsSpan {
+ public:
+  explicit ObsSpan(const char* name, const char* category = "pipeline")
+      : tracer_(Tracer::active()), name_(name), category_(category) {
+    if (tracer_ != nullptr) token_ = tracer_->open();
+  }
+  ~ObsSpan() {
+    if (tracer_ != nullptr) tracer_->close(token_, name_, category_);
+  }
+
+  ObsSpan(const ObsSpan&) = delete;
+  ObsSpan& operator=(const ObsSpan&) = delete;
+
+ private:
+  Tracer* tracer_;
+  const char* name_;
+  const char* category_;
+  Tracer::OpenToken token_{};
+};
+
+/// True when, per thread, the spans form a proper bracket structure on the
+/// logical clock: every span closed after it opened, and nested spans close
+/// before their parent (LIFO per thread). The check uses open_seq/close_seq
+/// only, so it is immune to coarse or manual wall clocks.
+[[nodiscard]] bool spans_well_nested(const std::vector<SpanRecord>& spans);
+
+/// Value of the LUMICHAT_TRACE environment variable (a trace output path),
+/// or an empty string when unset/empty.
+[[nodiscard]] std::string env_trace_path();
+
+}  // namespace lumichat::obs

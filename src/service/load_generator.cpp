@@ -13,6 +13,7 @@
 #include "common/rng.hpp"
 #include "face/face_model.hpp"
 #include "faults/plan.hpp"
+#include "obs/trace.hpp"
 #include "reenact/reenactor.hpp"
 
 namespace lumichat::service {
@@ -167,10 +168,19 @@ double LoadReport::accuracy() const {
 
 LoadReport run_load(const LoadSpec& spec, const ServiceConfig& service_config,
                     const core::StreamingDetector& prototype,
-                    common::ThreadPool* pool) {
+                    common::ThreadPool* pool, obs::MetricsRegistry* registry) {
   SessionManager manager(service_config, prototype);
-  FrameScheduler scheduler(pool);
+  FrameScheduler scheduler(pool, registry);
   manager.attach_scheduler(&scheduler);
+
+  obs::Counter* admitted_ctr =
+      registry != nullptr ? &registry->counter("load.sessions_admitted")
+                          : nullptr;
+  obs::Counter* rejected_ctr =
+      registry != nullptr ? &registry->counter("load.sessions_rejected")
+                          : nullptr;
+  obs::Counter* fed_ctr =
+      registry != nullptr ? &registry->counter("load.frames_fed") : nullptr;
 
   struct Chat {
     SessionId id = 0;
@@ -189,15 +199,21 @@ LoadReport run_load(const LoadSpec& spec, const ServiceConfig& service_config,
     const std::optional<SessionId> id = manager.create();
     if (!id.has_value()) {
       ++rejected;
+      if (rejected_ctr != nullptr) rejected_ctr->add();
       continue;
     }
+    if (admitted_ctr != nullptr) admitted_ctr->add();
     chats.push_back(Chat{*id, i, attacker, nullptr});
   }
 
   // Chat construction fans out: each simulated client is independent.
-  common::for_each_index(pool, chats.size(), [&](std::size_t c) {
-    chats[c].source = make_source(spec, chats[c].ordinal, chats[c].attacker);
-  });
+  {
+    const obs::ObsSpan span("load.build_chats", "load");
+    common::for_each_index(pool, chats.size(), [&](std::size_t c) {
+      chats[c].source =
+          make_source(spec, chats[c].ordinal, chats[c].attacker);
+    });
+  }
 
   const auto total_ticks = static_cast<std::size_t>(
       std::llround(spec.duration_s * spec.sample_rate_hz));
@@ -224,6 +240,7 @@ LoadReport run_load(const LoadSpec& spec, const ServiceConfig& service_config,
   const double elapsed =
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
+  if (fed_ctr != nullptr) fed_ctr->add(fed.load(std::memory_order_relaxed));
 
   LoadReport report;
   report.sessions.reserve(chats.size());

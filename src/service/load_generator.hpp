@@ -83,10 +83,13 @@ struct LoadReport {
 
 /// Runs the scenario. `prototype` must be trained; `pool` is used both for
 /// frame generation (chats are independent) and for the scheduler's drains.
-/// nullptr runs everything serially.
+/// nullptr runs everything serially. An optional registry (borrowed)
+/// receives load.* counters and is handed to the FrameScheduler for its
+/// scheduler.* counters; it never influences the run's results.
 [[nodiscard]] LoadReport run_load(const LoadSpec& spec,
                                   const ServiceConfig& service_config,
                                   const core::StreamingDetector& prototype,
-                                  common::ThreadPool* pool = nullptr);
+                                  common::ThreadPool* pool = nullptr,
+                                  obs::MetricsRegistry* registry = nullptr);
 
 }  // namespace lumichat::service

@@ -1,57 +1,8 @@
 #include "service/metrics.hpp"
 
-#include <algorithm>
-#include <cmath>
 #include <cstdio>
 
 namespace lumichat::service {
-
-std::size_t LatencyHistogram::bucket_of(double seconds) {
-  const double micros = seconds * 1e6;
-  if (!(micros > 1.0)) return 0;  // also catches NaN and negatives
-  const double idx =
-      std::floor(std::log2(micros) * static_cast<double>(kBucketsPerOctave));
-  if (idx >= static_cast<double>(kBuckets - 1)) return kBuckets - 1;
-  return static_cast<std::size_t>(idx);
-}
-
-void LatencyHistogram::record(double seconds) {
-  counts_[bucket_of(seconds)].fetch_add(1, std::memory_order_relaxed);
-}
-
-std::uint64_t LatencyHistogram::count() const {
-  std::uint64_t total = 0;
-  for (const auto& c : counts_) total += c.load(std::memory_order_relaxed);
-  return total;
-}
-
-double LatencyHistogram::quantile(double q) const {
-  std::array<std::uint64_t, kBuckets> local{};
-  std::uint64_t total = 0;
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    local[i] = counts_[i].load(std::memory_order_relaxed);
-    total += local[i];
-  }
-  if (total == 0) return 0.0;
-  q = std::clamp(q, 0.0, 1.0);
-  const auto rank = static_cast<std::uint64_t>(
-      std::max(1.0, std::ceil(q * static_cast<double>(total))));
-  std::uint64_t seen = 0;
-  for (std::size_t i = 0; i < kBuckets; ++i) {
-    seen += local[i];
-    if (seen >= rank) {
-      // Geometric midpoint of bucket i: 1 us * 2^((i + 0.5) / 4).
-      const double exponent = (static_cast<double>(i) + 0.5) /
-                              static_cast<double>(kBucketsPerOctave);
-      return 1e-6 * std::exp2(exponent);
-    }
-  }
-  return 0.0;  // unreachable
-}
-
-void LatencyHistogram::reset() {
-  for (auto& c : counts_) c.store(0, std::memory_order_relaxed);
-}
 
 MetricsSnapshot ServiceMetrics::snapshot(std::uint64_t sessions_active) const {
   MetricsSnapshot s;
@@ -69,11 +20,14 @@ MetricsSnapshot ServiceMetrics::snapshot(std::uint64_t sessions_active) const {
   s.latency_p50_s = push_to_verdict_.quantile(0.50);
   s.latency_p95_s = push_to_verdict_.quantile(0.95);
   s.latency_p99_s = push_to_verdict_.quantile(0.99);
+  s.latency_p999_s = push_to_verdict_.quantile(0.999);
+  s.latency_mean_s = push_to_verdict_.mean();
+  s.latency_max_s = push_to_verdict_.max();
   return s;
 }
 
 std::string MetricsSnapshot::to_json() const {
-  char buf[768];
+  char buf[1024];
   std::snprintf(
       buf, sizeof(buf),
       "{\"sessions\":{\"created\":%llu,\"rejected\":%llu,\"evicted\":%llu,"
@@ -82,7 +36,7 @@ std::string MetricsSnapshot::to_json() const {
       "\"windows\":{\"completed\":%llu,\"verdicts_legit\":%llu,"
       "\"verdicts_attacker\":%llu,\"verdicts_abstain\":%llu},"
       "\"push_to_verdict_latency_s\":{\"p50\":%.6g,\"p95\":%.6g,"
-      "\"p99\":%.6g}}",
+      "\"p99\":%.6g,\"p999\":%.6g,\"mean\":%.6g,\"max\":%.6g}}",
       static_cast<unsigned long long>(sessions_created),
       static_cast<unsigned long long>(sessions_rejected),
       static_cast<unsigned long long>(sessions_evicted),
@@ -94,7 +48,8 @@ std::string MetricsSnapshot::to_json() const {
       static_cast<unsigned long long>(verdicts_legit),
       static_cast<unsigned long long>(verdicts_attacker),
       static_cast<unsigned long long>(verdicts_abstain),
-      latency_p50_s, latency_p95_s, latency_p99_s);
+      latency_p50_s, latency_p95_s, latency_p99_s, latency_p999_s,
+      latency_mean_s, latency_max_s);
   return std::string(buf);
 }
 

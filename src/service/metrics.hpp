@@ -8,41 +8,21 @@
 // sessions reporting concurrently from pool workers.
 #pragma once
 
-#include <array>
 #include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <string>
 
 #include "core/voting.hpp"
+#include "obs/metrics.hpp"
 
 namespace lumichat::service {
 
 /// Log-spaced latency histogram covering 1 us .. ~2.4 h with four buckets
-/// per octave (quarter-power-of-two edges, resolution about +/-9% — plenty
-/// for p50/p95/p99 reporting, at 132 atomic words of storage).
-class LatencyHistogram {
- public:
-  static constexpr std::size_t kBucketsPerOctave = 4;
-  static constexpr std::size_t kOctaves = 33;
-  static constexpr std::size_t kBuckets = kBucketsPerOctave * kOctaves;
-
-  void record(double seconds);
-
-  [[nodiscard]] std::uint64_t count() const;
-
-  /// Approximate q-quantile in seconds for q in [0, 1]: the geometric
-  /// midpoint of the bucket holding the ceil(q * count)-th sample. Returns 0
-  /// when the histogram is empty.
-  [[nodiscard]] double quantile(double q) const;
-
-  void reset();
-
- private:
-  [[nodiscard]] static std::size_t bucket_of(double seconds);
-
-  std::array<std::atomic<std::uint64_t>, kBuckets> counts_{};
-};
+/// per octave — now the general obs::LogHistogram (same buckets and
+/// quantile semantics as before, plus exact sum/mean/max and merge() so
+/// sharded managers can aggregate into one export).
+using LatencyHistogram = obs::LogHistogram;
 
 /// Point-in-time aggregate of a SessionManager's counters.
 struct MetricsSnapshot {
@@ -60,6 +40,9 @@ struct MetricsSnapshot {
   double latency_p50_s = 0.0;  ///< push-to-verdict, completing frame
   double latency_p95_s = 0.0;
   double latency_p99_s = 0.0;
+  double latency_p999_s = 0.0;
+  double latency_mean_s = 0.0;  ///< exact (not bucket-resolution) mean
+  double latency_max_s = 0.0;   ///< exact worst case
 
   [[nodiscard]] std::string to_json() const;
 };

@@ -3,9 +3,19 @@
 #include <atomic>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace lumichat::service {
 
-FrameScheduler::FrameScheduler(common::ThreadPool* pool) : pool_(pool) {}
+FrameScheduler::FrameScheduler(common::ThreadPool* pool,
+                               obs::MetricsRegistry* registry)
+    : pool_(pool) {
+  if (registry != nullptr) {
+    pumps_ = &registry->counter("scheduler.pumps");
+    drain_tasks_ = &registry->counter("scheduler.drain_tasks");
+    frames_drained_ = &registry->counter("scheduler.frames_drained");
+  }
+}
 
 void FrameScheduler::notify(const std::shared_ptr<ServiceSession>& session) {
   if (session == nullptr || !session->try_mark_ready()) return;
@@ -19,6 +29,10 @@ void FrameScheduler::drain_task(
   const std::size_t n = session->drain();
   const bool again = session->finish_drain();
   processed.fetch_add(n, std::memory_order_relaxed);
+  if (drain_tasks_ != nullptr) drain_tasks_->add();
+  if (frames_drained_ != nullptr) {
+    frames_drained_->add(static_cast<std::uint64_t>(n));
+  }
   {
     const std::lock_guard<std::mutex> lock(mu_);
     if (again) ready_.push_back(session);  // still owns the ready flag
@@ -32,6 +46,8 @@ void FrameScheduler::drain_task(
 }
 
 std::size_t FrameScheduler::pump() {
+  const obs::ObsSpan span("service.pump", "service");
+  if (pumps_ != nullptr) pumps_->add();
   std::atomic<std::size_t> processed{0};
   for (;;) {
     std::vector<std::shared_ptr<ServiceSession>> batch;

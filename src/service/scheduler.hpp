@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "common/thread_pool.hpp"
+#include "obs/metrics.hpp"
 #include "service/session.hpp"
 
 namespace lumichat::service {
@@ -29,8 +30,11 @@ namespace lumichat::service {
 class FrameScheduler {
  public:
   /// With a null pool the scheduler drains inline on the pumping thread —
-  /// the serial reference the determinism checks compare against.
-  explicit FrameScheduler(common::ThreadPool* pool = nullptr);
+  /// the serial reference the determinism checks compare against. An
+  /// optional registry (borrowed) receives scheduler.pumps /
+  /// scheduler.drain_tasks / scheduler.frames_drained counters.
+  explicit FrameScheduler(common::ThreadPool* pool = nullptr,
+                          obs::MetricsRegistry* registry = nullptr);
 
   FrameScheduler(const FrameScheduler&) = delete;
   FrameScheduler& operator=(const FrameScheduler&) = delete;
@@ -55,6 +59,11 @@ class FrameScheduler {
                   std::atomic<std::size_t>& processed);
 
   common::ThreadPool* pool_;
+  // Resolved once at construction so the hot path bumps through plain
+  // pointers (null when no registry was given).
+  obs::Counter* pumps_ = nullptr;
+  obs::Counter* drain_tasks_ = nullptr;
+  obs::Counter* frames_drained_ = nullptr;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<std::shared_ptr<ServiceSession>> ready_;  // guarded by mu_

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace lumichat::service {
 
 ServiceSession::ServiceSession(SessionId id, core::StreamingDetector detector,
@@ -29,6 +31,7 @@ bool ServiceSession::try_mark_ready() {
 }
 
 std::size_t ServiceSession::drain() {
+  const obs::ObsSpan span("service.drain", "service");
   std::deque<FrameJob> batch;
   {
     const std::lock_guard<std::mutex> lock(queue_mu_);

@@ -4,6 +4,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
 #include "service/scheduler.hpp"
 
 namespace lumichat::service {
@@ -57,8 +58,10 @@ std::optional<SessionId> SessionManager::create() {
     return std::nullopt;
   }
   const SessionId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  core::StreamingDetector detector = checkout_detector();
+  detector.set_stream_id(id);  // labels the session's RoundExplanations
   auto session = std::make_shared<ServiceSession>(
-      id, checkout_detector(), config_.session_queue_capacity, &metrics_);
+      id, std::move(detector), config_.session_queue_capacity, &metrics_);
   Shard& shard = shard_of(id);
   {
     const std::lock_guard<std::mutex> lock(shard.mu);
@@ -77,6 +80,7 @@ std::shared_ptr<ServiceSession> SessionManager::find(SessionId id) const {
 
 bool SessionManager::feed(SessionId id, double t_sec,
                           image::Image transmitted, image::Image received) {
+  const obs::ObsSpan span("service.feed", "service");
   const std::shared_ptr<ServiceSession> session = find(id);
   if (session == nullptr) return false;
 

@@ -1,0 +1,138 @@
+#include "obs/explain.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace lumichat::obs {
+namespace {
+
+RoundExplanation sample_record() {
+  RoundExplanation e;
+  e.stream_id = 7;
+  e.round_index = 3;
+  e.verdict = 1;
+  e.lof_score = 3.725;
+  e.lof_tau = 3.0;
+  e.z1 = 0.1;
+  e.z2 = 0.2;
+  e.z3 = 0.3;
+  e.z4 = 0.4;
+  e.estimated_delay_s = 0.05;
+  e.transmitted_changes = 12;
+  e.received_changes = 11;
+  e.matched_transmitted = 10;
+  e.matched_received = 10;
+  e.t_snr = 4.5;
+  e.r_snr = 3.9;
+  e.r_completeness = 0.98;
+  e.inputs_finite = true;
+  e.votes_legit = 1;
+  e.votes_attacker = 2;
+  e.votes_abstain = 0;
+  return e;
+}
+
+TEST(RoundExplanation, JsonIsWellFormedAndCarriesEveryField) {
+  const std::string json = sample_record().to_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  for (const char* key :
+       {"\"stream\":7", "\"round\":3", "\"verdict\":\"attacker\"",
+        "\"score\":", "\"tau\":", "\"z1\":", "\"z4\":", "\"estimated_s\":",
+        "\"t_changes\":12", "\"matched_r\":10", "\"t_snr\":",
+        "\"r_completeness\":", "\"finite\":true", "\"legit\":1",
+        "\"attacker\":2", "\"abstain\":0"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << key << " missing";
+  }
+}
+
+TEST(RoundExplanation, EqualRecordsSerialiseIdenticallyUnequalOnesDiffer) {
+  const RoundExplanation a = sample_record();
+  RoundExplanation b = sample_record();
+  EXPECT_EQ(a.to_json(), b.to_json());
+  // A one-ulp change in any double must change the text — %.17g is the
+  // round-trippable precision, which is what makes two runs' JSONL streams
+  // comparable for bit-exactness.
+  b.lof_score = std::nextafter(b.lof_score, 10.0);
+  EXPECT_NE(a.to_json(), b.to_json());
+}
+
+TEST(RoundExplanation, DoublesRoundTripBitExactly) {
+  RoundExplanation e = sample_record();
+  e.lof_score = 0.1 + 0.2;  // the classic non-representable sum
+  const std::string json = e.to_json();
+  const std::size_t at = json.find("\"score\":");
+  ASSERT_NE(at, std::string::npos);
+  const double parsed = std::strtod(json.c_str() + at + 8, nullptr);
+  EXPECT_EQ(parsed, e.lof_score);  // bit-exact, not approximately
+}
+
+TEST(RoundExplanation, VerdictNamesMatchCoreValues) {
+  EXPECT_STREQ(verdict_name(0), "legitimate");
+  EXPECT_STREQ(verdict_name(1), "attacker");
+  EXPECT_STREQ(verdict_name(2), "abstain");
+  EXPECT_STREQ(verdict_name(42), "unknown");
+  EXPECT_STREQ(verdict_name(-1), "unknown");
+}
+
+TEST(CollectingSink, BuffersRecordsInEmitOrder) {
+  CollectingExplanationSink sink;
+  EXPECT_EQ(sink.size(), 0u);
+  RoundExplanation e = sample_record();
+  sink.emit(e);
+  e.round_index = 4;
+  sink.emit(e);
+  ASSERT_EQ(sink.size(), 2u);
+  const std::vector<RoundExplanation> records = sink.records();
+  EXPECT_EQ(records[0].round_index, 3u);
+  EXPECT_EQ(records[1].round_index, 4u);
+  sink.clear();
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(JsonlWriter, WritesOneWellFormedLinePerRecord) {
+  const std::string path =
+      ::testing::TempDir() + "/lumichat_explain_test.jsonl";
+  {
+    JsonlExplanationWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    RoundExplanation e = sample_record();
+    writer.emit(e);
+    e.round_index = 4;
+    e.verdict = 2;
+    writer.emit(e);
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  for (std::string line; std::getline(in, line);) lines.push_back(line);
+  ASSERT_EQ(lines.size(), 2u);
+  for (const std::string& line : lines) {
+    EXPECT_TRUE(json_well_formed(line)) << line;
+  }
+  EXPECT_NE(lines[1].find("\"verdict\":\"abstain\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(JsonlWriter, UnopenablepathReportsNotOkAndEmitIsNoOp) {
+  JsonlExplanationWriter writer("/nonexistent_dir_xyz/out.jsonl");
+  EXPECT_FALSE(writer.ok());
+  writer.emit(sample_record());  // must not crash
+}
+
+TEST(DefaultSink, OverrideWinsAndNullSilences) {
+  CollectingExplanationSink sink;
+  set_default_explanation_sink(&sink);
+  EXPECT_EQ(default_explanation_sink(), &sink);
+  set_default_explanation_sink(nullptr);
+  EXPECT_EQ(default_explanation_sink(), nullptr);
+}
+
+}  // namespace
+}  // namespace lumichat::obs

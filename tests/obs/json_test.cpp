@@ -1,0 +1,50 @@
+#include "obs/json.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace lumichat::obs {
+namespace {
+
+TEST(JsonWellFormed, AcceptsValidDocuments) {
+  EXPECT_TRUE(json_well_formed("{}"));
+  EXPECT_TRUE(json_well_formed("[]"));
+  EXPECT_TRUE(json_well_formed("  {\"a\": [1, -2.5e3, true, false, null]} "));
+  EXPECT_TRUE(json_well_formed("\"lone string\""));
+  EXPECT_TRUE(json_well_formed("-0.25"));
+  EXPECT_TRUE(json_well_formed("{\"esc\":\"a\\\"b\\\\c\\n\\u00e9\"}"));
+  EXPECT_TRUE(json_well_formed("[[[{\"deep\":[{}]}]]]"));
+}
+
+TEST(JsonWellFormed, RejectsMalformedDocuments) {
+  EXPECT_FALSE(json_well_formed(""));
+  EXPECT_FALSE(json_well_formed("{"));
+  EXPECT_FALSE(json_well_formed("{\"a\":1,}"));
+  EXPECT_FALSE(json_well_formed("[1 2]"));
+  EXPECT_FALSE(json_well_formed("{\"a\" 1}"));
+  EXPECT_FALSE(json_well_formed("{} extra"));
+  EXPECT_FALSE(json_well_formed("{\"a\":01}"));      // leading zero
+  EXPECT_FALSE(json_well_formed("{\"a\":+1}"));      // leading plus
+  EXPECT_FALSE(json_well_formed("{\"a\":nan}"));     // not a JSON literal
+  EXPECT_FALSE(json_well_formed("\"bad \\x escape\""));
+  EXPECT_FALSE(json_well_formed("\"bad \\u12 hex\""));
+  EXPECT_FALSE(json_well_formed(std::string("\"raw control ") + '\x01' +
+                                "\""));
+  EXPECT_FALSE(json_well_formed("'single quotes'"));
+}
+
+TEST(JsonWellFormed, EnforcesTheDepthLimit) {
+  std::string deep;
+  for (int i = 0; i < 300; ++i) deep += '[';
+  for (int i = 0; i < 300; ++i) deep += ']';
+  EXPECT_FALSE(json_well_formed(deep));  // past the 256-level guard
+
+  std::string ok;
+  for (int i = 0; i < 100; ++i) ok += '[';
+  for (int i = 0; i < 100; ++i) ok += ']';
+  EXPECT_TRUE(json_well_formed(ok));
+}
+
+}  // namespace
+}  // namespace lumichat::obs

@@ -1,0 +1,220 @@
+#include "obs/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace lumichat::obs {
+namespace {
+
+TEST(LogHistogram, EmptyReportsZeroEverywhere) {
+  const LogHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), 0.0);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.mean(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(LogHistogram, SingleSampleIsEveryQuantile) {
+  LogHistogram h;
+  h.record(1e-3);
+  EXPECT_EQ(h.count(), 1u);
+  // Whatever q, the one sample's bucket midpoint is the answer — including
+  // the q = 0 edge (rank clamps to the first sample, not "nothing").
+  const double v = h.quantile(0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.0), v);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), v);
+  // Quarter-octave buckets: the midpoint is within +/-9% of the sample.
+  EXPECT_GT(v, 0.91e-3);
+  EXPECT_LT(v, 1.09e-3);
+  // Sum/mean/max are exact, not bucket-resolution.
+  EXPECT_DOUBLE_EQ(h.sum(), 1e-3);
+  EXPECT_DOUBLE_EQ(h.mean(), 1e-3);
+  EXPECT_DOUBLE_EQ(h.max(), 1e-3);
+}
+
+TEST(LogHistogram, OutOfRangeQuantileArgumentsClamp) {
+  LogHistogram h;
+  h.record(1e-3);
+  h.record(4e-3);
+  EXPECT_DOUBLE_EQ(h.quantile(-0.5), h.quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.quantile(1.5), h.quantile(1.0));
+  EXPECT_DOUBLE_EQ(h.quantile(std::nan("")), h.quantile(0.0));
+}
+
+TEST(LogHistogram, OutOfRangeValuesClampToEdgeBuckets) {
+  LogHistogram h;
+  h.record(0.0);    // at/below the 1 us floor -> bucket 0
+  h.record(-5.0);   // negative -> bucket 0, excluded from sum/max
+  h.record(std::nan(""));  // NaN -> bucket 0, excluded from sum/max
+  h.record(1e9);    // ~31 years -> top bucket
+  EXPECT_EQ(h.count(), 4u);
+  EXPECT_DOUBLE_EQ(h.sum(), 1e9);
+  EXPECT_DOUBLE_EQ(h.max(), 1e9);
+  EXPECT_GT(h.quantile(1.0), 1e3);  // landed in the hours-range top bucket
+}
+
+TEST(LogHistogram, MergeMatchesRecordingEverythingInOne) {
+  LogHistogram a;
+  LogHistogram b;
+  LogHistogram all;
+  for (int i = 1; i <= 100; ++i) {
+    const double v = static_cast<double>(i) * 1e-4;
+    (i % 2 == 0 ? a : b).record(v);
+    all.record(v);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_DOUBLE_EQ(a.sum(), all.sum());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+  for (double q : {0.0, 0.25, 0.5, 0.9, 0.99, 1.0}) {
+    EXPECT_DOUBLE_EQ(a.quantile(q), all.quantile(q)) << "q=" << q;
+  }
+}
+
+TEST(LogHistogram, ResetZeroesSumAndMaxToo) {
+  LogHistogram h;
+  h.record(0.5);
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+  EXPECT_DOUBLE_EQ(h.max(), 0.0);
+}
+
+TEST(MetricsRegistry, InstrumentAddressesAreStablePerName) {
+  MetricsRegistry reg;
+  Counter& c1 = reg.counter("a");
+  Counter& c2 = reg.counter("a");
+  EXPECT_EQ(&c1, &c2);
+  EXPECT_NE(&reg.counter("b"), &c1);
+  EXPECT_EQ(&reg.gauge("a"), &reg.gauge("a"));  // separate namespace
+  EXPECT_EQ(&reg.histogram("a"), &reg.histogram("a"));
+}
+
+TEST(MetricsRegistry, SnapshotIsNameSortedAndComplete) {
+  MetricsRegistry reg;
+  reg.counter("zeta").add(3);
+  reg.counter("alpha").add(1);
+  reg.gauge("load").set(0.75);
+  reg.histogram("lat").record(2e-3);
+
+  const RegistrySnapshot s = reg.snapshot();
+  ASSERT_EQ(s.counters.size(), 2u);
+  EXPECT_EQ(s.counters[0].first, "alpha");
+  EXPECT_EQ(s.counters[0].second, 1u);
+  EXPECT_EQ(s.counters[1].first, "zeta");
+  EXPECT_EQ(s.counters[1].second, 3u);
+  ASSERT_EQ(s.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.gauges[0].second, 0.75);
+  ASSERT_EQ(s.histograms.size(), 1u);
+  EXPECT_EQ(s.histograms[0].name, "lat");
+  EXPECT_EQ(s.histograms[0].count, 1u);
+  EXPECT_DOUBLE_EQ(s.histograms[0].sum, 2e-3);
+}
+
+TEST(MetricsRegistry, SnapshotMergeAddsAndUnions) {
+  MetricsRegistry a;
+  a.counter("shared").add(2);
+  a.counter("only_a").add(1);
+  a.gauge("g").set(1.5);
+  a.histogram("h").record(1e-3);
+
+  MetricsRegistry b;
+  b.counter("shared").add(5);
+  b.counter("only_b").add(7);
+  b.gauge("g").set(2.5);
+  b.histogram("h").record(8e-3);
+
+  RegistrySnapshot s = a.snapshot();
+  s.merge(b.snapshot());
+
+  ASSERT_EQ(s.counters.size(), 3u);
+  EXPECT_EQ(s.counters[0].first, "only_a");
+  EXPECT_EQ(s.counters[1].first, "only_b");
+  EXPECT_EQ(s.counters[1].second, 7u);
+  EXPECT_EQ(s.counters[2].first, "shared");
+  EXPECT_EQ(s.counters[2].second, 7u);
+  EXPECT_DOUBLE_EQ(s.gauges[0].second, 4.0);  // gauges fold additively
+  ASSERT_EQ(s.histograms.size(), 1u);
+  EXPECT_EQ(s.histograms[0].count, 2u);
+  EXPECT_DOUBLE_EQ(s.histograms[0].sum, 9e-3);
+  EXPECT_DOUBLE_EQ(s.histograms[0].max, 8e-3);
+  // Merged quantiles are exact: the p100 comes from b's sample.
+  EXPECT_GT(s.histograms[0].quantile(1.0), 7e-3);
+}
+
+TEST(MetricsRegistry, ResetZeroesButKeepsInstruments) {
+  MetricsRegistry reg;
+  Counter& c = reg.counter("c");
+  c.add(9);
+  reg.gauge("g").set(3.0);
+  reg.histogram("h").record(1e-3);
+  reg.reset();
+  EXPECT_EQ(c.value(), 0u);  // same instrument, zeroed in place
+  const RegistrySnapshot s = reg.snapshot();
+  ASSERT_EQ(s.counters.size(), 1u);
+  EXPECT_EQ(s.counters[0].second, 0u);
+  EXPECT_DOUBLE_EQ(s.gauges[0].second, 0.0);
+  EXPECT_EQ(s.histograms[0].count, 0u);
+}
+
+TEST(MetricsRegistry, JsonExportIsWellFormed) {
+  MetricsRegistry reg;
+  reg.counter("frames\"quoted\\name").add(1);  // keys must be escaped
+  reg.gauge("ratio").set(0.5);
+  reg.histogram("latency").record(3e-3);
+  const std::string json = reg.to_json();
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"p999_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"mean_s\""), std::string::npos);
+}
+
+TEST(MetricsRegistry, ConcurrentWritersLoseNothing) {
+  MetricsRegistry reg;
+  constexpr int kThreads = 8;
+  constexpr int kOpsEach = 5000;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&reg] {
+      // Resolve once, bump through the pointer — the documented hot-path
+      // pattern; the resolutions themselves also race on the registry map.
+      Counter& c = reg.counter("ops");
+      LogHistogram& h = reg.histogram("lat");
+      for (int i = 0; i < kOpsEach; ++i) {
+        c.add(1);
+        h.record(1e-3);
+        reg.gauge("last").set(static_cast<double>(i));
+      }
+    });
+  }
+  // Snapshots taken mid-flight must be internally consistent (never tear),
+  // even though their totals are moving targets.
+  for (int i = 0; i < 50; ++i) {
+    const RegistrySnapshot s = reg.snapshot();
+    for (const auto& [name, v] : s.counters) {
+      EXPECT_LE(v, static_cast<std::uint64_t>(kThreads) * kOpsEach);
+    }
+  }
+  for (std::thread& w : workers) w.join();
+
+  const RegistrySnapshot s = reg.snapshot();
+  ASSERT_EQ(s.counters.size(), 1u);
+  EXPECT_EQ(s.counters[0].second,
+            static_cast<std::uint64_t>(kThreads) * kOpsEach);
+  ASSERT_EQ(s.histograms.size(), 1u);
+  EXPECT_EQ(s.histograms[0].count,
+            static_cast<std::uint64_t>(kThreads) * kOpsEach);
+  EXPECT_DOUBLE_EQ(s.histograms[0].max, 1e-3);
+}
+
+}  // namespace
+}  // namespace lumichat::obs

@@ -1,0 +1,234 @@
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace lumichat::obs {
+namespace {
+
+/// Every test restores the no-tracer state — the active tracer is process
+/// global and other suites assume instrumentation is off.
+struct TraceTest : ::testing::Test {
+  void TearDown() override { Tracer::uninstall(); }
+};
+
+TEST_F(TraceTest, NoTracerMeansNoActiveAndSpansAreNoOps) {
+  Tracer::uninstall();
+  EXPECT_EQ(Tracer::active(), nullptr);
+  {
+    const ObsSpan span("test.noop");
+    const ObsSpan nested("test.noop.inner", "test");
+  }  // must not crash, allocate into any tracer, or leave state behind
+  Tracer tracer;
+  EXPECT_TRUE(tracer.snapshot().empty());
+}
+
+TEST_F(TraceTest, InstallMakesTracerActiveAndUninstallClears) {
+  Tracer tracer;
+  tracer.install();
+  EXPECT_EQ(Tracer::active(), &tracer);
+  Tracer::uninstall();
+  EXPECT_EQ(Tracer::active(), nullptr);
+}
+
+TEST_F(TraceTest, ManualClockStampsExactDurations) {
+  ManualTraceClock clock;
+  TracerConfig config;
+  config.clock = &clock;
+  Tracer tracer(config);
+  tracer.install();
+
+  clock.set_ns(1000);
+  {
+    const ObsSpan outer("test.outer");
+    clock.advance_ns(50);
+    {
+      const ObsSpan inner("test.inner");
+      clock.advance_ns(10);
+    }
+    clock.advance_ns(40);
+  }
+  Tracer::uninstall();
+
+  const std::vector<SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 2u);
+  // snapshot() sorts by open_seq, so the outer span comes first.
+  EXPECT_STREQ(spans[0].name, "test.outer");
+  EXPECT_EQ(spans[0].start_ns, 1000u);
+  EXPECT_EQ(spans[0].dur_ns, 100u);
+  EXPECT_EQ(spans[0].depth, 0u);
+  EXPECT_STREQ(spans[1].name, "test.inner");
+  EXPECT_EQ(spans[1].start_ns, 1050u);
+  EXPECT_EQ(spans[1].dur_ns, 10u);
+  EXPECT_EQ(spans[1].depth, 1u);
+}
+
+TEST_F(TraceTest, LogicalClockOrdersAndNestsSpans) {
+  Tracer tracer;
+  tracer.install();
+  {
+    const ObsSpan a("test.a");
+    { const ObsSpan b("test.b"); }
+    { const ObsSpan c("test.c"); }
+  }
+  Tracer::uninstall();
+
+  const std::vector<SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_TRUE(spans_well_nested(spans));
+  for (const SpanRecord& s : spans) EXPECT_LT(s.open_seq, s.close_seq);
+  // Sorted by open: a, b, c; siblings b and c don't overlap on the
+  // logical clock.
+  EXPECT_STREQ(spans[0].name, "test.a");
+  EXPECT_LT(spans[1].close_seq, spans[2].open_seq);
+  EXPECT_LT(spans[2].close_seq, spans[0].close_seq);
+}
+
+TEST_F(TraceTest, NestingValidatorRejectsMalformedRecords) {
+  EXPECT_TRUE(spans_well_nested({}));
+
+  SpanRecord ok;
+  ok.open_seq = 1;
+  ok.close_seq = 2;
+  EXPECT_TRUE(spans_well_nested({ok}));
+
+  SpanRecord inverted = ok;
+  inverted.close_seq = 1;  // closes at (or before) its own open
+  EXPECT_FALSE(spans_well_nested({inverted}));
+
+  // Interleaved (not nested) on one thread: a opens, b opens, a closes, b
+  // closes — a LIFO violation.
+  SpanRecord a;
+  a.open_seq = 1;
+  a.close_seq = 3;
+  SpanRecord b;
+  b.open_seq = 2;
+  b.close_seq = 4;
+  EXPECT_FALSE(spans_well_nested({a, b}));
+
+  // The same shape on two different threads is fine.
+  b.thread = 1;
+  EXPECT_TRUE(spans_well_nested({a, b}));
+}
+
+TEST_F(TraceTest, DropOldestKeepsTheNewestSpansAndCounts) {
+  TracerConfig config;
+  config.per_thread_capacity = 4;
+  Tracer tracer(config);
+  tracer.install();
+  static const char* const kNames[10] = {
+      "test.s0", "test.s1", "test.s2", "test.s3", "test.s4",
+      "test.s5", "test.s6", "test.s7", "test.s8", "test.s9"};
+  for (int i = 0; i < 10; ++i) {
+    const ObsSpan span(kNames[i]);
+  }
+  Tracer::uninstall();
+
+  const std::vector<SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 4u);
+  EXPECT_EQ(tracer.spans_dropped(), 6u);
+  EXPECT_STREQ(spans[0].name, "test.s6");
+  EXPECT_STREQ(spans[3].name, "test.s9");
+}
+
+TEST_F(TraceTest, ClearDiscardsRecordsButKeepsRecording) {
+  Tracer tracer;
+  tracer.install();
+  { const ObsSpan span("test.before"); }
+  tracer.clear();
+  EXPECT_TRUE(tracer.snapshot().empty());
+  { const ObsSpan span("test.after"); }
+  Tracer::uninstall();
+  const std::vector<SpanRecord> spans = tracer.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "test.after");
+}
+
+TEST_F(TraceTest, ConcurrentThreadsGetDistinctOrdinalsAndNestCleanly) {
+  Tracer tracer;
+  tracer.install();
+  constexpr int kThreads = 4;
+  constexpr int kSpansEach = 50;
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([] {
+      for (int i = 0; i < kSpansEach; ++i) {
+        const ObsSpan outer("test.outer");
+        const ObsSpan inner("test.inner");
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  Tracer::uninstall();
+
+  const std::vector<SpanRecord> spans = tracer.snapshot();
+  EXPECT_EQ(spans.size(),
+            static_cast<std::size_t>(kThreads) * kSpansEach * 2);
+  EXPECT_TRUE(spans_well_nested(spans));
+  std::set<std::uint32_t> threads;
+  for (const SpanRecord& s : spans) threads.insert(s.thread);
+  EXPECT_EQ(threads.size(), static_cast<std::size_t>(kThreads));
+}
+
+TEST_F(TraceTest, SecondTracerDoesNotInheritStaleThreadBuffers) {
+  // The thread-local buffer cache is keyed by a per-tracer generation; a
+  // new tracer on the same thread must get a fresh buffer, not the old
+  // tracer's (freed) one.
+  {
+    Tracer first;
+    first.install();
+    { const ObsSpan span("test.first"); }
+    Tracer::uninstall();
+    ASSERT_EQ(first.snapshot().size(), 1u);
+  }
+  Tracer second;
+  second.install();
+  { const ObsSpan span("test.second"); }
+  Tracer::uninstall();
+  const std::vector<SpanRecord> spans = second.snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_STREQ(spans[0].name, "test.second");
+}
+
+TEST_F(TraceTest, ChromeTraceAndStageSummarySerialiseAsJson) {
+  ManualTraceClock clock;
+  TracerConfig config;
+  config.clock = &clock;
+  Tracer tracer(config);
+  tracer.install();
+  {
+    const ObsSpan outer("test.stage_a", "test");
+    clock.advance_ns(2'000'000);
+    const ObsSpan inner("test.stage_b", "test");
+    clock.advance_ns(500'000);
+  }
+  Tracer::uninstall();
+
+  const std::string chrome = tracer.chrome_trace_json();
+  EXPECT_TRUE(json_well_formed(chrome)) << chrome;
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(chrome.find("test.stage_a"), std::string::npos);
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);
+
+  const std::string summary = tracer.stage_summary_json();
+  EXPECT_TRUE(json_well_formed(summary)) << summary;
+  EXPECT_NE(summary.find("test.stage_b"), std::string::npos);
+}
+
+TEST_F(TraceTest, EmptyTracerStillSerialises) {
+  const Tracer tracer;
+  EXPECT_TRUE(json_well_formed(tracer.chrome_trace_json()));
+  EXPECT_TRUE(json_well_formed(tracer.stage_summary_json()));
+  EXPECT_EQ(tracer.spans_dropped(), 0u);
+}
+
+}  // namespace
+}  // namespace lumichat::obs

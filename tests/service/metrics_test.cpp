@@ -58,6 +58,29 @@ TEST(LatencyHistogram, ResetClears) {
   EXPECT_DOUBLE_EQ(h.quantile(0.5), 0.0);
 }
 
+TEST(LatencyHistogram, TracksExactMeanAndMaxAlongsideBuckets) {
+  LatencyHistogram h;
+  h.record(1e-3);
+  h.record(3e-3);
+  h.record(8e-3);
+  // Bucket quantiles are +/-9%, but sum/mean/max are exact.
+  EXPECT_DOUBLE_EQ(h.sum(), 12e-3);
+  EXPECT_DOUBLE_EQ(h.mean(), 4e-3);
+  EXPECT_DOUBLE_EQ(h.max(), 8e-3);
+}
+
+TEST(LatencyHistogram, MergeAggregatesShardedRecorders) {
+  LatencyHistogram shard_a;
+  LatencyHistogram shard_b;
+  shard_a.record(1e-3);
+  shard_b.record(50e-3);
+  shard_a.merge(shard_b);
+  EXPECT_EQ(shard_a.count(), 2u);
+  EXPECT_DOUBLE_EQ(shard_a.max(), 50e-3);
+  // The merged p100 must come from shard_b's bucket, not shard_a's.
+  EXPECT_GT(shard_a.quantile(1.0), 40e-3);
+}
+
 TEST(ServiceMetrics, CountersAggregateIntoSnapshot) {
   ServiceMetrics m;
   m.on_session_created();
@@ -87,6 +110,10 @@ TEST(ServiceMetrics, CountersAggregateIntoSnapshot) {
   EXPECT_EQ(s.verdicts_abstain, 1u);
   EXPECT_GT(s.latency_p50_s, 0.0);
   EXPECT_GE(s.latency_p99_s, s.latency_p50_s);
+  EXPECT_GE(s.latency_p999_s, s.latency_p99_s);
+  // Mean and max come from the exact running sum/max, not the buckets.
+  EXPECT_DOUBLE_EQ(s.latency_mean_s, (5e-3 + 7e-3 + 9e-3) / 3.0);
+  EXPECT_DOUBLE_EQ(s.latency_max_s, 9e-3);
 }
 
 TEST(ServiceMetrics, SnapshotSerialisesToJson) {
@@ -101,6 +128,9 @@ TEST(ServiceMetrics, SnapshotSerialisesToJson) {
   EXPECT_NE(json.find("\"verdicts_attacker\":1"), std::string::npos);
   EXPECT_NE(json.find("\"verdicts_abstain\":0"), std::string::npos);
   EXPECT_NE(json.find("push_to_verdict_latency_s"), std::string::npos);
+  EXPECT_NE(json.find("\"p999\""), std::string::npos);
+  EXPECT_NE(json.find("\"mean\""), std::string::npos);
+  EXPECT_NE(json.find("\"max\""), std::string::npos);
 }
 
 }  // namespace
