@@ -53,6 +53,27 @@ class SessionFrameSource {
 
   [[nodiscard]] const SessionSpec& spec() const { return spec_; }
 
+  /// Swaps who answers from the next tick on — a mid-call attacker takeover
+  /// (or a restore) as the scenario engine scripts it. Alice, the network
+  /// channels and the codecs keep their state: only the respondent changes,
+  /// exactly as a reenactor hijacking the victim's established stream would
+  /// appear to the far side. `respondent` is borrowed and must outlive the
+  /// source.
+  void set_respondent(RespondentModel& respondent) {
+    respondent_ = &respondent;
+  }
+
+  /// Re-plans this session's degradations from the next tick on (a timeline
+  /// severity-ramp step). Builds a fresh FaultPlan from (config,
+  /// derive_seed(session seed, 31 + phase)) — phase 0 is the constructor's
+  /// plan, so successive ramp steps get decorrelated injector streams — and
+  /// swaps the link/codec/resolution injectors in place. A zero-severity
+  /// config removes every injector and restores the codec's base
+  /// compression: the clean path, consuming no fault RNG, exactly as if the
+  /// session had been built faultless (channel state persists, so frames
+  /// already in flight still carry the old degradation).
+  void apply_faults(const faults::FaultConfig& config, std::uint64_t phase);
+
   /// The fault plan degrading this session (severity 0 everywhere unless
   /// spec.faults says otherwise). Camera-level drift is not applied here —
   /// cameras belong to `alice` / `respondent`; callers inject
@@ -61,9 +82,13 @@ class SessionFrameSource {
   [[nodiscard]] const faults::FaultPlan& fault_plan() const { return plan_; }
 
  private:
+  /// (Re)builds the link/codec/resolution injectors from plan_.
+  void install_injectors();
+
   SessionSpec spec_;
   AliceStream& alice_;
-  RespondentModel& respondent_;
+  RespondentModel* respondent_;  ///< borrowed; swappable mid-call
+  std::uint64_t seed_;           ///< for per-phase fault-plan derivation
   NetworkChannel a2b_;
   NetworkChannel b2a_;
   VideoCodec codec_a2b_;

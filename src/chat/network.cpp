@@ -9,7 +9,11 @@ NetworkChannel::NetworkChannel(NetworkSpec spec, std::uint64_t seed)
     : spec_(spec), rng_(seed) {}
 
 void NetworkChannel::inject_faults(faults::LinkFaults faults) {
-  if (faults.enabled()) faults_ = std::move(faults);
+  if (faults.enabled()) {
+    faults_ = std::move(faults);
+  } else {
+    faults_.reset();  // severity ramped back to zero: clean path again
+  }
 }
 
 void NetworkChannel::push(image::Image frame, double t_sec) {

@@ -32,9 +32,13 @@ class NetworkChannel {
   void push(image::Image frame, double t_sec);
 
   /// Installs transport fault injectors (burst loss, duplication/reorder,
-  /// clock skew). Must be called before the first push. Without injectors —
-  /// or with all families at severity 0 — push() runs the exact original
-  /// path and consumes the exact original RNG sequence.
+  /// clock skew), replacing any already installed — the scenario engine
+  /// swaps injector bundles mid-stream when a timeline ramps severities up
+  /// or back down. An all-disabled bundle removes the installed one,
+  /// restoring the clean path. The channel's own RNG stream is separate from
+  /// the injectors', so without injectors — or with all families at
+  /// severity 0 — push() runs the exact original path and consumes the
+  /// exact original RNG sequence.
   void inject_faults(faults::LinkFaults faults);
 
   /// The frame visible at the receiver at time `t_sec`: the most recently

@@ -3,6 +3,8 @@
 #include <cinttypes>
 #include <cstdlib>
 
+#include "obs/json.hpp"
+
 namespace lumichat::obs {
 
 std::string RoundExplanation::to_json() const {
@@ -26,6 +28,84 @@ std::string RoundExplanation::to_json() const {
       inputs_finite ? "true" : "false", votes_legit, votes_attacker,
       votes_abstain);
   return std::string(buf);
+}
+
+namespace {
+
+/// Non-negative integer member at `path`, or false when absent, negative or
+/// fractional. Reparses the source lexeme so 64-bit counters above 2^53
+/// round-trip exactly.
+bool read_u64(const JsonValue& root,
+              std::initializer_list<std::string_view> path,
+              std::uint64_t* out) {
+  const JsonValue* v = root.find_path(path);
+  if (v == nullptr || !v->is_number()) return false;
+  const std::string& lex = v->number_lexeme;
+  if (lex.empty() || lex.find_first_not_of("0123456789") != std::string::npos) {
+    return false;
+  }
+  *out = std::strtoull(lex.c_str(), nullptr, 10);
+  return true;
+}
+
+bool read_double(const JsonValue& root,
+                 std::initializer_list<std::string_view> path, double* out) {
+  const JsonValue* v = root.find_path(path);
+  if (v == nullptr || !v->is_number()) return false;
+  *out = v->number;
+  return true;
+}
+
+}  // namespace
+
+std::optional<RoundExplanation> RoundExplanation::from_json(
+    std::string_view line) {
+  const std::optional<JsonValue> parsed = json_parse(line);
+  if (!parsed.has_value() || !parsed->is_object()) return std::nullopt;
+  const JsonValue& root = *parsed;
+
+  RoundExplanation e;
+  if (!read_u64(root, {"stream"}, &e.stream_id) ||
+      !read_u64(root, {"round"}, &e.round_index)) {
+    return std::nullopt;
+  }
+
+  const JsonValue* verdict = root.find("verdict");
+  if (verdict == nullptr || !verdict->is_string()) return std::nullopt;
+  if (verdict->string == verdict_name(0)) {
+    e.verdict = 0;
+  } else if (verdict->string == verdict_name(1)) {
+    e.verdict = 1;
+  } else if (verdict->string == verdict_name(2)) {
+    e.verdict = 2;
+  } else {
+    return std::nullopt;
+  }
+
+  const JsonValue* finite = root.find_path({"quality", "finite"});
+  if (finite == nullptr || !finite->is_bool()) return std::nullopt;
+  e.inputs_finite = finite->boolean;
+
+  const bool ok =
+      read_double(root, {"lof", "score"}, &e.lof_score) &&
+      read_double(root, {"lof", "tau"}, &e.lof_tau) &&
+      read_double(root, {"features", "z1"}, &e.z1) &&
+      read_double(root, {"features", "z2"}, &e.z2) &&
+      read_double(root, {"features", "z3"}, &e.z3) &&
+      read_double(root, {"features", "z4"}, &e.z4) &&
+      read_double(root, {"delay", "estimated_s"}, &e.estimated_delay_s) &&
+      read_u64(root, {"delay", "t_changes"}, &e.transmitted_changes) &&
+      read_u64(root, {"delay", "r_changes"}, &e.received_changes) &&
+      read_u64(root, {"delay", "matched_t"}, &e.matched_transmitted) &&
+      read_u64(root, {"delay", "matched_r"}, &e.matched_received) &&
+      read_double(root, {"quality", "t_snr"}, &e.t_snr) &&
+      read_double(root, {"quality", "r_snr"}, &e.r_snr) &&
+      read_double(root, {"quality", "r_completeness"}, &e.r_completeness) &&
+      read_u64(root, {"votes", "legit"}, &e.votes_legit) &&
+      read_u64(root, {"votes", "attacker"}, &e.votes_attacker) &&
+      read_u64(root, {"votes", "abstain"}, &e.votes_abstain);
+  if (!ok) return std::nullopt;
+  return e;
 }
 
 const char* verdict_name(int verdict) {

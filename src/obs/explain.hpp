@@ -18,7 +18,9 @@
 #include <cstdio>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace lumichat::obs {
@@ -62,6 +64,17 @@ struct RoundExplanation {
   /// One-line JSON object (no trailing newline). Doubles use %.17g, so the
   /// text round-trips bit-exactly and equal records serialise identically.
   [[nodiscard]] std::string to_json() const;
+
+  /// Parses one JSONL line produced by to_json() back into a record.
+  /// std::nullopt when the line is not a well-formed explanation object (a
+  /// torn or truncated line, or JSON of some other shape). Exact inverse of
+  /// to_json(): every field — doubles included — round-trips bit-for-bit,
+  /// which is what lets the scenario miner compare mined records against
+  /// live CollectingExplanationSink streams for equality.
+  [[nodiscard]] static std::optional<RoundExplanation> from_json(
+      std::string_view line);
+
+  [[nodiscard]] bool operator==(const RoundExplanation&) const = default;
 };
 
 /// Human name for a RoundExplanation::verdict value.

@@ -1,7 +1,7 @@
 #include "obs/json.hpp"
 
 #include <cctype>
-#include <cstddef>
+#include <cstdlib>
 
 namespace lumichat::obs {
 
@@ -9,6 +9,34 @@ namespace {
 
 constexpr int kMaxDepth = 256;
 
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+void append_utf8(std::string& out, std::uint32_t cp) {
+  if (cp < 0x80) {
+    out += static_cast<char>(cp);
+  } else if (cp < 0x800) {
+    out += static_cast<char>(0xC0 | (cp >> 6));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else if (cp < 0x10000) {
+    out += static_cast<char>(0xE0 | (cp >> 12));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  } else {
+    out += static_cast<char>(0xF0 | (cp >> 18));
+    out += static_cast<char>(0x80 | ((cp >> 12) & 0x3F));
+    out += static_cast<char>(0x80 | ((cp >> 6) & 0x3F));
+    out += static_cast<char>(0x80 | (cp & 0x3F));
+  }
+}
+
+/// Recursive-descent parser over the RFC 8259 grammar. With `out == nullptr`
+/// it only validates (json_well_formed on megabyte Chrome traces should not
+/// build a DOM); with an output it also materialises the value tree.
 struct Parser {
   std::string_view text;
   std::size_t pos = 0;
@@ -39,32 +67,65 @@ struct Parser {
     return true;
   }
 
-  bool string() {
+  /// Reads one \uXXXX escape (the backslash and 'u' already consumed) and
+  /// returns the code unit, or -1 on malformed hex.
+  [[nodiscard]] long hex4() {
+    long unit = 0;
+    for (int i = 0; i < 4; ++i) {
+      if (done()) return -1;
+      const int d = hex_digit(text[pos]);
+      if (d < 0) return -1;
+      unit = unit * 16 + d;
+      ++pos;
+    }
+    return unit;
+  }
+
+  bool string(std::string* out) {
     if (!consume('"')) return false;
     while (!done()) {
       const char c = text[pos++];
       if (c == '"') return true;
       if (static_cast<unsigned char>(c) < 0x20) return false;
-      if (c == '\\') {
-        if (done()) return false;
-        const char e = text[pos++];
-        switch (e) {
-          case '"': case '\\': case '/': case 'b':
-          case 'f': case 'n': case 'r': case 't':
-            break;
-          case 'u': {
-            for (int i = 0; i < 4; ++i) {
-              if (done() || std::isxdigit(static_cast<unsigned char>(
-                                text[pos])) == 0) {
-                return false;
-              }
-              ++pos;
+      if (c != '\\') {
+        if (out != nullptr) *out += c;
+        continue;
+      }
+      if (done()) return false;
+      const char e = text[pos++];
+      switch (e) {
+        case '"': case '\\': case '/':
+          if (out != nullptr) *out += e;
+          break;
+        case 'b': if (out != nullptr) *out += '\b'; break;
+        case 'f': if (out != nullptr) *out += '\f'; break;
+        case 'n': if (out != nullptr) *out += '\n'; break;
+        case 'r': if (out != nullptr) *out += '\r'; break;
+        case 't': if (out != nullptr) *out += '\t'; break;
+        case 'u': {
+          long unit = hex4();
+          if (unit < 0) return false;
+          // Combine a surrogate pair when one follows; otherwise keep the
+          // lone unit as a raw code point (validation stays permissive).
+          if (unit >= 0xD800 && unit <= 0xDBFF &&
+              text.substr(pos, 2) == "\\u") {
+            const std::size_t mark = pos;
+            pos += 2;
+            const long low = hex4();
+            if (low >= 0xDC00 && low <= 0xDFFF) {
+              unit = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+              pos = mark;  // not a pair; leave the next escape for the loop
+              if (low < 0) return false;
             }
-            break;
           }
-          default:
-            return false;
+          if (out != nullptr) {
+            append_utf8(*out, static_cast<std::uint32_t>(unit));
+          }
+          break;
         }
+        default:
+          return false;
       }
     }
     return false;  // unterminated
@@ -80,7 +141,8 @@ struct Parser {
     return true;
   }
 
-  bool number() {
+  bool number(JsonValue* out) {
+    const std::size_t start = pos;
     consume('-');
     if (consume('0')) {
       // leading zero: no further integer digits allowed
@@ -93,48 +155,90 @@ struct Parser {
       if (!done() && (peek() == '+' || peek() == '-')) ++pos;
       if (!digits()) return false;
     }
+    if (out != nullptr) {
+      out->kind = JsonValue::Kind::kNumber;
+      // The lexeme is grammar-checked above, so strtod consumes exactly it;
+      // strtod is the %.17g inverse, which is what makes the round-trip
+      // bit-exact.
+      out->number_lexeme = std::string(text.substr(start, pos - start));
+      out->number = std::strtod(out->number_lexeme.c_str(), nullptr);
+    }
     return true;
   }
 
-  bool value(int depth) {
+  bool value(int depth, JsonValue* out) {
     if (depth > kMaxDepth) return false;
     skip_ws();
     if (done()) return false;
     const char c = peek();
-    if (c == '{') return object(depth);
-    if (c == '[') return array(depth);
-    if (c == '"') return string();
-    if (c == 't') return literal("true");
-    if (c == 'f') return literal("false");
-    if (c == 'n') return literal("null");
+    if (c == '{') return object(depth, out);
+    if (c == '[') return array(depth, out);
+    if (c == '"') {
+      if (out != nullptr) out->kind = JsonValue::Kind::kString;
+      return string(out != nullptr ? &out->string : nullptr);
+    }
+    if (c == 't') {
+      if (!literal("true")) return false;
+      if (out != nullptr) {
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = true;
+      }
+      return true;
+    }
+    if (c == 'f') {
+      if (!literal("false")) return false;
+      if (out != nullptr) {
+        out->kind = JsonValue::Kind::kBool;
+        out->boolean = false;
+      }
+      return true;
+    }
+    if (c == 'n') {
+      if (!literal("null")) return false;
+      if (out != nullptr) out->kind = JsonValue::Kind::kNull;
+      return true;
+    }
     if (c == '-' || std::isdigit(static_cast<unsigned char>(c)) != 0) {
-      return number();
+      return number(out);
     }
     return false;
   }
 
-  bool object(int depth) {
+  bool object(int depth, JsonValue* out) {
     if (!consume('{')) return false;
+    if (out != nullptr) out->kind = JsonValue::Kind::kObject;
     skip_ws();
     if (consume('}')) return true;
     while (true) {
       skip_ws();
-      if (!string()) return false;
+      std::string key;
+      if (!string(out != nullptr ? &key : nullptr)) return false;
       skip_ws();
       if (!consume(':')) return false;
-      if (!value(depth + 1)) return false;
+      JsonValue* slot = nullptr;
+      if (out != nullptr) {
+        out->members.emplace_back(std::move(key), JsonValue{});
+        slot = &out->members.back().second;
+      }
+      if (!value(depth + 1, slot)) return false;
       skip_ws();
       if (consume('}')) return true;
       if (!consume(',')) return false;
     }
   }
 
-  bool array(int depth) {
+  bool array(int depth, JsonValue* out) {
     if (!consume('[')) return false;
+    if (out != nullptr) out->kind = JsonValue::Kind::kArray;
     skip_ws();
     if (consume(']')) return true;
     while (true) {
-      if (!value(depth + 1)) return false;
+      JsonValue* slot = nullptr;
+      if (out != nullptr) {
+        out->items.emplace_back();
+        slot = &out->items.back();
+      }
+      if (!value(depth + 1, slot)) return false;
       skip_ws();
       if (consume(']')) return true;
       if (!consume(',')) return false;
@@ -144,11 +248,38 @@ struct Parser {
 
 }  // namespace
 
+const JsonValue* JsonValue::find(std::string_view key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [name, value] : members) {
+    if (name == key) return &value;
+  }
+  return nullptr;
+}
+
+const JsonValue* JsonValue::find_path(
+    std::initializer_list<std::string_view> keys) const {
+  const JsonValue* node = this;
+  for (const std::string_view key : keys) {
+    node = node->find(key);
+    if (node == nullptr) return nullptr;
+  }
+  return node;
+}
+
 bool json_well_formed(std::string_view text) {
   Parser p{text};
-  if (!p.value(0)) return false;
+  if (!p.value(0, nullptr)) return false;
   p.skip_ws();
   return p.done();
+}
+
+std::optional<JsonValue> json_parse(std::string_view text) {
+  Parser p{text};
+  JsonValue root;
+  if (!p.value(0, &root)) return std::nullopt;
+  p.skip_ws();
+  if (!p.done()) return std::nullopt;
+  return root;
 }
 
 }  // namespace lumichat::obs

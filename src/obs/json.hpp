@@ -1,8 +1,14 @@
-// Minimal JSON well-formedness check, used by the trace selftest and unit
-// tests to validate exporter output without pulling in a JSON library.
+// Minimal JSON support for the observability layer: a well-formedness check
+// (trace selftests) and a small DOM parser (the scenario explanation miner
+// reads RoundExplanation JSONL back). No external JSON library.
 #pragma once
 
+#include <cstddef>
+#include <optional>
+#include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace lumichat::obs {
 
@@ -10,5 +16,66 @@ namespace lumichat::obs {
 /// string, number, true/false/null) per RFC 8259 grammar, up to a nesting
 /// depth of 256. No number-range or UTF-8 validation beyond escapes.
 [[nodiscard]] bool json_well_formed(std::string_view text);
+
+/// One parsed JSON value. Objects keep their members in document order;
+/// numbers are held as double, parsed with strtod, so a value serialised
+/// with %.17g round-trips bit-exactly (the property the JSONL explanation
+/// miner relies on). Duplicate object keys are kept as-is (find returns the
+/// first).
+struct JsonValue {
+  enum class Kind : std::uint8_t {
+    kNull,
+    kBool,
+    kNumber,
+    kString,
+    kArray,
+    kObject,
+  };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  /// Exact source text of a kNumber value — integer consumers (stream ids,
+  /// round counters) reparse it with strtoull so 64-bit values above 2^53
+  /// survive, where the double alone could not carry them.
+  std::string number_lexeme;
+  std::string string;                                     // kString
+  std::vector<JsonValue> items;                           // kArray
+  std::vector<std::pair<std::string, JsonValue>> members; // kObject
+
+  [[nodiscard]] bool is_object() const { return kind == Kind::kObject; }
+  [[nodiscard]] bool is_array() const { return kind == Kind::kArray; }
+  [[nodiscard]] bool is_number() const { return kind == Kind::kNumber; }
+  [[nodiscard]] bool is_string() const { return kind == Kind::kString; }
+  [[nodiscard]] bool is_bool() const { return kind == Kind::kBool; }
+  [[nodiscard]] bool is_null() const { return kind == Kind::kNull; }
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(std::string_view key) const;
+
+  /// Nested lookup: find("lof") then find("score"), nullptr when any link
+  /// is missing.
+  [[nodiscard]] const JsonValue* find_path(
+      std::initializer_list<std::string_view> keys) const;
+
+  /// Typed accessors with defaults (never throw).
+  [[nodiscard]] double as_number(double fallback = 0.0) const {
+    return kind == Kind::kNumber ? number : fallback;
+  }
+  [[nodiscard]] bool as_bool(bool fallback = false) const {
+    return kind == Kind::kBool ? boolean : fallback;
+  }
+  [[nodiscard]] const std::string& as_string(
+      const std::string& fallback) const {
+    return kind == Kind::kString ? string : fallback;
+  }
+};
+
+/// Parses exactly one JSON value (the whole input, modulo surrounding
+/// whitespace). std::nullopt on any grammar violation — the same grammar
+/// json_well_formed accepts, including the 256-level depth guard. String
+/// escapes are decoded (\uXXXX as UTF-8; unpaired surrogates are kept as
+/// replacement-free raw code points).
+[[nodiscard]] std::optional<JsonValue> json_parse(std::string_view text);
 
 }  // namespace lumichat::obs

@@ -1,0 +1,122 @@
+#include "scenario/library.hpp"
+
+namespace lumichat::scenario {
+namespace {
+
+ScenarioSpec base(const LibraryOptions& opts, const char* name) {
+  ScenarioSpec spec;
+  spec.name = name;
+  spec.duration_s = opts.duration_s;
+  spec.window_s = opts.window_s;
+  spec.master_seed = opts.master_seed;
+  spec.full_chat = opts.full_chat;
+  return spec;
+}
+
+}  // namespace
+
+ScenarioSpec outdoor_mobile(const LibraryOptions& opts) {
+  ScenarioSpec spec = base(opts, "outdoor_mobile");
+
+  // The walker: exposure hunts from the start (camera-level drift binds at
+  // construction); at ~1/4 of the call they cross bad coverage — burst loss
+  // plus rate-adaptation resolution drops — which clears at ~2/3.
+  faults::FaultConfig walking;
+  walking.exposure_drift = 0.5;
+  faults::FaultConfig bad_coverage = walking;
+  bad_coverage.burst_loss = 0.5;
+  bad_coverage.resolution_switch = 0.6;
+
+  CallerScript walker;
+  walker.count = 3 * opts.scale;
+  walker.initial_faults = walking;
+  walker.events = {
+      set_faults(0.25 * spec.duration_s, bad_coverage),
+      set_faults(0.65 * spec.duration_s, walking),
+  };
+
+  CallerScript control;  // a clean desk-bound caller for contrast
+  control.count = opts.scale;
+
+  spec.callers = {walker, control};
+  return spec;
+}
+
+ScenarioSpec midcall_takeover(const LibraryOptions& opts) {
+  ScenarioSpec spec = base(opts, "midcall_takeover");
+
+  // Victims verify fine for the first 40% of the call, then the stream is
+  // swapped to the reenactor (the paper's attack model, Sec. III: the
+  // attacker feeds reenacted frames through a virtual camera — transport
+  // state is untouched, only the face source changes).
+  CallerScript victim;
+  victim.count = 2 * opts.scale;
+  victim.events = {swap_actor(0.4 * spec.duration_s, Actor::kReenactor)};
+
+  CallerScript bystander;  // never attacked; pins the false-alarm side
+  bystander.count = 2 * opts.scale;
+
+  spec.callers = {victim, bystander};
+  return spec;
+}
+
+ScenarioSpec flaky_webcam_storm(const LibraryOptions& opts) {
+  ScenarioSpec spec = base(opts, "flaky_webcam_storm");
+
+  // A violent transport storm mid-call — heavy burst loss, codec collapse,
+  // clock skew, duplicated and reordered frames — that later clears
+  // completely. Everyone is legitimate, so every attacker verdict is a
+  // storm-provoked false positive. A burst that swallows an entire probe
+  // response is indistinguishable, within that round, from the attack
+  // signature (the reflection never arrived), so isolated storm-round
+  // convictions are expected; the cross-round vote is the safety net. The
+  // gate pins that convictions stay confined to storm-overlapping rounds
+  // and never flip a caller's final verdict.
+  faults::FaultConfig storm;
+  storm.burst_loss = 1.0;
+  storm.codec_collapse = 1.0;
+  storm.clock_skew = 1.0;
+  storm.duplication = 1.0;
+  storm.reordering = 1.0;
+
+  CallerScript flaky;
+  flaky.count = 3 * opts.scale;
+  flaky.events = {
+      set_faults(0.3 * spec.duration_s, storm),
+      set_faults(0.6 * spec.duration_s, faults::FaultConfig{}),
+  };
+
+  spec.callers = {flaky};
+  return spec;
+}
+
+ScenarioSpec reconnect_churn(const LibraryOptions& opts) {
+  ScenarioSpec spec = base(opts, "reconnect_churn");
+
+  // Devices on bad networks: every caller drops and rejoins twice, the
+  // first outage long enough to lose a partial window, the second brief.
+  // The attacker churns too — detection must survive session recycling.
+  const std::vector<TimelineEvent> churn = {
+      reconnect(0.33 * spec.duration_s, 1.0),
+      reconnect(0.7 * spec.duration_s, 0.4),
+  };
+
+  CallerScript legit;
+  legit.count = 2 * opts.scale;
+  legit.events = churn;
+
+  CallerScript attacker;
+  attacker.count = opts.scale;
+  attacker.initial_actor = Actor::kReenactor;
+  attacker.events = churn;
+
+  spec.callers = {legit, attacker};
+  return spec;
+}
+
+std::vector<ScenarioSpec> standard_campaigns(const LibraryOptions& opts) {
+  return {outdoor_mobile(opts), midcall_takeover(opts),
+          flaky_webcam_storm(opts), reconnect_churn(opts)};
+}
+
+}  // namespace lumichat::scenario

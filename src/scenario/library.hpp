@@ -1,0 +1,58 @@
+// The canonical scenario campaigns — the scripted timelines the regression
+// gates pin.
+//
+// Four archetypes of real-call trouble, each one a ScenarioSpec the tests
+// and bench run verbatim:
+//
+//   outdoor_mobile       a user walks outdoors: exposure hunting from the
+//                        start, then a burst-loss + resolution-switch
+//                        stretch while they cross bad coverage, then the
+//                        link recovers. Truth stays legitimate throughout —
+//                        the gate pins how much accuracy degradation costs.
+//   midcall_takeover     established legitimate calls; at a scripted round
+//                        the stream is swapped to the reenactor (virtual-
+//                        camera hijack). The gate pins time-to-detect.
+//   flaky_webcam_storm   a violent mid-call degradation storm (loss, codec
+//                        collapse, clock skew) that then clears. The gate
+//                        pins that the storm produces abstains, not false
+//                        attacker verdicts.
+//   reconnect_churn      devices drop and rejoin repeatedly, evicting and
+//                        recycling sessions mid-window. The gate pins that
+//                        churn loses only the scripted partial windows.
+//
+// Every spec is deterministic from LibraryOptions; `scale` multiplies the
+// caller counts without touching the script, so the same campaign runs as a
+// fast ctest gate (scale 1) and a heavier bench sweep.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "scenario/timeline.hpp"
+
+namespace lumichat::scenario {
+
+struct LibraryOptions {
+  std::size_t scale = 1;  ///< caller-count multiplier
+  /// 45 s calls of the paper's 15 s detection rounds. Shorter windows are
+  /// measurably out of the detector's competence: a 3 s window rarely holds
+  /// a full probe cycle (mostly abstains), and even 8 s windows convict
+  /// legitimate two-touch rounds (batch TRR at 8 s severity-0 is ~0.67).
+  /// 15 s rounds hold ~3 probe touches and match the training distribution.
+  double duration_s = 45.0;
+  double window_s = 15.0;
+  std::uint64_t master_seed = 2026;
+  bool full_chat = true;
+};
+
+[[nodiscard]] ScenarioSpec outdoor_mobile(const LibraryOptions& opts = {});
+[[nodiscard]] ScenarioSpec midcall_takeover(const LibraryOptions& opts = {});
+[[nodiscard]] ScenarioSpec flaky_webcam_storm(
+    const LibraryOptions& opts = {});
+[[nodiscard]] ScenarioSpec reconnect_churn(const LibraryOptions& opts = {});
+
+/// All four, in the order above (the bench sweep).
+[[nodiscard]] std::vector<ScenarioSpec> standard_campaigns(
+    const LibraryOptions& opts = {});
+
+}  // namespace lumichat::scenario

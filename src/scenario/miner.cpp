@@ -1,0 +1,253 @@
+#include "scenario/miner.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <map>
+#include <set>
+#include <utility>
+
+namespace lumichat::scenario {
+namespace {
+
+constexpr int kLegit = 0;
+constexpr int kAttacker = 1;
+constexpr int kAbstain = 2;
+
+void finalize_stream(StreamSummary& s) {
+  std::sort(s.rounds_sorted.begin(), s.rounds_sorted.end(),
+            [](const obs::RoundExplanation& a,
+               const obs::RoundExplanation& b) {
+              return a.round_index < b.round_index;
+            });
+  std::size_t burst = 0;
+  for (const obs::RoundExplanation& r : s.rounds_sorted) {
+    ++s.rounds;
+    switch (r.verdict) {
+      case kLegit:
+        ++s.legit_rounds;
+        break;
+      case kAttacker:
+        ++s.attacker_rounds;
+        if (s.first_attacker_round < 0) {
+          s.first_attacker_round =
+              static_cast<std::ptrdiff_t>(r.round_index);
+        }
+        break;
+      default:
+        ++s.abstain_rounds;
+        break;
+    }
+    if (r.verdict == kAbstain) {
+      ++burst;
+      s.longest_abstain_burst = std::max(s.longest_abstain_burst, burst);
+    } else {
+      burst = 0;
+    }
+  }
+}
+
+MinedExplanations finalize(std::map<std::uint64_t, StreamSummary>&& by_stream,
+                           std::size_t lines_total,
+                           std::size_t lines_rejected,
+                           std::size_t duplicates) {
+  MinedExplanations mined;
+  mined.lines_total = lines_total;
+  mined.lines_rejected = lines_rejected;
+  mined.duplicate_rounds = duplicates;
+  mined.streams.reserve(by_stream.size());
+  for (auto& [stream, summary] : by_stream) {
+    finalize_stream(summary);
+    mined.streams.push_back(std::move(summary));
+  }
+  return mined;
+}
+
+/// Shared accumulator for both mine_explanations overloads.
+struct Accumulator {
+  std::map<std::uint64_t, StreamSummary> by_stream;
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  std::size_t lines_total = 0;
+  std::size_t lines_rejected = 0;
+  std::size_t duplicates = 0;
+
+  void add_line(std::string_view line) {
+    if (line.empty()) return;  // blank lines are separators, not records
+    ++lines_total;
+    const std::optional<obs::RoundExplanation> record =
+        obs::RoundExplanation::from_json(line);
+    if (!record.has_value()) {
+      ++lines_rejected;
+      return;
+    }
+    if (!seen.insert({record->stream_id, record->round_index}).second) {
+      ++duplicates;
+      return;
+    }
+    StreamSummary& s = by_stream[record->stream_id];
+    s.stream = record->stream_id;
+    s.rounds_sorted.push_back(*record);
+  }
+};
+
+void append_kv(std::string& out, const char* key, double value) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%.17g", key, value);
+  out += buf;
+}
+
+}  // namespace
+
+const StreamSummary* MinedExplanations::find(std::uint64_t stream) const {
+  const auto it = std::lower_bound(
+      streams.begin(), streams.end(), stream,
+      [](const StreamSummary& s, std::uint64_t id) { return s.stream < id; });
+  return it != streams.end() && it->stream == stream ? &*it : nullptr;
+}
+
+std::size_t MinedExplanations::total_rounds() const {
+  std::size_t n = 0;
+  for (const StreamSummary& s : streams) n += s.rounds;
+  return n;
+}
+
+MinedExplanations mine_explanations(std::string_view jsonl) {
+  Accumulator acc;
+  std::size_t start = 0;
+  while (start <= jsonl.size()) {
+    std::size_t end = jsonl.find('\n', start);
+    if (end == std::string_view::npos) end = jsonl.size();
+    acc.add_line(jsonl.substr(start, end - start));
+    start = end + 1;
+  }
+  return finalize(std::move(acc.by_stream), acc.lines_total,
+                  acc.lines_rejected, acc.duplicates);
+}
+
+MinedExplanations mine_explanations(const std::vector<std::string>& lines) {
+  Accumulator acc;
+  for (const std::string& line : lines) acc.add_line(line);
+  return finalize(std::move(acc.by_stream), acc.lines_total,
+                  acc.lines_rejected, acc.duplicates);
+}
+
+std::size_t CampaignSummary::verdict_mismatches() const {
+  std::size_t n = 0;
+  for (const CallerCampaign& c : callers) n += c.verdict_mismatches;
+  return n;
+}
+
+double CampaignSummary::worst_time_to_detect_s() const {
+  double worst = -1.0;
+  for (const CallerCampaign& c : callers) {
+    worst = std::max(worst, c.time_to_detect_s);
+  }
+  return worst;
+}
+
+std::size_t CampaignSummary::undetected_takeovers() const {
+  std::size_t n = 0;
+  for (const CallerCampaign& c : callers) {
+    if (c.takeover_at_s >= 0.0 && c.time_to_detect_s < 0.0) ++n;
+  }
+  return n;
+}
+
+std::string CampaignSummary::to_json() const {
+  std::string out;
+  out.reserve(256 + 192 * callers.size());
+  char buf[160];
+  std::snprintf(buf, sizeof(buf),
+                "{\"scenario\":\"%s\",\"lines_rejected\":%zu,"
+                "\"duplicate_rounds\":%zu,\"unmatched_rounds\":%zu,"
+                "\"verdict_mismatches\":%zu,\"undetected_takeovers\":%zu,",
+                scenario.c_str(), lines_rejected, duplicate_rounds,
+                unmatched_rounds, verdict_mismatches(),
+                undetected_takeovers());
+  out += buf;
+  append_kv(out, "worst_time_to_detect_s", worst_time_to_detect_s());
+  out += ",\"callers\":[";
+  for (std::size_t i = 0; i < callers.size(); ++i) {
+    const CallerCampaign& c = callers[i];
+    if (i != 0) out += ',';
+    std::snprintf(buf, sizeof(buf),
+                  "{\"ordinal\":%zu,\"rounds\":%zu,\"attacker_rounds\":%zu,"
+                  "\"abstain_rounds\":%zu,\"longest_abstain_burst\":%zu,"
+                  "\"verdict_mismatches\":%zu,",
+                  c.ordinal, c.rounds, c.attacker_rounds, c.abstain_rounds,
+                  c.longest_abstain_burst, c.verdict_mismatches);
+    out += buf;
+    append_kv(out, "takeover_at_s", c.takeover_at_s);
+    out += ',';
+    append_kv(out, "time_to_detect_s", c.time_to_detect_s);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+CampaignSummary mine_campaign(const MinedExplanations& mined,
+                              const ScenarioReport& report) {
+  CampaignSummary summary;
+  summary.scenario = report.name;
+  summary.lines_rejected = mined.lines_rejected;
+  summary.duplicate_rounds = mined.duplicate_rounds;
+
+  std::set<std::uint64_t> claimed;
+  summary.callers.reserve(report.callers.size());
+  for (const CallerOutcome& caller : report.callers) {
+    CallerCampaign c;
+    c.ordinal = caller.ordinal;
+    c.takeover_at_s = caller.takeover_at_s;
+
+    // Concatenate the caller's sessions in occupancy order; the resulting
+    // round sequence must align 1:1 with the engine's verdict history.
+    std::vector<int> verdicts;
+    std::size_t burst = 0;
+    for (const service::SessionId id : caller.session_ids) {
+      claimed.insert(id);
+      const StreamSummary* stream = mined.find(id);
+      if (stream == nullptr) continue;  // session completed no window
+      for (const obs::RoundExplanation& r : stream->rounds_sorted) {
+        verdicts.push_back(r.verdict);
+        ++c.rounds;
+        if (r.verdict == kAttacker) ++c.attacker_rounds;
+        if (r.verdict == kAbstain) {
+          ++c.abstain_rounds;
+          ++burst;
+          c.longest_abstain_burst = std::max(c.longest_abstain_burst, burst);
+        } else {
+          burst = 0;
+        }
+      }
+    }
+
+    const std::size_t aligned =
+        std::min(verdicts.size(), caller.verdicts.size());
+    summary.unmatched_rounds +=
+        std::max(verdicts.size(), caller.verdicts.size()) - aligned;
+    for (std::size_t w = 0; w < aligned; ++w) {
+      if (verdicts[w] != static_cast<int>(caller.verdicts[w])) {
+        ++c.verdict_mismatches;
+      }
+      // Time-to-detect from the *mined* verdict, timestamped by the engine's
+      // window-end grid (the trail carries no wall time of its own).
+      if (c.takeover_at_s >= 0.0 && c.time_to_detect_s < 0.0 &&
+          verdicts[w] == kAttacker &&
+          caller.window_end_s[w] >= c.takeover_at_s) {
+        c.time_to_detect_s = caller.window_end_s[w] - c.takeover_at_s;
+      }
+    }
+    summary.callers.push_back(c);
+  }
+
+  // Mined streams no engine caller ever occupied are trail corruption too.
+  for (const StreamSummary& s : mined.streams) {
+    if (claimed.find(s.stream) == claimed.end()) {
+      summary.unmatched_rounds += s.rounds;
+    }
+  }
+  return summary;
+}
+
+}  // namespace lumichat::scenario

@@ -1,0 +1,107 @@
+// Failure-mode miner over explanation JSONL.
+//
+// A campaign's audit trail is a stream of RoundExplanation lines keyed by
+// (stream = service session id, round). The miner turns that raw trail into
+// the numbers a regression gate pins: per-stream verdict mixes and abstain
+// bursts, and — joined with the engine's caller → session-id mapping — the
+// per-caller campaign view: TAR/TRR against scripted truth and the
+// time-to-detect after a scripted takeover, all derived from the mined
+// lines rather than from the engine's in-memory history (the two are
+// cross-checked; a mismatch means the audit trail lies about the run).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/explain.hpp"
+#include "scenario/engine.hpp"
+
+namespace lumichat::scenario {
+
+/// Verdict mix of one explanation stream (one service session).
+struct StreamSummary {
+  std::uint64_t stream = 0;
+  std::size_t rounds = 0;
+  std::size_t legit_rounds = 0;
+  std::size_t attacker_rounds = 0;
+  std::size_t abstain_rounds = 0;
+  /// First round (by round_index) that said "attacker"; -1 when none did.
+  std::ptrdiff_t first_attacker_round = -1;
+  /// Longest run of consecutive abstaining rounds (flaky-input bursts).
+  std::size_t longest_abstain_burst = 0;
+  /// Parsed records in round_index order (duplicates dropped).
+  std::vector<obs::RoundExplanation> rounds_sorted;
+};
+
+/// Everything mined from one JSONL trail, before any caller join.
+struct MinedExplanations {
+  std::size_t lines_total = 0;
+  /// Lines that failed to parse as explanation records (torn writes would
+  /// land here; the concurrency gate asserts this stays 0).
+  std::size_t lines_rejected = 0;
+  /// Records whose (stream, round) repeated an earlier line.
+  std::size_t duplicate_rounds = 0;
+  std::vector<StreamSummary> streams;  ///< sorted by stream id
+
+  [[nodiscard]] const StreamSummary* find(std::uint64_t stream) const;
+  [[nodiscard]] std::size_t total_rounds() const;
+};
+
+/// Parses a whole JSONL document (lines split on '\n'; blank lines are
+/// ignored, anything else unparseable counts as rejected).
+[[nodiscard]] MinedExplanations mine_explanations(std::string_view jsonl);
+
+/// Same, over pre-split lines.
+[[nodiscard]] MinedExplanations mine_explanations(
+    const std::vector<std::string>& lines);
+
+/// One caller's campaign as reconstructed from the audit trail.
+struct CallerCampaign {
+  std::size_t ordinal = 0;
+  std::size_t rounds = 0;
+  std::size_t attacker_rounds = 0;
+  std::size_t abstain_rounds = 0;
+  std::size_t longest_abstain_burst = 0;
+  /// Scripted takeover time (copied from the engine; negative = never).
+  double takeover_at_s = -1.0;
+  /// Seconds from the scripted takeover to the end of the first window the
+  /// *mined* trail says went "attacker" at or after it; negative when the
+  /// caller was never taken over or never caught.
+  double time_to_detect_s = -1.0;
+  /// Mined rounds whose verdict disagrees with the engine's recorded window
+  /// verdicts (must be 0: the audit trail and the live run are one truth).
+  std::size_t verdict_mismatches = 0;
+};
+
+/// Campaign-level join of mined streams against the engine report.
+struct CampaignSummary {
+  std::string scenario;
+  std::size_t lines_rejected = 0;
+  std::size_t duplicate_rounds = 0;
+  /// Engine windows with no mined record, or mined records for sessions the
+  /// engine never created (must be 0).
+  std::size_t unmatched_rounds = 0;
+  std::vector<CallerCampaign> callers;
+
+  [[nodiscard]] std::size_t verdict_mismatches() const;
+  /// Worst (largest) time_to_detect_s among taken-over callers that were
+  /// caught; negative when no caller was both taken over and caught.
+  [[nodiscard]] double worst_time_to_detect_s() const;
+  /// Taken-over callers whose trail never flags them after the takeover.
+  [[nodiscard]] std::size_t undetected_takeovers() const;
+
+  /// One JSON object (bench artifact; %.17g doubles).
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Joins `mined` with the engine's `report`: each caller's sessions are
+/// looked up by id, their rounds concatenated in session order and aligned
+/// 1:1 with the engine's recorded verdict sequence (which carries the
+/// window-end timestamps the trail itself does not).
+[[nodiscard]] CampaignSummary mine_campaign(const MinedExplanations& mined,
+                                            const ScenarioReport& report);
+
+}  // namespace lumichat::scenario

@@ -5,6 +5,7 @@
 #include "common/rng.hpp"
 #include "eval/dataset.hpp"
 #include "eval/population.hpp"
+#include "obs/explain.hpp"
 
 namespace lumichat::core {
 namespace {
@@ -179,6 +180,38 @@ TEST(Streaming, ResetReproducesAFreshDetectorBitExactly) {
   }
   EXPECT_EQ(used.windows_completed(), fresh.windows_completed());
   EXPECT_EQ(used.pending_samples(), fresh.pending_samples());
+}
+
+TEST(Streaming, ResetClearsStreamIdAndRestartsExplanationRounds) {
+  // Freelist hygiene for the scenario engine: a recycled detector must not
+  // leak the previous session's identity into the audit trail. After
+  // reset(), the stream id is cleared and round numbering restarts at 0 —
+  // the (stream, round) key the explanation miner dedups on.
+  StreamingConfig cfg;
+  cfg.window_s = 2.0;
+  StreamingDetector sd(cfg);
+  sd.train_on_features(legit_like(20, 9));
+  obs::CollectingExplanationSink sink;
+  sd.set_explanation_sink(&sink);
+  sd.set_stream_id(7);
+
+  const image::Image frame(8, 8, image::Pixel{100, 100, 100});
+  for (int i = 0; i < 20; ++i) {
+    (void)sd.push(static_cast<double>(i) * 0.1, frame, frame);
+  }
+  ASSERT_EQ(sink.size(), 1u);
+  EXPECT_EQ(sink.records()[0].stream_id, 7u);
+  EXPECT_EQ(sink.records()[0].round_index, 0u);
+
+  sd.reset();
+  EXPECT_EQ(sd.stream_id(), 0u);  // no identity leaks to the next session
+  sd.set_stream_id(9);
+  for (int i = 0; i < 20; ++i) {
+    (void)sd.push(static_cast<double>(i) * 0.1, frame, frame);
+  }
+  ASSERT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink.records()[1].stream_id, 9u);
+  EXPECT_EQ(sink.records()[1].round_index, 0u);  // restarted, not resumed
 }
 
 TEST(Streaming, MatchesBatchDetectorOnSimulatedSession) {

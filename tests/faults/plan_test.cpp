@@ -2,6 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "chat/frame_source.hpp"
+#include "common/rng.hpp"
+#include "image/luminance.hpp"
+
 namespace lumichat::faults {
 namespace {
 
@@ -90,6 +96,147 @@ TEST(FaultPlan, SingleFamilyLeavesOthersDisabled) {
   EXPECT_FALSE(plan.codec_collapse(0.25, 1).enabled());
   EXPECT_FALSE(plan.resolution_switch(1).enabled());
   EXPECT_FALSE(plan.camera_drift(1).enabled());
+}
+
+TEST(FaultPlan, CodecAndResolutionSchedulesAreBitReproduciblePerStream) {
+  const FaultPlan a(FaultConfig::uniform(0.7), 19);
+  const FaultPlan b(FaultConfig::uniform(0.7), 19);
+  const CodecCollapse ca = a.codec_collapse(0.25, 1);
+  const CodecCollapse cb = b.codec_collapse(0.25, 1);
+  const ResolutionSwitch ra = a.resolution_switch(1);
+  const ResolutionSwitch rb = b.resolution_switch(1);
+  for (double t = 0.0; t < 30.0; t += 0.25) {
+    ASSERT_EQ(ca.compression_at(t), cb.compression_at(t)) << t;
+    ASSERT_EQ(ra.factor_at(t), rb.factor_at(t)) << t;
+  }
+}
+
+TEST(FaultPlan, DistinctStreamIdsDecorrelateEveryFamily) {
+  const FaultPlan plan(FaultConfig::uniform(1.0), 19);
+  // Codec: the two directions collapse on independent schedules.
+  const CodecCollapse c1 = plan.codec_collapse(0.25, 1);
+  const CodecCollapse c2 = plan.codec_collapse(0.25, 2);
+  bool codec_differs = false;
+  for (double t = 0.0; t < 60.0 && !codec_differs; t += 0.25) {
+    codec_differs = c1.compression_at(t) != c2.compression_at(t);
+  }
+  EXPECT_TRUE(codec_differs);
+  // Resolution: likewise.
+  const ResolutionSwitch r1 = plan.resolution_switch(1);
+  const ResolutionSwitch r2 = plan.resolution_switch(2);
+  bool res_differs = false;
+  for (double t = 0.0; t < 60.0 && !res_differs; t += 0.25) {
+    res_differs = r1.factor_at(t) != r2.factor_at(t);
+  }
+  EXPECT_TRUE(res_differs);
+  // Camera drift: the two cameras hunt on independent phases.
+  const auto d1 = plan.camera_drift(1);
+  const auto d2 = plan.camera_drift(2);
+  EXPECT_TRUE(d1.gain_phase != d2.gain_phase ||
+              d1.wb_phase != d2.wb_phase);
+}
+
+TEST(FaultPlan, ZeroSeverityIsSeedIndependent) {
+  // Severity 0 must consume no RNG at all, so the seed cannot matter: two
+  // zero plans from wildly different seeds hand out identical (disabled)
+  // injectors everywhere.
+  const FaultPlan a(FaultConfig{}, 1);
+  const FaultPlan b(FaultConfig{}, 0xDEADBEEF);
+  EXPECT_FALSE(a.any());
+  EXPECT_FALSE(b.any());
+  for (const std::uint64_t stream : {1ull, 2ull, 7ull}) {
+    EXPECT_FALSE(a.link(stream).enabled());
+    EXPECT_FALSE(b.link(stream).enabled());
+    for (double t = 0.0; t < 5.0; t += 0.5) {
+      EXPECT_EQ(a.codec_collapse(0.25, stream).compression_at(t),
+                b.codec_collapse(0.25, stream).compression_at(t));
+      EXPECT_EQ(a.resolution_switch(stream).factor_at(t),
+                b.resolution_switch(stream).factor_at(t));
+    }
+  }
+}
+
+/// One complete deterministic chat for the ramp tests below.
+struct RampChat {
+  chat::AliceStream alice;
+  chat::LegitimateRespondent bob;
+  chat::SessionFrameSource source;
+
+  explicit RampChat(const FaultConfig& initial_faults)
+      : alice(chat::AliceSpec{}, make_script(), 11),
+        bob(chat::LegitimateSpec{}, 12),
+        source(make_spec(initial_faults), alice, bob, 13) {}
+
+  static std::vector<chat::MeterEvent> make_script() {
+    common::Rng rng(10);
+    return chat::make_metering_script(15.0, rng);
+  }
+
+  static chat::SessionSpec make_spec(const FaultConfig& initial_faults) {
+    chat::SessionSpec spec;
+    spec.warmup_s = 0.5;
+    spec.faults = initial_faults;
+    return spec;
+  }
+
+  /// Luminance signature of the next `n` ticks (transmitted + received) —
+  /// bit-equal signatures mean bit-equal chats for our purposes.
+  std::vector<double> advance(std::size_t n) {
+    std::vector<double> out;
+    out.reserve(2 * n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const chat::FramePair pair = source.next();
+      out.push_back(image::frame_luminance(pair.transmitted));
+      out.push_back(pair.received.empty()
+                        ? -1.0
+                        : image::frame_luminance(pair.received));
+    }
+    return out;
+  }
+};
+
+TEST(FaultRamp, MidTimelineRampIsBitReproducible) {
+  // Two identical chats, the same ramp sequence: identical frames before,
+  // during, and after every severity change.
+  FaultConfig initial;
+  initial.burst_loss = 0.6;
+  RampChat a(initial);
+  RampChat b(initial);
+  EXPECT_EQ(a.advance(30), b.advance(30));
+
+  FaultConfig storm = FaultConfig::uniform(0.9);
+  a.source.apply_faults(storm, 1);
+  b.source.apply_faults(storm, 1);
+  EXPECT_EQ(a.advance(30), b.advance(30));
+
+  a.source.apply_faults(FaultConfig{}, 2);
+  b.source.apply_faults(FaultConfig{}, 2);
+  EXPECT_EQ(a.advance(30), b.advance(30));
+}
+
+TEST(FaultRamp, SeverityZeroConsumesNoRngAfterARamp) {
+  // Ramping *down* to severity 0 must put the session on the clean path:
+  // no fault RNG is drawn, so the phase number the timeline happened to
+  // reach cannot matter. Two identical chats ramp to zero with different
+  // phase counters and must stay bit-identical forever after.
+  FaultConfig initial;
+  initial.burst_loss = 0.6;
+  initial.codec_collapse = 0.8;
+  RampChat a(initial);
+  RampChat b(initial);
+  EXPECT_EQ(a.advance(25), b.advance(25));
+
+  a.source.apply_faults(FaultConfig{}, /*phase=*/1);
+  b.source.apply_faults(FaultConfig{}, /*phase=*/9);
+  EXPECT_EQ(a.advance(60), b.advance(60));
+
+  // Control: at nonzero severity the phase is a real RNG stream — the same
+  // divergence in phase numbers must now produce different degradations.
+  RampChat c(initial);
+  RampChat d(initial);
+  c.source.apply_faults(FaultConfig::uniform(1.0), /*phase=*/1);
+  d.source.apply_faults(FaultConfig::uniform(1.0), /*phase=*/9);
+  EXPECT_NE(c.advance(60), d.advance(60));
 }
 
 }  // namespace

@@ -5,7 +5,10 @@
 #include <cmath>
 #include <cstdio>
 #include <fstream>
+#include <set>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "obs/json.hpp"
@@ -81,6 +84,49 @@ TEST(RoundExplanation, VerdictNamesMatchCoreValues) {
   EXPECT_STREQ(verdict_name(-1), "unknown");
 }
 
+TEST(RoundExplanation, FromJsonIsTheExactInverseOfToJson) {
+  RoundExplanation e = sample_record();
+  // The least text-friendly doubles: non-representable sums, one-ulp
+  // neighbours, negatives, and a subnormal.
+  e.lof_score = 0.1 + 0.2;
+  e.z1 = std::nextafter(1.0, 2.0);
+  e.z2 = -1.0 / 3.0;
+  e.estimated_delay_s = 5e-324;
+  // And 64-bit counters above 2^53, where the double path alone would lose
+  // bits — the parser reparses the number lexeme with strtoull.
+  e.stream_id = 9007199254740993ull;          // 2^53 + 1
+  e.round_index = 18446744073709551615ull;    // UINT64_MAX
+  e.votes_attacker = 1ull << 60;
+
+  const std::optional<RoundExplanation> parsed =
+      RoundExplanation::from_json(e.to_json());
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, e);  // every field, every bit
+  EXPECT_EQ(parsed->to_json(), e.to_json());
+}
+
+TEST(RoundExplanation, FromJsonRejectsTornAndForeignLines) {
+  const std::string line = sample_record().to_json();
+  // A torn write can truncate anywhere; no prefix may parse as a record.
+  for (const std::size_t keep :
+       {std::size_t{0}, std::size_t{1}, line.size() / 4, line.size() / 2,
+        line.size() - 1}) {
+    EXPECT_FALSE(RoundExplanation::from_json(line.substr(0, keep)).has_value())
+        << "prefix of " << keep << " bytes parsed";
+  }
+  // Well-formed JSON of the wrong shape is rejected too.
+  EXPECT_FALSE(RoundExplanation::from_json("{}").has_value());
+  EXPECT_FALSE(RoundExplanation::from_json("[1,2,3]").has_value());
+  EXPECT_FALSE(RoundExplanation::from_json("{\"stream\":1,\"round\":2}")
+                   .has_value());
+  // An unknown verdict name is corruption, not a default.
+  std::string bad = line;
+  const std::size_t at = bad.find("attacker");
+  ASSERT_NE(at, std::string::npos);
+  bad.replace(at, 8, "attacked");
+  EXPECT_FALSE(RoundExplanation::from_json(bad).has_value());
+}
+
 TEST(CollectingSink, BuffersRecordsInEmitOrder) {
   CollectingExplanationSink sink;
   EXPECT_EQ(sink.size(), 0u);
@@ -117,6 +163,57 @@ TEST(JsonlWriter, WritesOneWellFormedLinePerRecord) {
     EXPECT_TRUE(json_well_formed(line)) << line;
   }
   EXPECT_NE(lines[1].find("\"verdict\":\"abstain\""), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(JsonlWriter, ConcurrentEmittersProduceNoTornLines) {
+  // The scenario engine's sessions emit explanation records from every
+  // worker thread into one shared writer. The audit trail is only usable
+  // if every line lands whole: parseable, attributable, none missing. Runs
+  // under the TSan job (unit tier).
+  const std::string path =
+      ::testing::TempDir() + "/lumichat_explain_concurrent.jsonl";
+  constexpr std::size_t kThreads = 8;
+  constexpr std::size_t kPerThread = 200;
+  {
+    JsonlExplanationWriter writer(path);
+    ASSERT_TRUE(writer.ok());
+    std::vector<std::thread> emitters;
+    emitters.reserve(kThreads);
+    for (std::size_t tid = 0; tid < kThreads; ++tid) {
+      emitters.emplace_back([&writer, tid] {
+        for (std::size_t i = 0; i < kPerThread; ++i) {
+          RoundExplanation e = sample_record();
+          e.stream_id = tid;
+          e.round_index = i;
+          e.lof_score = static_cast<double>(tid) + 0.001 * static_cast<double>(i);
+          writer.emit(e);
+        }
+      });
+    }
+    for (std::thread& t : emitters) t.join();
+  }
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::set<std::pair<std::uint64_t, std::uint64_t>> seen;
+  std::size_t lines = 0;
+  for (std::string line; std::getline(in, line);) {
+    ++lines;
+    const std::optional<RoundExplanation> parsed =
+        RoundExplanation::from_json(line);
+    ASSERT_TRUE(parsed.has_value()) << "torn line: " << line;
+    // Contents survived interleaving: the record is internally consistent.
+    EXPECT_EQ(parsed->lof_score,
+              static_cast<double>(parsed->stream_id) +
+                  0.001 * static_cast<double>(parsed->round_index));
+    EXPECT_TRUE(seen.insert({parsed->stream_id, parsed->round_index}).second)
+        << "duplicate (" << parsed->stream_id << ", " << parsed->round_index
+        << ")";
+  }
+  // Every record arrived exactly once.
+  EXPECT_EQ(lines, kThreads * kPerThread);
+  EXPECT_EQ(seen.size(), kThreads * kPerThread);
   std::remove(path.c_str());
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <cstdlib>
 #include <string>
 
 namespace lumichat::obs {
@@ -44,6 +46,93 @@ TEST(JsonWellFormed, EnforcesTheDepthLimit) {
   for (int i = 0; i < 100; ++i) ok += '[';
   for (int i = 0; i < 100; ++i) ok += ']';
   EXPECT_TRUE(json_well_formed(ok));
+}
+
+TEST(JsonParse, BuildsTheDomWithMembersInDocumentOrder) {
+  const auto v = json_parse(
+      "{\"b\": 2, \"a\": [true, null, \"x\"], \"c\": {\"inner\": -1.5}}");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->is_object());
+  ASSERT_EQ(v->members.size(), 3u);
+  EXPECT_EQ(v->members[0].first, "b");  // document order, not sorted
+  EXPECT_EQ(v->members[1].first, "a");
+
+  const JsonValue* a = v->find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->items.size(), 3u);
+  EXPECT_TRUE(a->items[0].as_bool(false));
+  EXPECT_TRUE(a->items[1].is_null());
+  EXPECT_EQ(a->items[2].as_string(""), "x");
+
+  const JsonValue* inner = v->find_path({"c", "inner"});
+  ASSERT_NE(inner, nullptr);
+  EXPECT_DOUBLE_EQ(inner->as_number(), -1.5);
+  EXPECT_EQ(v->find_path({"c", "missing"}), nullptr);
+  EXPECT_EQ(v->find("nope"), nullptr);
+}
+
+TEST(JsonParse, RejectsWhatWellFormedRejects) {
+  EXPECT_FALSE(json_parse("").has_value());
+  EXPECT_FALSE(json_parse("{\"a\":1,}").has_value());
+  EXPECT_FALSE(json_parse("{} trailing").has_value());
+  EXPECT_FALSE(json_parse("[1 2]").has_value());
+  EXPECT_FALSE(json_parse("{\"a\":01}").has_value());
+}
+
+TEST(JsonParse, RoundTripsPercent17gDoublesBitExactly) {
+  // The explanation miner's core property: a double serialised with %.17g
+  // reparses to the identical bits.
+  for (const double value :
+       {0.1 + 0.2, 1.0 / 3.0, 3.725, -1.0e-12, 6.02214076e23, 0.0}) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    const auto v = json_parse(buf);
+    ASSERT_TRUE(v.has_value()) << buf;
+    ASSERT_TRUE(v->is_number());
+    EXPECT_EQ(v->number, value) << buf;  // bit-exact, not approximately
+  }
+}
+
+TEST(JsonParse, NumberLexemeCarries64BitIntegersAboveDoublePrecision) {
+  // 2^53 + 1 and UINT64_MAX are not representable as doubles; the lexeme
+  // lets integer consumers (stream ids, round counters) reparse exactly.
+  for (const char* text : {"9007199254740993", "18446744073709551615"}) {
+    const auto v = json_parse(text);
+    ASSERT_TRUE(v.has_value()) << text;
+    EXPECT_EQ(v->number_lexeme, text);
+    EXPECT_EQ(std::strtoull(v->number_lexeme.c_str(), nullptr, 10),
+              std::strtoull(text, nullptr, 10));
+  }
+}
+
+TEST(JsonParse, DecodesStringEscapesIncludingSurrogatePairs) {
+  const auto v = json_parse("\"a\\\"b\\\\c\\n\\t\\u00e9\\ud83d\\ude00\"");
+  ASSERT_TRUE(v.has_value());
+  ASSERT_TRUE(v->is_string());
+  // é is U+00E9 (C3 A9); the surrogate pair is U+1F600 (F0 9F 98 80).
+  EXPECT_EQ(v->string, std::string("a\"b\\c\n\t\xC3\xA9\xF0\x9F\x98\x80"));
+}
+
+TEST(JsonParse, EnforcesTheSameDepthLimitAsWellFormed) {
+  std::string deep;
+  for (int i = 0; i < 300; ++i) deep += '[';
+  for (int i = 0; i < 300; ++i) deep += ']';
+  EXPECT_FALSE(json_parse(deep).has_value());
+
+  std::string ok;
+  for (int i = 0; i < 100; ++i) ok += '[';
+  for (int i = 0; i < 100; ++i) ok += ']';
+  EXPECT_TRUE(json_parse(ok).has_value());
+}
+
+TEST(JsonParse, TypedAccessorsFallBackOnKindMismatch) {
+  const auto v = json_parse("{\"n\":1.5,\"s\":\"str\",\"b\":true}");
+  ASSERT_TRUE(v.has_value());
+  EXPECT_DOUBLE_EQ(v->find("s")->as_number(-7.0), -7.0);
+  EXPECT_EQ(v->find("n")->as_string("fallback"), "fallback");
+  EXPECT_FALSE(v->find("n")->as_bool(false));
+  EXPECT_TRUE(v->find("b")->as_bool(false));
 }
 
 }  // namespace

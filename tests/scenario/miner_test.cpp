@@ -1,0 +1,215 @@
+#include "scenario/miner.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "obs/explain.hpp"
+#include "obs/json.hpp"
+
+namespace lumichat::scenario {
+namespace {
+
+constexpr int kLegit = 0;
+constexpr int kAttacker = 1;
+constexpr int kAbstain = 2;
+
+obs::RoundExplanation record(std::uint64_t stream, std::uint64_t round,
+                             int verdict) {
+  obs::RoundExplanation e;
+  e.stream_id = stream;
+  e.round_index = round;
+  e.verdict = verdict;
+  e.lof_score = 1.25 + static_cast<double>(round);
+  e.lof_tau = 3.0;
+  e.z1 = 0.9;
+  e.t_snr = 5.0;
+  e.r_snr = 4.0;
+  e.r_completeness = 1.0;
+  return e;
+}
+
+std::string jsonl(const std::vector<obs::RoundExplanation>& records) {
+  std::string out;
+  for (const obs::RoundExplanation& r : records) {
+    out += r.to_json();
+    out += '\n';
+  }
+  return out;
+}
+
+TEST(Miner, RoundTripsRecordsBitExactly) {
+  obs::RoundExplanation e = record(3, 1, kAttacker);
+  e.lof_score = 0.1 + 0.2;  // non-representable sum: %.17g must carry it
+  e.estimated_delay_s = 1.0 / 3.0;
+  const MinedExplanations mined = mine_explanations(jsonl({e}));
+  EXPECT_EQ(mined.lines_total, 1u);
+  EXPECT_EQ(mined.lines_rejected, 0u);
+  ASSERT_EQ(mined.streams.size(), 1u);
+  ASSERT_EQ(mined.streams[0].rounds_sorted.size(), 1u);
+  EXPECT_EQ(mined.streams[0].rounds_sorted[0], e);  // every field, every bit
+}
+
+TEST(Miner, GroupsSortsAndCountsStreams) {
+  // Lines arrive interleaved and out of round order, as concurrent
+  // sessions produce them.
+  const MinedExplanations mined = mine_explanations(jsonl({
+      record(9, 1, kLegit),
+      record(2, 0, kLegit),
+      record(9, 0, kAttacker),
+      record(2, 1, kAbstain),
+      record(2, 2, kLegit),
+  }));
+  EXPECT_EQ(mined.lines_total, 5u);
+  EXPECT_EQ(mined.total_rounds(), 5u);
+  ASSERT_EQ(mined.streams.size(), 2u);
+  EXPECT_EQ(mined.streams[0].stream, 2u);  // sorted by stream id
+  EXPECT_EQ(mined.streams[1].stream, 9u);
+
+  const StreamSummary* nine = mined.find(9);
+  ASSERT_NE(nine, nullptr);
+  EXPECT_EQ(nine->rounds, 2u);
+  EXPECT_EQ(nine->rounds_sorted[0].round_index, 0u);  // re-sorted by round
+  EXPECT_EQ(nine->rounds_sorted[1].round_index, 1u);
+  EXPECT_EQ(nine->first_attacker_round, 0);
+  EXPECT_EQ(mined.find(2)->abstain_rounds, 1u);
+  EXPECT_EQ(mined.find(7), nullptr);
+}
+
+TEST(Miner, RejectsTornLinesAndKeepsTheRest) {
+  std::string trail = jsonl({record(1, 0, kLegit), record(1, 1, kLegit)});
+  // A torn write: the first half of a record, no closing braces.
+  trail += record(1, 2, kLegit).to_json().substr(0, 40);
+  trail += '\n';
+  trail += "\n\n";  // blank lines are separators, not rejects
+  trail += "{\"not\":\"an explanation\"}\n";
+
+  const MinedExplanations mined = mine_explanations(trail);
+  EXPECT_EQ(mined.lines_total, 4u);
+  EXPECT_EQ(mined.lines_rejected, 2u);
+  EXPECT_EQ(mined.total_rounds(), 2u);
+}
+
+TEST(Miner, DropsDuplicateStreamRoundPairs) {
+  obs::RoundExplanation dup = record(5, 0, kAttacker);
+  const MinedExplanations mined = mine_explanations(
+      jsonl({record(5, 0, kLegit), dup, record(5, 1, kLegit)}));
+  EXPECT_EQ(mined.duplicate_rounds, 1u);
+  const StreamSummary* five = mined.find(5);
+  ASSERT_NE(five, nullptr);
+  EXPECT_EQ(five->rounds, 2u);
+  // First line wins: the duplicate's attacker verdict was dropped.
+  EXPECT_EQ(five->attacker_rounds, 0u);
+}
+
+TEST(Miner, MeasuresAbstainBursts) {
+  const MinedExplanations mined = mine_explanations(jsonl({
+      record(4, 0, kAbstain),
+      record(4, 1, kLegit),
+      record(4, 2, kAbstain),
+      record(4, 3, kAbstain),
+      record(4, 4, kAbstain),
+      record(4, 5, kLegit),
+  }));
+  const StreamSummary* s = mined.find(4);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->abstain_rounds, 4u);
+  EXPECT_EQ(s->longest_abstain_burst, 3u);
+}
+
+/// Report with one caller occupying `sessions`, with the engine-recorded
+/// verdict/window-end history the miner cross-checks against.
+ScenarioReport report_with(const std::vector<service::SessionId>& sessions,
+                           const std::vector<core::Verdict>& verdicts,
+                           const std::vector<double>& ends,
+                           double takeover_at_s) {
+  ScenarioReport report;
+  report.name = "fabricated";
+  CallerOutcome caller;
+  caller.session_ids = sessions;
+  caller.verdicts = verdicts;
+  caller.window_end_s = ends;
+  caller.truth_attacker.assign(verdicts.size(), false);
+  caller.takeover_at_s = takeover_at_s;
+  report.callers.push_back(caller);
+  return report;
+}
+
+TEST(Miner, CampaignJoinComputesTimeToDetectFromTheMinedTrail) {
+  // Sessions 1 then 3 (a reconnect in between); the takeover at t = 7 is
+  // first flagged by session 3's round 0, whose window ends at t = 10.
+  const MinedExplanations mined = mine_explanations(jsonl({
+      record(1, 0, kLegit),
+      record(3, 0, kAttacker),
+      record(3, 1, kAttacker),
+  }));
+  const ScenarioReport report = report_with(
+      {1, 3},
+      {core::Verdict::kLegitimate, core::Verdict::kAttacker,
+       core::Verdict::kAttacker},
+      {5.0, 10.0, 15.0}, 7.0);
+
+  const CampaignSummary campaign = mine_campaign(mined, report);
+  ASSERT_EQ(campaign.callers.size(), 1u);
+  EXPECT_EQ(campaign.unmatched_rounds, 0u);
+  EXPECT_EQ(campaign.verdict_mismatches(), 0u);
+  EXPECT_EQ(campaign.callers[0].rounds, 3u);
+  EXPECT_EQ(campaign.callers[0].attacker_rounds, 2u);
+  EXPECT_DOUBLE_EQ(campaign.callers[0].time_to_detect_s, 3.0);
+  EXPECT_DOUBLE_EQ(campaign.worst_time_to_detect_s(), 3.0);
+  EXPECT_EQ(campaign.undetected_takeovers(), 0u);
+}
+
+TEST(Miner, CampaignJoinFlagsUndetectedTakeovers) {
+  const MinedExplanations mined =
+      mine_explanations(jsonl({record(1, 0, kLegit), record(1, 1, kLegit)}));
+  const ScenarioReport report = report_with(
+      {1}, {core::Verdict::kLegitimate, core::Verdict::kLegitimate},
+      {5.0, 10.0}, 2.0);
+  const CampaignSummary campaign = mine_campaign(mined, report);
+  EXPECT_EQ(campaign.undetected_takeovers(), 1u);
+  EXPECT_LT(campaign.callers[0].time_to_detect_s, 0.0);
+  EXPECT_LT(campaign.worst_time_to_detect_s(), 0.0);
+}
+
+TEST(Miner, CampaignJoinCountsMismatchesAgainstTheLiveRun) {
+  // The trail says round 1 was legit; the engine recorded an attacker
+  // verdict. One truth must hold — the join reports the disagreement.
+  const MinedExplanations mined =
+      mine_explanations(jsonl({record(1, 0, kLegit), record(1, 1, kLegit)}));
+  const ScenarioReport report = report_with(
+      {1}, {core::Verdict::kLegitimate, core::Verdict::kAttacker},
+      {5.0, 10.0}, -1.0);
+  EXPECT_EQ(mine_campaign(mined, report).verdict_mismatches(), 1u);
+}
+
+TEST(Miner, CampaignJoinCountsUnmatchedRoundsBothWays) {
+  // The engine recorded two windows but the trail holds one — and also
+  // holds a whole stream no caller ever occupied.
+  const MinedExplanations mined = mine_explanations(
+      jsonl({record(1, 0, kLegit), record(99, 0, kLegit),
+             record(99, 1, kLegit)}));
+  const ScenarioReport report = report_with(
+      {1}, {core::Verdict::kLegitimate, core::Verdict::kLegitimate},
+      {5.0, 10.0}, -1.0);
+  const CampaignSummary campaign = mine_campaign(mined, report);
+  EXPECT_EQ(campaign.unmatched_rounds, 1u + 2u);
+}
+
+TEST(Miner, CampaignSummarySerialisesAsWellFormedJson) {
+  const MinedExplanations mined = mine_explanations(jsonl({
+      record(1, 0, kAbstain),
+      record(1, 1, kAttacker),
+  }));
+  const ScenarioReport report = report_with(
+      {1}, {core::Verdict::kAbstain, core::Verdict::kAttacker}, {5.0, 10.0},
+      3.0);
+  const std::string json = mine_campaign(mined, report).to_json();
+  EXPECT_TRUE(obs::json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"scenario\":\"fabricated\""), std::string::npos);
+  EXPECT_NE(json.find("\"undetected_takeovers\":0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lumichat::scenario

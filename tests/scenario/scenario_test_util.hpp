@@ -1,0 +1,51 @@
+// Shared helpers for the scenario suites.
+//
+// The campaign gates replay the canonical library timelines against the
+// real detector, so they need the same prototype bench_scenarios trains:
+// the paper's per-user model, fit on the claimed volunteer's legitimate
+// clips at the campaign window length. Training is the expensive part of a
+// campaign gate (the run itself is a few seconds); everything here is
+// deterministic, so every gate pins against the same model.
+#pragma once
+
+#include "common/thread_pool.hpp"
+#include "core/streaming.hpp"
+#include "eval/dataset.hpp"
+#include "eval/parallel.hpp"
+#include "eval/population.hpp"
+#include "scenario/library.hpp"
+
+namespace lumichat::scenario::testutil {
+
+/// The campaign prototype: trained on 16 legitimate clips of the default
+/// claimed volunteer (ScenarioSpec::claimed_volunteer = 9), abstain
+/// enabled, windows of `window_s`. Mirrors bench_scenarios' setup exactly —
+/// the pinned envelopes in the campaign gates are this model's numbers.
+inline core::StreamingDetector campaign_prototype(double window_s) {
+  eval::SimulationProfile profile;
+  profile.clip_duration_s = window_s;
+  const eval::DatasetBuilder data(profile);
+  const auto pop = eval::make_population();
+  common::ThreadPool pool;
+  const auto train_features =
+      eval::population_features(data, {&pop[9], 1}, eval::Role::kLegitimate,
+                                16, 0.0, &pool);
+
+  core::StreamingConfig cfg;
+  cfg.detector = profile.detector_config();
+  cfg.detector.enable_abstain = true;
+  cfg.window_s = window_s;
+  core::StreamingDetector prototype(cfg);
+  prototype.train_on_features(train_features[0]);
+  return prototype;
+}
+
+/// The service the campaigns run against (bench_scenarios' config).
+inline service::ServiceConfig campaign_service_config() {
+  service::ServiceConfig cfg;
+  cfg.n_shards = 8;
+  cfg.max_sessions = service::default_service_capacity();
+  return cfg;
+}
+
+}  // namespace lumichat::scenario::testutil

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "obs/explain.hpp"
 #include "service/scheduler.hpp"
 #include "service_test_util.hpp"
 
@@ -160,6 +161,35 @@ TEST(SessionManager, RecycledDetectorMatchesFreshClone) {
     EXPECT_EQ(va[i].is_attacker, vb[i].is_attacker);
     EXPECT_EQ(va[i].lof_score, vb[i].lof_score);  // bit-exact
   }
+}
+
+TEST(SessionManager, RecycledSessionStampsItsOwnIdIntoExplanations) {
+  // The scenario miner joins audit-trail lines to callers by session id; a
+  // recycled detector must emit the *new* session's id from round 0. The
+  // first session here is evicted mid-window, so stale pending samples are
+  // also on the line.
+  obs::CollectingExplanationSink sink;
+  core::StreamingDetector prototype = trained_prototype();
+  prototype.set_explanation_sink(&sink);
+  SessionManager m(small_config(), prototype);
+
+  const auto first = m.create();
+  ASSERT_TRUE(first.has_value());
+  feed_wave(m, *first, 27);  // one window + 7 pending
+  const auto closed = m.evict(*first);
+  ASSERT_TRUE(closed.has_value());
+  EXPECT_EQ(closed->pending_samples_dropped, 7u);
+
+  const auto second = m.create();  // reuses the freelisted detector
+  ASSERT_TRUE(second.has_value());
+  EXPECT_NE(*second, *first);
+  feed_wave(m, *second, 20);
+
+  const auto records = sink.records();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].stream_id, *first);
+  EXPECT_EQ(records[1].stream_id, *second);
+  EXPECT_EQ(records[1].round_index, 0u);  // numbering restarted with reuse
 }
 
 TEST(SessionManager, DistinctSessionsAreIndependent) {
