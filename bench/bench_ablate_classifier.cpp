@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "common.hpp"
+#include "model/snapshot.hpp"
 
 namespace {
 
@@ -79,7 +80,7 @@ int main(int argc, char** argv) {
       const auto train = eval::select(legit[u], split.train);
 
       core::Detector lof = data.make_detector();
-      lof.train_on_features(train);
+      lof.attach_model(model::fit_lof_model(lof.config(), train));
       CentroidClassifier naive;
       naive.fit(train);
 

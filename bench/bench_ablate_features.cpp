@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "common.hpp"
+#include "model/snapshot.hpp"
 
 namespace {
 
@@ -81,7 +82,7 @@ int main(int argc, char** argv) {
         for (auto& f : train) f = mask(f, fill, v.behavior, v.trend);
 
         core::Detector det = data.make_detector();
-        det.train_on_features(train);
+        det.attach_model(model::fit_lof_model(det.config(), train));
         eval::AttemptCounts counts;
         for (const std::size_t i : split.test) {
           const FeatureVector z =

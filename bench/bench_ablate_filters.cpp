@@ -11,6 +11,7 @@
 #include "signal/fir.hpp"
 #include "signal/peaks.hpp"
 #include "signal/windows.hpp"
+#include "model/snapshot.hpp"
 
 namespace {
 
@@ -92,7 +93,7 @@ int main(int argc, char** argv) {
         const eval::Split split =
             eval::random_split(scale.n_clips, scale.n_clips / 2, rng);
         core::Detector det = data.make_detector();
-        det.train_on_features(eval::select(legit[u], split.train));
+        det.attach_model(model::fit_lof_model(det.config(), eval::select(legit[u], split.train)));
         for (const std::size_t i : split.test) {
           counts.add_legit(!det.classify(legit[u][i]).is_attacker);
         }

@@ -7,6 +7,7 @@
 #include "common.hpp"
 #include "core/luminance_extractor.hpp"
 #include "core/preprocess.hpp"
+#include "model/snapshot.hpp"
 
 int main(int argc, char** argv) {
   using namespace lumichat;
@@ -53,7 +54,7 @@ int main(int argc, char** argv) {
         const eval::Split split =
             eval::random_split(scale.n_clips, scale.n_clips / 2, rng);
         core::Detector det = data.make_detector();
-        det.train_on_features(eval::select(legit[u], split.train));
+        det.attach_model(model::fit_lof_model(det.config(), eval::select(legit[u], split.train)));
         for (const std::size_t i : split.test) {
           counts.add_legit(!det.classify(legit[u][i]).is_attacker);
         }

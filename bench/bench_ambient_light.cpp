@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "common.hpp"
+#include "model/snapshot.hpp"
 
 int main(int argc, char** argv) {
   using namespace lumichat;
@@ -20,8 +21,8 @@ int main(int argc, char** argv) {
   const eval::DatasetBuilder base_data(base);
   const auto pop = eval::make_population();
   core::Detector det = base_data.make_detector();
-  det.train_on_features(
-      base_data.features(pop[9], eval::Role::kLegitimate, 20));
+  det.attach_model(model::fit_lof_model(det.config(), 
+      base_data.features(pop[9], eval::Role::kLegitimate, 20)));
 
   bench::row("%-18s %-10s %-10s", "ambient (lux)", "TAR", "TRR");
   for (const double lux_level : {30.0, 60.0, 120.0, 240.0, 400.0}) {

@@ -6,6 +6,7 @@
 #include <cstdio>
 
 #include "common.hpp"
+#include "model/snapshot.hpp"
 
 int main(int argc, char** argv) {
   using namespace lumichat;
@@ -20,7 +21,7 @@ int main(int argc, char** argv) {
 
   const auto train = data.features(pop[9], eval::Role::kLegitimate, 20);
   core::Detector det = data.make_detector();
-  det.train_on_features(train);
+  det.attach_model(model::fit_lof_model(det.config(), train));
 
   // Fix z3/z4 at the legitimate-training means to draw a 2-D slice.
   double z3_mean = 0.0;

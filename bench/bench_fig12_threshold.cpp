@@ -5,6 +5,7 @@
 #include <cstdio>
 
 #include "common.hpp"
+#include "model/snapshot.hpp"
 
 namespace {
 
@@ -47,7 +48,7 @@ int main(int argc, char** argv) {
           const eval::Split split =
               eval::random_split(scale.n_clips, n_train, seed);
           core::Detector det = data.make_detector();
-          det.train_on_features(eval::select(legit[u], split.train));
+          det.attach_model(model::fit_lof_model(det.config(), eval::select(legit[u], split.train)));
           ScoreSets s;
           for (const std::size_t i : split.test) {
             s.legit.push_back(det.classify(legit[u][i]).lof_score);

@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "common.hpp"
+#include "model/snapshot.hpp"
 
 namespace {
 
@@ -43,7 +44,7 @@ int main(int argc, char** argv) {
           const eval::Split split =
               eval::random_split(scale.n_clips, scale.n_clips / 2, seed);
           core::Detector det = data.make_detector();
-          det.train_on_features(eval::select(legit[u], split.train));
+          det.attach_model(model::fit_lof_model(det.config(), eval::select(legit[u], split.train)));
           VerdictSets v;
           for (const std::size_t i : split.test) {
             v.legit.push_back(det.classify(legit[u][i]).is_attacker);

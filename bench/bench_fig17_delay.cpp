@@ -7,6 +7,7 @@
 
 #include "common.hpp"
 #include "reenact/cost_model.hpp"
+#include "model/snapshot.hpp"
 
 int main(int argc, char** argv) {
   using namespace lumichat;
@@ -22,7 +23,7 @@ int main(int argc, char** argv) {
   // Train once on legitimate data (own-data mode, volunteer 9).
   const auto train = data.features(pop[9], eval::Role::kLegitimate, 20);
   core::Detector det = data.make_detector();
-  det.train_on_features(train);
+  det.attach_model(model::fit_lof_model(det.config(), train));
 
   bench::row("%-12s %-16s", "delay (s)", "rejection rate");
   for (const double delay :

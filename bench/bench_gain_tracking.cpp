@@ -6,6 +6,7 @@
 
 #include "common.hpp"
 #include "reenact/gain_tracking.hpp"
+#include "model/snapshot.hpp"
 
 namespace {
 
@@ -47,7 +48,7 @@ int main(int argc, char** argv) {
   const eval::DatasetBuilder data(profile);
   const auto pop = eval::make_population();
   core::Detector det = data.make_detector();
-  det.train_on_features(data.features(pop[9], eval::Role::kLegitimate, 20));
+  det.attach_model(model::fit_lof_model(det.config(), data.features(pop[9], eval::Role::kLegitimate, 20)));
 
   std::printf("rejection rate by (estimation delay, gain calibration)\n\n");
   std::printf("%-12s", "delay (s)");

@@ -16,6 +16,7 @@
 #include <cstdlib>
 
 #include "common.hpp"
+#include "model/snapshot.hpp"
 
 namespace {
 
@@ -136,11 +137,11 @@ int main(int argc, char** argv) {
     traces.push_back(data.legit_trace(pop[0], i));
   }
   core::Detector det = data.make_detector();
-  det.train_on_features(eval::select(serial_feats[0],
+  det.attach_model(model::fit_lof_model(det.config(), eval::select(serial_feats[0],
                                      eval::random_split(scale.n_clips,
                                                         scale.n_clips / 2,
                                                         profile.master_seed)
-                                         .train));
+                                         .train)));
 
   t0 = Clock::now();
   const auto serial_batch = det.detect_batch(traces);

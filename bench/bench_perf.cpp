@@ -25,6 +25,7 @@
 #include "face/renderer.hpp"
 #include "obs/trace.hpp"
 #include "optics/camera.hpp"
+#include "model/snapshot.hpp"
 
 namespace {
 
@@ -54,8 +55,8 @@ struct Fixtures {
     t_pre = pre.process_transmitted(t_raw);
     r_pre = pre.process_received(r_raw);
     feature = fx.extract(t_pre, r_pre).features;
-    detector.train_on_features(
-        data.features(pop[9], eval::Role::kLegitimate, 20));
+    detector.attach_model(model::fit_lof_model(detector.config(), 
+        data.features(pop[9], eval::Role::kLegitimate, 20)));
     face_frame = trace.received.frames[50];
   }
 };
@@ -121,7 +122,7 @@ void BM_LofTraining20Instances(benchmark::State& state) {
                                      eval::Role::kLegitimate, 20);
   for (auto _ : state) {
     core::Detector det(f.profile.detector_config());
-    det.train_on_features(train);
+    det.attach_model(model::fit_lof_model(det.config(), train));
     benchmark::DoNotOptimize(det);
   }
 }

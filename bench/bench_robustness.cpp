@@ -6,6 +6,7 @@
 
 #include "common.hpp"
 #include "reenact/reenactor.hpp"
+#include "model/snapshot.hpp"
 
 namespace {
 
@@ -65,7 +66,7 @@ eval::RoundResult run_condition(const Condition& cond,
   for (std::size_t c = 0; c < 12; ++c) {
     train.push_back(det.featurize(legit_trace(9, 10000 + c)).features);
   }
-  det.train_on_features(train);
+  det.attach_model(model::fit_lof_model(det.config(), train));
 
   eval::AttemptCounts counts;
   for (std::size_t u = 0; u < n_users; ++u) {

@@ -21,6 +21,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -30,31 +31,40 @@
 #include "scenario/engine.hpp"
 #include "scenario/library.hpp"
 #include "scenario/miner.hpp"
+#include "model/registry.hpp"
 
 namespace {
 
 using namespace lumichat;
 
-core::StreamingDetector train_prototype(double window_s) {
+core::StreamingConfig campaign_streaming(double window_s) {
+  eval::SimulationProfile profile;
+  profile.clip_duration_s = window_s;
+  core::StreamingConfig streaming_cfg;
+  streaming_cfg.detector = profile.detector_config();
+  streaming_cfg.detector.enable_abstain = true;
+  streaming_cfg.window_s = window_s;
+  return streaming_cfg;
+}
+
+std::shared_ptr<model::ModelRegistry> train_models(
+    const core::StreamingConfig& streaming_cfg, double window_s) {
   eval::SimulationProfile profile;
   profile.clip_duration_s = window_s;
   const eval::DatasetBuilder data(profile);
   const auto pop = eval::make_population();
   common::ThreadPool setup_pool;
-  std::printf("[setup] training prototype on 16 legitimate clips "
+  std::printf("[setup] fitting campaign model on 16 legitimate clips "
               "(window %.1fs, %zu threads)...\n",
               window_s, setup_pool.size());
   const auto train_features =
       eval::population_features(data, {&pop[9], 1}, eval::Role::kLegitimate,
                                 16, 0.0, &setup_pool);
 
-  core::StreamingConfig streaming_cfg;
-  streaming_cfg.detector = profile.detector_config();
-  streaming_cfg.detector.enable_abstain = true;
-  streaming_cfg.window_s = window_s;
-  core::StreamingDetector prototype(streaming_cfg);
-  prototype.train_on_features(train_features[0]);
-  return prototype;
+  auto models = std::make_shared<model::ModelRegistry>();
+  models->publish(train_features[0], streaming_cfg.detector.lof_neighbors,
+                  streaming_cfg.detector.lof_threshold);
+  return models;
 }
 
 std::string jsonl_of(const std::vector<obs::RoundExplanation>& records) {
@@ -90,7 +100,8 @@ int main(int argc, char** argv) {
 
   scenario::LibraryOptions opts;
   opts.scale = scale;
-  core::StreamingDetector prototype = train_prototype(opts.window_s);
+  const core::StreamingConfig streaming = campaign_streaming(opts.window_s);
+  const auto models = train_models(streaming, opts.window_s);
 
   service::ServiceConfig service_cfg;
   service_cfg.n_shards = 8;
@@ -112,11 +123,10 @@ int main(int argc, char** argv) {
        scenario::standard_campaigns(opts)) {
     // Reference run: 1 worker thread, explanations collected.
     obs::CollectingExplanationSink sink;
-    prototype.set_explanation_sink(&sink);
     common::ThreadPool serial(1);
     const scenario::ScenarioReport report =
-        scenario::run_scenario(spec, service_cfg, prototype, &serial,
-                               nullptr);
+        scenario::run_scenario(spec, service_cfg, streaming, models, &sink,
+                               &serial, nullptr);
     check(report.error.empty(), spec.name + ": spec validates");
     if (!report.error.empty()) {
       std::fprintf(stderr, "  %s\n", report.error.c_str());
@@ -125,11 +135,9 @@ int main(int argc, char** argv) {
 
     // Thread-count determinism gate: fingerprints and LOF bits must match.
     obs::CollectingExplanationSink sink4;
-    prototype.set_explanation_sink(&sink4);
     common::ThreadPool wide(4);
-    const scenario::ScenarioReport report4 =
-        scenario::run_scenario(spec, service_cfg, prototype, &wide, nullptr);
-    prototype.set_explanation_sink(nullptr);
+    const scenario::ScenarioReport report4 = scenario::run_scenario(
+        spec, service_cfg, streaming, models, &sink4, &wide, nullptr);
     bool lof_identical = report.callers.size() == report4.callers.size();
     for (std::size_t c = 0; lof_identical && c < report.callers.size();
          ++c) {

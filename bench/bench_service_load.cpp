@@ -31,6 +31,7 @@
 #include "obs/json.hpp"
 #include "obs/trace.hpp"
 #include "service/load_generator.hpp"
+#include "model/registry.hpp"
 
 namespace {
 
@@ -49,27 +50,27 @@ bool same_verdicts(const std::vector<lumichat::service::SessionResult>& a,
   return true;
 }
 
-/// Trains the prototype every session clones (window-length clips so the
-/// LOF model sees the feature distribution it will score).
-lumichat::core::StreamingDetector train_prototype(
+/// Fits the shared LOF model every session attaches (window-length clips so
+/// the model sees the feature distribution it will score) and publishes it
+/// through a registry as version 1.
+std::shared_ptr<lumichat::model::ModelRegistry> train_models(
     const lumichat::eval::SimulationProfile& profile, double window_s) {
   using namespace lumichat;
   const eval::DatasetBuilder data(profile);
   const auto pop = eval::make_population();
   common::ThreadPool setup_pool;  // LUMICHAT_THREADS or hardware width
-  std::printf("[setup] training prototype on 16 legitimate clips "
+  std::printf("[setup] fitting shared model on 16 legitimate clips "
               "(window %.1fs, %zu threads)...\n",
               window_s, setup_pool.size());
   const auto train_features =
       eval::population_features(data, {&pop[9], 1}, eval::Role::kLegitimate,
                                 16, 0.0, &setup_pool);
 
-  core::StreamingConfig streaming_cfg;
-  streaming_cfg.detector = profile.detector_config();
-  streaming_cfg.window_s = window_s;
-  core::StreamingDetector prototype(streaming_cfg);
-  prototype.train_on_features(train_features[0]);
-  return prototype;
+  const core::DetectorConfig detector = profile.detector_config();
+  auto models = std::make_shared<model::ModelRegistry>();
+  models->publish(train_features[0], detector.lof_neighbors,
+                  detector.lof_threshold);
+  return models;
 }
 
 std::vector<std::string> sorted_lines(
@@ -92,7 +93,10 @@ int run_trace_selftest() {
   const double window_s = 2.0;
   eval::SimulationProfile profile;
   profile.clip_duration_s = window_s;
-  core::StreamingDetector prototype = train_prototype(profile, window_s);
+  core::StreamingConfig streaming;
+  streaming.detector = profile.detector_config();
+  streaming.window_s = window_s;
+  const auto models = train_models(profile, window_s);
 
   service::LoadSpec load;
   load.n_sessions = 50;
@@ -118,20 +122,17 @@ int run_trace_selftest() {
 
   // Reference run: tracing OFF, explanations collected.
   obs::CollectingExplanationSink plain_sink;
-  prototype.set_explanation_sink(&plain_sink);
-  const service::LoadReport plain =
-      service::run_load(load, service_cfg, prototype, &pool);
+  const service::LoadReport plain = service::run_load(
+      load, service_cfg, streaming, models, &plain_sink, &pool);
 
   // Traced run: tracer installed, fresh sink, registry attached.
   obs::Tracer tracer;
   obs::CollectingExplanationSink traced_sink;
   obs::MetricsRegistry registry;
-  prototype.set_explanation_sink(&traced_sink);
   tracer.install();
-  const service::LoadReport traced =
-      service::run_load(load, service_cfg, prototype, &pool, &registry);
+  const service::LoadReport traced = service::run_load(
+      load, service_cfg, streaming, models, &traced_sink, &pool, &registry);
   obs::Tracer::uninstall();
-  prototype.set_explanation_sink(nullptr);
 
   check(same_verdicts(plain.sessions, traced.sessions),
         "verdict sequences bit-identical with tracing on vs off");
@@ -229,15 +230,19 @@ int main(int argc, char** argv) {
 
   eval::SimulationProfile profile;
   profile.clip_duration_s = window_s;
-  core::StreamingDetector prototype = train_prototype(profile, window_s);
+  core::StreamingConfig streaming;
+  streaming.detector = profile.detector_config();
+  streaming.window_s = window_s;
+  const auto models = train_models(profile, window_s);
 
   // JSONL decision records for every completed window, when asked for
-  // (sessions clone the prototype, and the sink rides along).
+  // (the sink is handed to every session the service creates).
+  obs::ExplanationSink* sink = nullptr;
   std::unique_ptr<obs::JsonlExplanationWriter> explain_writer;
   if (!explain_out.empty()) {
     explain_writer = std::make_unique<obs::JsonlExplanationWriter>(explain_out);
     if (explain_writer->ok()) {
-      prototype.set_explanation_sink(explain_writer.get());
+      sink = explain_writer.get();
     } else {
       std::fprintf(stderr, "cannot open --explain-out %s\n",
                    explain_out.c_str());
@@ -289,8 +294,8 @@ int main(int argc, char** argv) {
 
   for (const std::size_t nt : thread_counts) {
     common::ThreadPool pool(nt);
-    const service::LoadReport report =
-        service::run_load(load, service_cfg, prototype, &pool, &registry);
+    const service::LoadReport report = service::run_load(
+        load, service_cfg, streaming, models, sink, &pool, &registry);
 
     if (baseline.empty()) {
       baseline = report.sessions;

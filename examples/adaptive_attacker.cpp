@@ -11,6 +11,7 @@
 #include "eval/metrics.hpp"
 #include "eval/population.hpp"
 #include "reenact/cost_model.hpp"
+#include "model/snapshot.hpp"
 
 int main() {
   using namespace lumichat;
@@ -21,8 +22,8 @@ int main() {
 
   core::Detector detector = data.make_detector();
   std::printf("training on 20 legitimate clips...\n\n");
-  detector.train_on_features(
-      data.features(people[9], eval::Role::kLegitimate, 20));
+  detector.attach_model(model::fit_lof_model(detector.config(), 
+      data.features(people[9], eval::Role::kLegitimate, 20)));
 
   std::printf("adaptive attacker: forges the reflected-light signal with a "
               "processing delay\n\n");

@@ -9,6 +9,7 @@
 
 #include "eval/dataset.hpp"
 #include "eval/population.hpp"
+#include "model/snapshot.hpp"
 
 int main(int argc, char** argv) {
   using namespace lumichat;
@@ -24,7 +25,7 @@ int main(int argc, char** argv) {
   // paper's "train with others' data" deployment mode.
   const auto train = data.features(people[9], eval::Role::kLegitimate, 20);
   core::Detector det = data.make_detector();
-  det.train_on_features(train);
+  det.attach_model(model::fit_lof_model(det.config(), train));
 
   std::printf("role,volunteer,clip,z1,z2,z3,z4,lof\n");
   for (std::size_t v = 0; v < 3; ++v) {

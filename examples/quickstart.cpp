@@ -10,6 +10,7 @@
 
 #include "eval/dataset.hpp"
 #include "eval/population.hpp"
+#include "model/snapshot.hpp"
 
 int main() {
   using namespace lumichat;
@@ -23,7 +24,7 @@ int main() {
   const auto train =
       data.features(people[3], eval::Role::kLegitimate, 20);
   core::Detector detector = data.make_detector();
-  detector.train_on_features(train);
+  detector.attach_model(model::fit_lof_model(detector.config(), train));
 
   // --- Detection phase ---
   std::printf("Scoring a legitimate chat (volunteer 0) and a reenactment "

@@ -15,6 +15,7 @@
 #include "eval/dataset.hpp"
 #include "eval/population.hpp"
 #include "reenact/reenactor.hpp"
+#include "model/snapshot.hpp"
 
 int main(int argc, char** argv) {
   using namespace lumichat;
@@ -28,8 +29,8 @@ int main(int argc, char** argv) {
   cfg.detector = profile.detector_config();
   core::StreamingDetector detector(cfg);
   std::printf("[setup] training on 20 legitimate clips...\n");
-  detector.train_on_features(
-      data.features(people[9], eval::Role::kLegitimate, 20));
+  detector.attach_model(model::fit_lof_model(
+      cfg.detector, data.features(people[9], eval::Role::kLegitimate, 20)));
 
   // Live chat plumbing (same parts run_session uses, driven manually
   // because a streaming caller owns the loop).

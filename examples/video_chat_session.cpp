@@ -16,6 +16,7 @@
 #include "eval/dataset.hpp"
 #include "eval/population.hpp"
 #include "reenact/reenactor.hpp"
+#include "model/snapshot.hpp"
 
 int main(int argc, char** argv) {
   using namespace lumichat;
@@ -29,8 +30,8 @@ int main(int argc, char** argv) {
   core::Detector detector = data.make_detector();
   std::printf("[setup] training LOF on 20 legitimate clips of %s...\n",
               people[9].face.name.c_str());
-  detector.train_on_features(
-      data.features(people[9], eval::Role::kLegitimate, 20));
+  detector.attach_model(model::fit_lof_model(detector.config(), 
+      data.features(people[9], eval::Role::kLegitimate, 20)));
 
   // --- Build the live chat: Alice + the (un)trusted peer.
   common::Rng script_rng(1234);

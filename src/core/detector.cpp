@@ -30,6 +30,14 @@ void Detector::train_on_features(const std::vector<FeatureVector>& features) {
   lof_.fit(features);
 }
 
+void Detector::attach_model(
+    std::shared_ptr<const model::LofModelSnapshot> snapshot) {
+  lof_.attach(std::move(snapshot));
+  // Keep the visible configuration coherent with the model actually scoring.
+  config_.lof_neighbors = lof_.k();
+  config_.lof_threshold = lof_.tau();
+}
+
 DetectionResult Detector::detect_impl(const chat::SessionTrace& trace) const {
   const obs::ObsSpan span("detect.round");
   signal::Signal t_raw;

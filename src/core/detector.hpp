@@ -49,11 +49,33 @@ class Detector {
   [[nodiscard]] FeatureExtraction featurize(
       const chat::SessionTrace& trace) const;
 
-  /// Training phase: fit the LOF model on legitimate traces.
+  /// Attaches a shared immutable LOF model (the deployment path: snapshots
+  /// come from a model::ModelRegistry or a loaded v2 model file). Adopts
+  /// the snapshot's k and calibrated tau into the live configuration;
+  /// set_tau() afterwards still overrides the threshold locally. Copies of
+  /// this detector share the snapshot — no training data is duplicated.
+  void attach_model(std::shared_ptr<const model::LofModelSnapshot> snapshot);
+
+  /// The attached model handle (null until trained/attached).
+  [[nodiscard]] const std::shared_ptr<const model::LofModelSnapshot>& model()
+      const {
+    return lof_.snapshot();
+  }
+
+  /// View into the shared snapshot's training set (empty until
+  /// trained/attached); owned by the snapshot, not this detector.
+  [[nodiscard]] const std::vector<FeatureVector>& training_data() const {
+    return lof_.training_data();
+  }
+
+  /// Training phase: fit the LOF model on legitimate traces. Deprecated
+  /// shim — featurizes, then builds and attaches a private unregistered
+  /// snapshot; prefer attach_model() with a registry-published snapshot.
   void train(const std::vector<chat::SessionTrace>& legitimate_traces);
 
   /// Training phase from precomputed features (used when the same features
-  /// feed many experiments).
+  /// feed many experiments). Deprecated shim — builds and attaches a
+  /// private unregistered snapshot.
   void train_on_features(const std::vector<FeatureVector>& features);
 
   /// One detection round.
@@ -77,8 +99,15 @@ class Detector {
   [[nodiscard]] bool is_trained() const { return lof_.is_fitted(); }
   [[nodiscard]] const DetectorConfig& config() const { return config_; }
 
-  /// Adjusts the decision threshold tau (Fig. 12 sweeps it).
-  void set_threshold(double tau) { lof_.set_tau(tau); }
+  /// Adjusts the decision threshold tau (Fig. 12 sweeps it). The new value
+  /// threads through to classify()/detect() decisions and to the lof_tau
+  /// field of every subsequently built RoundExplanation. Purely local to
+  /// this detector — the attached shared snapshot is immutable.
+  void set_tau(double tau) { lof_.set_tau(tau); }
+  [[nodiscard]] double tau() const { return lof_.tau(); }
+
+  /// Deprecated alias of set_tau(), kept for one release.
+  void set_threshold(double tau) { set_tau(tau); }
 
   /// Builds the decision record for one round's result (the full evidence
   /// chain: quality, delay, z1..z4, LOF vs tau, verdict, optional running

@@ -1,107 +1,44 @@
 #include "core/lof.hpp"
 
-#include <algorithm>
-#include <cmath>
-#include <limits>
 #include <stdexcept>
 
 #include "obs/trace.hpp"
 
 namespace lumichat::core {
-namespace {
-
-constexpr double kMinDensityDistance = 1e-9;  // duplicate-point guard
-
-double euclidean(const std::array<double, 4>& a,
-                 const std::array<double, 4>& b) {
-  double acc = 0.0;
-  for (std::size_t i = 0; i < a.size(); ++i) {
-    const double d = a[i] - b[i];
-    acc += d * d;
-  }
-  return std::sqrt(acc);
-}
-
-}  // namespace
 
 LofClassifier::LofClassifier(std::size_t k, double tau) : k_(k), tau_(tau) {
   if (k_ == 0) throw std::invalid_argument("LofClassifier: k must be >= 1");
 }
 
-std::vector<std::size_t> LofClassifier::neighbors_of(
-    const std::array<double, 4>& p, std::size_t exclude) const {
-  std::vector<std::pair<double, std::size_t>> dist;
-  dist.reserve(pts_.size());
-  for (std::size_t i = 0; i < pts_.size(); ++i) {
-    if (i == exclude) continue;
-    dist.emplace_back(euclidean(p, pts_[i]), i);
-  }
-  const std::size_t take = std::min(k_, dist.size());
-  std::partial_sort(dist.begin(),
-                    dist.begin() + static_cast<std::ptrdiff_t>(take),
-                    dist.end());
-  std::vector<std::size_t> out(take);
-  for (std::size_t i = 0; i < take; ++i) out[i] = dist[i].second;
-  return out;
-}
-
-double LofClassifier::lrd_of(const std::array<double, 4>& p,
-                             const std::vector<std::size_t>& neigh) const {
-  if (neigh.empty()) return 0.0;
-  double acc = 0.0;
-  for (const std::size_t j : neigh) {
-    const double reach =
-        std::max(k_distance_[j], euclidean(p, pts_[j]));  // reach-dist_k
-    acc += reach;
-  }
-  const double mean_reach =
-      std::max(acc / static_cast<double>(neigh.size()), kMinDensityDistance);
-  return 1.0 / mean_reach;  // Eq. 7
-}
-
 void LofClassifier::fit(const std::vector<FeatureVector>& training) {
-  if (training.size() < k_ + 1) {
-    throw std::invalid_argument(
-        "LofClassifier::fit: need at least k+1 training vectors");
-  }
-  train_ = training;
-  pts_.clear();
-  pts_.reserve(train_.size());
-  for (const FeatureVector& f : train_) pts_.push_back(f.as_array());
+  snapshot_ = model::LofModelSnapshot::fit(training, k_, tau_);
+}
 
-  // k-distance of every training point (distance to its k-th nearest other
-  // training point).
-  k_distance_.assign(pts_.size(), 0.0);
-  std::vector<std::vector<std::size_t>> neigh(pts_.size());
-  for (std::size_t i = 0; i < pts_.size(); ++i) {
-    neigh[i] = neighbors_of(pts_[i], i);
-    k_distance_[i] = euclidean(pts_[i], pts_[neigh[i].back()]);
+void LofClassifier::attach(
+    std::shared_ptr<const model::LofModelSnapshot> snapshot) {
+  if (snapshot == nullptr) {
+    throw std::invalid_argument("LofClassifier::attach: null snapshot");
   }
-  // LRD of every training point.
-  train_lrd_.assign(pts_.size(), 0.0);
-  for (std::size_t i = 0; i < pts_.size(); ++i) {
-    train_lrd_[i] = lrd_of(pts_[i], neigh[i]);
-  }
+  k_ = snapshot->k();
+  tau_ = snapshot->tau();
+  snapshot_ = std::move(snapshot);
 }
 
 double LofClassifier::score(const FeatureVector& z) const {
   const obs::ObsSpan span("lof.score");
   if (!is_fitted()) {
-    throw std::logic_error("LofClassifier::score: fit() not called");
+    throw std::logic_error("LofClassifier::score: no model attached");
   }
-  const std::array<double, 4> p = z.as_array();
-  const std::vector<std::size_t> neigh = neighbors_of(p, pts_.size());
-  const double lrd_z = lrd_of(p, neigh);
-  if (lrd_z <= 0.0) return std::numeric_limits<double>::infinity();
-
-  double acc = 0.0;
-  for (const std::size_t j : neigh) acc += train_lrd_[j];
-  const double mean_neighbor_lrd = acc / static_cast<double>(neigh.size());
-  return mean_neighbor_lrd / lrd_z;  // Eq. 8
+  return snapshot_->score(z);
 }
 
 bool LofClassifier::is_attacker(const FeatureVector& z) const {
   return score(z) > tau_;
+}
+
+const std::vector<FeatureVector>& LofClassifier::training_data() const {
+  static const std::vector<FeatureVector> kEmpty;
+  return snapshot_ == nullptr ? kEmpty : snapshot_->training();
 }
 
 }  // namespace lumichat::core

@@ -1,4 +1,4 @@
-// Local-Outlier-Factor classifier (Sec. VII-A, Eqs. 7-8).
+// Local-Outlier-Factor scorer (Sec. VII-A, Eqs. 7-8).
 //
 // Training data consists ONLY of legitimate users' feature vectors — no
 // attacker data and no per-user enrollment, which is the paper's deployment
@@ -6,12 +6,21 @@
 // density against that of its k nearest training neighbours; attackers land
 // away from the legitimate cluster, yielding LOF >> 1, and are flagged when
 // the score exceeds the decision threshold tau (default 3, Fig. 12).
+//
+// The fitted state (training set + KD-tree index + per-point densities)
+// lives in an immutable model::LofModelSnapshot shared across every scorer
+// that attaches it — a classifier is just a handle plus a locally tunable
+// tau. fit() remains as a convenience that builds a private, unregistered
+// snapshot; deployments publish snapshots through model::ModelRegistry and
+// attach() them instead.
 #pragma once
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
 #include "core/features.hpp"
+#include "model/snapshot.hpp"
 
 namespace lumichat::core {
 
@@ -21,9 +30,20 @@ class LofClassifier {
   /// \param tau decision threshold on the LOF score (paper: 3).
   explicit LofClassifier(std::size_t k = 5, double tau = 3.0);
 
-  /// Fits the model on legitimate training vectors.
-  /// \throws std::invalid_argument if fewer than k+1 vectors are given.
+  /// Convenience: fits a private snapshot on legitimate training vectors
+  /// and attaches it. \throws std::invalid_argument if fewer than k+1
+  /// vectors are given.
   void fit(const std::vector<FeatureVector>& training);
+
+  /// Attaches a shared fitted model; adopts its k and calibrated tau
+  /// (set_tau() afterwards still overrides locally). Rejects null.
+  void attach(std::shared_ptr<const model::LofModelSnapshot> snapshot);
+
+  /// The attached model (null before fit()/attach()).
+  [[nodiscard]] const std::shared_ptr<const model::LofModelSnapshot>&
+  snapshot() const {
+    return snapshot_;
+  }
 
   /// LOF score of a query vector (Eq. 8). ~1 inside the training cluster,
   /// larger the further outside it lies.
@@ -32,32 +52,24 @@ class LofClassifier {
   /// True when `score(z) > tau` — the sample is claimed to be an attacker.
   [[nodiscard]] bool is_attacker(const FeatureVector& z) const;
 
-  [[nodiscard]] bool is_fitted() const { return !train_.empty(); }
+  /// True when a fitted model (with a built index) is attached — a
+  /// snapshot-backed classifier owns no training vectors of its own.
+  [[nodiscard]] bool is_fitted() const {
+    return snapshot_ != nullptr && snapshot_->fitted();
+  }
   [[nodiscard]] std::size_t k() const { return k_; }
   [[nodiscard]] double tau() const { return tau_; }
   void set_tau(double tau) { tau_ = tau; }
 
-  [[nodiscard]] const std::vector<FeatureVector>& training_data() const {
-    return train_;
-  }
+  /// View into the attached snapshot's shared training set (empty before
+  /// fit()/attach()). The data is owned by the snapshot, not this
+  /// classifier — clones share it.
+  [[nodiscard]] const std::vector<FeatureVector>& training_data() const;
 
  private:
-  /// Indices of the k nearest training points to `p`, excluding index
-  /// `exclude` (pass train_.size() to exclude nothing).
-  [[nodiscard]] std::vector<std::size_t> neighbors_of(
-      const std::array<double, 4>& p, std::size_t exclude) const;
-
-  /// Local reachability density of an arbitrary point given its neighbour
-  /// index set (Eq. 7).
-  [[nodiscard]] double lrd_of(const std::array<double, 4>& p,
-                              const std::vector<std::size_t>& neigh) const;
-
   std::size_t k_;
   double tau_;
-  std::vector<FeatureVector> train_;
-  std::vector<std::array<double, 4>> pts_;
-  std::vector<double> k_distance_;  ///< per training point
-  std::vector<double> train_lrd_;   ///< per training point
+  std::shared_ptr<const model::LofModelSnapshot> snapshot_;
 };
 
 }  // namespace lumichat::core

@@ -8,15 +8,41 @@ namespace lumichat::core {
 
 namespace {
 constexpr const char* kMagic = "lumichat-lof";
-constexpr const char* kVersion = "v1";
+constexpr const char* kVersionV1 = "v1";
+constexpr const char* kVersionV2 = "v2";
+
+void expect_tag(const char* want, const char* what, bool ok) {
+  if (!ok) {
+    throw std::runtime_error(std::string("load_model: missing ") + what +
+                             " (expected tag '" + want + "')");
+  }
+}
+
+std::vector<FeatureVector> load_vectors(std::istream& in, std::size_t n) {
+  std::vector<FeatureVector> training;
+  training.reserve(n);
+  std::string tag;
+  for (std::size_t i = 0; i < n; ++i) {
+    FeatureVector f;
+    if (!(in >> tag >> f.z1 >> f.z2 >> f.z3 >> f.z4) || tag != "z") {
+      std::ostringstream msg;
+      msg << "load_model: truncated at vector " << i << " of " << n;
+      throw std::runtime_error(msg.str());
+    }
+    training.push_back(f);
+  }
+  return training;
+}
 }  // namespace
 
 void save_model(const ModelState& state, std::ostream& out) {
-  out << kMagic << " " << kVersion << "\n";
+  out << kMagic << " " << kVersionV2 << "\n";
+  out << "version " << state.version << "\n";
   out << "k " << state.k << "\n";
-  out << "tau " << state.tau << "\n";
-  out << "n " << state.training.size() << "\n";
   out.precision(17);  // round-trip exact doubles
+  out << "tau " << state.tau << "\n";
+  out << "index kdtree " << state.index_leaf_size << "\n";
+  out << "n " << state.training.size() << "\n";
   for (const FeatureVector& f : state.training) {
     out << "z " << f.z1 << " " << f.z2 << " " << f.z3 << " " << f.z4 << "\n";
   }
@@ -35,32 +61,31 @@ ModelState load_model(std::istream& in) {
   if (!(in >> magic >> version) || magic != kMagic) {
     throw std::runtime_error("load_model: not a lumichat model");
   }
-  if (version != kVersion) {
+  if (version != kVersionV1 && version != kVersionV2) {
     throw std::runtime_error("load_model: unsupported version " + version);
   }
 
   ModelState state;
   std::string tag;
-  if (!(in >> tag >> state.k) || tag != "k") {
-    throw std::runtime_error("load_model: missing k");
+  if (version == kVersionV2) {
+    expect_tag("version", "model version id",
+               static_cast<bool>(in >> tag >> state.version) &&
+                   tag == "version");
   }
-  if (!(in >> tag >> state.tau) || tag != "tau") {
-    throw std::runtime_error("load_model: missing tau");
+  expect_tag("k", "k",
+             static_cast<bool>(in >> tag >> state.k) && tag == "k");
+  expect_tag("tau", "tau",
+             static_cast<bool>(in >> tag >> state.tau) && tag == "tau");
+  if (version == kVersionV2) {
+    std::string kind;
+    expect_tag("index", "index parameters",
+               static_cast<bool>(in >> tag >> kind >> state.index_leaf_size) &&
+                   tag == "index" && kind == "kdtree");
   }
   std::size_t n = 0;
-  if (!(in >> tag >> n) || tag != "n") {
-    throw std::runtime_error("load_model: missing vector count");
-  }
-  state.training.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    FeatureVector f;
-    if (!(in >> tag >> f.z1 >> f.z2 >> f.z3 >> f.z4) || tag != "z") {
-      std::ostringstream msg;
-      msg << "load_model: truncated at vector " << i << " of " << n;
-      throw std::runtime_error(msg.str());
-    }
-    state.training.push_back(f);
-  }
+  expect_tag("n", "vector count",
+             static_cast<bool>(in >> tag >> n) && tag == "n");
+  state.training = load_vectors(in, n);
   return state;
 }
 
@@ -70,13 +95,20 @@ ModelState load_model(const std::string& path) {
   return load_model(in);
 }
 
-Detector make_detector_from_model(const ModelState& state,
-                                  DetectorConfig config) {
-  config.lof_neighbors = state.k;
-  config.lof_threshold = state.tau;
-  Detector det(config);
-  det.train_on_features(state.training);
-  return det;
+std::shared_ptr<const model::LofModelSnapshot> snapshot_from_model(
+    const ModelState& state) {
+  return model::LofModelSnapshot::fit(state.training, state.k, state.tau,
+                                      state.version, state.index_leaf_size);
+}
+
+ModelState model_state_of(const model::LofModelSnapshot& snapshot) {
+  ModelState state;
+  state.k = snapshot.k();
+  state.tau = snapshot.tau();
+  state.version = snapshot.version();
+  state.index_leaf_size = snapshot.index_leaf_size();
+  state.training = snapshot.training();
+  return state;
 }
 
 ModelState model_state_of(const DetectorConfig& config,
@@ -86,6 +118,15 @@ ModelState model_state_of(const DetectorConfig& config,
   state.tau = config.lof_threshold;
   state.training = std::move(training);
   return state;
+}
+
+Detector make_detector_from_model(const ModelState& state,
+                                  DetectorConfig config) {
+  config.lof_neighbors = state.k;
+  config.lof_threshold = state.tau;
+  Detector det(config);
+  det.attach_model(snapshot_from_model(state));
+  return det;
 }
 
 }  // namespace lumichat::core

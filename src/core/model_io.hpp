@@ -3,23 +3,33 @@
 // The deployment story of the paper is "train once on a handful of
 // legitimate clips, then ship" — which implies the trained state must move
 // between processes/devices. The model is tiny (the LOF training vectors
-// plus two scalars), so a versioned, human-readable text format is the
+// plus a few scalars), so a versioned, human-readable text format is the
 // robust choice: diffable, greppable, no endianness traps.
 //
-// Format (one item per line):
-//   lumichat-lof v1
+// v2 format (one item per line) — carries the registry version id and the
+// KD-tree index parameters, so a reloaded snapshot rebuilds the identical
+// index and stays attributable to the publish that produced it:
+//   lumichat-lof v2
+//   version <model version id>
 //   k <neighbors>
 //   tau <threshold>
+//   index kdtree <leaf size>
 //   n <vector count>
 //   z <z1> <z2> <z3> <z4>     (n times)
+//
+// v1 files (no version/index lines) still load: they become version 0 with
+// the default index parameters. save_model always writes v2.
 #pragma once
 
+#include <cstdint>
 #include <iosfwd>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "core/detector.hpp"
 #include "core/features.hpp"
+#include "model/snapshot.hpp"
 
 namespace lumichat::core {
 
@@ -27,27 +37,41 @@ namespace lumichat::core {
 struct ModelState {
   std::size_t k = 5;
   double tau = 3.0;
+  std::uint64_t version = 0;  ///< registry version id (0 = unregistered)
+  std::size_t index_leaf_size = model::kDefaultIndexLeafSize;
   std::vector<FeatureVector> training;
 };
 
-/// Writes `state` to a stream. \throws std::runtime_error on I/O failure.
+/// Writes `state` to a stream (v2). \throws std::runtime_error on I/O
+/// failure.
 void save_model(const ModelState& state, std::ostream& out);
-/// Writes `state` to a file. \throws std::runtime_error on I/O failure.
+/// Writes `state` to a file (v2). \throws std::runtime_error on I/O failure.
 void save_model(const ModelState& state, const std::string& path);
 
-/// Parses a model. \throws std::runtime_error on malformed input or
-/// unsupported version.
+/// Parses a model (v1 or v2). \throws std::runtime_error on malformed
+/// input or unsupported version.
 [[nodiscard]] ModelState load_model(std::istream& in);
 [[nodiscard]] ModelState load_model(const std::string& path);
 
-/// Convenience: builds a trained Detector from a loaded state, using
-/// `config` for everything except k/tau (which come from the model).
-[[nodiscard]] Detector make_detector_from_model(const ModelState& state,
-                                                DetectorConfig config = {});
+/// Fits an immutable snapshot from a loaded state — the deployment entry
+/// point: hand the result to ModelRegistry::install() or attach_model().
+[[nodiscard]] std::shared_ptr<const model::LofModelSnapshot>
+snapshot_from_model(const ModelState& state);
 
-/// Extracts the persistable state from a trained detector's configuration
-/// and training features.
+/// Extracts the persistable state of a fitted snapshot (training set is
+/// copied; the snapshot stays immutable and shared).
+[[nodiscard]] ModelState model_state_of(
+    const model::LofModelSnapshot& snapshot);
+
+/// Extracts the persistable state from a detector configuration and
+/// training features.
 [[nodiscard]] ModelState model_state_of(const DetectorConfig& config,
                                         std::vector<FeatureVector> training);
+
+/// Convenience: builds a trained Detector from a loaded state, using
+/// `config` for everything except k/tau (which come from the model).
+/// Deprecated shim — prefer snapshot_from_model() + Detector::attach_model.
+[[nodiscard]] Detector make_detector_from_model(const ModelState& state,
+                                                DetectorConfig config = {});
 
 }  // namespace lumichat::core

@@ -49,9 +49,26 @@ class StreamingDetector {
  public:
   explicit StreamingDetector(StreamingConfig config = {});
 
-  /// Training phase (delegates to the batch detector).
+  /// Attaches a shared immutable LOF model (see Detector::attach_model).
+  /// Cheap — a pointer swap; the service runtime re-attaches the current
+  /// registry snapshot whenever it hands a detector to a new session.
+  void attach_model(std::shared_ptr<const model::LofModelSnapshot> snapshot) {
+    detector_.attach_model(std::move(snapshot));
+  }
+  [[nodiscard]] const std::shared_ptr<const model::LofModelSnapshot>& model()
+      const {
+    return detector_.model();
+  }
+
+  /// Training phase (delegates to the batch detector). Deprecated shim —
+  /// builds a private unregistered snapshot; prefer attach_model().
   void train_on_features(const std::vector<FeatureVector>& features);
   [[nodiscard]] bool is_trained() const { return detector_.is_trained(); }
+
+  /// Adjusts the decision threshold of this instance (threads through to
+  /// verdicts and RoundExplanation::lof_tau; the shared model is untouched).
+  void set_tau(double tau) { detector_.set_tau(tau); }
+  [[nodiscard]] double tau() const { return detector_.tau(); }
 
   /// Feeds one simultaneous pair of frames at time `t_sec` (non-decreasing).
   /// Frames arriving faster than the configured sampling rate are skipped;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "core/voting.hpp"
+#include "model/snapshot.hpp"
 
 namespace lumichat::eval {
 
@@ -41,7 +42,7 @@ RoundResult evaluate_round(
     const std::vector<core::FeatureVector>& legit_test,
     const std::vector<core::FeatureVector>& attacker_test) {
   core::Detector det = data.make_detector();
-  det.train_on_features(train_features);
+  det.attach_model(model::fit_lof_model(det.config(), train_features));
   obs::ExplanationSink* sink = det.explanation_sink();
 
   // Round indices number legit test vectors first, then attackers, in scan

@@ -2,6 +2,8 @@
 
 #include <cstdio>
 
+#include "model/snapshot.hpp"
+
 namespace lumichat::eval {
 
 const std::vector<FaultFamily>& fault_families() {
@@ -90,7 +92,7 @@ FaultSweepResult run_fault_sweep(const FaultSweepSpec& spec,
     train[i] = clean_data.feature(pop[v], Role::kLegitimate, clip);
   });
   core::Detector detector = clean_data.make_detector();
-  detector.train_on_features(train);
+  detector.attach_model(model::fit_lof_model(detector.config(), train));
 
   // Evaluation clips use indices far above the training range so the two
   // sets never share a (volunteer, role, clip) seed.

@@ -1,0 +1,139 @@
+#include "model/kdtree.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace lumichat::model {
+namespace {
+
+/// Bounded best-k candidate set kept as a max-heap on (distance, index):
+/// the root is the current worst, so a new candidate either displaces it or
+/// is discarded. Selecting the k lexicographically-smallest pairs this way
+/// yields exactly the set a full sort would — (distance, index) is a total
+/// order because indices are unique.
+void consider(std::vector<Neighbor>& heap, std::size_t k, Neighbor cand) {
+  if (heap.size() < k) {
+    heap.push_back(cand);
+    std::push_heap(heap.begin(), heap.end());
+  } else if (cand < heap.front()) {
+    std::pop_heap(heap.begin(), heap.end());
+    heap.back() = cand;
+    std::push_heap(heap.begin(), heap.end());
+  }
+}
+
+}  // namespace
+
+KdTree4::KdTree4(std::vector<Point4> points, std::size_t leaf_size)
+    : pts_(std::move(points)), leaf_size_(leaf_size == 0 ? 1 : leaf_size) {
+  order_.resize(pts_.size());
+  for (std::size_t i = 0; i < order_.size(); ++i) {
+    order_[i] = static_cast<std::uint32_t>(i);
+  }
+  if (!pts_.empty()) {
+    nodes_.reserve(2 * pts_.size() / leaf_size_ + 2);
+    root_ = build(0, pts_.size());
+    leaf_pts_.reserve(pts_.size());
+    for (const std::uint32_t idx : order_) leaf_pts_.push_back(pts_[idx]);
+  }
+}
+
+std::uint32_t KdTree4::build(std::size_t begin, std::size_t end) {
+  const auto id = static_cast<std::uint32_t>(nodes_.size());
+  nodes_.emplace_back();
+  if (end - begin <= leaf_size_) {
+    nodes_[id].begin = static_cast<std::uint32_t>(begin);
+    nodes_[id].end = static_cast<std::uint32_t>(end);
+    return id;
+  }
+
+  // Split the widest-spread axis (lowest axis on ties, for determinism).
+  std::array<double, 4> lo;
+  std::array<double, 4> hi;
+  lo.fill(std::numeric_limits<double>::infinity());
+  hi.fill(-std::numeric_limits<double>::infinity());
+  for (std::size_t i = begin; i < end; ++i) {
+    const Point4& p = pts_[order_[i]];
+    for (std::size_t a = 0; a < 4; ++a) {
+      lo[a] = std::min(lo[a], p[a]);
+      hi[a] = std::max(hi[a], p[a]);
+    }
+  }
+  std::size_t axis = 0;
+  double extent = hi[0] - lo[0];
+  for (std::size_t a = 1; a < 4; ++a) {
+    if (hi[a] - lo[a] > extent) {
+      extent = hi[a] - lo[a];
+      axis = a;
+    }
+  }
+
+  const std::size_t mid = begin + (end - begin) / 2;
+  std::nth_element(
+      order_.begin() + static_cast<std::ptrdiff_t>(begin),
+      order_.begin() + static_cast<std::ptrdiff_t>(mid),
+      order_.begin() + static_cast<std::ptrdiff_t>(end),
+      [&](std::uint32_t a, std::uint32_t b) {
+        const double ca = pts_[a][axis];
+        const double cb = pts_[b][axis];
+        return ca < cb || (ca == cb && a < b);  // deterministic tie-break
+      });
+
+  const double split = pts_[order_[mid]][axis];
+  const std::uint32_t left = build(begin, mid);
+  const std::uint32_t right = build(mid, end);
+  nodes_[id].split = split;
+  nodes_[id].axis = static_cast<std::int32_t>(axis);
+  nodes_[id].left = left;
+  nodes_[id].right = right;
+  return id;
+}
+
+void KdTree4::search(std::uint32_t node, const Point4& q, std::size_t k,
+                     std::size_t exclude,
+                     std::vector<Neighbor>& heap) const {
+  const Node& n = nodes_[node];
+  if (n.axis < 0) {
+    for (std::uint32_t i = n.begin; i < n.end; ++i) {
+      const std::size_t idx = order_[i];
+      if (idx == exclude) continue;
+      consider(heap, k, {euclidean(q, leaf_pts_[i]), idx});
+    }
+    return;
+  }
+
+  const double axis_dist = std::abs(q[static_cast<std::size_t>(n.axis)] -
+                                    n.split);
+  const bool go_left_first = q[static_cast<std::size_t>(n.axis)] <= n.split;
+  const std::uint32_t near = go_left_first ? n.left : n.right;
+  const std::uint32_t far = go_left_first ? n.right : n.left;
+  search(near, q, k, exclude, heap);
+  // The far subtree lies beyond the splitting plane, so every point in it
+  // is at least axis_dist away. Descend unless that already exceeds the
+  // current worst — on exact ties we must still descend, because an
+  // equal-distance point with a smaller index outranks the worst candidate.
+  if (heap.size() < k || axis_dist <= heap.front().first) {
+    search(far, q, k, exclude, heap);
+  }
+}
+
+void KdTree4::knn(const Point4& q, std::size_t k, std::size_t exclude,
+                  std::vector<Neighbor>& out) const {
+  out.clear();
+  if (k == 0 || pts_.empty()) return;
+  search(root_, q, k, exclude, out);
+  std::sort(out.begin(), out.end());
+}
+
+void KdTree4::knn_brute(const Point4& q, std::size_t k, std::size_t exclude,
+                        std::vector<Neighbor>& out) const {
+  out.clear();
+  if (k == 0 || pts_.empty()) return;
+  for (std::size_t i = 0; i < pts_.size(); ++i) {
+    if (i == exclude) continue;
+    consider(out, k, {euclidean(q, pts_[i]), i});
+  }
+  std::sort(out.begin(), out.end());
+}
+
+}  // namespace lumichat::model

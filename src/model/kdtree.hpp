@@ -1,0 +1,99 @@
+// Static KD-tree over the 4-D LOF feature space.
+//
+// The LOF defense (Sec. VII-A) needs k-nearest-neighbour queries against the
+// legitimate-population feature set. Brute force is O(n) per query — fine
+// for the paper's 10 volunteers, wrong at the millions-of-users scale the
+// service targets. This tree is built once at model-fit time and is
+// immutable afterwards, which is what lets a fitted model be shared
+// read-only across every session of the service (see snapshot.hpp).
+//
+// Exactness contract: knn() returns *exactly* the neighbours a brute-force
+// scan ordered by (distance, index) would select, sorted the same way, with
+// distances computed by the same euclidean() below. LOF sums reach-distances
+// and densities in neighbour order, so this contract is what keeps indexed
+// scores bit-identical to the pre-index brute-force classifier (the golden
+// Fig. 11 regression pins that behaviour).
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace lumichat::model {
+
+using Point4 = std::array<double, 4>;
+
+/// Distance metric of the LOF feature space. Every distance that feeds a
+/// score — brute or indexed — must come from this one function, so the two
+/// paths round identically.
+[[nodiscard]] inline double euclidean(const Point4& a, const Point4& b) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+/// A (distance, training-point-index) candidate; ordered lexicographically,
+/// which is exactly how the brute-force scan breaks distance ties.
+using Neighbor = std::pair<double, std::size_t>;
+
+class KdTree4 {
+ public:
+  static constexpr std::size_t kNoExclusion = static_cast<std::size_t>(-1);
+
+  KdTree4() = default;
+
+  /// Builds the tree over `points` (copied; original indices are preserved
+  /// and reported by knn()). Deterministic for a given input: splits choose
+  /// the widest-spread axis and partition by (coordinate, index).
+  explicit KdTree4(std::vector<Point4> points, std::size_t leaf_size = 16);
+
+  /// The k nearest points to `q` (excluding index `exclude`; pass
+  /// kNoExclusion to exclude nothing), sorted ascending by (distance,
+  /// index). Returns fewer than k only when the tree holds fewer eligible
+  /// points. `out` is cleared and reused to avoid per-query allocation.
+  void knn(const Point4& q, std::size_t k, std::size_t exclude,
+           std::vector<Neighbor>& out) const;
+
+  /// Reference implementation: the O(n) scan the index must reproduce
+  /// exactly. Kept public so benches and tests can gate indexed == brute.
+  void knn_brute(const Point4& q, std::size_t k, std::size_t exclude,
+                 std::vector<Neighbor>& out) const;
+
+  [[nodiscard]] std::size_t size() const { return pts_.size(); }
+  [[nodiscard]] bool empty() const { return pts_.empty(); }
+  [[nodiscard]] std::size_t leaf_size() const { return leaf_size_; }
+  [[nodiscard]] const std::vector<Point4>& points() const { return pts_; }
+  [[nodiscard]] const Point4& point(std::size_t i) const { return pts_[i]; }
+
+ private:
+  struct Node {
+    double split = 0.0;       ///< splitting coordinate (internal nodes)
+    std::int32_t axis = -1;   ///< -1 = leaf
+    std::uint32_t left = 0;   ///< child node ids (internal)
+    std::uint32_t right = 0;
+    std::uint32_t begin = 0;  ///< leaf range into order_
+    std::uint32_t end = 0;
+  };
+
+  [[nodiscard]] std::uint32_t build(std::size_t begin, std::size_t end);
+  void search(std::uint32_t node, const Point4& q, std::size_t k,
+              std::size_t exclude, std::vector<Neighbor>& heap) const;
+
+  std::vector<Point4> pts_;          ///< in original index order
+  std::vector<std::uint32_t> order_; ///< permutation; leaves own ranges of it
+  /// pts_ permuted into order_ layout, so leaf scans walk memory
+  /// sequentially (the brute scan's advantage) instead of hopping through
+  /// the permutation.
+  std::vector<Point4> leaf_pts_;
+  std::vector<Node> nodes_;
+  std::size_t leaf_size_ = 16;
+  std::uint32_t root_ = 0;
+};
+
+}  // namespace lumichat::model

@@ -1,0 +1,100 @@
+// Versioned model registry — RCU-style publication of LOF snapshots.
+//
+// The registry owns "which model is current" for a whole service. Readers
+// (session creation, score paths) call current() and get a shared_ptr to an
+// immutable snapshot: a single atomic load, no lock shared with writers,
+// and the handle keeps the snapshot alive for as long as the reader uses
+// it. Writers fit a new snapshot off to the side (the expensive part) and
+// publish it with one atomic pointer swap — sessions already running on the
+// old version are never stalled, never see a half-built model, and simply
+// retire their handle when they finish; the old snapshot frees itself when
+// the last reader drops it. Versions are assigned monotonically at publish
+// time, so explanation records and saved models can always be tied to the
+// exact model that produced them.
+//
+// The registry also carries the background-retraining loop's input:
+// absorb() accumulates feature vectors of rounds that were verified
+// legitimate, and retrain() folds them into the current training set and
+// publishes the result as a new version (Face Flashing / Aurora Guard-style
+// deployments refresh models against evolving attackers without
+// interrupting live sessions).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "model/snapshot.hpp"
+
+namespace lumichat::model {
+
+class ModelRegistry {
+ public:
+  ModelRegistry() = default;
+
+  /// Starts with `initial` as the current model (e.g. a snapshot loaded
+  /// from a v2 model file, or one detached from a trained prototype).
+  /// Accepts null (registry starts empty).
+  explicit ModelRegistry(std::shared_ptr<const LofModelSnapshot> initial);
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Fits a snapshot on `training` and atomically makes it current, with
+  /// the next monotone version id. Returns the published snapshot.
+  std::shared_ptr<const LofModelSnapshot> publish(
+      std::vector<core::FeatureVector> training, std::size_t k, double tau,
+      std::size_t index_leaf_size = kDefaultIndexLeafSize);
+
+  /// Atomically makes an already-fitted snapshot current (keeps its version
+  /// id; the monotone counter skips past it so later publishes stay above).
+  std::shared_ptr<const LofModelSnapshot> install(
+      std::shared_ptr<const LofModelSnapshot> snapshot);
+
+  /// The current model, or null if nothing has been published. Wait-free
+  /// for readers; the returned handle stays valid across any concurrent
+  /// publish.
+  [[nodiscard]] std::shared_ptr<const LofModelSnapshot> current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Version of the current model (0 when empty or unregistered).
+  [[nodiscard]] std::uint64_t version() const {
+    const auto snap = current();
+    return snap == nullptr ? 0 : snap->version();
+  }
+
+  /// Total snapshots published/installed into this registry.
+  [[nodiscard]] std::uint64_t publish_count() const {
+    return publish_count_.load(std::memory_order_relaxed);
+  }
+
+  // --- Background-retraining accumulation ------------------------------
+
+  /// Records the feature vector of a round verified legitimate, as future
+  /// training data. Thread-safe; never touches the current model.
+  void absorb(const core::FeatureVector& legitimate_round);
+
+  /// Number of absorbed, not-yet-retrained vectors.
+  [[nodiscard]] std::size_t absorbed() const;
+
+  /// Fits current-training + absorbed vectors (draining the buffer) and
+  /// publishes the result as the next version. k/tau/leaf size carry over
+  /// from the current model. Returns the new snapshot, or null when the
+  /// registry is empty or nothing was absorbed (no version is spent).
+  std::shared_ptr<const LofModelSnapshot> retrain();
+
+ private:
+  std::atomic<std::shared_ptr<const LofModelSnapshot>> current_{nullptr};
+  std::atomic<std::uint64_t> publish_count_{0};
+
+  mutable std::mutex mu_;  ///< serialises writers (publish/install/retrain)
+  std::uint64_t last_version_ = 0;
+
+  mutable std::mutex absorb_mu_;
+  std::vector<core::FeatureVector> absorbed_;
+};
+
+}  // namespace lumichat::model

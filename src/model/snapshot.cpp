@@ -1,0 +1,106 @@
+#include "model/snapshot.hpp"
+
+#include <limits>
+#include <stdexcept>
+
+namespace lumichat::model {
+namespace {
+
+constexpr double kMinDensityDistance = 1e-9;  // duplicate-point guard
+
+}  // namespace
+
+std::shared_ptr<const LofModelSnapshot> LofModelSnapshot::fit(
+    std::vector<core::FeatureVector> training, std::size_t k, double tau,
+    std::uint64_t version, std::size_t index_leaf_size) {
+  if (k == 0) {
+    throw std::invalid_argument("LofModelSnapshot::fit: k must be >= 1");
+  }
+  if (training.size() < k + 1) {
+    throw std::invalid_argument(
+        "LofModelSnapshot::fit: need at least k+1 training vectors");
+  }
+
+  auto snap = std::shared_ptr<LofModelSnapshot>(new LofModelSnapshot());
+  snap->version_ = version;
+  snap->k_ = k;
+  snap->tau_ = tau;
+  snap->training_ = std::move(training);
+
+  const std::size_t n = snap->training_.size();
+  std::vector<Point4> pts;
+  pts.reserve(n);
+  for (const core::FeatureVector& f : snap->training_) {
+    pts.push_back(f.as_array());
+  }
+  snap->index_ = KdTree4(std::move(pts), index_leaf_size);
+
+  // k-distance of every training point (distance to its k-th nearest other
+  // training point), then its LRD. The second pass needs every point's
+  // neighbour list again, so keep them as flat arrays rather than
+  // re-querying: n * k entries.
+  snap->k_distance_.assign(n, 0.0);
+  std::vector<double> neigh_dist(n * k, 0.0);
+  std::vector<std::uint32_t> neigh_idx(n * k, 0);
+  std::vector<std::size_t> neigh_count(n, 0);
+  std::vector<Neighbor> scratch;
+  for (std::size_t i = 0; i < n; ++i) {
+    snap->index_.knn(snap->index_.point(i), k, i, scratch);
+    neigh_count[i] = scratch.size();
+    for (std::size_t j = 0; j < scratch.size(); ++j) {
+      neigh_dist[i * k + j] = scratch[j].first;
+      neigh_idx[i * k + j] = static_cast<std::uint32_t>(scratch[j].second);
+    }
+    snap->k_distance_[i] = scratch.empty() ? 0.0 : scratch.back().first;
+  }
+  snap->lrd_.assign(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    scratch.clear();
+    for (std::size_t j = 0; j < neigh_count[i]; ++j) {
+      scratch.emplace_back(neigh_dist[i * k + j], neigh_idx[i * k + j]);
+    }
+    snap->lrd_[i] = snap->lrd_of(scratch);
+  }
+  return snap;
+}
+
+double LofModelSnapshot::lrd_of(const std::vector<Neighbor>& neigh) const {
+  if (neigh.empty()) return 0.0;
+  double acc = 0.0;
+  for (const auto& [dist, j] : neigh) {
+    acc += std::max(k_distance_[j], dist);  // reach-dist_k
+  }
+  const double mean_reach =
+      std::max(acc / static_cast<double>(neigh.size()), kMinDensityDistance);
+  return 1.0 / mean_reach;  // Eq. 7
+}
+
+double LofModelSnapshot::score_of(const std::vector<Neighbor>& neigh) const {
+  const double lrd_z = lrd_of(neigh);
+  if (lrd_z <= 0.0) return std::numeric_limits<double>::infinity();
+  double acc = 0.0;
+  for (const auto& [dist, j] : neigh) acc += lrd_[j];
+  const double mean_neighbor_lrd = acc / static_cast<double>(neigh.size());
+  return mean_neighbor_lrd / lrd_z;  // Eq. 8
+}
+
+double LofModelSnapshot::score(const core::FeatureVector& z) const {
+  std::vector<Neighbor> neigh;
+  index_.knn(z.as_array(), k_, KdTree4::kNoExclusion, neigh);
+  return score_of(neigh);
+}
+
+double LofModelSnapshot::score_brute(const core::FeatureVector& z) const {
+  std::vector<Neighbor> neigh;
+  index_.knn_brute(z.as_array(), k_, KdTree4::kNoExclusion, neigh);
+  return score_of(neigh);
+}
+
+std::shared_ptr<const LofModelSnapshot> fit_lof_model(
+    const core::DetectorConfig& config,
+    std::vector<core::FeatureVector> training) {
+  return LofModelSnapshot::fit(std::move(training), config.lof_neighbors,
+                               config.lof_threshold);
+}
+
+}  // namespace lumichat::model

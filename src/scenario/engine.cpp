@@ -342,6 +342,18 @@ ScenarioReport run_scenario(const ScenarioSpec& spec,
                             const core::StreamingDetector& prototype,
                             common::ThreadPool* pool,
                             obs::MetricsRegistry* registry) {
+  return run_scenario(spec, service_config, prototype.config(),
+                      std::make_shared<model::ModelRegistry>(prototype.model()),
+                      prototype.explanation_sink(), pool, registry);
+}
+
+ScenarioReport run_scenario(const ScenarioSpec& spec,
+                            const service::ServiceConfig& service_config,
+                            const core::StreamingConfig& streaming,
+                            std::shared_ptr<model::ModelRegistry> models,
+                            obs::ExplanationSink* sink,
+                            common::ThreadPool* pool,
+                            obs::MetricsRegistry* registry) {
   ScenarioReport report;
   report.name = spec.name;
   report.error = validate(spec);
@@ -349,7 +361,8 @@ ScenarioReport run_scenario(const ScenarioSpec& spec,
 
   const obs::ObsSpan scenario_span("scenario.run", "scenario");
 
-  service::SessionManager manager(service_config, prototype);
+  service::SessionManager manager(service_config, streaming,
+                                  std::move(models), sink);
   service::FrameScheduler scheduler(pool, registry);
   manager.attach_scheduler(&scheduler);
 
@@ -474,8 +487,7 @@ ScenarioReport run_scenario(const ScenarioSpec& spec,
           .count();
 
   report.frames_fed = fed.load(std::memory_order_relaxed);
-  const double vote_fraction =
-      prototype.config().detector.vote_fraction;
+  const double vote_fraction = streaming.detector.vote_fraction;
   report.callers.reserve(callers.size());
   for (Caller& caller : callers) {
     evict_into(manager, caller);

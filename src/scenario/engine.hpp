@@ -91,10 +91,23 @@ struct ScenarioReport {
   [[nodiscard]] std::string verdict_fingerprint() const;
 };
 
-/// Runs `spec` against a service built from `service_config` and clones of
-/// `prototype` (must be trained; its explanation sink, if any, receives
-/// every session's RoundExplanations keyed by service session id). `pool`
-/// may be null (serial execution); `registry` may be null.
+/// Runs `spec` against a service built from `service_config`, sessions
+/// configured by `streaming` with the current snapshot of `models` attached
+/// at admission (the snapshot-handle entry point: publishing to `models`
+/// while the campaign runs hot-swaps the model for sessions created
+/// afterwards — e.g. reconnects — with zero stall of running sessions).
+/// `sink` receives every session's RoundExplanations keyed by service
+/// session id (nullptr = silent). `pool` may be null (serial execution);
+/// `registry` may be null.
+[[nodiscard]] ScenarioReport run_scenario(
+    const ScenarioSpec& spec, const service::ServiceConfig& service_config,
+    const core::StreamingConfig& streaming,
+    std::shared_ptr<model::ModelRegistry> models, obs::ExplanationSink* sink,
+    common::ThreadPool* pool, obs::MetricsRegistry* registry);
+
+/// Deprecated shim, kept for one release: forwards the trained
+/// `prototype`'s streaming config, model handle and explanation sink to the
+/// snapshot-handle overload above.
 [[nodiscard]] ScenarioReport run_scenario(const ScenarioSpec& spec,
                                           const service::ServiceConfig&
                                               service_config,

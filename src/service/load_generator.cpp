@@ -169,7 +169,17 @@ double LoadReport::accuracy() const {
 LoadReport run_load(const LoadSpec& spec, const ServiceConfig& service_config,
                     const core::StreamingDetector& prototype,
                     common::ThreadPool* pool, obs::MetricsRegistry* registry) {
-  SessionManager manager(service_config, prototype);
+  return run_load(spec, service_config, prototype.config(),
+                  std::make_shared<model::ModelRegistry>(prototype.model()),
+                  prototype.explanation_sink(), pool, registry);
+}
+
+LoadReport run_load(const LoadSpec& spec, const ServiceConfig& service_config,
+                    const core::StreamingConfig& streaming,
+                    std::shared_ptr<model::ModelRegistry> models,
+                    obs::ExplanationSink* sink, common::ThreadPool* pool,
+                    obs::MetricsRegistry* registry) {
+  SessionManager manager(service_config, streaming, std::move(models), sink);
   FrameScheduler scheduler(pool, registry);
   manager.attach_scheduler(&scheduler);
 

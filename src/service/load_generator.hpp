@@ -81,11 +81,26 @@ struct LoadReport {
 [[nodiscard]] bool load_session_is_attacker(const LoadSpec& spec,
                                             std::size_t ordinal);
 
-/// Runs the scenario. `prototype` must be trained; `pool` is used both for
-/// frame generation (chats are independent) and for the scheduler's drains.
-/// nullptr runs everything serially. An optional registry (borrowed)
-/// receives load.* counters and is handed to the FrameScheduler for its
-/// scheduler.* counters; it never influences the run's results.
+/// Runs the scenario against sessions built from `streaming` with the
+/// current snapshot of `models` attached (the snapshot-handle entry point —
+/// a concurrent publish to `models` hot-swaps the model for sessions
+/// created after it). `pool` is used both for frame generation (chats are
+/// independent) and for the scheduler's drains; nullptr runs everything
+/// serially. An optional metrics registry (borrowed) receives load.*
+/// counters and is handed to the FrameScheduler for its scheduler.*
+/// counters; it never influences the run's results. `sink` receives every
+/// session's RoundExplanations (nullptr = silent).
+[[nodiscard]] LoadReport run_load(const LoadSpec& spec,
+                                  const ServiceConfig& service_config,
+                                  const core::StreamingConfig& streaming,
+                                  std::shared_ptr<model::ModelRegistry> models,
+                                  obs::ExplanationSink* sink = nullptr,
+                                  common::ThreadPool* pool = nullptr,
+                                  obs::MetricsRegistry* registry = nullptr);
+
+/// Deprecated shim, kept for one release: forwards the trained
+/// `prototype`'s config, model and explanation sink to the snapshot-handle
+/// overload above.
 [[nodiscard]] LoadReport run_load(const LoadSpec& spec,
                                   const ServiceConfig& service_config,
                                   const core::StreamingDetector& prototype,

@@ -19,12 +19,15 @@ std::size_t default_service_capacity() {
 }
 
 SessionManager::SessionManager(ServiceConfig config,
-                               core::StreamingDetector prototype)
-    : config_(config), prototype_(std::move(prototype)) {
-  if (!prototype_.is_trained()) {
+                               core::StreamingConfig streaming,
+                               std::shared_ptr<model::ModelRegistry> models,
+                               obs::ExplanationSink* sink)
+    : config_(config), streaming_config_(streaming),
+      models_(std::move(models)), explain_sink_(sink) {
+  if (models_ == nullptr || models_->current() == nullptr) {
     throw std::invalid_argument(
-        "SessionManager: the prototype detector must be trained (sessions "
-        "clone it; the service never trains)");
+        "SessionManager: the model registry must hold a published snapshot "
+        "(sessions attach it; the service never trains)");
   }
   if (config_.n_shards == 0) config_.n_shards = 1;
   if (config_.max_sessions == 0) {
@@ -36,16 +39,31 @@ SessionManager::SessionManager(ServiceConfig config,
   }
 }
 
+SessionManager::SessionManager(ServiceConfig config,
+                               core::StreamingDetector prototype)
+    : SessionManager(
+          config, prototype.config(),
+          std::make_shared<model::ModelRegistry>(prototype.model()),
+          prototype.explanation_sink()) {}
+
 core::StreamingDetector SessionManager::checkout_detector() {
+  // Fetch the model first: one wait-free registry read per create, so a
+  // concurrent publish() swaps the model for this session or the next one,
+  // never mid-construction.
+  std::shared_ptr<const model::LofModelSnapshot> snapshot = models_->current();
   {
     const std::lock_guard<std::mutex> lock(freelist_mu_);
     if (!freelist_.empty()) {
       core::StreamingDetector recycled = std::move(freelist_.back());
       freelist_.pop_back();
+      recycled.attach_model(std::move(snapshot));  // pick up any hot-swap
       return recycled;
     }
   }
-  return prototype_;  // clone: shares the trained model, trains nothing
+  core::StreamingDetector detector(streaming_config_);
+  detector.attach_model(std::move(snapshot));
+  detector.set_explanation_sink(explain_sink_);
+  return detector;
 }
 
 std::optional<SessionId> SessionManager::create() {

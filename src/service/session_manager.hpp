@@ -7,8 +7,16 @@
 // live sessions (reject new callers past capacity rather than degrading
 // everyone already admitted), and evicted sessions return their detector to
 // a freelist where StreamingDetector::reset() makes it bit-identical to a
-// freshly cloned one — recycling skips the copy of the trained model's
-// training set on the create hot path.
+// freshly constructed one.
+//
+// The trained LOF model is NOT owned by the manager or by any session:
+// every detector holds a shared_ptr<const model::LofModelSnapshot> handle
+// into the manager's ModelRegistry. Session creation attaches the
+// registry's *current* snapshot (a pointer swap — no training data is ever
+// copied), so publishing a new model version through the registry hot-swaps
+// the model for all sessions created afterwards while sessions already
+// running keep their snapshot alive until they retire — zero stall, no
+// torn state.
 //
 // Lifecycle:   create() -> feed()* -> running_verdict()/verdicts() -> evict()
 //
@@ -25,6 +33,7 @@
 #include <vector>
 
 #include "core/streaming.hpp"
+#include "model/registry.hpp"
 #include "service/metrics.hpp"
 #include "service/session.hpp"
 
@@ -48,8 +57,19 @@ struct ServiceConfig {
 
 class SessionManager {
  public:
-  /// `prototype` must be trained; every session runs a clone (or a recycled
-  /// reset instance) of it, so no per-session training ever happens.
+  /// The snapshot-handle entry point: sessions run detectors built from
+  /// `streaming` with the current snapshot of `models` attached at
+  /// create() time. `models` must hold a published snapshot and is shared —
+  /// publishing a new version through it hot-swaps the model for sessions
+  /// created afterwards. `sink` is where every session's RoundExplanations
+  /// go (borrowed; defaults to the process default sink, nullptr = silent).
+  SessionManager(ServiceConfig config, core::StreamingConfig streaming,
+                 std::shared_ptr<model::ModelRegistry> models,
+                 obs::ExplanationSink* sink = obs::default_explanation_sink());
+
+  /// Deprecated shim, kept for one release: wraps the trained `prototype`'s
+  /// model into a fresh single-version registry and forwards its streaming
+  /// config and explanation sink to the primary constructor.
   SessionManager(ServiceConfig config, core::StreamingDetector prototype);
 
   SessionManager(const SessionManager&) = delete;
@@ -80,6 +100,12 @@ class SessionManager {
   /// much partial-window evidence was discarded. std::nullopt if unknown.
   std::optional<ServiceSession::CloseReport> evict(SessionId id);
 
+  /// The shared model registry; publish()/retrain() on it to hot-swap the
+  /// model for subsequently created sessions with zero session stall.
+  [[nodiscard]] const std::shared_ptr<model::ModelRegistry>& models() const {
+    return models_;
+  }
+
   [[nodiscard]] std::size_t active_sessions() const {
     return active_.load(std::memory_order_relaxed);
   }
@@ -104,7 +130,9 @@ class SessionManager {
   [[nodiscard]] core::StreamingDetector checkout_detector();
 
   ServiceConfig config_;
-  core::StreamingDetector prototype_;
+  core::StreamingConfig streaming_config_;
+  std::shared_ptr<model::ModelRegistry> models_;
+  obs::ExplanationSink* explain_sink_ = nullptr;  ///< borrowed; may be null
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<SessionId> next_id_{1};
   std::atomic<std::size_t> active_{0};

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "model/snapshot.hpp"
 
 namespace lumichat::core {
 namespace {
@@ -58,6 +59,42 @@ TEST(Detector, ResultCarriesFeaturesAndScore) {
   EXPECT_DOUBLE_EQ(r.features.z1, z.z1);
   EXPECT_DOUBLE_EQ(r.features.z4, z.z4);
   EXPECT_GT(r.lof_score, 0.0);
+}
+
+TEST(Detector, SetTauThreadsThroughToExplanations) {
+  Detector det;
+  det.attach_model(model::fit_lof_model(det.config(), legit_like(20, 5)));
+  const DetectionResult r = det.classify(FeatureVector{0.9, 0.9, 0.8, 0.35});
+  EXPECT_DOUBLE_EQ(det.explain(r).lof_tau, det.config().lof_threshold);
+
+  det.set_tau(1.75);
+  EXPECT_DOUBLE_EQ(det.tau(), 1.75);
+  // The satellite fix: the adjusted tau reaches both the decision and the
+  // audit record, not just one of them.
+  EXPECT_DOUBLE_EQ(det.explain(det.classify(r.features)).lof_tau, 1.75);
+}
+
+TEST(Detector, AttachedModelIsSharedAcrossCopies) {
+  Detector det;
+  const auto snap = model::fit_lof_model(det.config(), legit_like(20, 6));
+  det.attach_model(snap);
+  EXPECT_EQ(det.model().get(), snap.get());
+  EXPECT_EQ(&det.training_data(), &snap->training());
+
+  const Detector clone = det;  // sessions clone detectors; model is shared
+  EXPECT_EQ(clone.model().get(), snap.get());
+  EXPECT_EQ(clone.classify(FeatureVector{0.9, 0.9, 0.8, 0.35}).lof_score,
+            det.classify(FeatureVector{0.9, 0.9, 0.8, 0.35}).lof_score);
+}
+
+TEST(Detector, AttachModelAdoptsModelParameters) {
+  Detector det;
+  const auto snap =
+      model::LofModelSnapshot::fit(legit_like(20, 7), 3, 2.25);
+  det.attach_model(snap);
+  EXPECT_TRUE(det.is_trained());
+  EXPECT_EQ(det.config().lof_neighbors, 3u);
+  EXPECT_DOUBLE_EQ(det.config().lof_threshold, 2.25);
 }
 
 TEST(Detector, ConfigPropagates) {

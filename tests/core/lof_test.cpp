@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "model/snapshot.hpp"
 
 namespace lumichat::core {
 namespace {
@@ -149,6 +150,66 @@ TEST(Lof, AccessorsReportConfiguration) {
   lof.fit(make_cluster(10, 1));
   EXPECT_TRUE(lof.is_fitted());
   EXPECT_EQ(lof.training_data().size(), 10u);
+}
+
+TEST(Lof, AttachedSnapshotReportsFitted) {
+  // A classifier that never called fit() locally must still report fitted
+  // once a shared snapshot is attached — the service's scorers are exactly
+  // this shape.
+  const auto snap =
+      model::LofModelSnapshot::fit(make_cluster(12, 31), 5, 3.0);
+  LofClassifier lof(5, 3.0);
+  ASSERT_FALSE(lof.is_fitted());
+  lof.attach(snap);
+  EXPECT_TRUE(lof.is_fitted());
+  EXPECT_NO_THROW((void)lof.score(FeatureVector{1.0, 1.0, 0.9, 0.3}));
+}
+
+TEST(Lof, AttachRejectsNull) {
+  LofClassifier lof(5, 3.0);
+  EXPECT_THROW(lof.attach(nullptr), std::invalid_argument);
+}
+
+TEST(Lof, AttachAdoptsSnapshotParametersSetTauOverrides) {
+  const auto snap =
+      model::LofModelSnapshot::fit(make_cluster(12, 32), 4, 2.5);
+  LofClassifier lof(5, 3.0);
+  lof.attach(snap);
+  EXPECT_EQ(lof.k(), 4u);
+  EXPECT_DOUBLE_EQ(lof.tau(), 2.5);
+  lof.set_tau(1.25);  // local override; the shared snapshot is untouched
+  EXPECT_DOUBLE_EQ(lof.tau(), 1.25);
+  EXPECT_DOUBLE_EQ(snap->tau(), 2.5);
+}
+
+TEST(Lof, TrainingDataIsAViewIntoTheSharedSnapshot) {
+  const auto snap =
+      model::LofModelSnapshot::fit(make_cluster(15, 33), 5, 3.0);
+  LofClassifier a(5, 3.0);
+  LofClassifier b(5, 3.0);
+  a.attach(snap);
+  b.attach(snap);
+  // Same vector object, not per-classifier copies.
+  EXPECT_EQ(&a.training_data(), &snap->training());
+  EXPECT_EQ(&a.training_data(), &b.training_data());
+  EXPECT_EQ(a.snapshot().get(), snap.get());
+}
+
+TEST(Lof, FitAndAttachedScoreIdentically) {
+  const auto train = make_cluster(20, 34);
+  LofClassifier fitted(5, 3.0);
+  fitted.fit(train);
+  LofClassifier attached(5, 3.0);
+  attached.attach(model::LofModelSnapshot::fit(train, 5, 3.0));
+  common::Rng rng(35);
+  for (int i = 0; i < 50; ++i) {
+    FeatureVector probe;
+    probe.z1 = rng.uniform(-1.0, 2.0);
+    probe.z2 = rng.uniform(-1.0, 2.0);
+    probe.z3 = rng.uniform(-1.0, 2.0);
+    probe.z4 = rng.uniform(-1.0, 2.0);
+    EXPECT_EQ(fitted.score(probe), attached.score(probe));
+  }
 }
 
 }  // namespace

@@ -101,5 +101,91 @@ TEST(ModelIo, ModelStateOfCapturesConfig) {
   EXPECT_EQ(s.training.size(), 10u);
 }
 
+// A v1 file written before the index/version era (no `version`, no `index`
+// lines) must still load: version 0, default KD-tree leaf size.
+TEST(ModelIo, LoadsLegacyV1Fixture) {
+  std::stringstream v1(
+      "lumichat-lof v1\n"
+      "k 3\n"
+      "tau 2.5\n"
+      "n 4\n"
+      "z 0.9 0.8 0.7 0.2\n"
+      "z 0.91 0.82 0.71 0.22\n"
+      "z 0.88 0.79 0.69 0.19\n"
+      "z 0.92 0.81 0.72 0.21\n");
+  const ModelState state = load_model(v1);
+  EXPECT_EQ(state.k, 3u);
+  EXPECT_DOUBLE_EQ(state.tau, 2.5);
+  EXPECT_EQ(state.version, 0u);
+  EXPECT_EQ(state.index_leaf_size, model::kDefaultIndexLeafSize);
+  ASSERT_EQ(state.training.size(), 4u);
+  EXPECT_DOUBLE_EQ(state.training[0].z1, 0.9);
+  EXPECT_DOUBLE_EQ(state.training[3].z4, 0.21);
+  EXPECT_NO_THROW((void)snapshot_from_model(state));
+}
+
+TEST(ModelIo, SaveWritesV2WithVersionAndIndex) {
+  ModelState state = sample_state(6);
+  state.version = 12;
+  state.index_leaf_size = 4;
+  std::stringstream ss;
+  save_model(state, ss);
+  const std::string text = ss.str();
+  EXPECT_EQ(text.rfind("lumichat-lof v2\n", 0), 0u);
+  EXPECT_NE(text.find("version 12\n"), std::string::npos);
+  EXPECT_NE(text.find("index kdtree 4\n"), std::string::npos);
+
+  const ModelState back = load_model(ss);
+  EXPECT_EQ(back.version, 12u);
+  EXPECT_EQ(back.index_leaf_size, 4u);
+  EXPECT_EQ(back.k, state.k);
+  EXPECT_EQ(back.tau, state.tau);  // bit-exact: saved at precision 17
+}
+
+TEST(ModelIo, V2RoundTripRebuildsBitIdenticalSnapshot) {
+  ModelState state = sample_state(24);
+  state.version = 3;
+  state.tau = 2.718281828459045;
+  const auto direct = snapshot_from_model(state);
+
+  std::stringstream ss;
+  save_model(model_state_of(*direct), ss);
+  const auto reloaded = snapshot_from_model(load_model(ss));
+
+  EXPECT_EQ(reloaded->version(), direct->version());
+  EXPECT_EQ(reloaded->k(), direct->k());
+  EXPECT_EQ(reloaded->tau(), direct->tau());
+  EXPECT_EQ(reloaded->index_leaf_size(), direct->index_leaf_size());
+  ASSERT_EQ(reloaded->size(), direct->size());
+  common::Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    const FeatureVector probe{rng.uniform(), rng.uniform(),
+                              rng.uniform(-1.0, 1.0), rng.uniform(0.0, 2.0)};
+    EXPECT_EQ(direct->score(probe), reloaded->score(probe));
+  }
+}
+
+TEST(ModelIo, V2RejectsMissingVersionLine) {
+  std::stringstream ss(
+      "lumichat-lof v2\n"
+      "k 5\n"
+      "tau 3\n");
+  EXPECT_THROW((void)load_model(ss), std::runtime_error);
+}
+
+TEST(ModelIo, DeprecatedDetectorShimMatchesSnapshotPath) {
+  const ModelState state = sample_state(12);
+  Detector via_shim = make_detector_from_model(state);
+  Detector via_snapshot;
+  via_snapshot.attach_model(snapshot_from_model(state));
+  common::Rng rng(21);
+  for (int i = 0; i < 20; ++i) {
+    const FeatureVector probe{rng.uniform(), rng.uniform(),
+                              rng.uniform(-1.0, 1.0), rng.uniform(0.0, 2.0)};
+    EXPECT_EQ(via_shim.classify(probe).lof_score,
+              via_snapshot.classify(probe).lof_score);
+  }
+}
+
 }  // namespace
 }  // namespace lumichat::core

@@ -1,0 +1,142 @@
+// KdTree4: the index must reproduce the brute-force (distance, index)
+// ordering exactly — not approximately — because LOF accumulates
+// reach-distances in neighbour order and the golden regressions pin the
+// resulting bits.
+#include "model/kdtree.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/rng.hpp"
+
+namespace lumichat::model {
+namespace {
+
+std::vector<Point4> random_points(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<Point4> pts(n);
+  for (auto& p : pts) {
+    for (double& c : p) c = rng.uniform(-1.0, 1.0);
+  }
+  return pts;
+}
+
+TEST(KdTree, EmptyTreeReturnsNothing) {
+  const KdTree4 tree;
+  std::vector<Neighbor> out;
+  tree.knn(Point4{0, 0, 0, 0}, 5, KdTree4::kNoExclusion, out);
+  EXPECT_TRUE(out.empty());
+  EXPECT_TRUE(tree.empty());
+}
+
+TEST(KdTree, SinglePoint) {
+  const KdTree4 tree({Point4{1, 2, 3, 4}});
+  std::vector<Neighbor> out;
+  tree.knn(Point4{1, 2, 3, 4}, 3, KdTree4::kNoExclusion, out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].second, 0u);
+  EXPECT_EQ(out[0].first, 0.0);
+}
+
+TEST(KdTree, MatchesBruteForceOnRandomClouds) {
+  for (const std::size_t n : {1u, 2u, 7u, 16u, 17u, 100u, 500u}) {
+    const KdTree4 tree(random_points(n, 42 + n));
+    std::vector<Neighbor> indexed, brute;
+    for (std::size_t q = 0; q < 50; ++q) {
+      common::Rng rng(1000 + q);
+      Point4 query;
+      for (double& c : query) c = rng.uniform(-1.2, 1.2);
+      for (const std::size_t k : {1u, 5u, 10u}) {
+        tree.knn(query, k, KdTree4::kNoExclusion, indexed);
+        tree.knn_brute(query, k, KdTree4::kNoExclusion, brute);
+        ASSERT_EQ(indexed, brute) << "n=" << n << " k=" << k << " q=" << q;
+      }
+    }
+  }
+}
+
+TEST(KdTree, MatchesBruteForceWithExclusion) {
+  const auto pts = random_points(64, 9);
+  const KdTree4 tree(pts);
+  std::vector<Neighbor> indexed, brute;
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    tree.knn(pts[i], 5, i, indexed);
+    tree.knn_brute(pts[i], 5, i, brute);
+    ASSERT_EQ(indexed, brute) << "excluded point " << i;
+    for (const Neighbor& nb : indexed) EXPECT_NE(nb.second, i);
+  }
+}
+
+// Duplicate points create exact distance ties at the k-th boundary; the
+// (distance, index) order must settle them identically on both paths. This
+// is where a pruning bug (skipping the far subtree on an exact tie) shows.
+TEST(KdTree, DuplicatePointsTieBreakByIndex) {
+  std::vector<Point4> pts;
+  for (std::size_t i = 0; i < 12; ++i) {
+    pts.push_back(Point4{0.5, 0.5, 0.5, 0.5});  // all identical
+  }
+  pts.push_back(Point4{0.9, 0.5, 0.5, 0.5});
+  const KdTree4 tree(pts, /*leaf_size=*/2);
+
+  std::vector<Neighbor> indexed, brute;
+  tree.knn(Point4{0.5, 0.5, 0.5, 0.5}, 5, KdTree4::kNoExclusion, indexed);
+  tree.knn_brute(Point4{0.5, 0.5, 0.5, 0.5}, 5, KdTree4::kNoExclusion,
+                 brute);
+  EXPECT_EQ(indexed, brute);
+  ASSERT_EQ(indexed.size(), 5u);
+  for (std::size_t i = 0; i < indexed.size(); ++i) {
+    EXPECT_EQ(indexed[i].first, 0.0);
+    EXPECT_EQ(indexed[i].second, i);  // ties resolve to smallest indices
+  }
+}
+
+TEST(KdTree, ClusteredTiesMatchBruteAcrossLeafSizes) {
+  // Two tight clusters plus duplicates straddling leaf boundaries.
+  std::vector<Point4> pts;
+  for (std::size_t i = 0; i < 20; ++i) {
+    pts.push_back(Point4{0.0, 0.0, 0.0, 0.0});
+    pts.push_back(Point4{1.0, 1.0, 1.0, 1.0});
+  }
+  for (const std::size_t leaf : {1u, 2u, 3u, 8u, 64u}) {
+    const KdTree4 tree(pts, leaf);
+    std::vector<Neighbor> indexed, brute;
+    tree.knn(Point4{0.4, 0.4, 0.4, 0.4}, 25, KdTree4::kNoExclusion,
+             indexed);
+    tree.knn_brute(Point4{0.4, 0.4, 0.4, 0.4}, 25, KdTree4::kNoExclusion,
+                   brute);
+    ASSERT_EQ(indexed, brute) << "leaf_size=" << leaf;
+  }
+}
+
+TEST(KdTree, KLargerThanTreeReturnsAllSorted) {
+  const auto pts = random_points(6, 3);
+  const KdTree4 tree(pts);
+  std::vector<Neighbor> indexed, brute;
+  tree.knn(Point4{0, 0, 0, 0}, 100, KdTree4::kNoExclusion, indexed);
+  tree.knn_brute(Point4{0, 0, 0, 0}, 100, KdTree4::kNoExclusion, brute);
+  EXPECT_EQ(indexed, brute);
+  EXPECT_EQ(indexed.size(), pts.size());
+  for (std::size_t i = 1; i < indexed.size(); ++i) {
+    EXPECT_LE(indexed[i - 1], indexed[i]);
+  }
+}
+
+TEST(KdTree, PreservesOriginalIndices) {
+  const auto pts = random_points(32, 5);
+  const KdTree4 tree(pts);
+  ASSERT_EQ(tree.size(), pts.size());
+  for (std::size_t i = 0; i < pts.size(); ++i) {
+    EXPECT_EQ(tree.point(i), pts[i]);
+    std::vector<Neighbor> out;
+    tree.knn(pts[i], 1, KdTree4::kNoExclusion, out);
+    ASSERT_EQ(out.size(), 1u);
+    EXPECT_EQ(out[0].first, 0.0);
+    // The nearest neighbour of a stored point is itself unless a duplicate
+    // with a smaller index exists.
+    EXPECT_LE(out[0].second, i);
+  }
+}
+
+}  // namespace
+}  // namespace lumichat::model

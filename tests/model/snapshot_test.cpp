@@ -1,0 +1,125 @@
+// LofModelSnapshot: fitting, immutable sharing, and the indexed-vs-brute
+// bit-exactness contract that keeps the KD-tree invisible to every golden
+// regression.
+#include "model/snapshot.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/rng.hpp"
+#include "core/config.hpp"
+
+namespace lumichat::model {
+namespace {
+
+std::vector<core::FeatureVector> cloud(std::size_t n, std::uint64_t seed) {
+  common::Rng rng(seed);
+  std::vector<core::FeatureVector> out(n);
+  for (auto& f : out) {
+    f.z1 = rng.uniform(0.6, 1.0);
+    f.z2 = rng.uniform(0.6, 1.0);
+    f.z3 = rng.uniform(0.5, 0.95);
+    f.z4 = rng.uniform(0.1, 0.5);
+  }
+  return out;
+}
+
+TEST(Snapshot, FitRejectsDegenerateInputs) {
+  EXPECT_THROW((void)LofModelSnapshot::fit(cloud(10, 1), 0, 3.0),
+               std::invalid_argument);
+  EXPECT_THROW((void)LofModelSnapshot::fit(cloud(5, 1), 5, 3.0),
+               std::invalid_argument);
+  EXPECT_NO_THROW((void)LofModelSnapshot::fit(cloud(6, 1), 5, 3.0));
+}
+
+TEST(Snapshot, CarriesIdentityAndParameters) {
+  const auto snap =
+      LofModelSnapshot::fit(cloud(20, 2), 5, 2.5, /*version=*/7,
+                            /*index_leaf_size=*/8);
+  EXPECT_EQ(snap->version(), 7u);
+  EXPECT_EQ(snap->k(), 5u);
+  EXPECT_EQ(snap->tau(), 2.5);
+  EXPECT_EQ(snap->size(), 20u);
+  EXPECT_TRUE(snap->fitted());
+  EXPECT_EQ(snap->index_leaf_size(), 8u);
+  EXPECT_EQ(snap->training().size(), 20u);
+  EXPECT_EQ(snap->index().size(), 20u);
+}
+
+TEST(Snapshot, IndexedScoreBitIdenticalToBrute) {
+  for (const std::size_t n : {6u, 30u, 200u, 1000u}) {
+    const auto snap = LofModelSnapshot::fit(cloud(n, 10 + n), 5, 3.0);
+    common::Rng rng(99);
+    for (std::size_t q = 0; q < 200; ++q) {
+      core::FeatureVector z;
+      z.z1 = rng.uniform(0.0, 1.4);
+      z.z2 = rng.uniform(0.0, 1.4);
+      z.z3 = rng.uniform(0.0, 1.4);
+      z.z4 = rng.uniform(0.0, 1.4);
+      const double indexed = snap->score(z);
+      const double brute = snap->score_brute(z);
+      // Bit-identical, not approximately equal: same neighbours, same
+      // order, same accumulation.
+      ASSERT_EQ(indexed, brute) << "n=" << n << " query " << q;
+    }
+  }
+}
+
+TEST(Snapshot, InlierScoresNearOneOutlierScoresHigh) {
+  const auto train = cloud(40, 3);
+  const auto snap = LofModelSnapshot::fit(train, 5, 3.0);
+  // A training point itself is deep inside the population.
+  EXPECT_LT(snap->score(train[0]), 1.5);
+  core::FeatureVector far;
+  far.z1 = 8.0;
+  far.z2 = -5.0;
+  far.z3 = 9.0;
+  far.z4 = 7.0;
+  EXPECT_GT(snap->score(far), 3.0);
+}
+
+// k-distance at duplicated training points is exactly zero; the
+// kMinDensityDistance guard must keep densities finite and scores defined
+// on both the indexed and brute paths.
+TEST(Snapshot, DuplicateTrainingPointsKeepScoresFinite) {
+  std::vector<core::FeatureVector> train;
+  for (std::size_t i = 0; i < 10; ++i) {
+    train.push_back(core::FeatureVector{0.8, 0.8, 0.7, 0.3});
+  }
+  train.push_back(core::FeatureVector{0.82, 0.79, 0.71, 0.31});
+  const auto snap = LofModelSnapshot::fit(train, 5, 3.0);
+
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(snap->k_distance(i), 0.0) << i;
+    EXPECT_TRUE(std::isfinite(snap->lrd(i))) << i;
+  }
+  const double at_dup = snap->score(train[0]);
+  EXPECT_TRUE(std::isfinite(at_dup));
+  EXPECT_EQ(at_dup, snap->score_brute(train[0]));
+
+  core::FeatureVector near_dup{0.8 + 1e-12, 0.8, 0.7, 0.3};
+  EXPECT_EQ(snap->score(near_dup), snap->score_brute(near_dup));
+  EXPECT_TRUE(std::isfinite(snap->score(near_dup)));
+}
+
+TEST(Snapshot, FitLofModelUsesConfigParameters) {
+  core::DetectorConfig config;
+  config.lof_neighbors = 4;
+  config.lof_threshold = 2.25;
+  const auto snap = fit_lof_model(config, cloud(12, 6));
+  EXPECT_EQ(snap->k(), 4u);
+  EXPECT_EQ(snap->tau(), 2.25);
+  EXPECT_EQ(snap->version(), 0u);  // unregistered until published
+}
+
+TEST(Snapshot, HandlesAreSharedNotCopied) {
+  const auto snap = LofModelSnapshot::fit(cloud(25, 8), 5, 3.0);
+  const auto other = snap;  // handle copy
+  EXPECT_EQ(other.get(), snap.get());
+  EXPECT_EQ(&other->training(), &snap->training());
+}
+
+}  // namespace
+}  // namespace lumichat::model

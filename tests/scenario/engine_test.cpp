@@ -5,10 +5,13 @@
 
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <optional>
+#include <thread>
 
 #include "../service/service_test_util.hpp"
 #include "common/thread_pool.hpp"
+#include "obs/explain.hpp"
 #include "scenario/timeline.hpp"
 
 namespace lumichat::scenario {
@@ -154,6 +157,69 @@ TEST(ScenarioEngine, FingerprintEncodesVerdictsPerCaller) {
   b.verdicts = {core::Verdict::kAbstain};
   report.callers = {a, b};
   EXPECT_EQ(report.verdict_fingerprint(), "LA|~");
+}
+
+// The acceptance gate for the model service: hot-swapping the registry's
+// current version while a campaign runs (reconnecting callers re-attach
+// mid-run) stalls nothing and drops nothing. The publisher republishes the
+// same training set, so the reference run without swaps must match
+// bit-for-bit — versions change, behaviour does not.
+TEST(ScenarioEngine, HotSwapDuringCampaignDropsNoSessions) {
+  ScenarioSpec spec = synthetic_spec();
+  spec.callers[0].count = 4;
+  spec.callers[0].events = {reconnect(3.0, 0.5)};
+
+  service::ServiceConfig cfg;
+  cfg.n_shards = 4;
+  cfg.max_sessions = 64;
+  const core::StreamingConfig streaming =
+      service::testutil::test_streaming_config(2.0);
+
+  const auto reference_models = service::testutil::trained_registry();
+  const ScenarioReport reference = run_scenario(
+      spec, cfg, streaming, reference_models, nullptr, nullptr, nullptr);
+  ASSERT_TRUE(reference.error.empty()) << reference.error;
+
+  // Republishes on every completed window — guaranteed mid-campaign swaps
+  // no matter how the host schedules threads — while a free-running
+  // publisher thread adds genuinely concurrent swaps on top.
+  struct PublishingSink final : obs::ExplanationSink {
+    std::shared_ptr<model::ModelRegistry> models;
+    void emit(const obs::RoundExplanation&) override {
+      const core::DetectorConfig detector;
+      models->publish(service::testutil::legit_like(20, 7),
+                      detector.lof_neighbors, detector.lof_threshold);
+    }
+  };
+  PublishingSink each_window;
+  each_window.models = service::testutil::trained_registry();
+  const auto& swapped_models = each_window.models;
+  std::atomic<bool> stop{false};
+  std::thread publisher([&swapped_models, &stop] {
+    const core::DetectorConfig detector;
+    while (!stop.load(std::memory_order_relaxed)) {
+      swapped_models->publish(service::testutil::legit_like(20, 7),
+                              detector.lof_neighbors,
+                              detector.lof_threshold);
+    }
+  });
+  const ScenarioReport swapped = run_scenario(
+      spec, cfg, streaming, swapped_models, &each_window, nullptr, nullptr);
+  stop.store(true, std::memory_order_relaxed);
+  publisher.join();
+
+  ASSERT_TRUE(swapped.error.empty()) << swapped.error;
+  EXPECT_GT(swapped_models->publish_count(), 1u);
+  EXPECT_EQ(swapped.verdict_fingerprint(), reference.verdict_fingerprint());
+  EXPECT_EQ(swapped.frames_fed, reference.frames_fed);
+  ASSERT_EQ(swapped.callers.size(), reference.callers.size());
+  for (std::size_t c = 0; c < swapped.callers.size(); ++c) {
+    EXPECT_EQ(swapped.callers[c].lof_scores,
+              reference.callers[c].lof_scores);
+    EXPECT_EQ(swapped.callers[c].reconnects,
+              reference.callers[c].reconnects);
+    EXPECT_EQ(swapped.callers[c].rejoin_deferrals, 0u);
+  }
 }
 
 }  // namespace

@@ -1,42 +1,70 @@
 // Shared helpers for the scenario suites.
 //
 // The campaign gates replay the canonical library timelines against the
-// real detector, so they need the same prototype bench_scenarios trains:
-// the paper's per-user model, fit on the claimed volunteer's legitimate
-// clips at the campaign window length. Training is the expensive part of a
+// real detector, so they need the same model bench_scenarios fits: the
+// paper's per-user model, fit on the claimed volunteer's legitimate clips
+// at the campaign window length. Training is the expensive part of a
 // campaign gate (the run itself is a few seconds); everything here is
 // deterministic, so every gate pins against the same model.
 #pragma once
+
+#include <memory>
 
 #include "common/thread_pool.hpp"
 #include "core/streaming.hpp"
 #include "eval/dataset.hpp"
 #include "eval/parallel.hpp"
 #include "eval/population.hpp"
+#include "model/registry.hpp"
 #include "scenario/library.hpp"
 
 namespace lumichat::scenario::testutil {
 
-/// The campaign prototype: trained on 16 legitimate clips of the default
-/// claimed volunteer (ScenarioSpec::claimed_volunteer = 9), abstain
-/// enabled, windows of `window_s`. Mirrors bench_scenarios' setup exactly —
-/// the pinned envelopes in the campaign gates are this model's numbers.
-inline core::StreamingDetector campaign_prototype(double window_s) {
+/// The campaign training set: 16 legitimate clips of the default claimed
+/// volunteer (ScenarioSpec::claimed_volunteer = 9) at `window_s` windows.
+inline std::vector<core::FeatureVector> campaign_training(double window_s) {
   eval::SimulationProfile profile;
   profile.clip_duration_s = window_s;
   const eval::DatasetBuilder data(profile);
   const auto pop = eval::make_population();
   common::ThreadPool pool;
-  const auto train_features =
+  auto features =
       eval::population_features(data, {&pop[9], 1}, eval::Role::kLegitimate,
                                 16, 0.0, &pool);
+  return std::move(features[0]);
+}
 
+/// Streaming config the campaigns run sessions with: the profile's
+/// detector, abstain enabled, windows of `window_s`.
+inline core::StreamingConfig campaign_streaming_config(double window_s) {
+  eval::SimulationProfile profile;
+  profile.clip_duration_s = window_s;
   core::StreamingConfig cfg;
   cfg.detector = profile.detector_config();
   cfg.detector.enable_abstain = true;
   cfg.window_s = window_s;
+  return cfg;
+}
+
+/// Registry holding the campaign model as its published version 1. Mirrors
+/// bench_scenarios' setup exactly — the pinned envelopes in the campaign
+/// gates are this model's numbers.
+inline std::shared_ptr<model::ModelRegistry> campaign_registry(
+    double window_s) {
+  const core::StreamingConfig cfg = campaign_streaming_config(window_s);
+  auto registry = std::make_shared<model::ModelRegistry>();
+  registry->publish(campaign_training(window_s), cfg.detector.lof_neighbors,
+                    cfg.detector.lof_threshold);
+  return registry;
+}
+
+/// The campaign prototype — kept for suites that pin the deprecated
+/// prototype-based run_scenario overload. Same model as campaign_registry.
+inline core::StreamingDetector campaign_prototype(double window_s) {
+  const core::StreamingConfig cfg = campaign_streaming_config(window_s);
   core::StreamingDetector prototype(cfg);
-  prototype.train_on_features(train_features[0]);
+  prototype.attach_model(
+      model::fit_lof_model(cfg.detector, campaign_training(window_s)));
   return prototype;
 }
 

@@ -1,15 +1,17 @@
-// Shared helpers for the service-runtime test suites: a cheaply trained
-// prototype detector (synthetic legitimate-looking features, short windows)
-// and tiny flat frames, so lifecycle/concurrency tests never pay for face
-// rendering or real dataset generation.
+// Shared helpers for the service-runtime test suites: a cheaply fitted LOF
+// model (synthetic legitimate-looking features, short windows) published
+// through a ModelRegistry, plus tiny flat frames, so lifecycle/concurrency
+// tests never pay for face rendering or real dataset generation.
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "common/rng.hpp"
 #include "core/streaming.hpp"
 #include "image/image.hpp"
+#include "model/registry.hpp"
 
 namespace lumichat::service::testutil {
 
@@ -26,14 +28,33 @@ inline std::vector<core::FeatureVector> legit_like(std::size_t n,
   return out;
 }
 
-/// Trained StreamingDetector with `window_s` windows (default detector
-/// config: 10 Hz sampling, so a 2 s window completes after 20 frames).
-inline core::StreamingDetector trained_prototype(double window_s = 2.0,
-                                                 std::uint64_t seed = 7) {
+/// Streaming config for test sessions: default detector, `window_s`
+/// windows (default detector config: 10 Hz sampling, so a 2 s window
+/// completes after 20 frames).
+inline core::StreamingConfig test_streaming_config(double window_s = 2.0) {
   core::StreamingConfig cfg;
   cfg.window_s = window_s;
+  return cfg;
+}
+
+/// Registry holding one published snapshot fit on `legit_like(20, seed)` —
+/// the model every service test attaches to its sessions.
+inline std::shared_ptr<model::ModelRegistry> trained_registry(
+    std::uint64_t seed = 7) {
+  auto registry = std::make_shared<model::ModelRegistry>();
+  const core::DetectorConfig detector;
+  registry->publish(legit_like(20, seed), detector.lof_neighbors,
+                    detector.lof_threshold);
+  return registry;
+}
+
+/// Trained StreamingDetector with `window_s` windows — kept for suites that
+/// exercise the deprecated prototype-based entry points.
+inline core::StreamingDetector trained_prototype(double window_s = 2.0,
+                                                 std::uint64_t seed = 7) {
+  const core::StreamingConfig cfg = test_streaming_config(window_s);
   core::StreamingDetector sd(cfg);
-  sd.train_on_features(legit_like(20, seed));
+  sd.attach_model(model::fit_lof_model(cfg.detector, legit_like(20, seed)));
   return sd;
 }
 
