@@ -17,6 +17,16 @@
 //                                              # vs untraced 50-session runs
 //                                              # must agree bit-for-bit, the
 //                                              # trace must parse and nest
+//   ./bench_service_load --socket=8 10000 2 2 50   # wire-fed mode: drive the
+//                                              # sessions as protocol bytes
+//                                              # over 8 socketpairs through
+//                                              # WireServer (synthetic 8x8
+//                                              # chats); gates socket-vs-
+//                                              # in-process verdict equality
+//                                              # at reduced scale first
+//   ./bench_service_load --json-out r.json     # machine-readable record of
+//                                              # the measured run (either
+//                                              # mode) -> BENCH_service_load
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -29,9 +39,11 @@
 #include "common.hpp"
 #include "obs/explain.hpp"
 #include "obs/json.hpp"
+#include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "service/load_generator.hpp"
 #include "model/registry.hpp"
+#include "wire/socket_load.hpp"
 
 namespace {
 
@@ -191,6 +203,195 @@ int run_trace_selftest() {
   return 0;
 }
 
+/// Like same_verdicts but id-blind: socket sessions get shard-pinned ids
+/// from the routed range while run_load's are sequential, so only the
+/// verdict substance is compared (both reports are in chat-ordinal order).
+bool equivalent_verdicts(const std::vector<lumichat::service::SessionResult>& a,
+                         const std::vector<lumichat::service::SessionResult>& b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (a[i].truth_attacker != b[i].truth_attacker ||
+        a[i].window_verdicts != b[i].window_verdicts ||
+        a[i].lof_scores != b[i].lof_scores ||
+        a[i].final_verdict.is_attacker != b[i].final_verdict.is_attacker ||
+        a[i].pending_samples_dropped != b[i].pending_samples_dropped) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void append_kv(std::string& json, const char* key, double v) {
+  char buf[80];
+  std::snprintf(buf, sizeof(buf), "\"%s\":%.17g", key, v);
+  json += buf;
+}
+
+/// One mode's machine-readable record (the value under "in_process" or
+/// "socket" in the checked-in bench/BENCH_service_load.json).
+std::string report_record(const lumichat::service::LoadReport& report,
+                          std::size_t n_sessions, double duration_s,
+                          double window_s, double attacker_pct) {
+  std::string json = "{\"n_sessions\":" + std::to_string(n_sessions) + ',';
+  append_kv(json, "duration_s", duration_s);
+  json += ',';
+  append_kv(json, "window_s", window_s);
+  json += ',';
+  append_kv(json, "attacker_pct", attacker_pct);
+  json += ',';
+  append_kv(json, "elapsed_s", report.elapsed_s);
+  json += ',';
+  append_kv(json, "frames_per_sec", report.frames_per_sec());
+  json += ',';
+  append_kv(json, "sessions_per_sec", report.sessions_per_sec());
+  json += ',';
+  append_kv(json, "p50_ms", report.metrics.latency_p50_s * 1e3);
+  json += ',';
+  append_kv(json, "p95_ms", report.metrics.latency_p95_s * 1e3);
+  json += ',';
+  append_kv(json, "p99_ms", report.metrics.latency_p99_s * 1e3);
+  json += ',';
+  append_kv(json, "p999_ms", report.metrics.latency_p999_s * 1e3);
+  json += ',';
+  append_kv(json, "accuracy", report.accuracy());
+  json += ",\"frames_fed\":" + std::to_string(report.frames_fed);
+  json += ",\"frames_dropped\":" +
+          std::to_string(report.metrics.frames_dropped);
+  json += ",\"sessions_rejected\":" +
+          std::to_string(report.sessions_rejected);
+  return json;  // caller closes the object (socket mode appends wire stats)
+}
+
+bool write_json_file(const std::string& path, const std::string& json) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  return true;
+}
+
+/// Wire-fed mode: the same deterministic session population as the
+/// in-process sweep, but delivered as protocol bytes over socketpairs
+/// through WireServer's arena pipeline. Before measuring, a reduced-scale
+/// run is checked bit-identical against run_load (the equivalence the
+/// integration tier proves at small scale, re-proven here on the bench's
+/// own spec), and the measured connection count is checked against a
+/// single-connection run. Exits nonzero on any divergence.
+int run_socket_bench(std::size_t n_sessions, double duration_s,
+                     double window_s, double attacker_pct,
+                     std::size_t n_connections, const std::string& json_out) {
+  using namespace lumichat;
+  bench::header("Service runtime: wire-fed socket ingestion load");
+
+  eval::SimulationProfile profile;
+  profile.clip_duration_s = window_s;
+  core::StreamingConfig streaming;
+  streaming.detector = profile.detector_config();
+  streaming.window_s = window_s;
+  const auto models = train_models(profile, window_s);
+
+  service::LoadSpec load;
+  load.n_sessions = n_sessions;
+  load.duration_s = duration_s;
+  load.sample_rate_hz = profile.sample_rate_hz;
+  load.warmup_s = 1.0;
+  load.attacker_fraction = attacker_pct / 100.0;
+  load.ticks_per_pump = 2;
+  // Synthetic 8x8 chats: one fixed frame geometry for the server's arena,
+  // and per-frame cost low enough that the wire path itself is measured.
+  load.full_chat = false;
+
+  service::ServiceConfig service_cfg;
+  service_cfg.n_shards = 32;
+  // Explicit: the default capacity (4096) is below the 10k-session scale
+  // this mode exists to demonstrate.
+  service_cfg.max_sessions = n_sessions;
+
+  std::printf("[setup] %zu sessions x %.1fs over %zu connections, %.0f%% "
+              "attackers, synthetic 8x8 frames\n\n",
+              n_sessions, duration_s, n_connections, attacker_pct);
+
+  int failures = 0;
+  const auto check = [&failures](bool ok, const char* what) {
+    std::printf("[%s] %s\n", ok ? "ok" : "FAIL", what);
+    if (!ok) ++failures;
+  };
+
+  // --- Equivalence gate (reduced scale) ----------------------------------
+  {
+    service::LoadSpec gate = load;
+    gate.n_sessions = std::min<std::size_t>(n_sessions, 200);
+    service::ServiceConfig gate_cfg = service_cfg;
+    gate_cfg.max_sessions = gate.n_sessions;
+    const service::LoadReport inproc =
+        service::run_load(gate, gate_cfg, streaming, models, nullptr, nullptr);
+    wire::SocketLoadOptions gate_opts;
+    gate_opts.n_connections = n_connections;
+    const service::LoadReport socketed = wire::run_socket_load(
+        gate, gate_cfg, streaming, models, gate_opts);
+    check(equivalent_verdicts(inproc.sessions, socketed.sessions),
+          "socket verdicts bit-identical to in-process run_load");
+    wire::SocketLoadOptions one_conn;
+    one_conn.n_connections = 1;
+    const service::LoadReport single = wire::run_socket_load(
+        gate, gate_cfg, streaming, models, one_conn);
+    check(equivalent_verdicts(single.sessions, socketed.sessions),
+          "verdicts independent of connection count");
+  }
+  if (failures > 0) {
+    std::fprintf(stderr, "\nequivalence gate FAILED — not measuring\n");
+    return 1;
+  }
+
+  // --- Measured run ------------------------------------------------------
+  obs::MetricsRegistry registry;
+  common::ThreadPool pool;  // LUMICHAT_THREADS or hardware width
+  wire::SocketLoadOptions options;
+  options.n_connections = n_connections;
+  const service::LoadReport report = wire::run_socket_load(
+      load, service_cfg, streaming, models, options, &pool, &registry);
+
+  bench::row("%-10s %-10s %-11s %-11s %-9s %-9s %-9s %-9s", "conns",
+             "time (s)", "frames/s", "sessions/s", "p50 (ms)", "p95 (ms)",
+             "p99 (ms)", "p99.9(ms)");
+  bench::row("%-10zu %-10.2f %-11.0f %-11.1f %-9.2f %-9.2f %-9.2f %-9.2f",
+             n_connections, report.elapsed_s, report.frames_per_sec(),
+             report.sessions_per_sec(), report.metrics.latency_p50_s * 1e3,
+             report.metrics.latency_p95_s * 1e3,
+             report.metrics.latency_p99_s * 1e3,
+             report.metrics.latency_p999_s * 1e3);
+  std::printf("\n[accuracy] %.1f%% of %zu sessions classified correctly "
+              "(%zu rejected at admission, %llu frames dropped)\n",
+              100.0 * report.accuracy(), report.sessions.size(),
+              report.sessions_rejected,
+              static_cast<unsigned long long>(report.metrics.frames_dropped));
+  std::printf("[registry] %s\n", registry.to_json().c_str());
+
+  const std::uint64_t wire_frames =
+      registry.counter("wire.frames_in").value();
+  check(wire_frames == report.frames_fed,
+        "every fed frame entered as wire bytes");
+  check(report.metrics.windows_completed > 0, "windows completed");
+
+  if (!json_out.empty()) {
+    std::string json = "{\"socket\":";
+    json += report_record(report, n_sessions, duration_s, window_s,
+                          attacker_pct);
+    json += ",\"n_connections\":" + std::to_string(n_connections);
+    json += ",\"wire_frames_in\":" + std::to_string(wire_frames);
+    json += ",\"wire_verdicts_out\":" +
+            std::to_string(registry.counter("wire.verdicts_out").value());
+    json += "}}";
+    if (write_json_file(json_out, json)) {
+      std::printf("[json] socket record -> %s\n", json_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write --json-out %s\n", json_out.c_str());
+      ++failures;
+    }
+  }
+  return failures > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -199,7 +400,9 @@ int main(int argc, char** argv) {
   // Flags first (they do not shift the positional scale arguments).
   std::string trace_out = obs::env_trace_path();
   std::string explain_out;
+  std::string json_out;
   bool selftest = false;
+  std::size_t socket_conns = 0;  // 0 = in-process mode
   std::vector<char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-selftest") == 0) {
@@ -208,6 +411,14 @@ int main(int argc, char** argv) {
       trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--explain-out") == 0 && i + 1 < argc) {
       explain_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
+      json_out = argv[++i];
+    } else if (std::strncmp(argv[i], "--socket", 8) == 0) {
+      socket_conns = 8;
+      if (argv[i][8] == '=') {
+        socket_conns = std::strtoul(argv[i] + 9, nullptr, 10);
+        if (socket_conns == 0) socket_conns = 8;
+      }
     } else {
       positional.push_back(argv[i]);
     }
@@ -225,6 +436,11 @@ int main(int argc, char** argv) {
   if (n_sessions == 0) n_sessions = 500;
   if (duration_s <= 0.0) duration_s = 6.0;
   if (window_s <= 0.0) window_s = duration_s;
+
+  if (socket_conns > 0) {
+    return run_socket_bench(n_sessions, duration_s, window_s, attacker_pct,
+                            socket_conns, json_out);
+  }
 
   bench::header("Service runtime: concurrent-session load & determinism");
 
@@ -291,6 +507,8 @@ int main(int argc, char** argv) {
   double four_thread_speedup = 0.0;
   std::string json;
   bool deterministic = true;
+  service::LoadReport final_report;
+  std::size_t final_threads = 0;
 
   for (const std::size_t nt : thread_counts) {
     common::ThreadPool pool(nt);
@@ -325,6 +543,8 @@ int main(int argc, char** argv) {
                   "correctly (%zu rejected at admission)\n",
                   100.0 * report.accuracy(), report.sessions.size(),
                   report.sessions_rejected);
+      final_report = report;
+      final_threads = nt;
     }
   }
 
@@ -349,6 +569,19 @@ int main(int argc, char** argv) {
     }
   }
   if (!deterministic) return 1;
+  if (!json_out.empty()) {
+    std::string record = "{\"in_process\":";
+    record += report_record(final_report, n_sessions, duration_s, window_s,
+                            attacker_pct);
+    record += ",\"threads\":" + std::to_string(final_threads);
+    record += "}}";
+    if (write_json_file(json_out, record)) {
+      std::printf("[json] in-process record -> %s\n", json_out.c_str());
+    } else {
+      std::fprintf(stderr, "cannot write --json-out %s\n", json_out.c_str());
+      return 1;
+    }
+  }
   std::printf("\nall thread counts produced bit-identical per-session "
               "verdict sequences (1 -> 4 threads speedup: %.2fx, hardware "
               "threads here: %zu)\n",

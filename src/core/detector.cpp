@@ -23,7 +23,7 @@ void Detector::train(const std::vector<chat::SessionTrace>& legitimate_traces) {
   for (const chat::SessionTrace& trace : legitimate_traces) {
     feats.push_back(featurize(trace).features);
   }
-  train_on_features(feats);
+  lof_.fit(feats);
 }
 
 void Detector::train_on_features(const std::vector<FeatureVector>& features) {

@@ -71,11 +71,14 @@ class Detector {
   /// Training phase: fit the LOF model on legitimate traces. Deprecated
   /// shim — featurizes, then builds and attaches a private unregistered
   /// snapshot; prefer attach_model() with a registry-published snapshot.
+  [[deprecated(
+      "featurize traces, then attach_model(model::fit_lof_model(...))")]]
   void train(const std::vector<chat::SessionTrace>& legitimate_traces);
 
   /// Training phase from precomputed features (used when the same features
   /// feed many experiments). Deprecated shim — builds and attaches a
   /// private unregistered snapshot.
+  [[deprecated("use attach_model(model::fit_lof_model(config(), features))")]]
   void train_on_features(const std::vector<FeatureVector>& features);
 
   /// One detection round.
@@ -107,6 +110,7 @@ class Detector {
   [[nodiscard]] double tau() const { return lof_.tau(); }
 
   /// Deprecated alias of set_tau(), kept for one release.
+  [[deprecated("use set_tau()")]]
   void set_threshold(double tau) { set_tau(tau); }
 
   /// Builds the decision record for one round's result (the full evidence

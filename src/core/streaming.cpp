@@ -19,7 +19,7 @@ StreamingDetector::StreamingDetector(StreamingConfig config)
 
 void StreamingDetector::train_on_features(
     const std::vector<FeatureVector>& features) {
-  detector_.train_on_features(features);
+  detector_.attach_model(model::fit_lof_model(config_.detector, features));
 }
 
 void StreamingDetector::reset_window() {

@@ -7,7 +7,7 @@
 // keeping a running majority vote across windows (Sec. VII-B).
 //
 //   StreamingDetector sd(config);
-//   sd.train_on_features(legit_features);
+//   sd.attach_model(model::fit_lof_model(config.detector, legit_features));
 //   while (chatting) {
 //     if (auto r = sd.push(t, my_sent_frame, their_frame)) {
 //       alert_if(r->is_attacker);
@@ -62,6 +62,8 @@ class StreamingDetector {
 
   /// Training phase (delegates to the batch detector). Deprecated shim —
   /// builds a private unregistered snapshot; prefer attach_model().
+  [[deprecated(
+      "use attach_model(model::fit_lof_model(config().detector, features))")]]
   void train_on_features(const std::vector<FeatureVector>& features);
   [[nodiscard]] bool is_trained() const { return detector_.is_trained(); }
 

@@ -93,6 +93,11 @@ class Image {
 
   [[nodiscard]] const std::vector<Pixel>& pixels() const { return pixels_; }
 
+  /// Raw row-major pixel storage, for bulk I/O (wire serialization). Null
+  /// for an empty image.
+  [[nodiscard]] Pixel* data() { return pixels_.data(); }
+  [[nodiscard]] const Pixel* data() const { return pixels_.data(); }
+
  private:
   std::size_t width_ = 0;
   std::size_t height_ = 0;

@@ -19,6 +19,7 @@
 
 #include <array>
 #include <atomic>
+#include <chrono>
 #include <cstddef>
 #include <cstdint>
 #include <map>
@@ -127,6 +128,33 @@ struct RegistrySnapshot {
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,max,
   /// p50,p95,p99,p999},...}} with name-sorted keys.
   [[nodiscard]] std::string to_json() const;
+};
+
+/// RAII wall-clock timer: records the seconds between construction and
+/// destruction into a histogram. A null histogram disables the timer
+/// entirely — not even the clock is read — so instrumented code pays
+/// nothing when metrics are off. Resolve the histogram pointer once (see
+/// the registry-lookup note above), not per scope.
+class ScopedMetricsTimer {
+ public:
+  explicit ScopedMetricsTimer(LogHistogram* histogram)
+      : histogram_(histogram) {
+    if (histogram_ != nullptr) start_ = std::chrono::steady_clock::now();
+  }
+  ~ScopedMetricsTimer() {
+    if (histogram_ != nullptr) {
+      histogram_->record(std::chrono::duration<double>(
+                             std::chrono::steady_clock::now() - start_)
+                             .count());
+    }
+  }
+
+  ScopedMetricsTimer(const ScopedMetricsTimer&) = delete;
+  ScopedMetricsTimer& operator=(const ScopedMetricsTimer&) = delete;
+
+ private:
+  LogHistogram* histogram_;
+  std::chrono::steady_clock::time_point start_{};
 };
 
 /// Named-instrument registry. Lookup is mutexed; instruments themselves are

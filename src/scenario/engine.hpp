@@ -108,12 +108,12 @@ struct ScenarioReport {
 /// Deprecated shim, kept for one release: forwards the trained
 /// `prototype`'s streaming config, model handle and explanation sink to the
 /// snapshot-handle overload above.
-[[nodiscard]] ScenarioReport run_scenario(const ScenarioSpec& spec,
-                                          const service::ServiceConfig&
-                                              service_config,
-                                          const core::StreamingDetector&
-                                              prototype,
-                                          common::ThreadPool* pool,
-                                          obs::MetricsRegistry* registry);
+[[deprecated("pass a StreamingConfig + ModelRegistry of published "
+             "snapshots")]] [[nodiscard]]
+ScenarioReport run_scenario(const ScenarioSpec& spec,
+                            const service::ServiceConfig& service_config,
+                            const core::StreamingDetector& prototype,
+                            common::ThreadPool* pool,
+                            obs::MetricsRegistry* registry);
 
 }  // namespace lumichat::scenario

@@ -19,13 +19,6 @@
 namespace lumichat::service {
 namespace {
 
-/// Per-session frame producer: the "client side" of one simulated chat.
-class ChatSource {
- public:
-  virtual ~ChatSource() = default;
-  [[nodiscard]] virtual chat::FramePair next() = 0;
-};
-
 /// The real thing: Alice + (legitimate | reenactor) respondent + network +
 /// codec, assembled the same way eval::DatasetBuilder assembles clips, but
 /// driven incrementally through chat::SessionFrameSource.
@@ -128,15 +121,16 @@ class SyntheticChatSource final : public ChatSource {
   std::uint64_t tick_ = 0;
 };
 
-std::unique_ptr<ChatSource> make_source(const LoadSpec& spec,
-                                        std::size_t ordinal, bool attacker) {
+}  // namespace
+
+std::unique_ptr<ChatSource> make_chat_source(const LoadSpec& spec,
+                                             std::size_t ordinal,
+                                             bool attacker) {
   if (spec.full_chat) {
     return std::make_unique<FullChatSource>(spec, ordinal, attacker);
   }
   return std::make_unique<SyntheticChatSource>(spec, ordinal, attacker);
 }
-
-}  // namespace
 
 bool load_session_is_attacker(const LoadSpec& spec, std::size_t ordinal) {
   const std::uint64_t h =
@@ -221,7 +215,7 @@ LoadReport run_load(const LoadSpec& spec, const ServiceConfig& service_config,
     const obs::ObsSpan span("load.build_chats", "load");
     common::for_each_index(pool, chats.size(), [&](std::size_t c) {
       chats[c].source =
-          make_source(spec, chats[c].ordinal, chats[c].attacker);
+          make_chat_source(spec, chats[c].ordinal, chats[c].attacker);
     });
   }
 

@@ -13,8 +13,10 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "chat/frame_source.hpp"
 #include "common/thread_pool.hpp"
 #include "core/streaming.hpp"
 #include "core/voting.hpp"
@@ -81,6 +83,21 @@ struct LoadReport {
 [[nodiscard]] bool load_session_is_attacker(const LoadSpec& spec,
                                             std::size_t ordinal);
 
+/// Per-session frame producer: the "client side" of one simulated chat.
+class ChatSource {
+ public:
+  virtual ~ChatSource() = default;
+  [[nodiscard]] virtual chat::FramePair next() = 0;
+};
+
+/// Builds simulated chat `ordinal`'s frame source — the exact producer
+/// run_load drives internally (full chat or synthetic per spec.full_chat,
+/// a pure function of (spec, ordinal, attacker)). Exposed so alternative
+/// front-ends — the wire-fed socket bench — can feed bit-identical streams
+/// through a different transport.
+[[nodiscard]] std::unique_ptr<ChatSource> make_chat_source(
+    const LoadSpec& spec, std::size_t ordinal, bool attacker);
+
 /// Runs the scenario against sessions built from `streaming` with the
 /// current snapshot of `models` attached (the snapshot-handle entry point —
 /// a concurrent publish to `models` hot-swaps the model for sessions
@@ -101,7 +118,9 @@ struct LoadReport {
 /// Deprecated shim, kept for one release: forwards the trained
 /// `prototype`'s config, model and explanation sink to the snapshot-handle
 /// overload above.
-[[nodiscard]] LoadReport run_load(const LoadSpec& spec,
+[[deprecated("pass a StreamingConfig + ModelRegistry of published "
+             "snapshots")]] [[nodiscard]]
+LoadReport run_load(const LoadSpec& spec,
                                   const ServiceConfig& service_config,
                                   const core::StreamingDetector& prototype,
                                   common::ThreadPool* pool = nullptr,

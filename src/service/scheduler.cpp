@@ -50,7 +50,7 @@ std::size_t FrameScheduler::pump() {
   if (pumps_ != nullptr) pumps_->add();
   std::atomic<std::size_t> processed{0};
   for (;;) {
-    std::vector<std::shared_ptr<ServiceSession>> batch;
+    batch_.clear();
     {
       std::unique_lock<std::mutex> lock(mu_);
       if (ready_.empty()) {
@@ -59,10 +59,13 @@ std::size_t FrameScheduler::pump() {
                  [this] { return in_flight_ == 0 || !ready_.empty(); });
         continue;
       }
-      batch.swap(ready_);
-      in_flight_ += batch.size();
+      // Swap, don't move: ready_ inherits batch_'s retained capacity, so
+      // steady-state pumping recycles two buffers instead of allocating a
+      // fresh vector per round (part of the zero-allocation ingest path).
+      std::swap(batch_, ready_);
+      in_flight_ += batch_.size();
     }
-    for (const std::shared_ptr<ServiceSession>& session : batch) {
+    for (const std::shared_ptr<ServiceSession>& session : batch_) {
       if (pool_ != nullptr) {
         pool_->post([this, session, &processed] {
           drain_task(session, processed);

@@ -68,6 +68,9 @@ class FrameScheduler {
   std::condition_variable cv_;
   std::vector<std::shared_ptr<ServiceSession>> ready_;  // guarded by mu_
   std::size_t in_flight_ = 0;                           // guarded by mu_
+  /// pump()'s dispatch staging area. Only the (single) pumping thread
+  /// touches it; a member so its capacity survives across rounds.
+  std::vector<std::shared_ptr<ServiceSession>> batch_;
 };
 
 }  // namespace lumichat::service

@@ -1,5 +1,6 @@
 #include "service/session.hpp"
 
+#include <algorithm>
 #include <utility>
 
 #include "obs/trace.hpp"
@@ -12,17 +13,29 @@ ServiceSession::ServiceSession(SessionId id, core::StreamingDetector detector,
     : id_(id),
       queue_capacity_(queue_capacity == 0 ? 1 : queue_capacity),
       metrics_(metrics),
-      detector_(std::move(detector)) {}
+      ring_(queue_capacity_),
+      detector_(std::move(detector)) {
+  drain_batch_.reserve(queue_capacity_);
+}
 
 bool ServiceSession::enqueue(FrameJob job, bool* dropped) {
   if (dropped != nullptr) *dropped = false;
   const std::lock_guard<std::mutex> lock(queue_mu_);
-  if (closed_.load(std::memory_order_relaxed)) return false;
-  if (queue_.size() >= queue_capacity_) {
-    queue_.pop_front();  // drop-oldest backpressure
-    if (dropped != nullptr) *dropped = true;
+  if (closed_.load(std::memory_order_relaxed)) {
+    release_frame_job(std::move(job));
+    return false;
   }
-  queue_.push_back(std::move(job));
+  if (ring_count_ >= queue_capacity_) {
+    // Drop-oldest backpressure: give the stale head's storage back to its
+    // pool, then let the new job take the slot.
+    release_frame_job(std::move(ring_[ring_head_]));
+    ring_[ring_head_] = std::move(job);
+    ring_head_ = (ring_head_ + 1) % queue_capacity_;
+    if (dropped != nullptr) *dropped = true;
+    return true;
+  }
+  ring_[(ring_head_ + ring_count_) % queue_capacity_] = std::move(job);
+  ++ring_count_;
   return true;
 }
 
@@ -32,22 +45,28 @@ bool ServiceSession::try_mark_ready() {
 
 std::size_t ServiceSession::drain() {
   const obs::ObsSpan span("service.drain", "service");
-  std::deque<FrameJob> batch;
+  drain_batch_.clear();
   {
     const std::lock_guard<std::mutex> lock(queue_mu_);
-    batch.swap(queue_);
+    while (ring_count_ > 0) {
+      drain_batch_.push_back(std::move(ring_[ring_head_]));
+      ring_head_ = (ring_head_ + 1) % queue_capacity_;
+      --ring_count_;
+    }
   }
-  if (batch.empty()) return 0;
+  if (drain_batch_.empty()) return 0;
 
   const std::lock_guard<std::mutex> lock(state_mu_);
   if (closed_.load(std::memory_order_acquire)) {
     // Raced with close(): the session's detector is already flushed (and
     // possibly recycled), so the late batch is accounted as dropped.
-    if (metrics_ != nullptr) metrics_->on_frames_dropped(batch.size());
+    if (metrics_ != nullptr) metrics_->on_frames_dropped(drain_batch_.size());
+    for (FrameJob& job : drain_batch_) release_frame_job(std::move(job));
+    drain_batch_.clear();
     return 0;
   }
   std::size_t processed = 0;
-  for (FrameJob& job : batch) {
+  for (FrameJob& job : drain_batch_) {
     const auto verdict =
         detector_.push(job.t_sec, job.transmitted, job.received);
     ++processed;
@@ -63,14 +82,16 @@ std::size_t ServiceSession::drain() {
         metrics_->on_window_verdict(verdict->verdict, latency);
       }
     }
+    release_frame_job(std::move(job));
   }
+  drain_batch_.clear();
   frames_processed_ += processed;
   return processed;
 }
 
 bool ServiceSession::finish_drain() {
   const std::lock_guard<std::mutex> lock(queue_mu_);
-  if (queue_.empty()) {
+  if (ring_count_ == 0) {
     ready_.store(false, std::memory_order_release);
     return false;
   }
@@ -87,6 +108,20 @@ std::vector<WindowVerdict> ServiceSession::verdicts() const {
   return history_;
 }
 
+std::size_t ServiceSession::verdict_count() const {
+  const std::lock_guard<std::mutex> lock(state_mu_);
+  return history_.size();
+}
+
+std::size_t ServiceSession::copy_verdicts(std::size_t from, WindowVerdict* out,
+                                          std::size_t max) const {
+  const std::lock_guard<std::mutex> lock(state_mu_);
+  if (from >= history_.size() || max == 0) return 0;
+  const std::size_t n = std::min(max, history_.size() - from);
+  for (std::size_t i = 0; i < n; ++i) out[i] = history_[from + i];
+  return n;
+}
+
 std::size_t ServiceSession::frames_processed() const {
   const std::lock_guard<std::mutex> lock(state_mu_);
   return frames_processed_;
@@ -94,7 +129,7 @@ std::size_t ServiceSession::frames_processed() const {
 
 std::size_t ServiceSession::queued_frames() const {
   const std::lock_guard<std::mutex> lock(queue_mu_);
-  return queue_.size();
+  return ring_count_;
 }
 
 ServiceSession::CloseReport ServiceSession::close() {
@@ -102,8 +137,13 @@ ServiceSession::CloseReport ServiceSession::close() {
   {
     const std::lock_guard<std::mutex> lock(queue_mu_);
     closed_.store(true, std::memory_order_release);
-    discarded = queue_.size();
-    queue_.clear();
+    discarded = ring_count_;
+    while (ring_count_ > 0) {
+      release_frame_job(std::move(ring_[ring_head_]));
+      ring_[ring_head_] = FrameJob{};
+      ring_head_ = (ring_head_ + 1) % queue_capacity_;
+      --ring_count_;
+    }
   }
   if (metrics_ != nullptr && discarded > 0) {
     metrics_->on_frames_dropped(discarded);

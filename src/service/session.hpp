@@ -16,7 +16,6 @@
 #include <atomic>
 #include <chrono>
 #include <cstdint>
-#include <deque>
 #include <mutex>
 #include <vector>
 
@@ -30,13 +29,41 @@ namespace lumichat::service {
 using SessionId = std::uint64_t;
 using ServiceClock = std::chrono::steady_clock;
 
+struct FrameJob;
+
+/// Owner of pooled frame storage (the wire layer's FrameArena). A job
+/// carrying a recycler gives its images back instead of freeing them, which
+/// is what makes the steady-state ingest path allocation-free: the same
+/// buffers cycle decode -> queue -> detector -> arena forever. recycle()
+/// must be callable from any thread and must not throw.
+class FrameRecycler {
+ public:
+  virtual void recycle(FrameJob&& job) noexcept = 0;
+
+ protected:
+  ~FrameRecycler() = default;
+};
+
 /// One queued frame pair awaiting detection.
 struct FrameJob {
   double t_sec = 0.0;
   image::Image transmitted;
   image::Image received;
   ServiceClock::time_point enqueued_at{};
+  /// Borrowed pool to return the images to after processing (or on drop);
+  /// null for plainly owned frames, which are simply destroyed.
+  FrameRecycler* recycler = nullptr;
 };
+
+/// Returns a job's storage to its pool, if it has one. Clears the job's
+/// recycler pointer first, so calling it again on the same job is a no-op.
+inline void release_frame_job(FrameJob&& job) {
+  if (job.recycler != nullptr) {
+    FrameRecycler* pool = job.recycler;
+    job.recycler = nullptr;
+    pool->recycle(std::move(job));
+  }
+}
 
 /// One completed detection window of a hosted session.
 struct WindowVerdict {
@@ -83,6 +110,15 @@ class ServiceSession {
   [[nodiscard]] std::size_t frames_processed() const;
   [[nodiscard]] std::size_t queued_frames() const;
 
+  /// Completed windows so far — the wire layer's verdict watermark.
+  [[nodiscard]] std::size_t verdict_count() const;
+
+  /// Copies verdicts [from, from+max) into the caller-supplied array and
+  /// returns how many were copied. Allocation-free (unlike verdicts()),
+  /// which is what the per-poll verdict flush on the ingest path needs.
+  std::size_t copy_verdicts(std::size_t from, WindowVerdict* out,
+                            std::size_t max) const;
+
   /// Final accounting returned by SessionManager::evict.
   struct CloseReport {
     std::size_t windows_completed = 0;
@@ -106,10 +142,22 @@ class ServiceSession {
   const std::size_t queue_capacity_;
   ServiceMetrics* const metrics_;
 
+  // The frame queue is a fixed ring over pre-constructed slots: enqueue
+  // move-assigns into a slot and pop move-assigns out, so steady-state
+  // traffic performs no queue allocation at all (a deque would allocate a
+  // node every few frames). Capacity is the configured bound; drop-oldest
+  // recycles the displaced job's storage before overwriting it.
   mutable std::mutex queue_mu_;
-  std::deque<FrameJob> queue_;       // guarded by queue_mu_
+  std::vector<FrameJob> ring_;       // guarded by queue_mu_; size == capacity
+  std::size_t ring_head_ = 0;        // guarded by queue_mu_
+  std::size_t ring_count_ = 0;       // guarded by queue_mu_
   std::atomic<bool> closed_{false};  // set under queue_mu_, read anywhere
   std::atomic<bool> ready_{false};   // drain-ownership flag
+
+  /// Drain staging area. Only the drain owner touches it (the ready-flag
+  /// protocol guarantees one drainer), and it keeps its capacity across
+  /// drains so the move-out of the ring allocates nothing in steady state.
+  std::vector<FrameJob> drain_batch_;
 
   mutable std::mutex state_mu_;  // detector + verdict history
   core::StreamingDetector detector_;

@@ -66,16 +66,19 @@ core::StreamingDetector SessionManager::checkout_detector() {
   return detector;
 }
 
-std::optional<SessionId> SessionManager::create() {
+bool SessionManager::reserve_slot() {
   // Optimistic reservation: claim a slot first so two racing creates cannot
   // both squeeze past the cap, release it if that overshot.
   const std::size_t prior = active_.fetch_add(1, std::memory_order_acq_rel);
   if (prior >= config_.max_sessions) {
     active_.fetch_sub(1, std::memory_order_acq_rel);
     metrics_.on_session_rejected();
-    return std::nullopt;
+    return false;
   }
-  const SessionId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void SessionManager::install_session(SessionId id) {
   core::StreamingDetector detector = checkout_detector();
   detector.set_stream_id(id);  // labels the session's RoundExplanations
   auto session = std::make_shared<ServiceSession>(
@@ -86,6 +89,25 @@ std::optional<SessionId> SessionManager::create() {
     shard.sessions.emplace(id, std::move(session));
   }
   metrics_.on_session_created();
+}
+
+std::optional<SessionId> SessionManager::create() {
+  if (!reserve_slot()) return std::nullopt;
+  const SessionId id = next_id_.fetch_add(1, std::memory_order_relaxed);
+  install_session(id);
+  return id;
+}
+
+std::optional<SessionId> SessionManager::create_on_shard(std::size_t shard) {
+  if (!reserve_slot()) return std::nullopt;
+  const SessionId n = static_cast<SessionId>(shards_.size());
+  const SessionId target = static_cast<SessionId>(shard) % n;
+  // Pick the id congruent to `target` mod n_shards so the existing
+  // shard_of() routing (id % n_shards) lands on the pinned shard.
+  const SessionId offset = (target + n - kRoutedIdBase % n) % n;
+  const SessionId k = next_routed_k_.fetch_add(1, std::memory_order_relaxed);
+  const SessionId id = kRoutedIdBase + k * n + offset;
+  install_session(id);
   return id;
 }
 
@@ -98,15 +120,21 @@ std::shared_ptr<ServiceSession> SessionManager::find(SessionId id) const {
 
 bool SessionManager::feed(SessionId id, double t_sec,
                           image::Image transmitted, image::Image received) {
-  const obs::ObsSpan span("service.feed", "service");
-  const std::shared_ptr<ServiceSession> session = find(id);
-  if (session == nullptr) return false;
-
   FrameJob job;
   job.t_sec = t_sec;
   job.transmitted = std::move(transmitted);
   job.received = std::move(received);
   job.enqueued_at = ServiceClock::now();
+  return feed(id, std::move(job));
+}
+
+bool SessionManager::feed(SessionId id, FrameJob&& job) {
+  const obs::ObsSpan span("service.feed", "service");
+  const std::shared_ptr<ServiceSession> session = find(id);
+  if (session == nullptr) {
+    release_frame_job(std::move(job));
+    return false;
+  }
 
   bool dropped = false;
   if (!session->enqueue(std::move(job), &dropped)) return false;
@@ -134,6 +162,18 @@ std::vector<WindowVerdict> SessionManager::verdicts(SessionId id) const {
   const std::shared_ptr<ServiceSession> session = find(id);
   return session == nullptr ? std::vector<WindowVerdict>{}
                             : session->verdicts();
+}
+
+std::size_t SessionManager::verdict_count(SessionId id) const {
+  const std::shared_ptr<ServiceSession> session = find(id);
+  return session == nullptr ? 0 : session->verdict_count();
+}
+
+std::size_t SessionManager::copy_verdicts(SessionId id, std::size_t from,
+                                          WindowVerdict* out,
+                                          std::size_t max) const {
+  const std::shared_ptr<ServiceSession> session = find(id);
+  return session == nullptr ? 0 : session->copy_verdicts(from, out, max);
 }
 
 std::optional<ServiceSession::CloseReport> SessionManager::evict(

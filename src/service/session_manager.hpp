@@ -70,6 +70,9 @@ class SessionManager {
   /// Deprecated shim, kept for one release: wraps the trained `prototype`'s
   /// model into a fresh single-version registry and forwards its streaming
   /// config and explanation sink to the primary constructor.
+  [[deprecated(
+      "construct with a ModelRegistry of published snapshots; see "
+      "model::fit_lof_model")]]
   SessionManager(ServiceConfig config, core::StreamingDetector prototype);
 
   SessionManager(const SessionManager&) = delete;
@@ -82,6 +85,13 @@ class SessionManager {
   /// Admits a new session, or std::nullopt when at capacity.
   [[nodiscard]] std::optional<SessionId> create();
 
+  /// Admits a new session pinned to `shard` (how the wire layer maps a
+  /// consistent-hash of the client's session token onto a shard). Pinned
+  /// ids come from a reserved high range (kRoutedIdBase) so they never
+  /// collide with create()'s sequential ids, and are constructed to satisfy
+  /// id % n_shards == shard. std::nullopt when at capacity.
+  [[nodiscard]] std::optional<SessionId> create_on_shard(std::size_t shard);
+
   /// Feeds one simultaneous frame pair at session time `t_sec`. Thread-safe
   /// for distinct sessions; frames of one session must be fed in order by a
   /// single caller at a time (the natural shape: one chat, one feeder).
@@ -89,12 +99,28 @@ class SessionManager {
   bool feed(SessionId id, double t_sec, image::Image transmitted,
             image::Image received);
 
+  /// Pooled-frame variant: the caller supplies a fully formed job (with
+  /// enqueued_at already stamped at decode time, so queueing delay inside
+  /// the wire front-end counts toward push-to-verdict latency). The manager
+  /// consumes the job in all cases — on failure its storage has already
+  /// been returned to the job's recycler.
+  bool feed(SessionId id, FrameJob&& job);
+
   /// Majority vote over the session's completed windows so far.
   [[nodiscard]] std::optional<core::VoteOutcome> running_verdict(
       SessionId id) const;
 
   /// Per-window verdict history (empty for unknown sessions).
   [[nodiscard]] std::vector<WindowVerdict> verdicts(SessionId id) const;
+
+  /// Completed windows so far (0 for unknown sessions). Allocation-free;
+  /// the wire layer polls this as its per-stream verdict watermark.
+  [[nodiscard]] std::size_t verdict_count(SessionId id) const;
+
+  /// Copies verdicts [from, from+max) into the caller-supplied array,
+  /// returning how many were copied. Allocation-free (unlike verdicts()).
+  std::size_t copy_verdicts(SessionId id, std::size_t from,
+                            WindowVerdict* out, std::size_t max) const;
 
   /// Tears the session down and returns its final accounting, including how
   /// much partial-window evidence was discarded. std::nullopt if unknown.
@@ -117,6 +143,10 @@ class SessionManager {
     return metrics_.snapshot(active_.load(std::memory_order_relaxed));
   }
 
+  /// First id of the shard-pinned range used by create_on_shard(). High
+  /// enough that create()'s sequential ids can never reach it.
+  static constexpr SessionId kRoutedIdBase = SessionId{1} << 40;
+
  private:
   struct Shard {
     mutable std::mutex mu;
@@ -128,6 +158,10 @@ class SessionManager {
   }
   [[nodiscard]] std::shared_ptr<ServiceSession> find(SessionId id) const;
   [[nodiscard]] core::StreamingDetector checkout_detector();
+  /// Claims an admission slot (optimistic reservation); false at capacity.
+  [[nodiscard]] bool reserve_slot();
+  /// Builds the detector + session for `id` and installs it in its shard.
+  void install_session(SessionId id);
 
   ServiceConfig config_;
   core::StreamingConfig streaming_config_;
@@ -135,6 +169,9 @@ class SessionManager {
   obs::ExplanationSink* explain_sink_ = nullptr;  ///< borrowed; may be null
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<SessionId> next_id_{1};
+  /// Counter for the pinned range: id = base + k*n_shards + offset(shard),
+  /// so any two pinned ids differ in k or in residue — never equal.
+  std::atomic<SessionId> next_routed_k_{0};
   std::atomic<std::size_t> active_{0};
   FrameScheduler* scheduler_ = nullptr;
   ServiceMetrics metrics_;

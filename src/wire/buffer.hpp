@@ -1,0 +1,93 @@
+// Incremental byte buffer for non-blocking socket I/O.
+//
+// One contiguous allocation with a consumed/readable/writable split:
+//
+//   [0 .. read_pos_) consumed   [read_pos_ .. end_) readable   [end_ ..] free
+//
+// reads append at the tail, the decoder consumes from the head, and
+// compact() slides the unread remainder to the front once the consumed
+// prefix grows — so steady-state traffic runs inside one fixed allocation
+// no matter how many partial reads and writes it is split into. Capacity
+// only ever grows (ensure_writable), which is the only operation that can
+// allocate; the zero-allocation gate relies on that.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace lumichat::wire {
+
+class ByteBuffer {
+ public:
+  explicit ByteBuffer(std::size_t initial_capacity = 4096) {
+    storage_.resize(initial_capacity);
+  }
+
+  /// Unconsumed bytes (what a decoder may look at).
+  [[nodiscard]] std::size_t readable() const { return end_ - read_pos_; }
+  [[nodiscard]] const std::uint8_t* read_ptr() const {
+    return storage_.data() + read_pos_;
+  }
+
+  /// Marks `n` readable bytes as consumed.
+  void consume(std::size_t n) {
+    read_pos_ += n;
+    if (read_pos_ == end_) {
+      read_pos_ = 0;  // cheap full reset — nothing left to slide
+      end_ = 0;
+    }
+  }
+
+  /// Free bytes at the tail without growing.
+  [[nodiscard]] std::size_t writable() const {
+    return storage_.size() - end_;
+  }
+  [[nodiscard]] std::uint8_t* write_ptr() { return storage_.data() + end_; }
+
+  /// Declares `n` bytes written at write_ptr().
+  void commit(std::size_t n) { end_ += n; }
+
+  /// Guarantees at least `n` writable bytes: first reclaims the consumed
+  /// prefix (memmove, no allocation), grows the storage only if the unread
+  /// data plus `n` genuinely exceed capacity.
+  void ensure_writable(std::size_t n) {
+    if (writable() >= n) return;
+    compact();
+    if (writable() >= n) return;
+    std::size_t want = storage_.size() == 0 ? 64 : storage_.size();
+    while (want - end_ < n) want *= 2;
+    storage_.resize(want);
+  }
+
+  /// Appends `n` bytes (growing if needed).
+  void append(const std::uint8_t* data, std::size_t n) {
+    ensure_writable(n);
+    std::memcpy(write_ptr(), data, n);
+    commit(n);
+  }
+
+  /// Slides unread bytes to offset 0, reclaiming the consumed prefix.
+  void compact() {
+    if (read_pos_ == 0) return;
+    const std::size_t n = readable();
+    std::memmove(storage_.data(), storage_.data() + read_pos_, n);
+    read_pos_ = 0;
+    end_ = n;
+  }
+
+  void clear() {
+    read_pos_ = 0;
+    end_ = 0;
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return storage_.size(); }
+
+ private:
+  std::vector<std::uint8_t> storage_;
+  std::size_t read_pos_ = 0;
+  std::size_t end_ = 0;
+};
+
+}  // namespace lumichat::wire

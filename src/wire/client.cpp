@@ -1,0 +1,176 @@
+#include "wire/client.hpp"
+
+#include <algorithm>
+#include <cerrno>
+
+#include <fcntl.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace lumichat::wire {
+
+WireClient::WireClient(int fd, std::size_t expected_events) : fd_(fd) {
+  const int flags = ::fcntl(fd_, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
+  acks_.reserve(expected_events);
+  verdicts_.reserve(expected_events);
+  byes_.reserve(expected_events);
+}
+
+WireClient::~WireClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+template <typename EncodeFn>
+void WireClient::queue(std::size_t wire_size, EncodeFn&& encode) {
+  out_.ensure_writable(wire_size);
+  const std::size_t n = encode(out_.write_ptr(), wire_size);
+  out_.commit(n);
+}
+
+void WireClient::hello(std::uint64_t token, std::uint32_t stream_id,
+                       std::uint32_t frame_width, std::uint32_t frame_height,
+                       std::uint64_t nonce) {
+  HelloMsg msg;
+  msg.frame_width = frame_width;
+  msg.frame_height = frame_height;
+  msg.client_nonce = nonce;
+  queue(kHeaderSize + kHelloPayloadSize,
+        [&](std::uint8_t* buf, std::size_t cap) {
+          return encode_hello(buf, cap, token, stream_id, msg);
+        });
+}
+
+void WireClient::send_frame(std::uint64_t token, std::uint32_t stream_id,
+                            std::uint32_t frame_seq,
+                            std::uint64_t timestamp_us,
+                            const image::Image& transmitted,
+                            const image::Image& received) {
+  queue(frame_wire_size(transmitted.width(), transmitted.height()),
+        [&](std::uint8_t* buf, std::size_t cap) {
+          return encode_frame(buf, cap, token, stream_id, frame_seq,
+                              timestamp_us, transmitted, received);
+        });
+}
+
+void WireClient::heartbeat(std::uint64_t token, std::uint32_t stream_id,
+                           std::uint64_t t_us) {
+  HeartbeatMsg msg;
+  msg.t_us = t_us;
+  queue(kHeaderSize + kHeartbeatPayloadSize,
+        [&](std::uint8_t* buf, std::size_t cap) {
+          return encode_heartbeat(buf, cap, token, stream_id, msg);
+        });
+}
+
+void WireClient::bye(std::uint64_t token, std::uint32_t stream_id,
+                     ByeReason reason) {
+  ByeMsg msg;
+  msg.reason = static_cast<std::uint32_t>(reason);
+  queue(kHeaderSize + kByePayloadSize,
+        [&](std::uint8_t* buf, std::size_t cap) {
+          return encode_bye(buf, cap, token, stream_id, msg);
+        });
+}
+
+bool WireClient::flush() {
+  while (out_.readable() > 0) {
+    const ssize_t n =
+        ::send(fd_, out_.read_ptr(), out_.readable(), MSG_NOSIGNAL);
+    if (n > 0) {
+      out_.consume(static_cast<std::size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    failed_ = true;
+    return false;
+  }
+  return true;
+}
+
+std::size_t WireClient::poll() {
+  constexpr std::size_t kChunk = 64 * 1024;
+  for (;;) {
+    in_.ensure_writable(kChunk);
+    const ssize_t n =
+        ::recv(fd_, in_.write_ptr(), std::min(in_.writable(), kChunk), 0);
+    if (n > 0) {
+      in_.commit(static_cast<std::size_t>(n));
+      if (static_cast<std::size_t>(n) < kChunk) break;  // drained the socket
+      continue;
+    }
+    if (n == 0) failed_ = true;  // server hung up mid-conversation
+    if (n < 0 && errno != EAGAIN && errno != EWOULDBLOCK && errno != EINTR) {
+      failed_ = true;
+    }
+    break;
+  }
+
+  std::size_t decoded = 0;
+  while (in_.readable() > 0) {
+    MessageView msg;
+    const DecodeStatus st = decode_message(in_.read_ptr(), in_.readable(), &msg);
+    if (st == DecodeStatus::kNeedMore) break;
+    if (st == DecodeStatus::kMalformed) {
+      failed_ = true;
+      in_.clear();
+      break;
+    }
+    switch (msg.header.type) {
+      case MsgType::kHelloAck: {
+        AckEvent ev;
+        ev.stream_id = msg.header.stream_id;
+        if (parse_hello_ack(msg, &ev.ack)) acks_.push_back(ev);
+        break;
+      }
+      case MsgType::kVerdict: {
+        VerdictEvent ev;
+        ev.stream_id = msg.header.stream_id;
+        if (parse_verdict(msg, &ev.verdict)) verdicts_.push_back(ev);
+        break;
+      }
+      case MsgType::kHeartbeat:
+        ++heartbeats_;
+        break;
+      case MsgType::kBye: {
+        ByeEvent ev;
+        ev.stream_id = msg.header.stream_id;
+        if (parse_bye(msg, &ev.bye)) byes_.push_back(ev);
+        break;
+      }
+      default:
+        failed_ = true;  // client-to-server message echoed back: corrupt
+        break;
+    }
+    ++decoded;
+    in_.consume(msg.wire_size);
+  }
+  return decoded;
+}
+
+namespace {
+
+/// Moves the first min(max, v.size()) elements of `v` into `out` and slides
+/// the remainder down (memmove — no allocation).
+template <typename T>
+std::size_t take_prefix(std::vector<T>& v, T* out, std::size_t max) {
+  const std::size_t n = std::min(max, v.size());
+  std::copy(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(n), out);
+  v.erase(v.begin(), v.begin() + static_cast<std::ptrdiff_t>(n));
+  return n;
+}
+
+}  // namespace
+
+std::size_t WireClient::take_acks(AckEvent* out, std::size_t max) {
+  return take_prefix(acks_, out, max);
+}
+std::size_t WireClient::take_verdicts(VerdictEvent* out, std::size_t max) {
+  return take_prefix(verdicts_, out, max);
+}
+std::size_t WireClient::take_byes(ByeEvent* out, std::size_t max) {
+  return take_prefix(byes_, out, max);
+}
+
+}  // namespace lumichat::wire

@@ -1,0 +1,106 @@
+// Client half of the wire protocol: the feeder the socket bench and the
+// end-to-end tests speak through.
+//
+// A WireClient owns one non-blocking socket and multiplexes any number of
+// streams over it. Sends are buffered: hello()/send_frame()/heartbeat()/
+// bye() encode into an outgoing ByteBuffer and flush() pushes as much as
+// the socket accepts — so a caller can interleave flush() with the server's
+// poll() on the same thread (the socketpair harness) without either side
+// blocking on a full kernel buffer. poll() reads and decodes everything
+// available, accumulating HelloAcks, Verdicts, Heartbeat echoes and Byes
+// for the caller to take.
+//
+// Like the server, the client's steady state allocates nothing per frame:
+// encodes go straight into the (plateaued) outgoing buffer and decoded
+// events land in pre-reserved vectors drained by take_acks/take_verdicts.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "image/image.hpp"
+#include "wire/buffer.hpp"
+#include "wire/protocol.hpp"
+
+namespace lumichat::wire {
+
+/// One decoded server->client message, tagged with its stream.
+struct AckEvent {
+  std::uint32_t stream_id = 0;
+  HelloAckMsg ack{};
+};
+struct VerdictEvent {
+  std::uint32_t stream_id = 0;
+  VerdictMsg verdict{};
+};
+struct ByeEvent {
+  std::uint32_t stream_id = 0;
+  ByeMsg bye{};
+};
+
+class WireClient {
+ public:
+  /// Takes ownership of a connected socket (switched to non-blocking).
+  /// `expected_events` pre-reserves the event vectors so steady-state
+  /// polling does not grow them.
+  explicit WireClient(int fd, std::size_t expected_events = 64);
+  ~WireClient();
+
+  WireClient(const WireClient&) = delete;
+  WireClient& operator=(const WireClient&) = delete;
+
+  // --- Buffered sends (call flush() to move them onto the wire) ----------
+  // `token` is the stream's session token — the server's shard-routing key;
+  // each stream carries its own (a connection multiplexes many sessions).
+  void hello(std::uint64_t token, std::uint32_t stream_id,
+             std::uint32_t frame_width, std::uint32_t frame_height,
+             std::uint64_t nonce = 0);
+  void send_frame(std::uint64_t token, std::uint32_t stream_id,
+                  std::uint32_t frame_seq, std::uint64_t timestamp_us,
+                  const image::Image& transmitted,
+                  const image::Image& received);
+  void heartbeat(std::uint64_t token, std::uint32_t stream_id,
+                 std::uint64_t t_us);
+  void bye(std::uint64_t token, std::uint32_t stream_id,
+           ByeReason reason = ByeReason::kNormal);
+
+  /// Pushes buffered bytes to the socket until it would block. False only
+  /// on a fatal socket error (the client is dead afterwards).
+  bool flush();
+
+  /// Bytes still buffered for sending.
+  [[nodiscard]] std::size_t pending_out() const { return out_.readable(); }
+
+  /// Reads and decodes everything currently available. Returns the number
+  /// of messages decoded; check failed() for stream corruption / EOF.
+  std::size_t poll();
+
+  /// Moves up to `max` accumulated events into `out`, returning the count.
+  std::size_t take_acks(AckEvent* out, std::size_t max);
+  std::size_t take_verdicts(VerdictEvent* out, std::size_t max);
+  std::size_t take_byes(ByeEvent* out, std::size_t max);
+
+  [[nodiscard]] std::size_t heartbeats_echoed() const { return heartbeats_; }
+  /// Protocol corruption, unexpected EOF, or socket error was observed.
+  [[nodiscard]] bool failed() const { return failed_; }
+  /// The underlying socket (still owned by the client) — test harnesses use
+  /// it to inject raw bytes past the encoder.
+  [[nodiscard]] int fd() const { return fd_; }
+
+ private:
+  /// Reserves `n` writable bytes in out_ and commits an encode of that size.
+  template <typename EncodeFn>
+  void queue(std::size_t wire_size, EncodeFn&& encode);
+
+  int fd_;
+  ByteBuffer out_;
+  ByteBuffer in_;
+  std::vector<AckEvent> acks_;
+  std::vector<VerdictEvent> verdicts_;
+  std::vector<ByeEvent> byes_;
+  std::size_t heartbeats_ = 0;
+  bool failed_ = false;
+};
+
+}  // namespace lumichat::wire

@@ -1,0 +1,75 @@
+// Readiness notification for the wire front-end.
+//
+// One EventLoop multiplexes every socket the server owns — the listener and
+// all connections — behind a single wait() call. Two backends:
+//
+//   * kEpoll (Linux): one epoll instance, O(ready) dispatch. The default
+//     wherever it compiles.
+//   * kPoll: portable poll(2) over the registered fd set, O(registered)
+//     dispatch. Fallback for non-Linux builds, and forced everywhere via
+//     LUMICHAT_WIRE_POLL=1 so CI exercises both paths on the same machine.
+//
+// Both backends report through the same preallocated Event array, so a
+// steady-state wait/dispatch cycle allocates nothing; only add() may grow
+// the registration tables.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include <poll.h>
+
+namespace lumichat::wire {
+
+enum class Backend { kEpoll, kPoll };
+
+/// One ready fd, as reported by wait().
+struct Event {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  /// Error or hangup — the owner should tear the fd down.
+  bool error = false;
+};
+
+class EventLoop {
+ public:
+  /// kEpoll on Linux, kPoll elsewhere; LUMICHAT_WIRE_POLL=1 forces kPoll.
+  [[nodiscard]] static Backend default_backend();
+
+  explicit EventLoop(Backend backend = default_backend());
+  ~EventLoop();
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` for the given interest set. False on failure (e.g. the
+  /// fd is already registered).
+  bool add(int fd, bool want_read, bool want_write);
+
+  /// Updates an already-registered fd's interest set.
+  bool modify(int fd, bool want_read, bool want_write);
+
+  /// Unregisters `fd` (does not close it).
+  bool remove(int fd);
+
+  /// Blocks up to `timeout_ms` (0 = poll-and-return, -1 = indefinitely) and
+  /// returns the number of ready fds, readable via event(i).
+  [[nodiscard]] std::size_t wait(int timeout_ms);
+
+  [[nodiscard]] const Event& event(std::size_t i) const { return events_[i]; }
+
+  [[nodiscard]] Backend backend() const { return backend_; }
+  [[nodiscard]] std::size_t watched() const;
+
+ private:
+  [[nodiscard]] std::size_t poll_index(int fd) const;
+
+  Backend backend_;
+  int epfd_ = -1;                  ///< epoll backend only
+  std::vector<Event> events_;      ///< wait() results; fixed dispatch batch
+  std::vector<::pollfd> pollfds_;  ///< poll backend registration table
+  std::size_t n_watched_ = 0;
+};
+
+}  // namespace lumichat::wire

@@ -1,0 +1,301 @@
+#include "wire/protocol.hpp"
+
+#include <cstring>
+
+#include "wire/crc32.hpp"
+
+namespace lumichat::wire {
+namespace {
+
+// The frame payload is memcpy'd between the wire and image::Pixel storage,
+// which is only valid while a Pixel is exactly three packed doubles.
+static_assert(sizeof(image::Pixel) == 3 * sizeof(double),
+              "wire frame payload assumes packed {r,g,b} doubles");
+
+constexpr std::size_t kCrcCoverageInHeader = 20;  // bytes [0,20): all but crc
+
+void put_u16(std::uint8_t* p, std::uint16_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+}
+void put_u32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+void put_u64(std::uint8_t* p, std::uint64_t v) {
+  put_u32(p, static_cast<std::uint32_t>(v));
+  put_u32(p + 4, static_cast<std::uint32_t>(v >> 32));
+}
+void put_f64(std::uint8_t* p, double v) {
+  // Doubles travel as their IEEE-754 little-endian bytes: lossless, and the
+  // native representation on every supported target.
+  std::memcpy(p, &v, sizeof v);
+}
+
+std::uint16_t get_u16(const std::uint8_t* p) {
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+std::uint32_t get_u32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+std::uint64_t get_u64(const std::uint8_t* p) {
+  return static_cast<std::uint64_t>(get_u32(p)) |
+         (static_cast<std::uint64_t>(get_u32(p + 4)) << 32);
+}
+double get_f64(const std::uint8_t* p) {
+  double v;
+  std::memcpy(&v, p, sizeof v);
+  return v;
+}
+
+bool known_type(std::uint8_t t) {
+  return t >= static_cast<std::uint8_t>(MsgType::kHello) &&
+         t <= static_cast<std::uint8_t>(MsgType::kBye);
+}
+
+/// Writes the header (with the CRC over header[0,20)+payload already folded
+/// in) for a message whose payload bytes sit at buf + kHeaderSize.
+void seal_header(std::uint8_t* buf, std::size_t payload_len, MsgType type,
+                 std::uint64_t session_token, std::uint32_t stream_id) {
+  put_u32(buf, static_cast<std::uint32_t>(payload_len));
+  buf[4] = kProtocolVersion;
+  buf[5] = static_cast<std::uint8_t>(type);
+  put_u16(buf + 6, 0);
+  put_u64(buf + 8, session_token);
+  put_u32(buf + 16, stream_id);
+  const std::uint32_t crc = crc32_final(crc32_update(
+      crc32_update(kCrc32Init, buf, kCrcCoverageInHeader),
+      buf + kHeaderSize, payload_len));
+  put_u32(buf + 20, crc);
+}
+
+/// True when the view is a `type` message with exactly `payload_len` bytes.
+bool expect(const MessageView& view, MsgType type, std::size_t payload_len) {
+  return view.header.type == type && view.payload_len == payload_len;
+}
+
+}  // namespace
+
+DecodeStatus decode_message(const std::uint8_t* data, std::size_t len,
+                            MessageView* out) {
+  if (len < kHeaderSize) {
+    // Validate whatever header prefix is present so a poisoned stream is
+    // rejected at the earliest byte, not after buffering kMaxPayload.
+    if (len >= 5 && data[4] != kProtocolVersion) return DecodeStatus::kMalformed;
+    if (len >= 6 && !known_type(data[5])) return DecodeStatus::kMalformed;
+    if (len >= 4 && get_u32(data) > kMaxPayload) return DecodeStatus::kMalformed;
+    return DecodeStatus::kNeedMore;
+  }
+
+  MessageHeader header;
+  header.payload_len = get_u32(data);
+  header.version = data[4];
+  const std::uint8_t raw_type = data[5];
+  header.flags = get_u16(data + 6);
+  header.session_token = get_u64(data + 8);
+  header.stream_id = get_u32(data + 16);
+  header.crc32 = get_u32(data + 20);
+
+  if (header.version != kProtocolVersion) return DecodeStatus::kMalformed;
+  if (!known_type(raw_type)) return DecodeStatus::kMalformed;
+  header.type = static_cast<MsgType>(raw_type);
+  if (header.flags != 0) return DecodeStatus::kMalformed;
+  if (header.payload_len > kMaxPayload) return DecodeStatus::kMalformed;
+
+  const std::size_t total = kHeaderSize + header.payload_len;
+  if (len < total) return DecodeStatus::kNeedMore;
+
+  const std::uint32_t crc = crc32_final(crc32_update(
+      crc32_update(kCrc32Init, data, kCrcCoverageInHeader),
+      data + kHeaderSize, header.payload_len));
+  if (crc != header.crc32) return DecodeStatus::kMalformed;
+
+  out->header = header;
+  out->payload = data + kHeaderSize;
+  out->payload_len = header.payload_len;
+  out->wire_size = total;
+  return DecodeStatus::kOk;
+}
+
+std::size_t encode_hello(std::uint8_t* buf, std::size_t cap,
+                         std::uint64_t session_token, std::uint32_t stream_id,
+                         const HelloMsg& msg) {
+  const std::size_t total = kHeaderSize + kHelloPayloadSize;
+  if (cap < total) return 0;
+  std::uint8_t* p = buf + kHeaderSize;
+  put_u32(p, msg.frame_width);
+  put_u32(p + 4, msg.frame_height);
+  put_u64(p + 8, msg.client_nonce);
+  seal_header(buf, kHelloPayloadSize, MsgType::kHello, session_token,
+              stream_id);
+  return total;
+}
+
+std::size_t encode_hello_ack(std::uint8_t* buf, std::size_t cap,
+                             std::uint64_t session_token,
+                             std::uint32_t stream_id, const HelloAckMsg& msg) {
+  const std::size_t total = kHeaderSize + kHelloAckPayloadSize;
+  if (cap < total) return 0;
+  std::uint8_t* p = buf + kHeaderSize;
+  put_u64(p, msg.assigned_session);
+  put_u32(p + 8, msg.status);
+  put_u32(p + 12, msg.shard);
+  seal_header(buf, kHelloAckPayloadSize, MsgType::kHelloAck, session_token,
+              stream_id);
+  return total;
+}
+
+std::size_t encode_frame(std::uint8_t* buf, std::size_t cap,
+                         std::uint64_t session_token, std::uint32_t stream_id,
+                         std::uint32_t frame_seq, std::uint64_t timestamp_us,
+                         const image::Image& transmitted,
+                         const image::Image& received) {
+  if (transmitted.width() != received.width() ||
+      transmitted.height() != received.height() || transmitted.empty()) {
+    return 0;
+  }
+  const std::size_t w = transmitted.width();
+  const std::size_t h = transmitted.height();
+  if (w > kMaxFrameEdge || h > kMaxFrameEdge) return 0;
+  const std::size_t payload = frame_payload_size(w, h);
+  const std::size_t total = kHeaderSize + payload;
+  if (cap < total) return 0;
+
+  std::uint8_t* p = buf + kHeaderSize;
+  put_u32(p, frame_seq);
+  put_u32(p + 4, 0);
+  put_u64(p + 8, timestamp_us);
+  put_u32(p + 16, static_cast<std::uint32_t>(w));
+  put_u32(p + 20, static_cast<std::uint32_t>(h));
+  const std::size_t plane = w * h * sizeof(image::Pixel);
+  std::memcpy(p + kFramePayloadFixedSize, transmitted.pixels().data(), plane);
+  std::memcpy(p + kFramePayloadFixedSize + plane, received.pixels().data(),
+              plane);
+  seal_header(buf, payload, MsgType::kFrame, session_token, stream_id);
+  return total;
+}
+
+std::size_t encode_verdict(std::uint8_t* buf, std::size_t cap,
+                           std::uint64_t session_token,
+                           std::uint32_t stream_id, const VerdictMsg& msg) {
+  const std::size_t total = kHeaderSize + kVerdictPayloadSize;
+  if (cap < total) return 0;
+  std::uint8_t* p = buf + kHeaderSize;
+  put_u32(p, msg.window_index);
+  p[4] = msg.verdict;
+  p[5] = msg.is_attacker;
+  put_u16(p + 6, 0);
+  put_f64(p + 8, msg.lof_score);
+  put_f64(p + 16, msg.push_to_verdict_s);
+  seal_header(buf, kVerdictPayloadSize, MsgType::kVerdict, session_token,
+              stream_id);
+  return total;
+}
+
+std::size_t encode_heartbeat(std::uint8_t* buf, std::size_t cap,
+                             std::uint64_t session_token,
+                             std::uint32_t stream_id,
+                             const HeartbeatMsg& msg) {
+  const std::size_t total = kHeaderSize + kHeartbeatPayloadSize;
+  if (cap < total) return 0;
+  put_u64(buf + kHeaderSize, msg.t_us);
+  seal_header(buf, kHeartbeatPayloadSize, MsgType::kHeartbeat, session_token,
+              stream_id);
+  return total;
+}
+
+std::size_t encode_bye(std::uint8_t* buf, std::size_t cap,
+                       std::uint64_t session_token, std::uint32_t stream_id,
+                       const ByeMsg& msg) {
+  const std::size_t total = kHeaderSize + kByePayloadSize;
+  if (cap < total) return 0;
+  put_u32(buf + kHeaderSize, msg.reason);
+  put_u32(buf + kHeaderSize + 4, 0);
+  seal_header(buf, kByePayloadSize, MsgType::kBye, session_token, stream_id);
+  return total;
+}
+
+bool parse_hello(const MessageView& view, HelloMsg* out) {
+  if (!expect(view, MsgType::kHello, kHelloPayloadSize)) return false;
+  out->frame_width = get_u32(view.payload);
+  out->frame_height = get_u32(view.payload + 4);
+  out->client_nonce = get_u64(view.payload + 8);
+  return true;
+}
+
+bool parse_hello_ack(const MessageView& view, HelloAckMsg* out) {
+  if (!expect(view, MsgType::kHelloAck, kHelloAckPayloadSize)) return false;
+  out->assigned_session = get_u64(view.payload);
+  out->status = get_u32(view.payload + 8);
+  out->shard = get_u32(view.payload + 12);
+  return true;
+}
+
+bool parse_frame(const MessageView& view, FrameMsg* out) {
+  if (view.header.type != MsgType::kFrame ||
+      view.payload_len < kFramePayloadFixedSize) {
+    return false;
+  }
+  out->frame_seq = get_u32(view.payload);
+  out->reserved = get_u32(view.payload + 4);
+  out->timestamp_us = get_u64(view.payload + 8);
+  out->width = get_u32(view.payload + 16);
+  out->height = get_u32(view.payload + 20);
+  if (out->width == 0 || out->height == 0 || out->width > kMaxFrameEdge ||
+      out->height > kMaxFrameEdge) {
+    return false;
+  }
+  // The announced dimensions must account for the payload exactly — a
+  // mismatch means a forged length field that a CRC alone cannot catch.
+  if (view.payload_len != frame_payload_size(out->width, out->height)) {
+    return false;
+  }
+  out->pixels = view.payload + kFramePayloadFixedSize;
+  return true;
+}
+
+bool parse_verdict(const MessageView& view, VerdictMsg* out) {
+  if (!expect(view, MsgType::kVerdict, kVerdictPayloadSize)) return false;
+  out->window_index = get_u32(view.payload);
+  out->verdict = view.payload[4];
+  out->is_attacker = view.payload[5];
+  out->reserved = get_u16(view.payload + 6);
+  out->lof_score = get_f64(view.payload + 8);
+  out->push_to_verdict_s = get_f64(view.payload + 16);
+  return true;
+}
+
+bool parse_heartbeat(const MessageView& view, HeartbeatMsg* out) {
+  if (!expect(view, MsgType::kHeartbeat, kHeartbeatPayloadSize)) return false;
+  out->t_us = get_u64(view.payload);
+  return true;
+}
+
+bool parse_bye(const MessageView& view, ByeMsg* out) {
+  if (!expect(view, MsgType::kBye, kByePayloadSize)) return false;
+  out->reason = get_u32(view.payload);
+  out->reserved = get_u32(view.payload + 4);
+  return true;
+}
+
+void frame_pixels_to_images(const FrameMsg& frame, image::Image* transmitted,
+                            image::Image* received) {
+  const std::size_t w = frame.width;
+  const std::size_t h = frame.height;
+  if (transmitted->width() != w || transmitted->height() != h) {
+    *transmitted = image::Image(w, h);
+  }
+  if (received->width() != w || received->height() != h) {
+    *received = image::Image(w, h);
+  }
+  const std::size_t plane = w * h * sizeof(image::Pixel);
+  std::memcpy(transmitted->data(), frame.pixels, plane);
+  std::memcpy(received->data(), frame.pixels + plane, plane);
+}
+
+}  // namespace lumichat::wire

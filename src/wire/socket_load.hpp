@@ -1,0 +1,51 @@
+// Socket-fed counterpart of service::run_load: the same deterministic chat
+// population, but every frame crosses a real socketpair as wire bytes
+// instead of being handed to the SessionManager in-process.
+//
+// The harness builds K socketpair connections (session ordinal -> connection
+// ordinal % K, stream id ordinal + 1), opens one wire stream per simulated
+// chat, and drives the same ChatSource frame streams run_load drives —
+// encode, flush, server poll, client poll interleaved on one thread so
+// neither side ever blocks on a full kernel buffer. Verdicts come back as
+// wire messages and are collected per stream; the returned LoadReport is
+// therefore directly comparable, field by field, with an in-process
+// run_load of the same spec — the end-to-end gate asserts the per-session
+// verdict sequences are bit-identical.
+//
+// Caveat: run_load equivalence holds while spec.ticks_per_pump stays within
+// the session queue capacity (no drop-oldest on either path). The harness
+// pumps more often than run_load's per-stride cadence, so once queues
+// overflow the two paths shed different frames.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "common/thread_pool.hpp"
+#include "model/registry.hpp"
+#include "obs/metrics.hpp"
+#include "service/load_generator.hpp"
+#include "wire/event_loop.hpp"
+
+namespace lumichat::wire {
+
+struct SocketLoadOptions {
+  /// Socketpair connections the sessions are multiplexed over.
+  std::size_t n_connections = 8;
+  Backend backend = EventLoop::default_backend();
+};
+
+/// Runs `spec` through a WireServer over socketpairs. Sessions appear in
+/// ordinal order; ids are the server-assigned (shard-pinned) session ids.
+/// `pool` feeds the FrameScheduler (nullptr drains inline on the driving
+/// thread); `registry` additionally receives the server's wire.* counters
+/// and wire.push_to_verdict histogram.
+[[nodiscard]] service::LoadReport run_socket_load(
+    const service::LoadSpec& spec,
+    const service::ServiceConfig& service_config,
+    const core::StreamingConfig& streaming,
+    std::shared_ptr<model::ModelRegistry> models,
+    const SocketLoadOptions& options = {}, common::ThreadPool* pool = nullptr,
+    obs::MetricsRegistry* registry = nullptr);
+
+}  // namespace lumichat::wire

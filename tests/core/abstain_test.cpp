@@ -21,6 +21,7 @@
 #include "core/preprocess.hpp"
 #include "core/streaming.hpp"
 #include "image/image.hpp"
+#include "model/snapshot.hpp"
 
 namespace lumichat::core {
 namespace {
@@ -65,7 +66,7 @@ chat::VideoClip blink_clip(std::size_t n) {
 
 Detector trained_detector(DetectorConfig config = {}) {
   Detector d(config);
-  d.train_on_features(legit_like(20, 9));
+  d.attach_model(model::fit_lof_model(d.config(), legit_like(20, 9)));
   return d;
 }
 
@@ -198,7 +199,7 @@ TEST(AbstainStreaming, AbstainsOnWindowsWithoutEvidenceWhenEnabled) {
   cfg.window_s = 2.0;
   cfg.detector.enable_abstain = true;
   StreamingDetector sd(cfg);
-  sd.train_on_features(legit_like(20, 4));
+  sd.attach_model(model::fit_lof_model(cfg.detector, legit_like(20, 4)));
   const image::Image sent(8, 8, image::Pixel{100, 100, 100});
   std::size_t windows = 0;
   for (int i = 0; i < 65; ++i) {  // 6.5 s -> 3 complete 2 s windows
@@ -221,7 +222,7 @@ TEST(AbstainStreaming, DefaultConfigNeverAbstains) {
   StreamingConfig cfg;
   cfg.window_s = 2.0;
   StreamingDetector sd(cfg);
-  sd.train_on_features(legit_like(20, 5));
+  sd.attach_model(model::fit_lof_model(cfg.detector, legit_like(20, 5)));
   const image::Image sent(8, 8, image::Pixel{100, 100, 100});
   for (int i = 0; i < 65; ++i) {
     const auto r = sd.push(static_cast<double>(i) * 0.1, sent, image::Image{});
@@ -239,7 +240,7 @@ TEST(AbstainStreaming, ResetClearsAbstainHistory) {
   cfg.window_s = 2.0;
   cfg.detector.enable_abstain = true;
   StreamingDetector sd(cfg);
-  sd.train_on_features(legit_like(20, 6));
+  sd.attach_model(model::fit_lof_model(cfg.detector, legit_like(20, 6)));
   const image::Image sent(8, 8, image::Pixel{100, 100, 100});
   for (int i = 0; i < 25; ++i) {
     (void)sd.push(static_cast<double>(i) * 0.1, sent, image::Image{});

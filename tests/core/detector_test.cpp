@@ -26,9 +26,9 @@ TEST(Detector, ClassifyBeforeTrainingThrows) {
   EXPECT_THROW((void)det.classify(FeatureVector{}), std::logic_error);
 }
 
-TEST(Detector, TrainOnFeaturesThenClassify) {
+TEST(Detector, FitModelThenClassify) {
   Detector det;
-  det.train_on_features(legit_like(20, 1));
+  det.attach_model(model::fit_lof_model(det.config(), legit_like(20, 1)));
   EXPECT_TRUE(det.is_trained());
 
   const DetectionResult good = det.classify(FeatureVector{1.0, 0.95, 0.85, 0.3});
@@ -42,18 +42,18 @@ TEST(Detector, TrainOnFeaturesThenClassify) {
 
 TEST(Detector, ThresholdAdjustable) {
   Detector det;
-  det.train_on_features(legit_like(20, 2));
+  det.attach_model(model::fit_lof_model(det.config(), legit_like(20, 2)));
   const FeatureVector borderline{0.7, 0.7, 0.5, 0.6};
   const double score = det.classify(borderline).lof_score;
-  det.set_threshold(score + 0.01);
+  det.set_tau(score + 0.01);
   EXPECT_FALSE(det.classify(borderline).is_attacker);
-  det.set_threshold(score - 0.01);
+  det.set_tau(score - 0.01);
   EXPECT_TRUE(det.classify(borderline).is_attacker);
 }
 
 TEST(Detector, ResultCarriesFeaturesAndScore) {
   Detector det;
-  det.train_on_features(legit_like(20, 3));
+  det.attach_model(model::fit_lof_model(det.config(), legit_like(20, 3)));
   const FeatureVector z{0.9, 0.9, 0.8, 0.35};
   const DetectionResult r = det.classify(z);
   EXPECT_DOUBLE_EQ(r.features.z1, z.z1);
@@ -102,7 +102,7 @@ TEST(Detector, ConfigPropagates) {
   cfg.lof_threshold = 2.0;
   cfg.lof_neighbors = 3;
   Detector det(cfg);
-  det.train_on_features(legit_like(10, 4));
+  det.attach_model(model::fit_lof_model(det.config(), legit_like(10, 4)));
   EXPECT_DOUBLE_EQ(det.config().lof_threshold, 2.0);
   // tau=2 is stricter than the default 3: a mild outlier gets flagged.
   const DetectionResult r = det.classify(FeatureVector{0.6, 0.6, 0.4, 0.7});

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.hpp"
+#include "model/snapshot.hpp"
 #include "eval/dataset.hpp"
 #include "eval/population.hpp"
 #include "obs/explain.hpp"
@@ -24,7 +25,8 @@ std::vector<FeatureVector> legit_like(std::size_t n, std::uint64_t seed) {
 
 TEST(Streaming, NoVerdictBeforeWindowCompletes) {
   StreamingDetector sd;
-  sd.train_on_features(legit_like(20, 1));
+  sd.attach_model(
+      model::fit_lof_model(sd.config().detector, legit_like(20, 1)));
   const image::Image frame(8, 8, image::Pixel{100, 100, 100});
   for (int i = 0; i < 50; ++i) {  // 5 s of a 15 s window
     EXPECT_FALSE(sd.push(static_cast<double>(i) * 0.1, frame, frame));
@@ -36,7 +38,7 @@ TEST(Streaming, EmitsVerdictEveryWindow) {
   StreamingConfig cfg;
   cfg.window_s = 3.0;  // short windows for test speed
   StreamingDetector sd(cfg);
-  sd.train_on_features(legit_like(20, 2));
+  sd.attach_model(model::fit_lof_model(cfg.detector, legit_like(20, 2)));
   const image::Image frame(8, 8, image::Pixel{100, 100, 100});
   std::size_t verdicts = 0;
   for (int i = 0; i < 95; ++i) {  // 9.5 s -> 3 complete windows
@@ -50,7 +52,7 @@ TEST(Streaming, SkipsFramesFasterThanSamplingRate) {
   StreamingConfig cfg;
   cfg.window_s = 2.0;
   StreamingDetector sd(cfg);
-  sd.train_on_features(legit_like(20, 3));
+  sd.attach_model(model::fit_lof_model(cfg.detector, legit_like(20, 3)));
   const image::Image frame(8, 8, image::Pixel{100, 100, 100});
   // 30 fps input, 10 Hz sampling: a window needs 2 s regardless.
   std::size_t verdicts = 0;
@@ -64,7 +66,7 @@ TEST(Streaming, ResetWindowDropsPartialData) {
   StreamingConfig cfg;
   cfg.window_s = 2.0;
   StreamingDetector sd(cfg);
-  sd.train_on_features(legit_like(20, 4));
+  sd.attach_model(model::fit_lof_model(cfg.detector, legit_like(20, 4)));
   const image::Image frame(8, 8, image::Pixel{100, 100, 100});
   for (int i = 0; i < 15; ++i) {
     (void)sd.push(static_cast<double>(i) * 0.1, frame, frame);
@@ -84,7 +86,7 @@ TEST(Streaming, RunningVerdictAggregatesWindows) {
   StreamingConfig cfg;
   cfg.window_s = 2.0;
   StreamingDetector sd(cfg);
-  sd.train_on_features(legit_like(20, 5));
+  sd.attach_model(model::fit_lof_model(cfg.detector, legit_like(20, 5)));
   const image::Image frame(8, 8, image::Pixel{100, 100, 100});
   for (int i = 0; i < 65; ++i) {
     (void)sd.push(static_cast<double>(i) * 0.1, frame, frame);
@@ -97,7 +99,7 @@ TEST(Streaming, PendingSamplesTracksThePartialWindow) {
   StreamingConfig cfg;
   cfg.window_s = 2.0;
   StreamingDetector sd(cfg);
-  sd.train_on_features(legit_like(20, 6));
+  sd.attach_model(model::fit_lof_model(cfg.detector, legit_like(20, 6)));
   const image::Image frame(8, 8, image::Pixel{100, 100, 100});
   EXPECT_EQ(sd.pending_samples(), 0u);
   for (int i = 0; i < 7; ++i) {
@@ -116,7 +118,7 @@ TEST(Streaming, FlushReportsDiscardedEvidence) {
   StreamingConfig cfg;
   cfg.window_s = 2.0;  // 20 samples at the default 10 Hz
   StreamingDetector sd(cfg);
-  sd.train_on_features(legit_like(20, 7));
+  sd.attach_model(model::fit_lof_model(cfg.detector, legit_like(20, 7)));
   const image::Image frame(8, 8, image::Pixel{100, 100, 100});
   for (int i = 0; i < 7; ++i) {
     (void)sd.push(static_cast<double>(i) * 0.1, frame, frame);
@@ -142,9 +144,9 @@ TEST(Streaming, ResetReproducesAFreshDetectorBitExactly) {
   StreamingConfig cfg;
   cfg.window_s = 2.0;
   StreamingDetector used(cfg);
-  used.train_on_features(legit_like(20, 8));
+  used.attach_model(model::fit_lof_model(cfg.detector, legit_like(20, 8)));
   StreamingDetector fresh(cfg);
-  fresh.train_on_features(legit_like(20, 8));
+  fresh.attach_model(model::fit_lof_model(cfg.detector, legit_like(20, 8)));
 
   common::Rng rng(123);
   const image::Image empty_frame;
@@ -190,7 +192,7 @@ TEST(Streaming, ResetClearsStreamIdAndRestartsExplanationRounds) {
   StreamingConfig cfg;
   cfg.window_s = 2.0;
   StreamingDetector sd(cfg);
-  sd.train_on_features(legit_like(20, 9));
+  sd.attach_model(model::fit_lof_model(cfg.detector, legit_like(20, 9)));
   obs::CollectingExplanationSink sink;
   sd.set_explanation_sink(&sink);
   sd.set_stream_id(7);
@@ -227,10 +229,10 @@ TEST(Streaming, MatchesBatchDetectorOnSimulatedSession) {
   cfg.detector = profile.detector_config();
   cfg.window_s = profile.clip_duration_s;
   StreamingDetector streaming(cfg);
-  streaming.train_on_features(train);
+  streaming.attach_model(model::fit_lof_model(cfg.detector, train));
 
   Detector batch(profile.detector_config());
-  batch.train_on_features(train);
+  batch.attach_model(model::fit_lof_model(batch.config(), train));
 
   const chat::SessionTrace trace = data.legit_trace(pop[0], 5);
   std::optional<DetectionResult> streamed;

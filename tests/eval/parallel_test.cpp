@@ -6,6 +6,7 @@
 #include <gtest/gtest.h>
 
 #include "common/thread_pool.hpp"
+#include "model/snapshot.hpp"
 
 namespace lumichat::eval {
 namespace {
@@ -214,7 +215,7 @@ TEST(DetectBatch, VerdictsAndScoresIdenticalAcrossThreadCounts) {
 
   // Train on cheap synthetic features; detect real traces of both roles.
   core::Detector det = data.make_detector();
-  det.train_on_features(legit_cluster(12, 3));
+  det.attach_model(model::fit_lof_model(det.config(), legit_cluster(12, 3)));
 
   std::vector<chat::SessionTrace> traces;
   traces.push_back(data.legit_trace(pop[0], 0));

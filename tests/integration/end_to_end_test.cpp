@@ -9,6 +9,7 @@
 #include "eval/experiment.hpp"
 #include "eval/metrics.hpp"
 #include "eval/population.hpp"
+#include "model/snapshot.hpp"
 
 namespace lumichat {
 namespace {
@@ -27,7 +28,7 @@ class EndToEnd : public ::testing::Test {
     train_ = new std::vector<core::FeatureVector>(
         data_->features((*pop_)[9], eval::Role::kLegitimate, 20));
     detector_ = new core::Detector(data_->make_detector());
-    detector_->train_on_features(*train_);
+    detector_->attach_model(model::fit_lof_model(detector_->config(), *train_));
   }
 
   static void TearDownTestSuite() {
@@ -152,7 +153,7 @@ TEST_F(EndToEnd, TrainingOnOwnVsOthersDataBothWork) {
   const eval::Volunteer& user = (*pop_)[6];
   const auto own = data_->features(user, eval::Role::kLegitimate, 20);
   core::Detector own_det = data_->make_detector();
-  own_det.train_on_features(own);
+  own_det.attach_model(model::fit_lof_model(own_det.config(), own));
 
   eval::AttemptCounts own_counts;
   eval::AttemptCounts other_counts;

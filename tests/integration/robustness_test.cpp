@@ -11,6 +11,7 @@
 #include "eval/dataset.hpp"
 #include "eval/metrics.hpp"
 #include "eval/population.hpp"
+#include "model/snapshot.hpp"
 #include "reenact/reenactor.hpp"
 
 namespace lumichat {
@@ -22,8 +23,9 @@ class Robustness : public ::testing::Test {
     data_ = std::make_unique<eval::DatasetBuilder>(profile_);
     pop_ = eval::make_population();
     detector_ = std::make_unique<core::Detector>(data_->make_detector());
-    detector_->train_on_features(
-        data_->features(pop_[9], eval::Role::kLegitimate, 12));
+    detector_->attach_model(model::fit_lof_model(
+        detector_->config(),
+        data_->features(pop_[9], eval::Role::kLegitimate, 12)));
   }
 
   // A legitimate session with a customised Bob spec / session spec.

@@ -34,20 +34,23 @@ struct CampaignRun {
 };
 
 CampaignRun run_campaign(const ScenarioSpec& spec) {
-  core::StreamingDetector prototype =
-      testutil::campaign_prototype(spec.window_s);
+  const core::StreamingConfig streaming =
+      testutil::campaign_streaming_config(spec.window_s);
+  const auto models = testutil::campaign_registry(spec.window_s);
   const service::ServiceConfig service_cfg =
       testutil::campaign_service_config();
 
   obs::CollectingExplanationSink sink;
-  prototype.set_explanation_sink(&sink);
   common::ThreadPool serial(1);
   CampaignRun run;
-  run.report = run_scenario(spec, service_cfg, prototype, &serial, nullptr);
+  run.report =
+      run_scenario(spec, service_cfg, streaming, models, &sink, &serial,
+                   nullptr);
 
-  prototype.set_explanation_sink(nullptr);
   common::ThreadPool wide(4);
-  run.threaded = run_scenario(spec, service_cfg, prototype, &wide, nullptr);
+  run.threaded =
+      run_scenario(spec, service_cfg, streaming, models, nullptr, &wide,
+                   nullptr);
 
   std::string jsonl;
   for (const obs::RoundExplanation& r : sink.records()) {

@@ -35,8 +35,9 @@ ScenarioReport run(const ScenarioSpec& spec, common::ThreadPool* pool,
   service::ServiceConfig cfg;
   cfg.n_shards = 4;
   cfg.max_sessions = max_sessions;
-  return run_scenario(spec, cfg, service::testutil::trained_prototype(2.0),
-                      pool, nullptr);
+  return run_scenario(spec, cfg, service::testutil::test_streaming_config(),
+                      service::testutil::trained_registry(), nullptr, pool,
+                      nullptr);
 }
 
 TEST(ScenarioEngine, InvalidSpecReportsErrorAndRunsNothing) {

@@ -58,16 +58,6 @@ inline std::shared_ptr<model::ModelRegistry> campaign_registry(
   return registry;
 }
 
-/// The campaign prototype — kept for suites that pin the deprecated
-/// prototype-based run_scenario overload. Same model as campaign_registry.
-inline core::StreamingDetector campaign_prototype(double window_s) {
-  const core::StreamingConfig cfg = campaign_streaming_config(window_s);
-  core::StreamingDetector prototype(cfg);
-  prototype.attach_model(
-      model::fit_lof_model(cfg.detector, campaign_training(window_s)));
-  return prototype;
-}
-
 /// The service the campaigns run against (bench_scenarios' config).
 inline service::ServiceConfig campaign_service_config() {
   service::ServiceConfig cfg;

@@ -57,18 +57,23 @@ void expect_identical(const LoadReport& a, const LoadReport& b,
 
 TEST(ServiceDeterminism, VerdictsIdenticalAcrossThreadCounts) {
   const LoadSpec spec = small_scenario();
-  const auto prototype = testutil::trained_prototype(2.0);
+  const core::StreamingConfig streaming = testutil::test_streaming_config();
+  const auto models = testutil::trained_registry();
 
-  const LoadReport serial = run_load(spec, small_service(), prototype,
-                                     nullptr);
+  const LoadReport serial =
+      run_load(spec, small_service(), streaming, models);
   ASSERT_EQ(serial.sessions.size(), spec.n_sessions);
   EXPECT_GT(serial.metrics.windows_completed, 0u);
 
   common::ThreadPool one(1);
-  expect_identical(serial, run_load(spec, small_service(), prototype, &one),
+  expect_identical(serial,
+                   run_load(spec, small_service(), streaming, models,
+                            nullptr, &one),
                    "1-thread pool");
   common::ThreadPool four(4);
-  expect_identical(serial, run_load(spec, small_service(), prototype, &four),
+  expect_identical(serial,
+                   run_load(spec, small_service(), streaming, models,
+                            nullptr, &four),
                    "4-thread pool");
 }
 
@@ -79,22 +84,27 @@ TEST(ServiceDeterminism, HoldsUnderDropOldestBackpressure) {
   spec.ticks_per_pump = 12;
   ServiceConfig cfg = small_service();
   cfg.session_queue_capacity = 8;
-  const auto prototype = testutil::trained_prototype(2.0);
+  const core::StreamingConfig streaming = testutil::test_streaming_config();
+  const auto models = testutil::trained_registry();
 
-  const LoadReport serial = run_load(spec, cfg, prototype, nullptr);
+  const LoadReport serial = run_load(spec, cfg, streaming, models);
   EXPECT_GT(serial.metrics.frames_dropped, 0u);  // backpressure engaged
 
   common::ThreadPool four(4);
-  expect_identical(serial, run_load(spec, cfg, prototype, &four),
+  expect_identical(serial,
+                   run_load(spec, cfg, streaming, models, nullptr, &four),
                    "4-thread pool under backpressure");
 }
 
 TEST(ServiceDeterminism, RepeatedRunsAreIdentical) {
   const LoadSpec spec = small_scenario();
-  const auto prototype = testutil::trained_prototype(2.0);
+  const core::StreamingConfig streaming = testutil::test_streaming_config();
+  const auto models = testutil::trained_registry();
   common::ThreadPool pool(2);
-  const LoadReport first = run_load(spec, small_service(), prototype, &pool);
-  const LoadReport second = run_load(spec, small_service(), prototype, &pool);
+  const LoadReport first = run_load(spec, small_service(), streaming, models,
+                                    nullptr, &pool);
+  const LoadReport second = run_load(spec, small_service(), streaming, models,
+                                     nullptr, &pool);
   expect_identical(first, second, "repeat on the same pool");
 }
 

@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <vector>
 
+#include "model/registry.hpp"
 #include "obs/explain.hpp"
 #include "service/scheduler.hpp"
 #include "service_test_util.hpp"
@@ -15,7 +16,8 @@ namespace lumichat::service {
 namespace {
 
 using testutil::frame;
-using testutil::trained_prototype;
+using testutil::test_streaming_config;
+using testutil::trained_registry;
 using testutil::wave;
 
 ServiceConfig small_config(std::size_t max_sessions = 8,
@@ -42,13 +44,19 @@ std::size_t feed_wave(SessionManager& m, SessionId id, std::size_t n,
   return accepted;
 }
 
-TEST(SessionManager, RequiresTrainedPrototype) {
-  EXPECT_THROW(SessionManager(small_config(), core::StreamingDetector{}),
+TEST(SessionManager, RequiresPublishedModel) {
+  EXPECT_THROW(
+      SessionManager(small_config(), test_streaming_config(), nullptr),
+      std::invalid_argument);
+  // A registry with no published snapshot is just as unusable.
+  EXPECT_THROW(SessionManager(small_config(), test_streaming_config(),
+                              std::make_shared<model::ModelRegistry>()),
                std::invalid_argument);
 }
 
 TEST(SessionManager, CreateFeedVerdictEvictLifecycle) {
-  SessionManager m(small_config(), trained_prototype());
+  SessionManager m(small_config(), test_streaming_config(),
+                 trained_registry());
   const auto id = m.create();
   ASSERT_TRUE(id.has_value());
   EXPECT_EQ(m.active_sessions(), 1u);
@@ -82,7 +90,8 @@ TEST(SessionManager, CreateFeedVerdictEvictLifecycle) {
 }
 
 TEST(SessionManager, AdmissionControlRejectsPastCapacity) {
-  SessionManager m(small_config(/*max_sessions=*/2), trained_prototype());
+  SessionManager m(small_config(/*max_sessions=*/2),
+                 test_streaming_config(), trained_registry());
   const auto a = m.create();
   const auto b = m.create();
   ASSERT_TRUE(a.has_value());
@@ -99,7 +108,7 @@ TEST(SessionManager, DropOldestBackpressureIsObservable) {
   // With a scheduler attached, frames queue until pump() — so a burst
   // larger than the queue capacity sheds its oldest frames.
   SessionManager m(small_config(8, /*queue_capacity=*/4),
-                   trained_prototype());
+                   test_streaming_config(), trained_registry());
   FrameScheduler scheduler(nullptr);
   m.attach_scheduler(&scheduler);
   const auto id = m.create();
@@ -117,7 +126,8 @@ TEST(SessionManager, DropOldestBackpressureIsObservable) {
 }
 
 TEST(SessionManager, EvictionDiscardsQueuedFramesAsDropped) {
-  SessionManager m(small_config(), trained_prototype());
+  SessionManager m(small_config(), test_streaming_config(),
+                 trained_registry());
   FrameScheduler scheduler(nullptr);
   m.attach_scheduler(&scheduler);
   const auto id = m.create();
@@ -138,8 +148,10 @@ TEST(SessionManager, RecycledDetectorMatchesFreshClone) {
   // freelist and session 2 reuses it after reset(). A second manager with
   // the same prototype serves the reference: session 2's verdicts must be
   // bit-identical to a never-recycled detector's.
-  SessionManager recycled(small_config(), trained_prototype());
-  SessionManager fresh(small_config(), trained_prototype());
+  SessionManager recycled(small_config(), test_streaming_config(),
+                          trained_registry());
+  SessionManager fresh(small_config(), test_streaming_config(),
+                       trained_registry());
 
   const auto warm = recycled.create();
   ASSERT_TRUE(warm.has_value());
@@ -169,9 +181,8 @@ TEST(SessionManager, RecycledSessionStampsItsOwnIdIntoExplanations) {
   // first session here is evicted mid-window, so stale pending samples are
   // also on the line.
   obs::CollectingExplanationSink sink;
-  core::StreamingDetector prototype = trained_prototype();
-  prototype.set_explanation_sink(&sink);
-  SessionManager m(small_config(), prototype);
+  SessionManager m(small_config(), test_streaming_config(),
+                   trained_registry(), &sink);
 
   const auto first = m.create();
   ASSERT_TRUE(first.has_value());
@@ -193,7 +204,8 @@ TEST(SessionManager, RecycledSessionStampsItsOwnIdIntoExplanations) {
 }
 
 TEST(SessionManager, DistinctSessionsAreIndependent) {
-  SessionManager m(small_config(), trained_prototype());
+  SessionManager m(small_config(), test_streaming_config(),
+                 trained_registry());
   const auto a = m.create();
   const auto b = m.create();
   ASSERT_TRUE(a.has_value());
@@ -220,7 +232,8 @@ TEST(ServiceCapacity, EnvironmentKnobParsesLikeThreads) {
 
 TEST(ServiceCapacity, ZeroMaxSessionsUsesDefaultCapacity) {
   ASSERT_EQ(setenv("LUMICHAT_SERVICE_CAPACITY", "3", 1), 0);
-  SessionManager m(ServiceConfig{}, trained_prototype());
+  SessionManager m(ServiceConfig{}, test_streaming_config(),
+                 trained_registry());
   EXPECT_EQ(m.capacity(), 3u);
   ASSERT_EQ(unsetenv("LUMICHAT_SERVICE_CAPACITY"), 0);
 }

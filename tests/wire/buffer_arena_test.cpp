@@ -1,0 +1,183 @@
+// ByteBuffer steady-state behaviour, FrameArena pooling, and ShardRing
+// consistent-hash properties (balance, stability, determinism).
+#include <cstdint>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "wire/arena.hpp"
+#include "wire/buffer.hpp"
+#include "wire/routing.hpp"
+
+namespace lumichat::wire {
+namespace {
+
+TEST(ByteBuffer, AppendConsumeRoundTrip) {
+  ByteBuffer buf(16);
+  const std::uint8_t data[] = {1, 2, 3, 4, 5};
+  buf.append(data, sizeof(data));
+  ASSERT_EQ(buf.readable(), sizeof(data));
+  EXPECT_EQ(buf.read_ptr()[0], 1);
+  buf.consume(2);
+  EXPECT_EQ(buf.readable(), 3u);
+  EXPECT_EQ(buf.read_ptr()[0], 3);
+  buf.consume(3);
+  EXPECT_EQ(buf.readable(), 0u);
+}
+
+TEST(ByteBuffer, CompactReclaimsConsumedPrefix) {
+  ByteBuffer buf(8);
+  const std::uint8_t data[] = {10, 20, 30, 40, 50, 60};
+  buf.append(data, sizeof(data));
+  buf.consume(4);
+  buf.compact();
+  ASSERT_EQ(buf.readable(), 2u);
+  EXPECT_EQ(buf.read_ptr()[0], 50);
+  EXPECT_EQ(buf.read_ptr()[1], 60);
+  // The reclaimed prefix is writable again without growth.
+  EXPECT_GE(buf.writable(), 6u);
+}
+
+TEST(ByteBuffer, SteadyTrafficNeverGrowsCapacity) {
+  ByteBuffer buf(64);
+  std::uint8_t chunk[48];
+  for (std::size_t i = 0; i < sizeof(chunk); ++i) {
+    chunk[i] = static_cast<std::uint8_t>(i);
+  }
+  buf.append(chunk, sizeof(chunk));
+  buf.consume(sizeof(chunk));
+  const std::size_t plateau = buf.capacity();
+  // Partial consumes force compaction, not growth.
+  for (int cycle = 0; cycle < 1000; ++cycle) {
+    buf.append(chunk, sizeof(chunk));
+    buf.consume(sizeof(chunk) - 5);
+    buf.consume(5);
+  }
+  EXPECT_EQ(buf.capacity(), plateau);
+}
+
+TEST(ByteBuffer, EnsureWritableGrowsWhenDataGenuinelyExceeds) {
+  ByteBuffer buf(8);
+  const std::uint8_t data[32] = {};
+  buf.append(data, sizeof(data));
+  EXPECT_GE(buf.capacity(), 32u);
+  EXPECT_EQ(buf.readable(), 32u);
+}
+
+TEST(FrameArena, AcquireRecycleCyclesOneAllocation) {
+  FrameArena arena(8, 8, 1);
+  EXPECT_EQ(arena.stats().allocated_frames, 1u);
+  for (int i = 0; i < 100; ++i) {
+    service::FrameJob job = arena.acquire();
+    EXPECT_EQ(job.transmitted.width(), 8u);
+    EXPECT_EQ(job.recycler, &arena);
+    service::release_frame_job(std::move(job));
+  }
+  const FrameArena::Stats stats = arena.stats();
+  EXPECT_EQ(stats.allocated_frames, 1u);  // the same job cycled throughout
+  EXPECT_EQ(stats.free_frames, 1u);
+  EXPECT_EQ(stats.recycled_total, 100u);
+}
+
+TEST(FrameArena, GrowsOnlyWhenPoolExhausted) {
+  FrameArena arena(4, 4, 2);
+  service::FrameJob a = arena.acquire();
+  service::FrameJob b = arena.acquire();
+  service::FrameJob c = arena.acquire();  // pool empty: true allocation
+  EXPECT_EQ(arena.stats().allocated_frames, 3u);
+  service::release_frame_job(std::move(a));
+  service::release_frame_job(std::move(b));
+  service::release_frame_job(std::move(c));
+  // All three count as recycled, but the freelist never grows inside
+  // recycle() (that would allocate on the detector's drain path) — the
+  // overflow job is dropped and the pool stays at its reserved capacity.
+  EXPECT_EQ(arena.stats().recycled_total, 3u);
+  EXPECT_EQ(arena.stats().free_frames, 2u);
+}
+
+TEST(FrameArena, ForeignGeometryJobsAreDroppedNotPooled) {
+  FrameArena arena(8, 8, 1);
+  service::FrameJob job = arena.acquire();
+  job.transmitted = image::Image(4, 4);  // client renegotiated its size
+  service::release_frame_job(std::move(job));
+  const FrameArena::Stats stats = arena.stats();
+  EXPECT_EQ(stats.free_frames, 0u);  // dropped: pooling it would hand out
+                                     // storage the decoder must resize
+  EXPECT_EQ(stats.recycled_total, 0u);  // a drop is not a recycle
+}
+
+TEST(FrameArena, ReleaseFrameJobIsIdempotent) {
+  FrameArena arena(8, 8, 1);
+  service::FrameJob job = arena.acquire();
+  service::FrameJob stolen = std::move(job);
+  service::release_frame_job(std::move(stolen));
+  // The moved-from shell has a cleared recycler; releasing it is a no-op.
+  service::release_frame_job(std::move(job));
+  EXPECT_EQ(arena.stats().free_frames, 1u);
+}
+
+TEST(ShardRing, LookupsAreDeterministic) {
+  const ShardRing a(16);
+  const ShardRing b(16);
+  for (std::uint64_t token = 0; token < 1000; ++token) {
+    EXPECT_EQ(a.shard_for(token), b.shard_for(token));
+  }
+}
+
+TEST(ShardRing, BalancesTokensAcrossShards) {
+  const std::size_t n_shards = 16;
+  const ShardRing ring(n_shards);
+  std::vector<std::size_t> counts(n_shards, 0);
+  const std::size_t n_tokens = 20000;
+  for (std::uint64_t token = 0; token < n_tokens; ++token) {
+    const std::size_t shard = ring.shard_for(mix64(token));
+    ASSERT_LT(shard, n_shards);
+    ++counts[shard];
+  }
+  const double mean = static_cast<double>(n_tokens) / n_shards;
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    // 64 vnodes/shard keeps loads within a factor ~2 of the mean; the gate
+    // guards against gross imbalance (e.g. all tokens on one shard).
+    EXPECT_GT(static_cast<double>(counts[s]), 0.4 * mean) << "shard " << s;
+    EXPECT_LT(static_cast<double>(counts[s]), 2.5 * mean) << "shard " << s;
+  }
+}
+
+TEST(ShardRing, RemovingOneShardRemapsOnlyItsTokens) {
+  const std::size_t n_shards = 8;
+  const std::size_t removed = 3;
+  const ShardRing full(n_shards);
+  std::vector<std::size_t> survivors;
+  for (std::size_t s = 0; s < n_shards; ++s) {
+    if (s != removed) survivors.push_back(s);
+  }
+  const ShardRing reduced(survivors);
+
+  const std::size_t n_tokens = 10000;
+  std::size_t moved = 0;
+  for (std::uint64_t token = 0; token < n_tokens; ++token) {
+    const std::size_t before = full.shard_for(token);
+    const std::size_t after = reduced.shard_for(token);
+    if (before != removed) {
+      // The consistency property: tokens the removed shard never owned
+      // must keep their assignment exactly.
+      EXPECT_EQ(after, before) << "token " << token;
+    } else {
+      EXPECT_NE(after, removed);
+      ++moved;
+    }
+  }
+  // ~1/n of tokens lived on the removed shard; all of them (and only they)
+  // remapped.
+  EXPECT_GT(moved, n_tokens / (n_shards * 3));
+  EXPECT_LT(moved, n_tokens / 2);
+}
+
+TEST(ShardRing, EmptyRingRoutesToShardZero) {
+  const ShardRing ring(std::vector<std::size_t>{});
+  EXPECT_EQ(ring.shard_for(12345), 0u);
+}
+
+}  // namespace
+}  // namespace lumichat::wire

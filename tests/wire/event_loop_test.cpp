@@ -1,0 +1,171 @@
+// EventLoop readiness semantics, exercised identically against both
+// backends (epoll where available, poll everywhere) over socketpairs.
+#include <cstdint>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "wire/event_loop.hpp"
+
+namespace lumichat::wire {
+namespace {
+
+struct Pair {
+  int a = -1;
+  int b = -1;
+  Pair() {
+    int sv[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    a = sv[0];
+    b = sv[1];
+  }
+  ~Pair() {
+    if (a >= 0) ::close(a);
+    if (b >= 0) ::close(b);
+  }
+};
+
+class EventLoopBackends : public ::testing::TestWithParam<Backend> {};
+
+TEST_P(EventLoopBackends, ConstructsWithRequestedBackend) {
+  EventLoop loop(GetParam());
+#ifdef __linux__
+  EXPECT_EQ(loop.backend(), GetParam());
+#else
+  EXPECT_EQ(loop.backend(), Backend::kPoll);
+#endif
+}
+
+TEST_P(EventLoopBackends, WaitWithNothingRegisteredReturnsZero) {
+  EventLoop loop(GetParam());
+  EXPECT_EQ(loop.wait(0), 0u);
+}
+
+TEST_P(EventLoopBackends, ReportsReadableAfterPeerWrite) {
+  EventLoop loop(GetParam());
+  Pair p;
+  ASSERT_TRUE(loop.add(p.a, /*want_read=*/true, /*want_write=*/false));
+  EXPECT_EQ(loop.watched(), 1u);
+
+  EXPECT_EQ(loop.wait(0), 0u);  // nothing written yet
+
+  const std::uint8_t byte = 42;
+  ASSERT_EQ(::send(p.b, &byte, 1, 0), 1);
+  const std::size_t n = loop.wait(100);
+  ASSERT_EQ(n, 1u);
+  EXPECT_EQ(loop.event(0).fd, p.a);
+  EXPECT_TRUE(loop.event(0).readable);
+  EXPECT_FALSE(loop.event(0).writable);
+}
+
+TEST_P(EventLoopBackends, LevelTriggeredUntilDrained) {
+  EventLoop loop(GetParam());
+  Pair p;
+  ASSERT_TRUE(loop.add(p.a, true, false));
+  const std::uint8_t byte = 1;
+  ASSERT_EQ(::send(p.b, &byte, 1, 0), 1);
+  // The same readiness surfaces on every wait until the byte is consumed.
+  ASSERT_EQ(loop.wait(0), 1u);
+  ASSERT_EQ(loop.wait(0), 1u);
+  std::uint8_t sink;
+  ASSERT_EQ(::recv(p.a, &sink, 1, 0), 1);
+  EXPECT_EQ(loop.wait(0), 0u);
+}
+
+TEST_P(EventLoopBackends, WritableInterestReportsIdleSocket) {
+  EventLoop loop(GetParam());
+  Pair p;
+  ASSERT_TRUE(loop.add(p.a, false, true));
+  const std::size_t n = loop.wait(0);
+  ASSERT_EQ(n, 1u);  // an idle socket's send buffer has room
+  EXPECT_TRUE(loop.event(0).writable);
+}
+
+TEST_P(EventLoopBackends, ModifySwitchesInterestSet) {
+  EventLoop loop(GetParam());
+  Pair p;
+  ASSERT_TRUE(loop.add(p.a, false, true));
+  ASSERT_EQ(loop.wait(0), 1u);
+  ASSERT_TRUE(loop.modify(p.a, true, false));
+  EXPECT_EQ(loop.wait(0), 0u);  // no longer write-interested, nothing to read
+  const std::uint8_t byte = 7;
+  ASSERT_EQ(::send(p.b, &byte, 1, 0), 1);
+  EXPECT_EQ(loop.wait(100), 1u);
+}
+
+TEST_P(EventLoopBackends, RemoveStopsReporting) {
+  EventLoop loop(GetParam());
+  Pair p;
+  ASSERT_TRUE(loop.add(p.a, true, false));
+  ASSERT_TRUE(loop.remove(p.a));
+  EXPECT_EQ(loop.watched(), 0u);
+  const std::uint8_t byte = 9;
+  ASSERT_EQ(::send(p.b, &byte, 1, 0), 1);
+  EXPECT_EQ(loop.wait(0), 0u);
+  EXPECT_FALSE(loop.remove(p.a));  // already gone
+}
+
+TEST_P(EventLoopBackends, DuplicateAddRejected) {
+  EventLoop loop(GetParam());
+  Pair p;
+  ASSERT_TRUE(loop.add(p.a, true, false));
+  EXPECT_FALSE(loop.add(p.a, true, false));
+  EXPECT_EQ(loop.watched(), 1u);
+}
+
+TEST_P(EventLoopBackends, HangupSurfacesAsErrorOrReadable) {
+  EventLoop loop(GetParam());
+  Pair p;
+  ASSERT_TRUE(loop.add(p.a, true, false));
+  ::close(p.b);
+  p.b = -1;
+  const std::size_t n = loop.wait(100);
+  ASSERT_EQ(n, 1u);
+  // A closed peer shows up as EPOLLHUP/POLLHUP (error) and/or a readable
+  // EOF; either way the owner learns the connection is dead.
+  EXPECT_TRUE(loop.event(0).error || loop.event(0).readable);
+}
+
+TEST_P(EventLoopBackends, TracksManyFds) {
+  EventLoop loop(GetParam());
+  constexpr std::size_t kPairs = 20;
+  Pair pairs[kPairs];
+  for (auto& p : pairs) ASSERT_TRUE(loop.add(p.a, true, false));
+  EXPECT_EQ(loop.watched(), kPairs);
+  // Make every other pair readable; exactly those surface.
+  std::size_t expected = 0;
+  for (std::size_t i = 0; i < kPairs; i += 2) {
+    const std::uint8_t byte = 1;
+    ASSERT_EQ(::send(pairs[i].b, &byte, 1, 0), 1);
+    ++expected;
+  }
+  EXPECT_EQ(loop.wait(100), expected);
+}
+
+#ifdef __linux__
+INSTANTIATE_TEST_SUITE_P(BothBackends, EventLoopBackends,
+                         ::testing::Values(Backend::kEpoll, Backend::kPoll),
+                         [](const auto& param_info) {
+                           return param_info.param == Backend::kEpoll
+                                      ? "epoll"
+                                      : "poll";
+                         });
+#else
+INSTANTIATE_TEST_SUITE_P(PollBackend, EventLoopBackends,
+                         ::testing::Values(Backend::kPoll),
+                         [](const auto&) { return std::string("poll"); });
+#endif
+
+TEST(EventLoopDefaults, EnvironmentForcesPollBackend) {
+  ::setenv("LUMICHAT_WIRE_POLL", "1", 1);
+  EXPECT_EQ(EventLoop::default_backend(), Backend::kPoll);
+  ::unsetenv("LUMICHAT_WIRE_POLL");
+#ifdef __linux__
+  EXPECT_EQ(EventLoop::default_backend(), Backend::kEpoll);
+#endif
+}
+
+}  // namespace
+}  // namespace lumichat::wire

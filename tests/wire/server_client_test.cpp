@@ -1,0 +1,279 @@
+// WireServer + WireClient conversation semantics over socketpairs:
+// handshake and admission, stream multiplexing, heartbeats, orderly and
+// error teardown, idle sweeping — the connection state machine the socket
+// bench relies on.
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <thread>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <gtest/gtest.h>
+
+#include "image/image.hpp"
+#include "obs/metrics.hpp"
+#include "service/session_manager.hpp"
+#include "wire/client.hpp"
+#include "wire/server.hpp"
+
+#include "../service/service_test_util.hpp"
+
+namespace lumichat::wire {
+namespace {
+
+using service::testutil::test_streaming_config;
+using service::testutil::trained_registry;
+
+service::ServiceConfig small_service_config(std::size_t max_sessions = 32) {
+  service::ServiceConfig cfg;
+  cfg.n_shards = 4;
+  cfg.max_sessions = max_sessions;
+  cfg.session_queue_capacity = 64;
+  return cfg;
+}
+
+WireServerConfig small_server_config() {
+  WireServerConfig cfg;
+  cfg.max_connections = 4;
+  cfg.idle_timeout_s = 0.0;
+  cfg.frame_width = 8;
+  cfg.frame_height = 8;
+  cfg.arena_initial = 8;
+  return cfg;
+}
+
+/// A server (no scheduler: feeds drain inline) plus one connected client.
+struct Rig {
+  service::SessionManager manager;
+  obs::MetricsRegistry registry;
+  WireServer server;
+  std::unique_ptr<WireClient> client;
+  int server_fd = -1;
+
+  explicit Rig(service::ServiceConfig service_cfg = small_service_config(),
+               WireServerConfig server_cfg = small_server_config())
+      : manager(service_cfg, test_streaming_config(), trained_registry()),
+        server(manager, nullptr, server_cfg, &registry) {
+    int sv[2];
+    EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+    server_fd = sv[0];
+    EXPECT_TRUE(server.adopt(sv[0]));
+    client = std::make_unique<WireClient>(sv[1]);
+  }
+
+  /// Client flush -> server cycle -> client poll, a few times over.
+  void converse(int cycles = 4) {
+    for (int i = 0; i < cycles; ++i) {
+      client->flush();
+      (void)server.poll(0);
+      client->poll();
+    }
+  }
+};
+
+AckEvent expect_one_ack(WireClient& client) {
+  AckEvent ack;
+  EXPECT_EQ(client.take_acks(&ack, 1), 1u);
+  return ack;
+}
+
+TEST(WireServerClient, HandshakeAssignsShardPinnedSession) {
+  Rig rig;
+  rig.client->hello(/*token=*/99, /*stream_id=*/1, 8, 8);
+  rig.converse();
+
+  const AckEvent ack = expect_one_ack(*rig.client);
+  EXPECT_EQ(ack.stream_id, 1u);
+  EXPECT_EQ(ack.ack.status,
+            static_cast<std::uint32_t>(HelloStatus::kAccepted));
+  // The assigned id comes from the routed range and lands on the shard the
+  // token consistent-hashed onto.
+  EXPECT_GE(ack.ack.assigned_session,
+            service::SessionManager::kRoutedIdBase);
+  EXPECT_EQ(ack.ack.assigned_session % rig.manager.config().n_shards,
+            ack.ack.shard);
+  EXPECT_EQ(rig.server.stream_count(), 1u);
+  EXPECT_EQ(rig.manager.active_sessions(), 1u);
+}
+
+TEST(WireServerClient, SameTokenAlwaysRoutesToSameShard) {
+  Rig rig;
+  rig.client->hello(1234567, 1, 8, 8);
+  rig.client->hello(1234567, 2, 8, 8);
+  rig.converse();
+  AckEvent acks[2];
+  ASSERT_EQ(rig.client->take_acks(acks, 2), 2u);
+  EXPECT_EQ(acks[0].ack.shard, acks[1].ack.shard);
+}
+
+TEST(WireServerClient, DuplicateStreamIdRefused) {
+  Rig rig;
+  rig.client->hello(7, 5, 8, 8);
+  rig.client->hello(8, 5, 8, 8);  // same stream id, same connection
+  rig.converse();
+  AckEvent acks[2];
+  ASSERT_EQ(rig.client->take_acks(acks, 2), 2u);
+  EXPECT_EQ(acks[0].ack.status,
+            static_cast<std::uint32_t>(HelloStatus::kAccepted));
+  EXPECT_EQ(acks[1].ack.status,
+            static_cast<std::uint32_t>(HelloStatus::kDuplicateStream));
+  EXPECT_EQ(rig.server.stream_count(), 1u);
+}
+
+TEST(WireServerClient, BadDimensionsRefused) {
+  Rig rig;
+  rig.client->hello(7, 1, 0, 8);
+  rig.client->hello(7, 2, kMaxFrameEdge + 1, 8);
+  rig.converse();
+  AckEvent acks[2];
+  ASSERT_EQ(rig.client->take_acks(acks, 2), 2u);
+  EXPECT_EQ(acks[0].ack.status,
+            static_cast<std::uint32_t>(HelloStatus::kBadDimensions));
+  EXPECT_EQ(acks[1].ack.status,
+            static_cast<std::uint32_t>(HelloStatus::kBadDimensions));
+  EXPECT_EQ(rig.manager.active_sessions(), 0u);
+}
+
+TEST(WireServerClient, CapacityRejectionReportedInAck) {
+  Rig rig(small_service_config(/*max_sessions=*/1));
+  rig.client->hello(1, 1, 8, 8);
+  rig.client->hello(2, 2, 8, 8);
+  rig.converse();
+  AckEvent acks[2];
+  ASSERT_EQ(rig.client->take_acks(acks, 2), 2u);
+  EXPECT_EQ(acks[0].ack.status,
+            static_cast<std::uint32_t>(HelloStatus::kAccepted));
+  EXPECT_EQ(acks[1].ack.status,
+            static_cast<std::uint32_t>(HelloStatus::kRejected));
+  EXPECT_EQ(rig.registry.counter("wire.hello_rejects").value(), 1u);
+}
+
+TEST(WireServerClient, HeartbeatEchoes) {
+  Rig rig;
+  rig.client->heartbeat(1, 1, 123456789);
+  rig.converse();
+  EXPECT_EQ(rig.client->heartbeats_echoed(), 1u);
+}
+
+TEST(WireServerClient, FramesProduceWireVerdicts) {
+  Rig rig;
+  rig.client->hello(3, 1, 8, 8);
+  rig.converse();
+  const AckEvent ack = expect_one_ack(*rig.client);
+  ASSERT_EQ(ack.ack.status,
+            static_cast<std::uint32_t>(HelloStatus::kAccepted));
+
+  // Default streaming config: 10 Hz sampling, 2 s window -> a window
+  // completes after 20 frames.
+  const image::Image tx(8, 8, image::Pixel{120.0, 120.0, 120.0});
+  const image::Image rx(8, 8, image::Pixel{90.0, 90.0, 90.0});
+  for (std::uint32_t k = 0; k < 20; ++k) {
+    rig.client->send_frame(3, 1, k, static_cast<std::uint64_t>(k) * 100000,
+                           tx, rx);
+  }
+  rig.converse(8);
+
+  VerdictEvent verdict;
+  ASSERT_EQ(rig.client->take_verdicts(&verdict, 1), 1u);
+  EXPECT_EQ(verdict.stream_id, 1u);
+  EXPECT_EQ(verdict.verdict.window_index, 0u);
+  EXPECT_EQ(rig.registry.counter("wire.frames_in").value(), 20u);
+  EXPECT_EQ(rig.registry.counter("wire.verdicts_out").value(), 1u);
+  EXPECT_EQ(rig.registry.histogram("wire.push_to_verdict").count(), 1u);
+  // The pooled path: every frame drew from and returned to the arena.
+  EXPECT_EQ(rig.server.arena().stats().recycled_total, 20u);
+}
+
+TEST(WireServerClient, ByeClosesStreamAndEvictsSession) {
+  Rig rig;
+  rig.client->hello(3, 1, 8, 8);
+  rig.converse();
+  (void)expect_one_ack(*rig.client);
+  ASSERT_EQ(rig.manager.active_sessions(), 1u);
+
+  rig.client->bye(3, 1);
+  rig.converse();
+  EXPECT_EQ(rig.server.stream_count(), 0u);
+  EXPECT_EQ(rig.manager.active_sessions(), 0u);
+  // The server acknowledged the close with its own Bye.
+  ByeEvent bye;
+  ASSERT_EQ(rig.client->take_byes(&bye, 1), 1u);
+  EXPECT_EQ(bye.bye.reason, static_cast<std::uint32_t>(ByeReason::kNormal));
+  // The connection itself stays usable for other streams.
+  rig.client->hello(4, 2, 8, 8);
+  rig.converse();
+  EXPECT_EQ(expect_one_ack(*rig.client).ack.status,
+            static_cast<std::uint32_t>(HelloStatus::kAccepted));
+}
+
+TEST(WireServerClient, MalformedBytesCloseConnectionWithByeAndCounter) {
+  Rig rig;
+  rig.client->hello(3, 1, 8, 8);
+  rig.converse();
+  (void)expect_one_ack(*rig.client);
+
+  // Raw garbage straight onto the socket: an impossible protocol version.
+  const std::uint8_t junk[32] = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF};
+  ASSERT_GT(::send(rig.client->fd(), junk, sizeof(junk), 0), 0);
+  rig.converse(6);
+
+  EXPECT_EQ(rig.registry.counter("wire.malformed").value(), 1u);
+  EXPECT_EQ(rig.server.connection_count(), 0u);
+  // The stream's session was evicted with the connection.
+  EXPECT_EQ(rig.manager.active_sessions(), 0u);
+  // Best-effort Bye(kProtocolError) reached the client before the close.
+  ByeEvent bye;
+  ASSERT_EQ(rig.client->take_byes(&bye, 1), 1u);
+  EXPECT_EQ(bye.bye.reason,
+            static_cast<std::uint32_t>(ByeReason::kProtocolError));
+}
+
+TEST(WireServerClient, PeerHangupEvictsSessions) {
+  Rig rig;
+  rig.client->hello(3, 1, 8, 8);
+  rig.converse();
+  (void)expect_one_ack(*rig.client);
+  rig.client.reset();  // closes the client end
+  for (int i = 0; i < 4; ++i) (void)rig.server.poll(0);
+  EXPECT_EQ(rig.server.connection_count(), 0u);
+  EXPECT_EQ(rig.manager.active_sessions(), 0u);
+}
+
+TEST(WireServerClient, IdleConnectionsAreSwept) {
+  WireServerConfig cfg = small_server_config();
+  cfg.idle_timeout_s = 0.005;
+  Rig rig(small_service_config(), cfg);
+  ASSERT_EQ(rig.server.connection_count(), 1u);
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  (void)rig.server.poll(0);
+  EXPECT_EQ(rig.server.connection_count(), 0u);
+  EXPECT_EQ(rig.registry.counter("wire.idle_closed").value(), 1u);
+}
+
+TEST(WireServerClient, AdoptRefusedPastMaxConnections) {
+  WireServerConfig cfg = small_server_config();
+  cfg.max_connections = 1;
+  Rig rig(small_service_config(), cfg);  // occupies the only slot
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  EXPECT_FALSE(rig.server.adopt(sv[0]));
+  ::close(sv[0]);
+  ::close(sv[1]);
+  EXPECT_EQ(rig.server.connection_count(), 1u);
+}
+
+TEST(WireServerClient, ServerToClientMessageTypeFromClientIsProtocolError) {
+  Rig rig;
+  VerdictMsg bogus;
+  std::uint8_t buf[kHeaderSize + kVerdictPayloadSize];
+  const std::size_t n = encode_verdict(buf, sizeof(buf), 1, 1, bogus);
+  ASSERT_GT(::send(rig.client->fd(), buf, n, 0), 0);
+  rig.converse(6);
+  EXPECT_EQ(rig.registry.counter("wire.malformed").value(), 1u);
+  EXPECT_EQ(rig.server.connection_count(), 0u);
+}
+
+}  // namespace
+}  // namespace lumichat::wire
