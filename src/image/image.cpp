@@ -3,7 +3,13 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "simd/dispatch.hpp"
+
 namespace lumichat::image {
+
+static_assert(sizeof(Pixel) == 3 * sizeof(double),
+              "Pixel must be three tightly packed doubles for the SIMD "
+              "channel-sum kernel to reinterpret pixel storage");
 
 Image::Image(std::size_t width, std::size_t height, Pixel fill)
     : width_(width), height_(height), pixels_(width * height, fill) {}
@@ -67,9 +73,11 @@ Image Image::downscale(std::size_t new_width, std::size_t new_height) const {
 
 Pixel Image::mean_pixel() const {
   if (empty()) return {};
-  Pixel acc;
-  for (const Pixel& p : pixels_) acc += p;
-  return acc * (1.0 / static_cast<double>(pixels_.size()));
+  double sums[3];
+  simd::active().rgb_channel_sums(
+      reinterpret_cast<const double*>(pixels_.data()), pixels_.size(), sums);
+  const double inv = 1.0 / static_cast<double>(pixels_.size());
+  return {sums[0] * inv, sums[1] * inv, sums[2] * inv};
 }
 
 void Image::fill_rect(const Rect& rect, Pixel value) {

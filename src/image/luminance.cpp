@@ -3,7 +3,21 @@
 #include <algorithm>
 #include <cmath>
 
+#include "simd/dispatch.hpp"
+
 namespace lumichat::image {
+namespace {
+
+// The row kernels view a run of pixels as interleaved r,g,b doubles.
+static_assert(sizeof(Pixel) == 3 * sizeof(double),
+              "Pixel must be three tightly packed doubles for the SIMD row "
+              "kernels to reinterpret pixel rows");
+
+const double* row_ptr(const Image& frame, std::size_t x, std::size_t y) {
+  return reinterpret_cast<const double*>(&frame(x, y));
+}
+
+}  // namespace
 
 double luminance(const Pixel& p) {
   return kLumaR * p.r + kLumaG * p.g + kLumaB * p.b;
@@ -14,6 +28,11 @@ double frame_luminance(const Image& frame) {
 }
 
 double roi_luminance(const Image& frame, const RectF& roi) {
+  return roi_luminance(frame, roi, simd::active());
+}
+
+double roi_luminance(const Image& frame, const RectF& roi,
+                     const simd::Kernels& kern) {
   const double x0 = std::max(roi.x, 0.0);
   const double y0 = std::max(roi.y, 0.0);
   const double x1 = std::min(roi.x + roi.width,
@@ -27,18 +46,41 @@ double roi_luminance(const Image& frame, const RectF& roi) {
   const auto ix1 = static_cast<std::size_t>(std::ceil(x1));
   const auto iy1 = static_cast<std::size_t>(std::ceil(y1));
 
+  // Columns fully inside [x0, x1) have x-coverage exactly 1.0 and form one
+  // contiguous run per row, which the dispatched row kernel reduces; only
+  // the (at most two) fractional boundary columns need per-pixel weights.
+  // `ib` is clamped up to `ia` so that a sub-pixel-wide ROI degenerates to
+  // boundary columns only.
+  const auto ia = static_cast<std::size_t>(std::ceil(x0));
+  const auto ib = std::max(ia, static_cast<std::size_t>(std::floor(x1)));
+
   double acc = 0.0;
   double area = 0.0;
   for (std::size_t y = iy0; y < iy1 && y < frame.height(); ++y) {
     const double cy = std::min(y1, static_cast<double>(y + 1)) -
                       std::max(y0, static_cast<double>(y));
-    for (std::size_t x = ix0; x < ix1 && x < frame.width(); ++x) {
+    double row_acc = 0.0;
+    double row_cov = 0.0;  // x-coverage of this row (Σ cx)
+    for (std::size_t x = ix0; x < ia && x < frame.width(); ++x) {
       const double cx = std::min(x1, static_cast<double>(x + 1)) -
                         std::max(x0, static_cast<double>(x));
-      const double w = cx * cy;
-      acc += w * luminance(frame(x, y));
-      area += w;
+      row_acc += cx * luminance(frame(x, y));
+      row_cov += cx;
     }
+    if (ib > ia && ia < frame.width()) {
+      const std::size_t run = std::min(ib, frame.width()) - ia;
+      row_acc += kern.luminance_row_sum(row_ptr(frame, ia, y), run, kLumaR,
+                                        kLumaG, kLumaB);
+      row_cov += static_cast<double>(run);
+    }
+    for (std::size_t x = ib; x < ix1 && x < frame.width(); ++x) {
+      const double cx = std::min(x1, static_cast<double>(x + 1)) -
+                        std::max(x0, static_cast<double>(x));
+      row_acc += cx * luminance(frame(x, y));
+      row_cov += cx;
+    }
+    acc += cy * row_acc;
+    area += cy * row_cov;
   }
   return area > 0.0 ? acc / area : 0.0;
 }
@@ -49,9 +91,11 @@ double roi_luminance(const Image& frame, const Rect& roi) {
   const std::size_t x1 = std::min(roi.x + roi.width, frame.width());
   const std::size_t y1 = std::min(roi.y + roi.height, frame.height());
   if (x0 >= x1 || y0 >= y1) return 0.0;
+  const simd::Kernels& kern = simd::active();
   double acc = 0.0;
   for (std::size_t y = y0; y < y1; ++y) {
-    for (std::size_t x = x0; x < x1; ++x) acc += luminance(frame(x, y));
+    acc += kern.luminance_row_sum(row_ptr(frame, x0, y), x1 - x0, kLumaR,
+                                  kLumaG, kLumaB);
   }
   return acc / static_cast<double>((x1 - x0) * (y1 - y0));
 }

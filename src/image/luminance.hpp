@@ -6,6 +6,10 @@
 
 #include "image/image.hpp"
 
+namespace lumichat::simd {
+struct Kernels;
+}
+
 namespace lumichat::image {
 
 inline constexpr double kLumaR = 0.2126;
@@ -28,5 +32,11 @@ inline constexpr double kLumaB = 0.0722;
 /// the result varies smoothly as the region moves. Returns 0 for an empty
 /// intersection.
 [[nodiscard]] double roi_luminance(const Image& frame, const RectF& roi);
+
+/// As above, against an explicit kernel table instead of the process-wide
+/// dispatch choice — lets bench_perf time the production ROI decomposition
+/// under both tables within one process.
+[[nodiscard]] double roi_luminance(const Image& frame, const RectF& roi,
+                                   const simd::Kernels& kern);
 
 }  // namespace lumichat::image

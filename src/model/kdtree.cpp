@@ -3,14 +3,16 @@
 #include <algorithm>
 #include <limits>
 
+#include "simd/dispatch.hpp"
+
 namespace lumichat::model {
 namespace {
 
-/// Bounded best-k candidate set kept as a max-heap on (distance, index):
-/// the root is the current worst, so a new candidate either displaces it or
-/// is discarded. Selecting the k lexicographically-smallest pairs this way
-/// yields exactly the set a full sort would — (distance, index) is a total
-/// order because indices are unique.
+/// Bounded best-k candidate set kept as a max-heap on (d², index): the root
+/// is the current worst, so a new candidate either displaces it or is
+/// discarded. Selecting the k lexicographically-smallest pairs this way
+/// yields exactly the set a full sort would — (d², index) is a total order
+/// because indices are unique.
 void consider(std::vector<Neighbor>& heap, std::size_t k, Neighbor cand) {
   if (heap.size() < k) {
     heap.push_back(cand);
@@ -22,6 +24,43 @@ void consider(std::vector<Neighbor>& heap, std::size_t k, Neighbor cand) {
   }
 }
 
+/// Stack-buffer size for batched distance evaluation. Queries run
+/// concurrently against a shared read-only tree, so scratch must live on
+/// the stack, not in the object.
+constexpr std::size_t kDistChunk = 64;
+
+/// Scans points [begin, end) of an SoA coordinate set against `q`: batch
+/// squared distances through the dispatched kernel, then feed the heap.
+/// `index_of(i)` maps a scan position to the original training index.
+template <typename IndexOf>
+void scan_soa(const std::array<std::vector<double>, 4>& soa,
+              std::size_t begin, std::size_t end, const Point4& q,
+              std::size_t k, std::size_t exclude,
+              std::vector<Neighbor>& heap, IndexOf index_of) {
+  const simd::Kernels& kern = simd::active();
+  double d2[kDistChunk];
+  for (std::size_t pos = begin; pos < end; pos += kDistChunk) {
+    const std::size_t n = std::min(kDistChunk, end - pos);
+    kern.squared_dist4_batch(soa[0].data() + pos, soa[1].data() + pos,
+                             soa[2].data() + pos, soa[3].data() + pos, n,
+                             q.data(), d2);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t idx = index_of(pos + i);
+      if (idx == exclude) continue;
+      consider(heap, k, {d2[i], idx});
+    }
+  }
+}
+
+/// Converts a heap of (d², index) candidates into the public sorted
+/// (distance, index) form. Sorting happens on d² — sqrt is monotone, so the
+/// order matches — and the reported distance sqrt(d²) is bit-identical to
+/// euclidean().
+void finish(std::vector<Neighbor>& out) {
+  std::sort(out.begin(), out.end());
+  for (Neighbor& nb : out) nb.first = std::sqrt(nb.first);
+}
+
 }  // namespace
 
 KdTree4::KdTree4(std::vector<Point4> points, std::size_t leaf_size)
@@ -30,11 +69,19 @@ KdTree4::KdTree4(std::vector<Point4> points, std::size_t leaf_size)
   for (std::size_t i = 0; i < order_.size(); ++i) {
     order_[i] = static_cast<std::uint32_t>(i);
   }
+  for (std::size_t a = 0; a < 4; ++a) {
+    soa_[a].reserve(pts_.size());
+    leaf_soa_[a].reserve(pts_.size());
+  }
+  for (const Point4& p : pts_) {
+    for (std::size_t a = 0; a < 4; ++a) soa_[a].push_back(p[a]);
+  }
   if (!pts_.empty()) {
     nodes_.reserve(2 * pts_.size() / leaf_size_ + 2);
     root_ = build(0, pts_.size());
-    leaf_pts_.reserve(pts_.size());
-    for (const std::uint32_t idx : order_) leaf_pts_.push_back(pts_[idx]);
+    for (const std::uint32_t idx : order_) {
+      for (std::size_t a = 0; a < 4; ++a) leaf_soa_[a].push_back(pts_[idx][a]);
+    }
   }
 }
 
@@ -94,11 +141,10 @@ void KdTree4::search(std::uint32_t node, const Point4& q, std::size_t k,
                      std::vector<Neighbor>& heap) const {
   const Node& n = nodes_[node];
   if (n.axis < 0) {
-    for (std::uint32_t i = n.begin; i < n.end; ++i) {
-      const std::size_t idx = order_[i];
-      if (idx == exclude) continue;
-      consider(heap, k, {euclidean(q, leaf_pts_[i]), idx});
-    }
+    scan_soa(leaf_soa_, n.begin, n.end, q, k, exclude, heap,
+             [&](std::size_t i) {
+               return static_cast<std::size_t>(order_[i]);
+             });
     return;
   }
 
@@ -109,10 +155,15 @@ void KdTree4::search(std::uint32_t node, const Point4& q, std::size_t k,
   const std::uint32_t far = go_left_first ? n.right : n.left;
   search(near, q, k, exclude, heap);
   // The far subtree lies beyond the splitting plane, so every point in it
-  // is at least axis_dist away. Descend unless that already exceeds the
-  // current worst — on exact ties we must still descend, because an
-  // equal-distance point with a smaller index outranks the worst candidate.
-  if (heap.size() < k || axis_dist <= heap.front().first) {
+  // is at least axis_dist away and its accumulated d² is at least
+  // fl(axis_dist²): |fl(x-p)| >= fl(|x-split|) for p beyond the split,
+  // squaring is monotone under rounding, and adding the remaining
+  // non-negative squared terms can only grow a rounded sum. Descend unless
+  // that bound already exceeds the current worst — on exact ties we must
+  // still descend, because an equal-distance point with a smaller index
+  // outranks the worst candidate.
+  const double axis_d2 = axis_dist * axis_dist;
+  if (heap.size() < k || axis_d2 <= heap.front().first) {
     search(far, q, k, exclude, heap);
   }
 }
@@ -122,18 +173,16 @@ void KdTree4::knn(const Point4& q, std::size_t k, std::size_t exclude,
   out.clear();
   if (k == 0 || pts_.empty()) return;
   search(root_, q, k, exclude, out);
-  std::sort(out.begin(), out.end());
+  finish(out);
 }
 
 void KdTree4::knn_brute(const Point4& q, std::size_t k, std::size_t exclude,
                         std::vector<Neighbor>& out) const {
   out.clear();
   if (k == 0 || pts_.empty()) return;
-  for (std::size_t i = 0; i < pts_.size(); ++i) {
-    if (i == exclude) continue;
-    consider(out, k, {euclidean(q, pts_[i]), i});
-  }
-  std::sort(out.begin(), out.end());
+  scan_soa(soa_, 0, pts_.size(), q, k, exclude, out,
+           [](std::size_t i) { return i; });
+  finish(out);
 }
 
 }  // namespace lumichat::model

@@ -7,12 +7,17 @@
 // immutable afterwards, which is what lets a fitted model be shared
 // read-only across every session of the service (see snapshot.hpp).
 //
-// Exactness contract: knn() returns *exactly* the neighbours a brute-force
-// scan ordered by (distance, index) would select, sorted the same way, with
-// distances computed by the same euclidean() below. LOF sums reach-distances
-// and densities in neighbour order, so this contract is what keeps indexed
-// scores bit-identical to the pre-index brute-force classifier (the golden
-// Fig. 11 regression pins that behaviour).
+// Exactness contract: knn() returns *exactly* the neighbours knn_brute()
+// would select, sorted the same way, with the same reported distances. Both
+// select on (d², index) where d² is the pre-sqrt accumulation of
+// euclidean() — computed in bulk by the runtime-dispatched
+// simd::Kernels::squared_dist4_batch, whose per-point operation sequence is
+// pinned to euclidean()'s — and report sqrt(d²), which is bit-identical to
+// euclidean(). sqrt is monotone, so (d², index) and (sqrt(d²), index) pick
+// the same candidate *set*; selecting on d² keeps the sqrt out of the O(n)
+// scan. LOF sums reach-distances and densities in neighbour order, so this
+// contract is what keeps indexed scores bit-identical to the brute-force
+// classifier (the golden Fig. 11 regression pins that behaviour).
 #pragma once
 
 #include <array>
@@ -27,8 +32,9 @@ namespace lumichat::model {
 using Point4 = std::array<double, 4>;
 
 /// Distance metric of the LOF feature space. Every distance that feeds a
-/// score — brute or indexed — must come from this one function, so the two
-/// paths round identically.
+/// score — brute or indexed — must come from this one function (or from
+/// simd::Kernels::squared_dist4_batch + sqrt, which reproduces it bit for
+/// bit), so the two paths round identically.
 [[nodiscard]] inline double euclidean(const Point4& a, const Point4& b) {
   double acc = 0.0;
   for (std::size_t i = 0; i < a.size(); ++i) {
@@ -87,10 +93,13 @@ class KdTree4 {
 
   std::vector<Point4> pts_;          ///< in original index order
   std::vector<std::uint32_t> order_; ///< permutation; leaves own ranges of it
-  /// pts_ permuted into order_ layout, so leaf scans walk memory
-  /// sequentially (the brute scan's advantage) instead of hopping through
-  /// the permutation.
-  std::vector<Point4> leaf_pts_;
+  /// Coordinates split per axis (structure-of-arrays) so the batch distance
+  /// kernel can stream whole-register loads. soa_ is in original index
+  /// order (backs knn_brute); leaf_soa_ is permuted into order_ layout so
+  /// leaf scans walk memory sequentially instead of hopping through the
+  /// permutation.
+  std::array<std::vector<double>, 4> soa_;
+  std::array<std::vector<double>, 4> leaf_soa_;
   std::vector<Node> nodes_;
   std::size_t leaf_size_ = 16;
   std::uint32_t root_ = 0;

@@ -5,35 +5,50 @@
 #include <numbers>
 #include <stdexcept>
 
+#include "simd/dispatch.hpp"
+
 namespace lumichat::signal {
 namespace {
 
 // "Same"-size convolution with edge-replicated padding. Replication (rather
 // than zero padding) avoids fake luminance edges at clip boundaries, which
 // would otherwise be picked up by the peak finder as significant changes.
+// The per-sample loop lives in the runtime-dispatched SIMD layer
+// (simd::Kernels::convolve_same) with the accumulation order unchanged.
 Signal convolve_same(const Signal& x, const Signal& taps) {
   if (x.empty()) return {};
-  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
-  const std::ptrdiff_t m = static_cast<std::ptrdiff_t>(taps.size());
-  const std::ptrdiff_t half = m / 2;
   Signal y(x.size(), 0.0);
-  for (std::ptrdiff_t i = 0; i < n; ++i) {
-    double acc = 0.0;
-    for (std::ptrdiff_t k = 0; k < m; ++k) {
-      std::ptrdiff_t j = i + half - k;
-      j = std::clamp<std::ptrdiff_t>(j, 0, n - 1);
-      acc += taps[static_cast<std::size_t>(k)] * x[static_cast<std::size_t>(j)];
-    }
-    y[static_cast<std::size_t>(i)] = acc;
-  }
+  simd::active().convolve_same(x.data(), x.size(), taps.data(), taps.size(),
+                               y.data());
   return y;
+}
+
+// A "same"-size FIR with an even tap count has no centre tap: half = m/2 is
+// off-centre, so the output is silently shifted by half a sample against
+// the input. Features aligned between the transmitted and received signals
+// cannot tolerate that, so even-length taps are rejected rather than
+// half-sample-shifted. design_lowpass always produces odd taps; this guards
+// hand-built FirFilter aggregates.
+void check_taps(const Signal& taps) {
+  if (taps.empty()) {
+    throw std::invalid_argument("FirFilter: need at least one tap");
+  }
+  if (taps.size() % 2 == 0) {
+    throw std::invalid_argument(
+        "FirFilter: even-length taps would shift the output by half a "
+        "sample; use an odd tap count");
+  }
 }
 
 }  // namespace
 
-Signal FirFilter::apply(const Signal& x) const { return convolve_same(x, taps); }
+Signal FirFilter::apply(const Signal& x) const {
+  check_taps(taps);
+  return convolve_same(x, taps);
+}
 
 Signal FirFilter::apply_zero_phase(const Signal& x) const {
+  check_taps(taps);
   Signal forward = convolve_same(x, taps);
   std::reverse(forward.begin(), forward.end());
   Signal backward = convolve_same(forward, taps);

@@ -4,21 +4,9 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "simd/dispatch.hpp"
+
 namespace lumichat::signal {
-namespace {
-
-// Sample x at fractional index t with clamped linear interpolation.
-double sample_at(const Signal& x, double t) {
-  if (x.empty()) return 0.0;
-  const double max_t = static_cast<double>(x.size() - 1);
-  t = std::clamp(t, 0.0, max_t);
-  const auto i0 = static_cast<std::size_t>(std::floor(t));
-  const std::size_t i1 = std::min(i0 + 1, x.size() - 1);
-  const double frac = t - static_cast<double>(i0);
-  return x[i0] * (1.0 - frac) + x[i1] * frac;
-}
-
-}  // namespace
 
 Signal resample_linear(const Signal& x, double from_hz, double to_hz) {
   if (from_hz <= 0.0 || to_hz <= 0.0) {
@@ -36,10 +24,10 @@ Signal resample_linear(const Signal& x, double from_hz, double to_hz) {
   const auto out_n = static_cast<std::size_t>(
       std::floor(duration * to_hz)) + 1;
   Signal out(out_n, 0.0);
-  for (std::size_t i = 0; i < out_n; ++i) {
-    const double t_sec = static_cast<double>(i) / to_hz;
-    out[i] = sample_at(x, t_sec * from_hz);
-  }
+  // Per-output clamped linear interpolation, runtime-dispatched; each
+  // output's operation sequence is unchanged from the scalar loop.
+  simd::active().resample_linear(x.data(), x.size(), from_hz, to_hz,
+                                 out.data(), out_n);
   return out;
 }
 
@@ -52,10 +40,9 @@ Signal decimate(const Signal& x, std::size_t factor) {
 }
 
 Signal delay_signal(const Signal& x, double delay_samples) {
+  if (x.empty()) return {};
   Signal out(x.size(), 0.0);
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    out[i] = sample_at(x, static_cast<double>(i) - delay_samples);
-  }
+  simd::active().delay_linear(x.data(), x.size(), delay_samples, out.data());
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "signal/linalg.hpp"
+#include "simd/dispatch.hpp"
 
 namespace lumichat::signal {
 
@@ -58,19 +59,13 @@ Signal savgol_filter(const Signal& x, std::size_t window,
     if (w > x.size()) return x;  // too short to smooth meaningfully
   }
 
+  // Clamped correlation with the fitted kernel; the per-sample loop lives
+  // in the runtime-dispatched SIMD layer with the accumulation order
+  // (ascending kernel index) unchanged.
   const Signal kernel = savgol_coefficients(w, poly_order);
-  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(x.size());
-  const std::ptrdiff_t half = static_cast<std::ptrdiff_t>(w) / 2;
   Signal y(x.size(), 0.0);
-  for (std::ptrdiff_t i = 0; i < n; ++i) {
-    double acc = 0.0;
-    for (std::ptrdiff_t k = -half; k <= half; ++k) {
-      std::ptrdiff_t j = std::clamp<std::ptrdiff_t>(i + k, 0, n - 1);
-      acc += kernel[static_cast<std::size_t>(k + half)] *
-             x[static_cast<std::size_t>(j)];
-    }
-    y[static_cast<std::size_t>(i)] = acc;
-  }
+  simd::active().correlate_same(x.data(), x.size(), kernel.data(),
+                                kernel.size(), y.data());
   return y;
 }
 

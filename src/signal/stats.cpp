@@ -4,23 +4,39 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "simd/dispatch.hpp"
+
 namespace lumichat::signal {
+namespace {
+
+// Scale-relative degeneracy tolerances. The old absolute cut-offs (1e-12)
+// silently zeroed genuinely varying but heavily attenuated luminance trends
+// — a signal's "constancy" only means anything relative to its own
+// magnitude.
+//
+// A trend is treated as constant when its spread is at most ~1e-9 of its
+// magnitude: sample means accumulate O(n·eps) relative rounding, so for the
+// signal lengths used here (<= a few thousand samples) anything below that
+// ratio is indistinguishable from summation noise, while anything above it
+// is real structure that must keep contributing to the correlation
+// features.
+constexpr double kStddevRelTol = 1e-9;       // stddev vs |mean|
+constexpr double kVarRelTol =
+    kStddevRelTol * kStddevRelTol;           // variance vs mean²
+constexpr double kRangeRelTol = 1e-12;       // (hi-lo) vs max(|lo|,|hi|)
+
+}  // namespace
 
 double mean(std::span<const double> x) {
   if (x.empty()) throw std::invalid_argument("mean: empty input");
-  double acc = 0.0;
-  for (double v : x) acc += v;
-  return acc / static_cast<double>(x.size());
+  return simd::active().sum(x.data(), x.size()) /
+         static_cast<double>(x.size());
 }
 
 double variance(std::span<const double> x) {
   const double m = mean(x);
-  double acc = 0.0;
-  for (double v : x) {
-    const double d = v - m;
-    acc += d * d;
-  }
-  return acc / static_cast<double>(x.size());
+  return simd::active().sum_sq_diff(x.data(), x.size(), m) /
+         static_cast<double>(x.size());
 }
 
 double stddev(std::span<const double> x) { return std::sqrt(variance(x)); }
@@ -40,7 +56,12 @@ Signal normalize01(const Signal& x) {
   const double lo = min_value(x);
   const double hi = max_value(x);
   Signal out(x.size(), 0.0);
-  if (hi - lo < 1e-12) return out;
+  // Constant iff the range is negligible *relative to the values* (an
+  // exactly-constant signal has hi - lo == 0, so all-zero input is still
+  // caught). An attenuated trend — tiny absolute range, comparably tiny
+  // values — normalizes like any other signal.
+  const double scale = std::max(std::fabs(lo), std::fabs(hi));
+  if (hi - lo <= kRangeRelTol * scale) return out;
   for (std::size_t i = 0; i < x.size(); ++i) out[i] = (x[i] - lo) / (hi - lo);
   return out;
 }
@@ -52,28 +73,38 @@ double pearson(std::span<const double> x, std::span<const double> y) {
   if (x.empty()) throw std::invalid_argument("pearson: empty input");
   const double mx = mean(x);
   const double my = mean(y);
-  double sxy = 0.0;
-  double sxx = 0.0;
-  double syy = 0.0;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const double dx = x[i] - mx;
-    const double dy = y[i] - my;
-    sxy += dx * dy;
-    sxx += dx * dx;
-    syy += dy * dy;
-  }
-  if (sxx < 1e-12 || syy < 1e-12) return 0.0;
-  return sxy / std::sqrt(sxx * syy);
+  const simd::PearsonSums s =
+      simd::active().pearson_accumulate(x.data(), y.data(), x.size(), mx, my);
+  // A side is constant when its variance is negligible relative to its
+  // squared mean (see kVarRelTol above). Zero-mean signals only hit this
+  // with exactly-zero variance, so micro-amplitude oscillations around
+  // zero keep their correlation.
+  const double n = static_cast<double>(x.size());
+  if (s.sxx <= kVarRelTol * n * (mx * mx)) return 0.0;
+  if (s.syy <= kVarRelTol * n * (my * my)) return 0.0;
+  // Divide by the two norms separately: their product can underflow to
+  // zero for attenuated signals even when each factor is comfortably
+  // representable.
+  const double nx = std::sqrt(s.sxx);
+  const double ny = std::sqrt(s.syy);
+  if (nx == 0.0 || ny == 0.0) return 0.0;
+  return (s.sxy / nx) / ny;
 }
 
 std::vector<Signal> split_segments(const Signal& x, std::size_t parts) {
   if (parts == 0) throw std::invalid_argument("split_segments: parts == 0");
+  // Never manufacture empty segments: asking for more parts than samples
+  // clamps to one sample per segment, so downstream per-segment statistics
+  // (mean/pearson/dtw all throw on empty input) stay well-defined on
+  // degraded short clips.
+  const std::size_t effective = std::min(parts, x.size());
   std::vector<Signal> out;
-  out.reserve(parts);
-  const std::size_t base = x.size() / parts;
+  if (effective == 0) return out;
+  out.reserve(effective);
+  const std::size_t base = x.size() / effective;
   std::size_t pos = 0;
-  for (std::size_t p = 0; p < parts; ++p) {
-    const std::size_t len = (p + 1 == parts) ? x.size() - pos : base;
+  for (std::size_t p = 0; p < effective; ++p) {
+    const std::size_t len = (p + 1 == effective) ? x.size() - pos : base;
     out.emplace_back(x.begin() + static_cast<std::ptrdiff_t>(pos),
                      x.begin() + static_cast<std::ptrdiff_t>(pos + len));
     pos += len;

@@ -16,18 +16,23 @@ namespace lumichat::signal {
 [[nodiscard]] double max_value(std::span<const double> x);
 
 /// Rescales `x` affinely to [0, 1]. A constant signal maps to all zeros
-/// (the trend of a flat signal carries no information either way).
+/// (the trend of a flat signal carries no information either way);
+/// constancy is judged relative to the signal's own magnitude, so an
+/// attenuated but genuinely varying trend still normalizes.
 [[nodiscard]] Signal normalize01(const Signal& x);
 
 /// Pearson correlation coefficient between equally sized spans (Eq. 6).
 /// Returns 0 when either side is (numerically) constant — an uninformative
-/// trend should neither confirm nor refute correlation.
+/// trend should neither confirm nor refute correlation. Constancy is
+/// scale-relative (variance negligible against the squared mean), so
+/// micro-amplitude signals keep their correlation.
 /// \throws std::invalid_argument on size mismatch or empty input.
 [[nodiscard]] double pearson(std::span<const double> x,
                              std::span<const double> y);
 
-/// Splits a signal into `parts` contiguous segments of equal length
-/// (trailing remainder samples go to the last segment).
+/// Splits a signal into min(parts, x.size()) contiguous segments of equal
+/// length (trailing remainder samples go to the last segment). Never
+/// returns empty segments; an empty input yields an empty vector.
 [[nodiscard]] std::vector<Signal> split_segments(const Signal& x,
                                                  std::size_t parts);
 

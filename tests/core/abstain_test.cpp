@@ -119,6 +119,36 @@ TEST(AbstainOptIn, NonFiniteRawSamplesAreSanitisedBeforeFiltering) {
   EXPECT_FALSE(q.all_finite);
 }
 
+TEST(AbstainOptIn, ShortClipsFlowThroughWithoutThrowing) {
+  // Regression: clips with fewer samples than trend_segments used to reach
+  // split_segments with parts > size, producing empty segments whose
+  // per-segment mean() threw. Every short length must now flow through to
+  // a decided, finite verdict (default config) without an exception.
+  const Detector d = trained_detector();
+  for (std::size_t n : {1u, 2u, 3u, 5u, 8u, 12u}) {
+    chat::SessionTrace trace{blink_clip(n), blink_clip(n)};
+    DetectionResult r;
+    ASSERT_NO_THROW(r = d.detect(trace)) << "n=" << n;
+    EXPECT_NE(r.verdict, Verdict::kAbstain) << "n=" << n;
+    expect_finite(r);
+  }
+}
+
+TEST(AbstainBatch, ShortClipAbstainsWhenEnabled) {
+  // The same degraded short clips must register as insufficient evidence —
+  // kAbstain — when abstaining is opted in, not as a confident verdict.
+  DetectorConfig cfg;
+  cfg.enable_abstain = true;
+  const Detector d = trained_detector(cfg);
+  for (std::size_t n : {1u, 2u, 5u, 8u}) {
+    chat::SessionTrace trace{blink_clip(n), blink_clip(n)};
+    DetectionResult r;
+    ASSERT_NO_THROW(r = d.detect(trace)) << "n=" << n;
+    EXPECT_EQ(r.verdict, Verdict::kAbstain) << "n=" << n;
+    EXPECT_FALSE(r.is_attacker) << "n=" << n;
+  }
+}
+
 // --- abstain rule (config-independent predicate) ---
 
 TEST(AbstainRule, ZeroTransmittedChangesAreInsufficient) {

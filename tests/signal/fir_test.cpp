@@ -64,6 +64,27 @@ TEST(FirApply, ConstantSignalPassesUnchanged) {
   }
 }
 
+TEST(FirApply, EvenLengthTapsRejected) {
+  // A "same"-size FIR with an even tap count has no centre tap, so its
+  // output is silently shifted by half a sample — poison for the
+  // transmitted/received alignment. Hand-built filters with even taps must
+  // be rejected up front, not applied shifted.
+  const FirFilter even{Signal{0.25, 0.25, 0.25, 0.25}};
+  const Signal x(16, 1.0);
+  EXPECT_THROW((void)even.apply(x), std::invalid_argument);
+  EXPECT_THROW((void)even.apply_zero_phase(x), std::invalid_argument);
+  const FirFilter empty{Signal{}};
+  EXPECT_THROW((void)empty.apply(x), std::invalid_argument);
+}
+
+TEST(FirApply, OddLengthHandBuiltTapsAccepted) {
+  const FirFilter odd{Signal{0.25, 0.5, 0.25}};
+  const Signal x(16, 2.0);
+  const Signal y = odd.apply(x);
+  ASSERT_EQ(y.size(), x.size());
+  for (double v : y) EXPECT_NEAR(v, 2.0, 1e-12);
+}
+
 TEST(FirApply, EmptySignalGivesEmptyOutput) {
   const FirFilter f = design_lowpass(1.0, 10.0, 21);
   EXPECT_TRUE(f.apply({}).empty());

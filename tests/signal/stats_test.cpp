@@ -41,6 +41,28 @@ TEST(Normalize01, ConstantSignalMapsToZeros) {
 
 TEST(Normalize01, EmptyInput) { EXPECT_TRUE(normalize01({}).empty()); }
 
+TEST(Normalize01, MicroAmplitudeSignalStillNormalizes) {
+  // A heavily attenuated trend — range far below the old absolute 1e-12
+  // cut-off but large relative to its values — must normalize like any
+  // other signal, not collapse to zeros. Constancy is scale-relative.
+  const double a = 1e-20;
+  const Signal y = normalize01({1.0 * a, 3.0 * a, 2.0 * a, 5.0 * a});
+  EXPECT_DOUBLE_EQ(y[0], 0.0);
+  EXPECT_DOUBLE_EQ(y[1], 0.5);
+  EXPECT_DOUBLE_EQ(y[2], 0.25);
+  EXPECT_DOUBLE_EQ(y[3], 1.0);
+}
+
+TEST(Normalize01, MicroRangeOnLargeOffsetIsConstant) {
+  // The converse: a one-ulp wiggle on a huge offset is summation noise, not
+  // structure — it must map to zeros rather than amplify the noise to
+  // full-scale.
+  Signal x(6, 1e12);
+  x[3] = std::nextafter(1e12, 2e12);
+  const Signal y = normalize01(x);
+  for (double v : y) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
 TEST(Pearson, PerfectPositiveAndNegative) {
   const Signal x{1, 2, 3, 4, 5};
   const Signal y{2, 4, 6, 8, 10};
@@ -60,6 +82,35 @@ TEST(Pearson, ShiftAndScaleInvariant) {
 TEST(Pearson, ConstantInputGivesZero) {
   const Signal x{1, 2, 3};
   const Signal c(3, 5.0);
+  EXPECT_DOUBLE_EQ(pearson(x, c), 0.0);
+  EXPECT_DOUBLE_EQ(pearson(c, x), 0.0);
+}
+
+TEST(Pearson, MicroAmplitudeSignalsKeepCorrelation) {
+  // Attenuated but genuinely varying signals (variance far below the old
+  // absolute 1e-12 degeneracy cut-off) must keep their correlation: the
+  // degeneracy test is relative to the squared mean, not absolute.
+  const double a = 1e-10;
+  Signal x;
+  Signal y;
+  for (int i = 0; i < 32; ++i) {
+    const double t = static_cast<double>(i);
+    x.push_back(a * std::sin(0.7 * t));
+    y.push_back(a * std::sin(0.7 * t) + 0.5 * a * std::cos(1.3 * t));
+  }
+  EXPECT_GT(pearson(x, y), 0.5);
+  // And perfectly correlated micro signals report exactly that.
+  Signal z;
+  for (double v : x) z.push_back(3.0 * v);
+  EXPECT_NEAR(pearson(x, z), 1.0, 1e-9);
+}
+
+TEST(Pearson, NearConstantOnLargeOffsetIsDegenerate) {
+  // One-ulp jitter around a large mean is rounding noise: treat the side as
+  // constant (returns 0) instead of correlating the noise.
+  Signal x{1, 2, 3, 4, 5, 6, 7, 8};
+  Signal c(8, 1e12);
+  c[2] = std::nextafter(1e12, 2e12);
   EXPECT_DOUBLE_EQ(pearson(x, c), 0.0);
   EXPECT_DOUBLE_EQ(pearson(c, x), 0.0);
 }
@@ -99,12 +150,34 @@ TEST(SplitSegments, RemainderGoesToLastSegment) {
   EXPECT_EQ(segs[2].size(), 3u);
 }
 
-TEST(SplitSegments, MorePartsThanSamples) {
+TEST(SplitSegments, MorePartsThanSamplesClampsToNonEmptySegments) {
+  // Asking for more parts than samples must not manufacture empty segments
+  // — downstream per-segment statistics (mean/pearson/dtw) throw on empty
+  // input. The split clamps to one sample per segment instead.
   const auto segs = split_segments({1, 2}, 4);
-  ASSERT_EQ(segs.size(), 4u);
-  std::size_t total = 0;
-  for (const auto& s : segs) total += s.size();
-  EXPECT_EQ(total, 2u);
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0], (Signal{1}));
+  EXPECT_EQ(segs[1], (Signal{2}));
+}
+
+TEST(SplitSegments, NoSegmentIsEverEmpty) {
+  for (std::size_t n = 1; n <= 9; ++n) {
+    Signal x(n, 1.0);
+    for (std::size_t parts = 1; parts <= 12; ++parts) {
+      const auto segs = split_segments(x, parts);
+      EXPECT_EQ(segs.size(), std::min(parts, n));
+      std::size_t total = 0;
+      for (const auto& s : segs) {
+        EXPECT_FALSE(s.empty()) << "n=" << n << " parts=" << parts;
+        total += s.size();
+      }
+      EXPECT_EQ(total, n);
+    }
+  }
+}
+
+TEST(SplitSegments, EmptyInputYieldsNoSegments) {
+  EXPECT_TRUE(split_segments({}, 3).empty());
 }
 
 TEST(SplitSegments, ZeroPartsThrows) {
