@@ -17,6 +17,12 @@
 //                                              # vs untraced 50-session runs
 //                                              # must agree bit-for-bit, the
 //                                              # trace must parse and nest
+//   ./bench_service_load --telemetry-selftest  # PR-10 gate: wire-fed runs
+//                                              # with stats polling + flight
+//                                              # recorder + heartbeats (and a
+//                                              # v1-client run) must match a
+//                                              # telemetry-dark run verdict
+//                                              # for verdict
 //   ./bench_service_load --socket=8 10000 2 2 50   # wire-fed mode: drive the
 //                                              # sessions as protocol bytes
 //                                              # over 8 socketpairs through
@@ -27,6 +33,10 @@
 //   ./bench_service_load --json-out r.json     # machine-readable record of
 //                                              # the measured run (either
 //                                              # mode) -> BENCH_service_load
+//   ./bench_service_load --socket=8 --listen /tmp/lumichat.sock 10000 2 2 50
+//                                              # + a Unix-socket stats side
+//                                              # door: poll the measured run
+//                                              # live with lumichat_stat
 #include <algorithm>
 #include <cstdio>
 #include <cstdlib>
@@ -279,7 +289,8 @@ bool write_json_file(const std::string& path, const std::string& json) {
 /// single-connection run. Exits nonzero on any divergence.
 int run_socket_bench(std::size_t n_sessions, double duration_s,
                      double window_s, double attacker_pct,
-                     std::size_t n_connections, const std::string& json_out) {
+                     std::size_t n_connections, const std::string& json_out,
+                     const std::string& listen_path) {
   using namespace lumichat;
   bench::header("Service runtime: wire-fed socket ingestion load");
 
@@ -348,6 +359,11 @@ int run_socket_bench(std::size_t n_sessions, double duration_s,
   common::ThreadPool pool;  // LUMICHAT_THREADS or hardware width
   wire::SocketLoadOptions options;
   options.n_connections = n_connections;
+  options.listen_path = listen_path;  // side door for lumichat_stat
+  if (!listen_path.empty()) {
+    std::printf("[listen] stats side door on %s (poll with lumichat_stat)\n",
+                listen_path.c_str());
+  }
   const service::LoadReport report = wire::run_socket_load(
       load, service_cfg, streaming, models, options, &pool, &registry);
 
@@ -392,6 +408,142 @@ int run_socket_bench(std::size_t n_sessions, double duration_s,
   return failures > 0 ? 1 : 0;
 }
 
+/// The bench-smoke telemetry gate, extending the traced-vs-untraced
+/// discipline to the PR-10 surfaces: the same wire-fed spec runs once dark
+/// (no registry, recorder, heartbeats or stats polling) and once fully lit
+/// (registry + armed flight recorder + per-block heartbeat pings + periodic
+/// in-band stats requests), and the per-session verdict sequences must be
+/// bit-identical. A third run with v1 clients proves the legacy interop
+/// path yields the same substance. The captured stats snapshot and the
+/// auto-dumped flight JSONL must both parse and carry the expected series.
+int run_telemetry_selftest() {
+  using namespace lumichat;
+  bench::header("Wire-fed load: telemetry-on vs telemetry-off selftest");
+
+  const double window_s = 2.0;
+  eval::SimulationProfile profile;
+  profile.clip_duration_s = window_s;
+  core::StreamingConfig streaming;
+  streaming.detector = profile.detector_config();
+  streaming.window_s = window_s;
+  const auto models = train_models(profile, window_s);
+
+  service::LoadSpec load;
+  load.n_sessions = 100;
+  load.duration_s = 2.0;
+  load.sample_rate_hz = profile.sample_rate_hz;
+  load.warmup_s = 1.0;
+  load.attacker_fraction = 0.5;
+  load.ticks_per_pump = 2;
+  load.full_chat = false;  // synthetic 8x8 frames, same as socket mode
+
+  service::ServiceConfig service_cfg;
+  service_cfg.n_shards = 8;
+  service_cfg.max_sessions = load.n_sessions;
+
+  int failures = 0;
+  const auto check = [&failures](bool ok, const char* what) {
+    std::printf("[%s] %s\n", ok ? "ok" : "FAIL", what);
+    if (!ok) ++failures;
+  };
+
+  // Reference run: telemetry dark.
+  const service::LoadReport dark = wire::run_socket_load(
+      load, service_cfg, streaming, models, wire::SocketLoadOptions{});
+
+  // Lit run: every PR-10 surface enabled at once on the same spec.
+  obs::MetricsRegistry registry;
+  obs::FlightRecorder recorder(service_cfg.n_shards, 256);
+  const std::string dump_path = "bench_telemetry.flight.jsonl";
+  std::remove(dump_path.c_str());
+  recorder.arm_auto_dump(
+      dump_path, obs::kTriggerVerdictFlip | obs::kTriggerAbstainBurst |
+                     obs::kTriggerProtocolError | obs::kTriggerSessionEvict);
+  std::string stats_json;
+  wire::SocketLoadOptions lit;
+  lit.flight_recorder = &recorder;
+  lit.heartbeat_every = 1;
+  lit.stats_every = 2;
+  lit.last_stats_json = &stats_json;
+  const service::LoadReport bright = wire::run_socket_load(
+      load, service_cfg, streaming, models, lit, nullptr, &registry);
+
+  check(equivalent_verdicts(dark.sessions, bright.sessions),
+        "verdicts bit-identical with recorder + stats polling enabled");
+
+  // Legacy clients: protocol v1 drops trace ids and cannot ask for stats,
+  // but the verdict substance must not move.
+  wire::SocketLoadOptions v1;
+  v1.protocol_version = 1;
+  const service::LoadReport legacy = wire::run_socket_load(
+      load, service_cfg, streaming, models, v1);
+  check(equivalent_verdicts(dark.sessions, legacy.sessions),
+        "verdicts bit-identical when clients speak protocol v1");
+
+  // The in-band stats endpoint answered, and the snapshot is the real one.
+  check(!stats_json.empty(), "stats endpoint replied during the run");
+  check(obs::json_well_formed(stats_json), "stats snapshot JSON parses");
+  check(stats_json.find("\"wire.frames_in\"") != std::string::npos,
+        "stats snapshot carries wire.frames_in");
+  check(stats_json.find("\"wire.heartbeat_rtt\"") != std::string::npos,
+        "stats snapshot carries wire.heartbeat_rtt");
+  check(stats_json.find("\"model.version\"") != std::string::npos,
+        "stats snapshot carries model.version");
+  check(stats_json.find("\"service.stage.queue_wait\"") != std::string::npos,
+        "stats snapshot carries per-stage latency histograms");
+  check(registry.histogram("wire.heartbeat_rtt").count() > 0,
+        "heartbeat pings produced RTT samples");
+
+  // Flight recorder: frames were recorded, session teardown tripped an
+  // armed trigger, and the server's poll-cycle dump wrote parseable JSONL.
+  check(recorder.recorded_count() > 0, "flight recorder captured entries");
+  check(recorder.trigger_count() > 0,
+        "session teardown tripped an armed trigger");
+  std::FILE* f = std::fopen(dump_path.c_str(), "rb");
+  check(f != nullptr, "auto-dump JSONL was written");
+  if (f != nullptr) {
+    std::size_t lines = 0;
+    bool all_parse = true;
+    bool saw_evict = false;
+    std::string line;
+    for (int c = std::fgetc(f); c != EOF; c = std::fgetc(f)) {
+      if (c != '\n') {
+        line.push_back(static_cast<char>(c));
+        continue;
+      }
+      ++lines;
+      all_parse = all_parse && obs::json_well_formed(line);
+      saw_evict = saw_evict ||
+                  line.find("\"kind\":\"session_evict\"") != std::string::npos;
+      line.clear();
+    }
+    std::fclose(f);
+    check(lines > 0, "auto-dump holds at least one entry");
+    check(all_parse, "every flight-recorder line is well-formed JSON");
+    check(saw_evict, "auto-dump includes the session_evict trigger entry");
+  }
+
+  // Overhead: lenient by default (one short run is noisy); CI perf jobs can
+  // tighten via LUMICHAT_TELEMETRY_TOL (fractional slowdown, e.g. 0.01).
+  double tol = 0.50;
+  if (const char* env = std::getenv("LUMICHAT_TELEMETRY_TOL")) {
+    const double v = std::strtod(env, nullptr);
+    if (v > 0.0) tol = v;
+  }
+  const double overhead =
+      dark.elapsed_s > 0.0 ? bright.elapsed_s / dark.elapsed_s - 1.0 : 0.0;
+  std::printf("[overhead] dark %.3fs -> lit %.3fs (%+.2f%%, tolerance %.0f%%)\n",
+              dark.elapsed_s, bright.elapsed_s, 100.0 * overhead, 100.0 * tol);
+  check(overhead <= tol, "telemetry overhead within tolerance");
+
+  if (failures > 0) {
+    std::fprintf(stderr, "\n%d telemetry check(s) FAILED\n", failures);
+    return 1;
+  }
+  std::printf("\nall telemetry checks passed\n");
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -401,18 +553,24 @@ int main(int argc, char** argv) {
   std::string trace_out = obs::env_trace_path();
   std::string explain_out;
   std::string json_out;
+  std::string listen_path;
   bool selftest = false;
+  bool telemetry_selftest = false;
   std::size_t socket_conns = 0;  // 0 = in-process mode
   std::vector<char*> positional;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--trace-selftest") == 0) {
       selftest = true;
+    } else if (std::strcmp(argv[i], "--telemetry-selftest") == 0) {
+      telemetry_selftest = true;
     } else if (std::strcmp(argv[i], "--trace-out") == 0 && i + 1 < argc) {
       trace_out = argv[++i];
     } else if (std::strcmp(argv[i], "--explain-out") == 0 && i + 1 < argc) {
       explain_out = argv[++i];
     } else if (std::strcmp(argv[i], "--json-out") == 0 && i + 1 < argc) {
       json_out = argv[++i];
+    } else if (std::strcmp(argv[i], "--listen") == 0 && i + 1 < argc) {
+      listen_path = argv[++i];
     } else if (std::strncmp(argv[i], "--socket", 8) == 0) {
       socket_conns = 8;
       if (argv[i][8] == '=') {
@@ -424,6 +582,7 @@ int main(int argc, char** argv) {
     }
   }
   if (selftest) return run_trace_selftest();
+  if (telemetry_selftest) return run_telemetry_selftest();
 
   std::size_t n_sessions = 500;
   double duration_s = 6.0;
@@ -439,7 +598,7 @@ int main(int argc, char** argv) {
 
   if (socket_conns > 0) {
     return run_socket_bench(n_sessions, duration_s, window_s, attacker_pct,
-                            socket_conns, json_out);
+                            socket_conns, json_out, listen_path);
   }
 
   bench::header("Service runtime: concurrent-session load & determinism");

@@ -19,6 +19,7 @@ std::shared_ptr<const LofModelSnapshot> ModelRegistry::publish(
   last_version_ = version;
   current_.store(snap, std::memory_order_release);
   publish_count_.fetch_add(1, std::memory_order_relaxed);
+  notify_swap(version);
   return snap;
 }
 
@@ -28,6 +29,7 @@ std::shared_ptr<const LofModelSnapshot> ModelRegistry::install(
   if (snapshot->version() > last_version_) last_version_ = snapshot->version();
   current_.store(snapshot, std::memory_order_release);
   publish_count_.fetch_add(1, std::memory_order_relaxed);
+  notify_swap(snapshot->version());
   return snapshot;
 }
 

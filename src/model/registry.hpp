@@ -86,7 +86,30 @@ class ModelRegistry {
   /// registry is empty or nothing was absorbed (no version is spent).
   std::shared_ptr<const LofModelSnapshot> retrain();
 
+  // --- Swap observation -------------------------------------------------
+
+  /// Called (under the writer lock) each time a snapshot becomes current,
+  /// with the new version. Keeps the model layer free of any metrics
+  /// dependency; the telemetry plane installs a hook that bumps a
+  /// `model.publishes` counter and a `model.version` gauge.
+  using SwapHook = void (*)(void* ctx, std::uint64_t version);
+
+  /// Installs (or, with nullptr, removes) the swap hook. Not synchronised
+  /// against in-flight publishes — set it up before the registry serves
+  /// concurrent writers.
+  void set_swap_hook(SwapHook hook, void* ctx) {
+    swap_hook_ = hook;
+    swap_ctx_ = ctx;
+  }
+
  private:
+  void notify_swap(std::uint64_t version) {
+    if (swap_hook_ != nullptr) swap_hook_(swap_ctx_, version);
+  }
+
+  SwapHook swap_hook_ = nullptr;
+  void* swap_ctx_ = nullptr;
+
   std::atomic<std::shared_ptr<const LofModelSnapshot>> current_{nullptr};
   std::atomic<std::uint64_t> publish_count_{0};
 

@@ -105,6 +105,7 @@ double HistogramSnapshot::quantile(double q) const {
 }
 
 Counter& MetricsRegistry::counter(const std::string& name) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = counters_[name];
   if (slot == nullptr) slot = std::make_unique<Counter>();
@@ -112,6 +113,7 @@ Counter& MetricsRegistry::counter(const std::string& name) {
 }
 
 Gauge& MetricsRegistry::gauge(const std::string& name) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = gauges_[name];
   if (slot == nullptr) slot = std::make_unique<Gauge>();
@@ -119,10 +121,23 @@ Gauge& MetricsRegistry::gauge(const std::string& name) {
 }
 
 LogHistogram& MetricsRegistry::histogram(const std::string& name) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   auto& slot = histograms_[name];
   if (slot == nullptr) slot = std::make_unique<LogHistogram>();
   return *slot;
+}
+
+HistogramSnapshot snapshot_of(const std::string& name, const LogHistogram& h) {
+  HistogramSnapshot hs;
+  hs.name = name;
+  hs.sum = h.sum();
+  hs.max = h.max();
+  for (std::size_t i = 0; i < LogHistogram::kBuckets; ++i) {
+    hs.buckets[i] = h.counts_[i].load(std::memory_order_relaxed);
+    hs.count += hs.buckets[i];
+  }
+  return hs;
 }
 
 RegistrySnapshot MetricsRegistry::snapshot() const {
@@ -134,15 +149,7 @@ RegistrySnapshot MetricsRegistry::snapshot() const {
   for (const auto& [name, g] : gauges_) s.gauges.emplace_back(name, g->value());
   s.histograms.reserve(histograms_.size());
   for (const auto& [name, h] : histograms_) {
-    HistogramSnapshot hs;
-    hs.name = name;
-    hs.sum = h->sum();
-    hs.max = h->max();
-    for (std::size_t i = 0; i < LogHistogram::kBuckets; ++i) {
-      hs.buckets[i] = h->counts_[i].load(std::memory_order_relaxed);
-      hs.count += hs.buckets[i];
-    }
-    s.histograms.push_back(std::move(hs));
+    s.histograms.push_back(snapshot_of(name, *h));
   }
   return s;
 }
@@ -185,6 +192,49 @@ void RegistrySnapshot::merge(const RegistrySnapshot& other) {
     } else {
       histograms.insert(it, h);
     }
+  }
+}
+
+void RegistrySnapshot::set_gauge(const std::string& name, double value) {
+  auto it = std::lower_bound(
+      gauges.begin(), gauges.end(), name,
+      [](const auto& a, const std::string& key) { return a.first < key; });
+  if (it != gauges.end() && it->first == name) {
+    it->second = value;
+  } else {
+    gauges.insert(it, {name, value});
+  }
+}
+
+void RegistrySnapshot::add_counter(const std::string& name,
+                                   std::uint64_t value) {
+  auto it = std::lower_bound(
+      counters.begin(), counters.end(), name,
+      [](const auto& a, const std::string& key) { return a.first < key; });
+  if (it != counters.end() && it->first == name) {
+    it->second += value;
+  } else {
+    counters.insert(it, {name, value});
+  }
+}
+
+void RegistrySnapshot::add_histogram(const std::string& name,
+                                     const LogHistogram& h) {
+  HistogramSnapshot hs = snapshot_of(name, h);
+  auto it = std::lower_bound(
+      histograms.begin(), histograms.end(), name,
+      [](const HistogramSnapshot& a, const std::string& key) {
+        return a.name < key;
+      });
+  if (it != histograms.end() && it->name == name) {
+    it->count += hs.count;
+    it->sum += hs.sum;
+    it->max = std::max(it->max, hs.max);
+    for (std::size_t i = 0; i < LogHistogram::kBuckets; ++i) {
+      it->buckets[i] += hs.buckets[i];
+    }
+  } else {
+    histograms.insert(it, std::move(hs));
   }
 }
 
@@ -232,6 +282,55 @@ std::string RegistrySnapshot::to_json() const {
     out += buf;
   }
   out += "}}";
+  return out;
+}
+
+namespace {
+
+/// Prometheus metric names allow [a-zA-Z0-9_:]; our dotted names map '.'
+/// (and any other outsider) to '_'.
+std::string prom_name(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (const char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+std::string RegistrySnapshot::to_prometheus() const {
+  std::string out;
+  char buf[160];
+  for (const auto& [name, v] : counters) {
+    const std::string n = prom_name(name) + "_total";
+    out += "# TYPE " + n + " counter\n";
+    std::snprintf(buf, sizeof(buf), "%s %" PRIu64 "\n", n.c_str(), v);
+    out += buf;
+  }
+  for (const auto& [name, v] : gauges) {
+    const std::string n = prom_name(name);
+    out += "# TYPE " + n + " gauge\n";
+    std::snprintf(buf, sizeof(buf), "%s %.9g\n", n.c_str(), v);
+    out += buf;
+  }
+  for (const HistogramSnapshot& h : histograms) {
+    const std::string n = prom_name(h.name) + "_seconds";
+    out += "# TYPE " + n + " summary\n";
+    static constexpr double kQs[] = {0.5, 0.99, 0.999};
+    static constexpr const char* kQLabels[] = {"0.5", "0.99", "0.999"};
+    for (std::size_t i = 0; i < 3; ++i) {
+      std::snprintf(buf, sizeof(buf), "%s{quantile=\"%s\"} %.9g\n", n.c_str(),
+                    kQLabels[i], h.quantile(kQs[i]));
+      out += buf;
+    }
+    std::snprintf(buf, sizeof(buf), "%s_sum %.9g\n%s_count %" PRIu64 "\n",
+                  n.c_str(), h.sum, n.c_str(), h.count);
+    out += buf;
+  }
   return out;
 }
 

@@ -30,6 +30,13 @@
 
 namespace lumichat::obs {
 
+class LogHistogram;
+struct HistogramSnapshot;
+
+/// Takes a consistent point-in-time copy of one live histogram.
+[[nodiscard]] HistogramSnapshot snapshot_of(const std::string& name,
+                                            const LogHistogram& h);
+
 /// Log-spaced histogram: four buckets per octave (quarter-power-of-two
 /// edges, resolution about +/-9%) from 1 us to ~2.4 h, with exact sum and
 /// max alongside. Values are seconds by convention but any non-negative
@@ -66,6 +73,8 @@ class LogHistogram {
 
  private:
   friend class MetricsRegistry;
+  friend HistogramSnapshot snapshot_of(const std::string& name,
+                                       const LogHistogram& h);
 
   [[nodiscard]] static std::size_t bucket_of(double seconds);
 
@@ -125,9 +134,25 @@ struct RegistrySnapshot {
   /// Folds `other` in: counters add, gauges add, histograms merge.
   void merge(const RegistrySnapshot& other);
 
+  /// Inserts or overwrites a gauge, preserving name order. Lets exporters
+  /// attach derived values (model version, per-shard session counts) that
+  /// live outside any registry.
+  void set_gauge(const std::string& name, double value);
+
+  /// Inserts or adds a counter, preserving name order.
+  void add_counter(const std::string& name, std::uint64_t value);
+
+  /// Appends `h` as a histogram snapshot under `name` (merging if present).
+  void add_histogram(const std::string& name, const LogHistogram& h);
+
   /// {"counters":{...},"gauges":{...},"histograms":{name:{count,mean,max,
   /// p50,p95,p99,p999},...}} with name-sorted keys.
   [[nodiscard]] std::string to_json() const;
+
+  /// Prometheus text exposition (version 0.0.4): '.' in names becomes '_',
+  /// counters get a `_total` suffix, histograms are emitted as summaries
+  /// ({quantile="0.5|0.99|0.999"} plus `_sum`/`_count`).
+  [[nodiscard]] std::string to_prometheus() const;
 };
 
 /// RAII wall-clock timer: records the seconds between construction and
@@ -169,8 +194,16 @@ class MetricsRegistry {
   void reset();
   [[nodiscard]] std::string to_json() const { return snapshot().to_json(); }
 
+  /// Number of name lookups (counter/gauge/histogram calls) ever made.
+  /// Hot-path code is expected to resolve instruments once and keep the
+  /// pointer; tests assert this stays flat across steady-state frames.
+  [[nodiscard]] std::uint64_t lookup_count() const {
+    return lookups_.load(std::memory_order_relaxed);
+  }
+
  private:
   mutable std::mutex mu_;
+  std::atomic<std::uint64_t> lookups_{0};
   // std::map keeps name order deterministic and node addresses stable.
   std::map<std::string, std::unique_ptr<Counter>> counters_;
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;

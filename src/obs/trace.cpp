@@ -163,10 +163,31 @@ void append_json_escaped(std::string& out, const char* s) {
 std::string Tracer::chrome_trace_json() const {
   const std::vector<SpanRecord> spans = snapshot();
   std::string out;
-  out.reserve(spans.size() * 160 + 64);
+  out.reserve(spans.size() * 160 + 512);
   out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
   char buf[256];
   bool first = true;
+  // Metadata ("M") events first, so Perfetto opens the trace with the
+  // process and every thread lane already labelled.
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"lumichat\"}}";
+  first = false;
+  std::vector<std::uint32_t> tids;
+  for (const SpanRecord& s : spans) {
+    if (std::find(tids.begin(), tids.end(), s.thread) == tids.end()) {
+      tids.push_back(s.thread);
+    }
+  }
+  std::sort(tids.begin(), tids.end());
+  for (const std::uint32_t tid : tids) {
+    std::snprintf(buf, sizeof(buf),
+                  ",{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+                  "\"tid\":%" PRIu32
+                  ",\"args\":{\"name\":\"lumichat-thread-%" PRIu32 "\"}}",
+                  tid, tid);
+    out += buf;
+  }
   for (const SpanRecord& s : spans) {
     if (!first) out.push_back(',');
     first = false;

@@ -26,6 +26,29 @@ MetricsSnapshot ServiceMetrics::snapshot(std::uint64_t sessions_active) const {
   return s;
 }
 
+obs::RegistrySnapshot ServiceMetrics::registry_snapshot(
+    std::uint64_t sessions_active) const {
+  obs::RegistrySnapshot s;
+  const auto load = [](const std::atomic<std::uint64_t>& a) {
+    return a.load(std::memory_order_relaxed);
+  };
+  s.add_counter("service.frames_dropped", load(frames_dropped_));
+  s.add_counter("service.frames_in", load(frames_in_));
+  s.add_counter("service.frames_processed", load(frames_processed_));
+  s.add_counter("service.sessions_created", load(sessions_created_));
+  s.add_counter("service.sessions_evicted", load(sessions_evicted_));
+  s.add_counter("service.sessions_rejected", load(sessions_rejected_));
+  s.add_counter("service.verdicts_abstain", load(verdicts_abstain_));
+  s.add_counter("service.verdicts_attacker", load(verdicts_attacker_));
+  s.add_counter("service.verdicts_legit", load(verdicts_legit_));
+  s.add_counter("service.windows_completed", load(windows_completed_));
+  s.set_gauge("service.sessions_active", static_cast<double>(sessions_active));
+  s.add_histogram("service.push_to_verdict", push_to_verdict_);
+  s.add_histogram("service.stage.detect", detect_);
+  s.add_histogram("service.stage.queue_wait", queue_wait_);
+  return s;
+}
+
 std::string MetricsSnapshot::to_json() const {
   char buf[1024];
   std::snprintf(

@@ -68,12 +68,29 @@ class ServiceMetrics {
     push_to_verdict_.record(push_to_verdict_s);
   }
 
+  /// Per-frame stage latencies (queue-wait = enqueue -> drain pickup,
+  /// detect = detector work inside the drain).
+  void on_frame_stage(double queue_wait_s, double detect_s) {
+    queue_wait_.record(queue_wait_s);
+    detect_.record(detect_s);
+  }
+
   [[nodiscard]] const LatencyHistogram& push_to_verdict() const {
     return push_to_verdict_;
   }
+  [[nodiscard]] const LatencyHistogram& queue_wait() const {
+    return queue_wait_;
+  }
+  [[nodiscard]] const LatencyHistogram& detect() const { return detect_; }
 
   /// `sessions_active` comes from the manager (it owns the shard maps).
   [[nodiscard]] MetricsSnapshot snapshot(std::uint64_t sessions_active) const;
+
+  /// The same counters/histograms as a generic `obs::RegistrySnapshot`
+  /// (names under `service.`), so the stats endpoint can merge the service
+  /// plane with the wire plane into one export.
+  [[nodiscard]] obs::RegistrySnapshot registry_snapshot(
+      std::uint64_t sessions_active) const;
 
  private:
   static void bump(std::atomic<std::uint64_t>& counter) {
@@ -91,6 +108,8 @@ class ServiceMetrics {
   std::atomic<std::uint64_t> verdicts_attacker_{0};
   std::atomic<std::uint64_t> verdicts_abstain_{0};
   LatencyHistogram push_to_verdict_;
+  LatencyHistogram queue_wait_;
+  LatencyHistogram detect_;
 };
 
 }  // namespace lumichat::service

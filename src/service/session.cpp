@@ -66,27 +66,91 @@ std::size_t ServiceSession::drain() {
     return 0;
   }
   std::size_t processed = 0;
+  // Stage clocks are only read when someone consumes them; otherwise the
+  // drain stays at the original one-clock-read-per-verdict cost.
+  const bool timed = metrics_ != nullptr || flight_ != nullptr;
   for (FrameJob& job : drain_batch_) {
+    const ServiceClock::time_point t_pickup =
+        timed ? ServiceClock::now() : ServiceClock::time_point{};
     const auto verdict =
         detector_.push(job.t_sec, job.transmitted, job.received);
     ++processed;
-    if (metrics_ != nullptr) metrics_->on_frame_processed();
+    const ServiceClock::time_point t_done =
+        timed ? ServiceClock::now() : ServiceClock::time_point{};
+    const double queue_wait =
+        timed ? std::chrono::duration<double>(t_pickup - job.enqueued_at)
+                    .count()
+              : 0.0;
+    const double detect =
+        timed ? std::chrono::duration<double>(t_done - t_pickup).count() : 0.0;
+    if (metrics_ != nullptr) {
+      metrics_->on_frame_processed();
+      metrics_->on_frame_stage(queue_wait, detect);
+    }
     if (verdict.has_value()) {
-      const double latency = std::chrono::duration<double>(
-                                 ServiceClock::now() - job.enqueued_at)
-                                 .count();
-      history_.push_back(WindowVerdict{history_.size(), verdict->is_attacker,
-                                       verdict->verdict, verdict->lof_score,
-                                       latency});
+      const ServiceClock::time_point completed =
+          timed ? t_done : ServiceClock::now();
+      const double latency =
+          std::chrono::duration<double>(completed - job.enqueued_at).count();
+      WindowVerdict w{history_.size(), verdict->is_attacker, verdict->verdict,
+                      verdict->lof_score,  latency,           job.trace_id,
+                      job.decode_s,        queue_wait,        detect,
+                      completed};
+      history_.push_back(w);
       if (metrics_ != nullptr) {
         metrics_->on_window_verdict(verdict->verdict, latency);
       }
+      if (flight_ != nullptr) record_flight(w);
     }
     release_frame_job(std::move(job));
   }
   drain_batch_.clear();
   frames_processed_ += processed;
   return processed;
+}
+
+void ServiceSession::set_flight_recorder(obs::FlightRecorder* recorder,
+                                         std::size_t lane) {
+  const std::lock_guard<std::mutex> lock(state_mu_);
+  flight_ = recorder;
+  flight_lane_ = lane;
+  have_last_verdict_ = false;
+  abstain_run_ = 0;
+}
+
+void ServiceSession::record_flight(const WindowVerdict& w) {
+  obs::FlightEntry entry;
+  entry.trace_id = w.trace_id;
+  entry.session_id = id_;
+  entry.window_index = static_cast<std::uint32_t>(w.window_index);
+  entry.kind = obs::FlightKind::kFrame;
+  entry.verdict = static_cast<std::uint8_t>(w.verdict);
+  entry.is_attacker = w.is_attacker ? 1 : 0;
+  entry.lof_score = w.lof_score;
+  entry.decode_s = w.decode_s;
+  entry.queue_wait_s = w.queue_wait_s;
+  entry.detect_s = w.detect_s;
+  entry.total_s = w.push_to_verdict_s;
+  flight_->record(flight_lane_, entry);
+
+  // Trigger markers: a verdict flipping to "attacker" or a burst of
+  // abstains is exactly the moment a postmortem wants the ring dumped.
+  if (have_last_verdict_ && w.verdict != last_verdict_ &&
+      w.verdict == core::Verdict::kAttacker) {
+    entry.kind = obs::FlightKind::kVerdictFlip;
+    flight_->record(flight_lane_, entry);
+  }
+  last_verdict_ = w.verdict;
+  have_last_verdict_ = true;
+
+  if (w.verdict == core::Verdict::kAbstain) {
+    if (++abstain_run_ == kAbstainBurstLen) {
+      entry.kind = obs::FlightKind::kAbstainBurst;
+      flight_->record(flight_lane_, entry);
+    }
+  } else {
+    abstain_run_ = 0;
+  }
 }
 
 bool ServiceSession::finish_drain() {
@@ -157,6 +221,13 @@ ServiceSession::CloseReport ServiceSession::close() {
   const core::FlushReport flushed = detector_.flush();
   report.pending_samples_dropped = flushed.pending_samples;
   report.window_fill = flushed.window_fill;
+  if (flight_ != nullptr) {
+    obs::FlightEntry entry;
+    entry.session_id = id_;
+    entry.kind = obs::FlightKind::kSessionEvict;
+    entry.window_index = static_cast<std::uint32_t>(report.windows_completed);
+    flight_->record(flight_lane_, entry);
+  }
   return report;
 }
 

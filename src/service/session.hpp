@@ -22,6 +22,7 @@
 #include "core/streaming.hpp"
 #include "core/voting.hpp"
 #include "image/image.hpp"
+#include "obs/flight_recorder.hpp"
 #include "service/metrics.hpp"
 
 namespace lumichat::service {
@@ -50,6 +51,13 @@ struct FrameJob {
   image::Image transmitted;
   image::Image received;
   ServiceClock::time_point enqueued_at{};
+  /// Wire-propagated trace/frame id (0 when the peer sent none); carried
+  /// through the queue so the verdict and flight-recorder timeline can be
+  /// joined back to the client's frame.
+  std::uint64_t trace_id = 0;
+  /// Wall seconds the frame spent in wire decode before enqueue (0 for
+  /// frames that never crossed the wire).
+  double decode_s = 0.0;
   /// Borrowed pool to return the images to after processing (or on drop);
   /// null for plainly owned frames, which are simply destroyed.
   FrameRecycler* recycler = nullptr;
@@ -75,6 +83,15 @@ struct WindowVerdict {
   double lof_score = 0.0;
   /// Wall time from enqueue of the window-completing frame to its verdict.
   double push_to_verdict_s = 0.0;
+  /// Trace id of the window-completing frame (0 when the peer sent none).
+  std::uint64_t trace_id = 0;
+  /// Per-stage breakdown for the window-completing frame.
+  double decode_s = 0.0;
+  double queue_wait_s = 0.0;
+  double detect_s = 0.0;
+  /// When the verdict was computed; the wire layer measures its push stage
+  /// (completed_at -> encode onto the socket) from this.
+  ServiceClock::time_point completed_at{};
 };
 
 class ServiceSession {
@@ -137,7 +154,19 @@ class ServiceSession {
   /// Extracts the detector for recycling. Only valid after close().
   [[nodiscard]] core::StreamingDetector take_detector();
 
+  /// Attaches a flight recorder (borrowed, may be null to detach): every
+  /// completed window records its timeline into `lane`, and trigger events
+  /// (verdict flip to fake, abstain burst) record marker entries.
+  void set_flight_recorder(obs::FlightRecorder* recorder, std::size_t lane);
+
+  /// Consecutive abstains that count as a burst (flight-recorder trigger).
+  static constexpr std::size_t kAbstainBurstLen = 3;
+
  private:
+  /// Records a window's timeline (+ flip/abstain-burst markers) into the
+  /// flight recorder. Caller holds state_mu_.
+  void record_flight(const WindowVerdict& w);
+
   const SessionId id_;
   const std::size_t queue_capacity_;
   ServiceMetrics* const metrics_;
@@ -163,6 +192,14 @@ class ServiceSession {
   core::StreamingDetector detector_;
   std::vector<WindowVerdict> history_;
   std::size_t frames_processed_ = 0;
+
+  // Flight-recorder wiring + trigger state (guarded by state_mu_; only
+  // maintained while a recorder is attached).
+  obs::FlightRecorder* flight_ = nullptr;  ///< borrowed; may be null
+  std::size_t flight_lane_ = 0;
+  bool have_last_verdict_ = false;
+  core::Verdict last_verdict_ = core::Verdict::kLegitimate;
+  std::size_t abstain_run_ = 0;
 };
 
 }  // namespace lumichat::service

@@ -83,6 +83,10 @@ void SessionManager::install_session(SessionId id) {
   detector.set_stream_id(id);  // labels the session's RoundExplanations
   auto session = std::make_shared<ServiceSession>(
       id, std::move(detector), config_.session_queue_capacity, &metrics_);
+  if (flight_ != nullptr) {
+    session->set_flight_recorder(flight_,
+                                 static_cast<std::size_t>(id % flight_->lanes()));
+  }
   Shard& shard = shard_of(id);
   {
     const std::lock_guard<std::mutex> lock(shard.mu);
@@ -109,6 +113,16 @@ std::optional<SessionId> SessionManager::create_on_shard(std::size_t shard) {
   const SessionId id = kRoutedIdBase + k * n + offset;
   install_session(id);
   return id;
+}
+
+std::vector<std::size_t> SessionManager::shard_session_counts() const {
+  std::vector<std::size_t> counts;
+  counts.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const std::lock_guard<std::mutex> lock(shard->mu);
+    counts.push_back(shard->sessions.size());
+  }
+  return counts;
 }
 
 std::shared_ptr<ServiceSession> SessionManager::find(SessionId id) const {

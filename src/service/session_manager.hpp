@@ -82,6 +82,21 @@ class SessionManager {
   /// Pass nullptr to return to inline draining.
   void attach_scheduler(FrameScheduler* scheduler) { scheduler_ = scheduler; }
 
+  /// Attaches a flight recorder (borrowed; must outlive the manager, null
+  /// detaches). Sessions created afterwards record their window timelines
+  /// into lane (session id % recorder lanes). Attach before creating
+  /// sessions — existing sessions are not rewired.
+  void attach_flight_recorder(obs::FlightRecorder* recorder) {
+    flight_ = recorder;
+  }
+  [[nodiscard]] obs::FlightRecorder* flight_recorder() const {
+    return flight_;
+  }
+
+  /// Live session count per shard (sized n_shards). Takes each shard lock
+  /// briefly; a monitoring-rate call, not a hot-path one.
+  [[nodiscard]] std::vector<std::size_t> shard_session_counts() const;
+
   /// Admits a new session, or std::nullopt when at capacity.
   [[nodiscard]] std::optional<SessionId> create();
 
@@ -174,6 +189,7 @@ class SessionManager {
   std::atomic<SessionId> next_routed_k_{0};
   std::atomic<std::size_t> active_{0};
   FrameScheduler* scheduler_ = nullptr;
+  obs::FlightRecorder* flight_ = nullptr;  ///< borrowed; may be null
   ServiceMetrics metrics_;
 
   std::mutex freelist_mu_;

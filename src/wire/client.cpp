@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 
 #include <fcntl.h>
 #include <sys/socket.h>
@@ -9,12 +10,24 @@
 
 namespace lumichat::wire {
 
-WireClient::WireClient(int fd, std::size_t expected_events) : fd_(fd) {
+WireClient::WireClient(int fd, std::size_t expected_events,
+                       obs::MetricsRegistry* registry, std::uint8_t version)
+    : fd_(fd), version_(version) {
   const int flags = ::fcntl(fd_, F_GETFL, 0);
   if (flags >= 0) ::fcntl(fd_, F_SETFL, flags | O_NONBLOCK);
   acks_.reserve(expected_events);
   verdicts_.reserve(expected_events);
   byes_.reserve(expected_events);
+  if (registry != nullptr) {
+    heartbeat_rtt_ = &registry->histogram("wire.heartbeat_rtt");
+  }
+}
+
+std::uint64_t WireClient::now_us() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
 }
 
 WireClient::~WireClient() {
@@ -37,7 +50,7 @@ void WireClient::hello(std::uint64_t token, std::uint32_t stream_id,
   msg.client_nonce = nonce;
   queue(kHeaderSize + kHelloPayloadSize,
         [&](std::uint8_t* buf, std::size_t cap) {
-          return encode_hello(buf, cap, token, stream_id, msg);
+          return encode_hello(buf, cap, token, stream_id, msg, version_);
         });
 }
 
@@ -45,11 +58,13 @@ void WireClient::send_frame(std::uint64_t token, std::uint32_t stream_id,
                             std::uint32_t frame_seq,
                             std::uint64_t timestamp_us,
                             const image::Image& transmitted,
-                            const image::Image& received) {
-  queue(frame_wire_size(transmitted.width(), transmitted.height()),
+                            const image::Image& received,
+                            std::uint64_t trace_id) {
+  queue(frame_wire_size(transmitted.width(), transmitted.height(), version_),
         [&](std::uint8_t* buf, std::size_t cap) {
           return encode_frame(buf, cap, token, stream_id, frame_seq,
-                              timestamp_us, transmitted, received);
+                              timestamp_us, transmitted, received, trace_id,
+                              version_);
         });
 }
 
@@ -59,7 +74,22 @@ void WireClient::heartbeat(std::uint64_t token, std::uint32_t stream_id,
   msg.t_us = t_us;
   queue(kHeaderSize + kHeartbeatPayloadSize,
         [&](std::uint8_t* buf, std::size_t cap) {
-          return encode_heartbeat(buf, cap, token, stream_id, msg);
+          return encode_heartbeat(buf, cap, token, stream_id, msg, version_);
+        });
+}
+
+void WireClient::heartbeat_ping(std::uint64_t token, std::uint32_t stream_id) {
+  heartbeat(token, stream_id, now_us());
+}
+
+void WireClient::request_stats(std::uint64_t token, std::uint32_t stream_id,
+                               StatsFormat format) {
+  if (version_ < 2) return;  // stats messages do not exist in v1
+  StatsRequestMsg msg;
+  msg.format = static_cast<std::uint32_t>(format);
+  queue(kHeaderSize + kStatsRequestPayloadSize,
+        [&](std::uint8_t* buf, std::size_t cap) {
+          return encode_stats_request(buf, cap, token, stream_id, msg);
         });
 }
 
@@ -69,7 +99,7 @@ void WireClient::bye(std::uint64_t token, std::uint32_t stream_id,
   msg.reason = static_cast<std::uint32_t>(reason);
   queue(kHeaderSize + kByePayloadSize,
         [&](std::uint8_t* buf, std::size_t cap) {
-          return encode_bye(buf, cap, token, stream_id, msg);
+          return encode_bye(buf, cap, token, stream_id, msg, version_);
         });
 }
 
@@ -130,9 +160,36 @@ std::size_t WireClient::poll() {
         if (parse_verdict(msg, &ev.verdict)) verdicts_.push_back(ev);
         break;
       }
-      case MsgType::kHeartbeat:
+      case MsgType::kHeartbeat: {
         ++heartbeats_;
+        HeartbeatMsg hb;
+        // A flagged echo carries back our own heartbeat_ping() steady-clock
+        // stamp: now - t_us is the socket round trip (plus one server poll).
+        if ((msg.header.flags & kFlagEcho) != 0 && parse_heartbeat(msg, &hb)) {
+          const std::uint64_t now = now_us();
+          if (now >= hb.t_us) {
+            const double rtt_s =
+                static_cast<double>(now - hb.t_us) * 1e-6;
+            last_rtt_s_ = rtt_s;
+            if (heartbeat_rtt_ != nullptr) heartbeat_rtt_->record(rtt_s);
+          }
+        }
         break;
+      }
+      case MsgType::kStatsReply: {
+        StatsReplyMsg reply;
+        if (parse_stats_reply(msg, &reply) &&
+            reply.format <=
+                static_cast<std::uint32_t>(StatsFormat::kPrometheus)) {
+          StatsEvent ev;
+          ev.stream_id = msg.header.stream_id;
+          ev.format = static_cast<StatsFormat>(reply.format);
+          ev.text.assign(reinterpret_cast<const char*>(reply.text),
+                         reply.text_len);
+          stats_.push_back(std::move(ev));
+        }
+        break;
+      }
       case MsgType::kBye: {
         ByeEvent ev;
         ev.stream_id = msg.header.stream_id;
@@ -171,6 +228,12 @@ std::size_t WireClient::take_verdicts(VerdictEvent* out, std::size_t max) {
 }
 std::size_t WireClient::take_byes(ByeEvent* out, std::size_t max) {
   return take_prefix(byes_, out, max);
+}
+
+std::vector<StatsEvent> WireClient::take_stats() {
+  std::vector<StatsEvent> out;
+  out.swap(stats_);
+  return out;
 }
 
 }  // namespace lumichat::wire

@@ -7,19 +7,26 @@
 // the socket accepts — so a caller can interleave flush() with the server's
 // poll() on the same thread (the socketpair harness) without either side
 // blocking on a full kernel buffer. poll() reads and decodes everything
-// available, accumulating HelloAcks, Verdicts, Heartbeat echoes and Byes
-// for the caller to take.
+// available, accumulating HelloAcks, Verdicts, Heartbeat echoes, Byes and
+// StatsReplies for the caller to take.
 //
 // Like the server, the client's steady state allocates nothing per frame:
 // encodes go straight into the (plateaued) outgoing buffer and decoded
 // events land in pre-reserved vectors drained by take_acks/take_verdicts.
+//
+// Telemetry: heartbeat_ping() stamps the client's own steady clock into
+// the heartbeat payload; a v2 server reflects it with kFlagEcho set, and
+// poll() turns the reflection into a round-trip-time sample recorded into
+// the `wire.heartbeat_rtt` histogram of the registry given at construction.
 #pragma once
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "image/image.hpp"
+#include "obs/metrics.hpp"
 #include "wire/buffer.hpp"
 #include "wire/protocol.hpp"
 
@@ -38,17 +45,31 @@ struct ByeEvent {
   std::uint32_t stream_id = 0;
   ByeMsg bye{};
 };
+/// A stats snapshot served by the peer. The only client event that owns
+/// heap storage — stats are a monitoring-rate request, never per-frame.
+struct StatsEvent {
+  std::uint32_t stream_id = 0;
+  StatsFormat format = StatsFormat::kJson;
+  std::string text;
+};
 
 class WireClient {
  public:
   /// Takes ownership of a connected socket (switched to non-blocking).
   /// `expected_events` pre-reserves the event vectors so steady-state
-  /// polling does not grow them.
-  explicit WireClient(int fd, std::size_t expected_events = 64);
+  /// polling does not grow them. `registry` (borrowed, may be null)
+  /// receives the wire.heartbeat_rtt histogram. `version` is the protocol
+  /// version this client speaks — pass 1 to dial a server that predates
+  /// v2 (old servers reject headers carrying a version they don't know).
+  explicit WireClient(int fd, std::size_t expected_events = 64,
+                      obs::MetricsRegistry* registry = nullptr,
+                      std::uint8_t version = kProtocolVersion);
   ~WireClient();
 
   WireClient(const WireClient&) = delete;
   WireClient& operator=(const WireClient&) = delete;
+
+  [[nodiscard]] std::uint8_t version() const { return version_; }
 
   // --- Buffered sends (call flush() to move them onto the wire) ----------
   // `token` is the stream's session token — the server's shard-routing key;
@@ -59,9 +80,16 @@ class WireClient {
   void send_frame(std::uint64_t token, std::uint32_t stream_id,
                   std::uint32_t frame_seq, std::uint64_t timestamp_us,
                   const image::Image& transmitted,
-                  const image::Image& received);
+                  const image::Image& received, std::uint64_t trace_id = 0);
   void heartbeat(std::uint64_t token, std::uint32_t stream_id,
                  std::uint64_t t_us);
+  /// Heartbeat carrying the client's own steady-clock microseconds; when
+  /// the (v2) echo comes back flagged, poll() records the round-trip time.
+  void heartbeat_ping(std::uint64_t token, std::uint32_t stream_id);
+  /// Asks the server for a stats snapshot (v2 only; a no-op on a v1
+  /// client). The reply arrives as a StatsEvent.
+  void request_stats(std::uint64_t token, std::uint32_t stream_id,
+                     StatsFormat format = StatsFormat::kJson);
   void bye(std::uint64_t token, std::uint32_t stream_id,
            ByeReason reason = ByeReason::kNormal);
 
@@ -80,8 +108,13 @@ class WireClient {
   std::size_t take_acks(AckEvent* out, std::size_t max);
   std::size_t take_verdicts(VerdictEvent* out, std::size_t max);
   std::size_t take_byes(ByeEvent* out, std::size_t max);
+  /// Moves all accumulated stats replies out (allocates; monitoring-rate).
+  std::vector<StatsEvent> take_stats();
 
   [[nodiscard]] std::size_t heartbeats_echoed() const { return heartbeats_; }
+  /// Last observed heartbeat round-trip time in seconds (0 until a flagged
+  /// echo of a heartbeat_ping() arrives).
+  [[nodiscard]] double last_heartbeat_rtt_s() const { return last_rtt_s_; }
   /// Protocol corruption, unexpected EOF, or socket error was observed.
   [[nodiscard]] bool failed() const { return failed_; }
   /// The underlying socket (still owned by the client) — test harnesses use
@@ -93,14 +126,21 @@ class WireClient {
   template <typename EncodeFn>
   void queue(std::size_t wire_size, EncodeFn&& encode);
 
+  /// Client steady clock in microseconds (the heartbeat_ping timestamp).
+  [[nodiscard]] static std::uint64_t now_us();
+
   int fd_;
+  std::uint8_t version_;
   ByteBuffer out_;
   ByteBuffer in_;
   std::vector<AckEvent> acks_;
   std::vector<VerdictEvent> verdicts_;
   std::vector<ByeEvent> byes_;
+  std::vector<StatsEvent> stats_;
   std::size_t heartbeats_ = 0;
+  double last_rtt_s_ = 0.0;
   bool failed_ = false;
+  obs::LogHistogram* heartbeat_rtt_ = nullptr;  ///< resolved once
 };
 
 }  // namespace lumichat::wire

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <cstdio>
 #include <cstring>
 #include <utility>
 
@@ -33,6 +34,7 @@ WireServer::WireServer(service::SessionManager& manager,
       arena_(config.frame_width, config.frame_height, config.arena_initial) {
   if (config_.verdict_flush_max == 0) config_.verdict_flush_max = 1;
   verdict_buf_.resize(config_.verdict_flush_max);
+  registry_ = registry;
   if (registry != nullptr) {
     frames_in_ = &registry->counter("wire.frames_in");
     verdicts_out_ = &registry->counter("wire.verdicts_out");
@@ -40,8 +42,12 @@ WireServer::WireServer(service::SessionManager& manager,
     hellos_ = &registry->counter("wire.hellos");
     rejects_ = &registry->counter("wire.hello_rejects");
     idle_closed_ = &registry->counter("wire.idle_closed");
+    stats_served_ = &registry->counter("wire.stats_served");
     push_to_verdict_ = &registry->histogram("wire.push_to_verdict");
     poll_cycle_ = &registry->histogram("wire.poll_cycle");
+    stage_decode_ = &registry->histogram("wire.stage.decode");
+    stage_enqueue_ = &registry->histogram("wire.stage.enqueue");
+    stage_push_ = &registry->histogram("wire.stage.push");
   }
 }
 
@@ -139,6 +145,13 @@ std::size_t WireServer::poll(int timeout_ms) {
   sweep_idle();
 
   for (const int fd : doomed_) close_connection(fd);
+
+  // Any trigger recorded this cycle — by a session's drain on a pool
+  // worker, or by protocol_error above — flushes the ring here, where a
+  // file write cannot stall frame ingest mid-cycle.
+  if (config_.flight_recorder != nullptr) {
+    (void)config_.flight_recorder->maybe_auto_dump();
+  }
   return frames;
 }
 
@@ -178,24 +191,18 @@ std::size_t WireServer::dispatch(Connection& conn, const MessageView& msg) {
       return 0;
     case MsgType::kFrame:
       return on_frame(conn, msg) ? 1 : 0;
-    case MsgType::kHeartbeat: {
-      HeartbeatMsg hb;
-      if (!parse_heartbeat(msg, &hb)) {
-        protocol_error(conn);
-        return 0;
-      }
-      const std::size_t total = kHeaderSize + kHeartbeatPayloadSize;
-      conn.out.ensure_writable(total);
-      conn.out.commit(encode_heartbeat(conn.out.write_ptr(), total,
-                                       msg.header.session_token,
-                                       msg.header.stream_id, hb));
+    case MsgType::kHeartbeat:
+      on_heartbeat(conn, msg);
       return 0;
-    }
+    case MsgType::kStatsRequest:
+      on_stats_request(conn, msg);
+      return 0;
     case MsgType::kBye:
       on_bye(conn, msg);
       return 0;
     case MsgType::kHelloAck:
     case MsgType::kVerdict:
+    case MsgType::kStatsReply:
       // Server-to-client messages arriving at the server: the peer is not
       // speaking the client side of the protocol.
       protocol_error(conn);
@@ -203,6 +210,72 @@ std::size_t WireServer::dispatch(Connection& conn, const MessageView& msg) {
   }
   protocol_error(conn);
   return 0;
+}
+
+void WireServer::on_heartbeat(Connection& conn, const MessageView& msg) {
+  HeartbeatMsg hb;
+  if (!parse_heartbeat(msg, &hb)) {
+    protocol_error(conn);
+    return;
+  }
+  // An already-echoed heartbeat (kFlagEcho set) terminates here — echoing
+  // it back again would ping-pong forever between two v2 peers.
+  if ((msg.header.flags & kFlagEcho) != 0) return;
+  // Echo in the sender's version; v2 peers get the echo flag so the client
+  // can tell its own reflected timestamp from a peer's ping and compute the
+  // round-trip time (wire.heartbeat_rtt).
+  const std::uint16_t flags = msg.header.version >= 2 ? kFlagEcho
+                                                      : std::uint16_t{0};
+  const std::size_t total = kHeaderSize + kHeartbeatPayloadSize;
+  conn.out.ensure_writable(total);
+  conn.out.commit(encode_heartbeat(conn.out.write_ptr(), total,
+                                   msg.header.session_token,
+                                   msg.header.stream_id, hb,
+                                   msg.header.version, flags));
+}
+
+void WireServer::on_stats_request(Connection& conn, const MessageView& msg) {
+  StatsRequestMsg req;
+  if (!parse_stats_request(msg, &req) ||
+      req.format > static_cast<std::uint32_t>(StatsFormat::kPrometheus)) {
+    protocol_error(conn);
+    return;
+  }
+  const auto format = static_cast<StatsFormat>(req.format);
+  const std::string text = stats_text(format);
+  const std::size_t total = stats_reply_wire_size(text.size());
+  conn.out.ensure_writable(total);
+  conn.out.commit(encode_stats_reply(conn.out.write_ptr(), total,
+                                     msg.header.session_token,
+                                     msg.header.stream_id, format, text));
+  if (stats_served_ != nullptr) stats_served_->add();
+}
+
+obs::RegistrySnapshot WireServer::stats_snapshot() const {
+  obs::RegistrySnapshot s;
+  if (registry_ != nullptr) s = registry_->snapshot();
+  s.merge(manager_.metrics().registry_snapshot(
+      static_cast<std::uint64_t>(manager_.active_sessions())));
+  // Model plane: which snapshot version verdicts are being scored against,
+  // and how many publishes the registry has seen.
+  const auto& models = manager_.models();
+  if (models != nullptr) {
+    s.set_gauge("model.version", static_cast<double>(models->version()));
+    s.add_counter("model.publishes", models->publish_count());
+  }
+  const std::vector<std::size_t> shard_counts =
+      manager_.shard_session_counts();
+  char name[64];
+  for (std::size_t i = 0; i < shard_counts.size(); ++i) {
+    std::snprintf(name, sizeof(name), "service.shard.%03zu.sessions", i);
+    s.set_gauge(name, static_cast<double>(shard_counts[i]));
+  }
+  return s;
+}
+
+std::string WireServer::stats_text(StatsFormat format) const {
+  const obs::RegistrySnapshot s = stats_snapshot();
+  return format == StatsFormat::kPrometheus ? s.to_prometheus() : s.to_json();
 }
 
 void WireServer::on_hello(Connection& conn, const MessageView& msg) {
@@ -216,6 +289,11 @@ void WireServer::on_hello(Connection& conn, const MessageView& msg) {
   HelloAckMsg ack;
   const std::size_t shard = ring_.shard_for(msg.header.session_token);
   ack.shard = static_cast<std::uint32_t>(shard);
+  // Version negotiation rides on the Hello/HelloAck header version byte:
+  // the ack answers in min(client, ours), and the stream speaks that
+  // version from then on (v1 peers get 24-byte verdicts with no trace id).
+  const std::uint8_t negotiated =
+      std::min(msg.header.version, kProtocolVersion);
   if (conn.streams.count(msg.header.stream_id) != 0) {
     ack.status = static_cast<std::uint32_t>(HelloStatus::kDuplicateStream);
   } else if (hello.frame_width == 0 || hello.frame_height == 0 ||
@@ -230,6 +308,7 @@ void WireServer::on_hello(Connection& conn, const MessageView& msg) {
     stream.token = msg.header.session_token;
     stream.width = hello.frame_width;
     stream.height = hello.frame_height;
+    stream.version = negotiated;
     conn.streams.emplace(msg.header.stream_id, stream);
     ++n_streams_;
   } else {
@@ -241,7 +320,7 @@ void WireServer::on_hello(Connection& conn, const MessageView& msg) {
   conn.out.ensure_writable(total);
   conn.out.commit(encode_hello_ack(conn.out.write_ptr(), total,
                                    msg.header.session_token,
-                                   msg.header.stream_id, ack));
+                                   msg.header.stream_id, ack, negotiated));
 }
 
 bool WireServer::on_frame(Connection& conn, const MessageView& msg) {
@@ -256,6 +335,13 @@ bool WireServer::on_frame(Connection& conn, const MessageView& msg) {
     return false;
   }
 
+  // Stage clocks only when a registry is attached; the untimed path keeps
+  // its original single clock read (the enqueued_at stamp).
+  const bool timed = stage_decode_ != nullptr;
+  const service::ServiceClock::time_point t_decode_start =
+      timed ? service::ServiceClock::now()
+            : service::ServiceClock::time_point{};
+
   // Pool hit when the frame matches the arena geometry (the steady state);
   // a renegotiated size decodes into a plainly owned job instead.
   service::FrameJob job =
@@ -264,8 +350,22 @@ bool WireServer::on_frame(Connection& conn, const MessageView& msg) {
           : service::FrameJob{};
   frame_pixels_to_images(frame, &job.transmitted, &job.received);
   job.t_sec = static_cast<double>(frame.timestamp_us) * 1e-6;
+  job.trace_id = frame.trace_id;
   job.enqueued_at = service::ServiceClock::now();
+  if (timed) {
+    job.decode_s = std::chrono::duration<double>(job.enqueued_at -
+                                                 t_decode_start)
+                       .count();
+    stage_decode_->record(job.decode_s);
+  }
+  const service::ServiceClock::time_point t_enqueue_start = job.enqueued_at;
   (void)manager_.feed(it->second.session, std::move(job));
+  if (timed) {
+    stage_enqueue_->record(std::chrono::duration<double>(
+                               service::ServiceClock::now() -
+                               t_enqueue_start)
+                               .count());
+  }
   ++it->second.frames;
   if (frames_in_ != nullptr) frames_in_->add();
   return true;
@@ -302,6 +402,11 @@ void WireServer::flush_verdicts(Connection& conn) {
           manager_.copy_verdicts(stream.session, stream.verdicts_sent,
                                  verdict_buf_.data(), verdict_buf_.size());
       if (copied == 0) break;
+      // One clock read per flushed batch times the push stage (verdict
+      // completed in the drain -> encoded onto the socket).
+      const service::ServiceClock::time_point t_push =
+          stage_push_ != nullptr ? service::ServiceClock::now()
+                                 : service::ServiceClock::time_point{};
       for (std::size_t i = 0; i < copied; ++i) {
         const service::WindowVerdict& w = verdict_buf_[i];
         VerdictMsg out;
@@ -310,12 +415,20 @@ void WireServer::flush_verdicts(Connection& conn) {
         out.is_attacker = w.is_attacker ? 1 : 0;
         out.lof_score = w.lof_score;
         out.push_to_verdict_s = w.push_to_verdict_s;
-        const std::size_t total = kHeaderSize + kVerdictPayloadSize;
+        out.trace_id = w.trace_id;
+        const std::size_t total =
+            kHeaderSize + verdict_payload_size(stream.version);
         conn.out.ensure_writable(total);
         conn.out.commit(encode_verdict(conn.out.write_ptr(), total,
-                                       stream.token, it->first, out));
+                                       stream.token, it->first, out,
+                                       stream.version));
         if (push_to_verdict_ != nullptr) {
           push_to_verdict_->record(w.push_to_verdict_s);
+        }
+        if (stage_push_ != nullptr &&
+            w.completed_at != service::ServiceClock::time_point{}) {
+          stage_push_->record(
+              std::chrono::duration<double>(t_push - w.completed_at).count());
         }
       }
       stream.verdicts_sent += copied;
@@ -331,7 +444,7 @@ void WireServer::flush_verdicts(Connection& conn) {
       ByeMsg bye;
       bye.reason = static_cast<std::uint32_t>(ByeReason::kNormal);
       conn.out.commit(encode_bye(conn.out.write_ptr(), total, stream.token,
-                                 it->first, bye));
+                                 it->first, bye, stream.version));
       it = conn.streams.erase(it);
       --n_streams_;
     } else {
@@ -368,6 +481,15 @@ void WireServer::flush_writes(Connection& conn) {
 void WireServer::protocol_error(Connection& conn) {
   if (conn.closing) return;
   if (malformed_ != nullptr) malformed_->add();
+  if (config_.flight_recorder != nullptr) {
+    obs::FlightEntry entry;
+    entry.kind = obs::FlightKind::kProtocolError;
+    entry.stream_id = static_cast<std::uint32_t>(conn.fd);
+    config_.flight_recorder->record(
+        static_cast<std::size_t>(conn.fd) %
+            config_.flight_recorder->lanes(),
+        entry);
+  }
   // After a framing error byte boundaries are lost: stop decoding, send a
   // best-effort Bye, flush what is queued, then drop the connection. The
   // sessions behind its streams are evicted at close.

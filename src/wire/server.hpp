@@ -33,6 +33,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "service/scheduler.hpp"
 #include "service/session_manager.hpp"
@@ -61,6 +62,11 @@ struct WireServerConfig {
   std::size_t arena_initial = 256;
   /// Verdicts copied out per stream per cycle (bounds the stack buffer).
   std::size_t verdict_flush_max = 16;
+  /// Borrowed flight recorder (must outlive the server; null disables).
+  /// Protocol errors record marker entries, and poll() gives it one
+  /// maybe_auto_dump() opportunity per cycle — triggers recorded anywhere
+  /// (including by sessions) get flushed from here, off the hot path.
+  obs::FlightRecorder* flight_recorder = nullptr;
 };
 
 class WireServer {
@@ -98,6 +104,16 @@ class WireServer {
   [[nodiscard]] FrameArena& arena() { return arena_; }
   [[nodiscard]] Backend backend() const { return loop_.backend(); }
 
+  /// The full telemetry plane as one consistent point-in-time snapshot:
+  /// the wire registry (when one was given), the manager's service
+  /// counters/stage histograms, the model-registry version/publish count,
+  /// and per-shard session-count gauges. This is what the Stats wire
+  /// request serves; exposed directly so embedders can export it.
+  [[nodiscard]] obs::RegistrySnapshot stats_snapshot() const;
+
+  /// stats_snapshot() rendered as JSON or Prometheus text exposition.
+  [[nodiscard]] std::string stats_text(StatsFormat format) const;
+
  private:
   struct StreamState {
     service::SessionId session = 0;
@@ -106,6 +122,9 @@ class WireServer {
     std::uint32_t height = 0;
     std::size_t verdicts_sent = 0;  ///< flush watermark
     std::uint64_t frames = 0;
+    /// Negotiated protocol version: min(client's Hello version, ours).
+    /// Verdicts and the Bye for this stream are encoded in it.
+    std::uint8_t version = kProtocolVersion;
     /// Bye received: fully flush remaining verdicts, then evict.
     bool closing = false;
   };
@@ -127,6 +146,8 @@ class WireServer {
   void on_hello(Connection& conn, const MessageView& msg);
   bool on_frame(Connection& conn, const MessageView& msg);
   void on_bye(Connection& conn, const MessageView& msg);
+  void on_heartbeat(Connection& conn, const MessageView& msg);
+  void on_stats_request(Connection& conn, const MessageView& msg);
   void flush_verdicts(Connection& conn);
   void flush_writes(Connection& conn);
   void protocol_error(Connection& conn);
@@ -147,15 +168,23 @@ class WireServer {
   std::vector<service::WindowVerdict> verdict_buf_;
   std::vector<int> doomed_;  ///< per-cycle close list (reused)
 
-  // Resolved once; null when no registry was given.
+  obs::MetricsRegistry* registry_ = nullptr;  ///< borrowed; may be null
+
+  // Resolved once; null when no registry was given. Steady-state frames
+  // bump these pointers and never touch the registry mutex (the
+  // no-lookup-per-frame test pins this).
   obs::Counter* frames_in_ = nullptr;
   obs::Counter* verdicts_out_ = nullptr;
   obs::Counter* malformed_ = nullptr;
   obs::Counter* hellos_ = nullptr;
   obs::Counter* rejects_ = nullptr;
   obs::Counter* idle_closed_ = nullptr;
+  obs::Counter* stats_served_ = nullptr;
   obs::LogHistogram* push_to_verdict_ = nullptr;
   obs::LogHistogram* poll_cycle_ = nullptr;
+  obs::LogHistogram* stage_decode_ = nullptr;
+  obs::LogHistogram* stage_enqueue_ = nullptr;
+  obs::LogHistogram* stage_push_ = nullptr;
 };
 
 }  // namespace lumichat::wire

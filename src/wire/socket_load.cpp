@@ -33,8 +33,11 @@ struct Chat {
 };
 
 /// Drains every event class from `client`, crediting verdicts to chats.
+/// Stats replies (monitoring traffic, not load traffic) land in
+/// *last_stats_json when given.
 void collect_events(WireClient& client, std::vector<Chat>& chats,
-                    std::size_t* acked, std::size_t* rejected) {
+                    std::size_t* acked, std::size_t* rejected,
+                    std::string* last_stats_json = nullptr) {
   constexpr std::size_t kBatch = 64;
   AckEvent acks[kBatch];
   VerdictEvent verdicts[kBatch];
@@ -67,6 +70,9 @@ void collect_events(WireClient& client, std::vector<Chat>& chats,
   // them anyway so the event queue cannot grow.
   while (client.take_byes(byes, kBatch) > 0) {
   }
+  for (StatsEvent& ev : client.take_stats()) {
+    if (last_stats_json != nullptr) *last_stats_json = std::move(ev.text);
+  }
 }
 
 }  // namespace
@@ -82,6 +88,9 @@ service::LoadReport run_socket_load(const service::LoadSpec& spec,
   service::SessionManager manager(service_cfg, streaming, std::move(models));
   service::FrameScheduler scheduler(pool, registry);
   manager.attach_scheduler(&scheduler);
+  if (options.flight_recorder != nullptr) {
+    manager.attach_flight_recorder(options.flight_recorder);
+  }
 
   // Client-side population, mirroring run_load's admission order.
   std::vector<Chat> chats(spec.n_sessions);
@@ -114,7 +123,10 @@ service::LoadReport run_socket_load(const service::LoadSpec& spec,
   const std::size_t n_conns =
       std::max<std::size_t>(1, std::min(options.n_connections, chats.size()));
   WireServerConfig server_cfg;
-  server_cfg.max_connections = n_conns;
+  // The side door needs admission headroom beyond the load connections, or
+  // accept_ready() would turn every monitor away at capacity.
+  server_cfg.max_connections =
+      n_conns + (options.listen_path.empty() ? 0 : 4);
   server_cfg.idle_timeout_s = 0.0;  // the driving thread controls pacing
   server_cfg.frame_width = frame_w;
   server_cfg.frame_height = frame_h;
@@ -124,8 +136,14 @@ service::LoadReport run_socket_load(const service::LoadSpec& spec,
       n_conns * (server_cfg.read_chunk / frame_wire_size(frame_w, frame_h) +
                  2) +
       64;
+  server_cfg.flight_recorder = options.flight_recorder;
   WireServer server(manager, &scheduler, server_cfg, registry,
                     options.backend);
+  if (!options.listen_path.empty()) {
+    // Live-monitoring side door: lumichat_stat connects here and speaks
+    // Stats requests while the load runs.
+    (void)server.listen_unix(options.listen_path);
+  }
 
   std::vector<std::unique_ptr<WireClient>> clients;
   clients.reserve(n_conns);
@@ -134,7 +152,8 @@ service::LoadReport run_socket_load(const service::LoadSpec& spec,
     if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0 || !server.adopt(sv[0])) {
       return report;  // out of fds — nothing sensible to report
     }
-    clients.push_back(std::make_unique<WireClient>(sv[1], 1024));
+    clients.push_back(std::make_unique<WireClient>(
+        sv[1], 1024, registry, options.protocol_version));
   }
   for (Chat& chat : chats) chat.conn = chat.ordinal % n_conns;
 
@@ -158,7 +177,8 @@ service::LoadReport run_socket_load(const service::LoadSpec& spec,
     const std::size_t before = acked;
     for (auto& client : clients) {
       client->poll();
-      collect_events(*client, chats, &acked, &rejected);
+      collect_events(*client, chats, &acked, &rejected,
+                     options.last_stats_json);
     }
     stall = (progress || acked != before) ? 0 : stall + 1;
   }
@@ -168,11 +188,31 @@ service::LoadReport run_socket_load(const service::LoadSpec& spec,
       std::llround(spec.duration_s * spec.sample_rate_hz));
   const std::size_t stride = std::max<std::size_t>(1, spec.ticks_per_pump);
 
+  // Monitoring traffic (heartbeats, stats requests) rides connection 0 on
+  // behalf of its first admitted chat — monitoring shares the data plane.
+  const Chat* monitor = nullptr;
+  for (const Chat& chat : chats) {
+    if (chat.conn == 0 && chat.admitted) {
+      monitor = &chat;
+      break;
+    }
+  }
+
   std::size_t sent = 0;
   std::size_t ingested = 0;
+  std::size_t block = 0;
   const auto t0 = std::chrono::steady_clock::now();
-  for (std::size_t done = 0; done < total_ticks; done += stride) {
+  for (std::size_t done = 0; done < total_ticks; done += stride, ++block) {
     const std::size_t ticks = std::min(stride, total_ticks - done);
+    if (monitor != nullptr) {
+      if (options.heartbeat_every > 0 && block % options.heartbeat_every == 0) {
+        clients[0]->heartbeat_ping(monitor->token, monitor->stream_id);
+      }
+      if (options.stats_every > 0 && block % options.stats_every == 0) {
+        clients[0]->request_stats(monitor->token, monitor->stream_id,
+                                  StatsFormat::kJson);
+      }
+    }
     // Generation phase fans out per connection (each client's buffer has
     // exactly one writer); chats within a connection advance in ordinal
     // order, so every stream's bytes hit the wire in feed order.
@@ -183,8 +223,13 @@ service::LoadReport run_socket_load(const service::LoadSpec& spec,
           chat::FramePair pair = chat.source->next();
           const auto t_us = static_cast<std::uint64_t>(
               std::llround(pair.t_sec * 1e6));
-          clients[c]->send_frame(chat.token, chat.stream_id, chat.seq++, t_us,
-                                 pair.transmitted, pair.received);
+          // Deterministic per-frame trace id: a pure function of the stream
+          // token and sequence number, so traced and untraced runs stay
+          // bit-identical and a recorder entry names its frame exactly.
+          const std::uint32_t seq = chat.seq++;
+          clients[c]->send_frame(chat.token, chat.stream_id, seq, t_us,
+                                 pair.transmitted, pair.received,
+                                 mix64(chat.token ^ seq));
         }
       }
     });
@@ -205,7 +250,8 @@ service::LoadReport run_socket_load(const service::LoadSpec& spec,
       ingested += got;
       for (auto& client : clients) {
         client->poll();
-        collect_events(*client, chats, &acked, &rejected);
+        collect_events(*client, chats, &acked, &rejected,
+                     options.last_stats_json);
       }
       stall = (progress || got > 0) ? 0 : stall + 1;
     }
@@ -227,7 +273,8 @@ service::LoadReport run_socket_load(const service::LoadSpec& spec,
     std::size_t got = 0;
     for (auto& client : clients) {
       got += client->poll();
-      collect_events(*client, chats, &acked, &rejected);
+      collect_events(*client, chats, &acked, &rejected,
+                     options.last_stats_json);
     }
     stall = got > 0 ? 0 : stall + 1;
   }
@@ -262,6 +309,12 @@ service::LoadReport run_socket_load(const service::LoadSpec& spec,
   report.frames_fed = ingested;
   report.elapsed_s = elapsed;
   report.metrics = manager.metrics_snapshot();
+  // The evictions above fire after the server's last poll cycle, so any
+  // armed trigger they tripped has had no flush pass yet — give the
+  // recorder the one the server would have given it next cycle.
+  if (options.flight_recorder != nullptr) {
+    (void)options.flight_recorder->maybe_auto_dump();
+  }
   return report;
 }
 

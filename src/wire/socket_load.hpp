@@ -19,13 +19,17 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
+#include <string>
 
 #include "common/thread_pool.hpp"
 #include "model/registry.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "service/load_generator.hpp"
 #include "wire/event_loop.hpp"
+#include "wire/protocol.hpp"
 
 namespace lumichat::wire {
 
@@ -33,6 +37,21 @@ struct SocketLoadOptions {
   /// Socketpair connections the sessions are multiplexed over.
   std::size_t n_connections = 8;
   Backend backend = EventLoop::default_backend();
+  /// Protocol version the clients speak (1 exercises the v1 interop path;
+  /// verdict sequences are identical either way — v1 just drops trace ids).
+  std::uint8_t protocol_version = kProtocolVersion;
+  /// When non-empty, the server additionally listens on this Unix-domain
+  /// socket so an external monitor (lumichat_stat) can poll a live run.
+  std::string listen_path;
+  /// Borrowed flight recorder wired into the manager and server (null off).
+  obs::FlightRecorder* flight_recorder = nullptr;
+  /// Every N drive blocks connection 0 sends a heartbeat ping (RTT sample
+  /// into wire.heartbeat_rtt) — 0 disables.
+  std::size_t heartbeat_every = 0;
+  /// Every N drive blocks connection 0 requests a JSON stats snapshot —
+  /// 0 disables. The last reply lands in *last_stats_json when set.
+  std::size_t stats_every = 0;
+  std::string* last_stats_json = nullptr;
 };
 
 /// Runs `spec` through a WireServer over socketpairs. Sessions appear in

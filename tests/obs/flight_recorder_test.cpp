@@ -1,0 +1,185 @@
+// FlightRecorder semantics: seqlock publication, per-lane wraparound,
+// global stamp ordering, trigger-armed auto dumps, and concurrent writers
+// (the unit tier runs under TSan in CI — the recorder must be data-race
+// free by construction, not by luck).
+#include "obs/flight_recorder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace lumichat::obs {
+namespace {
+
+FlightEntry frame_entry(std::uint64_t trace, std::uint64_t session) {
+  FlightEntry e;
+  e.trace_id = trace;
+  e.session_id = session;
+  e.kind = FlightKind::kFrame;
+  e.total_s = 1e-3;
+  return e;
+}
+
+TEST(FlightRecorder, RecordsAndCollectsInStampOrder) {
+  FlightRecorder rec(/*lanes=*/2, /*entries_per_lane=*/8);
+  rec.record(0, frame_entry(10, 1));
+  rec.record(1, frame_entry(20, 2));
+  rec.record(0, frame_entry(30, 1));
+  EXPECT_EQ(rec.recorded_count(), 3u);
+
+  const std::vector<FlightEntry> got = rec.collect();
+  ASSERT_EQ(got.size(), 3u);
+  // Oldest first, interleaved across lanes by the global stamp.
+  EXPECT_EQ(got[0].trace_id, 10u);
+  EXPECT_EQ(got[1].trace_id, 20u);
+  EXPECT_EQ(got[2].trace_id, 30u);
+  EXPECT_LT(got[0].stamp, got[1].stamp);
+  EXPECT_LT(got[1].stamp, got[2].stamp);
+  EXPECT_EQ(got[1].lane, 1u);
+}
+
+TEST(FlightRecorder, LaneCapacityRoundsUpToPowerOfTwo) {
+  const FlightRecorder rec(1, 5);
+  EXPECT_EQ(rec.lane_capacity(), 8u);
+}
+
+TEST(FlightRecorder, WraparoundKeepsTheMostRecentEntries) {
+  FlightRecorder rec(/*lanes=*/1, /*entries_per_lane=*/4);
+  for (std::uint64_t i = 0; i < 10; ++i) {
+    rec.record(0, frame_entry(/*trace=*/100 + i, 1));
+  }
+  const std::vector<FlightEntry> got = rec.collect();
+  ASSERT_EQ(got.size(), 4u);
+  // The ring holds exactly the last lane_capacity() records.
+  EXPECT_EQ(got[0].trace_id, 106u);
+  EXPECT_EQ(got[3].trace_id, 109u);
+  EXPECT_EQ(rec.recorded_count(), 10u);
+}
+
+TEST(FlightRecorder, OutOfRangeLaneClampsInsteadOfCrashing) {
+  FlightRecorder rec(2, 4);
+  rec.record(99, frame_entry(7, 1));
+  const std::vector<FlightEntry> got = rec.collect();
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].lane, 1u);  // clamped to the last lane
+}
+
+TEST(FlightRecorder, AutoDumpFiresOnlyOnArmedTriggerKinds) {
+  FlightRecorder rec(1, 16);
+  const std::string path =
+      ::testing::TempDir() + "lumichat_flight_test_dump.jsonl";
+  std::remove(path.c_str());
+  rec.arm_auto_dump(path, kTriggerVerdictFlip | kTriggerAbstainBurst);
+
+  // Routine frames never trigger.
+  rec.record(0, frame_entry(1, 1));
+  EXPECT_EQ(rec.trigger_count(), 0u);
+  EXPECT_FALSE(rec.maybe_auto_dump());
+
+  // An unarmed trigger kind (protocol error) does not trigger either.
+  FlightEntry proto;
+  proto.kind = FlightKind::kProtocolError;
+  rec.record(0, proto);
+  EXPECT_EQ(rec.trigger_count(), 0u);
+  EXPECT_FALSE(rec.maybe_auto_dump());
+
+  // An armed kind fires; the next maybe_auto_dump writes the file once.
+  FlightEntry flip;
+  flip.kind = FlightKind::kVerdictFlip;
+  flip.trace_id = 42;
+  rec.record(0, flip);
+  EXPECT_EQ(rec.trigger_count(), 1u);
+  EXPECT_TRUE(rec.maybe_auto_dump());
+  EXPECT_FALSE(rec.maybe_auto_dump());  // no new trigger since the dump
+
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::string content;
+  char chunk[256];
+  while (std::fgets(chunk, sizeof(chunk), f) != nullptr) content += chunk;
+  std::fclose(f);
+  EXPECT_NE(content.find("\"kind\":\"verdict_flip\""), std::string::npos)
+      << content;
+  EXPECT_NE(content.find("\"trace_id\":42"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, EntryJsonIsWellFormed) {
+  FlightEntry e = frame_entry(0xABC, 5);
+  e.stream_id = 3;
+  e.window_index = 2;
+  e.decode_s = 1e-4;
+  e.queue_wait_s = 2e-4;
+  e.detect_s = 3e-4;
+  e.push_s = 4e-5;
+  const std::string json = FlightRecorder::entry_json(e);
+  EXPECT_TRUE(json_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"kind\":\"frame\""), std::string::npos);
+  EXPECT_NE(json.find("\"queue_wait_s\":0.0002"), std::string::npos);
+}
+
+TEST(FlightRecorder, DumpJsonlWritesOneLinePerEntry) {
+  FlightRecorder rec(2, 8);
+  for (std::uint64_t i = 0; i < 5; ++i) {
+    rec.record(i % 2, frame_entry(i, 1));
+  }
+  const std::string path =
+      ::testing::TempDir() + "lumichat_flight_test_lines.jsonl";
+  ASSERT_TRUE(rec.dump_jsonl(path));
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  std::size_t lines = 0;
+  char chunk[512];
+  while (std::fgets(chunk, sizeof(chunk), f) != nullptr) {
+    std::string line(chunk);
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    EXPECT_TRUE(json_well_formed(line)) << line;
+    ++lines;
+  }
+  std::fclose(f);
+  EXPECT_EQ(lines, 5u);
+  std::remove(path.c_str());
+}
+
+TEST(FlightRecorder, ConcurrentWritersAndReadersStaySane) {
+  FlightRecorder rec(/*lanes=*/4, /*entries_per_lane=*/32);
+  constexpr int kThreads = 4;
+  constexpr std::uint64_t kEach = 2000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&rec, t] {
+      for (std::uint64_t i = 0; i < kEach; ++i) {
+        rec.record(static_cast<std::size_t>(t), frame_entry(i, 1));
+      }
+    });
+  }
+  // Collect mid-flight: torn entries are skipped, never invented, so every
+  // copied entry must look like something a writer actually published.
+  for (int i = 0; i < 20; ++i) {
+    for (const FlightEntry& e : rec.collect()) {
+      EXPECT_EQ(e.kind, FlightKind::kFrame);
+      EXPECT_LT(e.trace_id, kEach);
+      EXPECT_LT(e.lane, 4u);
+    }
+  }
+  for (std::thread& w : writers) w.join();
+
+  EXPECT_EQ(rec.recorded_count(), static_cast<std::uint64_t>(kThreads) * kEach);
+  const std::vector<FlightEntry> got = rec.collect();
+  // All rings full; all entries valid and stamp-ordered.
+  ASSERT_EQ(got.size(), 4u * 32u);
+  for (std::size_t i = 1; i < got.size(); ++i) {
+    EXPECT_LT(got[i - 1].stamp, got[i].stamp);
+  }
+}
+
+}  // namespace
+}  // namespace lumichat::obs

@@ -81,6 +81,79 @@ TEST(LogHistogram, MergeMatchesRecordingEverythingInOne) {
   }
 }
 
+TEST(LogHistogram, FewerThanThousandSamplesP999IsTheMaxBucket) {
+  // With n < 1000 samples the p99.9 rank ceil(0.999 * n) == n: the answer
+  // is the maximum sample's bucket, never an interpolated fiction.
+  LogHistogram h;
+  for (int i = 1; i <= 10; ++i) {
+    h.record(static_cast<double>(i) * 1e-3);
+  }
+  EXPECT_DOUBLE_EQ(h.quantile(0.999), h.quantile(1.0));
+  // Quarter-octave bucket midpoint of the 10 ms max: within +/-9%.
+  EXPECT_GT(h.quantile(0.999), 0.91e-2);
+  EXPECT_LT(h.quantile(0.999), 1.09e-2);
+  // At 1000 samples the p99.9 rank (ceil(0.999 * 1000) = 999) first
+  // separates from the max: one outlier among 999 fast samples no longer
+  // drags the p99.9 up.
+  LogHistogram k;
+  for (int i = 0; i < 999; ++i) k.record(1e-3);
+  k.record(1.0);
+  EXPECT_LT(k.quantile(0.999), 2e-3);
+  EXPECT_GT(k.quantile(1.0), 0.9);
+}
+
+TEST(LogHistogram, SingleBucketSaturationCollapsesAllQuantiles) {
+  LogHistogram h;
+  for (int i = 0; i < 5000; ++i) {
+    h.record(2e-3);  // every sample in one bucket
+  }
+  const double v = h.quantile(0.5);
+  EXPECT_DOUBLE_EQ(h.quantile(0.001), v);
+  EXPECT_DOUBLE_EQ(h.quantile(0.99), v);
+  EXPECT_DOUBLE_EQ(h.quantile(0.999), v);
+  EXPECT_DOUBLE_EQ(h.quantile(1.0), v);
+  // Exact-count accumulators are untouched by saturation (the sum sees
+  // only fp addition rounding, never bucket quantisation).
+  EXPECT_EQ(h.count(), 5000u);
+  EXPECT_NEAR(h.sum(), 5000 * 2e-3, 1e-9);
+  EXPECT_DOUBLE_EQ(h.max(), 2e-3);
+}
+
+TEST(LogHistogram, MergeUnderConcurrentWritersIsExact) {
+  // Writers hammer two histograms while a reader repeatedly merges their
+  // snapshots; after the join, a final merge must account for every sample
+  // exactly (count and sum are lossless, not approximately converged).
+  LogHistogram a;
+  LogHistogram b;
+  constexpr int kThreads = 4;
+  constexpr int kOpsEach = 20000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&a, &b, t] {
+      for (int i = 0; i < kOpsEach; ++i) {
+        (t % 2 == 0 ? a : b).record(1e-3);
+      }
+    });
+  }
+  for (int i = 0; i < 25; ++i) {
+    LogHistogram mid;
+    mid.merge(a);
+    mid.merge(b);
+    EXPECT_LE(mid.count(),
+              static_cast<std::uint64_t>(kThreads) * kOpsEach);
+  }
+  for (std::thread& w : writers) w.join();
+
+  LogHistogram merged;
+  merged.merge(a);
+  merged.merge(b);
+  const auto expected = static_cast<std::uint64_t>(kThreads) * kOpsEach;
+  EXPECT_EQ(merged.count(), expected);
+  EXPECT_NEAR(merged.sum(), static_cast<double>(expected) * 1e-3, 1e-6);
+  EXPECT_DOUBLE_EQ(merged.max(), 1e-3);
+}
+
 TEST(LogHistogram, ResetZeroesSumAndMaxToo) {
   LogHistogram h;
   h.record(0.5);
@@ -215,6 +288,76 @@ TEST(MetricsRegistry, ConcurrentWritersLoseNothing) {
   EXPECT_EQ(s.histograms[0].count,
             static_cast<std::uint64_t>(kThreads) * kOpsEach);
   EXPECT_DOUBLE_EQ(s.histograms[0].max, 1e-3);
+}
+
+TEST(MetricsRegistry, LookupCountTracksNameResolutionsNotInstrumentOps) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.lookup_count(), 0u);
+  Counter& c = reg.counter("frames");
+  LogHistogram& h = reg.histogram("lat");
+  EXPECT_EQ(reg.lookup_count(), 2u);
+  // Hot-path instrument operations through held pointers never touch the
+  // registry map — this is the invariant the steady-state frame path
+  // relies on (and the wire test asserts end to end).
+  for (int i = 0; i < 1000; ++i) {
+    c.add(1);
+    h.record(1e-3);
+  }
+  EXPECT_EQ(reg.lookup_count(), 2u);
+  (void)reg.snapshot();  // snapshots read the map without "looking up"
+  EXPECT_EQ(reg.lookup_count(), 2u);
+  (void)reg.counter("frames");  // every resolution counts, even repeats
+  EXPECT_EQ(reg.lookup_count(), 3u);
+}
+
+TEST(MetricsRegistry, PrometheusExpositionFormat) {
+  MetricsRegistry reg;
+  reg.counter("wire.frames_in").add(42);
+  reg.gauge("service.sessions_active").set(7.0);
+  for (int i = 0; i < 100; ++i) reg.histogram("wire.stage.decode").record(2e-3);
+
+  const std::string prom = reg.snapshot().to_prometheus();
+  // Dots sanitize to underscores; counters gain _total, histograms are
+  // summaries in seconds with the three dashboard quantiles.
+  EXPECT_NE(prom.find("# TYPE wire_frames_in_total counter\n"
+                      "wire_frames_in_total 42\n"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("# TYPE service_sessions_active gauge\n"
+                      "service_sessions_active 7\n"),
+            std::string::npos);
+  EXPECT_NE(prom.find("# TYPE wire_stage_decode_seconds summary"),
+            std::string::npos);
+  EXPECT_NE(prom.find("wire_stage_decode_seconds{quantile=\"0.5\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("wire_stage_decode_seconds{quantile=\"0.999\"}"),
+            std::string::npos);
+  EXPECT_NE(prom.find("wire_stage_decode_seconds_count 100"),
+            std::string::npos);
+}
+
+TEST(RegistrySnapshot, BuilderMutatorsMergeIntoSortedOrder) {
+  RegistrySnapshot s;
+  s.add_counter("b", 2);
+  s.add_counter("a", 1);
+  s.add_counter("b", 3);  // accumulates
+  s.set_gauge("g", 1.0);
+  s.set_gauge("g", 9.0);  // overwrites (not additive like merge)
+  LogHistogram h;
+  h.record(1e-3);
+  s.add_histogram("lat", h);
+  LogHistogram h2;
+  h2.record(4e-3);
+  s.add_histogram("lat", h2);  // merges same-name histograms
+
+  ASSERT_EQ(s.counters.size(), 2u);
+  EXPECT_EQ(s.counters[0].first, "a");
+  EXPECT_EQ(s.counters[1].second, 5u);
+  ASSERT_EQ(s.gauges.size(), 1u);
+  EXPECT_DOUBLE_EQ(s.gauges[0].second, 9.0);
+  ASSERT_EQ(s.histograms.size(), 1u);
+  EXPECT_EQ(s.histograms[0].count, 2u);
+  EXPECT_DOUBLE_EQ(s.histograms[0].sum, 5e-3);
 }
 
 TEST(ScopedMetricsTimer, RecordsElapsedWallTimeOnDestruction) {

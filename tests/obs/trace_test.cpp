@@ -223,6 +223,35 @@ TEST_F(TraceTest, ChromeTraceAndStageSummarySerialiseAsJson) {
   EXPECT_NE(summary.find("test.stage_b"), std::string::npos);
 }
 
+TEST_F(TraceTest, ChromeTraceEmitsMetadataBeforeSpans) {
+  ManualTraceClock clock;
+  TracerConfig config;
+  config.clock = &clock;
+  Tracer tracer(config);
+  tracer.install();
+  {
+    const ObsSpan span("test.meta_span", "test");
+    clock.advance_ns(1'000'000);
+  }
+  Tracer::uninstall();
+
+  const std::string chrome = tracer.chrome_trace_json();
+  EXPECT_TRUE(json_well_formed(chrome)) << chrome;
+  // Perfetto/chrome://tracing read ph:"M" metadata to label the process and
+  // each thread track — emitted before any span so traces open pre-named.
+  const std::size_t process_at = chrome.find("\"process_name\"");
+  const std::size_t thread_at = chrome.find("\"thread_name\"");
+  const std::size_t span_at = chrome.find("\"ph\":\"X\"");
+  ASSERT_NE(process_at, std::string::npos);
+  ASSERT_NE(thread_at, std::string::npos);
+  ASSERT_NE(span_at, std::string::npos);
+  EXPECT_LT(process_at, span_at);
+  EXPECT_LT(thread_at, span_at);
+  EXPECT_NE(chrome.find("\"ph\":\"M\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"name\":\"lumichat\""), std::string::npos);
+  EXPECT_NE(chrome.find("lumichat-thread-"), std::string::npos);
+}
+
 TEST_F(TraceTest, EmptyTracerStillSerialises) {
   const Tracer tracer;
   EXPECT_TRUE(json_well_formed(tracer.chrome_trace_json()));

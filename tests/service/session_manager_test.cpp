@@ -9,6 +9,7 @@
 
 #include "model/registry.hpp"
 #include "obs/explain.hpp"
+#include "obs/flight_recorder.hpp"
 #include "service/scheduler.hpp"
 #include "service_test_util.hpp"
 
@@ -236,6 +237,92 @@ TEST(ServiceCapacity, ZeroMaxSessionsUsesDefaultCapacity) {
                  trained_registry());
   EXPECT_EQ(m.capacity(), 3u);
   ASSERT_EQ(unsetenv("LUMICHAT_SERVICE_CAPACITY"), 0);
+}
+
+TEST(SessionManager, StageLatenciesRecordedPerCompletedFrame) {
+  SessionManager m(small_config(), test_streaming_config(),
+                   trained_registry());
+  const auto id = m.create();
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(feed_wave(m, *id, 20), 20u);  // one full window
+
+  // Every drained frame contributes one queue-wait and one detect sample;
+  // push_to_verdict only fires on window completion.
+  EXPECT_EQ(m.metrics().queue_wait().count(), 20u);
+  EXPECT_EQ(m.metrics().detect().count(), 20u);
+  EXPECT_EQ(m.metrics().push_to_verdict().count(), 1u);
+
+  // And the generic registry export carries the same stage histograms.
+  const obs::RegistrySnapshot s = m.metrics().registry_snapshot(
+      static_cast<std::uint64_t>(m.active_sessions()));
+  bool saw_queue_wait = false;
+  bool saw_detect = false;
+  for (const auto& h : s.histograms) {
+    if (h.name == "service.stage.queue_wait") {
+      saw_queue_wait = true;
+      EXPECT_EQ(h.count, 20u);
+    }
+    if (h.name == "service.stage.detect") {
+      saw_detect = true;
+      EXPECT_EQ(h.count, 20u);
+    }
+  }
+  EXPECT_TRUE(saw_queue_wait);
+  EXPECT_TRUE(saw_detect);
+}
+
+TEST(SessionManager, ShardSessionCountsSumToActive) {
+  SessionManager m(small_config(/*max_sessions=*/8), test_streaming_config(),
+                   trained_registry());
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(m.create().has_value());
+  const std::vector<std::size_t> counts = m.shard_session_counts();
+  EXPECT_EQ(counts.size(), m.config().n_shards);
+  std::size_t total = 0;
+  for (const std::size_t c : counts) total += c;
+  EXPECT_EQ(total, 5u);
+}
+
+TEST(SessionManager, FlightRecorderReceivesFrameAndEvictEntries) {
+  obs::FlightRecorder recorder(/*lanes=*/4, /*entries_per_lane=*/64);
+  SessionManager m(small_config(), test_streaming_config(),
+                   trained_registry());
+  m.attach_flight_recorder(&recorder);
+  const auto id = m.create();
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(feed_wave(m, *id, 20), 20u);
+  ASSERT_TRUE(m.evict(*id).has_value());
+
+  std::size_t frames = 0;
+  std::size_t evicts = 0;
+  for (const obs::FlightEntry& e : recorder.collect()) {
+    if (e.kind == obs::FlightKind::kFrame) {
+      ++frames;
+      EXPECT_EQ(e.session_id, *id);
+      // A completed window's timeline carries real stage latencies.
+      EXPECT_GT(e.total_s, 0.0);
+      EXPECT_GE(e.queue_wait_s, 0.0);
+      EXPECT_GT(e.detect_s, 0.0);
+    }
+    if (e.kind == obs::FlightKind::kSessionEvict) {
+      ++evicts;
+      EXPECT_EQ(e.session_id, *id);
+      EXPECT_EQ(e.window_index, 1u);  // windows completed at teardown
+    }
+  }
+  EXPECT_EQ(frames, 1u);  // one per completed window verdict
+  EXPECT_EQ(evicts, 1u);
+}
+
+TEST(SessionManager, SessionsWithoutRecorderRecordNothing) {
+  // The null-gated path: no recorder attached means no flight entries and
+  // no timing side effects (the bit-identity gate depends on this).
+  SessionManager m(small_config(), test_streaming_config(),
+                   trained_registry());
+  EXPECT_EQ(m.flight_recorder(), nullptr);
+  const auto id = m.create();
+  ASSERT_TRUE(id.has_value());
+  EXPECT_EQ(feed_wave(m, *id, 20), 20u);
+  EXPECT_EQ(m.verdicts(*id).size(), 1u);
 }
 
 }  // namespace

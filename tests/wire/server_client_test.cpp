@@ -4,8 +4,11 @@
 // bench relies on.
 #include <chrono>
 #include <cstdint>
+#include <cstdio>
 #include <memory>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include <sys/socket.h>
 #include <unistd.h>
@@ -13,6 +16,7 @@
 #include <gtest/gtest.h>
 
 #include "image/image.hpp"
+#include "obs/flight_recorder.hpp"
 #include "obs/metrics.hpp"
 #include "service/session_manager.hpp"
 #include "wire/client.hpp"
@@ -267,12 +271,168 @@ TEST(WireServerClient, AdoptRefusedPastMaxConnections) {
 TEST(WireServerClient, ServerToClientMessageTypeFromClientIsProtocolError) {
   Rig rig;
   VerdictMsg bogus;
-  std::uint8_t buf[kHeaderSize + kVerdictPayloadSize];
+  std::uint8_t buf[kHeaderSize + kVerdictPayloadSizeV2];
   const std::size_t n = encode_verdict(buf, sizeof(buf), 1, 1, bogus);
   ASSERT_GT(::send(rig.client->fd(), buf, n, 0), 0);
   rig.converse(6);
   EXPECT_EQ(rig.registry.counter("wire.malformed").value(), 1u);
   EXPECT_EQ(rig.server.connection_count(), 0u);
+}
+
+TEST(WireServerClient, StatsRequestServesRegistrySnapshot) {
+  Rig rig;
+  rig.client->hello(3, 1, 8, 8);
+  rig.converse();
+  (void)expect_one_ack(*rig.client);
+  const image::Image tx(8, 8, image::Pixel{120.0, 120.0, 120.0});
+  const image::Image rx(8, 8, image::Pixel{90.0, 90.0, 90.0});
+  for (std::uint32_t k = 0; k < 5; ++k) {
+    rig.client->send_frame(3, 1, k, static_cast<std::uint64_t>(k) * 100000,
+                           tx, rx);
+  }
+  rig.converse(4);
+
+  // Stats need no Hello'd stream — any v2 connection may ask.
+  rig.client->request_stats(0, 99, StatsFormat::kJson);
+  rig.client->request_stats(0, 99, StatsFormat::kPrometheus);
+  rig.converse(4);
+  const std::vector<StatsEvent> events = rig.client->take_stats();
+  ASSERT_EQ(events.size(), 2u);
+
+  const std::string& json = events[0].text;
+  EXPECT_EQ(events[0].format, StatsFormat::kJson);
+  // Wire plane, service plane, and model plane all in one snapshot.
+  EXPECT_NE(json.find("\"wire.frames_in\":5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"service.frames_in\":5"), std::string::npos);
+  EXPECT_NE(json.find("\"service.sessions_active\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"model.version\":"), std::string::npos);
+  EXPECT_NE(json.find("\"service.shard.000.sessions\":"), std::string::npos);
+  EXPECT_NE(json.find("\"wire.stage.decode\":"), std::string::npos);
+  EXPECT_NE(json.find("\"service.stage.queue_wait\":"), std::string::npos);
+
+  const std::string& prom = events[1].text;
+  EXPECT_EQ(events[1].format, StatsFormat::kPrometheus);
+  EXPECT_NE(prom.find("# TYPE wire_frames_in_total counter"),
+            std::string::npos)
+      << prom;
+  EXPECT_NE(prom.find("wire_frames_in_total 5"), std::string::npos);
+  EXPECT_NE(prom.find("quantile=\"0.999\""), std::string::npos);
+  EXPECT_EQ(rig.registry.counter("wire.stats_served").value(), 2u);
+}
+
+TEST(WireServerClient, HeartbeatPingRecordsRoundTripTime) {
+  Rig rig;
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  ASSERT_TRUE(rig.server.adopt(sv[0]));
+  WireClient pinger(sv[1], 64, &rig.registry);
+
+  pinger.heartbeat_ping(1, 1);
+  for (int i = 0; i < 4; ++i) {
+    pinger.flush();
+    (void)rig.server.poll(0);
+    pinger.poll();
+  }
+  EXPECT_EQ(pinger.heartbeats_echoed(), 1u);
+  EXPECT_GT(pinger.last_heartbeat_rtt_s(), 0.0);
+  EXPECT_EQ(rig.registry.histogram("wire.heartbeat_rtt").count(), 1u);
+}
+
+TEST(WireServerClient, V1ClientInteroperates) {
+  Rig rig;
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  ASSERT_TRUE(rig.server.adopt(sv[0]));
+  WireClient v1(sv[1], 64, nullptr, /*version=*/1);
+  auto converse = [&] {
+    for (int i = 0; i < 8; ++i) {
+      v1.flush();
+      (void)rig.server.poll(0);
+      v1.poll();
+    }
+  };
+
+  v1.hello(3, 1, 8, 8);
+  converse();
+  AckEvent ack;
+  ASSERT_EQ(v1.take_acks(&ack, 1), 1u);
+  EXPECT_EQ(ack.ack.status, static_cast<std::uint32_t>(HelloStatus::kAccepted));
+
+  // Frames cross in the v1 layout and verdicts come back v1 (24-byte
+  // payload, no trace ids) — the negotiated version sticks to the stream.
+  const image::Image tx(8, 8, image::Pixel{120.0, 120.0, 120.0});
+  const image::Image rx(8, 8, image::Pixel{90.0, 90.0, 90.0});
+  for (std::uint32_t k = 0; k < 20; ++k) {
+    v1.send_frame(3, 1, k, static_cast<std::uint64_t>(k) * 100000, tx, rx,
+                  /*trace_id=*/k + 1);  // silently dropped by the v1 encoder
+  }
+  converse();
+  VerdictEvent verdict;
+  ASSERT_EQ(v1.take_verdicts(&verdict, 1), 1u);
+  EXPECT_EQ(verdict.verdict.trace_id, 0u);
+
+  // v1 heartbeats echo unflagged: no RTT is ever recorded.
+  v1.heartbeat_ping(3, 1);
+  converse();
+  EXPECT_EQ(v1.heartbeats_echoed(), 1u);
+  EXPECT_EQ(v1.last_heartbeat_rtt_s(), 0.0);
+  // And request_stats is a client-side no-op below v2.
+  v1.request_stats(3, 1);
+  converse();
+  EXPECT_TRUE(v1.take_stats().empty());
+  EXPECT_FALSE(v1.failed());
+}
+
+TEST(WireServerClient, SteadyStateFramesNeverTouchRegistryMutex) {
+  Rig rig;
+  rig.client->hello(3, 1, 8, 8);
+  rig.converse();
+  (void)expect_one_ack(*rig.client);
+
+  const image::Image tx(8, 8, image::Pixel{120.0, 120.0, 120.0});
+  const image::Image rx(8, 8, image::Pixel{90.0, 90.0, 90.0});
+  // Warm one frame through, then demand zero name->instrument resolutions
+  // across a full window of traffic: every handle was cached up front.
+  rig.client->send_frame(3, 1, 0, 0, tx, rx);
+  rig.converse();
+  const std::uint64_t lookups_before = rig.registry.lookup_count();
+  for (std::uint32_t k = 1; k < 40; ++k) {
+    rig.client->send_frame(3, 1, k, static_cast<std::uint64_t>(k) * 100000,
+                           tx, rx);
+  }
+  rig.converse(8);
+  VerdictEvent verdict;
+  ASSERT_GE(rig.client->take_verdicts(&verdict, 1), 1u);
+  EXPECT_EQ(rig.registry.lookup_count(), lookups_before);
+}
+
+TEST(WireServerClient, ProtocolErrorTriggersFlightRecorderAutoDump) {
+  obs::FlightRecorder recorder(/*lanes=*/2, /*entries_per_lane=*/32);
+  const std::string path =
+      ::testing::TempDir() + "lumichat_flight_proto_err.jsonl";
+  std::remove(path.c_str());
+  recorder.arm_auto_dump(path, obs::kTriggerProtocolError);
+
+  WireServerConfig cfg = small_server_config();
+  cfg.flight_recorder = &recorder;
+  Rig rig(small_service_config(), cfg);
+  rig.client->hello(3, 1, 8, 8);
+  rig.converse();
+  (void)expect_one_ack(*rig.client);
+
+  const std::uint8_t junk[32] = {0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF};
+  ASSERT_GT(::send(rig.client->fd(), junk, sizeof(junk), 0), 0);
+  rig.converse(6);
+
+  EXPECT_GE(recorder.trigger_count(), 1u);
+  // The poll cycle after the trigger flushed the dump.
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr);
+  char line[512] = {};
+  ASSERT_NE(std::fgets(line, sizeof(line), f), nullptr);
+  std::fclose(f);
+  EXPECT_NE(std::string(line).find("protocol_error"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 }  // namespace
